@@ -1,0 +1,66 @@
+//! Error type for the analog readout substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the switched-capacitor readout models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalogError {
+    /// A circuit parameter was non-physical or out of its supported range.
+    InvalidParameter(String),
+    /// A mux channel outside the array was selected.
+    ChannelOutOfRange {
+        /// Requested row.
+        row: usize,
+        /// Requested column.
+        col: usize,
+        /// Mux rows.
+        rows: usize,
+        /// Mux columns.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for AnalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalogError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            AnalogError::ChannelOutOfRange {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "mux channel ({row}, {col}) out of range for {rows}x{cols} array"
+            ),
+        }
+    }
+}
+
+impl Error for AnalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(AnalogError::InvalidParameter("gain".into())
+            .to_string()
+            .contains("gain"));
+        let e = AnalogError::ChannelOutOfRange {
+            row: 3,
+            col: 1,
+            rows: 2,
+            cols: 2,
+        };
+        assert!(e.to_string().contains("(3, 1)"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalogError>();
+    }
+}

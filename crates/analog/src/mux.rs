@@ -1,0 +1,268 @@
+//! The synchronized 2:1 row/column analog multiplexers (paper Fig. 4).
+//!
+//! "The transducer elements of a sensor array are connected via two
+//! synchronized analog multiplexers to the readout circuit … This enables
+//! a modular design, which can be easily extended to larger array sizes.
+//! The settling when switching between different sensor elements is
+//! limited by the signal bandwidth of the ΣΔ-AD-converter." (§2.2)
+//!
+//! Electrically, switching channels leaves charge from the previous
+//! element on the shared readout node; the model applies a first-order
+//! exponential blend between the previous and the newly selected
+//! capacitance with a configurable time constant in modulator clocks.
+//! (The *system-level* settling — how many decimated output samples to
+//! discard — is dominated by the decimation filter's memory and handled
+//! by the scan controller in `tonos-core`.)
+
+use tonos_mems::units::Farads;
+
+use crate::AnalogError;
+
+/// Row/column analog multiplexer pair with a settling transient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalogMux {
+    rows: usize,
+    cols: usize,
+    selected: (usize, usize),
+    /// First-order settling time constant in modulator clock periods.
+    tau_clocks: f64,
+    /// Residual weight of the previously selected channel (decays by
+    /// `exp(-1/tau)` each clock).
+    residual: f64,
+    /// Capacitance of the previously selected channel at switch time.
+    previous_cap: Farads,
+}
+
+impl AnalogMux {
+    /// Creates the mux for an array of the given dimensions.
+    ///
+    /// `tau_clocks` is the analog settling time constant in modulator
+    /// clocks; 0.0 models an ideally fast mux.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for an empty array or a
+    /// negative/non-finite time constant.
+    pub fn new(rows: usize, cols: usize, tau_clocks: f64) -> Result<Self, AnalogError> {
+        if rows == 0 || cols == 0 {
+            return Err(AnalogError::InvalidParameter(
+                "mux needs at least one row and column".into(),
+            ));
+        }
+        if !(tau_clocks >= 0.0 && tau_clocks.is_finite()) {
+            return Err(AnalogError::InvalidParameter(format!(
+                "settling time constant {tau_clocks} must be finite and >= 0"
+            )));
+        }
+        Ok(AnalogMux {
+            rows,
+            cols,
+            selected: (0, 0),
+            tau_clocks,
+            residual: 0.0,
+            previous_cap: Farads(0.0),
+        })
+    }
+
+    /// The paper's mux: 2×2 with a sub-clock settling constant (the SC
+    /// readout samples after half a clock, so the analog transient is
+    /// short but not zero).
+    pub fn paper_default() -> Self {
+        AnalogMux::new(2, 2, 0.5).expect("paper mux is valid")
+    }
+
+    /// Currently selected `(row, col)`.
+    pub fn selected(&self) -> (usize, usize) {
+        self.selected
+    }
+
+    /// Array dimensions `(rows, cols)`.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Selects a channel; starts the settling transient from the readout
+    /// node's current capacitance.
+    ///
+    /// `current_caps` is the row-major capacitance snapshot of the array,
+    /// used to freeze the previous channel's value into the transient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::ChannelOutOfRange`] for indices outside the
+    /// array, or [`AnalogError::InvalidParameter`] for a wrong snapshot
+    /// length.
+    pub fn select(
+        &mut self,
+        row: usize,
+        col: usize,
+        current_caps: &[Farads],
+    ) -> Result<(), AnalogError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(AnalogError::ChannelOutOfRange {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        if current_caps.len() != self.rows * self.cols {
+            return Err(AnalogError::InvalidParameter(format!(
+                "capacitance snapshot has {} entries, array has {}",
+                current_caps.len(),
+                self.rows * self.cols
+            )));
+        }
+        if (row, col) == self.selected {
+            return Ok(());
+        }
+        self.previous_cap = current_caps[self.selected.0 * self.cols + self.selected.1];
+        self.selected = (row, col);
+        self.residual = if self.tau_clocks > 0.0 { 1.0 } else { 0.0 };
+        Ok(())
+    }
+
+    /// Samples the routed capacitance for one modulator clock: the
+    /// selected element's capacitance blended with the decaying residue
+    /// of the previous channel. Call once per modulator clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for a wrong snapshot
+    /// length.
+    pub fn sample(&mut self, caps: &[Farads]) -> Result<Farads, AnalogError> {
+        if caps.len() != self.rows * self.cols {
+            return Err(AnalogError::InvalidParameter(format!(
+                "capacitance snapshot has {} entries, array has {}",
+                caps.len(),
+                self.rows * self.cols
+            )));
+        }
+        let target = caps[self.selected.0 * self.cols + self.selected.1];
+        if self.residual == 0.0 {
+            return Ok(target);
+        }
+        let blended = Farads(
+            target.value() + self.residual * (self.previous_cap.value() - target.value()),
+        );
+        self.residual *= (-1.0 / self.tau_clocks).exp();
+        if self.residual < 1e-12 {
+            self.residual = 0.0;
+        }
+        Ok(blended)
+    }
+
+    /// True when the analog transient has fully decayed.
+    pub fn is_settled(&self) -> bool {
+        self.residual == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps() -> Vec<Farads> {
+        vec![
+            Farads::from_femtofarads(60.0),
+            Farads::from_femtofarads(65.0),
+            Farads::from_femtofarads(70.0),
+            Farads::from_femtofarads(75.0),
+        ]
+    }
+
+    #[test]
+    fn routes_the_selected_element() {
+        let mut mux = AnalogMux::new(2, 2, 0.0).unwrap();
+        let c = caps();
+        assert_eq!(mux.sample(&c).unwrap(), c[0]);
+        mux.select(1, 1, &c).unwrap();
+        assert_eq!(mux.sample(&c).unwrap(), c[3]);
+        assert_eq!(mux.selected(), (1, 1));
+    }
+
+    #[test]
+    fn switching_produces_a_decaying_transient() {
+        let mut mux = AnalogMux::new(2, 2, 2.0).unwrap();
+        let c = caps();
+        let _ = mux.sample(&c).unwrap();
+        mux.select(1, 0, &c).unwrap();
+        assert!(!mux.is_settled());
+        // First sample is pulled toward the old channel's 60 fF.
+        let first = mux.sample(&c).unwrap();
+        assert!(first < c[2], "first sample {first} shows the old charge");
+        // Monotone convergence toward the new value.
+        let mut last = first;
+        // exp(-1/2) per clock: ~56 clocks to decay below the 1e-12 cutoff.
+        for _ in 0..60 {
+            let v = mux.sample(&c).unwrap();
+            assert!(v >= last, "transient must decay monotonically");
+            last = v;
+        }
+        assert!((last.value() - c[2].value()).abs() < 1e-20);
+        assert!(mux.is_settled());
+    }
+
+    #[test]
+    fn reselecting_the_same_channel_is_free() {
+        let mut mux = AnalogMux::new(2, 2, 3.0).unwrap();
+        let c = caps();
+        let _ = mux.sample(&c).unwrap();
+        mux.select(0, 0, &c).unwrap();
+        assert!(mux.is_settled(), "no transient for a no-op select");
+    }
+
+    #[test]
+    fn zero_tau_settles_instantly() {
+        let mut mux = AnalogMux::new(2, 2, 0.0).unwrap();
+        let c = caps();
+        mux.select(0, 1, &c).unwrap();
+        assert!(mux.is_settled());
+        assert_eq!(mux.sample(&c).unwrap(), c[1]);
+    }
+
+    #[test]
+    fn out_of_range_selection_is_rejected() {
+        let mut mux = AnalogMux::paper_default();
+        let c = caps();
+        assert!(matches!(
+            mux.select(2, 0, &c),
+            Err(AnalogError::ChannelOutOfRange { .. })
+        ));
+        assert!(matches!(
+            mux.select(0, 5, &c),
+            Err(AnalogError::ChannelOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_snapshot_length_is_rejected() {
+        let mut mux = AnalogMux::paper_default();
+        assert!(mux.select(0, 1, &caps()[..3]).is_err());
+        assert!(mux.sample(&caps()[..2]).is_err());
+    }
+
+    #[test]
+    fn invalid_construction_is_rejected() {
+        assert!(AnalogMux::new(0, 2, 1.0).is_err());
+        assert!(AnalogMux::new(2, 0, 1.0).is_err());
+        assert!(AnalogMux::new(2, 2, -1.0).is_err());
+        assert!(AnalogMux::new(2, 2, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn larger_arrays_are_supported() {
+        let mut mux = AnalogMux::new(4, 4, 1.0).unwrap();
+        let c: Vec<Farads> = (0..16)
+            .map(|i| Farads::from_femtofarads(50.0 + i as f64))
+            .collect();
+        mux.select(3, 2, &c).unwrap();
+        assert_eq!(mux.dimensions(), (4, 4));
+        // Settle fully and verify routing.
+        let mut v = Farads(0.0);
+        for _ in 0..60 {
+            v = mux.sample(&c).unwrap();
+        }
+        assert!((v.value() - c[14].value()).abs() < 1e-20);
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion bench: decimation-filter throughput (the "FPGA" stage).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tonos_dsp::cic::{CicDecimator, CicDecimatorF64};
+use tonos_dsp::decimator::DecimatorConfig;
+use tonos_dsp::fpga::FixedPointDecimator;
+
+fn bench_decimators(c: &mut Criterion) {
+    let n = 128_000;
+    let bits_f: Vec<f64> = (0..n).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+    let bits_i: Vec<i64> = bits_f.iter().map(|&v| v as i64).collect();
+
+    let mut group = c.benchmark_group("decimator");
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function(BenchmarkId::new("two_stage", "paper"), |b| {
+        let mut dec = DecimatorConfig::paper_default().build().unwrap();
+        b.iter(|| black_box(dec.process(black_box(&bits_f))));
+    });
+    group.bench_function(BenchmarkId::new("two_stage", "unquantized"), |b| {
+        let mut dec = DecimatorConfig {
+            output_bits: None,
+            ..DecimatorConfig::paper_default()
+        }
+        .build()
+        .unwrap();
+        b.iter(|| black_box(dec.process(black_box(&bits_f))));
+    });
+    group.bench_function(BenchmarkId::new("cic", "f64_order3_r32"), |b| {
+        let mut cic = CicDecimatorF64::new(3, 32).unwrap();
+        b.iter(|| black_box(cic.process(black_box(&bits_f))));
+    });
+    group.bench_function(BenchmarkId::new("cic", "i64_order3_r32"), |b| {
+        let mut cic = CicDecimator::new(3, 32).unwrap();
+        b.iter(|| black_box(cic.process(black_box(&bits_i))));
+    });
+    let bits_i8: Vec<i8> = bits_f.iter().map(|&v| if v > 0.0 { 1 } else { -1 }).collect();
+    group.bench_function(BenchmarkId::new("fpga", "bit_exact_paper"), |b| {
+        let mut fpga = FixedPointDecimator::paper_default();
+        b.iter(|| black_box(fpga.process(black_box(&bits_i8))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decimators);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: FFT and spectral-metric extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tonos_dsp::fft::{fft, Complex};
+use tonos_dsp::metrics::DynamicMetrics;
+use tonos_dsp::signal::sine_wave;
+use tonos_dsp::spectrum::Spectrum;
+use tonos_dsp::window::Window;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[1024_usize, 4096, 16_384] {
+        let signal: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0))
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("radix2", n), |b| {
+            b.iter(|| {
+                let mut buf = signal.clone();
+                fft(black_box(&mut buf)).unwrap();
+                black_box(buf)
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("spectral_metrics");
+    let n = 4096;
+    let f = Window::coherent_frequency(1000.0, n, 15.625);
+    let x = sine_wave(1000.0, f, 0.5, 0.0, n);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("spectrum_plus_metrics_4096", |b| {
+        b.iter(|| {
+            let s = Spectrum::from_signal(black_box(&x), 1000.0, Window::Hann).unwrap();
+            black_box(DynamicMetrics::from_spectrum(&s).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

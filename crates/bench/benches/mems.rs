@@ -1,0 +1,45 @@
+//! Criterion bench: MEMS model evaluation cost.
+//!
+//! Justifies the chip's capacitance lookup table: exact Simpson
+//! integration per query vs the interpolated LUT path used at frame rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tonos_core::chip::SensorChip;
+use tonos_core::config::ChipConfig;
+use tonos_mems::capacitor::MembraneCapacitor;
+use tonos_mems::units::{MillimetersHg, Pascals};
+
+fn bench_mems(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mems");
+
+    for &grid in &[8_usize, 16, 32, 64] {
+        let cap = MembraneCapacitor::paper_default().with_grid(grid);
+        let p = Pascals::from_mmhg(MillimetersHg(120.0));
+        group.bench_function(BenchmarkId::new("exact_capacitance", grid), |b| {
+            b.iter(|| black_box(cap.capacitance(black_box(p)).unwrap()));
+        });
+    }
+
+    let chip = SensorChip::new(ChipConfig::paper_default()).unwrap();
+    let frame = vec![Pascals::from_mmhg(MillimetersHg(120.0)); 4];
+    group.bench_function("chip_lut_capacitances_4_elements", |b| {
+        b.iter(|| black_box(chip.capacitances(black_box(&frame)).unwrap()));
+    });
+
+    let plate = tonos_mems::plate::SquarePlate::paper_default();
+    group.bench_function("plate_deflection_solve", |b| {
+        b.iter(|| {
+            black_box(
+                plate
+                    .center_deflection(black_box(Pascals(20_000.0)))
+                    .unwrap(),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mems);
+criterion_main!(benches);

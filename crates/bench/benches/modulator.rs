@@ -1,0 +1,36 @@
+//! Criterion bench: ΣΔ-modulator throughput.
+//!
+//! The fabricated chip converts at 128 kS/s in real time; the behavioral
+//! model must run far faster than that to make the session experiments
+//! practical. This bench measures modulator steps/second for the ideal
+//! and typical (noise-bearing) configurations and the 1st-order baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tonos_analog::modulator::{DeltaSigmaModulator, SigmaDelta1, SigmaDelta2};
+use tonos_analog::nonideal::NonIdealities;
+use tonos_dsp::signal::sine_wave;
+
+fn bench_modulators(c: &mut Criterion) {
+    let n = 128_000; // one real-time second of modulator clocks
+    let stim = sine_wave(128_000.0, 100.0, 0.5, 0.0, n);
+    let mut group = c.benchmark_group("modulator");
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function(BenchmarkId::new("sigma_delta2", "ideal"), |b| {
+        let mut dsm = SigmaDelta2::new(NonIdealities::ideal()).unwrap();
+        b.iter(|| black_box(dsm.process_to_f64(black_box(&stim))));
+    });
+    group.bench_function(BenchmarkId::new("sigma_delta2", "typical"), |b| {
+        let mut dsm = SigmaDelta2::new(NonIdealities::typical()).unwrap();
+        b.iter(|| black_box(dsm.process_to_f64(black_box(&stim))));
+    });
+    group.bench_function(BenchmarkId::new("sigma_delta1", "ideal"), |b| {
+        let mut dsm = SigmaDelta1::new(NonIdealities::ideal()).unwrap();
+        b.iter(|| black_box(dsm.process_to_f64(black_box(&stim))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modulators);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench: end-to-end pipeline throughput.
+//!
+//! Measures how much faster than real time the full chain runs: pressure
+//! frames through chip + mux + ΣΔ + decimation (1 kS/s output), and the
+//! electrical-characterization voltage path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tonos_core::config::SystemConfig;
+use tonos_core::readout::ReadoutSystem;
+use tonos_core::stream::{AlarmLimits, OnlineAnalyzer};
+use tonos_mems::units::{MillimetersHg, Pascals, Volts};
+use tonos_physio::patient::PatientProfile;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+
+    // One real-time second of capacitive acquisition = 1000 frames.
+    let frames: Vec<Vec<Pascals>> = (0..1000)
+        .map(|i| {
+            let mmhg = 90.0 + 30.0 * ((i as f64) * 0.0075).sin();
+            vec![Pascals::from_mmhg(MillimetersHg(mmhg)); 4]
+        })
+        .collect();
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("capacitive_1s_realtime", |b| {
+        let mut sys = ReadoutSystem::new(SystemConfig::paper_default()).unwrap();
+        b.iter(|| black_box(sys.push_frames(black_box(&frames)).unwrap()));
+    });
+
+    // One real-time second of voltage characterization = 128k samples.
+    let volts: Vec<Volts> = (0..128_000)
+        .map(|i| Volts(1.25 * ((i as f64) * 0.001).sin()))
+        .collect();
+    group.throughput(Throughput::Elements(128_000));
+    group.bench_function("voltage_1s_realtime", |b| {
+        let mut sys = ReadoutSystem::new(SystemConfig::characterization_default()).unwrap();
+        b.iter(|| black_box(sys.acquire_voltage(black_box(&volts))));
+    });
+
+    // One real-time minute of streaming beat analysis at 1 kS/s.
+    let record = PatientProfile::normotensive().record(1000.0, 60.0).unwrap();
+    let stream: Vec<f64> = record.samples.iter().map(|p| p.value()).collect();
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("online_analyzer_60s_realtime", |b| {
+        b.iter(|| {
+            let mut analyzer = OnlineAnalyzer::new(1000.0, AlarmLimits::adult()).unwrap();
+            black_box(analyzer.push_block(black_box(&stream)))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

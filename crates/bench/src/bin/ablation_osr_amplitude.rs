@@ -1,0 +1,78 @@
+//! Ablation A1 — SNR vs oversampling ratio and vs input amplitude.
+//!
+//! Theory anchors the shape: a 2nd-order single-bit ΣΔ gains ~15 dB per
+//! OSR octave until other limits dominate, and SNR grows dB-for-dB with
+//! input level up to the overload knee. The paper's operating point
+//! (OSR 128, 12-bit output) sits where the output quantizer caps the
+//! budget — the reason "adjusting the feedback capacitors" (future work)
+//! or a wider output word would be needed for more resolution.
+
+use tonos_analog::nonideal::NonIdealities;
+use tonos_bench::{characterize_adc, fmt, print_table, snr_at};
+use tonos_dsp::decimator::DecimatorConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== A1: SNR vs OSR and vs input amplitude ==");
+    let n_out = 2048;
+
+    // --- OSR sweep ---
+    let mut rows = Vec::new();
+    let mut prev_unq: Option<f64> = None;
+    for osr in [32_usize, 64, 128, 256, 512] {
+        let ideal_unq = snr_at(NonIdealities::ideal(), osr, 0.5, None, n_out)?;
+        let typ_unq = snr_at(NonIdealities::typical(), osr, 0.5, None, n_out)?;
+        let typ_12b = snr_at(NonIdealities::typical(), osr, 0.5, Some(12), n_out)?;
+        let octave_gain = prev_unq.map(|p| fmt(ideal_unq - p, 1)).unwrap_or("-".into());
+        prev_unq = Some(ideal_unq);
+        rows.push(vec![
+            osr.to_string(),
+            fmt(128_000.0 / osr as f64, 0),
+            fmt(ideal_unq, 1),
+            octave_gain,
+            fmt(typ_unq, 1),
+            fmt(typ_12b, 1),
+        ]);
+    }
+    print_table(
+        "SNR vs OSR (-6 dBFS sine; theory: ~15 dB/octave for a 2nd-order loop)",
+        &[
+            "OSR",
+            "output rate [S/s]",
+            "ideal SNR [dB]",
+            "gain/octave [dB]",
+            "typical SNR [dB]",
+            "typical + 12-bit out [dB]",
+        ],
+        &rows,
+    );
+
+    // --- Amplitude sweep (dynamic range) at the paper's OSR 128 ---
+    let mut rows = Vec::new();
+    for &db in &[-60.0, -40.0, -20.0, -12.0, -6.0, -3.0, -1.0, 0.0] {
+        let amp = 10.0_f64.powf(db / 20.0);
+        let r = characterize_adc(
+            NonIdealities::typical(),
+            DecimatorConfig::paper_default(),
+            amp,
+            15.625,
+            n_out,
+        )?;
+        rows.push(vec![
+            fmt(db, 0),
+            fmt(r.metrics.signal_dbfs, 1),
+            fmt(r.metrics.snr_db, 1),
+            fmt(r.metrics.sndr_db, 1),
+        ]);
+    }
+    print_table(
+        "Dynamic range at OSR 128, 12-bit output (input level sweep)",
+        &["input [dBFS]", "measured level [dBFS]", "SNR [dB]", "SNDR [dB]"],
+        &rows,
+    );
+
+    println!(
+        "\nShape check: SNR rises ~1 dB/dB with level until the overload knee near 0 dBFS, \
+         and ~15 dB/octave with OSR until the 12-bit output word saturates the budget (~74 dB)."
+    );
+    Ok(())
+}

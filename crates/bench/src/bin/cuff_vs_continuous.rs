@@ -1,0 +1,123 @@
+//! Experiment E6 — §1 motivation: hand-cuff baseline vs continuous
+//! tonometric monitoring.
+//!
+//! The paper's case for the sensor is that cuffs cannot record a
+//! waveform. This harness quantifies that on a hypertensive episode
+//! (+35/+15 mmHg over ~70 s): how many samples each modality delivers,
+//! how quickly each detects the excursion, and how well each tracks the
+//! systolic trend.
+
+use tonos_bench::{fmt, print_table};
+use tonos_core::config::SystemConfig;
+use tonos_core::monitor::BloodPressureMonitor;
+use tonos_physio::cuff::CuffDevice;
+use tonos_physio::patient::PressureTransient;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== E6: conventional cuff vs continuous tonometry during a BP episode ==");
+
+    let scenario = PressureTransient::episode();
+    let duration = 160.0;
+    let truth = scenario.record(1000.0, duration)?;
+
+    // --- Baseline: the cuff alone. ---
+    let mut cuff = CuffDevice::clinical(0xE6);
+    let cuff_readings = cuff.monitor(&truth);
+
+    // --- The paper's system. ---
+    let mut monitor =
+        BloodPressureMonitor::new(SystemConfig::paper_default(), scenario.profile)?;
+    let session = monitor.run_record(truth.clone())?;
+
+    // Episode detection: first time each modality reports systolic above
+    // baseline + 15 mmHg. Truth onset of that level: envelope = 15/35.
+    let threshold = scenario.profile.params.systolic.value() + 15.0;
+    let true_cross = scenario.onset_s + scenario.ramp_s * (15.0 / scenario.sys_delta.value());
+
+    let cuff_detect = cuff_readings
+        .iter()
+        .find(|r| r.systolic.value() >= threshold)
+        .map(|r| r.time_s);
+    let fs = session.sample_rate;
+    let cont_detect = session.analysis.beats.iter().find_map(|b| {
+        (b.systolic >= threshold)
+            .then(|| (session.acquisition_start + b.peak_index) as f64 / fs)
+    });
+
+    // Systolic-trend tracking error for both modalities: compare against
+    // the truth beat nearest each report.
+    let nearest_truth_sys = |t: f64| -> f64 {
+        truth
+            .beats
+            .iter()
+            .min_by(|a, b| {
+                (a.onset_s - t)
+                    .abs()
+                    .partial_cmp(&(b.onset_s - t).abs())
+                    .expect("finite")
+            })
+            .map(|b| b.systolic.value())
+            .expect("beats exist")
+    };
+    let cuff_mae: f64 = cuff_readings
+        .iter()
+        .map(|r| (r.systolic.value() - nearest_truth_sys(r.time_s)).abs())
+        .sum::<f64>()
+        / cuff_readings.len().max(1) as f64;
+    let cont_mae = session.errors.systolic_mae;
+
+    // Coverage: worst gap between consecutive systolic reports.
+    let mut cuff_gap = 0.0_f64;
+    let mut last = 0.0;
+    for r in &cuff_readings {
+        cuff_gap = cuff_gap.max(r.time_s - last);
+        last = r.time_s;
+    }
+    cuff_gap = cuff_gap.max(duration - last);
+
+    let cont_reports = session.analysis.beats.len();
+    let rows = vec![
+        vec![
+            "pressure reports in 160 s".into(),
+            cuff_readings.len().to_string(),
+            format!("{cont_reports} beats ({} samples)", session.calibrated.len()),
+        ],
+        vec![
+            "worst reporting gap".into(),
+            fmt(cuff_gap, 1) + " s",
+            fmt(60.0 / session.analysis.pulse_rate_bpm, 2) + " s (one beat)",
+        ],
+        vec![
+            "episode detection latency vs truth".into(),
+            cuff_detect
+                .map(|t| fmt(t - true_cross, 1) + " s")
+                .unwrap_or_else(|| "MISSED".into()),
+            cont_detect
+                .map(|t| fmt(t - true_cross, 1) + " s")
+                .unwrap_or_else(|| "MISSED".into()),
+        ],
+        vec![
+            "systolic tracking MAE".into(),
+            fmt(cuff_mae, 2) + " mmHg",
+            fmt(cont_mae, 2) + " mmHg",
+        ],
+        vec![
+            "waveform morphology (dicrotic etc.)".into(),
+            "not available".into(),
+            "full 1 kS/s waveform".into(),
+        ],
+    ];
+    print_table(
+        "Hypertensive episode (+35 mmHg over 20 s at t=60 s): cuff vs continuous",
+        &["metric", "hand cuff (30 s cycle)", "this sensor (continuous)"],
+        &rows,
+    );
+
+    println!(
+        "\nShape check vs paper: the cuff reports ~{} values in 160 s while the tonometric \
+         channel resolves every beat — the paper's core motivation, now with measured latency \
+         and tracking numbers.",
+        cuff_readings.len()
+    );
+    Ok(())
+}

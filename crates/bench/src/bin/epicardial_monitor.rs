@@ -1,0 +1,94 @@
+//! Experiment E11 — §1: "an invasive application, e.g., on the beating
+//! heart during surgery is also possible."
+//!
+//! The paper mentions the epicardial use-case in one sentence; this
+//! harness runs it: the same chip pressed directly onto a coronary
+//! vessel (near-unity tissue coupling, almost no covering tissue) under
+//! surgical conditions — strong motion disturbance from the beating
+//! heart and the surgeon's hands — versus the transcutaneous wrist
+//! measurement. A hypotensive patient is used because intra-operative
+//! hypotension is the event such a sensor would guard against.
+
+use tonos_bench::{fmt, print_table};
+use tonos_core::config::SystemConfig;
+use tonos_core::monitor::BloodPressureMonitor;
+use tonos_physio::artifact::ArtifactGenerator;
+use tonos_physio::patient::PatientProfile;
+use tonos_physio::tissue::TissueModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== E11: invasive (epicardial) application vs the wrist measurement ==");
+
+    let patient = PatientProfile::hypotensive();
+    let duration = 20.0;
+
+    struct Case {
+        label: &'static str,
+        tissue: TissueModel,
+        artifacts: Option<ArtifactGenerator>,
+    }
+    let cases = vec![
+        Case {
+            label: "wrist, transcutaneous (paper Fig. 9 setup)",
+            tissue: TissueModel::radial_artery(),
+            artifacts: None,
+        },
+        Case {
+            label: "epicardial, quiet field",
+            tissue: TissueModel::epicardial(),
+            artifacts: None,
+        },
+        Case {
+            label: "epicardial, surgical motion (15 mmHg spikes)",
+            tissue: TissueModel::epicardial(),
+            artifacts: Some(ArtifactGenerator::new(0.25, 15.0, 0xE11)?),
+        },
+    ];
+
+    let mut rows = Vec::new();
+    for case in cases {
+        let mut monitor = BloodPressureMonitor::new(SystemConfig::paper_default(), patient)?
+            .with_tissue(case.tissue);
+        if let Some(a) = case.artifacts {
+            monitor = monitor.with_motion_artifacts(a);
+        }
+        let session = monitor.run(duration)?;
+        let p2p = {
+            let max = session.raw.iter().copied().fold(f64::MIN, f64::max);
+            let min = session.raw.iter().copied().fold(f64::MAX, f64::min);
+            (max - min) * 2048.0 // in 12-bit LSB
+        };
+        rows.push(vec![
+            case.label.to_string(),
+            fmt(p2p, 0),
+            fmt(session.errors.systolic_mae, 2),
+            fmt(session.errors.diastolic_mae, 2),
+            fmt(session.analysis.pulse_rate_bpm, 1),
+            session.errors.matched_beats.to_string(),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Hypotensive patient ({:.0}/{:.0} mmHg), {duration:.0} s sessions",
+            patient.params.systolic.value(),
+            patient.params.diastolic.value()
+        ),
+        &[
+            "configuration",
+            "raw pulse swing [LSB]",
+            "sys MAE [mmHg]",
+            "dia MAE [mmHg]",
+            "pulse [bpm]",
+            "beats",
+        ],
+        &rows,
+    );
+
+    println!(
+        "\nShape check: direct epicardial contact multiplies the usable signal (near-unity \
+         coupling vs ~30 % through the wrist), which buys margin against the much harsher \
+         motion environment — the quantitative case behind the paper's one-sentence claim \
+         that the invasive application 'is also possible'."
+    );
+    Ok(())
+}

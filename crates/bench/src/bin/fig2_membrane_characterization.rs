@@ -1,0 +1,91 @@
+//! Experiment E5 — §2.1 / Fig. 2: membrane transduction characterization.
+//!
+//! The paper specifies the structure (100 µm × 3 µm CMOS membrane, poly
+//! bottom electrode) but publishes no transduction curve. This harness
+//! characterizes the model: deflection and capacitance versus pressure,
+//! small-signal sensitivity, and the collapse margin — the numbers a
+//! user of the sensor would need.
+
+use tonos_bench::{fmt, print_table};
+use tonos_mems::capacitor::MembraneCapacitor;
+use tonos_mems::dynamics::MembraneDynamics;
+use tonos_mems::units::{MillimetersHg, Pascals};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== E5 / Fig. 2: membrane pressure-to-capacitance transduction ==");
+
+    let cap = MembraneCapacitor::paper_default();
+    let plate = cap.plate();
+    let c0 = cap.rest_capacitance();
+
+    println!(
+        "\nmembrane: side {:.0} um, stack {:.1} um, rigidity D = {:.3e} N*m, \
+         residual tension N0 = {:.1} N/m",
+        plate.side().to_microns(),
+        plate.laminate().total_thickness().to_microns(),
+        plate.laminate().flexural_rigidity(),
+        plate.laminate().membrane_tension()
+    );
+    println!(
+        "electrode: rest capacitance {:.2} fF, collapse load {:.0} mmHg",
+        c0.to_femtofarads(),
+        cap.collapse_pressure().to_mmhg().value()
+    );
+
+    let mut rows = Vec::new();
+    for mmhg in [-200.0, -100.0, -50.0, 0.0, 25.0, 50.0, 100.0, 150.0, 200.0, 300.0, 500.0] {
+        let p = Pascals::from_mmhg(MillimetersHg(mmhg));
+        let w = plate.center_deflection(p)?;
+        let c = cap.capacitance(p)?;
+        let s = cap.pressure_sensitivity(p)?;
+        rows.push(vec![
+            fmt(mmhg, 0),
+            fmt(w.to_nanometers(), 2),
+            fmt(c.to_femtofarads(), 3),
+            fmt((c - c0).to_femtofarads() * 1000.0, 2),
+            fmt(s * 1e18 * 133.322, 3), // aF per mmHg
+        ]);
+    }
+    print_table(
+        "Load-deflection-capacitance sweep (positive = toward bottom electrode)",
+        &[
+            "pressure [mmHg]",
+            "center deflection [nm]",
+            "capacitance [fF]",
+            "dC from rest [aF]",
+            "sensitivity [aF/mmHg]",
+        ],
+        &rows,
+    );
+
+    // Dynamics: justify the quasi-static treatment quantitatively.
+    let dynamics = MembraneDynamics::paper_default();
+    println!(
+        "\ndynamics: f0 = {:.2} MHz, Q = {:.3}, response time {:.2} us -> quasi-static over \
+         the 500 Hz band: {}",
+        dynamics.natural_frequency_hz() / 1e6,
+        dynamics.quality_factor(),
+        dynamics.response_time_s() * 1e6,
+        dynamics.is_quasi_static_for(500.0, 1e-3)
+    );
+
+    // Linearity over the clinical range: max deviation from the secant.
+    let p_lo = Pascals::from_mmhg(MillimetersHg(0.0));
+    let p_hi = Pascals::from_mmhg(MillimetersHg(250.0));
+    let c_lo = cap.capacitance(p_lo)?.value();
+    let c_hi = cap.capacitance(p_hi)?.value();
+    let mut worst = 0.0_f64;
+    for i in 1..25 {
+        let f = i as f64 / 25.0;
+        let p = Pascals(p_lo.value() + f * (p_hi.value() - p_lo.value()));
+        let c = cap.capacitance(p)?.value();
+        let linear = c_lo + f * (c_hi - c_lo);
+        worst = worst.max((c - linear).abs() / (c_hi - c_lo));
+    }
+    println!(
+        "\nlinearity 0..250 mmHg: worst deviation {:.2} % of span -> the two-point cuff \
+         calibration of Fig. 9 is justified.",
+        worst * 100.0
+    );
+    Ok(())
+}

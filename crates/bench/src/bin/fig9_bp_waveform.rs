@@ -1,0 +1,90 @@
+//! Experiment E3 — paper Fig. 9: continuous wrist blood-pressure waveform
+//! with hand-cuff calibration.
+//!
+//! Runs the full pipeline (arterial source → tissue → contact → array →
+//! mux → ΣΔ → decimation → element selection → cuff calibration → beat
+//! analysis) and reports what the paper could only show qualitatively:
+//! per-beat systolic/diastolic tracking error against ground truth.
+
+use tonos_bench::{ascii_plot, fmt, print_table};
+use tonos_core::config::SystemConfig;
+use tonos_core::monitor::BloodPressureMonitor;
+use tonos_physio::patient::PatientProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== E3 / Fig. 9: continuous blood pressure measurement at the wrist ==");
+
+    let mut rows = Vec::new();
+    for profile in PatientProfile::all() {
+        let mut monitor = BloodPressureMonitor::new(SystemConfig::paper_default(), profile)?;
+        let session = monitor.run(20.0)?;
+        rows.push(vec![
+            profile.name.to_string(),
+            format!(
+                "{:.0}/{:.0}",
+                profile.params.systolic.value(),
+                profile.params.diastolic.value()
+            ),
+            format!(
+                "{:.1}/{:.1}",
+                session.analysis.mean_systolic, session.analysis.mean_diastolic
+            ),
+            format!(
+                "{:.0}/{:.0}",
+                session.cuff_reading.systolic.value(),
+                session.cuff_reading.diastolic.value()
+            ),
+            fmt(session.errors.systolic_mae, 2),
+            fmt(session.errors.diastolic_mae, 2),
+            fmt(session.analysis.pulse_rate_bpm, 1),
+            session.errors.matched_beats.to_string(),
+            format!("({},{})", session.scan.best.0, session.scan.best.1),
+        ]);
+
+        if profile.name == "normotensive" {
+            // The Fig. 9 plot itself: ~8 s of calibrated waveform.
+            let vals: Vec<f64> = session
+                .calibrated
+                .iter()
+                .take((8.0 * session.sample_rate) as usize)
+                .map(|p| p.value())
+                .collect();
+            ascii_plot(
+                "Calibrated blood pressure waveform, first 8 s (mmHg)",
+                &vals,
+                110,
+                16,
+            );
+            println!(
+                "calibration: gain {:.2} mmHg/FS-unit, offset {:.1} mmHg; cuff read {:.0}/{:.0} mmHg",
+                session.calibration.gain,
+                session.calibration.offset,
+                session.cuff_reading.systolic.value(),
+                session.cuff_reading.diastolic.value()
+            );
+        }
+    }
+
+    print_table(
+        "Fig. 9 reproduction across patient profiles (20 s sessions)",
+        &[
+            "profile",
+            "true sys/dia",
+            "measured sys/dia",
+            "cuff (calib.)",
+            "sys MAE [mmHg]",
+            "dia MAE [mmHg]",
+            "pulse [bpm]",
+            "beats",
+            "element",
+        ],
+        &rows,
+    );
+
+    println!(
+        "\nShape check vs paper: continuous beat-resolved waveform, absolute scale pinned by \
+         the two cuff points — with beat-tracking errors of a few mmHg (the paper shows the \
+         waveform qualitatively; errors here are measured against the synthetic ground truth)."
+    );
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Experiment E9 — the decimation filter's frequency response.
+//!
+//! §3.1 specifies the filter (SINC³ + 32-tap FIR, 500 Hz cutoff) but does
+//! not plot its response; any user of the sensor needs it — the passband
+//! droop determines waveform fidelity and the stopband floor determines
+//! how much shaped modulator noise aliases into the signal.
+//!
+//! The table prints the analytic magnitude of each stage and the cascade,
+//! and cross-checks three points against tones measured through the
+//! actual implementation.
+
+use tonos_bench::{ascii_plot, fmt, print_table};
+use tonos_dsp::cic::CicDecimatorF64;
+use tonos_dsp::decimator::DecimatorConfig;
+use tonos_dsp::fir::{design_lowpass, magnitude_at};
+use tonos_dsp::signal::sine_wave;
+use tonos_dsp::window::Window;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== E9: decimation-filter frequency response (SINC3/32 + FIR32/4) ==");
+
+    let fs_in = 128_000.0;
+    let fs_mid = 4_000.0;
+    let cic = CicDecimatorF64::new(3, 32)?;
+    let fir = design_lowpass(32, 500.0 / fs_mid, Window::Hamming)?;
+
+    let chain_mag = |hz: f64| -> f64 {
+        cic.magnitude_at(hz / fs_in) * magnitude_at(&fir, hz / fs_mid)
+    };
+
+    let mut rows = Vec::new();
+    for hz in [
+        1.0, 10.0, 50.0, 100.0, 200.0, 300.0, 400.0, 450.0, 500.0, 600.0, 800.0, 1_000.0,
+        1_500.0, 2_000.0, 3_000.0, 4_000.0,
+    ] {
+        let c = cic.magnitude_at(hz / fs_in);
+        let f = magnitude_at(&fir, hz / fs_mid);
+        let t = c * f;
+        let db = |v: f64| 20.0 * v.max(1e-12).log10();
+        rows.push(vec![
+            fmt(hz, 0),
+            fmt(db(c), 2),
+            fmt(db(f), 2),
+            fmt(db(t), 2),
+        ]);
+    }
+    print_table(
+        "Cascade magnitude response (dB; output Nyquist = 500 Hz)",
+        &["f [Hz]", "SINC3 stage", "FIR stage", "cascade"],
+        &rows,
+    );
+
+    // Response curve for the plot: 0..2 kHz.
+    let curve: Vec<f64> = (0..200)
+        .map(|i| {
+            let hz = i as f64 * 10.0;
+            20.0 * chain_mag(hz).max(1e-6).log10()
+        })
+        .collect();
+    ascii_plot("Cascade response, 0..2 kHz (dB)", &curve, 100, 14);
+
+    // Cross-check against tones measured through the real implementation.
+    let mut rows = Vec::new();
+    for hz in [100.0, 450.0, 1_500.0] {
+        let mut dec = DecimatorConfig {
+            output_bits: None,
+            ..DecimatorConfig::paper_default()
+        }
+        .build()?;
+        let n = 128 * 4096;
+        let tone = sine_wave(fs_in, hz, 0.5, 0.0, n);
+        let out = dec.process(&tone);
+        let settled = &out[dec.settling_output_samples()..];
+        let rms =
+            (settled.iter().map(|v| v * v).sum::<f64>() / settled.len() as f64).sqrt();
+        // The decimated tone aliases when hz > 500; measure amplitude
+        // regardless — the formula predicts the pre-alias magnitude.
+        let measured = rms * 2.0_f64.sqrt() / 0.5;
+        let predicted = chain_mag(hz);
+        rows.push(vec![
+            fmt(hz, 0),
+            fmt(predicted, 5),
+            fmt(measured, 5),
+            fmt((measured - predicted).abs() / predicted.max(1e-9) * 100.0, 2),
+        ]);
+    }
+    print_table(
+        "Formula vs measured tone amplitude through the implementation",
+        &["f [Hz]", "formula |H|", "measured |H|", "error [%]"],
+        &rows,
+    );
+
+    println!(
+        "\nShape check: flat passband (droop < 0.5 dB to 400 Hz), -6 dB-class edge at the \
+         500 Hz cutoff, > 40 dB stopband beyond 1 kHz, and the deep SINC nulls at multiples \
+         of 4 kHz — the response the paper's two-stage architecture was chosen for."
+    );
+    Ok(())
+}

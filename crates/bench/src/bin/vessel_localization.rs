@@ -1,0 +1,203 @@
+//! Experiment E7 — §2: "localizing blood vessels, buried in tissue".
+//!
+//! Procedure:
+//!
+//! 1. **Sensitivity calibration**: scan the array once under a spatially
+//!    *uniform* pulsating pressure (a pressure bath on the PDMS surface).
+//!    Fabrication mismatch makes nominally identical elements report
+//!    slightly different pulsatile scores; the per-element gains from
+//!    this scan normalize all later measurements. (Real tactile arrays
+//!    ship with exactly this kind of factory calibration.)
+//! 2. **Vessel sweep**: place the vessel at several lateral offsets,
+//!    scan, normalize the scores by the calibration gains, select the
+//!    strongest element and estimate the vessel position from the score
+//!    centroid.
+//!
+//! Two configurations:
+//!
+//! * the paper's **2×2** array over the 2.5 mm-deep radial artery, where
+//!   the surface kernel (σ ≈ 2 mm) is an order of magnitude wider than
+//!   the 150 µm pitch — localization contrast is ~1 %, so only a coarse
+//!   tendency is measurable; the experiment *quantifies* why the 2×2
+//!   array relaxes placement accuracy (all elements see the pulse) but
+//!   cannot triangulate a deep artery;
+//! * an extended **4×4** array (the paper: the mux design "can be easily
+//!   extended to larger array sizes") over a superficial vessel, where
+//!   the kernel is comparable to the array span and the estimate tracks
+//!   the true position monotonically.
+
+use tonos_bench::{fmt, print_table};
+use tonos_core::config::SystemConfig;
+use tonos_core::localize::localize_vessel;
+use tonos_core::readout::ReadoutSystem;
+use tonos_core::select::{scan_strongest, ScanResult};
+use tonos_mems::array::ArrayLayout;
+use tonos_mems::contact::PressureField;
+use tonos_mems::units::{Meters, MillimetersHg, Pascals};
+use tonos_physio::patient::PatientProfile;
+use tonos_physio::tissue::TissueModel;
+use tonos_physio::waveform::WaveformRecord;
+
+/// Scans a fresh system against a surface pressure field given as
+/// `field_at(arterial, x, y)`.
+fn scan_field<F>(
+    config: SystemConfig,
+    truth: &WaveformRecord,
+    window: usize,
+    field_at: F,
+) -> Result<ScanResult, Box<dyn std::error::Error>>
+where
+    F: Fn(MillimetersHg, f64, f64) -> Pascals + 'static,
+{
+    let mut system = ReadoutSystem::new(config)?;
+    let layout = system.chip().array().layout();
+    let contact = config.contact;
+    let samples = truth.samples.clone();
+    let mut t = 0usize;
+    let scan = scan_strongest(
+        &mut system,
+        move || {
+            let arterial = samples[t % samples.len()];
+            t += 1;
+            let mut frame = Vec::with_capacity(layout.len());
+            for row in 0..layout.rows {
+                for col in 0..layout.cols {
+                    let (x, y) = layout.position(row, col);
+                    frame.push(contact.net_element_pressure(field_at(arterial, x, y)));
+                }
+            }
+            frame
+        },
+        window,
+    )?;
+    Ok(scan)
+}
+
+/// Divides scan scores by per-element calibration gains and re-derives
+/// the winner.
+fn normalize(scan: &ScanResult, calibration: &ScanResult) -> ScanResult {
+    let mut scores = Vec::with_capacity(scan.scores.len());
+    let mut best = scan.best;
+    let mut best_score = f64::MIN;
+    for (&(rc, s), &(_, g)) in scan.scores.iter().zip(&calibration.scores) {
+        let norm = if g > 0.0 { s / g } else { 0.0 };
+        scores.push((rc, norm));
+        if norm > best_score {
+            best_score = norm;
+            best = rc;
+        }
+    }
+    ScanResult { scores, best }
+}
+
+fn run_sweep(
+    label: &str,
+    config: SystemConfig,
+    tissue_base: TissueModel,
+    offsets_um: &[f64],
+    window: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let truth = PatientProfile::normotensive().record(1000.0, 40.0)?;
+    let layout = {
+        let system = ReadoutSystem::new(config)?;
+        system.chip().array().layout()
+    };
+
+    // Step 1: sensitivity calibration under a uniform pressure bath.
+    let calibration = scan_field(config, &truth, window, |arterial, _x, _y| {
+        // Uniform: the full pulse everywhere (no tissue kernel).
+        Pascals::from_mmhg(arterial) * 0.25
+    })?;
+    let cal_spread = {
+        let vals: Vec<f64> = calibration.scores.iter().map(|&(_, s)| s).collect();
+        let max = vals.iter().copied().fold(f64::MIN, f64::max);
+        let min = vals.iter().copied().fold(f64::MAX, f64::min);
+        (max - min) / max
+    };
+
+    let mut rows = Vec::new();
+    let mut estimates = Vec::new();
+    for &offset_um in offsets_um {
+        let tissue = tissue_base.with_vessel_offset(offset_um * 1e-6);
+        let scan = scan_field(config, &truth, window, move |arterial, x, y| {
+            tissue.field(arterial).pressure_at(x, y)
+        })?;
+        let normalized = normalize(&scan, &calibration);
+        let estimate = localize_vessel(&normalized, layout)?;
+        estimates.push(estimate.x);
+        let best_x = layout.position(normalized.best.0, normalized.best.1).0;
+        rows.push(vec![
+            fmt(offset_um, 0),
+            format!("({},{})", normalized.best.0, normalized.best.1),
+            fmt(best_x * 1e6, 0),
+            fmt(estimate.x * 1e6, 1),
+            fmt(estimate.confidence, 3),
+        ]);
+    }
+    print_table(
+        label,
+        &[
+            "true offset [um]",
+            "selected element",
+            "element x [um]",
+            "estimated x [um]",
+            "confidence",
+        ],
+        &rows,
+    );
+    // Rank correlation between true offsets and estimates.
+    let mut concordant = 0usize;
+    let mut total = 0usize;
+    for i in 0..estimates.len() {
+        for j in i + 1..estimates.len() {
+            total += 1;
+            if (offsets_um[j] - offsets_um[i]) * (estimates[j] - estimates[i]) > 0.0 {
+                concordant += 1;
+            }
+        }
+    }
+    println!(
+        "per-element sensitivity spread (pre-calibration): {:.1} %; \
+         estimate/true rank concordance: {}/{}",
+        cal_spread * 100.0,
+        concordant,
+        total
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== E7: vessel localization from the array scan ==");
+
+    run_sweep(
+        "Part 1 — paper 2x2 array, radial artery at 2.5 mm depth (kernel >> pitch)",
+        SystemConfig::paper_default(),
+        TissueModel::radial_artery(),
+        &[-400.0, -150.0, 0.0, 150.0, 400.0],
+        600,
+    )?;
+
+    let mut config = SystemConfig::paper_default();
+    config.chip.layout = ArrayLayout {
+        rows: 4,
+        cols: 4,
+        pitch: Meters::from_microns(150.0),
+    };
+    let shallow = TissueModel::new(Meters(0.6e-3), 0.0, 0.6, Meters(4.0e-3), Meters(0.1e-3))?;
+    run_sweep(
+        "Part 2 — extended 4x4 array, superficial vessel at 0.6 mm depth",
+        config,
+        shallow,
+        &[-300.0, -225.0, -150.0, -75.0, 0.0, 75.0, 150.0, 225.0, 300.0],
+        600,
+    )?;
+
+    println!(
+        "\nShape check vs paper: with the deep radial artery the kernel floods the whole \
+         2x2 array — exactly why the paper's element selection 'relaxes the necessary \
+         accuracy of sensor placement' — while the extended array over a shallow vessel \
+         turns the same scan into a monotone position estimate, 'localizing blood vessels, \
+         buried in tissue' (Section 2)."
+    );
+    Ok(())
+}

@@ -1,0 +1,219 @@
+//! # tonos-bench — experiment harness for the paper's evaluation
+//!
+//! Shared plumbing for the binaries that regenerate every quantitative
+//! artifact of the paper (see `DESIGN.md` §4 for the experiment index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig7_spectrum` | Fig. 7 — ΣΔ-ADC output spectrum, SNR > 72 dB |
+//! | `table1_performance` | §3.1 performance summary |
+//! | `fig9_bp_waveform` | Fig. 9 — calibrated wrist BP waveform |
+//! | `fig4_mux_settling` | §2.2 — mux switching settling |
+//! | `fig2_membrane_characterization` | §2.1 — membrane transduction |
+//! | `cuff_vs_continuous` | §1 — cuff baseline vs continuous monitoring |
+//! | `vessel_localization` | §2 — localizing buried vessels |
+//! | `ablation_osr_amplitude` | OSR & amplitude sweeps |
+//! | `ablation_feedback_caps` | future work: Cfb tuning, faster clocks |
+//! | `ablation_modulator` | modulator order & non-idealities |
+//! | `ablation_decimation` | decimation architecture & word length |
+//!
+//! Each binary prints its table(s) to stdout; run them with
+//! `cargo run --release -p tonos-bench --bin <name>`.
+
+use tonos_analog::modulator::{DeltaSigmaModulator, SigmaDelta2};
+use tonos_analog::nonideal::NonIdealities;
+use tonos_dsp::decimator::DecimatorConfig;
+use tonos_dsp::metrics::DynamicMetrics;
+use tonos_dsp::signal::sine_wave;
+use tonos_dsp::spectrum::Spectrum;
+use tonos_dsp::window::Window;
+
+/// Result of a sine-wave ADC characterization run (the Fig. 7 workflow).
+#[derive(Debug, Clone)]
+pub struct AdcCharacterization {
+    /// Test-tone frequency actually used (snapped to a coherent bin).
+    pub tone_hz: f64,
+    /// Input amplitude in full-scale units.
+    pub amplitude: f64,
+    /// The decimated-output spectrum.
+    pub spectrum: Spectrum,
+    /// Extracted dynamic metrics.
+    pub metrics: DynamicMetrics,
+}
+
+/// Runs the §3.1 electrical characterization: a coherent sine through a
+/// 2nd-order ΣΔ modulator and a decimation chain, followed by spectral
+/// analysis of `n_out` settled output samples.
+///
+/// # Errors
+///
+/// Propagates modulator/decimator construction and analysis failures.
+pub fn characterize_adc(
+    nonideal: NonIdealities,
+    decimator: DecimatorConfig,
+    amplitude: f64,
+    target_tone_hz: f64,
+    n_out: usize,
+) -> Result<AdcCharacterization, Box<dyn std::error::Error>> {
+    let fs = decimator.input_rate;
+    let out_rate = decimator.output_rate();
+    let tone = Window::coherent_frequency(out_rate, n_out, target_tone_hz);
+    let mut dsm = SigmaDelta2::new(nonideal)?;
+    let mut dec = decimator.build()?;
+    let settle = dec.settling_output_samples() + 8;
+    let n_in = decimator.osr * (n_out + settle);
+    let stimulus = sine_wave(fs, tone, amplitude, 0.0, n_in);
+    let bits = dsm.process_to_f64(&stimulus);
+    let out = dec.process(&bits);
+    let tail = &out[out.len() - n_out..];
+    let spectrum = Spectrum::from_signal(tail, out_rate, Window::Hann)?;
+    let metrics = DynamicMetrics::from_spectrum(&spectrum)?;
+    Ok(AdcCharacterization {
+        tone_hz: tone,
+        amplitude,
+        spectrum,
+        metrics,
+    })
+}
+
+/// SNR of the paper-default chain at a given amplitude and OSR; `None`
+/// output bits bypasses the 12-bit quantizer (pure ΣΔ + filter).
+///
+/// # Errors
+///
+/// Propagates characterization failures.
+pub fn snr_at(
+    nonideal: NonIdealities,
+    osr: usize,
+    amplitude: f64,
+    output_bits: Option<u32>,
+    n_out: usize,
+) -> Result<f64, Box<dyn std::error::Error>> {
+    let input_rate = 128_000.0;
+    let cfg = DecimatorConfig {
+        input_rate,
+        osr,
+        cutoff_hz: (input_rate / osr as f64) / 2.0,
+        output_bits,
+        ..DecimatorConfig::paper_default()
+    };
+    Ok(characterize_adc(nonideal, cfg, amplitude, 15.625, n_out)?
+        .metrics
+        .snr_db)
+}
+
+/// Prints a fixed-width ASCII table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |c: char| {
+        let mut s = String::from("+");
+        for w in &widths {
+            s.push_str(&c.to_string().repeat(w + 2));
+            s.push('+');
+        }
+        s
+    };
+    println!("\n{title}");
+    println!("{}", line('-'));
+    let fmt_row = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (cell, w) in cells.iter().zip(&widths) {
+            s.push_str(&format!(" {cell:<w$} |"));
+        }
+        s
+    };
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", line('='));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+    println!("{}", line('-'));
+}
+
+/// Renders a series as a crude ASCII plot (rows = amplitude buckets).
+pub fn ascii_plot(title: &str, ys: &[f64], width: usize, height: usize) {
+    if ys.is_empty() || width == 0 || height == 0 {
+        return;
+    }
+    let lo = ys.iter().copied().fold(f64::MAX, f64::min);
+    let hi = ys.iter().copied().fold(f64::MIN, f64::max);
+    let span = (hi - lo).max(1e-12);
+    // Downsample/upsample to `width` columns by averaging buckets.
+    let cols: Vec<f64> = (0..width)
+        .map(|c| {
+            let lo_i = c * ys.len() / width;
+            let hi_i = (((c + 1) * ys.len()) / width).max(lo_i + 1).min(ys.len());
+            ys[lo_i..hi_i].iter().sum::<f64>() / (hi_i - lo_i) as f64
+        })
+        .collect();
+    println!("\n{title}  [min {lo:.3}, max {hi:.3}]");
+    for r in (0..height).rev() {
+        let thresh = lo + span * (r as f64 + 0.5) / height as f64;
+        let row: String = cols
+            .iter()
+            .map(|&v| if v >= thresh { '#' } else { ' ' })
+            .collect();
+        println!("|{row}|");
+    }
+    println!("+{}+", "-".repeat(width));
+}
+
+/// Formats a float with the given precision (helper for table rows).
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characterization_reaches_the_paper_floor() {
+        let r = characterize_adc(
+            NonIdealities::typical(),
+            DecimatorConfig::paper_default(),
+            0.85,
+            15.625,
+            2048,
+        )
+        .unwrap();
+        assert!(
+            r.metrics.snr_db > 71.0,
+            "paper-configuration SNR {:.1} dB",
+            r.metrics.snr_db
+        );
+        assert!((r.tone_hz - 15.625).abs() < 1.0);
+    }
+
+    #[test]
+    fn snr_improves_with_osr() {
+        let lo = snr_at(NonIdealities::ideal(), 32, 0.5, None, 1024).unwrap();
+        let hi = snr_at(NonIdealities::ideal(), 256, 0.5, None, 1024).unwrap();
+        assert!(
+            hi > lo + 20.0,
+            "2nd-order ΣΔ gains ~15 dB/octave of OSR: {lo:.1} -> {hi:.1}"
+        );
+    }
+
+    #[test]
+    fn table_printer_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "two".into()], vec!["3".into(), "4".into()]],
+        );
+        ascii_plot("demo", &[0.0, 1.0, 0.5, 0.2], 10, 4);
+        ascii_plot("empty", &[], 10, 4);
+        assert_eq!(fmt(1.23456, 2), "1.23");
+    }
+}

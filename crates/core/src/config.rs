@@ -1,0 +1,227 @@
+//! Chip and system configuration, defaulting to the paper's numbers.
+
+use tonos_analog::nonideal::NonIdealities;
+use tonos_dsp::decimator::DecimatorConfig;
+use tonos_mems::array::{ArrayLayout, MismatchModel};
+use tonos_mems::capacitor::ElectrodeGeometry;
+use tonos_mems::contact::ContactInterface;
+use tonos_mems::units::{Farads, Volts};
+
+use crate::SystemError;
+
+/// Configuration of the sensor chip (everything on the die).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipConfig {
+    /// Modulator clock in Hz (paper: 128 kHz).
+    pub sample_rate_hz: f64,
+    /// Supply voltage (paper: 5 V).
+    pub supply: Volts,
+    /// Array layout (paper: 2×2, 150 µm pitch).
+    pub layout: ArrayLayout,
+    /// Element electrode geometry.
+    pub electrode: ElectrodeGeometry,
+    /// Fabrication mismatch magnitudes.
+    pub mismatch: MismatchModel,
+    /// First-stage feedback capacitance (full-scale ΔC); the paper's
+    /// future-work resolution knob.
+    pub feedback_capacitance: Farads,
+    /// Analog non-idealities of the ΣΔ loop.
+    pub nonideal: NonIdealities,
+    /// Mux settling time constant in modulator clocks.
+    pub mux_tau_clocks: f64,
+    /// Simpson grid for membrane capacitance evaluation (even).
+    pub capacitance_grid: usize,
+    /// Fabrication seed (array mismatch).
+    pub fabrication_seed: u64,
+}
+
+impl ChipConfig {
+    /// The paper's chip: 128 kHz, 5 V, 2×2 array, typical mismatch and
+    /// non-idealities, 100 fF feedback capacitors.
+    pub fn paper_default() -> Self {
+        ChipConfig {
+            sample_rate_hz: 128_000.0,
+            supply: Volts(5.0),
+            layout: ArrayLayout::paper_default(),
+            electrode: ElectrodeGeometry::paper_default(),
+            mismatch: MismatchModel::typical(),
+            feedback_capacitance: Farads::from_femtofarads(100.0),
+            nonideal: NonIdealities::typical(),
+            mux_tau_clocks: 0.5,
+            capacitance_grid: 16,
+            fabrication_seed: 0xC41D,
+        }
+    }
+
+    /// A measurement-tuned chip: feedback capacitance reduced to 10 fF so
+    /// the millimeter-of-mercury pulse uses more of the converter's full
+    /// scale — the adjustment the paper's outlook proposes for "an
+    /// improvement of the resolution during blood pressure measurements".
+    pub fn measurement_tuned() -> Self {
+        ChipConfig {
+            feedback_capacitance: Farads::from_femtofarads(10.0),
+            ..ChipConfig::paper_default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Config`] for non-positive rates/supplies or
+    /// an invalid grid, and propagates non-ideality validation.
+    pub fn validate(&self) -> Result<(), SystemError> {
+        if !(self.sample_rate_hz > 0.0) {
+            return Err(SystemError::Config(
+                "sample rate must be positive".into(),
+            ));
+        }
+        if !(self.supply.value() > 0.0) {
+            return Err(SystemError::Config("supply must be positive".into()));
+        }
+        if self.capacitance_grid < 2 || !self.capacitance_grid.is_multiple_of(2) {
+            return Err(SystemError::Config(format!(
+                "capacitance grid {} must be even and >= 2",
+                self.capacitance_grid
+            )));
+        }
+        if !(self.feedback_capacitance.value() > 0.0) {
+            return Err(SystemError::Config(
+                "feedback capacitance must be positive".into(),
+            ));
+        }
+        if self.layout.is_empty() {
+            return Err(SystemError::Config("array layout is empty".into()));
+        }
+        self.nonideal.validate()?;
+        Ok(())
+    }
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        ChipConfig::paper_default()
+    }
+}
+
+/// Configuration of the complete measurement system (chip + FPGA + setup).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// The chip.
+    pub chip: ChipConfig,
+    /// The decimation filter (paper: OSR 128, SINC³ + FIR32, 500 Hz,
+    /// 12 bit).
+    pub decimator: DecimatorConfig,
+    /// The sensor–tissue interface (hold-down, backpressure, PDMS).
+    pub contact: ContactInterface,
+}
+
+impl SystemConfig {
+    /// The full paper system with the measurement-tuned feedback
+    /// capacitance (the configuration that actually recorded Fig. 9) and
+    /// the wrist contact setup of Fig. 8.
+    pub fn paper_default() -> Self {
+        SystemConfig {
+            chip: ChipConfig::measurement_tuned(),
+            decimator: DecimatorConfig::paper_default(),
+            contact: ContactInterface::wrist_default(),
+        }
+    }
+
+    /// The electrical-characterization system (§3.1): paper chip with the
+    /// stock 100 fF feedback capacitors — the transducer is bypassed via
+    /// the voltage input, so the contact setup is irrelevant but kept at
+    /// its default.
+    pub fn characterization_default() -> Self {
+        SystemConfig {
+            chip: ChipConfig::paper_default(),
+            decimator: DecimatorConfig::paper_default(),
+            contact: ContactInterface::transparent(),
+        }
+    }
+
+    /// Output sample rate of the system in Hz.
+    pub fn output_rate_hz(&self) -> f64 {
+        self.chip.sample_rate_hz / self.decimator.osr as f64
+    }
+
+    /// Validates chip and decimator consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Config`] when the decimator's input rate
+    /// disagrees with the chip clock, and propagates chip and interface
+    /// validation failures.
+    pub fn validate(&self) -> Result<(), SystemError> {
+        self.chip.validate()?;
+        if (self.decimator.input_rate - self.chip.sample_rate_hz).abs() > 1e-9 {
+            return Err(SystemError::Config(format!(
+                "decimator input rate {} != chip clock {}",
+                self.decimator.input_rate, self.chip.sample_rate_hz
+            )));
+        }
+        self.contact.validate()?;
+        Ok(())
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_validate_and_match_the_text() {
+        let s = SystemConfig::paper_default();
+        s.validate().unwrap();
+        assert_eq!(s.chip.sample_rate_hz, 128_000.0);
+        assert_eq!(s.chip.supply, Volts(5.0));
+        assert_eq!(s.decimator.osr, 128);
+        assert_eq!(s.decimator.output_bits, Some(12));
+        assert_eq!(s.decimator.cutoff_hz, 500.0);
+        assert_eq!(s.output_rate_hz(), 1000.0);
+        assert_eq!(s.chip.layout.rows, 2);
+        assert_eq!(s.chip.layout.cols, 2);
+        SystemConfig::characterization_default().validate().unwrap();
+    }
+
+    #[test]
+    fn measurement_tuning_reduces_cfb_only() {
+        let stock = ChipConfig::paper_default();
+        let tuned = ChipConfig::measurement_tuned();
+        assert!(tuned.feedback_capacitance < stock.feedback_capacitance);
+        assert_eq!(tuned.sample_rate_hz, stock.sample_rate_hz);
+        assert_eq!(tuned.nonideal, stock.nonideal);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let mut c = ChipConfig::paper_default();
+        c.sample_rate_hz = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = ChipConfig::paper_default();
+        c.capacitance_grid = 7;
+        assert!(c.validate().is_err());
+        let mut c = ChipConfig::paper_default();
+        c.feedback_capacitance = Farads(0.0);
+        assert!(c.validate().is_err());
+        let mut c = ChipConfig::paper_default();
+        c.supply = Volts(0.0);
+        assert!(c.validate().is_err());
+
+        let mut s = SystemConfig::paper_default();
+        s.chip.sample_rate_hz = 64_000.0; // decimator still expects 128 kHz
+        assert!(matches!(s.validate(), Err(SystemError::Config(_))));
+    }
+
+    #[test]
+    fn default_impls_match_paper_presets() {
+        assert_eq!(ChipConfig::default(), ChipConfig::paper_default());
+        assert_eq!(SystemConfig::default(), SystemConfig::paper_default());
+    }
+}

@@ -1,0 +1,139 @@
+//! Human-readable session reports.
+//!
+//! A monitoring device is judged by the summary it hands the clinician.
+//! [`SessionReport`] condenses a [`MonitoringSession`] into the fields a
+//! chart recorder would print — patient numbers, device configuration,
+//! calibration provenance, and quality indicators — with a stable
+//! `Display` layout suitable for logs and examples.
+
+use std::fmt;
+
+use crate::monitor::MonitoringSession;
+
+/// Condensed clinical + engineering summary of a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// Session length in seconds (acquired data).
+    pub duration_s: f64,
+    /// Mean systolic pressure, mmHg.
+    pub systolic: f64,
+    /// Mean diastolic pressure, mmHg.
+    pub diastolic: f64,
+    /// Mean arterial pressure estimate, mmHg.
+    pub mean_arterial: f64,
+    /// Pulse rate, beats per minute.
+    pub pulse_rate_bpm: f64,
+    /// Number of beats analyzed.
+    pub beats: usize,
+    /// Selected array element.
+    pub element: (usize, usize),
+    /// Number of cuff calibrations applied.
+    pub calibrations: usize,
+    /// Cuff reading used for the initial calibration (sys/dia mmHg).
+    pub cuff: (f64, f64),
+    /// Chip power during the session, milliwatts.
+    pub chip_power_mw: f64,
+    /// Quality indicator: fraction of detected beats matched to the
+    /// expected rhythm (1.0 = every beat plausible).
+    pub beat_yield: f64,
+}
+
+impl SessionReport {
+    /// Builds the report from a completed session.
+    pub fn from_session(session: &MonitoringSession) -> Self {
+        let duration_s = session.raw.len() as f64 / session.sample_rate;
+        let expected_beats = duration_s * session.analysis.pulse_rate_bpm / 60.0;
+        let beat_yield = if expected_beats > 0.0 {
+            (session.analysis.beats.len() as f64 / expected_beats).min(1.0)
+        } else {
+            0.0
+        };
+        SessionReport {
+            duration_s,
+            systolic: session.analysis.mean_systolic,
+            diastolic: session.analysis.mean_diastolic,
+            mean_arterial: session.analysis.mean_diastolic
+                + (session.analysis.mean_systolic - session.analysis.mean_diastolic) / 3.0,
+            pulse_rate_bpm: session.analysis.pulse_rate_bpm,
+            beats: session.analysis.beats.len(),
+            element: session.scan.best,
+            calibrations: session.calibrations.len(),
+            cuff: (
+                session.cuff_reading.systolic.value(),
+                session.cuff_reading.diastolic.value(),
+            ),
+            chip_power_mw: session.chip_power_w * 1e3,
+            beat_yield,
+        }
+    }
+}
+
+impl fmt::Display for SessionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "blood pressure session report")?;
+        writeln!(f, "  duration        : {:7.1} s", self.duration_s)?;
+        writeln!(
+            f,
+            "  blood pressure  : {:5.1} / {:5.1} mmHg (MAP {:5.1})",
+            self.systolic, self.diastolic, self.mean_arterial
+        )?;
+        writeln!(
+            f,
+            "  pulse           : {:7.1} bpm over {} beats (yield {:4.0} %)",
+            self.pulse_rate_bpm,
+            self.beats,
+            self.beat_yield * 100.0
+        )?;
+        writeln!(
+            f,
+            "  sensor element  : ({}, {})  |  chip power {:.1} mW",
+            self.element.0, self.element.1, self.chip_power_mw
+        )?;
+        write!(
+            f,
+            "  calibration     : {} cuff point(s), initial {:3.0}/{:3.0} mmHg",
+            self.calibrations, self.cuff.0, self.cuff.1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::monitor::BloodPressureMonitor;
+    use tonos_physio::patient::PatientProfile;
+
+    fn session() -> MonitoringSession {
+        BloodPressureMonitor::new(SystemConfig::paper_default(), PatientProfile::normotensive())
+            .unwrap()
+            .with_scan_window(120)
+            .run(6.0)
+            .unwrap()
+    }
+
+    #[test]
+    fn report_summarizes_the_session_faithfully() {
+        let s = session();
+        let r = SessionReport::from_session(&s);
+        assert!((r.duration_s - s.raw.len() as f64 / 1000.0).abs() < 1e-9);
+        assert_eq!(r.beats, s.analysis.beats.len());
+        assert!((r.systolic - s.analysis.mean_systolic).abs() < 1e-12);
+        assert!((r.mean_arterial - (r.diastolic + (r.systolic - r.diastolic) / 3.0)).abs() < 1e-9);
+        assert_eq!(r.calibrations, 1);
+        assert!((r.chip_power_mw - 11.5).abs() < 1e-6);
+        assert!(r.beat_yield > 0.8 && r.beat_yield <= 1.0, "yield {}", r.beat_yield);
+    }
+
+    #[test]
+    fn display_contains_the_clinical_numbers() {
+        let r = SessionReport::from_session(&session());
+        let text = r.to_string();
+        assert!(text.contains("blood pressure session report"));
+        assert!(text.contains("mmHg"));
+        assert!(text.contains("bpm"));
+        assert!(text.contains("cuff point"));
+        // All lines are present (header + 5 fields).
+        assert_eq!(text.lines().count(), 6);
+    }
+}

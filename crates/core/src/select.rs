@@ -1,0 +1,162 @@
+//! Strongest-element selection.
+//!
+//! "In order to relax the necessary accuracy of sensor placement, an
+//! array of force detectors is used and the sensor element with the
+//! strongest signal is selected during measurement." (§2)
+//!
+//! The scanner measures every element for a short window (discarding the
+//! decimation settling after each mux switch), scores each element by the
+//! standard deviation of its settled output — the pulsatile signal — and
+//! picks the maximum. The AC measure deliberately ignores static mismatch
+//! offsets, which dwarf the pulse; standard deviation (rather than
+//! peak-to-peak) averages across the 12-bit quantization grid, resolving
+//! sub-LSB amplitude differences between elements.
+
+use tonos_mems::units::Pascals;
+
+use crate::readout::ReadoutSystem;
+use crate::SystemError;
+
+/// Result of an array scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanResult {
+    /// Per-element pulsatile scores (standard deviation of the settled
+    /// output), row-major with their `(row, col)` indices.
+    pub scores: Vec<((usize, usize), f64)>,
+    /// The winning element.
+    pub best: (usize, usize),
+}
+
+impl ScanResult {
+    /// The score of a specific element.
+    pub fn score(&self, row: usize, col: usize) -> Option<f64> {
+        self.scores
+            .iter()
+            .find(|((r, c), _)| *r == row && *c == col)
+            .map(|(_, s)| *s)
+    }
+}
+
+/// Scans every array element and selects the one with the strongest
+/// pulsatile signal.
+///
+/// `frame_source` produces the per-element pressure frame for consecutive
+/// output-rate instants (it is called once per converted frame, across
+/// all elements, so time keeps advancing during the scan — exactly like
+/// the real sequential scan). `window` is the number of *settled* frames
+/// scored per element.
+///
+/// The winning element is left selected on the mux, with the system
+/// settled on it.
+///
+/// # Errors
+///
+/// Returns [`SystemError::Config`] for a zero-length window and
+/// propagates conversion failures.
+pub fn scan_strongest<F>(
+    system: &mut ReadoutSystem,
+    mut frame_source: F,
+    window: usize,
+) -> Result<ScanResult, SystemError>
+where
+    F: FnMut() -> Vec<Pascals>,
+{
+    if window == 0 {
+        return Err(SystemError::Config("scan window must be positive".into()));
+    }
+    let layout = system.chip().array().layout();
+    let settle = system.settling_frames();
+    let mut scores = Vec::with_capacity(layout.len());
+    let mut best = (0, 0);
+    let mut best_score = f64::NEG_INFINITY;
+    for row in 0..layout.rows {
+        for col in 0..layout.cols {
+            let frames: Vec<Vec<Pascals>> =
+                (0..settle + window).map(|_| frame_source()).collect();
+            let settled = system.measure_element(row, col, &frames)?;
+            let mean = settled.iter().sum::<f64>() / settled.len() as f64;
+            let score = (settled.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / settled.len() as f64)
+                .sqrt();
+            scores.push(((row, col), score));
+            if score > best_score {
+                best_score = score;
+                best = (row, col);
+            }
+        }
+    }
+    // Re-select the winner and settle on it.
+    let frames: Vec<Vec<Pascals>> = (0..settle + 1).map(|_| frame_source()).collect();
+    let _ = system.measure_element(best.0, best.1, &frames)?;
+    Ok(ScanResult { scores, best })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use tonos_mems::units::MillimetersHg;
+
+    /// A pulse source that drives one element much harder than the rest.
+    fn pulsed_source(hot: usize) -> impl FnMut() -> Vec<Pascals> {
+        let mut t = 0usize;
+        move || {
+            t += 1;
+            // 2 Hz "pulse" at the 1 kHz frame rate, 40 mmHg p2p on the hot
+            // element, 4 mmHg on the others (spatial falloff).
+            let phase = (t as f64 / 1000.0) * 2.0 * std::f64::consts::PI * 2.0;
+            let strong = 80.0 + 20.0 * phase.sin();
+            let weak = 80.0 + 2.0 * phase.sin();
+            (0..4)
+                .map(|i| {
+                    Pascals::from_mmhg(MillimetersHg(if i == hot { strong } else { weak }))
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn scanner_finds_the_pulsating_element() {
+        for hot in 0..4 {
+            let mut sys = ReadoutSystem::new(SystemConfig::paper_default()).unwrap();
+            let result = scan_strongest(&mut sys, pulsed_source(hot), 600).unwrap();
+            let expected = (hot / 2, hot % 2);
+            assert_eq!(result.best, expected, "hot element {hot}: {result:?}");
+            assert_eq!(sys.chip().selected_element(), expected);
+        }
+    }
+
+    #[test]
+    fn scores_reflect_signal_strength_not_offset() {
+        let mut sys = ReadoutSystem::new(SystemConfig::paper_default()).unwrap();
+        let result = scan_strongest(&mut sys, pulsed_source(3), 600).unwrap();
+        let hot_score = result.score(1, 1).unwrap();
+        for &((r, c), s) in &result.scores {
+            if (r, c) != (1, 1) {
+                assert!(
+                    hot_score > 2.0 * s,
+                    "hot std {hot_score} must dominate ({r},{c}) = {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_window_is_rejected() {
+        let mut sys = ReadoutSystem::paper_default().unwrap();
+        assert!(matches!(
+            scan_strongest(&mut sys, || vec![Pascals(0.0); 4], 0),
+            Err(SystemError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn scan_result_lookup() {
+        let result = ScanResult {
+            scores: vec![((0, 0), 1.0), ((0, 1), 2.0)],
+            best: (0, 1),
+        };
+        assert_eq!(result.score(0, 1), Some(2.0));
+        assert_eq!(result.score(1, 1), None);
+    }
+}

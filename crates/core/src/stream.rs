@@ -1,0 +1,515 @@
+//! Streaming (online) waveform analysis.
+//!
+//! [`crate::analyze`] works on completed recordings; a bedside monitor
+//! works on a *live* 1 kS/s stream and must emit events — beats, rate
+//! changes, alarms — with bounded latency and memory. [`OnlineAnalyzer`]
+//! is that push-based engine: feed it calibrated pressure samples one at
+//! a time and consume [`MonitorEvent`]s.
+//!
+//! The detector is the streaming twin of the batch algorithm: a running
+//! moving-average smoother, an adaptive min/max envelope with a ~3 s
+//! decay (the streaming analogue of the batch detector's windowed
+//! threshold), a refractory period, and foot tracking between peaks.
+//! Detection latency is half the smoothing window plus one sample.
+
+use std::collections::VecDeque;
+
+use crate::SystemError;
+
+/// Events emitted by the online analyzer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MonitorEvent {
+    /// A heartbeat was detected.
+    Beat {
+        /// Time of the systolic peak, seconds since stream start.
+        time_s: f64,
+        /// Systolic pressure (stream units; mmHg when fed calibrated
+        /// samples).
+        systolic: f64,
+        /// Diastolic (foot) pressure of this beat.
+        diastolic: f64,
+        /// Smoothed pulse rate estimate in beats/minute (0 until two
+        /// beats have been seen).
+        pulse_rate_bpm: f64,
+    },
+    /// Sustained elevated systolic pressure.
+    HypertensionAlarm {
+        /// Time the alarm fired, seconds.
+        time_s: f64,
+        /// Mean systolic over the qualifying beats.
+        systolic: f64,
+    },
+    /// Sustained low systolic pressure.
+    HypotensionAlarm {
+        /// Time the alarm fired, seconds.
+        time_s: f64,
+        /// Mean systolic over the qualifying beats.
+        systolic: f64,
+    },
+    /// No beat for several seconds while the stream keeps arriving —
+    /// probe displaced, vessel lost, or flatline.
+    SignalLossAlarm {
+        /// Time the alarm fired, seconds.
+        time_s: f64,
+        /// Seconds since the last detected beat.
+        silence_s: f64,
+    },
+}
+
+/// Alarm thresholds and timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlarmLimits {
+    /// Systolic above this (mmHg) over the qualifying run raises
+    /// [`MonitorEvent::HypertensionAlarm`].
+    pub systolic_high: f64,
+    /// Systolic below this raises [`MonitorEvent::HypotensionAlarm`].
+    pub systolic_low: f64,
+    /// Consecutive qualifying beats required for a pressure alarm.
+    pub qualifying_beats: usize,
+    /// Beat-free seconds before a signal-loss alarm.
+    pub signal_loss_s: f64,
+}
+
+impl AlarmLimits {
+    /// Adult defaults: alarm above 160 / below 90 mmHg systolic after
+    /// 5 consecutive beats; signal loss after 3 s.
+    pub fn adult() -> Self {
+        AlarmLimits {
+            systolic_high: 160.0,
+            systolic_low: 90.0,
+            qualifying_beats: 5,
+            signal_loss_s: 3.0,
+        }
+    }
+}
+
+impl Default for AlarmLimits {
+    fn default() -> Self {
+        AlarmLimits::adult()
+    }
+}
+
+/// Smoothing window (seconds), matching the batch detector.
+const SMOOTH_WINDOW_S: f64 = 0.04;
+/// Envelope decay time constant (seconds).
+const ENVELOPE_TAU_S: f64 = 3.0;
+/// Threshold position inside the envelope, as in the batch detector.
+const THRESHOLD_FRACTION: f64 = 0.55;
+/// Refractory period (seconds), as in the batch detector.
+const REFRACTORY_S: f64 = 0.33;
+
+/// Push-based beat detector and alarm engine.
+#[derive(Debug, Clone)]
+pub struct OnlineAnalyzer {
+    sample_rate: f64,
+    limits: AlarmLimits,
+    // Smoother.
+    window: VecDeque<f64>,
+    window_len: usize,
+    window_sum: f64,
+    // Raw history for peak refinement (same span as the smoother).
+    raw_history: VecDeque<f64>,
+    // Adaptive envelope.
+    env_max: f64,
+    env_min: f64,
+    env_alpha: f64,
+    envelope_ready: bool,
+    // Peak picking state.
+    prev_s: [f64; 2],
+    samples_seen: u64,
+    last_peak_sample: Option<u64>,
+    running_min_since_peak: f64,
+    // Rate estimate.
+    last_beat_time: Option<f64>,
+    rate_bpm: f64,
+    // Alarm state.
+    high_run: usize,
+    low_run: usize,
+    high_acc: f64,
+    low_acc: f64,
+    signal_loss_armed: bool,
+}
+
+impl OnlineAnalyzer {
+    /// Creates an analyzer for a stream at `sample_rate` Hz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Config`] for a non-positive sample rate or
+    /// inconsistent alarm limits.
+    pub fn new(sample_rate: f64, limits: AlarmLimits) -> Result<Self, SystemError> {
+        if !(sample_rate > 0.0) {
+            return Err(SystemError::Config("sample rate must be positive".into()));
+        }
+        if limits.systolic_low >= limits.systolic_high {
+            return Err(SystemError::Config(format!(
+                "hypotension limit {} must be below hypertension limit {}",
+                limits.systolic_low, limits.systolic_high
+            )));
+        }
+        if limits.qualifying_beats == 0 || !(limits.signal_loss_s > 0.0) {
+            return Err(SystemError::Config(
+                "alarm timing parameters must be positive".into(),
+            ));
+        }
+        let window_len = ((SMOOTH_WINDOW_S * sample_rate) as usize).max(3) | 1; // odd
+        Ok(OnlineAnalyzer {
+            sample_rate,
+            limits,
+            window: VecDeque::with_capacity(window_len),
+            window_len,
+            window_sum: 0.0,
+            raw_history: VecDeque::with_capacity(window_len),
+            env_max: f64::MIN,
+            env_min: f64::MAX,
+            env_alpha: 1.0 / (ENVELOPE_TAU_S * sample_rate),
+            envelope_ready: false,
+            prev_s: [0.0; 2],
+            samples_seen: 0,
+            last_peak_sample: None,
+            running_min_since_peak: f64::MAX,
+            last_beat_time: None,
+            rate_bpm: 0.0,
+            high_run: 0,
+            low_run: 0,
+            high_acc: 0.0,
+            low_acc: 0.0,
+            signal_loss_armed: true,
+        })
+    }
+
+    /// The stream sample rate.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// Current smoothed pulse-rate estimate (0 before two beats).
+    pub fn pulse_rate_bpm(&self) -> f64 {
+        self.rate_bpm
+    }
+
+    /// Pushes one sample; returns any events it triggered (usually none,
+    /// occasionally one beat and/or one alarm).
+    pub fn push(&mut self, x: f64) -> Vec<MonitorEvent> {
+        let mut events = Vec::new();
+        let t = self.samples_seen as f64 / self.sample_rate;
+
+        // --- Smoother (centered moving average, streamed). ---
+        self.window.push_back(x);
+        self.raw_history.push_back(x);
+        self.window_sum += x;
+        if self.window.len() > self.window_len {
+            self.window_sum -= self.window.pop_front().expect("non-empty");
+            self.raw_history.pop_front();
+        }
+        let s = self.window_sum / self.window.len() as f64;
+
+        // --- Adaptive envelope. ---
+        if !self.envelope_ready {
+            self.env_max = s;
+            self.env_min = s;
+            self.envelope_ready = true;
+        } else {
+            if s > self.env_max {
+                self.env_max = s;
+            } else {
+                self.env_max += (s - self.env_max) * self.env_alpha;
+            }
+            if s < self.env_min {
+                self.env_min = s;
+            } else {
+                self.env_min += (s - self.env_min) * self.env_alpha;
+            }
+        }
+        let span = self.env_max - self.env_min;
+        let threshold = self.env_min + THRESHOLD_FRACTION * span;
+
+        self.running_min_since_peak = self.running_min_since_peak.min(x);
+
+        // --- Peak picking on [s(n-2), s(n-1), s(n)]. ---
+        let refractory = (REFRACTORY_S * self.sample_rate) as u64;
+        if self.samples_seen >= 2 && span > 0.0 {
+            let (a, b, c) = (self.prev_s[0], self.prev_s[1], s);
+            let is_peak = b >= a && b > c && b >= threshold;
+            let clear = match self.last_peak_sample {
+                Some(last) => self.samples_seen - 1 - last >= refractory,
+                None => true,
+            };
+            if is_peak && clear {
+                // Refine systolic on the raw history (the peak is 1
+                // sample behind; the history spans the smoother window).
+                let systolic = self
+                    .raw_history
+                    .iter()
+                    .copied()
+                    .fold(f64::MIN, f64::max);
+                let diastolic = if self.running_min_since_peak < f64::MAX {
+                    self.running_min_since_peak
+                } else {
+                    self.env_min
+                };
+                let beat_time = (self.samples_seen - 1) as f64 / self.sample_rate;
+                if let Some(prev) = self.last_beat_time {
+                    let rr = beat_time - prev;
+                    if rr > 0.0 {
+                        let inst = 60.0 / rr;
+                        self.rate_bpm = if self.rate_bpm == 0.0 {
+                            inst
+                        } else {
+                            0.7 * self.rate_bpm + 0.3 * inst
+                        };
+                    }
+                }
+                self.last_beat_time = Some(beat_time);
+                self.last_peak_sample = Some(self.samples_seen - 1);
+                self.running_min_since_peak = f64::MAX;
+                self.signal_loss_armed = true;
+                events.push(MonitorEvent::Beat {
+                    time_s: beat_time,
+                    systolic,
+                    diastolic,
+                    pulse_rate_bpm: self.rate_bpm,
+                });
+                // --- Pressure alarms on beat values. ---
+                if systolic > self.limits.systolic_high {
+                    self.high_run += 1;
+                    self.high_acc += systolic;
+                    if self.high_run == self.limits.qualifying_beats {
+                        events.push(MonitorEvent::HypertensionAlarm {
+                            time_s: beat_time,
+                            systolic: self.high_acc / self.high_run as f64,
+                        });
+                    }
+                } else {
+                    self.high_run = 0;
+                    self.high_acc = 0.0;
+                }
+                if systolic < self.limits.systolic_low {
+                    self.low_run += 1;
+                    self.low_acc += systolic;
+                    if self.low_run == self.limits.qualifying_beats {
+                        events.push(MonitorEvent::HypotensionAlarm {
+                            time_s: beat_time,
+                            systolic: self.low_acc / self.low_run as f64,
+                        });
+                    }
+                } else {
+                    self.low_run = 0;
+                    self.low_acc = 0.0;
+                }
+            }
+        }
+        self.prev_s[0] = self.prev_s[1];
+        self.prev_s[1] = s;
+
+        // --- Signal-loss alarm. ---
+        if let Some(last) = self.last_beat_time {
+            let silence = t - last;
+            if silence > self.limits.signal_loss_s && self.signal_loss_armed {
+                self.signal_loss_armed = false; // one alarm per loss episode
+                events.push(MonitorEvent::SignalLossAlarm {
+                    time_s: t,
+                    silence_s: silence,
+                });
+            }
+        }
+
+        self.samples_seen += 1;
+        events
+    }
+
+    /// Pushes a block of samples, collecting all events.
+    pub fn push_block(&mut self, xs: &[f64]) -> Vec<MonitorEvent> {
+        xs.iter().flat_map(|&x| self.push(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tonos_physio::patient::{PatientProfile, PressureTransient};
+
+    fn stream_of(profile: PatientProfile, duration: f64) -> (Vec<f64>, f64) {
+        let record = profile.record(250.0, duration).unwrap();
+        (
+            record.samples.iter().map(|p| p.value()).collect(),
+            record.sample_rate,
+        )
+    }
+
+    fn beats(events: &[MonitorEvent]) -> Vec<(f64, f64)> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::Beat {
+                    time_s, systolic, ..
+                } => Some((*time_s, *systolic)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_batch_beat_count() {
+        let (x, fs) = stream_of(PatientProfile::normotensive(), 30.0);
+        let mut online = OnlineAnalyzer::new(fs, AlarmLimits::adult()).unwrap();
+        let events = online.push_block(&x);
+        let online_beats = beats(&events).len();
+        let batch_beats = crate::analyze::detect_beats(&x, fs).unwrap().len();
+        assert!(
+            (online_beats as i64 - batch_beats as i64).abs() <= 2,
+            "online {online_beats} vs batch {batch_beats}"
+        );
+        // Rate estimate converges to 72 bpm.
+        assert!(
+            (online.pulse_rate_bpm() - 72.0).abs() < 4.0,
+            "rate {}",
+            online.pulse_rate_bpm()
+        );
+    }
+
+    #[test]
+    fn beat_values_track_the_profile() {
+        let (x, fs) = stream_of(PatientProfile::normotensive(), 20.0);
+        let mut online = OnlineAnalyzer::new(fs, AlarmLimits::adult()).unwrap();
+        let events = online.push_block(&x);
+        let bs = beats(&events);
+        assert!(bs.len() >= 20);
+        // Skip the first beats while the envelope settles.
+        let sys_mean =
+            bs[4..].iter().map(|(_, s)| *s).sum::<f64>() / (bs.len() - 4) as f64;
+        assert!((sys_mean - 120.0).abs() < 4.0, "systolic mean {sys_mean}");
+    }
+
+    #[test]
+    fn hypertension_alarm_fires_during_the_episode() {
+        let scenario = PressureTransient {
+            onset_s: 20.0,
+            ramp_s: 10.0,
+            hold_s: 30.0,
+            sys_delta: tonos_mems::units::MillimetersHg(50.0),
+            ..PressureTransient::episode()
+        };
+        let record = scenario.record(250.0, 80.0).unwrap();
+        let x: Vec<f64> = record.samples.iter().map(|p| p.value()).collect();
+        let mut online = OnlineAnalyzer::new(250.0, AlarmLimits::adult()).unwrap();
+        let events = online.push_block(&x);
+        let alarm = events.iter().find_map(|e| match e {
+            MonitorEvent::HypertensionAlarm { time_s, systolic } => Some((*time_s, *systolic)),
+            _ => None,
+        });
+        let (t, sys) = alarm.expect("a +50 mmHg episode must raise the alarm");
+        assert!(
+            (20.0..45.0).contains(&t),
+            "alarm at {t} s should fall in the climb/plateau"
+        );
+        assert!(sys > 160.0);
+        // No hypotension alarm in this scenario.
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, MonitorEvent::HypotensionAlarm { .. })));
+    }
+
+    #[test]
+    fn hypotension_alarm_fires_for_a_low_patient() {
+        let (x, fs) = stream_of(PatientProfile::hypotensive(), 30.0);
+        let limits = AlarmLimits {
+            systolic_low: 100.0, // 95/60 patient: every beat qualifies
+            ..AlarmLimits::adult()
+        };
+        let mut online = OnlineAnalyzer::new(fs, limits).unwrap();
+        let events = online.push_block(&x);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, MonitorEvent::HypotensionAlarm { .. })));
+    }
+
+    #[test]
+    fn signal_loss_alarm_fires_once_per_episode() {
+        let (mut x, fs) = stream_of(PatientProfile::normotensive(), 10.0);
+        // Flatline for 6 s, then resume.
+        let flat_start = x.len();
+        x.extend(std::iter::repeat_n(100.0, (6.0 * fs) as usize));
+        let (resume, _) = stream_of(PatientProfile::normotensive(), 5.0);
+        x.extend(resume);
+        let mut online = OnlineAnalyzer::new(fs, AlarmLimits::adult()).unwrap();
+        let events = online.push_block(&x);
+        let losses: Vec<f64> = events
+            .iter()
+            .filter_map(|e| match e {
+                MonitorEvent::SignalLossAlarm { time_s, .. } => Some(*time_s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(losses.len(), 1, "exactly one loss alarm: {losses:?}");
+        let loss_t = losses[0];
+        let flat_t = flat_start as f64 / fs;
+        // Silence is measured from the *last beat*, which can precede the
+        // flatline start by up to one RR interval (~0.85 s).
+        assert!(
+            loss_t > flat_t + 3.0 - 1.0 && loss_t < flat_t + 3.0 + 1.0,
+            "loss at {loss_t}, flat at {flat_t}"
+        );
+        // Beats resume after the gap.
+        assert!(beats(&events).iter().any(|(t, _)| *t > flat_t + 6.0));
+    }
+
+    #[test]
+    fn arrhythmia_does_not_break_the_stream_analyzer() {
+        // PVCs (premature, weak beats + compensatory pauses) must neither
+        // trigger signal-loss alarms nor wreck the rate estimate.
+        let (x, fs) = stream_of(PatientProfile::arrhythmic(), 60.0);
+        let mut online = OnlineAnalyzer::new(fs, AlarmLimits::adult()).unwrap();
+        let events = online.push_block(&x);
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, MonitorEvent::SignalLossAlarm { .. })),
+            "compensatory pauses are not signal loss"
+        );
+        let rate = online.pulse_rate_bpm();
+        assert!(
+            (60.0..90.0).contains(&rate),
+            "rate {rate} should stay near the 72 bpm base rhythm"
+        );
+        // Beat count within the plausible band (PVCs may or may not each
+        // be caught, but the rhythm must not double-count).
+        let n = beats(&events).len();
+        assert!((60..=85).contains(&n), "{n} beats in 60 s");
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(OnlineAnalyzer::new(0.0, AlarmLimits::adult()).is_err());
+        let bad = AlarmLimits {
+            systolic_low: 200.0,
+            ..AlarmLimits::adult()
+        };
+        assert!(OnlineAnalyzer::new(250.0, bad).is_err());
+        let bad = AlarmLimits {
+            qualifying_beats: 0,
+            ..AlarmLimits::adult()
+        };
+        assert!(OnlineAnalyzer::new(250.0, bad).is_err());
+        let bad = AlarmLimits {
+            signal_loss_s: 0.0,
+            ..AlarmLimits::adult()
+        };
+        assert!(OnlineAnalyzer::new(250.0, bad).is_err());
+    }
+
+    #[test]
+    fn streaming_is_incremental_not_batchy() {
+        // Feeding sample by sample or in blocks must give identical
+        // events.
+        let (x, fs) = stream_of(PatientProfile::exercise(), 12.0);
+        let mut one = OnlineAnalyzer::new(fs, AlarmLimits::adult()).unwrap();
+        let mut blk = OnlineAnalyzer::new(fs, AlarmLimits::adult()).unwrap();
+        let mut events_one = Vec::new();
+        for &v in &x {
+            events_one.extend(one.push(v));
+        }
+        let events_blk = blk.push_block(&x);
+        assert_eq!(events_one, events_blk);
+    }
+}

@@ -1,0 +1,232 @@
+//! Derived vital signs beyond blood pressure.
+//!
+//! A continuous pressure waveform carries more than systole and diastole:
+//! respiration modulates the arterial baseline by a few mmHg (the
+//! physiology behind "respiratory sinus" patterns on arterial lines).
+//! Since the paper's sensor streams the full waveform, the respiratory
+//! rate comes for free — a derived vital a cuff can never provide.
+//!
+//! Method: take the per-beat *diastolic* series (immune to the pulse
+//! itself), resample it to a uniform 4 Hz axis, remove the mean and slow
+//! drift, and locate the spectral peak in the 0.08–0.7 Hz respiratory
+//! band with a Goertzel sweep.
+
+use tonos_dsp::goertzel::Goertzel;
+use tonos_dsp::iir::Biquad;
+
+use crate::analyze::Beat;
+use crate::SystemError;
+
+/// Respiratory band searched, Hz (≈ 5–42 breaths/min).
+const RESP_BAND_LO_HZ: f64 = 0.08;
+const RESP_BAND_HI_HZ: f64 = 0.7;
+/// Uniform resampling rate of the beat series, Hz.
+const RESAMPLE_HZ: f64 = 4.0;
+
+/// A respiratory-rate estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RespiratoryEstimate {
+    /// Breathing rate in breaths per minute.
+    pub rate_per_min: f64,
+    /// Peak modulation amplitude in the waveform's units (mmHg for a
+    /// calibrated stream).
+    pub amplitude: f64,
+    /// Confidence in [0, 1]: spectral peak power relative to the total
+    /// band power (1.0 = pure sinusoidal breathing).
+    pub confidence: f64,
+}
+
+/// Estimates the respiratory rate from detected beats.
+///
+/// `sample_rate` is the waveform's rate (used to time the beats).
+///
+/// # Errors
+///
+/// Returns [`SystemError::Config`] for a non-positive sample rate, or
+/// [`SystemError::NoBeatsDetected`] when fewer than 10 beats / 10 s of
+/// data are available (too short to resolve a breath).
+pub fn respiratory_rate(
+    beats: &[Beat],
+    sample_rate: f64,
+) -> Result<RespiratoryEstimate, SystemError> {
+    if !(sample_rate > 0.0) {
+        return Err(SystemError::Config("sample rate must be positive".into()));
+    }
+    if beats.len() < 10 {
+        return Err(SystemError::NoBeatsDetected {
+            samples: beats.len(),
+        });
+    }
+    let t_first = beats.first().expect("non-empty").peak_index as f64 / sample_rate;
+    let t_last = beats.last().expect("non-empty").peak_index as f64 / sample_rate;
+    if t_last - t_first < 10.0 {
+        return Err(SystemError::NoBeatsDetected {
+            samples: beats.len(),
+        });
+    }
+
+    // Resample the diastolic series onto a uniform axis by linear
+    // interpolation between beats.
+    let n = ((t_last - t_first) * RESAMPLE_HZ) as usize;
+    let mut series = Vec::with_capacity(n);
+    let mut k = 0usize;
+    for i in 0..n {
+        let t = t_first + i as f64 / RESAMPLE_HZ;
+        while k + 1 < beats.len() - 1
+            && (beats[k + 1].peak_index as f64 / sample_rate) < t
+        {
+            k += 1;
+        }
+        let t0 = beats[k].peak_index as f64 / sample_rate;
+        let t1 = beats[k + 1].peak_index as f64 / sample_rate;
+        let frac = ((t - t0) / (t1 - t0)).clamp(0.0, 1.0);
+        series.push(beats[k].diastolic * (1.0 - frac) + beats[k + 1].diastolic * frac);
+    }
+
+    // Remove mean and sub-respiratory drift with a gentle high-pass.
+    let mean = series.iter().sum::<f64>() / series.len() as f64;
+    for v in &mut series {
+        *v -= mean;
+    }
+    let mut hp = Biquad::highpass(RESP_BAND_LO_HZ / 2.0, RESAMPLE_HZ, std::f64::consts::FRAC_1_SQRT_2)
+        .map_err(SystemError::Dsp)?;
+    let filtered = hp.process(&series);
+    // Discard the high-pass transient.
+    let settle = (RESAMPLE_HZ * 5.0) as usize;
+    let usable = &filtered[settle.min(filtered.len() / 4)..];
+
+    // Goertzel sweep across the respiratory band.
+    let steps = 60;
+    let mut best = (0.0, 0.0);
+    let mut total_power = 0.0;
+    for s in 0..steps {
+        let f = RESP_BAND_LO_HZ
+            + (RESP_BAND_HI_HZ - RESP_BAND_LO_HZ) * s as f64 / (steps - 1) as f64;
+        let mut g = Goertzel::new(f, RESAMPLE_HZ).map_err(SystemError::Dsp)?;
+        g.push_block(usable);
+        let p = g.power();
+        total_power += p;
+        if p > best.1 {
+            best = (f, p);
+        }
+    }
+    if !(best.1 > 0.0) {
+        return Err(SystemError::NoBeatsDetected {
+            samples: beats.len(),
+        });
+    }
+    // Amplitude from the winning bin; confidence from its share of the
+    // swept power (the sweep oversamples, so normalize by a ~3-bin peak).
+    let mut g = Goertzel::new(best.0, RESAMPLE_HZ).map_err(SystemError::Dsp)?;
+    g.push_block(usable);
+    Ok(RespiratoryEstimate {
+        rate_per_min: best.0 * 60.0,
+        amplitude: g.amplitude(),
+        confidence: (3.0 * best.1 / total_power).min(1.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::detect_beats;
+    use tonos_physio::patient::PatientProfile;
+    use tonos_physio::variability::RespiratoryModulation;
+    use tonos_physio::waveform::{ArterialParams, PulseWaveform};
+
+    fn estimate_for(params: ArterialParams, duration: f64) -> RespiratoryEstimate {
+        let record = PulseWaveform::new(params).unwrap().record(250.0, duration).unwrap();
+        let x: Vec<f64> = record.samples.iter().map(|p| p.value()).collect();
+        let beats = detect_beats(&x, 250.0).unwrap();
+        respiratory_rate(&beats, 250.0).unwrap()
+    }
+
+    #[test]
+    fn recovers_the_resting_breathing_rate() {
+        let est = estimate_for(ArterialParams::normotensive(), 90.0);
+        // Resting preset breathes at 0.25 Hz = 15/min.
+        assert!(
+            (est.rate_per_min - 15.0).abs() < 1.5,
+            "rate {} /min",
+            est.rate_per_min
+        );
+        assert!(
+            (est.amplitude - 2.0).abs() < 1.0,
+            "amplitude {} mmHg vs 2 mmHg modulation",
+            est.amplitude
+        );
+        assert!(est.confidence > 0.3, "confidence {}", est.confidence);
+    }
+
+    #[test]
+    fn tracks_a_faster_breathing_rate() {
+        let params = ArterialParams {
+            respiration: RespiratoryModulation {
+                rate_hz: 0.4, // 24 breaths/min (exercise)
+                amplitude_mmhg: 3.0,
+            },
+            ..ArterialParams::normotensive()
+        };
+        let est = estimate_for(params, 90.0);
+        assert!(
+            (est.rate_per_min - 24.0).abs() < 2.0,
+            "rate {} /min",
+            est.rate_per_min
+        );
+    }
+
+    #[test]
+    fn apneic_patient_reports_low_confidence() {
+        let params = ArterialParams {
+            respiration: RespiratoryModulation::none(),
+            ..ArterialParams::normotensive()
+        };
+        let with_breathing = estimate_for(ArterialParams::normotensive(), 60.0);
+        let apneic = estimate_for(params, 60.0);
+        assert!(
+            apneic.confidence < with_breathing.confidence,
+            "apneic confidence {} !< breathing {}",
+            apneic.confidence,
+            with_breathing.confidence
+        );
+        assert!(apneic.amplitude < 1.0, "phantom modulation {}", apneic.amplitude);
+    }
+
+    #[test]
+    fn short_records_are_rejected() {
+        let record = PatientProfile::normotensive().record(250.0, 8.0).unwrap();
+        let x: Vec<f64> = record.samples.iter().map(|p| p.value()).collect();
+        let beats = detect_beats(&x, 250.0).unwrap();
+        assert!(matches!(
+            respiratory_rate(&beats, 250.0),
+            Err(SystemError::NoBeatsDetected { .. })
+        ));
+        assert!(matches!(
+            respiratory_rate(&beats, 0.0),
+            Err(SystemError::Config(_))
+        ));
+        assert!(matches!(
+            respiratory_rate(&beats[..3], 250.0),
+            Err(SystemError::NoBeatsDetected { .. })
+        ));
+    }
+
+    #[test]
+    fn works_through_the_full_sensor_chain() {
+        use crate::config::SystemConfig;
+        use crate::monitor::BloodPressureMonitor;
+        let mut monitor = BloodPressureMonitor::new(
+            SystemConfig::paper_default(),
+            PatientProfile::normotensive(),
+        )
+        .unwrap()
+        .with_scan_window(150);
+        let session = monitor.run(45.0).unwrap();
+        let est = respiratory_rate(&session.analysis.beats, session.sample_rate).unwrap();
+        assert!(
+            (est.rate_per_min - 15.0).abs() < 2.5,
+            "through-chain respiratory rate {} /min",
+            est.rate_per_min
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the system-level invariants.
+
+use proptest::prelude::*;
+use tonos_core::analyze::detect_beats;
+use tonos_core::calibrate::Calibration;
+use tonos_core::chip::SensorChip;
+use tonos_core::config::ChipConfig;
+use tonos_core::localize::localize_vessel;
+use tonos_core::select::ScanResult;
+use tonos_mems::array::ArrayLayout;
+use tonos_mems::units::{MillimetersHg, Pascals};
+use tonos_physio::cuff::CuffReading;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Two-point calibration pins its landmarks exactly for any
+    /// non-degenerate raw span and physiological cuff reading.
+    #[test]
+    fn calibration_pins_landmarks(
+        raw_dia in -0.9_f64..0.9,
+        span in 0.001_f64..1.0,
+        sys in 95.0_f64..200.0,
+        pulse in 20.0_f64..80.0,
+    ) {
+        let raw_sys = raw_dia + span;
+        let reading = CuffReading {
+            time_s: 30.0,
+            systolic: MillimetersHg(sys),
+            diastolic: MillimetersHg(sys - pulse),
+        };
+        let cal = Calibration::from_two_point(raw_sys, raw_dia, &reading).unwrap();
+        prop_assert!((cal.apply(raw_sys).value() - sys).abs() < 1e-9);
+        prop_assert!((cal.apply(raw_dia).value() - (sys - pulse)).abs() < 1e-9);
+        // Invertibility everywhere.
+        let mid = raw_dia + span / 2.0;
+        prop_assert!((cal.invert(cal.apply(mid)) - mid).abs() < 1e-9);
+    }
+
+    /// Calibration is invariant under affine transforms of the raw data.
+    #[test]
+    fn calibration_affine_invariance(
+        a in 0.1_f64..10.0,
+        b in -5.0_f64..5.0,
+        raw in -0.5_f64..0.5,
+    ) {
+        let reading = CuffReading {
+            time_s: 30.0,
+            systolic: MillimetersHg(120.0),
+            diastolic: MillimetersHg(80.0),
+        };
+        let cal1 = Calibration::from_two_point(0.8, 0.2, &reading).unwrap();
+        let cal2 = Calibration::from_two_point(a * 0.8 + b, a * 0.2 + b, &reading).unwrap();
+        let direct = cal1.apply(raw).value();
+        let transformed = cal2.apply(a * raw + b).value();
+        prop_assert!((direct - transformed).abs() < 1e-6, "{direct} vs {transformed}");
+    }
+
+    /// The chip's capacitance LUT agrees with the exact model at any
+    /// pressure in the clinical range.
+    #[test]
+    fn chip_lut_matches_exact_model(mmhg in -400.0_f64..800.0) {
+        let chip = SensorChip::new(ChipConfig::paper_default()).unwrap();
+        let p = Pascals::from_mmhg(MillimetersHg(mmhg));
+        let caps = chip.capacitances(&[p; 4]).unwrap();
+        for ((_, element), lut_val) in chip.array().iter().zip(&caps) {
+            let exact = element.capacitance(p).unwrap();
+            prop_assert!(
+                (lut_val.value() - exact.value()).abs() < 1e-17,
+                "LUT error {} aF at {mmhg} mmHg",
+                (lut_val.value() - exact.value()).abs() * 1e18
+            );
+        }
+    }
+
+    /// Beat detection finds the right beat count on synthetic pulse
+    /// trains of any physiological rate and scale.
+    #[test]
+    fn beat_detection_counts_pulses(
+        bpm in 50.0_f64..150.0,
+        amplitude in 1.0_f64..60.0,
+        offset in -100.0_f64..200.0,
+    ) {
+        let fs = 250.0;
+        let duration = 20.0;
+        let n = (fs * duration) as usize;
+        let f0 = bpm / 60.0;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                // Pulse-like half-wave shape.
+                let s = (2.0 * std::f64::consts::PI * f0 * t).sin().max(0.0).powi(2);
+                offset + amplitude * s
+            })
+            .collect();
+        let beats = detect_beats(&x, fs).unwrap();
+        let expected = duration * f0;
+        prop_assert!(
+            ((beats.len() as f64) - expected).abs() <= expected * 0.1 + 2.0,
+            "{} beats at {bpm} bpm",
+            beats.len()
+        );
+        for b in &beats {
+            prop_assert!(b.systolic > b.diastolic);
+        }
+    }
+
+    /// The localization centroid always stays inside the array's convex
+    /// hull, and uniform scores give zero confidence.
+    #[test]
+    fn localization_stays_in_hull(scores in prop::collection::vec(0.001_f64..10.0, 4)) {
+        let layout = ArrayLayout::paper_default();
+        let scan = ScanResult {
+            scores: vec![
+                ((0, 0), scores[0]),
+                ((0, 1), scores[1]),
+                ((1, 0), scores[2]),
+                ((1, 1), scores[3]),
+            ],
+            best: (0, 0),
+        };
+        let est = localize_vessel(&scan, layout).unwrap();
+        let half = layout.pitch.value() / 2.0;
+        prop_assert!(est.x.abs() <= half + 1e-12);
+        prop_assert!(est.y.abs() <= half + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&est.confidence));
+    }
+}

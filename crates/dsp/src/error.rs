@@ -1,0 +1,71 @@
+//! Error type for the DSP substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the decimation / spectral-analysis chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DspError {
+    /// An FFT or spectrum was requested on a length that is not a power
+    /// of two (the radix-2 implementation requirement).
+    LengthNotPowerOfTwo {
+        /// Offending length.
+        len: usize,
+    },
+    /// The input was too short for the requested operation.
+    InputTooShort {
+        /// Samples provided.
+        len: usize,
+        /// Samples required.
+        required: usize,
+    },
+    /// A filter or quantizer parameter was out of range.
+    InvalidParameter(String),
+    /// No signal component could be located (all-zero spectrum).
+    NoSignal,
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::LengthNotPowerOfTwo { len } => {
+                write!(f, "length {len} is not a power of two")
+            }
+            DspError::InputTooShort { len, required } => {
+                write!(f, "input of {len} samples is shorter than required {required}")
+            }
+            DspError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DspError::NoSignal => write!(f, "spectrum contains no signal component"),
+        }
+    }
+}
+
+impl Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(DspError::LengthNotPowerOfTwo { len: 100 }
+            .to_string()
+            .contains("100"));
+        assert!(DspError::InputTooShort {
+            len: 3,
+            required: 64
+        }
+        .to_string()
+        .contains("64"));
+        assert!(DspError::InvalidParameter("cutoff".into())
+            .to_string()
+            .contains("cutoff"));
+        assert!(DspError::NoSignal.to_string().contains("no signal"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DspError>();
+    }
+}

@@ -1,0 +1,320 @@
+//! Windowed-sinc FIR design and streaming decimation — the second stage of
+//! the paper's chain ("a 32 tap FIR-filter as second stage … cutoff
+//! frequency … 500 Hz", §3.1).
+//!
+//! The FIR stage cleans up the CIC's passband droop region and performs
+//! the final ÷4 decimation from 4 kS/s to the 1 kS/s output rate, with the
+//! 500 Hz cutoff placed exactly at the output Nyquist frequency.
+
+use crate::window::Window;
+use crate::DspError;
+
+/// Designs a linear-phase low-pass FIR by the windowed-sinc method.
+///
+/// `cutoff` is normalized to the *input* sample rate (0 < cutoff < 0.5).
+/// The taps are normalized to exactly unity DC gain. A **symmetric**
+/// window (length `n−1` denominator) is used so the filter is exactly
+/// linear-phase.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] for `taps < 2` or a cutoff
+/// outside `(0, 0.5)`.
+pub fn design_lowpass(taps: usize, cutoff: f64, window: Window) -> Result<Vec<f64>, DspError> {
+    if taps < 2 {
+        return Err(DspError::InvalidParameter(
+            "FIR needs at least 2 taps".into(),
+        ));
+    }
+    if !(cutoff > 0.0 && cutoff < 0.5) {
+        return Err(DspError::InvalidParameter(format!(
+            "normalized cutoff {cutoff} must be in (0, 0.5)"
+        )));
+    }
+    let center = (taps - 1) as f64 / 2.0;
+    let win = symmetric_window(window, taps)?;
+    let mut h: Vec<f64> = (0..taps)
+        .map(|i| {
+            let t = i as f64 - center;
+            let sinc = if t.abs() < 1e-12 {
+                2.0 * cutoff
+            } else {
+                (2.0 * std::f64::consts::PI * cutoff * t).sin() / (std::f64::consts::PI * t)
+            };
+            sinc * win[i]
+        })
+        .collect();
+    let sum: f64 = h.iter().sum();
+    for v in &mut h {
+        *v /= sum;
+    }
+    Ok(h)
+}
+
+/// Symmetric (filter-design) variant of the analysis windows: denominator
+/// `n − 1` so the window is exactly even about the center tap.
+fn symmetric_window(window: Window, n: usize) -> Result<Vec<f64>, DspError> {
+    if n < 2 {
+        return Err(DspError::InvalidParameter(
+            "symmetric window needs n >= 2".into(),
+        ));
+    }
+    let m = (n - 1) as f64;
+    let tau = 2.0 * std::f64::consts::PI;
+    let cosine_sum = |a: &[f64]| -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / m;
+                a.iter()
+                    .enumerate()
+                    .map(|(k, &c)| {
+                        let s = if k % 2 == 0 { 1.0 } else { -1.0 };
+                        s * c * (tau * k as f64 * x).cos()
+                    })
+                    .sum()
+            })
+            .collect()
+    };
+    Ok(match window {
+        Window::Rectangular => vec![1.0; n],
+        Window::Hann => cosine_sum(&[0.5, 0.5]),
+        Window::Hamming => cosine_sum(&[0.54, 0.46]),
+        Window::Blackman => cosine_sum(&[0.42, 0.5, 0.08]),
+        Window::BlackmanHarris => cosine_sum(&[0.358_75, 0.488_29, 0.141_28, 0.011_68]),
+    })
+}
+
+/// Complex-free magnitude response of a real FIR at a normalized
+/// frequency (cycles/sample).
+pub fn magnitude_at(taps: &[f64], normalized_freq: f64) -> f64 {
+    let omega = 2.0 * std::f64::consts::PI * normalized_freq;
+    let (mut re, mut im) = (0.0, 0.0);
+    for (k, &h) in taps.iter().enumerate() {
+        re += h * (omega * k as f64).cos();
+        im -= h * (omega * k as f64).sin();
+    }
+    (re * re + im * im).sqrt()
+}
+
+/// Streaming decimating FIR filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirDecimator {
+    taps: Vec<f64>,
+    ratio: usize,
+    /// Ring buffer of past inputs, newest at `head`.
+    delay: Vec<f64>,
+    head: usize,
+    phase: usize,
+}
+
+impl FirDecimator {
+    /// Creates a decimator from designed taps and a ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] for empty taps or
+    /// `ratio == 0`.
+    pub fn new(taps: Vec<f64>, ratio: usize) -> Result<Self, DspError> {
+        if taps.is_empty() {
+            return Err(DspError::InvalidParameter("FIR taps are empty".into()));
+        }
+        if ratio == 0 {
+            return Err(DspError::InvalidParameter(
+                "decimation ratio must be >= 1".into(),
+            ));
+        }
+        let len = taps.len();
+        Ok(FirDecimator {
+            taps,
+            ratio,
+            delay: vec![0.0; len],
+            head: 0,
+            phase: 0,
+        })
+    }
+
+    /// The paper's second stage: 32 taps, 500 Hz cutoff at the 4 kS/s
+    /// intermediate rate (normalized 0.125), decimating by 4, Hamming
+    /// design window.
+    pub fn paper_default() -> Self {
+        let taps = design_lowpass(32, 500.0 / 4000.0, Window::Hamming)
+            .expect("paper design is valid");
+        FirDecimator::new(taps, 4).expect("paper parameters are valid")
+    }
+
+    /// The filter taps.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Decimation ratio.
+    pub fn ratio(&self) -> usize {
+        self.ratio
+    }
+
+    /// Pushes one input sample; returns an output every `ratio`-th call.
+    pub fn push(&mut self, x: f64) -> Option<f64> {
+        self.head = (self.head + 1) % self.delay.len();
+        self.delay[self.head] = x;
+        self.phase += 1;
+        if self.phase < self.ratio {
+            return None;
+        }
+        self.phase = 0;
+        let n = self.delay.len();
+        let mut acc = 0.0;
+        for (k, &h) in self.taps.iter().enumerate() {
+            let idx = (self.head + n - k) % n;
+            acc += h * self.delay[idx];
+        }
+        Some(acc)
+    }
+
+    /// Processes a block, returning all decimated outputs.
+    pub fn process(&mut self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().filter_map(|&x| self.push(x)).collect()
+    }
+
+    /// Clears the delay line.
+    pub fn reset(&mut self) {
+        self.delay.iter_mut().for_each(|v| *v = 0.0);
+        self.head = 0;
+        self.phase = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_is_linear_phase_and_unity_dc() {
+        let h = design_lowpass(32, 0.125, Window::Hamming).unwrap();
+        assert_eq!(h.len(), 32);
+        let sum: f64 = h.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        for i in 0..16 {
+            assert!(
+                (h[i] - h[31 - i]).abs() < 1e-12,
+                "tap {i} asymmetric: {} vs {}",
+                h[i],
+                h[31 - i]
+            );
+        }
+    }
+
+    #[test]
+    fn magnitude_response_has_correct_shape() {
+        let h = design_lowpass(32, 0.125, Window::Hamming).unwrap();
+        assert!((magnitude_at(&h, 0.0) - 1.0).abs() < 1e-12);
+        // Passband: ripple only.
+        assert!(magnitude_at(&h, 0.05) > 0.95);
+        // Transition: roughly half power near cutoff.
+        let at_fc = magnitude_at(&h, 0.125);
+        assert!((0.3..0.7).contains(&at_fc), "|H(fc)| = {at_fc}");
+        // Stopband: > 40 dB down well past cutoff (Hamming sidelobes).
+        assert!(magnitude_at(&h, 0.25) < 0.01);
+        assert!(magnitude_at(&h, 0.4) < 0.01);
+    }
+
+    #[test]
+    fn paper_default_matches_spec() {
+        let fir = FirDecimator::paper_default();
+        assert_eq!(fir.taps().len(), 32);
+        assert_eq!(fir.ratio(), 4);
+        // 500 Hz cutoff at 4 kS/s.
+        let at_dc = magnitude_at(fir.taps(), 0.0);
+        assert!((at_dc - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_design_parameters_are_rejected() {
+        assert!(design_lowpass(1, 0.125, Window::Hamming).is_err());
+        assert!(design_lowpass(32, 0.0, Window::Hamming).is_err());
+        assert!(design_lowpass(32, 0.5, Window::Hamming).is_err());
+        assert!(design_lowpass(32, -0.1, Window::Hamming).is_err());
+        assert!(FirDecimator::new(vec![], 4).is_err());
+        assert!(FirDecimator::new(vec![1.0], 0).is_err());
+    }
+
+    #[test]
+    fn impulse_response_replays_taps() {
+        let taps = vec![0.5, 0.25, 0.125, 0.0625];
+        let mut fir = FirDecimator::new(taps.clone(), 1).unwrap();
+        let mut input = vec![0.0; 8];
+        input[0] = 1.0;
+        let out = fir.process(&input);
+        for (i, &t) in taps.iter().enumerate() {
+            assert!((out[i] - t).abs() < 1e-15, "tap {i}");
+        }
+        for &v in &out[taps.len()..] {
+            assert!(v.abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn decimation_keeps_every_rth_output() {
+        let taps = design_lowpass(16, 0.1, Window::Hann).unwrap();
+        let mut full = FirDecimator::new(taps.clone(), 1).unwrap();
+        let mut deci = FirDecimator::new(taps, 4).unwrap();
+        let input: Vec<f64> = (0..256).map(|i| ((i as f64) * 0.05).sin()).collect();
+        let all = full.process(&input);
+        let some = deci.process(&input);
+        assert_eq!(some.len(), 64);
+        for (j, &v) in some.iter().enumerate() {
+            // Output j of the decimator corresponds to input index 4j+3.
+            assert!((v - all[4 * j + 3]).abs() < 1e-12, "output {j}");
+        }
+    }
+
+    #[test]
+    fn dc_passes_exactly_after_settling() {
+        let mut fir = FirDecimator::paper_default();
+        let out = fir.process(&vec![0.75; 400]);
+        let settled = out.last().unwrap();
+        assert!((settled - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stopband_tone_is_rejected_in_streaming_mode() {
+        // A 1.5 kHz tone at 4 kS/s input is deep in the stopband of the
+        // 500 Hz filter; the decimated output must be tiny.
+        let fs = 4000.0;
+        let f = 1500.0;
+        let n = 4096;
+        let tone: Vec<f64> =
+            (0..n).map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin()).collect();
+        let mut fir = FirDecimator::paper_default();
+        let out = fir.process(&tone);
+        let settled = &out[16..];
+        let rms = (settled.iter().map(|v| v * v).sum::<f64>() / settled.len() as f64).sqrt();
+        assert!(rms < 0.01, "stopband rms {rms}");
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut fir = FirDecimator::paper_default();
+        let fresh = fir.clone();
+        let _ = fir.process(&[1.0; 40]);
+        assert_ne!(fir, fresh);
+        fir.reset();
+        assert_eq!(fir, fresh);
+    }
+
+    #[test]
+    fn all_windows_produce_valid_designs() {
+        for w in [
+            Window::Rectangular,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+            Window::BlackmanHarris,
+        ] {
+            let h = design_lowpass(33, 0.2, w).unwrap();
+            assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12, "{w:?}");
+            // Center tap dominates for a lowpass.
+            let center = h[16];
+            assert!(h.iter().all(|&v| v <= center + 1e-12), "{w:?}");
+        }
+    }
+}

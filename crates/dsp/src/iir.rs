@@ -1,0 +1,227 @@
+//! IIR biquad filters (RBJ cookbook designs).
+//!
+//! Host-side post-processing of the 1 kS/s stream — separating the
+//! sub-hertz respiratory modulation from the pulse band, smoothing trend
+//! displays — wants cheap recursive filters rather than long FIRs. This
+//! module provides the standard second-order sections in Direct Form II
+//! transposed, with the Robert Bristow-Johnson cookbook designs.
+
+use crate::DspError;
+
+/// A second-order IIR section (Direct Form II transposed), normalized so
+/// `a0 = 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Biquad {
+    b0: f64,
+    b1: f64,
+    b2: f64,
+    a1: f64,
+    a2: f64,
+    z1: f64,
+    z2: f64,
+}
+
+impl Biquad {
+    /// Builds a section from raw coefficients (`a0` already divided out).
+    pub fn from_coefficients(b0: f64, b1: f64, b2: f64, a1: f64, a2: f64) -> Self {
+        Biquad {
+            b0,
+            b1,
+            b2,
+            a1,
+            a2,
+            z1: 0.0,
+            z2: 0.0,
+        }
+    }
+
+    fn design(
+        kind: &str,
+        cutoff_hz: f64,
+        sample_rate: f64,
+        q: f64,
+    ) -> Result<Self, DspError> {
+        if !(sample_rate > 0.0) {
+            return Err(DspError::InvalidParameter(
+                "sample rate must be positive".into(),
+            ));
+        }
+        if !(cutoff_hz > 0.0 && cutoff_hz < sample_rate / 2.0) {
+            return Err(DspError::InvalidParameter(format!(
+                "cutoff {cutoff_hz} Hz outside (0, {})",
+                sample_rate / 2.0
+            )));
+        }
+        if !(q > 0.0) {
+            return Err(DspError::InvalidParameter("Q must be positive".into()));
+        }
+        let w0 = 2.0 * std::f64::consts::PI * cutoff_hz / sample_rate;
+        let (sin_w0, cos_w0) = w0.sin_cos();
+        let alpha = sin_w0 / (2.0 * q);
+        let a0 = 1.0 + alpha;
+        let (b0, b1, b2) = match kind {
+            "lowpass" => {
+                let b1 = 1.0 - cos_w0;
+                (b1 / 2.0, b1, b1 / 2.0)
+            }
+            "highpass" => {
+                let b1 = -(1.0 + cos_w0);
+                (-b1 / 2.0, b1, -b1 / 2.0)
+            }
+            "bandpass" => (alpha, 0.0, -alpha),
+            _ => unreachable!("internal design kinds only"),
+        };
+        Ok(Biquad::from_coefficients(
+            b0 / a0,
+            b1 / a0,
+            b2 / a0,
+            (-2.0 * cos_w0) / a0,
+            (1.0 - alpha) / a0,
+        ))
+    }
+
+    /// RBJ low-pass with the given cutoff and Q (0.7071 for Butterworth).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] for an out-of-band cutoff,
+    /// non-positive sample rate, or non-positive Q.
+    pub fn lowpass(cutoff_hz: f64, sample_rate: f64, q: f64) -> Result<Self, DspError> {
+        Biquad::design("lowpass", cutoff_hz, sample_rate, q)
+    }
+
+    /// RBJ high-pass.
+    ///
+    /// # Errors
+    ///
+    /// See [`Biquad::lowpass`].
+    pub fn highpass(cutoff_hz: f64, sample_rate: f64, q: f64) -> Result<Self, DspError> {
+        Biquad::design("highpass", cutoff_hz, sample_rate, q)
+    }
+
+    /// RBJ band-pass (constant 0 dB peak gain) centered at `center_hz`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Biquad::lowpass`].
+    pub fn bandpass(center_hz: f64, sample_rate: f64, q: f64) -> Result<Self, DspError> {
+        Biquad::design("bandpass", center_hz, sample_rate, q)
+    }
+
+    /// Processes one sample.
+    #[inline]
+    pub fn push(&mut self, x: f64) -> f64 {
+        let y = self.b0 * x + self.z1;
+        self.z1 = self.b1 * x - self.a1 * y + self.z2;
+        self.z2 = self.b2 * x - self.a2 * y;
+        y
+    }
+
+    /// Processes a block.
+    pub fn process(&mut self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.push(x)).collect()
+    }
+
+    /// Clears the delay state.
+    pub fn reset(&mut self) {
+        self.z1 = 0.0;
+        self.z2 = 0.0;
+    }
+
+    /// Magnitude response at a frequency.
+    pub fn magnitude_at(&self, freq_hz: f64, sample_rate: f64) -> f64 {
+        let w = 2.0 * std::f64::consts::PI * freq_hz / sample_rate;
+        let (num_re, num_im) = polyval(self.b0, self.b1, self.b2, w);
+        let (den_re, den_im) = polyval(1.0, self.a1, self.a2, w);
+        ((num_re * num_re + num_im * num_im) / (den_re * den_re + den_im * den_im)).sqrt()
+    }
+}
+
+/// Evaluates `c0 + c1·z⁻¹ + c2·z⁻²` at `z = e^{jw}`.
+fn polyval(c0: f64, c1: f64, c2: f64, w: f64) -> (f64, f64) {
+    let re = c0 + c1 * w.cos() + c2 * (2.0 * w).cos();
+    let im = -c1 * w.sin() - c2 * (2.0 * w).sin();
+    (re, im)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::sine_wave;
+
+    #[test]
+    fn lowpass_passes_dc_and_kills_high_frequencies() {
+        let mut f = Biquad::lowpass(10.0, 1000.0, std::f64::consts::FRAC_1_SQRT_2).unwrap();
+        assert!((f.magnitude_at(0.001, 1000.0) - 1.0).abs() < 1e-3);
+        assert!((f.magnitude_at(10.0, 1000.0) - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01);
+        assert!(f.magnitude_at(200.0, 1000.0) < 0.01);
+        // Time-domain check: DC settles to the input.
+        let out = f.process(&vec![0.8; 2000]);
+        assert!((out.last().unwrap() - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn highpass_blocks_dc() {
+        let mut f = Biquad::highpass(1.0, 1000.0, std::f64::consts::FRAC_1_SQRT_2).unwrap();
+        let out = f.process(&vec![1.0; 8000]);
+        assert!(out.last().unwrap().abs() < 1e-3, "DC leak {}", out.last().unwrap());
+        assert!((f.magnitude_at(100.0, 1000.0) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bandpass_peaks_at_center() {
+        let f = Biquad::bandpass(0.25, 250.0, 1.0).unwrap();
+        let at_center = f.magnitude_at(0.25, 250.0);
+        assert!((at_center - 1.0).abs() < 1e-6, "center gain {at_center}");
+        assert!(f.magnitude_at(0.02, 250.0) < 0.2);
+        assert!(f.magnitude_at(3.0, 250.0) < 0.2);
+    }
+
+    #[test]
+    fn magnitude_formula_matches_measured_tone() {
+        let fs = 1000.0;
+        let f_tone = 35.0;
+        let design = Biquad::lowpass(25.0, fs, std::f64::consts::FRAC_1_SQRT_2).unwrap();
+        let predicted = design.magnitude_at(f_tone, fs);
+        let mut filt = design;
+        let out = filt.process(&sine_wave(fs, f_tone, 1.0, 0.0, 8000));
+        let settled = &out[2000..];
+        let rms =
+            (settled.iter().map(|v| v * v).sum::<f64>() / settled.len() as f64).sqrt();
+        let measured = rms * 2.0_f64.sqrt();
+        assert!(
+            (measured - predicted).abs() < 0.01 * predicted.max(0.01),
+            "measured {measured} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn filter_is_stable_under_impulse() {
+        let mut f = Biquad::bandpass(5.0, 1000.0, 8.0).unwrap();
+        let mut x = vec![0.0; 20_000];
+        x[0] = 1.0;
+        let out = f.process(&x);
+        // High-Q ring-down decays rather than diverging.
+        let early: f64 = out[..1000].iter().map(|v| v.abs()).sum();
+        let late: f64 = out[19_000..].iter().map(|v| v.abs()).sum();
+        assert!(late < 1e-6 * early.max(1e-12), "late energy {late}");
+    }
+
+    #[test]
+    fn reset_clears_the_state() {
+        let mut f = Biquad::lowpass(10.0, 1000.0, std::f64::consts::FRAC_1_SQRT_2).unwrap();
+        let _ = f.process(&[1.0; 100]);
+        f.reset();
+        let fresh = Biquad::lowpass(10.0, 1000.0, std::f64::consts::FRAC_1_SQRT_2).unwrap();
+        assert_eq!(f, fresh);
+    }
+
+    #[test]
+    fn invalid_designs_are_rejected() {
+        assert!(Biquad::lowpass(0.0, 1000.0, 0.7).is_err());
+        assert!(Biquad::lowpass(600.0, 1000.0, 0.7).is_err());
+        assert!(Biquad::lowpass(10.0, 0.0, 0.7).is_err());
+        assert!(Biquad::bandpass(10.0, 1000.0, 0.0).is_err());
+        assert!(Biquad::highpass(10.0, -5.0, 0.7).is_err());
+    }
+}

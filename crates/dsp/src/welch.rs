@@ -1,0 +1,231 @@
+//! Welch-averaged power spectral density estimation.
+//!
+//! The single-FFT periodogram of [`crate::spectrum`] is the right tool
+//! for coherent-tone tests (Fig. 7), but characterizing *noise floors* —
+//! idle-channel behavior, in-band noise density, spurious tones at
+//! unknown frequencies — needs a consistent PSD estimator. Welch's
+//! method averages windowed, overlapping segments, trading frequency
+//! resolution for variance:
+//!
+//! * segment length `L` (power of two), 50 % overlap;
+//! * Hann window with proper noise-bandwidth normalization, so white
+//!   noise of variance σ² integrates to σ² across the band;
+//! * density output in power per hertz, plus a helper for band power.
+
+use crate::fft::fft_real;
+use crate::window::Window;
+use crate::DspError;
+
+/// A Welch PSD estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WelchPsd {
+    /// One-sided power spectral density per bin, in (signal units)²/Hz.
+    density: Vec<f64>,
+    /// Bin spacing in Hz.
+    resolution_hz: f64,
+    /// Sample rate in Hz.
+    sample_rate: f64,
+    /// Number of averaged segments.
+    segments: usize,
+}
+
+impl WelchPsd {
+    /// Estimates the PSD of `signal` using `segment_len`-point segments
+    /// (power of two) with 50 % overlap and a Hann window.
+    ///
+    /// # Errors
+    ///
+    /// * [`DspError::LengthNotPowerOfTwo`] — invalid segment length.
+    /// * [`DspError::InputTooShort`] — fewer samples than one segment.
+    pub fn estimate(
+        signal: &[f64],
+        sample_rate: f64,
+        segment_len: usize,
+    ) -> Result<Self, DspError> {
+        if !segment_len.is_power_of_two() || segment_len < 8 {
+            return Err(DspError::LengthNotPowerOfTwo { len: segment_len });
+        }
+        if signal.len() < segment_len {
+            return Err(DspError::InputTooShort {
+                len: signal.len(),
+                required: segment_len,
+            });
+        }
+        let window = Window::Hann.coefficients(segment_len)?;
+        let window_energy: f64 = window.iter().map(|w| w * w).sum();
+        let hop = segment_len / 2;
+        let half = segment_len / 2;
+        let mut density = vec![0.0; half + 1];
+        let mut segments = 0usize;
+        let mut start = 0usize;
+        while start + segment_len <= signal.len() {
+            let windowed: Vec<f64> = signal[start..start + segment_len]
+                .iter()
+                .zip(&window)
+                .map(|(&x, &w)| x * w)
+                .collect();
+            let spec = fft_real(&windowed)?;
+            // Periodogram normalization: |X[k]|² / (fs · Σw²), doubled for
+            // the one-sided fold except at DC and Nyquist.
+            for (k, v) in spec.iter().take(half + 1).enumerate() {
+                let mut p = v.norm_sqr() / (sample_rate * window_energy);
+                if k != 0 && k != half {
+                    p *= 2.0;
+                }
+                density[k] += p;
+            }
+            segments += 1;
+            start += hop;
+        }
+        for d in &mut density {
+            *d /= segments as f64;
+        }
+        Ok(WelchPsd {
+            density,
+            resolution_hz: sample_rate / segment_len as f64,
+            sample_rate,
+            segments,
+        })
+    }
+
+    /// One-sided PSD values in (units)²/Hz.
+    pub fn density(&self) -> &[f64] {
+        &self.density
+    }
+
+    /// Bin spacing in Hz.
+    pub fn resolution_hz(&self) -> f64 {
+        self.resolution_hz
+    }
+
+    /// Sample rate in Hz.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// Number of averaged segments.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Center frequency of a bin.
+    pub fn bin_frequency(&self, bin: usize) -> f64 {
+        bin as f64 * self.resolution_hz
+    }
+
+    /// Integrated power over `[lo_hz, hi_hz]`.
+    pub fn band_power(&self, lo_hz: f64, hi_hz: f64) -> f64 {
+        let lo = (lo_hz / self.resolution_hz).round().max(0.0) as usize;
+        let hi = ((hi_hz / self.resolution_hz).round() as usize).min(self.density.len() - 1);
+        if lo > hi {
+            return 0.0;
+        }
+        self.density[lo..=hi].iter().sum::<f64>() * self.resolution_hz
+    }
+
+    /// The strongest non-DC bin: `(frequency, density)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::NoSignal`] when the spectrum is empty above DC.
+    pub fn peak(&self) -> Result<(f64, f64), DspError> {
+        self.density
+            .iter()
+            .enumerate()
+            .skip(2)
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite densities"))
+            .map(|(i, &d)| (self.bin_frequency(i), d))
+            .ok_or(DspError::NoSignal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::{add_white_noise, sine_wave};
+
+    #[test]
+    fn white_noise_integrates_to_its_variance() {
+        let mut x = vec![0.0; 65_536];
+        let peak = 0.5; // uniform ±0.5 → variance 1/12
+        add_white_noise(&mut x, peak, 11);
+        let fs = 1000.0;
+        let psd = WelchPsd::estimate(&x, fs, 1024).unwrap();
+        let total = psd.band_power(0.0, fs / 2.0);
+        let expected = peak * peak / 3.0;
+        assert!(
+            (total - expected).abs() < 0.05 * expected,
+            "integrated {total} vs variance {expected}"
+        );
+        // Flat density: first and last quarter of the band agree.
+        let low = psd.band_power(10.0, 100.0) / 90.0;
+        let high = psd.band_power(400.0, 490.0) / 90.0;
+        assert!((low / high - 1.0).abs() < 0.2, "flatness {low} vs {high}");
+    }
+
+    #[test]
+    fn tone_power_is_recovered_in_band() {
+        let fs = 1000.0;
+        let amp = 0.3;
+        let x = sine_wave(fs, 123.0, amp, 0.0, 32_768);
+        let psd = WelchPsd::estimate(&x, fs, 2048).unwrap();
+        // A tone's power integrates to A²/2 regardless of the window.
+        let tone_power = psd.band_power(110.0, 136.0);
+        assert!(
+            (tone_power - amp * amp / 2.0).abs() < 0.02 * amp * amp,
+            "tone power {tone_power}"
+        );
+        let (f_peak, _) = psd.peak().unwrap();
+        assert!((f_peak - 123.0).abs() < 2.0 * psd.resolution_hz());
+    }
+
+    #[test]
+    fn averaging_reduces_variance() {
+        let make = |n: usize| {
+            let mut x = vec![0.0; n];
+            add_white_noise(&mut x, 0.3, 5);
+            WelchPsd::estimate(&x, 1000.0, 512).unwrap()
+        };
+        let few = make(1024); // 3 segments
+        let many = make(65_536); // 255 segments
+        assert!(many.segments() > 50 * few.segments() / 10);
+        let spread = |psd: &WelchPsd| {
+            let d = &psd.density()[5..250];
+            let mean = d.iter().sum::<f64>() / d.len() as f64;
+            d.iter().map(|v| (v - mean).abs()).sum::<f64>() / d.len() as f64 / mean
+        };
+        assert!(
+            spread(&many) < 0.5 * spread(&few),
+            "{} !< {}",
+            spread(&many),
+            spread(&few)
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(matches!(
+            WelchPsd::estimate(&[0.0; 100], 1000.0, 100),
+            Err(DspError::LengthNotPowerOfTwo { .. })
+        ));
+        assert!(matches!(
+            WelchPsd::estimate(&[0.0; 100], 1000.0, 256),
+            Err(DspError::InputTooShort { .. })
+        ));
+        assert!(matches!(
+            WelchPsd::estimate(&[0.0; 100], 1000.0, 4),
+            Err(DspError::LengthNotPowerOfTwo { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors_are_consistent() {
+        let x = sine_wave(1000.0, 50.0, 1.0, 0.0, 4096);
+        let psd = WelchPsd::estimate(&x, 1000.0, 512).unwrap();
+        assert_eq!(psd.density().len(), 257);
+        assert!((psd.resolution_hz() - 1000.0 / 512.0).abs() < 1e-12);
+        assert_eq!(psd.sample_rate(), 1000.0);
+        assert_eq!(psd.segments(), 15);
+        assert!((psd.bin_frequency(256) - 500.0).abs() < 1e-9);
+    }
+}

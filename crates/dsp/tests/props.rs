@@ -1,0 +1,189 @@
+//! Property-based tests of the DSP substrate invariants.
+
+use proptest::prelude::*;
+use tonos_dsp::cic::{CicDecimator, CicDecimatorF64};
+use tonos_dsp::decimator::{DecimatorConfig, OutputQuantizer};
+use tonos_dsp::fft::{fft, ifft, Complex};
+use tonos_dsp::fir::{design_lowpass, magnitude_at, FirDecimator};
+use tonos_dsp::fixed::{Fixed, QFormat};
+use tonos_dsp::fpga::FixedPointDecimator;
+use tonos_dsp::window::Window;
+
+proptest! {
+    /// FFT → IFFT is the identity for arbitrary complex signals.
+    #[test]
+    fn fft_round_trips(values in prop::collection::vec(-1e3_f64..1e3, 128)) {
+        let signal: Vec<Complex> = values
+            .chunks(2)
+            .map(|c| Complex::new(c[0], c[1]))
+            .collect();
+        let mut buf = signal.clone();
+        fft(&mut buf).unwrap();
+        ifft(&mut buf).unwrap();
+        for (a, b) in buf.iter().zip(&signal) {
+            prop_assert!((a.re - b.re).abs() < 1e-8);
+            prop_assert!((a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    /// Parseval holds for arbitrary real signals.
+    #[test]
+    fn parseval_holds(values in prop::collection::vec(-10.0_f64..10.0, 256)) {
+        let time: f64 = values.iter().map(|v| v * v).sum();
+        let spec = tonos_dsp::fft::fft_real(&values).unwrap();
+        let freq: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / 256.0;
+        prop_assert!((time - freq).abs() <= 1e-9 * time.max(1.0));
+    }
+
+    /// Integer and float CIC agree exactly on integer streams.
+    #[test]
+    fn cic_integer_float_equivalence(
+        bits in prop::collection::vec(prop::bool::ANY, 256),
+        order in 1_usize..4,
+        ratio in 2_usize..17,
+    ) {
+        let xs_i: Vec<i64> = bits.iter().map(|&b| if b { 1 } else { -1 }).collect();
+        let xs_f: Vec<f64> = xs_i.iter().map(|&v| v as f64).collect();
+        let mut ci = CicDecimator::new(order, ratio).unwrap();
+        let mut cf = CicDecimatorF64::new(order, ratio).unwrap();
+        let oi = ci.process(&xs_i);
+        let of = cf.process(&xs_f);
+        let gain = ci.gain() as f64;
+        prop_assert_eq!(oi.len(), of.len());
+        for (a, b) in oi.iter().zip(&of) {
+            prop_assert!((*a as f64 / gain - b).abs() < 1e-9);
+        }
+    }
+
+    /// The CIC is linear: cic(a·x + b·y) = a·cic(x) + b·cic(y).
+    #[test]
+    fn cic_is_linear(
+        xs in prop::collection::vec(-5_i64..=5, 128),
+        ys in prop::collection::vec(-5_i64..=5, 128),
+        a in 1_i64..4,
+        b in 1_i64..4,
+    ) {
+        let combined: Vec<i64> = xs.iter().zip(&ys).map(|(x, y)| a * x + b * y).collect();
+        let mut c1 = CicDecimator::new(3, 8).unwrap();
+        let mut c2 = CicDecimator::new(3, 8).unwrap();
+        let mut c3 = CicDecimator::new(3, 8).unwrap();
+        let ox = c1.process(&xs);
+        let oy = c2.process(&ys);
+        let oc = c3.process(&combined);
+        for ((x, y), c) in ox.iter().zip(&oy).zip(&oc) {
+            prop_assert_eq!(a * x + b * y, *c);
+        }
+    }
+
+    /// Windowed-sinc designs are always linear-phase (symmetric) with
+    /// unity DC gain, for any tap count and cutoff.
+    #[test]
+    fn fir_designs_are_linear_phase(taps in 4_usize..96, cutoff in 0.01_f64..0.49) {
+        let h = design_lowpass(taps, cutoff, Window::Hamming).unwrap();
+        prop_assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        for i in 0..taps / 2 {
+            prop_assert!((h[i] - h[taps - 1 - i]).abs() < 1e-12, "tap {i}");
+        }
+        prop_assert!((magnitude_at(&h, 0.0) - 1.0).abs() < 1e-9);
+    }
+
+    /// Decimating by R keeps exactly every R-th full-rate output.
+    #[test]
+    fn fir_decimation_is_subsampling(
+        input in prop::collection::vec(-1.0_f64..1.0, 128),
+        ratio in 1_usize..9,
+    ) {
+        let taps = design_lowpass(16, 0.2, Window::Hann).unwrap();
+        let mut full = FirDecimator::new(taps.clone(), 1).unwrap();
+        let mut deci = FirDecimator::new(taps, ratio).unwrap();
+        let all = full.process(&input);
+        let some = deci.process(&input);
+        for (j, &v) in some.iter().enumerate() {
+            prop_assert!((v - all[ratio * (j + 1) - 1]).abs() < 1e-12);
+        }
+    }
+
+    /// Output quantization error is bounded by half an LSB inside range;
+    /// the mid-tread top code sits one LSB below +FS, so values above
+    /// `1 − LSB` may saturate with up to one LSB of error.
+    #[test]
+    fn quantizer_error_is_bounded(x in -1.0_f64..0.999, bits in 4_u32..16) {
+        let q = OutputQuantizer::new(bits).unwrap();
+        let err = (q.round_trip(x) - x).abs();
+        let bound = if x <= 1.0 - q.lsb() { q.lsb() / 2.0 } else { q.lsb() };
+        prop_assert!(err <= bound + 1e-12, "error {err} vs bound {bound}");
+    }
+
+    /// Fixed-point round trips are within half an LSB and saturate
+    /// cleanly outside the range.
+    #[test]
+    fn fixed_point_round_trip(x in -4.0_f64..4.0, frac in 4_u32..20) {
+        let fmt = QFormat::new(frac + 4, frac).unwrap();
+        let f = Fixed::from_f64(x, fmt);
+        if x >= fmt.min_value() && x <= fmt.max_value() {
+            prop_assert!((f.to_f64() - x).abs() <= fmt.lsb() / 2.0 + 1e-12);
+        } else {
+            prop_assert!(f.raw() == fmt.max_raw() || f.raw() == fmt.min_raw());
+        }
+    }
+
+    /// The paper decimator is time-invariant for DC: any DC level within
+    /// range settles to itself (within the CIC input quantization).
+    #[test]
+    fn decimator_settles_to_dc(level in -0.95_f64..0.95) {
+        let mut d = DecimatorConfig {
+            output_bits: None,
+            ..DecimatorConfig::paper_default()
+        }
+        .build()
+        .unwrap();
+        let out = d.process(&vec![level; 128 * 40]);
+        let last = *out.last().unwrap();
+        prop_assert!((last - level).abs() < 1e-6, "settled to {last} for {level}");
+    }
+
+    /// The bit-exact FPGA datapath agrees with the behavioral f64 chain
+    /// within 1.5 output LSB for arbitrary bitstreams.
+    #[test]
+    fn fpga_agrees_with_behavioral_chain(bits in prop::collection::vec(prop::bool::ANY, 128 * 40)) {
+        let stream: Vec<i8> = bits.iter().map(|&b| if b { 1 } else { -1 }).collect();
+        let mut hw = FixedPointDecimator::paper_default();
+        let mut sw = DecimatorConfig::paper_default().build().unwrap();
+        let hw_codes: Vec<i32> = stream.iter().filter_map(|&b| hw.push(b)).collect();
+        let sw_out: Vec<f64> = stream
+            .iter()
+            .filter_map(|&b| sw.push(f64::from(b)))
+            .collect();
+        prop_assert_eq!(hw_codes.len(), sw_out.len());
+        for (c, s) in hw_codes.iter().zip(&sw_out) {
+            let hw_v = hw.dequantize(*c);
+            prop_assert!((hw_v - s).abs() <= 1.5 / 2048.0, "{hw_v} vs {s}");
+        }
+    }
+
+    /// CIC magnitude formula stays within [0, 1] and hits its nulls.
+    #[test]
+    fn cic_magnitude_bounds(order in 1_usize..5, ratio in 2_usize..64, f in 0.0_f64..0.5) {
+        let cic = CicDecimatorF64::new(order, ratio).unwrap();
+        let m = cic.magnitude_at(f);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&m), "|H({f})| = {m}");
+        // Null at k/R for k = 1..R/2.
+        let null = cic.magnitude_at(1.0 / ratio as f64);
+        prop_assert!(null < 1e-9, "null leakage {null}");
+    }
+
+    /// Coherent-frequency snapping always yields an odd in-band bin.
+    #[test]
+    fn coherent_bins_are_odd_and_in_band(
+        target in 0.0_f64..10_000.0,
+        n_pow in 6_u32..14,
+    ) {
+        let n = 1_usize << n_pow;
+        let fs = 1000.0;
+        let f = Window::coherent_frequency(fs, n, target);
+        let bin = f * n as f64 / fs;
+        prop_assert!((bin - bin.round()).abs() < 1e-9);
+        prop_assert_eq!(bin.round() as i64 % 2, 1);
+        prop_assert!(f > 0.0 && f < fs / 2.0);
+    }
+}

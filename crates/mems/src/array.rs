@@ -1,0 +1,448 @@
+//! The tactile sensor array and its on-chip reference structure.
+//!
+//! The paper's chip carries a 2×2 array of membrane elements on a 150 µm
+//! pitch plus a *reference structure* — a nominally identical but
+//! non-released (pressure-insensitive) capacitor. The ΣΔ front end
+//! integrates the **difference** between the selected sensing element and
+//! the reference (paper Fig. 6), cancelling the large static baseline.
+//!
+//! Fabrication mismatch is modeled by perturbing each element's air gap
+//! and parasitic capacitance with a seeded RNG, so arrays are reproducible
+//! for tests while still exhibiting realistic fF-scale element offsets.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::capacitor::ElectrodeGeometry;
+use crate::element::ForceSensorElement;
+use crate::plate::SquarePlate;
+use crate::units::{Farads, Meters, Pascals};
+use crate::MemsError;
+
+/// Grid dimensions and pitch of the array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayLayout {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Center-to-center element pitch.
+    pub pitch: Meters,
+}
+
+impl ArrayLayout {
+    /// The paper's layout: 2×2 elements on a 150 µm pitch (§2.1).
+    pub fn paper_default() -> Self {
+        ArrayLayout {
+            rows: 2,
+            cols: 2,
+            pitch: Meters::from_microns(150.0),
+        }
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// True when the layout holds no elements (never for valid layouts).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Physical center position of element `(row, col)` relative to the
+    /// array centroid, in meters: `(x, y)` with x along columns and y along
+    /// rows.
+    pub fn position(&self, row: usize, col: usize) -> (f64, f64) {
+        let x = (col as f64 - (self.cols as f64 - 1.0) / 2.0) * self.pitch.value();
+        let y = (row as f64 - (self.rows as f64 - 1.0) / 2.0) * self.pitch.value();
+        (x, y)
+    }
+}
+
+impl Default for ArrayLayout {
+    fn default() -> Self {
+        ArrayLayout::paper_default()
+    }
+}
+
+/// Relative 1-sigma mismatch magnitudes for array fabrication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MismatchModel {
+    /// Relative air-gap variation (e.g. 0.01 = 1 %).
+    pub gap_sigma: f64,
+    /// Absolute parasitic-capacitance variation in farads.
+    pub parasitic_sigma: Farads,
+}
+
+impl MismatchModel {
+    /// Typical 0.8 µm-process numbers: 1 % gap spread, 0.5 fF parasitic
+    /// spread.
+    pub fn typical() -> Self {
+        MismatchModel {
+            gap_sigma: 0.01,
+            parasitic_sigma: Farads::from_femtofarads(0.5),
+        }
+    }
+
+    /// A perfectly matched array (useful for analytic tests).
+    pub fn none() -> Self {
+        MismatchModel {
+            gap_sigma: 0.0,
+            parasitic_sigma: Farads(0.0),
+        }
+    }
+}
+
+/// The sensor array: elements, layout, and the reference capacitor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorArray {
+    layout: ArrayLayout,
+    elements: Vec<ForceSensorElement>,
+    reference: Farads,
+}
+
+impl SensorArray {
+    /// Builds a perfectly matched array from a prototype element.
+    ///
+    /// The reference structure is set to the prototype's rest capacitance,
+    /// the design intent of the paper's reference (same stack, not
+    /// released).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError::InvalidGeometry`] for an empty layout.
+    pub fn uniform(layout: ArrayLayout, prototype: ForceSensorElement) -> Result<Self, MemsError> {
+        if layout.is_empty() {
+            return Err(MemsError::InvalidGeometry(
+                "array layout must contain at least one element".into(),
+            ));
+        }
+        let reference = prototype.rest_capacitance();
+        let elements = vec![prototype; layout.len()];
+        Ok(SensorArray {
+            layout,
+            elements,
+            reference,
+        })
+    }
+
+    /// Builds an array with seeded fabrication mismatch applied to every
+    /// element (and to the reference structure's parasitic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError::InvalidGeometry`] for an empty layout or when
+    /// a perturbed geometry becomes invalid (pathological sigma values).
+    pub fn with_mismatch(
+        layout: ArrayLayout,
+        base_geometry: ElectrodeGeometry,
+        mismatch: MismatchModel,
+        seed: u64,
+    ) -> Result<Self, MemsError> {
+        if layout.is_empty() {
+            return Err(MemsError::InvalidGeometry(
+                "array layout must contain at least one element".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut elements = Vec::with_capacity(layout.len());
+        for _ in 0..layout.len() {
+            let mut geom = base_geometry;
+            let gap_factor = 1.0 + mismatch.gap_sigma * gaussian(&mut rng);
+            geom.air_gap = Meters(base_geometry.air_gap.value() * gap_factor);
+            geom.parasitic = Farads(
+                base_geometry.parasitic.value()
+                    + mismatch.parasitic_sigma.value() * gaussian(&mut rng),
+            );
+            if geom.parasitic.value() < 0.0 {
+                geom.parasitic = Farads(0.0);
+            }
+            elements.push(ForceSensorElement::from_parts(
+                SquarePlate::paper_default(),
+                geom,
+            )?);
+        }
+        // Reference structure: nominal rest capacitance of the unperturbed
+        // geometry plus its own parasitic mismatch.
+        let nominal = ForceSensorElement::from_parts(SquarePlate::paper_default(), base_geometry)?
+            .rest_capacitance();
+        let reference = Farads(
+            nominal.value() + mismatch.parasitic_sigma.value() * gaussian(&mut rng),
+        );
+        Ok(SensorArray {
+            layout,
+            elements,
+            reference,
+        })
+    }
+
+    /// The paper's 2×2 array with typical fabrication mismatch
+    /// (deterministic for a given seed).
+    pub fn paper_default(seed: u64) -> Self {
+        SensorArray::with_mismatch(
+            ArrayLayout::paper_default(),
+            ElectrodeGeometry::paper_default(),
+            MismatchModel::typical(),
+            seed,
+        )
+        .expect("paper array is valid")
+    }
+
+    /// An ideal, perfectly matched paper array (for analytic tests).
+    pub fn paper_ideal() -> Self {
+        SensorArray::uniform(ArrayLayout::paper_default(), ForceSensorElement::paper_default())
+            .expect("paper array is valid")
+    }
+
+    /// Array layout.
+    pub fn layout(&self) -> ArrayLayout {
+        self.layout
+    }
+
+    /// Overrides every element's capacitance-integration grid (speed /
+    /// accuracy trade-off for systems evaluating capacitance at high
+    /// rates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` is odd or zero.
+    pub fn with_grid(self, grid: usize) -> Self {
+        SensorArray {
+            layout: self.layout,
+            elements: self
+                .elements
+                .into_iter()
+                .map(|e| e.with_grid(grid))
+                .collect(),
+            reference: self.reference,
+        }
+    }
+
+    /// Borrow the element at `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError::ElementOutOfRange`] for indices outside the
+    /// layout.
+    pub fn element(&self, row: usize, col: usize) -> Result<&ForceSensorElement, MemsError> {
+        if row >= self.layout.rows || col >= self.layout.cols {
+            return Err(MemsError::ElementOutOfRange {
+                row,
+                col,
+                rows: self.layout.rows,
+                cols: self.layout.cols,
+            });
+        }
+        Ok(&self.elements[row * self.layout.cols + col])
+    }
+
+    /// Iterates over `((row, col), element)` pairs in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), &ForceSensorElement)> {
+        let cols = self.layout.cols;
+        self.elements
+            .iter()
+            .enumerate()
+            .map(move |(i, e)| ((i / cols, i % cols), e))
+    }
+
+    /// The fixed reference capacitance the modulator compares against.
+    pub fn reference_capacitance(&self) -> Farads {
+        self.reference
+    }
+
+    /// Evaluates every element's capacitance for a per-element pressure
+    /// slice (row-major order, length = element count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError::InvalidGeometry`] on a length mismatch and
+    /// propagates per-element capacitance errors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tonos_mems::array::SensorArray;
+    /// use tonos_mems::units::Pascals;
+    ///
+    /// # fn main() -> Result<(), tonos_mems::MemsError> {
+    /// let array = SensorArray::paper_ideal();
+    /// let caps = array.capacitances(&[Pascals(0.0); 4])?;
+    /// assert_eq!(caps.len(), 4);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn capacitances(&self, pressures: &[Pascals]) -> Result<Vec<Farads>, MemsError> {
+        if pressures.len() != self.elements.len() {
+            return Err(MemsError::InvalidGeometry(format!(
+                "expected {} pressures, got {}",
+                self.elements.len(),
+                pressures.len()
+            )));
+        }
+        self.elements
+            .iter()
+            .zip(pressures)
+            .map(|(e, &p)| e.capacitance(p))
+            .collect()
+    }
+}
+
+/// Standard-normal sample via Box–Muller (avoids a rand_distr dependency).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::MillimetersHg;
+
+    #[test]
+    fn layout_positions_are_centered() {
+        let layout = ArrayLayout::paper_default();
+        let (x00, y00) = layout.position(0, 0);
+        let (x11, y11) = layout.position(1, 1);
+        assert!((x00 + 75e-6).abs() < 1e-12);
+        assert!((y00 + 75e-6).abs() < 1e-12);
+        assert!((x11 - 75e-6).abs() < 1e-12);
+        assert!((y11 - 75e-6).abs() < 1e-12);
+        // Centroid of all positions is the origin.
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for r in 0..layout.rows {
+            for c in 0..layout.cols {
+                let (x, y) = layout.position(r, c);
+                cx += x;
+                cy += y;
+            }
+        }
+        assert!(cx.abs() < 1e-18 && cy.abs() < 1e-18);
+    }
+
+    #[test]
+    fn ideal_array_has_zero_differential_offset() {
+        let array = SensorArray::paper_ideal();
+        let caps = array.capacitances(&[Pascals(0.0); 4]).unwrap();
+        for c in caps {
+            assert!((c.value() - array.reference_capacitance().value()).abs() < 1e-24);
+        }
+    }
+
+    #[test]
+    fn mismatch_is_deterministic_per_seed() {
+        let a = SensorArray::paper_default(7);
+        let b = SensorArray::paper_default(7);
+        let c = SensorArray::paper_default(8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mismatch_offsets_are_femtofarad_scale() {
+        let array = SensorArray::paper_default(42);
+        let caps = array.capacitances(&[Pascals(0.0); 4]).unwrap();
+        let reference = array.reference_capacitance();
+        let mut max_offset = 0.0_f64;
+        for c in caps {
+            let off = (c.to_femtofarads() - reference.to_femtofarads()).abs();
+            max_offset = max_offset.max(off);
+        }
+        assert!(
+            max_offset > 0.001 && max_offset < 10.0,
+            "offset {max_offset} fF implausible for 1% gap mismatch"
+        );
+    }
+
+    #[test]
+    fn element_indexing_and_bounds() {
+        let array = SensorArray::paper_ideal();
+        assert!(array.element(0, 0).is_ok());
+        assert!(array.element(1, 1).is_ok());
+        let err = array.element(2, 0).unwrap_err();
+        assert!(matches!(err, MemsError::ElementOutOfRange { .. }));
+        let err = array.element(0, 2).unwrap_err();
+        assert!(matches!(err, MemsError::ElementOutOfRange { .. }));
+    }
+
+    #[test]
+    fn iter_visits_all_elements_in_row_major_order() {
+        let array = SensorArray::paper_ideal();
+        let indices: Vec<_> = array.iter().map(|(rc, _)| rc).collect();
+        assert_eq!(indices, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn capacitances_rejects_wrong_slice_length() {
+        let array = SensorArray::paper_ideal();
+        let err = array.capacitances(&[Pascals(0.0); 3]).unwrap_err();
+        assert!(matches!(err, MemsError::InvalidGeometry(_)));
+    }
+
+    #[test]
+    fn loaded_element_rises_above_reference() {
+        let array = SensorArray::paper_ideal();
+        let p = Pascals::from_mmhg(MillimetersHg(120.0));
+        let caps = array
+            .capacitances(&[p, Pascals(0.0), Pascals(0.0), Pascals(0.0)])
+            .unwrap();
+        assert!(caps[0] > array.reference_capacitance());
+        assert!((caps[1].value() - array.reference_capacitance().value()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn empty_layout_is_rejected() {
+        let layout = ArrayLayout {
+            rows: 0,
+            cols: 2,
+            pitch: Meters::from_microns(150.0),
+        };
+        assert!(SensorArray::uniform(layout, ForceSensorElement::paper_default()).is_err());
+        assert!(SensorArray::with_mismatch(
+            layout,
+            ElectrodeGeometry::paper_default(),
+            MismatchModel::none(),
+            0,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn larger_layouts_are_supported() {
+        // The paper notes the mux design "can be easily extended to larger
+        // array sizes"; the model must scale too.
+        let layout = ArrayLayout {
+            rows: 4,
+            cols: 4,
+            pitch: Meters::from_microns(150.0),
+        };
+        let array = SensorArray::with_mismatch(
+            layout,
+            ElectrodeGeometry::paper_default(),
+            MismatchModel::typical(),
+            3,
+        )
+        .unwrap();
+        assert_eq!(array.layout().len(), 16);
+        assert!(array.element(3, 3).is_ok());
+    }
+
+    #[test]
+    fn zero_sigma_mismatch_matches_ideal() {
+        let array = SensorArray::with_mismatch(
+            ArrayLayout::paper_default(),
+            ElectrodeGeometry::paper_default(),
+            MismatchModel::none(),
+            99,
+        )
+        .unwrap();
+        let ideal = SensorArray::paper_ideal();
+        let a = array.capacitances(&[Pascals(0.0); 4]).unwrap();
+        let b = ideal.capacitances(&[Pascals(0.0); 4]).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.value() - y.value()).abs() < 1e-24);
+        }
+    }
+}

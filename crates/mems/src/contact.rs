@@ -1,0 +1,282 @@
+//! Tissue contact coupling: PDMS layer, hold-down pressure, backpressure.
+//!
+//! The assembled sensor (paper Fig. 8) is pressed against the skin with a
+//! hold-down pressure; a pressure tube on the back of the die applies a
+//! *backpressure* that bows the membranes outward "so that they stick out
+//! and touch the surface of the measured object" (§3.2). The chip surface
+//! is coated with PDMS surrounded by glob-top epoxy (§2.1).
+//!
+//! Because the pressurized membranes protrude above the chip surface, the
+//! contact force concentrates on them instead of being shared with the
+//! stiff surround; [`ContactInterface::force_concentration`] captures that
+//! geometric gain. The PDMS coat slightly attenuates and low-pass-filters
+//! the transmitted pressure; we model the static attenuation here (temporal
+//! filtering is negligible far below the PDMS mechanical resonance).
+
+use crate::array::SensorArray;
+use crate::units::Pascals;
+use crate::MemsError;
+
+/// A spatial pressure field on the skin/sensor interface, in chip
+/// coordinates (meters, origin at the array centroid).
+///
+/// Implemented by tissue models (see `tonos-physio`) and by the simple
+/// fields in this module. Object-safe so heterogeneous sources can be
+/// mixed in tests.
+pub trait PressureField {
+    /// Contact pressure at position `(x, y)` on the interface.
+    fn pressure_at(&self, x: f64, y: f64) -> Pascals;
+}
+
+/// A spatially uniform pressure field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformPressure(pub Pascals);
+
+impl PressureField for UniformPressure {
+    fn pressure_at(&self, _x: f64, _y: f64) -> Pascals {
+        self.0
+    }
+}
+
+/// Adapter turning a closure `(x, y) -> Pascals` into a [`PressureField`].
+pub struct FnPressureField<F>(pub F)
+where
+    F: Fn(f64, f64) -> Pascals;
+
+impl<F> PressureField for FnPressureField<F>
+where
+    F: Fn(f64, f64) -> Pascals,
+{
+    fn pressure_at(&self, x: f64, y: f64) -> Pascals {
+        (self.0)(x, y)
+    }
+}
+
+impl<T: PressureField + ?Sized> PressureField for &T {
+    fn pressure_at(&self, x: f64, y: f64) -> Pascals {
+        (**self).pressure_at(x, y)
+    }
+}
+
+/// Static model of the sensor–tissue interface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContactInterface {
+    /// Constant pressure with which the device is strapped/held against
+    /// the skin. Adds to the external field at every element.
+    pub hold_down: Pascals,
+    /// Backside tube pressure bowing the membranes outward (reduces the
+    /// net downward load).
+    pub backpressure: Pascals,
+    /// Geometric force-concentration factor of the protruding membranes
+    /// (≥ 1): contact force gathered from the surrounding pitch area is
+    /// carried by the membrane alone.
+    pub force_concentration: f64,
+    /// Static transmission factor of the PDMS coat, in (0, 1].
+    pub pdms_transmission: f64,
+}
+
+impl ContactInterface {
+    /// Wrist-measurement defaults: 40 mmHg hold-down, 30 mmHg backpressure,
+    /// 4× concentration (pitch²/membrane² ≈ 2.25 plus PDMS funneling), 90 %
+    /// PDMS transmission.
+    pub fn wrist_default() -> Self {
+        ContactInterface {
+            hold_down: Pascals::from_mmhg(crate::units::MillimetersHg(40.0)),
+            backpressure: Pascals::from_mmhg(crate::units::MillimetersHg(30.0)),
+            force_concentration: 4.0,
+            pdms_transmission: 0.9,
+        }
+    }
+
+    /// A pass-through interface: no hold-down, no backpressure, no
+    /// concentration, lossless coat. Useful for analytic tests.
+    pub fn transparent() -> Self {
+        ContactInterface {
+            hold_down: Pascals(0.0),
+            backpressure: Pascals(0.0),
+            force_concentration: 1.0,
+            pdms_transmission: 1.0,
+        }
+    }
+
+    /// Validates the interface parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError::InvalidGeometry`] when the concentration factor
+    /// is below 1 or the PDMS transmission is outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), MemsError> {
+        if self.force_concentration < 1.0 || !self.force_concentration.is_finite() {
+            return Err(MemsError::InvalidGeometry(format!(
+                "force concentration {} must be >= 1",
+                self.force_concentration
+            )));
+        }
+        if !(self.pdms_transmission > 0.0 && self.pdms_transmission <= 1.0) {
+            return Err(MemsError::InvalidGeometry(format!(
+                "PDMS transmission {} must be in (0, 1]",
+                self.pdms_transmission
+            )));
+        }
+        Ok(())
+    }
+
+    /// Net membrane load for a given external contact pressure:
+    ///
+    /// ```text
+    /// p_net = concentration · transmission · (p_ext + hold_down) − backpressure
+    /// ```
+    pub fn net_element_pressure(&self, external: Pascals) -> Pascals {
+        Pascals(
+            self.force_concentration
+                * self.pdms_transmission
+                * (external.value() + self.hold_down.value())
+                - self.backpressure.value(),
+        )
+    }
+
+    /// Samples a pressure field at every element position of an array and
+    /// returns the net per-element membrane loads (row-major).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError::InvalidGeometry`] for invalid interface
+    /// parameters (see [`ContactInterface::validate`]).
+    pub fn element_pressures<F: PressureField + ?Sized>(
+        &self,
+        array: &SensorArray,
+        field: &F,
+    ) -> Result<Vec<Pascals>, MemsError> {
+        self.validate()?;
+        let layout = array.layout();
+        let mut out = Vec::with_capacity(layout.len());
+        for row in 0..layout.rows {
+            for col in 0..layout.cols {
+                let (x, y) = layout.position(row, col);
+                out.push(self.net_element_pressure(field.pressure_at(x, y)));
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Default for ContactInterface {
+    fn default() -> Self {
+        ContactInterface::wrist_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::MillimetersHg;
+
+    #[test]
+    fn transparent_interface_is_identity() {
+        let iface = ContactInterface::transparent();
+        let p = Pascals(1234.5);
+        assert_eq!(iface.net_element_pressure(p), p);
+    }
+
+    #[test]
+    fn hold_down_and_backpressure_shift_the_operating_point() {
+        let iface = ContactInterface {
+            hold_down: Pascals(1000.0),
+            backpressure: Pascals(400.0),
+            force_concentration: 1.0,
+            pdms_transmission: 1.0,
+        };
+        let net = iface.net_element_pressure(Pascals(0.0));
+        assert!((net.value() - 600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentration_amplifies_the_signal_not_the_backpressure() {
+        let iface = ContactInterface {
+            hold_down: Pascals(0.0),
+            backpressure: Pascals(100.0),
+            force_concentration: 4.0,
+            pdms_transmission: 1.0,
+        };
+        let a = iface.net_element_pressure(Pascals(0.0)).value();
+        let b = iface.net_element_pressure(Pascals(50.0)).value();
+        assert!((b - a - 200.0).abs() < 1e-12, "external delta gained 4x");
+        assert!((a + 100.0).abs() < 1e-12, "backpressure applied unscaled");
+    }
+
+    #[test]
+    fn pdms_attenuates_transmission() {
+        let lossy = ContactInterface {
+            pdms_transmission: 0.5,
+            ..ContactInterface::transparent()
+        };
+        let net = lossy.net_element_pressure(Pascals(1000.0));
+        assert!((net.value() - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn element_pressures_sample_field_at_positions() {
+        let array = SensorArray::paper_ideal();
+        let iface = ContactInterface::transparent();
+        // A field that encodes position: p = x * 1e9 + y * 1e6.
+        let field = FnPressureField(|x: f64, y: f64| Pascals(x * 1e9 + y * 1e6));
+        let loads = iface.element_pressures(&array, &field).unwrap();
+        assert_eq!(loads.len(), 4);
+        let layout = array.layout();
+        for (i, (row, col)) in [(0usize, 0usize), (0, 1), (1, 0), (1, 1)]
+            .into_iter()
+            .enumerate()
+        {
+            let (x, y) = layout.position(row, col);
+            assert!((loads[i].value() - (x * 1e9 + y * 1e6)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_interface_parameters_are_rejected() {
+        let array = SensorArray::paper_ideal();
+        let field = UniformPressure(Pascals(0.0));
+        let bad = ContactInterface {
+            force_concentration: 0.5,
+            ..ContactInterface::transparent()
+        };
+        assert!(bad.element_pressures(&array, &field).is_err());
+        let bad = ContactInterface {
+            pdms_transmission: 0.0,
+            ..ContactInterface::transparent()
+        };
+        assert!(bad.element_pressures(&array, &field).is_err());
+        let bad = ContactInterface {
+            pdms_transmission: 1.5,
+            ..ContactInterface::transparent()
+        };
+        assert!(bad.element_pressures(&array, &field).is_err());
+    }
+
+    #[test]
+    fn wrist_default_keeps_membranes_protruding_at_rest() {
+        // With no external pulse, the wrist setup's backpressure must not
+        // be fully cancelled: the net load should stay moderate (membranes
+        // operating near their protruding bias, not collapsed).
+        let iface = ContactInterface::wrist_default();
+        iface.validate().unwrap();
+        let net = iface.net_element_pressure(Pascals(0.0));
+        let mmhg = net.to_mmhg().value();
+        assert!(
+            (50.0..200.0).contains(&mmhg),
+            "rest operating point {mmhg} mmHg out of band"
+        );
+        // And a physiological pulse modulates around that point.
+        let pulse = iface.net_element_pressure(Pascals::from_mmhg(MillimetersHg(40.0)));
+        assert!(pulse > net);
+    }
+
+    #[test]
+    fn pressure_field_is_object_safe() {
+        let boxed: Box<dyn PressureField> = Box::new(UniformPressure(Pascals(10.0)));
+        assert_eq!(boxed.pressure_at(0.0, 0.0).value(), 10.0);
+        // Reference passthrough impl.
+        let by_ref: &dyn PressureField = &UniformPressure(Pascals(3.0));
+        assert_eq!((&by_ref).pressure_at(1.0, 1.0).value(), 3.0);
+    }
+}

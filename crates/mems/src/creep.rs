@@ -1,0 +1,183 @@
+//! Viscoelastic creep of the PDMS contact coat.
+//!
+//! The second slow drift source of a strapped-on tactile sensor (after
+//! [`crate::thermal`]): the PDMS layer between chip and skin is
+//! viscoelastic, so under the constant strap load it keeps deforming
+//! after application — the transmitted hold-down pressure *relaxes* over
+//! minutes. A session calibrated at strap-on therefore reads
+//! progressively low until the coat settles.
+//!
+//! Model: a standard-linear-solid (Zener) relaxation with one dominant
+//! time constant,
+//!
+//! ```text
+//! p(t) = p∞ + (p0 − p∞) · e^{−t/τ},   p∞ = (1 − r) · p0
+//! ```
+//!
+//! where `r` is the relaxing fraction of the initial contact pressure
+//! and `τ` the relaxation time (minutes for Sylgard-class PDMS at
+//! percent-level strains).
+
+use crate::units::Pascals;
+use crate::MemsError;
+
+/// PDMS stress-relaxation model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CreepModel {
+    /// Fraction of the initial contact pressure that relaxes away
+    /// (0..1).
+    relaxing_fraction: f64,
+    /// Relaxation time constant in seconds.
+    tau_s: f64,
+}
+
+impl CreepModel {
+    /// Creates a creep model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError::InvalidGeometry`] for a fraction outside
+    /// `[0, 1)` or a non-positive time constant.
+    pub fn new(relaxing_fraction: f64, tau_s: f64) -> Result<Self, MemsError> {
+        if !(0.0..1.0).contains(&relaxing_fraction) {
+            return Err(MemsError::InvalidGeometry(format!(
+                "relaxing fraction {relaxing_fraction} must be in [0, 1)"
+            )));
+        }
+        if !(tau_s > 0.0) {
+            return Err(MemsError::InvalidGeometry(
+                "relaxation time constant must be positive".into(),
+            ));
+        }
+        Ok(CreepModel {
+            relaxing_fraction,
+            tau_s,
+        })
+    }
+
+    /// Sylgard-184-class coat under strap load: ~8 % of the hold-down
+    /// pressure relaxes with a 3-minute time constant.
+    pub fn pdms_strap() -> Self {
+        CreepModel::new(0.08, 180.0).expect("preset is valid")
+    }
+
+    /// No creep (rigid coat).
+    pub fn none() -> Self {
+        CreepModel {
+            relaxing_fraction: 0.0,
+            tau_s: 1.0,
+        }
+    }
+
+    /// The relaxing fraction.
+    pub fn relaxing_fraction(&self) -> f64 {
+        self.relaxing_fraction
+    }
+
+    /// The relaxation time constant in seconds.
+    pub fn tau_s(&self) -> f64 {
+        self.tau_s
+    }
+
+    /// Remaining transmitted fraction of the initial contact pressure at
+    /// time `t` after strap-on: `1 − r·(1 − e^{−t/τ})`, clamped for
+    /// negative times.
+    pub fn transmitted_fraction(&self, t_s: f64) -> f64 {
+        if t_s <= 0.0 {
+            return 1.0;
+        }
+        1.0 - self.relaxing_fraction * (1.0 - (-t_s / self.tau_s).exp())
+    }
+
+    /// The *pressure error* introduced at time `t` for a contact bias
+    /// pressure: the (negative) drift a session calibrated at `t = 0`
+    /// accumulates.
+    pub fn pressure_drift(&self, bias: Pascals, t_s: f64) -> Pascals {
+        bias * (self.transmitted_fraction(t_s) - 1.0)
+    }
+
+    /// Time (seconds) until the remaining relaxation is below a fraction
+    /// `epsilon` of the initial pressure — how long to wait after
+    /// strap-on before calibrating, if one calibration must last.
+    ///
+    /// Returns 0 when the model never exceeds `epsilon`.
+    pub fn settle_time(&self, epsilon: f64) -> f64 {
+        if self.relaxing_fraction <= epsilon {
+            return 0.0;
+        }
+        // r·e^{−t/τ} = ε  →  t = τ·ln(r/ε)
+        self.tau_s * (self.relaxing_fraction / epsilon).ln()
+    }
+}
+
+impl Default for CreepModel {
+    fn default() -> Self {
+        CreepModel::pdms_strap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::MillimetersHg;
+
+    #[test]
+    fn transmission_starts_full_and_relaxes_monotonically() {
+        let c = CreepModel::pdms_strap();
+        assert_eq!(c.transmitted_fraction(0.0), 1.0);
+        assert_eq!(c.transmitted_fraction(-5.0), 1.0);
+        let mut last = 1.0;
+        for t in [10.0, 60.0, 180.0, 600.0, 3600.0] {
+            let f = c.transmitted_fraction(t);
+            assert!(f < last, "not monotone at {t}");
+            last = f;
+        }
+        // Asymptote: 1 − r.
+        let f_inf = c.transmitted_fraction(1e6);
+        assert!((f_inf - 0.92).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_magnitude_is_clinically_relevant() {
+        // 40 mmHg hold-down with 8 % relaxation → ~3 mmHg long-run error:
+        // the reason to wait (or recalibrate) after strapping on.
+        let c = CreepModel::pdms_strap();
+        let bias = Pascals::from_mmhg(MillimetersHg(40.0));
+        let drift = c.pressure_drift(bias, 1e6).to_mmhg().value();
+        assert!((-4.0..-2.0).contains(&drift), "long-run drift {drift} mmHg");
+        // Within the first 10 s the drift is still small.
+        let early = c.pressure_drift(bias, 10.0).to_mmhg().value();
+        assert!(early.abs() < 0.3, "early drift {early}");
+    }
+
+    #[test]
+    fn settle_time_matches_the_exponential() {
+        let c = CreepModel::pdms_strap();
+        let t = c.settle_time(0.01);
+        // After t, remaining relaxation is exactly epsilon.
+        let remaining = c.relaxing_fraction()
+            * (-(t / c.tau_s())).exp();
+        assert!((remaining - 0.01).abs() < 1e-12);
+        // A rigid coat needs no settling.
+        assert_eq!(CreepModel::none().settle_time(0.01), 0.0);
+    }
+
+    #[test]
+    fn none_model_is_identity() {
+        let c = CreepModel::none();
+        for t in [0.0, 100.0, 1e5] {
+            assert_eq!(c.transmitted_fraction(t), 1.0);
+            assert_eq!(
+                c.pressure_drift(Pascals(5000.0), t).value(),
+                0.0
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(CreepModel::new(1.0, 100.0).is_err());
+        assert!(CreepModel::new(-0.1, 100.0).is_err());
+        assert!(CreepModel::new(0.1, 0.0).is_err());
+    }
+}

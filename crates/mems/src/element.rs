@@ -1,0 +1,145 @@
+//! A single force-sensitive element: membrane capacitor plus force scaling.
+//!
+//! The paper calls each array cell a "square-shaped force-sensitive
+//! element". Tissue contact exerts a *force* on the protruding membrane;
+//! per unit membrane area that is the net *pressure* the plate model takes.
+
+use crate::capacitor::{ElectrodeGeometry, MembraneCapacitor};
+use crate::plate::SquarePlate;
+use crate::units::{Farads, Newtons, Pascals};
+use crate::MemsError;
+
+/// One force-sensitive membrane element of the tactile array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForceSensorElement {
+    capacitor: MembraneCapacitor,
+}
+
+impl ForceSensorElement {
+    /// Wraps a membrane capacitor as an array element.
+    pub fn new(capacitor: MembraneCapacitor) -> Self {
+        ForceSensorElement { capacitor }
+    }
+
+    /// The paper's element (100 µm membrane, default electrode geometry).
+    pub fn paper_default() -> Self {
+        ForceSensorElement::new(MembraneCapacitor::paper_default())
+    }
+
+    /// Builds an element from explicit plate and electrode geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry validation from [`MembraneCapacitor::new`].
+    pub fn from_parts(
+        plate: SquarePlate,
+        geometry: ElectrodeGeometry,
+    ) -> Result<Self, MemsError> {
+        Ok(ForceSensorElement::new(MembraneCapacitor::new(plate, geometry)?))
+    }
+
+    /// The underlying membrane capacitor.
+    pub fn capacitor(&self) -> &MembraneCapacitor {
+        &self.capacitor
+    }
+
+    /// Overrides the capacitance-integration grid (see
+    /// [`MembraneCapacitor::with_grid`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` is odd or zero.
+    pub fn with_grid(self, grid: usize) -> Self {
+        ForceSensorElement {
+            capacitor: self.capacitor.with_grid(grid),
+        }
+    }
+
+    /// Membrane area in m² (force-to-pressure conversion denominator).
+    pub fn membrane_area(&self) -> f64 {
+        let a = self.capacitor.plate().side().value();
+        a * a
+    }
+
+    /// Element capacitance under a net pressure load.
+    ///
+    /// # Errors
+    ///
+    /// Propagates collapse/solver errors from the capacitor model.
+    pub fn capacitance(&self, pressure: Pascals) -> Result<Farads, MemsError> {
+        self.capacitor.capacitance(pressure)
+    }
+
+    /// Element capacitance under a concentrated normal force, treated as
+    /// an equivalent uniform pressure `F / A_membrane`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates collapse/solver errors from the capacitor model.
+    pub fn capacitance_for_force(&self, force: Newtons) -> Result<Farads, MemsError> {
+        let p = Pascals(force.value() / self.membrane_area());
+        self.capacitance(p)
+    }
+
+    /// Capacitance at rest.
+    pub fn rest_capacitance(&self) -> Farads {
+        self.capacitor.rest_capacitance()
+    }
+
+    /// Small-signal pressure sensitivity `dC/dp` at a bias point (F/Pa).
+    ///
+    /// # Errors
+    ///
+    /// Propagates capacitance-evaluation errors at the probe points.
+    pub fn pressure_sensitivity(&self, bias: Pascals) -> Result<f64, MemsError> {
+        self.capacitor.pressure_sensitivity(bias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Meters, MillimetersHg};
+
+    #[test]
+    fn force_and_pressure_paths_agree() {
+        let e = ForceSensorElement::paper_default();
+        let p = Pascals::from_mmhg(MillimetersHg(80.0));
+        let f = Newtons(p.value() * e.membrane_area());
+        let via_p = e.capacitance(p).unwrap();
+        let via_f = e.capacitance_for_force(f).unwrap();
+        assert!((via_p.value() - via_f.value()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn membrane_area_matches_paper_geometry() {
+        let e = ForceSensorElement::paper_default();
+        let a = e.membrane_area();
+        assert!((a - 100e-6 * 100e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn micro_newton_forces_are_resolvable() {
+        // The tactile application works at micronewton-scale contact
+        // forces: 1 µN over the membrane = 100 Pa ≈ 0.75 mmHg.
+        let e = ForceSensorElement::paper_default();
+        let rest = e.rest_capacitance();
+        let c = e.capacitance_for_force(Newtons(1e-6)).unwrap();
+        assert!(c > rest);
+    }
+
+    #[test]
+    fn from_parts_validates_geometry() {
+        let mut geom = ElectrodeGeometry::paper_default();
+        geom.electrode_side = Meters::from_microns(200.0);
+        assert!(ForceSensorElement::from_parts(SquarePlate::paper_default(), geom).is_err());
+    }
+
+    #[test]
+    fn sensitivity_passthrough_is_consistent() {
+        let e = ForceSensorElement::paper_default();
+        let s_elem = e.pressure_sensitivity(Pascals(0.0)).unwrap();
+        let s_cap = e.capacitor().pressure_sensitivity(Pascals(0.0)).unwrap();
+        assert_eq!(s_elem, s_cap);
+    }
+}

@@ -1,0 +1,123 @@
+//! Error type for the MEMS substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::units::{Meters, Pascals};
+
+/// Errors produced by the membrane / capacitance models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemsError {
+    /// The membrane deflection reached (or exceeded) the electrode gap:
+    /// the structure would be in touch-mode / collapsed, which the paper's
+    /// device does not operate in. Carries the offending deflection and
+    /// the available gap.
+    MembraneCollapse {
+        /// Peak deflection that was requested.
+        deflection: Meters,
+        /// Structural air gap available before touch.
+        gap: Meters,
+        /// Applied net pressure that caused the collapse.
+        pressure: Pascals,
+    },
+    /// A geometric or material parameter was non-physical (non-positive
+    /// side length, thickness, gap, modulus, …).
+    InvalidGeometry(String),
+    /// An element index outside the array was addressed.
+    ElementOutOfRange {
+        /// Requested row.
+        row: usize,
+        /// Requested column.
+        col: usize,
+        /// Array rows.
+        rows: usize,
+        /// Array columns.
+        cols: usize,
+    },
+    /// The nonlinear load-deflection solve failed to converge.
+    SolveDiverged {
+        /// Pressure the solver was inverting.
+        pressure: Pascals,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for MemsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemsError::MembraneCollapse {
+                deflection,
+                gap,
+                pressure,
+            } => write!(
+                f,
+                "membrane collapse: deflection {:.3} um exceeds gap {:.3} um at {:.1} Pa",
+                deflection.to_microns(),
+                gap.to_microns(),
+                pressure.value()
+            ),
+            MemsError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            MemsError::ElementOutOfRange {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "element ({row}, {col}) out of range for {rows}x{cols} array"
+            ),
+            MemsError::SolveDiverged {
+                pressure,
+                iterations,
+            } => write!(
+                f,
+                "load-deflection solve diverged at {:.1} Pa after {} iterations",
+                pressure.value(),
+                iterations
+            ),
+        }
+    }
+}
+
+impl Error for MemsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = MemsError::MembraneCollapse {
+            deflection: Meters::from_microns(1.2),
+            gap: Meters::from_microns(1.0),
+            pressure: Pascals(5000.0),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("collapse"));
+        assert!(msg.contains("1.200"));
+
+        let e = MemsError::ElementOutOfRange {
+            row: 2,
+            col: 0,
+            rows: 2,
+            cols: 2,
+        };
+        assert!(e.to_string().contains("(2, 0)"));
+
+        let e = MemsError::InvalidGeometry("side length must be positive".into());
+        assert!(e.to_string().contains("side length"));
+
+        let e = MemsError::SolveDiverged {
+            pressure: Pascals(1.0),
+            iterations: 64,
+        };
+        assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemsError>();
+    }
+}

@@ -1,0 +1,399 @@
+//! Thin-film material properties and the CMOS membrane laminate.
+//!
+//! The paper's membrane is "made of CMOS dielectric layers (silicon oxide /
+//! nitride) and metallization (aluminum)" with the poly bottom electrode
+//! left on the substrate (paper Fig. 2). The composite stack's bending
+//! stiffness and net residual tension determine the pressure → deflection
+//! transfer, so we model the laminate explicitly with classical lamination
+//! theory: a common neutral axis, plane-strain moduli, and per-layer
+//! residual stresses.
+
+use crate::units::{Meters, StressPa};
+use crate::MemsError;
+
+/// Isotropic thin-film material.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Material {
+    /// Human-readable name (e.g. `"SiO2"`).
+    pub name: &'static str,
+    /// Young's modulus in Pa.
+    pub youngs_modulus: f64,
+    /// Poisson ratio (dimensionless).
+    pub poisson_ratio: f64,
+    /// As-deposited residual stress in Pa; positive = tensile.
+    pub residual_stress: StressPa,
+    /// Mass density in kg/m³ (membrane dynamics).
+    pub density: f64,
+    /// Linear coefficient of thermal expansion in 1/K (thermal drift).
+    pub thermal_expansion: f64,
+}
+
+impl Material {
+    /// Plane-strain (biaxial bending) modulus `E / (1 - nu^2)` used in
+    /// plate theory.
+    #[inline]
+    pub fn plane_strain_modulus(&self) -> f64 {
+        self.youngs_modulus / (1.0 - self.poisson_ratio * self.poisson_ratio)
+    }
+
+    /// Thermally grown / deposited silicon dioxide. Compressive residual
+    /// stress is typical for thermal oxide.
+    pub const fn silicon_dioxide() -> Self {
+        Material {
+            name: "SiO2",
+            youngs_modulus: 70e9,
+            poisson_ratio: 0.17,
+            residual_stress: StressPa(-250e6),
+            density: 2_200.0,
+            thermal_expansion: 0.5e-6,
+        }
+    }
+
+    /// LPCVD/PECVD silicon nitride passivation; strongly tensile, which is
+    /// what keeps the mixed-stack membranes flat after release.
+    pub const fn silicon_nitride() -> Self {
+        Material {
+            name: "Si3N4",
+            youngs_modulus: 250e9,
+            poisson_ratio: 0.23,
+            residual_stress: StressPa(900e6),
+            density: 3_100.0,
+            thermal_expansion: 3.3e-6,
+        }
+    }
+
+    /// Sputtered aluminum interconnect metal (the membrane's top electrode
+    /// is the second metal layer).
+    pub const fn aluminum() -> Self {
+        Material {
+            name: "Al",
+            youngs_modulus: 70e9,
+            poisson_ratio: 0.35,
+            residual_stress: StressPa(50e6),
+            density: 2_700.0,
+            thermal_expansion: 23.1e-6,
+        }
+    }
+
+    /// Doped polysilicon (bottom electrode; not part of the moving stack
+    /// but listed for completeness).
+    pub const fn polysilicon() -> Self {
+        Material {
+            name: "poly-Si",
+            youngs_modulus: 160e9,
+            poisson_ratio: 0.22,
+            residual_stress: StressPa(-20e6),
+            density: 2_320.0,
+            thermal_expansion: 2.6e-6,
+        }
+    }
+
+    /// PDMS encapsulation used to couple the chip surface to tissue.
+    pub const fn pdms() -> Self {
+        Material {
+            name: "PDMS",
+            youngs_modulus: 1.5e6,
+            poisson_ratio: 0.49,
+            residual_stress: StressPa(0.0),
+            density: 965.0,
+            thermal_expansion: 310e-6,
+        }
+    }
+}
+
+/// One layer of the laminate: a material and its thickness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Layer {
+    /// Layer material.
+    pub material: Material,
+    /// Layer thickness.
+    pub thickness: Meters,
+}
+
+impl Layer {
+    /// Creates a layer, without validation (validated by [`Laminate::new`]).
+    pub const fn new(material: Material, thickness: Meters) -> Self {
+        Layer {
+            material,
+            thickness,
+        }
+    }
+}
+
+/// A laminated membrane stack with derived composite properties.
+///
+/// Layers are ordered bottom (substrate side) to top (contact side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Laminate {
+    layers: Vec<Layer>,
+    total_thickness: Meters,
+    flexural_rigidity: f64,
+    membrane_tension: f64,
+    effective_modulus: f64,
+    effective_poisson: f64,
+}
+
+impl Laminate {
+    /// Builds a laminate from a bottom-to-top layer list and derives the
+    /// composite bending and stress properties.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemsError::InvalidGeometry`] when the list is empty or any
+    /// layer has a non-positive thickness or non-physical material numbers.
+    pub fn new(layers: Vec<Layer>) -> Result<Self, MemsError> {
+        if layers.is_empty() {
+            return Err(MemsError::InvalidGeometry(
+                "laminate needs at least one layer".into(),
+            ));
+        }
+        for layer in &layers {
+            if layer.thickness.value() <= 0.0 {
+                return Err(MemsError::InvalidGeometry(format!(
+                    "layer {} has non-positive thickness",
+                    layer.material.name
+                )));
+            }
+            if layer.material.youngs_modulus <= 0.0 {
+                return Err(MemsError::InvalidGeometry(format!(
+                    "layer {} has non-positive Young's modulus",
+                    layer.material.name
+                )));
+            }
+            if !(0.0..0.5).contains(&layer.material.poisson_ratio) {
+                return Err(MemsError::InvalidGeometry(format!(
+                    "layer {} has Poisson ratio outside [0, 0.5)",
+                    layer.material.name
+                )));
+            }
+        }
+
+        let total_thickness: f64 = layers.iter().map(|l| l.thickness.value()).sum();
+
+        // Neutral axis: z_bar = sum(E'_i t_i z_i) / sum(E'_i t_i), measured
+        // from the bottom of the stack, with z_i the layer mid-plane.
+        let mut e_t = 0.0;
+        let mut e_t_z = 0.0;
+        let mut z_lo = 0.0;
+        for layer in &layers {
+            let e = layer.material.plane_strain_modulus();
+            let t = layer.thickness.value();
+            let z_mid = z_lo + t / 2.0;
+            e_t += e * t;
+            e_t_z += e * t * z_mid;
+            z_lo += t;
+        }
+        let z_bar = e_t_z / e_t;
+
+        // Flexural rigidity about the neutral axis:
+        // D = sum E'_i [ (z_top^3 - z_bot^3) / 3 ] with z measured from z_bar.
+        let mut rigidity = 0.0;
+        let mut z_lo = 0.0;
+        for layer in &layers {
+            let e = layer.material.plane_strain_modulus();
+            let t = layer.thickness.value();
+            let zb = z_lo - z_bar;
+            let zt = z_lo + t - z_bar;
+            rigidity += e * (zt.powi(3) - zb.powi(3)) / 3.0;
+            z_lo += t;
+        }
+
+        // Net in-plane tension per unit width: N0 = sum sigma_i t_i (N/m).
+        let membrane_tension: f64 = layers
+            .iter()
+            .map(|l| l.material.residual_stress.value() * l.thickness.value())
+            .sum();
+
+        // Thickness-weighted effective modulus / Poisson ratio for the cubic
+        // (stretching) term of the load-deflection relation.
+        let effective_modulus = layers
+            .iter()
+            .map(|l| l.material.youngs_modulus * l.thickness.value())
+            .sum::<f64>()
+            / total_thickness;
+        let effective_poisson = layers
+            .iter()
+            .map(|l| l.material.poisson_ratio * l.thickness.value())
+            .sum::<f64>()
+            / total_thickness;
+
+        Ok(Laminate {
+            layers,
+            total_thickness: Meters(total_thickness),
+            flexural_rigidity: rigidity,
+            membrane_tension,
+            effective_modulus,
+            effective_poisson,
+        })
+    }
+
+    /// The default 3 µm CMOS membrane stack of the paper: field oxide +
+    /// inter-metal oxide, nitride passivation, and the aluminum top
+    /// electrode (paper §2.1 / Fig. 2). Thicknesses sum to 3.0 µm.
+    pub fn cmos_membrane() -> Self {
+        Laminate::new(vec![
+            Layer::new(Material::silicon_dioxide(), Meters::from_microns(1.2)),
+            Layer::new(Material::aluminum(), Meters::from_microns(0.9)),
+            Layer::new(Material::silicon_dioxide(), Meters::from_microns(0.3)),
+            Layer::new(Material::silicon_nitride(), Meters::from_microns(0.6)),
+        ])
+        .expect("built-in stack is valid")
+    }
+
+    /// Layers, bottom to top.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Total stack thickness.
+    pub fn total_thickness(&self) -> Meters {
+        self.total_thickness
+    }
+
+    /// Composite flexural rigidity `D` in N·m.
+    pub fn flexural_rigidity(&self) -> f64 {
+        self.flexural_rigidity
+    }
+
+    /// Net residual tension per unit width `N0 = Σ σᵢ tᵢ` in N/m;
+    /// positive = tensile (stiffens the membrane).
+    pub fn membrane_tension(&self) -> f64 {
+        self.membrane_tension
+    }
+
+    /// Thickness-weighted effective Young's modulus in Pa.
+    pub fn effective_modulus(&self) -> f64 {
+        self.effective_modulus
+    }
+
+    /// Thickness-weighted effective Poisson ratio.
+    pub fn effective_poisson(&self) -> f64 {
+        self.effective_poisson
+    }
+
+    /// Areal mass density `Σ ρᵢ tᵢ` in kg/m² (membrane dynamics).
+    pub fn areal_density(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|l| l.material.density * l.thickness.value())
+            .sum()
+    }
+}
+
+impl Default for Laminate {
+    fn default() -> Self {
+        Laminate::cmos_membrane()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_layer_matches_textbook_rigidity() {
+        // For a homogeneous plate D = E t^3 / (12 (1 - nu^2)).
+        let m = Material::silicon_nitride();
+        let t = Meters::from_microns(1.0);
+        let lam = Laminate::new(vec![Layer::new(m, t)]).unwrap();
+        let expected = m.youngs_modulus * t.value().powi(3)
+            / (12.0 * (1.0 - m.poisson_ratio * m.poisson_ratio));
+        let rel = (lam.flexural_rigidity() - expected).abs() / expected;
+        assert!(rel < 1e-12, "relative error {rel}");
+    }
+
+    #[test]
+    fn splitting_a_layer_does_not_change_rigidity() {
+        let m = Material::silicon_dioxide();
+        let whole =
+            Laminate::new(vec![Layer::new(m, Meters::from_microns(2.0))]).unwrap();
+        let split = Laminate::new(vec![
+            Layer::new(m, Meters::from_microns(0.7)),
+            Layer::new(m, Meters::from_microns(1.3)),
+        ])
+        .unwrap();
+        let rel = (whole.flexural_rigidity() - split.flexural_rigidity()).abs()
+            / whole.flexural_rigidity();
+        assert!(rel < 1e-12, "relative error {rel}");
+        assert!(
+            (whole.membrane_tension() - split.membrane_tension()).abs()
+                < 1e-9 * whole.membrane_tension().abs()
+        );
+    }
+
+    #[test]
+    fn paper_stack_properties_are_plausible() {
+        let lam = Laminate::cmos_membrane();
+        assert!((lam.total_thickness().to_microns() - 3.0).abs() < 1e-9);
+        // Rigidity of a 3 µm mixed stack must land between all-oxide and
+        // all-nitride homogeneous plates of the same thickness.
+        let t = lam.total_thickness();
+        let lo = Laminate::new(vec![Layer::new(Material::silicon_dioxide(), t)]).unwrap();
+        let hi = Laminate::new(vec![Layer::new(Material::silicon_nitride(), t)]).unwrap();
+        assert!(lam.flexural_rigidity() > lo.flexural_rigidity());
+        assert!(lam.flexural_rigidity() < hi.flexural_rigidity());
+        // The nitride passivation must make the net stack tension tensile,
+        // otherwise the released membrane would buckle.
+        assert!(
+            lam.membrane_tension() > 0.0,
+            "net tension {} N/m",
+            lam.membrane_tension()
+        );
+    }
+
+    #[test]
+    fn asymmetric_stack_is_stiffer_than_midplane_estimate() {
+        // Placing a stiff layer away from the neutral axis of the soft bulk
+        // raises D versus lumping everything at its own mid-plane; simply
+        // check D is positive and finite for a strongly asymmetric stack.
+        let lam = Laminate::new(vec![
+            Layer::new(Material::silicon_dioxide(), Meters::from_microns(2.5)),
+            Layer::new(Material::silicon_nitride(), Meters::from_microns(0.5)),
+        ])
+        .unwrap();
+        assert!(lam.flexural_rigidity().is_finite());
+        assert!(lam.flexural_rigidity() > 0.0);
+    }
+
+    #[test]
+    fn empty_and_invalid_layers_are_rejected() {
+        assert!(matches!(
+            Laminate::new(vec![]),
+            Err(MemsError::InvalidGeometry(_))
+        ));
+        let bad = Layer::new(Material::aluminum(), Meters(0.0));
+        assert!(matches!(
+            Laminate::new(vec![bad]),
+            Err(MemsError::InvalidGeometry(_))
+        ));
+        let mut m = Material::aluminum();
+        m.poisson_ratio = 0.6;
+        assert!(matches!(
+            Laminate::new(vec![Layer::new(m, Meters::from_microns(1.0))]),
+            Err(MemsError::InvalidGeometry(_))
+        ));
+        let mut m = Material::aluminum();
+        m.youngs_modulus = -1.0;
+        assert!(matches!(
+            Laminate::new(vec![Layer::new(m, Meters::from_microns(1.0))]),
+            Err(MemsError::InvalidGeometry(_))
+        ));
+    }
+
+    #[test]
+    fn plane_strain_modulus_exceeds_youngs_modulus() {
+        for m in [
+            Material::silicon_dioxide(),
+            Material::silicon_nitride(),
+            Material::aluminum(),
+            Material::polysilicon(),
+        ] {
+            assert!(m.plane_strain_modulus() > m.youngs_modulus);
+        }
+    }
+
+    #[test]
+    fn default_is_paper_stack() {
+        assert_eq!(Laminate::default(), Laminate::cmos_membrane());
+    }
+}

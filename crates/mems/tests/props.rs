@@ -1,0 +1,128 @@
+//! Property-based tests of the MEMS substrate invariants.
+
+use proptest::prelude::*;
+use tonos_mems::capacitor::{ElectrodeGeometry, MembraneCapacitor};
+use tonos_mems::contact::ContactInterface;
+use tonos_mems::material::{Laminate, Layer, Material};
+use tonos_mems::plate::SquarePlate;
+use tonos_mems::units::{Farads, Meters, Pascals};
+
+proptest! {
+    /// Load–deflection inversion round-trips for any deflection within
+    /// the physical gap.
+    #[test]
+    fn plate_solve_round_trips(w0_nm in -900.0_f64..900.0) {
+        prop_assume!(w0_nm.abs() > 1e-3);
+        let plate = SquarePlate::paper_default();
+        let w0 = Meters::from_nanometers(w0_nm);
+        let p = plate.pressure_for_deflection(w0);
+        let back = plate.center_deflection(p).unwrap();
+        let rel = (back.value() - w0.value()).abs() / w0.value().abs();
+        prop_assert!(rel < 1e-8, "round-trip error {rel}");
+    }
+
+    /// Capacitance is strictly monotone in pressure over any ordered pair
+    /// inside the clinical range.
+    #[test]
+    fn capacitance_is_monotone(p1 in -40_000.0_f64..40_000.0, dp in 10.0_f64..20_000.0) {
+        let cap = MembraneCapacitor::paper_default();
+        let lo = cap.capacitance(Pascals(p1)).unwrap();
+        let hi = cap.capacitance(Pascals(p1 + dp)).unwrap();
+        prop_assert!(hi > lo, "C({p1}) = {lo}, C({}) = {hi}", p1 + dp);
+    }
+
+    /// Splitting a homogeneous layer anywhere never changes the laminate's
+    /// composite properties.
+    #[test]
+    fn laminate_split_invariance(total_um in 0.5_f64..5.0, split in 0.1_f64..0.9) {
+        let m = Material::silicon_nitride();
+        let whole = Laminate::new(vec![Layer::new(m, Meters::from_microns(total_um))]).unwrap();
+        let parts = Laminate::new(vec![
+            Layer::new(m, Meters::from_microns(total_um * split)),
+            Layer::new(m, Meters::from_microns(total_um * (1.0 - split))),
+        ]).unwrap();
+        let rel = (whole.flexural_rigidity() - parts.flexural_rigidity()).abs()
+            / whole.flexural_rigidity();
+        prop_assert!(rel < 1e-10);
+        prop_assert!((whole.membrane_tension() - parts.membrane_tension()).abs()
+            < 1e-9 * whole.membrane_tension().abs());
+    }
+
+    /// The contact interface is affine in the external pressure:
+    /// net(p + d) − net(p) = k·d with a constant, positive slope.
+    #[test]
+    fn contact_interface_is_affine(p in -10_000.0_f64..10_000.0, d in 1.0_f64..5_000.0) {
+        let iface = ContactInterface::wrist_default();
+        let base = iface.net_element_pressure(Pascals(p)).value();
+        let stepped = iface.net_element_pressure(Pascals(p + d)).value();
+        let slope = (stepped - base) / d;
+        let expected = iface.force_concentration * iface.pdms_transmission;
+        prop_assert!((slope - expected).abs() < 1e-9 * expected);
+    }
+
+    /// Stiffer (thicker) plates always deflect less under the same load.
+    #[test]
+    fn thicker_membranes_deflect_less(extra_um in 0.2_f64..2.0) {
+        let thin = SquarePlate::paper_default();
+        let mut layers = Laminate::cmos_membrane().layers().to_vec();
+        layers.push(Layer::new(
+            Material::silicon_nitride(),
+            Meters::from_microns(extra_um),
+        ));
+        let thick = SquarePlate::new(
+            Meters::from_microns(100.0),
+            Laminate::new(layers).unwrap(),
+        )
+        .unwrap();
+        let p = Pascals(10_000.0);
+        let w_thin = thin.center_deflection(p).unwrap();
+        let w_thick = thick.center_deflection(p).unwrap();
+        prop_assert!(w_thick < w_thin);
+    }
+
+    /// Thermal drift is monotone in temperature around the reference and
+    /// zero at the reference, for any clinical bias.
+    #[test]
+    fn thermal_drift_is_monotone(bias_mmhg in 0.0_f64..400.0, dt in 1.0_f64..30.0) {
+        use tonos_mems::thermal::ThermalModel;
+        use tonos_mems::units::MillimetersHg;
+        let model = ThermalModel::paper_default();
+        let bias = Pascals::from_mmhg(MillimetersHg(bias_mmhg));
+        let t0 = model.reference_temp_c();
+        let zero = model.baseline_shift(t0, bias).unwrap();
+        prop_assert_eq!(zero.value(), 0.0);
+        let hot = model.baseline_shift(t0 + dt, bias).unwrap();
+        let hotter = model.baseline_shift(t0 + dt + 5.0, bias).unwrap();
+        let cold = model.baseline_shift(t0 - dt, bias).unwrap();
+        prop_assert!(hot.value() > 0.0);
+        prop_assert!(hotter.value() > hot.value());
+        prop_assert!(cold.value() < 0.0);
+    }
+
+    /// The membrane's dynamic response is always quasi-static over the
+    /// paper's band for any plausible air gap.
+    #[test]
+    fn dynamics_quasi_static_over_band(gap_um in 0.3_f64..3.0) {
+        use tonos_mems::dynamics::MembraneDynamics;
+        let plate = SquarePlate::paper_default();
+        let d = MembraneDynamics::new(&plate, Meters::from_microns(gap_um)).unwrap();
+        prop_assert!(d.natural_frequency_hz() > 1e5);
+        prop_assert!(d.is_quasi_static_for(500.0, 1e-3));
+    }
+
+    /// Parasitic capacitance shifts the curve but never the sensitivity
+    /// ordering: dC/dp is independent of the parasitic term.
+    #[test]
+    fn parasitics_do_not_change_sensitivity(parasitic_ff in 0.0_f64..100.0) {
+        let mut geom = ElectrodeGeometry::paper_default();
+        geom.parasitic = Farads::from_femtofarads(parasitic_ff);
+        let cap = MembraneCapacitor::new(SquarePlate::paper_default(), geom).unwrap();
+        let reference = MembraneCapacitor::paper_default();
+        let s1 = cap.pressure_sensitivity(Pascals(0.0)).unwrap();
+        let s2 = reference.pressure_sensitivity(Pascals(0.0)).unwrap();
+        // The finite-difference ΔC (~1e-19 F) sits 5 decades below the
+        // absolute capacitance (~6.5e-14 F), so cancellation limits the
+        // achievable agreement to ~1e-10 relative; 1e-6 is a safe bound.
+        prop_assert!((s1 - s2).abs() < 1e-6 * s2.abs());
+    }
+}

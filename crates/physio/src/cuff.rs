@@ -1,0 +1,288 @@
+//! Oscillometric hand-cuff simulator — the paper's baseline modality and
+//! calibration source.
+//!
+//! The introduction's case against cuffs: "external methods based on hand
+//! cuffs … are only able to accomplish single measurements", so "the
+//! continuous recording of a blood pressure waveform is not possible"
+//! (§1). Yet the cuff is also indispensable to the paper: Fig. 9's
+//! absolute scale comes from "measuring the systolic and diastolic
+//! pressure with a conventional hand cuff device" (§3.2).
+//!
+//! The simulator reproduces both roles: sparse readings (an inflation
+//! cycle takes ~30 s and cannot be repeated immediately), oscillometric
+//! estimation error (a few mmHg, worse for systolic), and the 2 mmHg
+//! display quantization of clinical devices.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tonos_mems::units::MillimetersHg;
+
+use crate::waveform::WaveformRecord;
+use crate::PhysioError;
+
+/// One cuff measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CuffReading {
+    /// Time at which the reading completed, seconds.
+    pub time_s: f64,
+    /// Displayed systolic pressure.
+    pub systolic: MillimetersHg,
+    /// Displayed diastolic pressure.
+    pub diastolic: MillimetersHg,
+}
+
+impl CuffReading {
+    /// Mean arterial pressure estimate (diastolic + pulse pressure / 3).
+    pub fn mean_arterial(&self) -> MillimetersHg {
+        MillimetersHg(
+            self.diastolic.value() + (self.systolic.value() - self.diastolic.value()) / 3.0,
+        )
+    }
+}
+
+/// A conventional oscillometric cuff device.
+#[derive(Debug, Clone)]
+pub struct CuffDevice {
+    /// Full inflate–deflate cycle time, seconds.
+    cycle_s: f64,
+    /// 1-sigma systolic estimation error, mmHg.
+    sys_sigma: f64,
+    /// 1-sigma diastolic estimation error, mmHg.
+    dia_sigma: f64,
+    /// Display quantization step, mmHg.
+    quantization: f64,
+    rng: StdRng,
+    /// Time the device becomes ready again.
+    ready_at_s: f64,
+}
+
+impl CuffDevice {
+    /// Creates a cuff device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysioError::InvalidParameter`] for non-positive cycle
+    /// time or quantization, or negative error sigmas.
+    pub fn new(
+        cycle_s: f64,
+        sys_sigma: f64,
+        dia_sigma: f64,
+        quantization: f64,
+        seed: u64,
+    ) -> Result<Self, PhysioError> {
+        if !(cycle_s > 0.0) {
+            return Err(PhysioError::InvalidParameter(
+                "cuff cycle time must be positive".into(),
+            ));
+        }
+        if sys_sigma < 0.0 || dia_sigma < 0.0 {
+            return Err(PhysioError::InvalidParameter(
+                "error sigmas must be non-negative".into(),
+            ));
+        }
+        if !(quantization > 0.0) {
+            return Err(PhysioError::InvalidParameter(
+                "display quantization must be positive".into(),
+            ));
+        }
+        Ok(CuffDevice {
+            cycle_s,
+            sys_sigma,
+            dia_sigma,
+            quantization,
+            rng: StdRng::seed_from_u64(seed),
+            ready_at_s: 0.0,
+        })
+    }
+
+    /// A typical clinical automatic cuff: 30 s cycle, ±3 mmHg systolic /
+    /// ±2 mmHg diastolic error, 2 mmHg (even-number) display.
+    pub fn clinical(seed: u64) -> Self {
+        CuffDevice::new(30.0, 3.0, 2.0, 2.0, seed).expect("clinical preset is valid")
+    }
+
+    /// An idealized error-free cuff (still sparse and quantized at
+    /// 1 mmHg) for analytic tests.
+    pub fn ideal(seed: u64) -> Self {
+        CuffDevice::new(30.0, 0.0, 0.0, 1.0, seed).expect("ideal preset is valid")
+    }
+
+    /// Full cycle time in seconds.
+    pub fn cycle_time(&self) -> f64 {
+        self.cycle_s
+    }
+
+    /// Takes a measurement at time `time_s` against the true pressures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysioError::CuffBusy`] when called before the previous
+    /// inflation cycle completed.
+    pub fn measure(
+        &mut self,
+        time_s: f64,
+        true_systolic: MillimetersHg,
+        true_diastolic: MillimetersHg,
+    ) -> Result<CuffReading, PhysioError> {
+        if time_s < self.ready_at_s {
+            return Err(PhysioError::CuffBusy {
+                ready_in_s: self.ready_at_s - time_s,
+            });
+        }
+        self.ready_at_s = time_s + self.cycle_s;
+        let sys = true_systolic.value() + self.sys_sigma * gaussian(&mut self.rng);
+        let dia = true_diastolic.value() + self.dia_sigma * gaussian(&mut self.rng);
+        Ok(CuffReading {
+            time_s: time_s + self.cycle_s,
+            systolic: MillimetersHg(self.quantize(sys)),
+            diastolic: MillimetersHg(self.quantize(dia)),
+        })
+    }
+
+    /// Monitors a whole recording the way a bedside cuff would: one
+    /// measurement per cycle, each reading taken against the true
+    /// systolic/diastolic of the beat nearest the measurement time.
+    ///
+    /// This is the baseline of experiment E6: compare its output density
+    /// and tracking against the continuous tonometric waveform.
+    pub fn monitor(&mut self, record: &WaveformRecord) -> Vec<CuffReading> {
+        let duration = record.samples.len() as f64 / record.sample_rate;
+        let mut readings = Vec::new();
+        let mut t = 0.0;
+        while t + self.cycle_s <= duration {
+            // The oscillometric estimate reflects the beats during the
+            // deflation, i.e. around t + cycle/2.
+            let probe = t + self.cycle_s / 2.0;
+            if let Some(beat) = record
+                .beats
+                .iter()
+                .min_by(|a, b| {
+                    (a.onset_s - probe)
+                        .abs()
+                        .partial_cmp(&(b.onset_s - probe).abs())
+                        .expect("finite times")
+                })
+            {
+                // measure() cannot be busy here because we step by cycle_s.
+                let reading = self
+                    .measure(t, beat.systolic, beat.diastolic)
+                    .expect("schedule respects the cycle time");
+                readings.push(reading);
+            }
+            t += self.cycle_s;
+        }
+        readings
+    }
+
+    fn quantize(&self, mmhg: f64) -> f64 {
+        (mmhg / self.quantization).round() * self.quantization
+    }
+}
+
+/// Standard-normal sample via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::{ArterialParams, PulseWaveform};
+
+    #[test]
+    fn ideal_cuff_reads_the_truth_quantized() {
+        let mut cuff = CuffDevice::ideal(1);
+        let r = cuff
+            .measure(0.0, MillimetersHg(119.6), MillimetersHg(80.4))
+            .unwrap();
+        assert_eq!(r.systolic.value(), 120.0);
+        assert_eq!(r.diastolic.value(), 80.0);
+        assert!((r.mean_arterial().value() - (80.0 + 40.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clinical_cuff_quantizes_to_even_mmhg() {
+        let mut cuff = CuffDevice::clinical(2);
+        for i in 0..20 {
+            let r = cuff
+                .measure(i as f64 * 30.0, MillimetersHg(121.0), MillimetersHg(79.0))
+                .unwrap();
+            assert_eq!(r.systolic.value() as i64 % 2, 0, "odd systolic display");
+            assert_eq!(r.diastolic.value() as i64 % 2, 0, "odd diastolic display");
+        }
+    }
+
+    #[test]
+    fn cuff_is_busy_during_its_cycle() {
+        let mut cuff = CuffDevice::clinical(3);
+        cuff.measure(0.0, MillimetersHg(120.0), MillimetersHg(80.0))
+            .unwrap();
+        let err = cuff
+            .measure(10.0, MillimetersHg(120.0), MillimetersHg(80.0))
+            .unwrap_err();
+        assert!(matches!(err, PhysioError::CuffBusy { ready_in_s } if (ready_in_s - 20.0).abs() < 1e-9));
+        // Ready again after the cycle.
+        assert!(cuff
+            .measure(30.0, MillimetersHg(120.0), MillimetersHg(80.0))
+            .is_ok());
+    }
+
+    #[test]
+    fn reading_errors_have_the_configured_spread() {
+        let mut cuff = CuffDevice::new(1.0, 3.0, 2.0, 0.001, 5).unwrap();
+        let n = 4000;
+        let mut sys_err = Vec::with_capacity(n);
+        for i in 0..n {
+            let r = cuff
+                .measure(i as f64, MillimetersHg(120.0), MillimetersHg(80.0))
+                .unwrap();
+            sys_err.push(r.systolic.value() - 120.0);
+        }
+        let mean = sys_err.iter().sum::<f64>() / n as f64;
+        let std = (sys_err.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n as f64)
+            .sqrt();
+        assert!(mean.abs() < 0.2, "bias {mean}");
+        assert!((std - 3.0).abs() < 0.2, "std {std}");
+    }
+
+    #[test]
+    fn monitor_produces_sparse_readings_only() {
+        let record = PulseWaveform::new(ArterialParams::normotensive())
+            .unwrap()
+            .record(250.0, 120.0)
+            .unwrap();
+        let mut cuff = CuffDevice::clinical(9);
+        let readings = cuff.monitor(&record);
+        // 120 s / 30 s cycle = 4 readings — versus 30_000 waveform samples.
+        assert_eq!(readings.len(), 4);
+        assert!(record.samples.len() > 1000 * readings.len());
+        // All readings in the plausible band around 120/80.
+        for r in &readings {
+            assert!((r.systolic.value() - 120.0).abs() < 15.0);
+            assert!((r.diastolic.value() - 80.0).abs() < 12.0);
+            assert!(r.time_s >= 30.0);
+        }
+    }
+
+    #[test]
+    fn monitor_is_deterministic_per_seed() {
+        let record = PulseWaveform::new(ArterialParams::normotensive())
+            .unwrap()
+            .record(100.0, 90.0)
+            .unwrap();
+        let a = CuffDevice::clinical(4).monitor(&record);
+        let b = CuffDevice::clinical(4).monitor(&record);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(CuffDevice::new(0.0, 1.0, 1.0, 2.0, 0).is_err());
+        assert!(CuffDevice::new(30.0, -1.0, 1.0, 2.0, 0).is_err());
+        assert!(CuffDevice::new(30.0, 1.0, -1.0, 2.0, 0).is_err());
+        assert!(CuffDevice::new(30.0, 1.0, 1.0, 0.0, 0).is_err());
+    }
+}

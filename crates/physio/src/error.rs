@@ -1,0 +1,51 @@
+//! Error type for the physiology substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the physiological models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysioError {
+    /// A waveform or device parameter was non-physiological.
+    InvalidParameter(String),
+    /// A cuff measurement was requested before the device finished its
+    /// inflation cycle.
+    CuffBusy {
+        /// Seconds remaining until the device is ready again.
+        ready_in_s: f64,
+    },
+}
+
+impl fmt::Display for PhysioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhysioError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            PhysioError::CuffBusy { ready_in_s } => {
+                write!(f, "cuff busy: ready in {ready_in_s:.1} s")
+            }
+        }
+    }
+}
+
+impl Error for PhysioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(PhysioError::InvalidParameter("heart rate".into())
+            .to_string()
+            .contains("heart rate"));
+        assert!(PhysioError::CuffBusy { ready_in_s: 12.5 }
+            .to_string()
+            .contains("12.5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PhysioError>();
+    }
+}

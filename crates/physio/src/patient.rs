@@ -1,0 +1,259 @@
+//! Patient presets and measurement scenarios.
+//!
+//! Bundles [`crate::waveform::ArterialParams`] into named profiles and
+//! provides the pressure-transient scenario used by experiment E6 (cuff
+//! vs. continuous tracking during a blood-pressure excursion — the
+//! situation where beat-to-beat monitoring clinically matters).
+
+use tonos_mems::units::MillimetersHg;
+
+use crate::variability::RespiratoryModulation;
+use crate::waveform::{ArterialParams, PulseWaveform, WaveformRecord};
+use crate::PhysioError;
+
+/// A named physiological profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatientProfile {
+    /// Profile name for reports.
+    pub name: &'static str,
+    /// Arterial parameters.
+    pub params: ArterialParams,
+}
+
+impl PatientProfile {
+    /// Healthy resting adult, 120/80 at 72 bpm.
+    pub fn normotensive() -> Self {
+        PatientProfile {
+            name: "normotensive",
+            params: ArterialParams::normotensive(),
+        }
+    }
+
+    /// Stage-2 hypertensive, 165/105 at 80 bpm with reduced variability.
+    pub fn hypertensive() -> Self {
+        PatientProfile {
+            name: "hypertensive",
+            params: ArterialParams {
+                systolic: MillimetersHg(165.0),
+                diastolic: MillimetersHg(105.0),
+                heart_rate_bpm: 80.0,
+                rr_sigma: 0.02,
+                drift_step_mmhg: 0.4,
+                drift_bound_mmhg: 6.0,
+                seed: 0x481,
+                ..ArterialParams::normotensive()
+            },
+        }
+    }
+
+    /// Hypotensive patient, 95/60 at 64 bpm (intensive-care scenario,
+    /// the setting of the paper's tonometry reference \[2\]).
+    pub fn hypotensive() -> Self {
+        PatientProfile {
+            name: "hypotensive",
+            params: ArterialParams {
+                systolic: MillimetersHg(95.0),
+                diastolic: MillimetersHg(60.0),
+                heart_rate_bpm: 64.0,
+                rr_sigma: 0.04,
+                seed: 0x4B2,
+                ..ArterialParams::normotensive()
+            },
+        }
+    }
+
+    /// Light exercise, 140/75 at 110 bpm, faster breathing, more HRV.
+    pub fn exercise() -> Self {
+        PatientProfile {
+            name: "exercise",
+            params: ArterialParams {
+                systolic: MillimetersHg(140.0),
+                diastolic: MillimetersHg(75.0),
+                heart_rate_bpm: 110.0,
+                rr_sigma: 0.05,
+                respiration: RespiratoryModulation {
+                    rate_hz: 0.4,
+                    amplitude_mmhg: 3.0,
+                },
+                drift_step_mmhg: 0.6,
+                drift_bound_mmhg: 8.0,
+                ectopic_rate_per_min: 0.0,
+                seed: 0xE7,
+            },
+        }
+    }
+
+    /// Normotensive patient with frequent premature ventricular
+    /// contractions (6 PVC/min) — the rhythm-robustness scenario.
+    pub fn arrhythmic() -> Self {
+        PatientProfile {
+            name: "arrhythmic",
+            params: ArterialParams {
+                ectopic_rate_per_min: 6.0,
+                seed: 0xA44,
+                ..ArterialParams::normotensive()
+            },
+        }
+    }
+
+    /// All built-in profiles (for sweep experiments).
+    pub fn all() -> Vec<PatientProfile> {
+        vec![
+            PatientProfile::normotensive(),
+            PatientProfile::hypertensive(),
+            PatientProfile::hypotensive(),
+            PatientProfile::exercise(),
+            PatientProfile::arrhythmic(),
+        ]
+    }
+
+    /// Returns a copy with a different waveform seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.params.seed = seed;
+        self
+    }
+
+    /// Synthesizes a recording for this profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates waveform validation/synthesis errors.
+    pub fn record(&self, sample_rate: f64, duration_s: f64) -> Result<WaveformRecord, PhysioError> {
+        PulseWaveform::new(self.params)?.record(sample_rate, duration_s)
+    }
+}
+
+/// A blood-pressure excursion scenario: baseline, a linear climb, a
+/// plateau, and recovery — the textbook situation where a 30-second cuff
+/// misses the event a continuous monitor catches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PressureTransient {
+    /// Baseline profile.
+    pub profile: PatientProfile,
+    /// Time the excursion starts, seconds.
+    pub onset_s: f64,
+    /// Ramp duration to the plateau, seconds.
+    pub ramp_s: f64,
+    /// Plateau duration, seconds.
+    pub hold_s: f64,
+    /// Systolic excursion magnitude, mmHg.
+    pub sys_delta: MillimetersHg,
+    /// Diastolic excursion magnitude, mmHg.
+    pub dia_delta: MillimetersHg,
+}
+
+impl PressureTransient {
+    /// A hypertensive episode: +35/+15 mmHg climbing over 20 s, holding
+    /// 30 s, recovering over 20 s, starting at t = 60 s.
+    pub fn episode() -> Self {
+        PressureTransient {
+            profile: PatientProfile::normotensive(),
+            onset_s: 60.0,
+            ramp_s: 20.0,
+            hold_s: 30.0,
+            sys_delta: MillimetersHg(35.0),
+            dia_delta: MillimetersHg(15.0),
+        }
+    }
+
+    /// The excursion envelope at time `t` in [0, 1].
+    pub fn envelope(&self, t: f64) -> f64 {
+        let t0 = self.onset_s;
+        let t1 = t0 + self.ramp_s;
+        let t2 = t1 + self.hold_s;
+        let t3 = t2 + self.ramp_s;
+        if t < t0 {
+            0.0
+        } else if t < t1 {
+            (t - t0) / self.ramp_s
+        } else if t < t2 {
+            1.0
+        } else if t < t3 {
+            1.0 - (t - t2) / self.ramp_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Synthesizes the scenario recording.
+    ///
+    /// # Errors
+    ///
+    /// Propagates waveform validation/synthesis errors.
+    pub fn record(&self, sample_rate: f64, duration_s: f64) -> Result<WaveformRecord, PhysioError> {
+        let base = self.profile.params;
+        let wave = PulseWaveform::new(base)?;
+        wave.record_with_trend(sample_rate, duration_s, |t| {
+            let e = self.envelope(t);
+            (
+                MillimetersHg(base.systolic.value() + e * self.sys_delta.value()),
+                MillimetersHg(base.diastolic.value() + e * self.dia_delta.value()),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_synthesize() {
+        for profile in PatientProfile::all() {
+            let r = profile.record(250.0, 5.0).unwrap();
+            assert_eq!(r.samples.len(), 1250, "{}", profile.name);
+            assert!(!r.beats.is_empty(), "{}", profile.name);
+        }
+    }
+
+    #[test]
+    fn profiles_differ_in_rate_and_pressure() {
+        let normo = PatientProfile::normotensive().record(250.0, 30.0).unwrap();
+        let hyper = PatientProfile::hypertensive().record(250.0, 30.0).unwrap();
+        let exercise = PatientProfile::exercise().record(250.0, 30.0).unwrap();
+        assert!(hyper.mean_pressure().value() > normo.mean_pressure().value() + 20.0);
+        assert!(exercise.mean_heart_rate_bpm() > normo.mean_heart_rate_bpm() + 25.0);
+    }
+
+    #[test]
+    fn with_seed_changes_the_realization_only() {
+        let a = PatientProfile::normotensive().record(250.0, 5.0).unwrap();
+        let b = PatientProfile::normotensive()
+            .with_seed(123)
+            .record(250.0, 5.0)
+            .unwrap();
+        assert_ne!(a, b);
+        // Same targets though.
+        assert!((a.mean_pressure().value() - b.mean_pressure().value()).abs() < 4.0);
+    }
+
+    #[test]
+    fn transient_envelope_shape() {
+        let t = PressureTransient::episode();
+        assert_eq!(t.envelope(0.0), 0.0);
+        assert_eq!(t.envelope(59.9), 0.0);
+        assert!((t.envelope(70.0) - 0.5).abs() < 1e-12, "mid-ramp");
+        assert_eq!(t.envelope(85.0), 1.0, "plateau");
+        assert!((t.envelope(120.0) - 0.5).abs() < 1e-12, "mid-recovery");
+        assert_eq!(t.envelope(200.0), 0.0, "recovered");
+    }
+
+    #[test]
+    fn transient_recording_shows_the_excursion() {
+        let scenario = PressureTransient::episode();
+        let r = scenario.record(100.0, 160.0).unwrap();
+        // Beats during the plateau carry elevated pressure.
+        let plateau: Vec<_> = r
+            .beats
+            .iter()
+            .filter(|b| b.onset_s > 85.0 && b.onset_s < 105.0)
+            .collect();
+        let baseline: Vec<_> = r.beats.iter().filter(|b| b.onset_s < 50.0).collect();
+        assert!(!plateau.is_empty() && !baseline.is_empty());
+        let mean = |v: &[&crate::waveform::BeatTruth]| {
+            v.iter().map(|b| b.systolic.value()).sum::<f64>() / v.len() as f64
+        };
+        let lift = mean(&plateau) - mean(&baseline);
+        assert!((lift - 35.0).abs() < 5.0, "systolic lift {lift}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Beat-to-beat and slow physiological variability.
+//!
+//! Real arterial pressure is not periodic: the RR interval jitters
+//! (heart-rate variability), respiration modulates the baseline by a few
+//! mmHg, and slow regulation drifts the operating point over minutes.
+//! These generators supply that structure to [`crate::waveform`]; all are
+//! seeded and deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::PhysioError;
+
+/// Gaussian-jittered RR-interval generator.
+#[derive(Debug, Clone)]
+pub struct RrIntervalGenerator {
+    mean_rr_s: f64,
+    sigma_fraction: f64,
+    rng: StdRng,
+}
+
+impl RrIntervalGenerator {
+    /// Creates a generator from a heart rate in beats/minute and a
+    /// relative 1-sigma RR jitter (e.g. 0.03 = 3 %).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysioError::InvalidParameter`] for a heart rate outside
+    /// 20..=250 bpm or a negative/large (> 0.3) jitter fraction.
+    pub fn new(heart_rate_bpm: f64, sigma_fraction: f64, seed: u64) -> Result<Self, PhysioError> {
+        if !(20.0..=250.0).contains(&heart_rate_bpm) {
+            return Err(PhysioError::InvalidParameter(format!(
+                "heart rate {heart_rate_bpm} bpm outside 20..=250"
+            )));
+        }
+        if !(0.0..=0.3).contains(&sigma_fraction) {
+            return Err(PhysioError::InvalidParameter(format!(
+                "RR jitter fraction {sigma_fraction} outside 0..=0.3"
+            )));
+        }
+        Ok(RrIntervalGenerator {
+            mean_rr_s: 60.0 / heart_rate_bpm,
+            sigma_fraction,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Mean RR interval in seconds.
+    pub fn mean_rr(&self) -> f64 {
+        self.mean_rr_s
+    }
+
+    /// Draws the next RR interval in seconds (clamped to ±3 sigma so a
+    /// tail sample can never produce a non-physiological interval).
+    pub fn next_rr(&mut self) -> f64 {
+        let g = gaussian(&mut self.rng).clamp(-3.0, 3.0);
+        self.mean_rr_s * (1.0 + self.sigma_fraction * g)
+    }
+}
+
+/// Sinusoidal respiratory modulation of the pressure baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RespiratoryModulation {
+    /// Breathing rate in Hz (≈ 0.2–0.3 for an adult at rest).
+    pub rate_hz: f64,
+    /// Peak modulation amplitude in mmHg.
+    pub amplitude_mmhg: f64,
+}
+
+impl RespiratoryModulation {
+    /// Resting adult defaults: 0.25 Hz (15 breaths/min), ±2 mmHg.
+    pub fn resting() -> Self {
+        RespiratoryModulation {
+            rate_hz: 0.25,
+            amplitude_mmhg: 2.0,
+        }
+    }
+
+    /// No modulation.
+    pub fn none() -> Self {
+        RespiratoryModulation {
+            rate_hz: 0.25,
+            amplitude_mmhg: 0.0,
+        }
+    }
+
+    /// The modulation value in mmHg at time `t` (seconds).
+    pub fn at(&self, t: f64) -> f64 {
+        self.amplitude_mmhg * (2.0 * std::f64::consts::PI * self.rate_hz * t).sin()
+    }
+}
+
+/// Bounded-random-walk baseline drift (slow autonomic regulation).
+#[derive(Debug, Clone)]
+pub struct BaselineDrift {
+    /// RMS drift step per update, mmHg.
+    step_mmhg: f64,
+    /// Hard bound on the accumulated drift, mmHg.
+    bound_mmhg: f64,
+    value: f64,
+    rng: StdRng,
+}
+
+impl BaselineDrift {
+    /// Creates a drift process updated once per heartbeat.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysioError::InvalidParameter`] for negative magnitudes.
+    pub fn new(step_mmhg: f64, bound_mmhg: f64, seed: u64) -> Result<Self, PhysioError> {
+        if step_mmhg < 0.0 || bound_mmhg < 0.0 {
+            return Err(PhysioError::InvalidParameter(
+                "drift magnitudes must be non-negative".into(),
+            ));
+        }
+        Ok(BaselineDrift {
+            step_mmhg,
+            bound_mmhg,
+            value: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Current drift value in mmHg.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Advances the walk one step and returns the new value.
+    pub fn step(&mut self) -> f64 {
+        self.value += self.step_mmhg * gaussian(&mut self.rng);
+        self.value = self.value.clamp(-self.bound_mmhg, self.bound_mmhg);
+        self.value
+    }
+}
+
+/// Standard-normal sample via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rr_mean_matches_heart_rate() {
+        let mut gen = RrIntervalGenerator::new(72.0, 0.03, 1).unwrap();
+        assert!((gen.mean_rr() - 60.0 / 72.0).abs() < 1e-12);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| gen.next_rr()).sum::<f64>() / n as f64;
+        assert!((mean - gen.mean_rr()).abs() < 0.002, "mean RR {mean}");
+    }
+
+    #[test]
+    fn rr_jitter_scales_with_sigma() {
+        let spread = |sigma: f64| {
+            let mut gen = RrIntervalGenerator::new(60.0, sigma, 2).unwrap();
+            let xs: Vec<f64> = (0..5000).map(|_| gen.next_rr()).collect();
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+        };
+        let s_small = spread(0.01);
+        let s_big = spread(0.05);
+        assert!(s_big > 3.0 * s_small, "{s_big} vs {s_small}");
+        // Zero jitter is strictly periodic.
+        let mut fixed = RrIntervalGenerator::new(60.0, 0.0, 3).unwrap();
+        assert_eq!(fixed.next_rr(), 1.0);
+        assert_eq!(fixed.next_rr(), 1.0);
+    }
+
+    #[test]
+    fn rr_intervals_stay_physiological() {
+        let mut gen = RrIntervalGenerator::new(72.0, 0.1, 4).unwrap();
+        for _ in 0..10_000 {
+            let rr = gen.next_rr();
+            assert!(rr > 0.4 && rr < 1.4, "RR {rr} out of band");
+        }
+    }
+
+    #[test]
+    fn rr_validation() {
+        assert!(RrIntervalGenerator::new(10.0, 0.0, 0).is_err());
+        assert!(RrIntervalGenerator::new(300.0, 0.0, 0).is_err());
+        assert!(RrIntervalGenerator::new(70.0, 0.5, 0).is_err());
+        assert!(RrIntervalGenerator::new(70.0, -0.1, 0).is_err());
+    }
+
+    #[test]
+    fn respiration_is_a_bounded_sinusoid() {
+        let r = RespiratoryModulation::resting();
+        let mut peak = 0.0_f64;
+        for i in 0..1000 {
+            let v = r.at(i as f64 * 0.01);
+            assert!(v.abs() <= r.amplitude_mmhg + 1e-12);
+            peak = peak.max(v.abs());
+        }
+        assert!(peak > 0.9 * r.amplitude_mmhg);
+        assert_eq!(RespiratoryModulation::none().at(1.23), 0.0);
+        // Period check: value repeats after 1/rate.
+        let t = 0.37;
+        assert!((r.at(t) - r.at(t + 1.0 / r.rate_hz)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_is_bounded_and_deterministic() {
+        let mut a = BaselineDrift::new(0.5, 5.0, 9).unwrap();
+        let mut b = BaselineDrift::new(0.5, 5.0, 9).unwrap();
+        for _ in 0..10_000 {
+            let va = a.step();
+            assert_eq!(va, b.step());
+            assert!(va.abs() <= 5.0);
+        }
+        // It actually moves.
+        assert!(a.value().abs() > 0.0);
+    }
+
+    #[test]
+    fn zero_drift_stays_zero() {
+        let mut d = BaselineDrift::new(0.0, 5.0, 0).unwrap();
+        for _ in 0..100 {
+            assert_eq!(d.step(), 0.0);
+        }
+    }
+
+    #[test]
+    fn drift_validation() {
+        assert!(BaselineDrift::new(-0.1, 5.0, 0).is_err());
+        assert!(BaselineDrift::new(0.1, -5.0, 0).is_err());
+    }
+}

@@ -1,0 +1,727 @@
+//! Arterial pulse-waveform synthesis with per-beat ground truth.
+//!
+//! Each beat's morphology is a normalized template built from three
+//! Gaussian components on the beat phase — the systolic upstroke/peak, the
+//! reflected wave, and the dicrotic wave after valve closure — which is
+//! the standard compact parameterization of a radial-artery pressure
+//! pulse. The template is scaled each beat so its minimum hits the
+//! diastolic target and its maximum the systolic target; beat-to-beat
+//! variability, respiration, and drift come from [`crate::variability`].
+//!
+//! Unlike the paper's test person, the synthesizer knows the exact truth:
+//! [`WaveformRecord::beats`] carries every beat's true systolic/diastolic
+//! pressure and timing, so calibration error (Fig. 9) can be *measured*
+//! instead of eyeballed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tonos_mems::units::MillimetersHg;
+
+use crate::variability::{BaselineDrift, RespiratoryModulation, RrIntervalGenerator};
+use crate::PhysioError;
+
+/// One Gaussian component of a beat template.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MorphologyComponent {
+    /// Center on the beat phase in [0, 1).
+    pub center: f64,
+    /// Width (phase units).
+    pub width: f64,
+    /// Relative amplitude.
+    pub amplitude: f64,
+}
+
+/// A beat-shape template: a sum of Gaussian components on the beat phase.
+///
+/// Pulse morphology carries clinical information — arterial stiffening
+/// with age advances and enlarges the reflected wave (a larger
+/// augmentation index), while young compliant arteries show a small
+/// reflection and a crisp dicrotic wave. The presets expose those
+/// regimes for experiments on waveform-feature fidelity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BeatMorphology {
+    components: Vec<MorphologyComponent>,
+}
+
+impl BeatMorphology {
+    /// Builds a morphology from components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysioError::InvalidParameter`] for an empty list, or
+    /// components with non-positive width/amplitude or centers outside
+    /// `[0, 1)`.
+    pub fn new(components: Vec<MorphologyComponent>) -> Result<Self, PhysioError> {
+        if components.is_empty() {
+            return Err(PhysioError::InvalidParameter(
+                "morphology needs at least one component".into(),
+            ));
+        }
+        for c in &components {
+            if !(0.0..1.0).contains(&c.center) || !(c.width > 0.0) || !(c.amplitude > 0.0) {
+                return Err(PhysioError::InvalidParameter(format!(
+                    "invalid morphology component {c:?}"
+                )));
+            }
+        }
+        Ok(BeatMorphology { components })
+    }
+
+    /// The default radial-artery template of a healthy adult: systolic
+    /// peak, moderate reflection, dicrotic wave.
+    pub fn radial_adult() -> Self {
+        BeatMorphology::new(vec![
+            MorphologyComponent { center: 0.16, width: 0.062, amplitude: 1.0 },
+            MorphologyComponent { center: 0.36, width: 0.12, amplitude: 0.42 },
+            MorphologyComponent { center: 0.58, width: 0.05, amplitude: 0.20 },
+        ])
+        .expect("preset is valid")
+    }
+
+    /// Stiff (elderly) arteries: the reflected wave arrives earlier and
+    /// larger, merging into the systolic peak (high augmentation index).
+    pub fn radial_elderly() -> Self {
+        BeatMorphology::new(vec![
+            MorphologyComponent { center: 0.16, width: 0.062, amplitude: 1.0 },
+            MorphologyComponent { center: 0.28, width: 0.11, amplitude: 0.75 },
+            MorphologyComponent { center: 0.58, width: 0.05, amplitude: 0.12 },
+        ])
+        .expect("preset is valid")
+    }
+
+    /// Compliant (young) arteries: small late reflection, pronounced
+    /// dicrotic wave.
+    pub fn radial_young() -> Self {
+        BeatMorphology::new(vec![
+            MorphologyComponent { center: 0.15, width: 0.058, amplitude: 1.0 },
+            MorphologyComponent { center: 0.40, width: 0.13, amplitude: 0.25 },
+            MorphologyComponent { center: 0.56, width: 0.045, amplitude: 0.28 },
+        ])
+        .expect("preset is valid")
+    }
+
+    /// The components.
+    pub fn components(&self) -> &[MorphologyComponent] {
+        &self.components
+    }
+
+    /// Evaluates the unnormalized template at a phase in [0, 1).
+    fn raw(&self, phase: f64) -> f64 {
+        self.components
+            .iter()
+            .map(|c| {
+                let d = phase - c.center;
+                c.amplitude * (-0.5 * (d / c.width) * (d / c.width)).exp()
+            })
+            .sum()
+    }
+
+    /// Relative level of the reflection shoulder: the template value at
+    /// the second component's center divided by the peak — a proxy for
+    /// the augmentation index.
+    pub fn reflection_index(&self) -> f64 {
+        let mut peak = 0.0_f64;
+        for i in 0..512 {
+            peak = peak.max(self.raw(i as f64 / 512.0));
+        }
+        if self.components.len() < 2 || peak <= 0.0 {
+            return 0.0;
+        }
+        self.raw(self.components[1].center) / peak
+    }
+}
+
+impl Default for BeatMorphology {
+    fn default() -> Self {
+        BeatMorphology::radial_adult()
+    }
+}
+
+/// Parameters of the arterial pressure synthesizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArterialParams {
+    /// Target systolic pressure.
+    pub systolic: MillimetersHg,
+    /// Target diastolic pressure.
+    pub diastolic: MillimetersHg,
+    /// Mean heart rate in beats per minute.
+    pub heart_rate_bpm: f64,
+    /// Relative 1-sigma RR-interval jitter.
+    pub rr_sigma: f64,
+    /// Respiratory modulation.
+    pub respiration: RespiratoryModulation,
+    /// Per-beat baseline drift RMS step in mmHg.
+    pub drift_step_mmhg: f64,
+    /// Bound on accumulated drift in mmHg.
+    pub drift_bound_mmhg: f64,
+    /// Premature ventricular contractions (ectopic beats) per minute;
+    /// 0.0 for a regular rhythm. An ectopic beat comes early (short RR),
+    /// ejects weakly (reduced pulse pressure), and is followed by a
+    /// compensatory pause — the classic PVC signature a robust monitor
+    /// must not mistake for two beats or a dropout.
+    pub ectopic_rate_per_min: f64,
+    /// Seed for all stochastic components.
+    pub seed: u64,
+}
+
+impl ArterialParams {
+    /// A healthy resting adult: 120/80 at 72 bpm with mild variability.
+    pub fn normotensive() -> Self {
+        ArterialParams {
+            systolic: MillimetersHg(120.0),
+            diastolic: MillimetersHg(80.0),
+            heart_rate_bpm: 72.0,
+            rr_sigma: 0.03,
+            respiration: RespiratoryModulation::resting(),
+            drift_step_mmhg: 0.3,
+            drift_bound_mmhg: 4.0,
+            ectopic_rate_per_min: 0.0,
+            seed: 0xB10D,
+        }
+    }
+
+    /// Validates physiological plausibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysioError::InvalidParameter`] when systolic ≤ diastolic,
+    /// either pressure is outside 10..=300 mmHg, or variability parameters
+    /// are out of range (checked by the sub-generators).
+    pub fn validate(&self) -> Result<(), PhysioError> {
+        let s = self.systolic.value();
+        let d = self.diastolic.value();
+        if !(10.0..=300.0).contains(&s) || !(10.0..=300.0).contains(&d) {
+            return Err(PhysioError::InvalidParameter(format!(
+                "pressures {s}/{d} mmHg outside 10..=300"
+            )));
+        }
+        if s <= d + 5.0 {
+            return Err(PhysioError::InvalidParameter(format!(
+                "systolic {s} must exceed diastolic {d} by at least 5 mmHg"
+            )));
+        }
+        RrIntervalGenerator::new(self.heart_rate_bpm, self.rr_sigma, 0)?;
+        BaselineDrift::new(self.drift_step_mmhg, self.drift_bound_mmhg, 0)?;
+        if !(0.0..=30.0).contains(&self.ectopic_rate_per_min) {
+            return Err(PhysioError::InvalidParameter(format!(
+                "ectopic rate {} per minute outside 0..=30",
+                self.ectopic_rate_per_min
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ArterialParams {
+    fn default() -> Self {
+        ArterialParams::normotensive()
+    }
+}
+
+/// Ground truth for one synthesized beat.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeatTruth {
+    /// Beat onset time in seconds.
+    pub onset_s: f64,
+    /// RR interval of this beat in seconds.
+    pub rr_s: f64,
+    /// True systolic pressure of this beat (including drift/respiration
+    /// at the systolic instant).
+    pub systolic: MillimetersHg,
+    /// True diastolic pressure of this beat.
+    pub diastolic: MillimetersHg,
+    /// True when this beat is an ectopic (premature) contraction.
+    pub ectopic: bool,
+}
+
+/// A synthesized pressure recording with per-beat ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaveformRecord {
+    /// Pressure samples.
+    pub samples: Vec<MillimetersHg>,
+    /// Sample rate in Hz.
+    pub sample_rate: f64,
+    /// Per-beat ground truth, in onset order.
+    pub beats: Vec<BeatTruth>,
+}
+
+impl WaveformRecord {
+    /// Mean arterial pressure of the whole record.
+    pub fn mean_pressure(&self) -> MillimetersHg {
+        let sum: f64 = self.samples.iter().map(|p| p.value()).sum();
+        MillimetersHg(sum / self.samples.len().max(1) as f64)
+    }
+
+    /// Mean heart rate over the record in beats/minute (from the recorded
+    /// RR intervals).
+    pub fn mean_heart_rate_bpm(&self) -> f64 {
+        if self.beats.is_empty() {
+            return 0.0;
+        }
+        let mean_rr: f64 =
+            self.beats.iter().map(|b| b.rr_s).sum::<f64>() / self.beats.len() as f64;
+        60.0 / mean_rr
+    }
+}
+
+/// The arterial pressure synthesizer.
+#[derive(Debug, Clone)]
+pub struct PulseWaveform {
+    params: ArterialParams,
+    morphology: BeatMorphology,
+    template_min: f64,
+    template_max: f64,
+}
+
+impl PulseWaveform {
+    /// Creates a synthesizer after validating the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ArterialParams::validate`].
+    pub fn new(params: ArterialParams) -> Result<Self, PhysioError> {
+        PulseWaveform::with_morphology(params, BeatMorphology::radial_adult())
+    }
+
+    /// Creates a synthesizer with an explicit beat morphology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ArterialParams::validate`].
+    pub fn with_morphology(
+        params: ArterialParams,
+        morphology: BeatMorphology,
+    ) -> Result<Self, PhysioError> {
+        params.validate()?;
+        // Normalize the template over a dense phase grid once.
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..4096 {
+            let v = morphology.raw(i as f64 / 4096.0);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Ok(PulseWaveform {
+            params,
+            morphology,
+            template_min: lo,
+            template_max: hi,
+        })
+    }
+
+    /// The beat morphology in use.
+    pub fn morphology(&self) -> &BeatMorphology {
+        &self.morphology
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &ArterialParams {
+        &self.params
+    }
+
+    /// Normalized beat template: 0 at the diastolic minimum, 1 at the
+    /// systolic peak.
+    pub fn template(&self, phase: f64) -> f64 {
+        let p = phase.rem_euclid(1.0);
+        (self.morphology.raw(p) - self.template_min) / (self.template_max - self.template_min)
+    }
+
+    /// Synthesizes `duration_s` seconds at `sample_rate` Hz.
+    ///
+    /// The optional `trend` closure lets scenarios move the
+    /// (systolic, diastolic) targets over time — e.g. the exercise
+    /// transient of experiment E6 — and receives the beat onset time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysioError::InvalidParameter`] for a non-positive rate
+    /// or duration.
+    pub fn record_with_trend<F>(
+        &self,
+        sample_rate: f64,
+        duration_s: f64,
+        mut trend: F,
+    ) -> Result<WaveformRecord, PhysioError>
+    where
+        F: FnMut(f64) -> (MillimetersHg, MillimetersHg),
+    {
+        if !(sample_rate > 0.0) || !(duration_s > 0.0) {
+            return Err(PhysioError::InvalidParameter(
+                "sample rate and duration must be positive".into(),
+            ));
+        }
+        let mut rr_gen = RrIntervalGenerator::new(
+            self.params.heart_rate_bpm,
+            self.params.rr_sigma,
+            self.params.seed,
+        )?;
+        let mut drift = BaselineDrift::new(
+            self.params.drift_step_mmhg,
+            self.params.drift_bound_mmhg,
+            self.params.seed ^ 0xD81F,
+        )?;
+        let mut ectopy_rng = StdRng::seed_from_u64(self.params.seed ^ 0xEC70);
+
+        let n = (duration_s * sample_rate).round() as usize;
+        let dt = 1.0 / sample_rate;
+        let mut samples = Vec::with_capacity(n);
+        let mut beats = Vec::new();
+
+        // Per-beat state.
+        let mut beat_onset = 0.0;
+        let mut rr = rr_gen.next_rr();
+        let mut beat_drift = drift.step();
+        let (mut sys_t, mut dia_t) = trend(0.0);
+        // Ectopy state: the current beat's pulse-pressure factor and
+        // whether the *next* beat carries the compensatory pause.
+        let mut amp_factor = 1.0;
+        let mut ectopic = false;
+        let mut compensatory_pending = false;
+        let record_beat = |onset: f64,
+                           rr: f64,
+                           sys: MillimetersHg,
+                           dia: MillimetersHg,
+                           amp: f64,
+                           ectopic: bool,
+                           drift_v: f64,
+                           beats: &mut Vec<BeatTruth>| {
+            let pulse = (sys.value() - dia.value()) * amp;
+            beats.push(BeatTruth {
+                onset_s: onset,
+                rr_s: rr,
+                systolic: MillimetersHg(dia.value() + pulse + drift_v),
+                diastolic: MillimetersHg(dia.value() + drift_v),
+                ectopic,
+            });
+        };
+        record_beat(
+            beat_onset, rr, sys_t, dia_t, amp_factor, ectopic, beat_drift, &mut beats,
+        );
+
+        for i in 0..n {
+            let t = i as f64 * dt;
+            // Advance to the next beat when the RR interval elapses.
+            while t - beat_onset >= rr {
+                beat_onset += rr;
+                rr = rr_gen.next_rr();
+                // PVC logic: an ectopic beat is premature and weak; the
+                // beat after it pauses compensatorily.
+                if compensatory_pending {
+                    rr *= 1.45;
+                    amp_factor = 1.0;
+                    ectopic = false;
+                    compensatory_pending = false;
+                } else {
+                    let p_ectopic =
+                        self.params.ectopic_rate_per_min * rr_gen.mean_rr() / 60.0;
+                    if self.params.ectopic_rate_per_min > 0.0
+                        && ectopy_rng.gen_range(0.0..1.0) < p_ectopic
+                    {
+                        rr *= 0.55;
+                        amp_factor = 0.65;
+                        ectopic = true;
+                        compensatory_pending = true;
+                    } else {
+                        amp_factor = 1.0;
+                        ectopic = false;
+                    }
+                }
+                beat_drift = drift.step();
+                let targets = trend(beat_onset);
+                sys_t = targets.0;
+                dia_t = targets.1;
+                record_beat(
+                    beat_onset, rr, sys_t, dia_t, amp_factor, ectopic, beat_drift, &mut beats,
+                );
+            }
+            let phase = (t - beat_onset) / rr;
+            let tpl = self.template(phase);
+            let p = dia_t.value()
+                + (sys_t.value() - dia_t.value()) * amp_factor * tpl
+                + beat_drift
+                + self.params.respiration.at(t);
+            samples.push(MillimetersHg(p));
+        }
+
+        Ok(WaveformRecord {
+            samples,
+            sample_rate,
+            beats,
+        })
+    }
+
+    /// Synthesizes with constant systolic/diastolic targets.
+    ///
+    /// # Errors
+    ///
+    /// See [`PulseWaveform::record_with_trend`].
+    pub fn record(&self, sample_rate: f64, duration_s: f64) -> Result<WaveformRecord, PhysioError> {
+        let sys = self.params.systolic;
+        let dia = self.params.diastolic;
+        self.record_with_trend(sample_rate, duration_s, |_| (sys, dia))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_params() -> ArterialParams {
+        ArterialParams {
+            rr_sigma: 0.0,
+            respiration: RespiratoryModulation::none(),
+            drift_step_mmhg: 0.0,
+            ..ArterialParams::normotensive()
+        }
+    }
+
+    #[test]
+    fn template_is_normalized_and_peaks_early() {
+        let w = PulseWaveform::new(quiet_params()).unwrap();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut peak_phase = 0.0;
+        for i in 0..2048 {
+            let p = i as f64 / 2048.0;
+            let v = w.template(p);
+            if v > hi {
+                hi = v;
+                peak_phase = p;
+            }
+            lo = lo.min(v);
+        }
+        assert!(lo.abs() < 1e-3, "min {lo}");
+        assert!((hi - 1.0).abs() < 1e-3, "max {hi}");
+        assert!(
+            (0.1..0.25).contains(&peak_phase),
+            "systolic peak at phase {peak_phase}"
+        );
+    }
+
+    #[test]
+    fn quiet_record_hits_targets_exactly() {
+        let w = PulseWaveform::new(quiet_params()).unwrap();
+        let r = w.record(500.0, 5.0).unwrap();
+        let max = r.samples.iter().map(|p| p.value()).fold(f64::MIN, f64::max);
+        let min = r.samples.iter().map(|p| p.value()).fold(f64::MAX, f64::min);
+        assert!((max - 120.0).abs() < 0.5, "systolic {max}");
+        assert!((min - 80.0).abs() < 0.5, "diastolic {min}");
+    }
+
+    #[test]
+    fn beat_count_matches_heart_rate() {
+        let w = PulseWaveform::new(quiet_params()).unwrap();
+        let r = w.record(250.0, 30.0).unwrap();
+        // 72 bpm for 30 s = 36 beats, ± the partial beats at the ends.
+        assert!(
+            (35..=38).contains(&r.beats.len()),
+            "{} beats in 30 s at 72 bpm",
+            r.beats.len()
+        );
+        assert!((r.mean_heart_rate_bpm() - 72.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn ground_truth_matches_waveform_extrema_per_beat() {
+        let w = PulseWaveform::new(quiet_params()).unwrap();
+        let r = w.record(1000.0, 10.0).unwrap();
+        // For each full beat, the recorded samples in the beat window must
+        // peak at the truth's systolic value.
+        for pair in r.beats.windows(2) {
+            let (b, next) = (&pair[0], &pair[1]);
+            let i0 = (b.onset_s * r.sample_rate) as usize;
+            let i1 = ((next.onset_s) * r.sample_rate) as usize;
+            if i1 >= r.samples.len() {
+                break;
+            }
+            let seg = &r.samples[i0..i1];
+            let max = seg.iter().map(|p| p.value()).fold(f64::MIN, f64::max);
+            let min = seg.iter().map(|p| p.value()).fold(f64::MAX, f64::min);
+            assert!((max - b.systolic.value()).abs() < 1.0, "beat systolic");
+            assert!((min - b.diastolic.value()).abs() < 1.0, "beat diastolic");
+        }
+    }
+
+    #[test]
+    fn records_are_deterministic_per_seed() {
+        let p = ArterialParams::normotensive();
+        let a = PulseWaveform::new(p).unwrap().record(250.0, 5.0).unwrap();
+        let b = PulseWaveform::new(p).unwrap().record(250.0, 5.0).unwrap();
+        assert_eq!(a, b);
+        let mut p2 = p;
+        p2.seed ^= 1;
+        let c = PulseWaveform::new(p2).unwrap().record(250.0, 5.0).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respiration_widens_the_envelope() {
+        let mut p = quiet_params();
+        p.respiration = RespiratoryModulation {
+            rate_hz: 0.25,
+            amplitude_mmhg: 3.0,
+        };
+        let w = PulseWaveform::new(p).unwrap();
+        let r = w.record(250.0, 20.0).unwrap();
+        let max = r.samples.iter().map(|s| s.value()).fold(f64::MIN, f64::max);
+        assert!(max > 121.5, "respiration must push peaks above 120: {max}");
+    }
+
+    #[test]
+    fn trend_moves_the_targets() {
+        let w = PulseWaveform::new(quiet_params()).unwrap();
+        // Ramp systolic from 120 to 150 over 20 s.
+        let r = w
+            .record_with_trend(250.0, 20.0, |t| {
+                (
+                    MillimetersHg(120.0 + 1.5 * t),
+                    MillimetersHg(80.0 + 0.5 * t),
+                )
+            })
+            .unwrap();
+        let first = r.beats.first().unwrap();
+        let last = r.beats.last().unwrap();
+        assert!(last.systolic.value() > first.systolic.value() + 20.0);
+        assert!(last.diastolic.value() > first.diastolic.value() + 5.0);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let mut p = ArterialParams::normotensive();
+        p.systolic = MillimetersHg(80.0); // below diastolic
+        assert!(PulseWaveform::new(p).is_err());
+        let mut p = ArterialParams::normotensive();
+        p.diastolic = MillimetersHg(5.0);
+        assert!(PulseWaveform::new(p).is_err());
+        let mut p = ArterialParams::normotensive();
+        p.heart_rate_bpm = 500.0;
+        assert!(PulseWaveform::new(p).is_err());
+        let w = PulseWaveform::new(ArterialParams::normotensive()).unwrap();
+        assert!(w.record(0.0, 10.0).is_err());
+        assert!(w.record(250.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn morphology_presets_rank_by_reflection_index() {
+        let young = BeatMorphology::radial_young().reflection_index();
+        let adult = BeatMorphology::radial_adult().reflection_index();
+        let elderly = BeatMorphology::radial_elderly().reflection_index();
+        assert!(
+            young < adult && adult < elderly,
+            "stiffer arteries reflect more: {young} < {adult} < {elderly}"
+        );
+        assert!(elderly > 0.6, "elderly shoulder {elderly}");
+        assert!(young < 0.45, "young shoulder {young}");
+    }
+
+    #[test]
+    fn morphology_changes_the_waveform_not_the_envelope() {
+        let p = quiet_params();
+        let adult = PulseWaveform::new(p).unwrap().record(250.0, 5.0).unwrap();
+        let elderly = PulseWaveform::with_morphology(p, BeatMorphology::radial_elderly())
+            .unwrap()
+            .record(250.0, 5.0)
+            .unwrap();
+        assert_ne!(adult.samples, elderly.samples, "different pulse shapes");
+        // Both still hit the same systolic/diastolic targets.
+        for r in [&adult, &elderly] {
+            let max = r.samples.iter().map(|s| s.value()).fold(f64::MIN, f64::max);
+            let min = r.samples.iter().map(|s| s.value()).fold(f64::MAX, f64::min);
+            assert!((max - 120.0).abs() < 0.5);
+            assert!((min - 80.0).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn invalid_morphologies_are_rejected() {
+        assert!(BeatMorphology::new(vec![]).is_err());
+        assert!(BeatMorphology::new(vec![MorphologyComponent {
+            center: 1.2,
+            width: 0.1,
+            amplitude: 1.0
+        }])
+        .is_err());
+        assert!(BeatMorphology::new(vec![MorphologyComponent {
+            center: 0.5,
+            width: 0.0,
+            amplitude: 1.0
+        }])
+        .is_err());
+        assert!(BeatMorphology::new(vec![MorphologyComponent {
+            center: 0.5,
+            width: 0.1,
+            amplitude: -1.0
+        }])
+        .is_err());
+    }
+
+    #[test]
+    fn regular_rhythm_has_no_ectopic_beats() {
+        let w = PulseWaveform::new(quiet_params()).unwrap();
+        let r = w.record(250.0, 30.0).unwrap();
+        assert!(r.beats.iter().all(|b| !b.ectopic));
+    }
+
+    #[test]
+    fn ectopic_beats_appear_at_the_configured_rate() {
+        let mut p = quiet_params();
+        p.ectopic_rate_per_min = 6.0;
+        let w = PulseWaveform::new(p).unwrap();
+        let r = w.record(250.0, 120.0).unwrap();
+        let ectopic = r.beats.iter().filter(|b| b.ectopic).count();
+        // 6/min over 120 s = ~12 expected; Poisson-ish spread.
+        assert!(
+            (6..=20).contains(&ectopic),
+            "{ectopic} ectopic beats in 2 minutes at 6/min"
+        );
+    }
+
+    #[test]
+    fn pvc_signature_short_weak_then_pause() {
+        let mut p = quiet_params();
+        p.ectopic_rate_per_min = 8.0;
+        let w = PulseWaveform::new(p).unwrap();
+        let r = w.record(500.0, 120.0).unwrap();
+        let normal_rr = 60.0 / p.heart_rate_bpm;
+        let mut found = 0;
+        for (i, b) in r.beats.iter().enumerate() {
+            if !b.ectopic || i + 1 >= r.beats.len() {
+                continue;
+            }
+            found += 1;
+            // Premature: clearly shorter than the nominal RR.
+            assert!(b.rr_s < 0.7 * normal_rr, "ectopic RR {} not premature", b.rr_s);
+            // Weak: reduced pulse pressure.
+            let pulse = b.systolic.value() - b.diastolic.value();
+            assert!((pulse - 0.65 * 40.0).abs() < 2.0, "ectopic pulse {pulse}");
+            // Compensatory pause on the next beat.
+            let next = &r.beats[i + 1];
+            assert!(
+                next.rr_s > 1.2 * normal_rr,
+                "compensatory RR {} too short",
+                next.rr_s
+            );
+            assert!(!next.ectopic, "the pause beat itself is a normal beat");
+        }
+        assert!(found >= 5, "only {found} full PVC signatures found");
+    }
+
+    #[test]
+    fn ectopy_validation() {
+        let mut p = ArterialParams::normotensive();
+        p.ectopic_rate_per_min = -1.0;
+        assert!(PulseWaveform::new(p).is_err());
+        p.ectopic_rate_per_min = 60.0;
+        assert!(PulseWaveform::new(p).is_err());
+    }
+
+    #[test]
+    fn mean_pressure_sits_between_dia_and_sys() {
+        let w = PulseWaveform::new(quiet_params()).unwrap();
+        let r = w.record(250.0, 10.0).unwrap();
+        let map = r.mean_pressure().value();
+        assert!((80.0..120.0).contains(&map), "MAP {map}");
+        // Radial MAP is typically dia + ~1/3 pulse pressure.
+        assert!((map - 93.0).abs() < 8.0, "MAP {map} implausible");
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the physiological models.
+
+use proptest::prelude::*;
+use tonos_mems::units::MillimetersHg;
+use tonos_physio::cuff::CuffDevice;
+use tonos_physio::patient::PressureTransient;
+use tonos_physio::variability::{RespiratoryModulation, RrIntervalGenerator};
+use tonos_physio::waveform::{ArterialParams, PulseWaveform};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any physiological parameter set, the synthesized samples stay
+    /// within the diastolic/systolic envelope (plus modulation margins).
+    #[test]
+    fn waveform_respects_its_envelope(
+        sys in 100.0_f64..180.0,
+        dia in 50.0_f64..90.0,
+        hr in 45.0_f64..160.0,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(sys > dia + 20.0);
+        let params = ArterialParams {
+            systolic: MillimetersHg(sys),
+            diastolic: MillimetersHg(dia),
+            heart_rate_bpm: hr,
+            seed,
+            ..ArterialParams::normotensive()
+        };
+        let record = PulseWaveform::new(params).unwrap().record(200.0, 10.0).unwrap();
+        let margin = params.respiration.amplitude_mmhg + params.drift_bound_mmhg + 0.5;
+        for p in &record.samples {
+            prop_assert!(p.value() > dia - margin, "sample {p} below envelope");
+            prop_assert!(p.value() < sys + margin, "sample {p} above envelope");
+        }
+        // Beat truths stay in the envelope too.
+        for b in &record.beats {
+            prop_assert!(b.systolic.value() <= sys + margin);
+            prop_assert!(b.diastolic.value() >= dia - margin);
+            prop_assert!(b.systolic > b.diastolic);
+        }
+    }
+
+    /// Beat count always matches the requested heart rate within a few
+    /// percent for long-enough records.
+    #[test]
+    fn beat_count_matches_rate(hr in 45.0_f64..150.0, seed in any::<u64>()) {
+        let params = ArterialParams {
+            heart_rate_bpm: hr,
+            seed,
+            ..ArterialParams::normotensive()
+        };
+        let record = PulseWaveform::new(params).unwrap().record(100.0, 60.0).unwrap();
+        let expected = hr; // beats per 60 s
+        let got = record.beats.len() as f64;
+        prop_assert!(
+            (got - expected).abs() <= expected * 0.06 + 2.0,
+            "{got} beats at {hr} bpm"
+        );
+    }
+
+    /// RR intervals never leave the ±3σ clamp.
+    #[test]
+    fn rr_is_clamped(hr in 40.0_f64..180.0, sigma in 0.0_f64..0.2, seed in any::<u64>()) {
+        let mut gen = RrIntervalGenerator::new(hr, sigma, seed).unwrap();
+        let mean = gen.mean_rr();
+        for _ in 0..500 {
+            let rr = gen.next_rr();
+            prop_assert!(rr >= mean * (1.0 - 3.0 * sigma) - 1e-12);
+            prop_assert!(rr <= mean * (1.0 + 3.0 * sigma) + 1e-12);
+        }
+    }
+
+    /// Respiration is bounded by its amplitude for all time.
+    #[test]
+    fn respiration_is_bounded(rate in 0.05_f64..1.0, amp in 0.0_f64..10.0, t in 0.0_f64..1e4) {
+        let r = RespiratoryModulation { rate_hz: rate, amplitude_mmhg: amp };
+        prop_assert!(r.at(t).abs() <= amp + 1e-12);
+    }
+
+    /// The transient envelope is always within [0, 1] and zero outside
+    /// the episode.
+    #[test]
+    fn transient_envelope_is_unit_bounded(t in -10.0_f64..500.0) {
+        let e = PressureTransient::episode();
+        let v = e.envelope(t);
+        prop_assert!((0.0..=1.0).contains(&v));
+        if t < e.onset_s || t > e.onset_s + 2.0 * e.ramp_s + e.hold_s {
+            prop_assert_eq!(v, 0.0);
+        }
+    }
+
+    /// Cuff displays always quantize to the configured step and stay
+    /// within a few sigma of the truth.
+    #[test]
+    fn cuff_quantizes_and_bounds(
+        sys in 90.0_f64..200.0,
+        dia in 50.0_f64..89.0,
+        seed in any::<u64>(),
+    ) {
+        let mut cuff = CuffDevice::clinical(seed);
+        let r = cuff
+            .measure(0.0, MillimetersHg(sys), MillimetersHg(dia))
+            .unwrap();
+        prop_assert_eq!(r.systolic.value() as i64 % 2, 0);
+        prop_assert_eq!(r.diastolic.value() as i64 % 2, 0);
+        // Gaussian errors: 6 sigma + quantization bound.
+        prop_assert!((r.systolic.value() - sys).abs() < 6.0 * 3.0 + 2.0);
+        prop_assert!((r.diastolic.value() - dia).abs() < 6.0 * 2.0 + 2.0);
+    }
+
+    /// Ectopic beats always carry the PVC signature: premature RR and
+    /// reduced pulse pressure relative to the running rhythm.
+    #[test]
+    fn ectopic_beats_have_the_pvc_signature(rate in 2.0_f64..15.0, seed in any::<u64>()) {
+        let params = ArterialParams {
+            ectopic_rate_per_min: rate,
+            rr_sigma: 0.0,
+            seed,
+            ..ArterialParams::normotensive()
+        };
+        let record = PulseWaveform::new(params).unwrap().record(100.0, 60.0).unwrap();
+        let nominal_rr = 60.0 / params.heart_rate_bpm;
+        let nominal_pulse =
+            params.systolic.value() - params.diastolic.value();
+        for b in record.beats.iter().filter(|b| b.ectopic) {
+            prop_assert!(b.rr_s < 0.8 * nominal_rr, "RR {}", b.rr_s);
+            let pulse = b.systolic.value() - b.diastolic.value();
+            prop_assert!(pulse < 0.8 * nominal_pulse, "pulse {pulse}");
+        }
+    }
+
+    /// The normalized beat template is bounded in [0, 1] everywhere.
+    #[test]
+    fn template_is_normalized(phase in -2.0_f64..3.0) {
+        let wave = PulseWaveform::new(ArterialParams::normotensive()).unwrap();
+        let v = wave.template(phase);
+        // The min/max normalization samples a 4096-point grid, so values
+        // between grid points can undershoot by O(1e-7).
+        prop_assert!((-1e-6..=1.0 + 1e-6).contains(&v), "template({phase}) = {v}");
+    }
+}

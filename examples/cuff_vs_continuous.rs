@@ -1,0 +1,74 @@
+//! Why continuous monitoring matters: the paper's introduction, measured.
+//!
+//! Subjects a simulated patient to a hypertensive episode and monitors
+//! with (a) a conventional oscillometric cuff and (b) the paper's
+//! continuous tonometric sensor, then compares what each saw.
+//!
+//! Run with: `cargo run --release --example cuff_vs_continuous`
+
+use tonos::physio::cuff::CuffDevice;
+use tonos::physio::patient::PressureTransient;
+use tonos::system::config::SystemConfig;
+use tonos::system::monitor::BloodPressureMonitor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = PressureTransient::episode();
+    println!(
+        "scenario: +{:.0}/{:.0} mmHg episode at t = {:.0} s (ramp {:.0} s, hold {:.0} s)",
+        scenario.sys_delta.value(),
+        scenario.dia_delta.value(),
+        scenario.onset_s,
+        scenario.ramp_s,
+        scenario.hold_s
+    );
+    let duration = 150.0;
+    let truth = scenario.record(1000.0, duration)?;
+
+    // (a) The cuff: one reading per 30 s inflation cycle.
+    let mut cuff = CuffDevice::clinical(7);
+    let readings = cuff.monitor(&truth);
+    println!("\ncuff readings ({} in {:.0} s):", readings.len(), duration);
+    for r in &readings {
+        println!(
+            "  t = {:5.1} s: {:3.0}/{:3.0} mmHg",
+            r.time_s,
+            r.systolic.value(),
+            r.diastolic.value()
+        );
+    }
+
+    // (b) The continuous sensor.
+    let mut monitor =
+        BloodPressureMonitor::new(SystemConfig::paper_default(), scenario.profile)?;
+    let session = monitor.run_record(truth)?;
+    println!(
+        "\ncontinuous sensor: {} beats resolved, systolic MAE {:.2} mmHg",
+        session.analysis.beats.len(),
+        session.errors.systolic_mae
+    );
+
+    // Per-10 s systolic trend from the continuous channel.
+    println!("\nsystolic trend from the beat series (10 s bins):");
+    let fs = session.sample_rate;
+    let mut bins: Vec<Vec<f64>> = vec![Vec::new(); (duration / 10.0) as usize + 1];
+    for beat in &session.analysis.beats {
+        let t = (session.acquisition_start + beat.peak_index) as f64 / fs;
+        let idx = (t / 10.0) as usize;
+        if idx < bins.len() {
+            bins[idx].push(beat.systolic);
+        }
+    }
+    for (i, bin) in bins.iter().enumerate() {
+        if bin.is_empty() {
+            continue;
+        }
+        let mean = bin.iter().sum::<f64>() / bin.len() as f64;
+        let bar = "#".repeat(((mean - 100.0).max(0.0) / 1.5) as usize);
+        println!("  {:3}-{:3} s: {:5.1} mmHg {}", i * 10, (i + 1) * 10, mean, bar);
+    }
+    println!(
+        "\nThe episode (60-110 s) is fully resolved by the continuous channel; the cuff \
+         caught at most one or two points of it — the paper's motivation in one plot."
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Locating a buried vessel with the tactile array (paper §2).
+//!
+//! Scans the array while a synthetic artery pulses at a lateral offset,
+//! selects the strongest element, and estimates the vessel position from
+//! the score centroid — the "localizing blood vessels, buried in tissue"
+//! use-case of the paper.
+//!
+//! Run with: `cargo run --release --example vessel_localization`
+
+use tonos::mems::contact::PressureField;
+use tonos::physio::patient::PatientProfile;
+use tonos::physio::tissue::TissueModel;
+use tonos::system::config::SystemConfig;
+use tonos::system::localize::localize_vessel;
+use tonos::system::readout::ReadoutSystem;
+use tonos::system::select::scan_strongest;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let truth = PatientProfile::normotensive().record(1000.0, 15.0)?;
+    let config = SystemConfig::paper_default();
+    let contact = config.contact;
+
+    // A shallow vessel 120 um to the left of the array center.
+    let tissue = TissueModel::radial_artery().with_vessel_offset(-120e-6);
+    println!("true vessel offset: -120.0 um (radial artery preset, 2.5 mm deep)");
+
+    let mut system = ReadoutSystem::new(config)?;
+    let layout = system.chip().array().layout();
+    let samples = truth.samples.clone();
+    let mut t = 0usize;
+    let scan = scan_strongest(
+        &mut system,
+        move || {
+            let arterial = samples[t % samples.len()];
+            t += 1;
+            let field = tissue.field(arterial);
+            let mut frame = Vec::with_capacity(layout.len());
+            for row in 0..layout.rows {
+                for col in 0..layout.cols {
+                    let (x, y) = layout.position(row, col);
+                    frame.push(contact.net_element_pressure(field.pressure_at(x, y)));
+                }
+            }
+            frame
+        },
+        500,
+    )?;
+
+    println!("\nper-element pulsatile scores:");
+    for &((row, col), score) in &scan.scores {
+        let (x, y) = layout.position(row, col);
+        println!(
+            "  element ({row},{col}) at ({:+.0}, {:+.0}) um: {:.6}",
+            x * 1e6,
+            y * 1e6,
+            score
+        );
+    }
+    println!("strongest element: ({}, {})", scan.best.0, scan.best.1);
+
+    let estimate = localize_vessel(&scan, layout)?;
+    println!(
+        "centroid estimate: x = {:+.1} um (confidence {:.2})",
+        estimate.x * 1e6,
+        estimate.confidence
+    );
+    println!(
+        "\nNote: at 2.5 mm depth the surface kernel is ~2 mm wide — an order of magnitude \
+         beyond the 150 um pitch — so the 2x2 array yields a coarse side decision; see the \
+         vessel_localization experiment binary for the extended-array version with sub-pitch \
+         estimates."
+    );
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! # tonos — umbrella crate for the CMOS tactile blood-pressure sensor stack
+//!
+//! A behavioral, laptop-scale reproduction of
+//! *"A CMOS-Based Tactile Sensor for Continuous Blood Pressure Monitoring"*
+//! (Kirstein et al., DATE'05): MEMS membrane transducers, a second-order
+//! single-bit ΣΔ readout, the SINC³+FIR decimation "FPGA", physiological
+//! pressure sources, and the end-to-end monitoring system.
+//!
+//! This crate re-exports the workspace members under stable names:
+//!
+//! * [`mems`] — membrane mechanics and capacitive transduction
+//! * [`analog`] — switched-capacitor ΣΔ modulator, mux, noise, power
+//! * [`dsp`] — decimation filters, FFT, spectral metrics
+//! * [`physio`] — arterial waveforms, tissue coupling, cuff reference
+//! * [`system`] — the chip + readout + calibration + analysis stack
+//!
+//! See `examples/quickstart.rs` for the five-minute tour.
+
+pub use tonos_analog as analog;
+pub use tonos_core as system;
+pub use tonos_dsp as dsp;
+pub use tonos_mems as mems;
+pub use tonos_physio as physio;

@@ -1,0 +1,94 @@
+//! Cross-crate consistency: substrates must agree where they meet.
+
+use tonos::analog::frontend::CapacitiveFrontEnd;
+use tonos::mems::array::SensorArray;
+use tonos::mems::contact::{ContactInterface, PressureField};
+use tonos::mems::units::{Farads, MillimetersHg, Pascals, Volts};
+use tonos::physio::patient::PatientProfile;
+use tonos::physio::tissue::TissueModel;
+use tonos::system::chip::SensorChip;
+use tonos::system::config::ChipConfig;
+
+/// The chip's front end must be referenced to its own array's reference
+/// structure: a perfectly balanced element reads (nearly) zero input.
+#[test]
+fn frontend_reference_matches_array_reference() {
+    let chip = SensorChip::new(ChipConfig::paper_default()).unwrap();
+    let reference = chip.array().reference_capacitance();
+    assert_eq!(chip.frontend().reference(), reference);
+    let fe = CapacitiveFrontEnd::paper_default(reference);
+    assert_eq!(fe.input_fraction(reference), 0.0);
+}
+
+/// Tissue fields plug into the MEMS contact interface and produce
+/// element loads ordered by distance to the vessel.
+#[test]
+fn tissue_field_drives_contact_interface_consistently() {
+    let array = SensorArray::paper_ideal();
+    let tissue = TissueModel::radial_artery().with_vessel_offset(-2.0e-3);
+    let field = tissue.field(MillimetersHg(120.0));
+    let iface = ContactInterface::wrist_default();
+    let loads = iface.element_pressures(&array, &field).unwrap();
+    assert_eq!(loads.len(), 4);
+    // Columns closer to the vessel (x = -75 um) load harder.
+    assert!(loads[0] > loads[1], "row 0: left column nearer the vessel");
+    assert!(loads[2] > loads[3], "row 1: left column nearer the vessel");
+    // And the interface at least preserves the field ordering vs a
+    // direct evaluation.
+    let direct_left = field.pressure_at(-75e-6, -75e-6);
+    let direct_right = field.pressure_at(75e-6, -75e-6);
+    assert!(direct_left > direct_right);
+}
+
+/// Physiological pressures never collapse the paper's membranes through
+/// the wrist contact stack.
+#[test]
+fn clinical_pressures_stay_far_from_collapse() {
+    let chip = SensorChip::new(ChipConfig::paper_default()).unwrap();
+    let iface = ContactInterface::wrist_default();
+    for mmhg in [0.0, 80.0, 120.0, 200.0, 300.0] {
+        let net = iface.net_element_pressure(Pascals::from_mmhg(MillimetersHg(mmhg)));
+        let caps = chip.capacitances(&[net; 4]).unwrap();
+        for c in caps {
+            assert!(c.is_finite());
+            assert!(c.value() > 0.0);
+        }
+    }
+}
+
+/// The physiology's pressure range maps into the modulator's stable
+/// input range through the front end (no overload in normal operation).
+#[test]
+fn physiology_maps_into_modulator_range() {
+    let chip = SensorChip::new(ChipConfig::measurement_tuned()).unwrap();
+    let tissue = TissueModel::radial_artery();
+    let iface = ContactInterface::wrist_default();
+    let record = PatientProfile::hypertensive().record(250.0, 10.0).unwrap();
+    let mut max_u = 0.0_f64;
+    for &arterial in record.samples.iter().step_by(10) {
+        let field = tissue.field(arterial);
+        let net = iface.net_element_pressure(field.pressure_at(0.0, 0.0));
+        let caps = chip.capacitances(&[net; 4]).unwrap();
+        for c in caps {
+            max_u = max_u.max(chip.frontend().input_fraction(c).abs());
+        }
+    }
+    assert!(
+        max_u < 0.9,
+        "hypertensive swing must stay inside the stable range, peak |u| = {max_u}"
+    );
+    assert!(max_u > 0.001, "the signal must be measurable, peak |u| = {max_u}");
+}
+
+/// Unit conversions agree across crate boundaries.
+#[test]
+fn unit_newtypes_are_shared_not_duplicated() {
+    // One Farads/Volts/Pascals family is used everywhere — these
+    // assignments only compile if the types are the same.
+    let c: Farads = SensorArray::paper_ideal().reference_capacitance();
+    let fe = CapacitiveFrontEnd::paper_default(c);
+    let _: Volts = fe.vref();
+    let p: Pascals = MillimetersHg(100.0).into();
+    let back: MillimetersHg = p.into();
+    assert!((back.value() - 100.0).abs() < 1e-9);
+}

@@ -1,0 +1,118 @@
+//! End-to-end integration tests spanning all crates: the paper's two
+//! headline experiments plus pipeline determinism.
+
+use tonos::analog::modulator::PAPER_SAMPLE_RATE_HZ;
+use tonos::dsp::metrics::DynamicMetrics;
+use tonos::dsp::spectrum::Spectrum;
+use tonos::dsp::window::Window;
+use tonos::mems::units::Volts;
+use tonos::physio::patient::PatientProfile;
+use tonos::system::config::SystemConfig;
+use tonos::system::monitor::BloodPressureMonitor;
+use tonos::system::readout::ReadoutSystem;
+
+/// The Fig. 7 claim: the complete converter (modulator + SINC³ + FIR +
+/// 12-bit output) achieves SNR > 72 dB on a near-full-scale sine.
+#[test]
+fn fig7_snr_floor_holds_end_to_end() {
+    let mut system = ReadoutSystem::new(SystemConfig::characterization_default()).unwrap();
+    let n_out = 2048;
+    let out_rate = system.output_rate_hz();
+    let tone = Window::coherent_frequency(out_rate, n_out, 15.625);
+    let settle = system.settling_frames() + 8;
+    let n_in = system.osr() * (n_out + settle);
+    let stimulus: Vec<Volts> = (0..n_in)
+        .map(|i| {
+            let t = i as f64 / PAPER_SAMPLE_RATE_HZ;
+            Volts(0.85 * 2.5 * (2.0 * std::f64::consts::PI * tone * t).sin())
+        })
+        .collect();
+    let out = system.acquire_voltage(&stimulus);
+    let spectrum =
+        Spectrum::from_signal(&out[out.len() - n_out..], out_rate, Window::Hann).unwrap();
+    let metrics = DynamicMetrics::from_spectrum(&spectrum).unwrap();
+    assert!(
+        metrics.snr_db > 72.0,
+        "paper floor violated: SNR {:.2} dB",
+        metrics.snr_db
+    );
+    assert!(
+        metrics.enob > 11.0,
+        "12-bit converter must deliver > 11 effective bits, got {:.2}",
+        metrics.enob
+    );
+    // Noise shaping sanity: the bottom quarter of the band carries less
+    // noise than the top quarter (rising shaped-noise skirt).
+    let quarter = spectrum.len() / 4;
+    let peak = spectrum.peak_bin().unwrap();
+    let low_band = spectrum.band_power(peak + 5, quarter);
+    let high_band = spectrum.band_power(spectrum.len() - quarter, spectrum.len() - 1);
+    assert!(
+        high_band > low_band,
+        "noise floor must rise toward Nyquist: {low_band:.3e} vs {high_band:.3e}"
+    );
+}
+
+/// The Fig. 9 claim: a continuous, cuff-calibrated blood-pressure
+/// waveform with beat-resolved systole/diastole.
+#[test]
+fn fig9_monitoring_session_tracks_ground_truth() {
+    let mut monitor = BloodPressureMonitor::new(
+        SystemConfig::paper_default(),
+        PatientProfile::normotensive(),
+    )
+    .unwrap()
+    .with_scan_window(150);
+    let session = monitor.run(6.0).unwrap();
+    assert!(session.errors.matched_beats >= 5);
+    assert!(
+        session.errors.systolic_mae < 8.0,
+        "systolic MAE {:.2}",
+        session.errors.systolic_mae
+    );
+    assert!(
+        session.errors.diastolic_mae < 8.0,
+        "diastolic MAE {:.2}",
+        session.errors.diastolic_mae
+    );
+    assert!(session.errors.pulse_rate_error_bpm < 6.0);
+    // The calibrated waveform must live in the clinical band.
+    let vals: Vec<f64> = session.calibrated.iter().map(|p| p.value()).collect();
+    let max = vals.iter().copied().fold(f64::MIN, f64::max);
+    let min = vals.iter().copied().fold(f64::MAX, f64::min);
+    assert!((95.0..150.0).contains(&max), "systolic envelope {max}");
+    assert!((50.0..100.0).contains(&min), "diastolic envelope {min}");
+}
+
+/// Same seeds, same bits: the whole stack is deterministic.
+#[test]
+fn full_pipeline_is_deterministic() {
+    let run = || {
+        let mut monitor = BloodPressureMonitor::new(
+            SystemConfig::paper_default(),
+            PatientProfile::hypotensive(),
+        )
+        .unwrap()
+        .with_scan_window(120);
+        monitor.run(4.5).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.raw, b.raw);
+    assert_eq!(a.scan.best, b.scan.best);
+    assert_eq!(a.calibration, b.calibration);
+    assert_eq!(a.errors.matched_beats, b.errors.matched_beats);
+}
+
+/// The output rate advertised by the config is what the pipeline delivers.
+#[test]
+fn output_rate_is_exactly_one_sample_per_frame() {
+    let mut system = ReadoutSystem::new(SystemConfig::paper_default()).unwrap();
+    let frame = vec![tonos::mems::units::Pascals(0.0); 4];
+    for _ in 0..50 {
+        let _ = system.push_frame(&frame).unwrap();
+    }
+    // 50 frames at 1 kS/s = 50 ms of data; no samples lost or duplicated
+    // (push_frame returns exactly one sample each, enforced by its
+    // signature — this test asserts it does not error over time).
+}

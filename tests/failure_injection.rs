@@ -1,0 +1,108 @@
+//! Failure injection: the system must fail loudly and typed, not
+//! silently produce garbage.
+
+use tonos::mems::units::{MillimetersHg, Pascals};
+use tonos::physio::artifact::ArtifactGenerator;
+use tonos::physio::cuff::CuffDevice;
+use tonos::physio::patient::PatientProfile;
+use tonos::physio::PhysioError;
+use tonos::system::analyze::detect_beats;
+use tonos::system::config::{ChipConfig, SystemConfig};
+use tonos::system::readout::ReadoutSystem;
+use tonos::system::SystemError;
+
+/// Crushing loads collapse the membrane and surface as a typed MEMS
+/// error through the whole stack.
+#[test]
+fn collapse_loads_error_through_the_stack() {
+    let mut system = ReadoutSystem::new(SystemConfig::paper_default()).unwrap();
+    let crush = vec![Pascals(5.0e6); 4]; // ~37,500 mmHg
+    let err = system.push_frame(&crush).unwrap_err();
+    assert!(matches!(err, SystemError::Mems(_)), "got {err}");
+    // The system remains usable afterwards with sane loads.
+    let ok = system.push_frame(&[Pascals(0.0); 4]);
+    assert!(ok.is_ok());
+}
+
+/// Beyond-full-scale electrical inputs overload the modulator and the
+/// overload telltale reports it; the system recovers after reset.
+#[test]
+fn modulator_overload_is_reported_and_recoverable() {
+    let mut config = SystemConfig::paper_default();
+    // Make the front end absurdly sensitive so a modest pressure
+    // overloads the loop.
+    config.chip.feedback_capacitance = tonos::mems::units::Farads::from_femtofarads(0.05);
+    let mut system = ReadoutSystem::new(config).unwrap();
+    let frame = vec![Pascals::from_mmhg(MillimetersHg(300.0)); 4];
+    for _ in 0..40 {
+        let _ = system.push_frame(&frame).unwrap();
+    }
+    assert!(
+        system.chip().overload_ratio() > 0.01,
+        "overload must be flagged, ratio {}",
+        system.chip().overload_ratio()
+    );
+    system.reset();
+    assert_eq!(system.chip().overload_ratio(), 0.0);
+}
+
+/// A busy cuff refuses to measure and says when to retry.
+#[test]
+fn busy_cuff_refuses_politely() {
+    let mut cuff = CuffDevice::clinical(1);
+    cuff.measure(0.0, MillimetersHg(120.0), MillimetersHg(80.0))
+        .unwrap();
+    match cuff.measure(5.0, MillimetersHg(120.0), MillimetersHg(80.0)) {
+        Err(PhysioError::CuffBusy { ready_in_s }) => {
+            assert!((ready_in_s - 25.0).abs() < 1e-9);
+        }
+        other => panic!("expected CuffBusy, got {other:?}"),
+    }
+}
+
+/// Motion artifacts distort but do not break beat detection: the rate
+/// estimate stays within a few bpm.
+#[test]
+fn beat_detection_survives_motion_artifacts() {
+    let record = PatientProfile::normotensive().record(250.0, 30.0).unwrap();
+    let mut samples = record.samples.clone();
+    // Inject moderate artifacts (15 mmHg spikes ~ every 5 s).
+    ArtifactGenerator::new(0.2, 15.0, 9)
+        .unwrap()
+        .apply(&mut samples, 250.0);
+    let x: Vec<f64> = samples.iter().map(|p| p.value()).collect();
+    let beats = detect_beats(&x, 250.0).unwrap();
+    let clean_rate = record.mean_heart_rate_bpm();
+    let first = beats.first().unwrap().peak_index as f64;
+    let last = beats.last().unwrap().peak_index as f64;
+    let rate = 60.0 * 250.0 * (beats.len() - 1) as f64 / (last - first);
+    assert!(
+        (rate - clean_rate).abs() < 8.0,
+        "rate {rate:.1} vs clean {clean_rate:.1} under artifacts"
+    );
+}
+
+/// Invalid configurations are rejected at construction, not at runtime.
+#[test]
+fn invalid_configurations_fail_fast() {
+    let mut bad = ChipConfig::paper_default();
+    bad.capacitance_grid = 3;
+    assert!(matches!(
+        tonos::system::chip::SensorChip::new(bad),
+        Err(SystemError::Config(_))
+    ));
+
+    let mut bad = SystemConfig::paper_default();
+    bad.decimator.osr = 100; // valid for the decimator alone…
+    bad.chip.sample_rate_hz = 100_000.0; // …but rates now disagree? keep consistent:
+    bad.decimator.input_rate = 128_000.0;
+    assert!(ReadoutSystem::new(bad).is_err());
+}
+
+/// Flat (non-pulsatile) signals produce a typed no-beats error rather
+/// than fabricated beats.
+#[test]
+fn flat_signals_do_not_fabricate_beats() {
+    let err = detect_beats(&vec![42.0; 5000], 1000.0).unwrap_err();
+    assert!(matches!(err, SystemError::NoBeatsDetected { .. }));
+}
