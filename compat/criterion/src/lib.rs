@@ -1,0 +1,303 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the API subset the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`], `b.iter(..)`,
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — backed by a
+//! simple but honest wall-clock measurement loop: per benchmark it runs a
+//! calibration pass to size batches, a warm-up, then timed batches, and
+//! reports the median per-iteration time plus throughput. That is enough
+//! to compare variants of the same code (e.g. telemetry enabled vs.
+//! disabled) on the same machine in the same process, which is how the
+//! workspace uses it. It does not implement statistical regression
+//! analysis, plotting, or result persistence.
+//!
+//! When the harness binary is invoked by `cargo test` (criterion benches
+//! use `harness = false`, so `cargo test` runs them with `--test`-style
+//! flags), measurement is skipped and each benchmark body runs once as a
+//! smoke check.
+
+use std::time::{Duration, Instant};
+
+/// How long the timed phase of each benchmark aims to run.
+const TARGET_MEASURE: Duration = Duration::from_millis(600);
+/// How long the warm-up phase aims to run.
+const TARGET_WARMUP: Duration = Duration::from_millis(150);
+/// Number of timed batches the measurement is split into.
+const BATCHES: usize = 11;
+
+/// Black box: prevents the optimizer from deleting a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter, mirroring
+/// `criterion::BenchmarkId::new`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Builds a parameter-only id, mirroring `from_parameter`.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    /// Median per-iteration time, filled in by [`Bencher::iter`].
+    result: Option<Duration>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Measure,
+    SmokeTest,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the median per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::SmokeTest {
+            black_box(routine());
+            self.result = Some(Duration::ZERO);
+            return;
+        }
+
+        // Calibrate: how many iterations fit in one batch?
+        let calib_start = Instant::now();
+        black_box(routine());
+        let once = calib_start.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (TARGET_MEASURE.as_nanos() / BATCHES as u128 / once.as_nanos())
+            .clamp(1, 1_000_000) as u64;
+
+        // Warm up.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < TARGET_WARMUP {
+            black_box(routine());
+        }
+
+        // Timed batches; the median batch defeats scheduler outliers.
+        let mut batch_times: Vec<Duration> = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            batch_times.push(start.elapsed());
+        }
+        batch_times.sort();
+        let median_batch = batch_times[BATCHES / 2];
+        self.result = Some(median_batch / per_batch as u32);
+    }
+}
+
+/// A named group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.run_one(&full, self.throughput, f);
+        self
+    }
+
+    /// Like `bench_function` but threads a borrowed input through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (report-flush point in real criterion; no-op here).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` invokes harness=false benches with libtest-style
+        // flags; `cargo bench` passes `--bench`. Anything that looks like
+        // a test invocation downgrades to a single-shot smoke run.
+        let smoke_test =
+            std::env::args().any(|a| a == "--test") && !std::env::args().any(|a| a == "--bench");
+        Criterion { smoke_test }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.run_one(&name, None, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, name: &str, throughput: Option<Throughput>, f: F)
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mode = if self.smoke_test {
+            Mode::SmokeTest
+        } else {
+            Mode::Measure
+        };
+        let mut bencher = Bencher { mode, result: None };
+        f(&mut bencher);
+        match (mode, bencher.result) {
+            (Mode::SmokeTest, _) => println!("{name}: ok (smoke test)"),
+            (Mode::Measure, Some(per_iter)) => {
+                let ns = per_iter.as_nanos().max(1);
+                match throughput {
+                    Some(Throughput::Elements(n)) => {
+                        let rate = n as f64 * 1e9 / ns as f64;
+                        println!(
+                            "{name}: {} per iter, {rate:.3e} elem/s",
+                            fmt_duration(per_iter)
+                        );
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        let rate = n as f64 * 1e9 / ns as f64;
+                        println!(
+                            "{name}: {} per iter, {rate:.3e} B/s",
+                            fmt_duration(per_iter)
+                        );
+                    }
+                    None => println!("{name}: {} per iter", fmt_duration(per_iter)),
+                }
+            }
+            (Mode::Measure, None) => println!("{name}: no measurement (b.iter never called)"),
+        }
+    }
+
+    /// Final-report hook invoked by [`criterion_main!`]; no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the harness `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_simple_loop() {
+        let mut c = Criterion { smoke_test: false };
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { smoke_test: true };
+        let mut count = 0u32;
+        c.bench_function("once", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("fft", 4096).to_string(), "fft/4096");
+        assert_eq!(BenchmarkId::from_parameter(128).to_string(), "128");
+    }
+}

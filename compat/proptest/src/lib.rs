@@ -1,0 +1,411 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of the proptest 1.x surface the workspace's property tests
+//! use: the [`proptest!`] macro over `name(arg in strategy, ...)` test
+//! functions, [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`],
+//! range strategies, [`any`], `prop::collection::vec`, and
+//! `prop::bool::ANY`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the panic message (via the assertion text) but is not minimized.
+//! * **Deterministic generation.** Each test's input stream is seeded from
+//!   a hash of the test function's name, so failures reproduce exactly —
+//!   there is no `PROPTEST_CASES`/persistence machinery.
+//! * **`prop_assume!` rejections** simply skip the case; a test that
+//!   rejects far more cases than it accepts fails loudly.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude::*`.
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestRng,
+    };
+}
+
+/// Per-test configuration (only the `cases` knob is honoured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` accepted inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases: cases.max(1),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases: smaller than upstream's 256 because the physical models
+    /// under test are comparatively expensive per case.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Marker returned by [`prop_assume!`] rejections.
+#[derive(Debug, Clone, Copy)]
+pub struct TestCaseReject;
+
+/// Deterministic generator feeding the strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream from a test name (FNV-1a over the bytes).
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty bound");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+}
+
+/// A source of test inputs: the (non-shrinking) strategy abstraction.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one input.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 strategy range");
+        let v = self.start + (self.end - self.start) * rng.unit_f64();
+        if v >= self.end {
+            self.end.next_down()
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty f64 strategy range");
+        lo + (hi - lo) * ((rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64))
+    }
+}
+
+macro_rules! impl_int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let pick = (rng.next_u64() as u128 * span) >> 64;
+                (self.start as i128 + pick as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let pick = (rng.next_u64() as u128 * span) >> 64;
+                (lo as i128 + pick as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a whole-domain strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one value uniformly over the domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite, sign-symmetric values across magnitudes (not raw bit
+    /// patterns: NaN/inf inputs would make most numeric properties
+    /// vacuous).
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mag = (rng.unit_f64() * 600.0) - 300.0; // exponent in [-300, 300)
+        let mantissa = 1.0 + rng.unit_f64();
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * mantissa * 10f64.powf(mag / 10.0)
+    }
+}
+
+/// Whole-domain strategy for `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace mirrored from upstream.
+
+    pub mod collection {
+        //! Collection strategies.
+        use crate::{Strategy, TestRng};
+
+        /// Length specification for [`vec`]: a fixed size or a range.
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            hi_inclusive: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange {
+                    lo: n,
+                    hi_inclusive: n,
+                }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi_inclusive: r.end - 1,
+                }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    lo: *r.start(),
+                    hi_inclusive: *r.end(),
+                }
+            }
+        }
+
+        /// A `Vec` strategy: `size` elements drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// Strategy returned by [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = if self.size.lo == self.size.hi_inclusive {
+                    self.size.lo
+                } else {
+                    self.size.lo + rng.below(self.size.hi_inclusive - self.size.lo + 1)
+                };
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod bool {
+        //! Boolean strategies.
+        use crate::{Strategy, TestRng};
+
+        /// Strategy type of [`ANY`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+
+        /// Uniform `true`/`false`.
+        pub const ANY: BoolAny = BoolAny;
+    }
+}
+
+/// Declares property tests: `proptest! { #[test] fn name(x in strat) {..} }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(::std::stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= config.cases.saturating_mul(50).max(1000),
+                        "proptest stand-in: {} rejected too many cases ({} attempts, {} accepted)",
+                        ::std::stringify!($name), attempts, accepted
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    // The closure exists so `prop_assume!` can early-return
+                    // a rejection out of `$body` without exiting the test.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::result::Result<(), $crate::TestCaseReject> =
+                        (|| { { $body } ::std::result::Result::Ok(()) })();
+                    if outcome.is_ok() {
+                        accepted += 1;
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a property test (non-shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseReject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::deterministic("case");
+        let mut b = TestRng::deterministic("case");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic("other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay inside their bounds.
+        #[test]
+        fn ranges_are_bounded(x in -3.0_f64..7.5, n in 1_usize..9, k in -5_i64..=5) {
+            prop_assert!((-3.0..7.5).contains(&x));
+            prop_assert!((1..9).contains(&n));
+            prop_assert!((-5..=5).contains(&k));
+        }
+
+        /// Assumptions reject without failing.
+        #[test]
+        fn assume_skips(x in 0.0_f64..1.0) {
+            prop_assume!(x > 0.5);
+            prop_assert!(x > 0.5);
+        }
+
+        /// Vec strategies honour fixed sizes, and bool::ANY produces both
+        /// values across a batch.
+        #[test]
+        fn vec_and_bool(v in prop::collection::vec(-1.0_f64..1.0, 16),
+                        bits in prop::collection::vec(prop::bool::ANY, 64)) {
+            prop_assert_eq!(v.len(), 16);
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+            prop_assert_eq!(bits.len(), 64);
+        }
+
+        /// `any::<u64>()` varies.
+        #[test]
+        fn any_u64_varies(a in any::<u64>(), b in any::<u64>()) {
+            // Collisions are astronomically unlikely across 64 cases.
+            prop_assert!(a != b);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this repository has no access to a crates.io
+//! registry, so the workspace vendors the *small* slice of the `rand` 0.8
+//! API it actually uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over floating-point ranges, and [`Rng::gen`] for
+//! integer seeds. The generator is xoshiro256++ seeded through SplitMix64
+//! — not the upstream ChaCha12, so *sequences differ from real `rand`*,
+//! but every consumer in this workspace only requires determinism for a
+//! fixed seed and sound statistical quality, both of which hold.
+//!
+//! Nothing here is cryptographically secure; it is simulation-grade PRNG
+//! plumbing only.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    //! Deterministic generators mirroring `rand::rngs`.
+    pub use crate::StdRng;
+}
+
+/// Low-level entropy source: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types that can be sampled uniformly over their whole domain (the
+/// stand-in for `rand`'s `Standard` distribution).
+pub trait SampleStandard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl SampleStandard for f64 {
+    /// Uniform in `[0, 1)` with 53-bit resolution.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can produce a uniform sample (the stand-in for
+/// `rand`'s `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        let u = f64::sample(rng);
+        let v = self.start + (self.end - self.start) * u;
+        // Floating rounding can land exactly on `end`; fold it back.
+        if v >= self.end {
+            self.end.next_down()
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty f64 range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        lo + (hi - lo) * u
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let pick = (rng.next_u64() as u128 * span) >> 64;
+                (self.start as i128 + pick as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty integer range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let pick = (rng.next_u64() as u128 * span) >> 64;
+                (lo as i128 + pick as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value uniformly over the type's whole domain.
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable construction mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a single `u64` (SplitMix64-expanded).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// SplitMix64 step: the standard seed-expansion mixer.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The workspace's deterministic generator: xoshiro256++.
+///
+/// Statistically solid for simulation, tiny, and dependency-free. Not the
+/// upstream `StdRng` algorithm — sequences are *not* bit-compatible with
+/// real `rand`, only self-consistent per seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        if s.iter().all(|&w| w == 0) {
+            // The all-zero state is a fixed point; re-derive a valid one.
+            return StdRng::seed_from_u64(0);
+        }
+        StdRng { s }
+    }
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!((f64::MIN_POSITIVE..1.0).contains(&v));
+            let w: f64 = rng.gen_range(-3.0..=3.0);
+            assert!((-3.0..=3.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn integer_ranges_cover_the_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+            let v: i64 = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_produces_varied_u64s() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a: u64 = rng.gen();
+        let b: u64 = rng.gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_seed_is_valid() {
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        assert_ne!(rng.next_u64(), 0);
+    }
+}

@@ -161,8 +161,7 @@ mod tests {
     #[test]
     fn ideal_loop_measures_near_unity_gain_and_zero_offset() {
         let mut dsm = SigmaDelta2::new(NonIdealities::ideal()).unwrap();
-        let t = DcTransfer::measure(&mut dsm, 9, 0.8, 60_000, 1.0 / 2048.0, tail_mean)
-            .unwrap();
+        let t = DcTransfer::measure(&mut dsm, 9, 0.8, 60_000, 1.0 / 2048.0, tail_mean).unwrap();
         assert!((t.gain - 1.0).abs() < 0.01, "gain {}", t.gain);
         assert!(t.offset_lsb().abs() < 6.0, "offset {} LSB", t.offset_lsb());
         assert!(t.worst_inl_lsb < 6.0, "INL {} LSB", t.worst_inl_lsb);
@@ -176,8 +175,7 @@ mod tests {
     fn dac_level_mismatch_appears_as_gain_or_offset_not_inl() {
         let mut dsm =
             SigmaDelta2::new(NonIdealities::ideal().with_dac_level_mismatch(0.02)).unwrap();
-        let t = DcTransfer::measure(&mut dsm, 9, 0.8, 60_000, 1.0 / 2048.0, tail_mean)
-            .unwrap();
+        let t = DcTransfer::measure(&mut dsm, 9, 0.8, 60_000, 1.0 / 2048.0, tail_mean).unwrap();
         // The 2 % level error must show up in the affine terms…
         assert!(
             (t.gain - 1.0).abs() > 0.005 || t.offset_lsb().abs() > 10.0,
@@ -203,8 +201,7 @@ mod tests {
     #[test]
     fn accessors_are_consistent() {
         let mut dsm = SigmaDelta2::new(NonIdealities::ideal()).unwrap();
-        let t = DcTransfer::measure(&mut dsm, 5, 0.5, 30_000, 1.0 / 2048.0, tail_mean)
-            .unwrap();
+        let t = DcTransfer::measure(&mut dsm, 5, 0.5, 30_000, 1.0 / 2048.0, tail_mean).unwrap();
         assert!((t.offset_lsb() - t.offset / t.lsb).abs() < 1e-15);
         assert!((t.gain_error_percent() - (t.gain - 1.0) * 100.0).abs() < 1e-12);
     }

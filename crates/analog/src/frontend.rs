@@ -189,9 +189,7 @@ mod tests {
     #[test]
     fn invalid_parameters_are_rejected() {
         assert!(CapacitiveFrontEnd::new(Farads(0.0), Farads(1e-13), Volts(2.5)).is_err());
-        assert!(
-            CapacitiveFrontEnd::new(Farads(1e-13), Farads(-1e-13), Volts(2.5)).is_err()
-        );
+        assert!(CapacitiveFrontEnd::new(Farads(1e-13), Farads(-1e-13), Volts(2.5)).is_err());
         assert!(CapacitiveFrontEnd::new(Farads(1e-13), Farads(1e-13), Volts(0.0)).is_err());
         assert!(fe().with_feedback_capacitance(Farads(0.0)).is_err());
         assert!(VoltageInput::new(Volts(-1.0)).is_err());

@@ -124,7 +124,10 @@ mod tests {
             last = int.update(0.01);
         }
         let expected = 0.01 * (a + 1.0);
-        assert!((last - expected).abs() / expected < 1e-6, "{last} vs {expected}");
+        assert!(
+            (last - expected).abs() / expected < 1e-6,
+            "{last} vs {expected}"
+        );
     }
 
     #[test]

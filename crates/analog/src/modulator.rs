@@ -87,7 +87,12 @@ impl Coefficients {
     /// non-finite coefficients, or when `b1 != a1` (which would produce a
     /// systematic gain error between input and bitstream mean).
     pub fn validate(&self) -> Result<(), AnalogError> {
-        for (name, v) in [("b1", self.b1), ("a1", self.a1), ("c1", self.c1), ("a2", self.a2)] {
+        for (name, v) in [
+            ("b1", self.b1),
+            ("a1", self.a1),
+            ("c1", self.c1),
+            ("a2", self.a2),
+        ] {
             if !(v > 0.0 && v.is_finite()) {
                 return Err(AnalogError::InvalidParameter(format!(
                     "coefficient {name} = {v} must be positive and finite"
@@ -240,7 +245,8 @@ impl DeltaSigmaModulator for SigmaDelta2 {
         let vf = self.dac.convert(v);
         let x1_old = self.int1.state();
         self.int1.update(self.coeffs.b1 * u - self.coeffs.a1 * vf);
-        self.int2.update(self.coeffs.c1 * x1_old - self.coeffs.a2 * vf);
+        self.int2
+            .update(self.coeffs.c1 * x1_old - self.coeffs.a2 * vf);
         if self.int1.is_saturated() || self.int2.is_saturated() {
             self.saturation_events += 1;
         }

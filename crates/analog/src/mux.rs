@@ -31,6 +31,8 @@ pub struct AnalogMux {
     residual: f64,
     /// Capacitance of the previously selected channel at switch time.
     previous_cap: Farads,
+    /// Number of actual channel switches (no-op re-selects excluded).
+    switch_events: u64,
 }
 
 impl AnalogMux {
@@ -61,6 +63,7 @@ impl AnalogMux {
             tau_clocks,
             residual: 0.0,
             previous_cap: Farads(0.0),
+            switch_events: 0,
         })
     }
 
@@ -119,7 +122,14 @@ impl AnalogMux {
         self.previous_cap = current_caps[self.selected.0 * self.cols + self.selected.1];
         self.selected = (row, col);
         self.residual = if self.tau_clocks > 0.0 { 1.0 } else { 0.0 };
+        self.switch_events += 1;
         Ok(())
+    }
+
+    /// Number of actual channel switches performed so far (re-selecting
+    /// the already-routed element does not count).
+    pub fn switch_events(&self) -> u64 {
+        self.switch_events
     }
 
     /// Samples the routed capacitance for one modulator clock: the
@@ -142,9 +152,8 @@ impl AnalogMux {
         if self.residual == 0.0 {
             return Ok(target);
         }
-        let blended = Farads(
-            target.value() + self.residual * (self.previous_cap.value() - target.value()),
-        );
+        let blended =
+            Farads(target.value() + self.residual * (self.previous_cap.value() - target.value()));
         self.residual *= (-1.0 / self.tau_clocks).exp();
         if self.residual < 1e-12 {
             self.residual = 0.0;
@@ -210,6 +219,18 @@ mod tests {
         let _ = mux.sample(&c).unwrap();
         mux.select(0, 0, &c).unwrap();
         assert!(mux.is_settled(), "no transient for a no-op select");
+        assert_eq!(mux.switch_events(), 0, "no-op selects are not switches");
+    }
+
+    #[test]
+    fn switch_events_count_real_switches_only() {
+        let mut mux = AnalogMux::paper_default();
+        let c = caps();
+        mux.select(0, 1, &c).unwrap();
+        mux.select(0, 1, &c).unwrap(); // no-op
+        mux.select(1, 1, &c).unwrap();
+        assert!(mux.select(5, 0, &c).is_err()); // rejected, not counted
+        assert_eq!(mux.switch_events(), 2);
     }
 
     #[test]

@@ -243,12 +243,18 @@ mod tests {
 
     #[test]
     fn invalid_values_are_rejected() {
-        assert!(NonIdealities::ideal().with_opamp_gain(0.5).validate().is_err());
+        assert!(NonIdealities::ideal()
+            .with_opamp_gain(0.5)
+            .validate()
+            .is_err());
         assert!(NonIdealities::ideal()
             .with_integrator_saturation(0.0)
             .validate()
             .is_err());
-        assert!(NonIdealities::ideal().with_input_noise(-1.0).validate().is_err());
+        assert!(NonIdealities::ideal()
+            .with_input_noise(-1.0)
+            .validate()
+            .is_err());
         assert!(NonIdealities::ideal()
             .with_comparator_hysteresis(-1e-3)
             .validate()

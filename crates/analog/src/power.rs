@@ -88,6 +88,13 @@ impl PowerModel {
         self.power(fs_hz, vdd) / fs_hz
     }
 
+    /// Energy in joules consumed by `cycles` modulator clocks at an
+    /// operating point — the accounting hook the telemetry layer uses to
+    /// integrate chip energy over a session without per-cycle bookkeeping.
+    pub fn energy_for_cycles(&self, cycles: u64, fs_hz: f64, vdd: Volts) -> f64 {
+        self.energy_per_sample(fs_hz, vdd) * cycles as f64
+    }
+
     /// The effective switched capacitance in farads (model introspection).
     pub fn switched_capacitance(&self) -> f64 {
         self.switched_capacitance
@@ -142,6 +149,17 @@ mod tests {
         let e = m.energy_per_sample(PAPER_SAMPLING_HZ, Volts(PAPER_SUPPLY_V));
         // 11.5 mW / 128 kHz ≈ 90 nJ per modulator clock.
         assert!((e - 89.8e-9).abs() < 1e-9, "{e}");
+    }
+
+    #[test]
+    fn energy_for_cycles_integrates_the_per_sample_energy() {
+        let m = PowerModel::paper_default();
+        let fs = PAPER_SAMPLING_HZ;
+        let vdd = Volts(PAPER_SUPPLY_V);
+        // One second of modulator clocks consumes exactly the power draw.
+        let e = m.energy_for_cycles(fs as u64, fs, vdd);
+        assert!((e - PAPER_POWER_W).abs() < 1e-12, "{e}");
+        assert_eq!(m.energy_for_cycles(0, fs, vdd), 0.0);
     }
 
     #[test]

@@ -50,8 +50,8 @@ impl Comparator {
     /// comparator that last output +1 needs the input to fall below
     /// `offset − h` to flip, and vice versa.
     pub fn decide(&mut self, input: f64) -> i8 {
-        let threshold =
-            self.offset - self.hysteresis * f64::from(self.last) + self.noise.gaussian(self.noise_sigma);
+        let threshold = self.offset - self.hysteresis * f64::from(self.last)
+            + self.noise.gaussian(self.noise_sigma);
         self.last = if input >= threshold { 1 } else { -1 };
         self.last
     }

@@ -8,7 +8,9 @@ use tonos_dsp::fpga::FixedPointDecimator;
 
 fn bench_decimators(c: &mut Criterion) {
     let n = 128_000;
-    let bits_f: Vec<f64> = (0..n).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+    let bits_f: Vec<f64> = (0..n)
+        .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
+        .collect();
     let bits_i: Vec<i64> = bits_f.iter().map(|&v| v as i64).collect();
 
     let mut group = c.benchmark_group("decimator");
@@ -35,7 +37,10 @@ fn bench_decimators(c: &mut Criterion) {
         let mut cic = CicDecimator::new(3, 32).unwrap();
         b.iter(|| black_box(cic.process(black_box(&bits_i))));
     });
-    let bits_i8: Vec<i8> = bits_f.iter().map(|&v| if v > 0.0 { 1 } else { -1 }).collect();
+    let bits_i8: Vec<i8> = bits_f
+        .iter()
+        .map(|&v| if v > 0.0 { 1 } else { -1 })
+        .collect();
     group.bench_function(BenchmarkId::new("fpga", "bit_exact_paper"), |b| {
         let mut fpga = FixedPointDecimator::paper_default();
         b.iter(|| black_box(fpga.process(black_box(&bits_i8))));

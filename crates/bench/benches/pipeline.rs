@@ -2,7 +2,9 @@
 //!
 //! Measures how much faster than real time the full chain runs: pressure
 //! frames through chip + mux + ΣΔ + decimation (1 kS/s output), and the
-//! electrical-characterization voltage path.
+//! electrical-characterization voltage path. The capacitive path is
+//! benched with telemetry disabled and enabled, to keep the per-frame
+//! flush honest about its cost.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
@@ -11,6 +13,7 @@ use tonos_core::readout::ReadoutSystem;
 use tonos_core::stream::{AlarmLimits, OnlineAnalyzer};
 use tonos_mems::units::{MillimetersHg, Pascals, Volts};
 use tonos_physio::patient::PatientProfile;
+use tonos_telemetry::Registry;
 
 fn bench_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline");
@@ -25,6 +28,13 @@ fn bench_pipeline(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1000));
     group.bench_function("capacitive_1s_realtime", |b| {
         let mut sys = ReadoutSystem::new(SystemConfig::paper_default()).unwrap();
+        b.iter(|| black_box(sys.push_frames(black_box(&frames)).unwrap()));
+    });
+    group.bench_function("capacitive_1s_realtime_telemetry", |b| {
+        let registry = Registry::new();
+        let mut sys =
+            ReadoutSystem::with_telemetry(SystemConfig::paper_default(), registry.telemetry())
+                .unwrap();
         b.iter(|| black_box(sys.push_frames(black_box(&frames)).unwrap()));
     });
 

@@ -76,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &[
             vec!["SINC3 / 128 single stage".into(), fmt(snr_cic, 1)],
             vec!["SINC3 / 32 + naive / 4 (no FIR)".into(), fmt(snr_naive, 1)],
-            vec!["SINC3 / 32 + 32-tap FIR / 4 (paper)".into(), fmt(snr_two, 1)],
+            vec![
+                "SINC3 / 32 + 32-tap FIR / 4 (paper)".into(),
+                fmt(snr_two, 1),
+            ],
             vec![
                 "fully integer FPGA datapath (Q14 coeffs)".into(),
                 fmt(snr_fpga, 1),

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Order comparison ---
     let mut rows = Vec::new();
-    for (label, bits) in [("unquantized output", None), ("12-bit output (paper)", Some(12))] {
+    for (label, bits) in [
+        ("unquantized output", None),
+        ("12-bit output (paper)", Some(12)),
+    ] {
         let s1 = snr_of(&mut SigmaDelta1::new(NonIdealities::ideal())?, bits)?;
         let s2 = snr_of(&mut SigmaDelta2::new(NonIdealities::ideal())?, bits)?;
         rows.push(vec![
@@ -48,7 +51,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     print_table(
         "1st-order baseline vs the paper's 2nd-order loop (OSR 128, -1.4 dBFS)",
-        &["output", "1st order SNR [dB]", "2nd order SNR [dB]", "advantage [dB]"],
+        &[
+            "output",
+            "1st order SNR [dB]",
+            "2nd order SNR [dB]",
+            "advantage [dB]",
+        ],
         &rows,
     );
 
@@ -95,12 +103,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             label.to_string(),
             fmt(unq, 1),
             fmt(q12, 1),
-            if q12 > 72.0 { "yes".into() } else { "NO".into() },
+            if q12 > 72.0 {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     print_table(
         "Per-impairment SNR budget (2nd order, OSR 128, -1.4 dBFS near full scale)",
-        &["impairment set", "SNR unquantized [dB]", "SNR 12-bit out [dB]", "clears 72 dB"],
+        &[
+            "impairment set",
+            "SNR unquantized [dB]",
+            "SNR 12-bit out [dB]",
+            "clears 72 dB",
+        ],
         &rows,
     );
 

@@ -22,7 +22,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let ideal_unq = snr_at(NonIdealities::ideal(), osr, 0.5, None, n_out)?;
         let typ_unq = snr_at(NonIdealities::typical(), osr, 0.5, None, n_out)?;
         let typ_12b = snr_at(NonIdealities::typical(), osr, 0.5, Some(12), n_out)?;
-        let octave_gain = prev_unq.map(|p| fmt(ideal_unq - p, 1)).unwrap_or("-".into());
+        let octave_gain = prev_unq
+            .map(|p| fmt(ideal_unq - p, 1))
+            .unwrap_or("-".into());
         prev_unq = Some(ideal_unq);
         rows.push(vec![
             osr.to_string(),
@@ -66,7 +68,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     print_table(
         "Dynamic range at OSR 128, 12-bit output (input level sweep)",
-        &["input [dBFS]", "measured level [dBFS]", "SNR [dB]", "SNDR [dB]"],
+        &[
+            "input [dBFS]",
+            "measured level [dBFS]",
+            "SNR [dB]",
+            "SNDR [dB]",
+        ],
         &rows,
     );
 

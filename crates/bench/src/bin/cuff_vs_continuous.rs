@@ -25,8 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cuff_readings = cuff.monitor(&truth);
 
     // --- The paper's system. ---
-    let mut monitor =
-        BloodPressureMonitor::new(SystemConfig::paper_default(), scenario.profile)?;
+    let mut monitor = BloodPressureMonitor::new(SystemConfig::paper_default(), scenario.profile)?;
     let session = monitor.run_record(truth.clone())?;
 
     // Episode detection: first time each modality reports systolic above
@@ -40,8 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|r| r.time_s);
     let fs = session.sample_rate;
     let cont_detect = session.analysis.beats.iter().find_map(|b| {
-        (b.systolic >= threshold)
-            .then(|| (session.acquisition_start + b.peak_index) as f64 / fs)
+        (b.systolic >= threshold).then(|| (session.acquisition_start + b.peak_index) as f64 / fs)
     });
 
     // Systolic-trend tracking error for both modalities: compare against
@@ -80,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec![
             "pressure reports in 160 s".into(),
             cuff_readings.len().to_string(),
-            format!("{cont_reports} beats ({} samples)", session.calibrated.len()),
+            format!(
+                "{cont_reports} beats ({} samples)",
+                session.calibrated.len()
+            ),
         ],
         vec![
             "worst reporting gap".into(),
@@ -109,7 +110,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     print_table(
         "Hypertensive episode (+35 mmHg over 20 s at t=60 s): cuff vs continuous",
-        &["metric", "hand cuff (30 s cycle)", "this sensor (continuous)"],
+        &[
+            "metric",
+            "hand cuff (30 s cycle)",
+            "this sensor (continuous)",
+        ],
         &rows,
     );
 

@@ -33,7 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut rows = Vec::new();
-    for mmhg in [-200.0, -100.0, -50.0, 0.0, 25.0, 50.0, 100.0, 150.0, 200.0, 300.0, 500.0] {
+    for mmhg in [
+        -200.0, -100.0, -50.0, 0.0, 25.0, 50.0, 100.0, 150.0, 200.0, 300.0, 500.0,
+    ] {
         let p = Pascals::from_mmhg(MillimetersHg(mmhg));
         let w = plate.center_deflection(p)?;
         let c = cap.capacitance(p)?;

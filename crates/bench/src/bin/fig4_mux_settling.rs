@@ -44,12 +44,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             discard.to_string(),
             fmt(discard as f64 / system.output_rate_hz() * 1e3, 2),
             fmt(err / lsb, 2),
-            if err <= 2.0 * lsb { "yes".into() } else { "no".into() },
+            if err <= 2.0 * lsb {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     print_table(
         "Residual error after switching (0,0) -> (1,1) vs discarded output samples",
-        &["discarded samples", "elapsed [ms]", "error [LSB @ 12 bit]", "settled (<=2 LSB)"],
+        &[
+            "discarded samples",
+            "elapsed [ms]",
+            "error [LSB @ 12 bit]",
+            "settled (<=2 LSB)",
+        ],
         &rows,
     );
 

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let runs = [
         ("ideal modulator, 12-bit output", NonIdealities::ideal()),
-        ("typical non-idealities, 12-bit output (the paper's chip)", NonIdealities::typical()),
+        (
+            "typical non-idealities, 12-bit output (the paper's chip)",
+            NonIdealities::typical(),
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -68,7 +71,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     print_table(
         "Fig. 7 reproduction: dynamic performance at 1 kS/s output",
-        &["configuration", "tone [Hz]", "level [dBFS]", "SNR [dB]", "SNDR [dB]", "ENOB [bit]"],
+        &[
+            "configuration",
+            "tone [Hz]",
+            "level [dBFS]",
+            "SNR [dB]",
+            "SNDR [dB]",
+            "ENOB [bit]",
+        ],
         &rows,
     );
 
@@ -91,7 +101,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nShape check vs paper: SNR {:.1} dB {} the 72 dB floor; output resolution 12 bit.",
         r.metrics.snr_db,
-        if r.metrics.snr_db > 72.0 { "clears" } else { "MISSES" }
+        if r.metrics.snr_db > 72.0 {
+            "clears"
+        } else {
+            "MISSES"
+        }
     );
     Ok(())
 }

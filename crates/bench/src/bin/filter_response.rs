@@ -24,14 +24,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cic = CicDecimatorF64::new(3, 32)?;
     let fir = design_lowpass(32, 500.0 / fs_mid, Window::Hamming)?;
 
-    let chain_mag = |hz: f64| -> f64 {
-        cic.magnitude_at(hz / fs_in) * magnitude_at(&fir, hz / fs_mid)
-    };
+    let chain_mag =
+        |hz: f64| -> f64 { cic.magnitude_at(hz / fs_in) * magnitude_at(&fir, hz / fs_mid) };
 
     let mut rows = Vec::new();
     for hz in [
-        1.0, 10.0, 50.0, 100.0, 200.0, 300.0, 400.0, 450.0, 500.0, 600.0, 800.0, 1_000.0,
-        1_500.0, 2_000.0, 3_000.0, 4_000.0,
+        1.0, 10.0, 50.0, 100.0, 200.0, 300.0, 400.0, 450.0, 500.0, 600.0, 800.0, 1_000.0, 1_500.0,
+        2_000.0, 3_000.0, 4_000.0,
     ] {
         let c = cic.magnitude_at(hz / fs_in);
         let f = magnitude_at(&fir, hz / fs_mid);
@@ -71,8 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let tone = sine_wave(fs_in, hz, 0.5, 0.0, n);
         let out = dec.process(&tone);
         let settled = &out[dec.settling_output_samples()..];
-        let rms =
-            (settled.iter().map(|v| v * v).sum::<f64>() / settled.len() as f64).sqrt();
+        let rms = (settled.iter().map(|v| v * v).sum::<f64>() / settled.len() as f64).sqrt();
         // The decimated tone aliases when hz > 500; measure amplitude
         // regardless — the formula predicts the pre-alias magnitude.
         let measured = rms * 2.0_f64.sqrt() / 0.5;
@@ -81,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             fmt(hz, 0),
             fmt(predicted, 5),
             fmt(measured, 5),
-            fmt((measured - predicted).abs() / predicted.max(1e-9) * 100.0, 2),
+            fmt(
+                (measured - predicted).abs() / predicted.max(1e-9) * 100.0,
+                2,
+            ),
         ]);
     }
     print_table(

@@ -116,7 +116,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          information the paper's continuous-waveform pitch depends on. (Methodological \
          note: ensembles must be peak-aligned; foot alignment smears under respiration.)",
         if paper_ordered { "survives" } else { "IS LOST" },
-        if sensitive_ordered { "survives" } else { "IS LOST" }
+        if sensitive_ordered {
+            "survives"
+        } else {
+            "IS LOST"
+        }
     );
     Ok(())
 }

@@ -42,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     print_table(
         "Part 1 — membrane thermal drift vs 25 C reference (at the wrist bias point)",
-        &["die temp [C]", "capacitance shift [aF]", "equivalent error [mmHg]"],
+        &[
+            "die temp [C]",
+            "capacitance shift [aF]",
+            "equivalent error [mmHg]",
+        ],
         &rows,
     );
 
@@ -143,9 +147,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .analysis
             .beats
             .iter()
-            .filter(|b| {
-                (session.acquisition_start + b.peak_index) as f64 / fs > 200.0
-            })
+            .filter(|b| (session.acquisition_start + b.peak_index) as f64 / fs > 200.0)
             .map(|b| b.systolic)
             .collect();
         let late_mean = late.iter().sum::<f64>() / late.len().max(1) as f64;
@@ -161,7 +163,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             RecalibrationPolicy::initial_only(),
             "calibrate at strap-on (paper)",
         )?,
-        run_creep(RecalibrationPolicy::periodic(60.0), "recalibrate every 60 s")?,
+        run_creep(
+            RecalibrationPolicy::periodic(60.0),
+            "recalibrate every 60 s",
+        )?,
     ];
     print_table(
         "Part 4 — 240 s session under contact creep (truth 120/80 mmHg)",

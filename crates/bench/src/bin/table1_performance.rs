@@ -105,7 +105,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!(
                     "{:.0} um / {:.1} um",
                     e.capacitor().plate().side().to_microns(),
-                    e.capacitor().plate().laminate().total_thickness().to_microns()
+                    e.capacitor()
+                        .plate()
+                        .laminate()
+                        .total_thickness()
+                        .to_microns()
                 )
             },
         ],

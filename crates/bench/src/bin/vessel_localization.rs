@@ -188,7 +188,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Part 2 — extended 4x4 array, superficial vessel at 0.6 mm depth",
         config,
         shallow,
-        &[-300.0, -225.0, -150.0, -75.0, 0.0, 75.0, 150.0, 225.0, 300.0],
+        &[
+            -300.0, -225.0, -150.0, -75.0, 0.0, 75.0, 150.0, 225.0, 300.0,
+        ],
         600,
     )?;
 

@@ -306,10 +306,8 @@ impl WaveformAnalysis {
         } else {
             0.0
         };
-        let mean_systolic =
-            beats.iter().map(|b| b.systolic).sum::<f64>() / beats.len() as f64;
-        let mean_diastolic =
-            beats.iter().map(|b| b.diastolic).sum::<f64>() / beats.len() as f64;
+        let mean_systolic = beats.iter().map(|b| b.systolic).sum::<f64>() / beats.len() as f64;
+        let mean_diastolic = beats.iter().map(|b| b.diastolic).sum::<f64>() / beats.len() as f64;
         Ok(WaveformAnalysis {
             beats,
             pulse_rate_bpm,
@@ -325,7 +323,9 @@ mod tests {
     use tonos_physio::patient::PatientProfile;
 
     fn truth_waveform(duration: f64) -> (Vec<f64>, f64) {
-        let record = PatientProfile::normotensive().record(250.0, duration).unwrap();
+        let record = PatientProfile::normotensive()
+            .record(250.0, duration)
+            .unwrap();
         (
             record.samples.iter().map(|p| p.value()).collect(),
             record.sample_rate,
@@ -415,7 +415,10 @@ mod tests {
             beats.len()
         );
         // Beats exist both before and during the episode.
-        let before = beats.iter().filter(|b| (b.peak_index as f64 / 250.0) < 50.0).count();
+        let before = beats
+            .iter()
+            .filter(|b| (b.peak_index as f64 / 250.0) < 50.0)
+            .count();
         let during = beats
             .iter()
             .filter(|b| {
@@ -507,9 +510,24 @@ mod tests {
             Err(SystemError::NoBeatsDetected { .. })
         ));
         let beats = vec![
-            Beat { peak_index: 10, foot_index: 5, systolic: 1.0, diastolic: 0.0 },
-            Beat { peak_index: 50, foot_index: 45, systolic: 1.0, diastolic: 0.0 },
-            Beat { peak_index: 90, foot_index: 85, systolic: 1.0, diastolic: 0.0 },
+            Beat {
+                peak_index: 10,
+                foot_index: 5,
+                systolic: 1.0,
+                diastolic: 0.0,
+            },
+            Beat {
+                peak_index: 50,
+                foot_index: 45,
+                systolic: 1.0,
+                diastolic: 0.0,
+            },
+            Beat {
+                peak_index: 90,
+                foot_index: 85,
+                systolic: 1.0,
+                diastolic: 0.0,
+            },
         ];
         assert!(matches!(
             EnsembleBeat::from_beats(&x, &beats, 4),

@@ -126,7 +126,9 @@ mod tests {
     fn affine_invariance_of_the_raw_signal() {
         // Scaling/offsetting the raw signal must produce the same
         // calibrated output.
-        let raw: Vec<f64> = (0..100).map(|i| 0.5 + 0.3 * ((i as f64) * 0.2).sin()).collect();
+        let raw: Vec<f64> = (0..100)
+            .map(|i| 0.5 + 0.3 * ((i as f64) * 0.2).sin())
+            .collect();
         let cal_a = Calibration::from_two_point(0.8, 0.2, &reading(120.0, 80.0)).unwrap();
         // Transformed raw: r' = 3 r + 5 → landmarks transform likewise.
         let cal_b =
@@ -172,7 +174,9 @@ mod tests {
         let raw: Vec<f64> = (0..n)
             .map(|i| {
                 let t = i as f64 / fs;
-                let beat = ((2.0 * std::f64::consts::PI * 1.2 * t).sin()).max(0.0).powi(2);
+                let beat = ((2.0 * std::f64::consts::PI * 1.2 * t).sin())
+                    .max(0.0)
+                    .powi(2);
                 0.2 + 0.6 * beat
             })
             .collect();

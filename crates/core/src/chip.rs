@@ -44,9 +44,7 @@ struct CapacitanceLut {
 }
 
 impl CapacitanceLut {
-    fn build(
-        element: &tonos_mems::element::ForceSensorElement,
-    ) -> Result<Self, SystemError> {
+    fn build(element: &tonos_mems::element::ForceSensorElement) -> Result<Self, SystemError> {
         let step = (LUT_MAX_PA - LUT_MIN_PA) / (LUT_POINTS - 1) as f64;
         let mut values = Vec::with_capacity(LUT_POINTS);
         for i in 0..LUT_POINTS {
@@ -82,6 +80,9 @@ pub struct SensorChip {
     voltage_input: VoltageInput,
     power: PowerModel,
     luts: Vec<CapacitanceLut>,
+    /// Successful element selections (including no-op re-selects, which
+    /// still represent scan-controller decisions).
+    element_selections: u64,
 }
 
 impl SensorChip {
@@ -103,7 +104,11 @@ impl SensorChip {
             config.fabrication_seed,
         )?
         .with_grid(config.capacitance_grid);
-        let mux = AnalogMux::new(config.layout.rows, config.layout.cols, config.mux_tau_clocks)?;
+        let mux = AnalogMux::new(
+            config.layout.rows,
+            config.layout.cols,
+            config.mux_tau_clocks,
+        )?;
         let modulator = SigmaDelta2::new(config.nonideal)?;
         let vref = Volts(config.supply.value() / 2.0);
         let frontend = CapacitiveFrontEnd::new(
@@ -126,6 +131,7 @@ impl SensorChip {
             voltage_input,
             power,
             luts,
+            element_selections: 0,
         })
     }
 
@@ -172,6 +178,33 @@ impl SensorChip {
             .power(self.config.sample_rate_hz, self.config.supply)
     }
 
+    /// Total ΣΔ modulator clock cycles executed so far.
+    pub fn modulator_steps(&self) -> u64 {
+        self.modulator.steps()
+    }
+
+    /// Total modulator integrator saturation events so far.
+    pub fn modulator_saturations(&self) -> u64 {
+        self.modulator.saturation_events()
+    }
+
+    /// Total mux channel switches so far (no-op re-selects excluded).
+    pub fn mux_switch_events(&self) -> u64 {
+        self.mux.switch_events()
+    }
+
+    /// Successful element selections so far (no-op re-selects included).
+    pub fn element_selections(&self) -> u64 {
+        self.element_selections
+    }
+
+    /// Energy in joules consumed by `cycles` modulator clocks at the
+    /// configured operating point.
+    pub fn energy_for_cycles(&self, cycles: u64) -> f64 {
+        self.power
+            .energy_for_cycles(cycles, self.config.sample_rate_hz, self.config.supply)
+    }
+
     /// Evaluates every element's capacitance for a per-element pressure
     /// frame, via the lookup tables (exact-model fallback outside the
     /// table range).
@@ -214,6 +247,7 @@ impl SensorChip {
     ) -> Result<(), SystemError> {
         let caps = self.capacitances(pressures)?;
         self.mux.select(row, col, &caps)?;
+        self.element_selections += 1;
         Ok(())
     }
 
@@ -368,9 +402,7 @@ mod tests {
     #[test]
     fn collapse_pressure_propagates_as_mems_error() {
         let chip = chip();
-        let err = chip
-            .capacitances(&[Pascals(5e6); 4])
-            .unwrap_err();
+        let err = chip.capacitances(&[Pascals(5e6); 4]).unwrap_err();
         assert!(matches!(err, SystemError::Mems(_)));
     }
 

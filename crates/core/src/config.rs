@@ -72,9 +72,7 @@ impl ChipConfig {
     /// an invalid grid, and propagates non-ideality validation.
     pub fn validate(&self) -> Result<(), SystemError> {
         if !(self.sample_rate_hz > 0.0) {
-            return Err(SystemError::Config(
-                "sample rate must be positive".into(),
-            ));
+            return Err(SystemError::Config("sample rate must be positive".into()));
         }
         if !(self.supply.value() > 0.0) {
             return Err(SystemError::Config("supply must be positive".into()));

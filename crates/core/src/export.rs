@@ -86,11 +86,14 @@ mod tests {
     use tonos_physio::patient::PatientProfile;
 
     fn session() -> MonitoringSession {
-        BloodPressureMonitor::new(SystemConfig::paper_default(), PatientProfile::normotensive())
-            .unwrap()
-            .with_scan_window(120)
-            .run(5.0)
-            .unwrap()
+        BloodPressureMonitor::new(
+            SystemConfig::paper_default(),
+            PatientProfile::normotensive(),
+        )
+        .unwrap()
+        .with_scan_window(120)
+        .run(5.0)
+        .unwrap()
     }
 
     #[test]

@@ -48,9 +48,9 @@
 
 pub mod analyze;
 pub mod calibrate;
-pub mod export;
 pub mod chip;
 pub mod config;
+pub mod export;
 pub mod localize;
 pub mod monitor;
 pub mod readout;

@@ -11,10 +11,41 @@
 
 use tonos_dsp::decimator::TwoStageDecimator;
 use tonos_mems::units::{Pascals, Volts};
+use tonos_telemetry::{names, Counter, Gauge, Telemetry};
 
 use crate::chip::SensorChip;
 use crate::config::SystemConfig;
 use crate::SystemError;
+
+/// Telemetry handles and native-counter cursors for the readout path.
+///
+/// The analog/dsp substrates keep their own always-on `u64` counters;
+/// this bridge flushes the *deltas* into the shared registry at frame
+/// granularity, so the hot modulator loop never touches an atomic.
+#[derive(Debug, Clone, Default)]
+struct ReadoutInstruments {
+    frames_in: Counter,
+    samples_out: Counter,
+    settling_discarded: Counter,
+    element_selections: Counter,
+    modulator_steps: Counter,
+    modulator_saturations: Counter,
+    mux_switches: Counter,
+    decimator_in: Counter,
+    decimator_out: Counter,
+    decimator_flushes: Counter,
+    quantizer_clips: Counter,
+    energy_j: Gauge,
+    // Native-counter values at the last flush (deltas since attachment).
+    last_steps: u64,
+    last_saturations: u64,
+    last_switches: u64,
+    last_selections: u64,
+    last_dec_in: u64,
+    last_dec_out: u64,
+    last_flushes: u64,
+    last_clips: u64,
+}
 
 /// Chip plus decimation filter, converting pressure frames at the output
 /// rate (1 kS/s in the paper configuration).
@@ -23,24 +54,120 @@ pub struct ReadoutSystem {
     config: SystemConfig,
     chip: SensorChip,
     decimator: TwoStageDecimator,
+    telemetry: Telemetry,
+    instruments: ReadoutInstruments,
+    /// Output samples still inside the post-switch settling window; used
+    /// to classify each produced sample as settled or discarded.
+    pending_discard: usize,
 }
 
 impl ReadoutSystem {
-    /// Builds the system from a configuration.
+    /// Builds the system from a configuration, with telemetry disabled.
     ///
     /// # Errors
     ///
     /// Propagates configuration validation and substrate construction
     /// failures.
     pub fn new(config: SystemConfig) -> Result<Self, SystemError> {
+        ReadoutSystem::with_telemetry(config, Telemetry::disabled())
+    }
+
+    /// Builds the system with the given telemetry handle. A disabled
+    /// handle costs one branch per frame; an enabled one flushes the
+    /// substrate counters into the registry after every converted frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation and substrate construction
+    /// failures.
+    pub fn with_telemetry(config: SystemConfig, telemetry: Telemetry) -> Result<Self, SystemError> {
         config.validate()?;
         let chip = SensorChip::new(config.chip)?;
         let decimator = config.decimator.build()?;
-        Ok(ReadoutSystem {
+        let mut sys = ReadoutSystem {
             config,
             chip,
             decimator,
-        })
+            telemetry: Telemetry::disabled(),
+            instruments: ReadoutInstruments::default(),
+            pending_discard: 0,
+        };
+        sys.attach_telemetry(telemetry);
+        Ok(sys)
+    }
+
+    /// Attaches (or replaces) the telemetry handle, resolving all
+    /// instruments. Counting starts from the current substrate state —
+    /// activity before attachment is not retroactively reported.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        let i = &mut self.instruments;
+        i.frames_in = telemetry.counter(names::READOUT_FRAMES_IN);
+        i.samples_out = telemetry.counter(names::READOUT_SAMPLES_OUT);
+        i.settling_discarded = telemetry.counter(names::READOUT_SETTLING_DISCARDED);
+        i.element_selections = telemetry.counter(names::CHIP_ELEMENT_SELECTIONS);
+        i.modulator_steps = telemetry.counter(names::MODULATOR_STEPS);
+        i.modulator_saturations = telemetry.counter(names::MODULATOR_SATURATIONS);
+        i.mux_switches = telemetry.counter(names::MUX_SWITCHES);
+        i.decimator_in = telemetry.counter(names::DECIMATOR_SAMPLES_IN);
+        i.decimator_out = telemetry.counter(names::DECIMATOR_SAMPLES_OUT);
+        i.decimator_flushes = telemetry.counter(names::DECIMATOR_FLUSHES);
+        i.quantizer_clips = telemetry.counter(names::QUANTIZER_CLIPS);
+        i.energy_j = telemetry.gauge(names::CHIP_ENERGY_J);
+        i.last_steps = self.chip.modulator_steps();
+        i.last_saturations = self.chip.modulator_saturations();
+        i.last_switches = self.chip.mux_switch_events();
+        i.last_selections = self.chip.element_selections();
+        i.last_dec_in = self.decimator.samples_in();
+        i.last_dec_out = self.decimator.samples_out();
+        i.last_flushes = self.decimator.flushes();
+        i.last_clips = self.decimator.clip_events();
+        telemetry
+            .gauge(names::CHIP_POWER_W)
+            .set(self.chip.power_consumption());
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Flushes substrate-counter deltas into the registry. Called
+    /// automatically after every frame, selection, and reset when
+    /// telemetry is enabled.
+    fn flush_native(&mut self) {
+        let i = &mut self.instruments;
+        let steps = self.chip.modulator_steps();
+        let delta_steps = steps - i.last_steps;
+        if delta_steps > 0 {
+            i.modulator_steps.add(delta_steps);
+            i.energy_j.add(self.chip.energy_for_cycles(delta_steps));
+            i.last_steps = steps;
+        }
+        macro_rules! flush {
+            ($counter:ident, $cursor:ident, $value:expr) => {
+                let v = $value;
+                if v > i.$cursor {
+                    i.$counter.add(v - i.$cursor);
+                    i.$cursor = v;
+                }
+            };
+        }
+        flush!(
+            modulator_saturations,
+            last_saturations,
+            self.chip.modulator_saturations()
+        );
+        flush!(mux_switches, last_switches, self.chip.mux_switch_events());
+        flush!(
+            element_selections,
+            last_selections,
+            self.chip.element_selections()
+        );
+        flush!(decimator_in, last_dec_in, self.decimator.samples_in());
+        flush!(decimator_out, last_dec_out, self.decimator.samples_out());
+        flush!(decimator_flushes, last_flushes, self.decimator.flushes());
+        flush!(quantizer_clips, last_clips, self.decimator.clip_events());
     }
 
     /// The paper's system.
@@ -96,18 +223,42 @@ impl ReadoutSystem {
         }
         // Feeding exactly `osr` modulator samples always produces exactly
         // one decimated output (the phases are aligned by construction).
-        out.ok_or_else(|| {
+        let y = out.ok_or_else(|| {
             SystemError::Config("decimator phase misaligned with frame size".into())
-        })
+        })?;
+        if self.telemetry.enabled() {
+            self.instruments.frames_in.inc();
+            // Every frame yields one output; it is either still inside
+            // the post-switch settling window (discarded by the scan
+            // controller) or a settled sample delivered downstream —
+            // frames_in == samples_out + settling_discarded, exactly.
+            if self.pending_discard > 0 {
+                self.instruments.settling_discarded.inc();
+            } else {
+                self.instruments.samples_out.inc();
+            }
+            self.flush_native();
+        }
+        if self.pending_discard > 0 {
+            self.pending_discard -= 1;
+        }
+        Ok(y)
     }
 
     /// Converts a sequence of frames, returning one output per frame.
     ///
+    /// Frames are anything slice-like (`Vec<Pascals>`, `&[Pascals]`,
+    /// arrays), so callers can stream borrowed chunks of a flat buffer
+    /// instead of materializing `Vec<Vec<_>>`.
+    ///
     /// # Errors
     ///
     /// Propagates per-frame conversion failures.
-    pub fn push_frames(&mut self, frames: &[Vec<Pascals>]) -> Result<Vec<f64>, SystemError> {
-        frames.iter().map(|f| self.push_frame(f)).collect()
+    pub fn push_frames<F: AsRef<[Pascals]>>(
+        &mut self,
+        frames: &[F],
+    ) -> Result<Vec<f64>, SystemError> {
+        frames.iter().map(|f| self.push_frame(f.as_ref())).collect()
     }
 
     /// Selects an array element and reports how many upcoming output
@@ -123,7 +274,12 @@ impl ReadoutSystem {
         pressures: &[Pascals],
     ) -> Result<usize, SystemError> {
         self.chip.select_element(row, col, pressures)?;
-        Ok(self.settling_frames())
+        let discard = self.settling_frames();
+        self.pending_discard = discard;
+        if self.telemetry.enabled() {
+            self.flush_native();
+        }
+        Ok(discard)
     }
 
     /// Measures one element: selects it, converts `frames`, and returns
@@ -134,16 +290,16 @@ impl ReadoutSystem {
     ///
     /// Returns [`SystemError::Config`] when fewer frames than the settling
     /// time are provided; propagates conversion failures.
-    pub fn measure_element(
+    pub fn measure_element<F: AsRef<[Pascals]>>(
         &mut self,
         row: usize,
         col: usize,
-        frames: &[Vec<Pascals>],
+        frames: &[F],
     ) -> Result<Vec<f64>, SystemError> {
         if frames.is_empty() {
             return Err(SystemError::Config("no frames provided".into()));
         }
-        let discard = self.select_element(row, col, &frames[0])?;
+        let discard = self.select_element(row, col, frames[0].as_ref())?;
         if frames.len() <= discard {
             return Err(SystemError::Config(format!(
                 "need more than {discard} frames to settle, got {}",
@@ -159,13 +315,21 @@ impl ReadoutSystem {
     /// and the decimation filter. Returns the decimated output.
     pub fn acquire_voltage(&mut self, inputs: &[Volts]) -> Vec<f64> {
         let bits = self.chip.convert_voltage_block(inputs);
-        self.decimator.process(&bits)
+        let out = self.decimator.process(&bits);
+        if self.telemetry.enabled() {
+            self.flush_native();
+        }
+        out
     }
 
     /// Resets the modulator and decimation filter state.
     pub fn reset(&mut self) {
         self.chip.reset_modulator();
         self.decimator.reset();
+        self.pending_discard = 0;
+        if self.telemetry.enabled() {
+            self.flush_native();
+        }
     }
 }
 
@@ -193,12 +357,10 @@ mod tests {
     fn settled_output_tracks_pressure_steps() {
         let mut sys = ReadoutSystem::paper_default().unwrap();
         let discard = sys.settling_frames();
-        let low: Vec<f64> = sys.push_frames(&vec![frame(50.0); discard + 60]).unwrap()
-            [discard..]
-            .to_vec();
-        let high: Vec<f64> = sys.push_frames(&vec![frame(250.0); discard + 60]).unwrap()
-            [discard..]
-            .to_vec();
+        let low: Vec<f64> =
+            sys.push_frames(&vec![frame(50.0); discard + 60]).unwrap()[discard..].to_vec();
+        let high: Vec<f64> =
+            sys.push_frames(&vec![frame(250.0); discard + 60]).unwrap()[discard..].to_vec();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(
             mean(&high) > mean(&low),
@@ -231,7 +393,7 @@ mod tests {
             Err(SystemError::Config(_))
         ));
         assert!(matches!(
-            sys.measure_element(0, 0, &[]),
+            sys.measure_element::<Vec<Pascals>>(0, 0, &[]),
             Err(SystemError::Config(_))
         ));
     }
@@ -261,6 +423,55 @@ mod tests {
         // rather than samples.
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!((mean(&a[10..]) - mean(&b[10..])).abs() < 0.005);
+    }
+
+    #[test]
+    fn telemetry_accounts_for_every_frame() {
+        use tonos_telemetry::{names, Registry};
+        let registry = Registry::new();
+        let mut sys =
+            ReadoutSystem::with_telemetry(SystemConfig::paper_default(), registry.telemetry())
+                .unwrap();
+        assert!(sys.telemetry().enabled());
+        let settle = sys.settling_frames();
+        let _ = sys.push_frames(&vec![frame(80.0); 10]).unwrap();
+        let _ = sys
+            .measure_element(1, 1, &vec![frame(80.0); settle + 25])
+            .unwrap();
+        let s = registry.snapshot();
+        let frames_in = s.counter(names::READOUT_FRAMES_IN).unwrap();
+        let samples_out = s.counter(names::READOUT_SAMPLES_OUT).unwrap();
+        let discarded = s.counter(names::READOUT_SETTLING_DISCARDED).unwrap();
+        assert_eq!(frames_in, (10 + settle + 25) as u64);
+        assert_eq!(discarded, settle as u64);
+        assert_eq!(frames_in, samples_out + discarded);
+        // The bridge flushes the substrate counters consistently: one OSR
+        // worth of modulator clocks and decimator inputs per frame.
+        let osr = sys.osr() as u64;
+        assert_eq!(s.counter(names::MODULATOR_STEPS), Some(frames_in * osr));
+        assert_eq!(
+            s.counter(names::DECIMATOR_SAMPLES_IN),
+            Some(frames_in * osr)
+        );
+        assert_eq!(s.counter(names::DECIMATOR_SAMPLES_OUT), Some(frames_in));
+        assert_eq!(s.counter(names::CHIP_ELEMENT_SELECTIONS), Some(1));
+        assert_eq!(s.counter(names::MUX_SWITCHES), Some(1));
+        // 128 clocks at ~90 nJ each per frame.
+        let energy = s.gauge(names::CHIP_ENERGY_J).unwrap();
+        let expected = sys.chip().energy_for_cycles(frames_in * osr);
+        assert!((energy - expected).abs() < 1e-12, "{energy} vs {expected}");
+    }
+
+    #[test]
+    fn disabled_telemetry_reports_nothing() {
+        let mut sys = ReadoutSystem::paper_default().unwrap();
+        assert!(!sys.telemetry().enabled());
+        let _ = sys.push_frames(&vec![frame(0.0); 5]).unwrap();
+        // Borrowed-chunk frames work through the same generic API.
+        let flat = [Pascals(0.0); 4 * 3];
+        let chunks: Vec<&[Pascals]> = flat.chunks(4).collect();
+        let out = sys.push_frames(&chunks).unwrap();
+        assert_eq!(out.len(), 3);
     }
 
     #[test]

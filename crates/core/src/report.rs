@@ -105,11 +105,14 @@ mod tests {
     use tonos_physio::patient::PatientProfile;
 
     fn session() -> MonitoringSession {
-        BloodPressureMonitor::new(SystemConfig::paper_default(), PatientProfile::normotensive())
-            .unwrap()
-            .with_scan_window(120)
-            .run(6.0)
-            .unwrap()
+        BloodPressureMonitor::new(
+            SystemConfig::paper_default(),
+            PatientProfile::normotensive(),
+        )
+        .unwrap()
+        .with_scan_window(120)
+        .run(6.0)
+        .unwrap()
     }
 
     #[test]
@@ -122,7 +125,11 @@ mod tests {
         assert!((r.mean_arterial - (r.diastolic + (r.systolic - r.diastolic) / 3.0)).abs() < 1e-9);
         assert_eq!(r.calibrations, 1);
         assert!((r.chip_power_mw - 11.5).abs() < 1e-6);
-        assert!(r.beat_yield > 0.8 && r.beat_yield <= 1.0, "yield {}", r.beat_yield);
+        assert!(
+            r.beat_yield > 0.8 && r.beat_yield <= 1.0,
+            "yield {}",
+            r.beat_yield
+        );
     }
 
     #[test]

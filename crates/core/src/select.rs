@@ -69,10 +69,17 @@ where
     let mut scores = Vec::with_capacity(layout.len());
     let mut best = (0, 0);
     let mut best_score = f64::NEG_INFINITY;
+    // One flat pressure buffer, reused for every element; frames are
+    // borrowed chunks of it (the readout API accepts any slice-like
+    // frame), so the scan allocates the measurement buffer once.
+    let mut flat: Vec<Pascals> = Vec::with_capacity((settle + window) * layout.len());
     for row in 0..layout.rows {
         for col in 0..layout.cols {
-            let frames: Vec<Vec<Pascals>> =
-                (0..settle + window).map(|_| frame_source()).collect();
+            flat.clear();
+            for _ in 0..settle + window {
+                flat.extend(frame_source());
+            }
+            let frames: Vec<&[Pascals]> = flat.chunks(layout.len()).collect();
             let settled = system.measure_element(row, col, &frames)?;
             let mean = settled.iter().sum::<f64>() / settled.len() as f64;
             let score = (settled.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
@@ -86,7 +93,11 @@ where
         }
     }
     // Re-select the winner and settle on it.
-    let frames: Vec<Vec<Pascals>> = (0..settle + 1).map(|_| frame_source()).collect();
+    flat.clear();
+    for _ in 0..settle + 1 {
+        flat.extend(frame_source());
+    }
+    let frames: Vec<&[Pascals]> = flat.chunks(layout.len()).collect();
     let _ = system.measure_element(best.0, best.1, &frames)?;
     Ok(ScanResult { scores, best })
 }
@@ -108,9 +119,7 @@ mod tests {
             let strong = 80.0 + 20.0 * phase.sin();
             let weak = 80.0 + 2.0 * phase.sin();
             (0..4)
-                .map(|i| {
-                    Pascals::from_mmhg(MillimetersHg(if i == hot { strong } else { weak }))
-                })
+                .map(|i| Pascals::from_mmhg(MillimetersHg(if i == hot { strong } else { weak })))
                 .collect()
         }
     }

@@ -14,6 +14,8 @@
 
 use std::collections::VecDeque;
 
+use tonos_telemetry::{names, Counter, Severity, Telemetry};
+
 use crate::SystemError;
 
 /// Events emitted by the online analyzer.
@@ -128,6 +130,10 @@ pub struct OnlineAnalyzer {
     high_acc: f64,
     low_acc: f64,
     signal_loss_armed: bool,
+    // Telemetry: alarms are counted and journaled; beats are far too
+    // chatty for the journal and are counted by the session monitor.
+    telemetry: Telemetry,
+    alarms: Counter,
 }
 
 impl OnlineAnalyzer {
@@ -175,7 +181,18 @@ impl OnlineAnalyzer {
             high_acc: 0.0,
             low_acc: 0.0,
             signal_loss_armed: true,
+            telemetry: Telemetry::disabled(),
+            alarms: Counter::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle (chainable): every alarm increments
+    /// the alarm counter and lands in the journal (pressure alarms at
+    /// critical severity, signal loss as a warning).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.alarms = telemetry.counter(names::ANALYZER_ALARMS);
+        self.telemetry = telemetry;
+        self
     }
 
     /// The stream sample rate.
@@ -238,11 +255,7 @@ impl OnlineAnalyzer {
             if is_peak && clear {
                 // Refine systolic on the raw history (the peak is 1
                 // sample behind; the history spans the smoother window).
-                let systolic = self
-                    .raw_history
-                    .iter()
-                    .copied()
-                    .fold(f64::MIN, f64::max);
+                let systolic = self.raw_history.iter().copied().fold(f64::MIN, f64::max);
                 let diastolic = if self.running_min_since_peak < f64::MAX {
                     self.running_min_since_peak
                 } else {
@@ -275,9 +288,17 @@ impl OnlineAnalyzer {
                     self.high_run += 1;
                     self.high_acc += systolic;
                     if self.high_run == self.limits.qualifying_beats {
+                        let mean_sys = self.high_acc / self.high_run as f64;
                         events.push(MonitorEvent::HypertensionAlarm {
                             time_s: beat_time,
-                            systolic: self.high_acc / self.high_run as f64,
+                            systolic: mean_sys,
+                        });
+                        self.alarms.inc();
+                        self.telemetry.event(Severity::Critical, "analyzer", || {
+                            format!(
+                                "hypertension alarm at t = {beat_time:.1} s \
+                                 (mean systolic {mean_sys:.1})"
+                            )
                         });
                     }
                 } else {
@@ -288,9 +309,17 @@ impl OnlineAnalyzer {
                     self.low_run += 1;
                     self.low_acc += systolic;
                     if self.low_run == self.limits.qualifying_beats {
+                        let mean_sys = self.low_acc / self.low_run as f64;
                         events.push(MonitorEvent::HypotensionAlarm {
                             time_s: beat_time,
-                            systolic: self.low_acc / self.low_run as f64,
+                            systolic: mean_sys,
+                        });
+                        self.alarms.inc();
+                        self.telemetry.event(Severity::Critical, "analyzer", || {
+                            format!(
+                                "hypotension alarm at t = {beat_time:.1} s \
+                                 (mean systolic {mean_sys:.1})"
+                            )
                         });
                     }
                 } else {
@@ -310,6 +339,10 @@ impl OnlineAnalyzer {
                 events.push(MonitorEvent::SignalLossAlarm {
                     time_s: t,
                     silence_s: silence,
+                });
+                self.alarms.inc();
+                self.telemetry.event(Severity::Warning, "analyzer", || {
+                    format!("signal loss at t = {t:.1} s ({silence:.1} s without a beat)")
                 });
             }
         }
@@ -376,8 +409,7 @@ mod tests {
         let bs = beats(&events);
         assert!(bs.len() >= 20);
         // Skip the first beats while the envelope settles.
-        let sys_mean =
-            bs[4..].iter().map(|(_, s)| *s).sum::<f64>() / (bs.len() - 4) as f64;
+        let sys_mean = bs[4..].iter().map(|(_, s)| *s).sum::<f64>() / (bs.len() - 4) as f64;
         assert!((sys_mean - 120.0).abs() < 4.0, "systolic mean {sys_mean}");
     }
 

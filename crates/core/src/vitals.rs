@@ -72,9 +72,7 @@ pub fn respiratory_rate(
     let mut k = 0usize;
     for i in 0..n {
         let t = t_first + i as f64 / RESAMPLE_HZ;
-        while k + 1 < beats.len() - 1
-            && (beats[k + 1].peak_index as f64 / sample_rate) < t
-        {
+        while k + 1 < beats.len() - 1 && (beats[k + 1].peak_index as f64 / sample_rate) < t {
             k += 1;
         }
         let t0 = beats[k].peak_index as f64 / sample_rate;
@@ -88,8 +86,12 @@ pub fn respiratory_rate(
     for v in &mut series {
         *v -= mean;
     }
-    let mut hp = Biquad::highpass(RESP_BAND_LO_HZ / 2.0, RESAMPLE_HZ, std::f64::consts::FRAC_1_SQRT_2)
-        .map_err(SystemError::Dsp)?;
+    let mut hp = Biquad::highpass(
+        RESP_BAND_LO_HZ / 2.0,
+        RESAMPLE_HZ,
+        std::f64::consts::FRAC_1_SQRT_2,
+    )
+    .map_err(SystemError::Dsp)?;
     let filtered = hp.process(&series);
     // Discard the high-pass transient.
     let settle = (RESAMPLE_HZ * 5.0) as usize;
@@ -100,8 +102,8 @@ pub fn respiratory_rate(
     let mut best = (0.0, 0.0);
     let mut total_power = 0.0;
     for s in 0..steps {
-        let f = RESP_BAND_LO_HZ
-            + (RESP_BAND_HI_HZ - RESP_BAND_LO_HZ) * s as f64 / (steps - 1) as f64;
+        let f =
+            RESP_BAND_LO_HZ + (RESP_BAND_HI_HZ - RESP_BAND_LO_HZ) * s as f64 / (steps - 1) as f64;
         let mut g = Goertzel::new(f, RESAMPLE_HZ).map_err(SystemError::Dsp)?;
         g.push_block(usable);
         let p = g.power();
@@ -115,14 +117,18 @@ pub fn respiratory_rate(
             samples: beats.len(),
         });
     }
-    // Amplitude from the winning bin; confidence from its share of the
-    // swept power (the sweep oversamples, so normalize by a ~3-bin peak).
+    // Amplitude from the winning bin; confidence is the winning bin's
+    // share of the swept power. A distinct breath concentrates roughly
+    // half the band power in one bin (~0.5); an apneic record spreads it
+    // across drift and noise. The share is already in [0, 1], so no
+    // scaling — an earlier ×3 "peak width" correction saturated the
+    // metric at 1.0 for breathing and apneic records alike.
     let mut g = Goertzel::new(best.0, RESAMPLE_HZ).map_err(SystemError::Dsp)?;
     g.push_block(usable);
     Ok(RespiratoryEstimate {
         rate_per_min: best.0 * 60.0,
         amplitude: g.amplitude(),
-        confidence: (3.0 * best.1 / total_power).min(1.0),
+        confidence: best.1 / total_power,
     })
 }
 
@@ -135,7 +141,10 @@ mod tests {
     use tonos_physio::waveform::{ArterialParams, PulseWaveform};
 
     fn estimate_for(params: ArterialParams, duration: f64) -> RespiratoryEstimate {
-        let record = PulseWaveform::new(params).unwrap().record(250.0, duration).unwrap();
+        let record = PulseWaveform::new(params)
+            .unwrap()
+            .record(250.0, duration)
+            .unwrap();
         let x: Vec<f64> = record.samples.iter().map(|p| p.value()).collect();
         let beats = detect_beats(&x, 250.0).unwrap();
         respiratory_rate(&beats, 250.0).unwrap()
@@ -189,7 +198,11 @@ mod tests {
             apneic.confidence,
             with_breathing.confidence
         );
-        assert!(apneic.amplitude < 1.0, "phantom modulation {}", apneic.amplitude);
+        assert!(
+            apneic.amplitude < 1.0,
+            "phantom modulation {}",
+            apneic.amplitude
+        );
     }
 
     #[test]

@@ -271,7 +271,13 @@ mod tests {
         let mut fcic = CicDecimatorF64::new(3, 16).unwrap();
         // Pseudo-random ±1 bitstream.
         let bits: Vec<i64> = (0..16 * 64)
-            .map(|i| if (i * 2654435761_u64 as usize) % 7 < 3 { 1 } else { -1 })
+            .map(|i| {
+                if (i * 2654435761_u64 as usize) % 7 < 3 {
+                    1
+                } else {
+                    -1
+                }
+            })
             .collect();
         let fin: Vec<f64> = bits.iter().map(|&b| b as f64).collect();
         let iout = icic.process(&bits);

@@ -108,6 +108,10 @@ impl DecimatorConfig {
             cic_norm,
             fir: FirDecimator::new(taps, 4)?,
             quantizer,
+            samples_in: 0,
+            samples_out: 0,
+            flushes: 0,
+            clip_events: 0,
         })
     }
 }
@@ -170,6 +174,12 @@ impl OutputQuantizer {
     pub fn lsb(&self) -> f64 {
         1.0 / self.scale as f64
     }
+
+    /// Whether quantizing `x` would saturate at a full-scale code.
+    pub fn clips(&self, x: f64) -> bool {
+        let code = (x * self.scale as f64).round();
+        !(code > -(self.scale as f64) - 0.5 && code < (self.scale - 1) as f64 + 0.5)
+    }
 }
 
 /// Fractional bits used to quantize the CIC input. The first stage runs
@@ -190,6 +200,14 @@ pub struct TwoStageDecimator {
     cic_norm: f64,
     fir: FirDecimator,
     quantizer: Option<OutputQuantizer>,
+    /// Modulator-rate samples consumed.
+    samples_in: u64,
+    /// Decimated samples produced.
+    samples_out: u64,
+    /// Full-state flushes via [`TwoStageDecimator::reset`].
+    flushes: u64,
+    /// Output-quantizer full-scale saturations.
+    clip_events: u64,
 }
 
 impl TwoStageDecimator {
@@ -213,11 +231,18 @@ impl TwoStageDecimator {
     /// Pushes one modulator-rate sample (±1.0 for a single-bit stream);
     /// returns a decimated output sample every `ratio()`-th call.
     pub fn push(&mut self, x: f64) -> Option<f64> {
+        self.samples_in += 1;
         let xi = (x * (1_i64 << CIC_INPUT_FRAC_BITS) as f64).round() as i64;
         let mid = self.cic.push(xi)? as f64 / self.cic_norm;
         let out = self.fir.push(mid)?;
+        self.samples_out += 1;
         Some(match &self.quantizer {
-            Some(q) => q.round_trip(out),
+            Some(q) => {
+                if q.clips(out) {
+                    self.clip_events += 1;
+                }
+                q.round_trip(out)
+            }
             None => out,
         })
     }
@@ -234,10 +259,34 @@ impl TwoStageDecimator {
             .collect()
     }
 
-    /// Clears all filter state.
+    /// Clears all filter state. Throughput counters survive the flush —
+    /// they describe the decimator's lifetime, not one stream segment —
+    /// and the flush itself is counted.
     pub fn reset(&mut self) {
         self.cic.reset();
         self.fir.reset();
+        self.flushes += 1;
+    }
+
+    /// Modulator-rate samples consumed over this decimator's lifetime.
+    pub fn samples_in(&self) -> u64 {
+        self.samples_in
+    }
+
+    /// Decimated output samples produced over this decimator's lifetime.
+    pub fn samples_out(&self) -> u64 {
+        self.samples_out
+    }
+
+    /// Number of [`TwoStageDecimator::reset`] flushes performed.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Output samples that saturated the output quantizer (always 0 for
+    /// an unquantized chain).
+    pub fn clip_events(&self) -> u64 {
+        self.clip_events
     }
 
     /// Number of output samples to discard after a source switch before
@@ -389,7 +438,10 @@ mod tests {
         }
         // And the first post-switch samples are visibly wrong (why the
         // scan controller must discard them).
-        assert!((out[0] + 0.5).abs() < 0.2, "first sample still near old value");
+        assert!(
+            (out[0] + 0.5).abs() < 0.2,
+            "first sample still near old value"
+        );
     }
 
     #[test]
@@ -430,6 +482,41 @@ mod tests {
             "drifted to {worst} (= {} LSB) after 7.7M samples",
             worst / lsb
         );
+    }
+
+    #[test]
+    fn throughput_counters_track_the_stream() {
+        let mut d = TwoStageDecimator::paper_default();
+        assert_eq!((d.samples_in(), d.samples_out(), d.flushes()), (0, 0, 0));
+        let out = d.process(&vec![0.1; 128 * 5]);
+        assert_eq!(out.len(), 5);
+        assert_eq!(d.samples_in(), 128 * 5);
+        assert_eq!(d.samples_out(), 5);
+        d.reset();
+        assert_eq!(d.flushes(), 1);
+        // Counters describe the lifetime, not one segment.
+        let _ = d.process(&vec![0.1; 128]);
+        assert_eq!(d.samples_in(), 128 * 6);
+        assert_eq!(d.samples_out(), 6);
+    }
+
+    #[test]
+    fn clip_events_count_full_scale_saturation() {
+        // A DC input beyond +1.0 full scale must pin the 12-bit output at
+        // the top code and count clips once the chain has settled.
+        let mut d = TwoStageDecimator::paper_default();
+        let _ = d.process(&vec![1.5; 128 * 100]);
+        assert!(d.clip_events() > 0, "expected saturations, got none");
+        // An in-range signal adds no further clips.
+        let mut clean = TwoStageDecimator::paper_default();
+        let _ = clean.process(&vec![0.25; 128 * 100]);
+        assert_eq!(clean.clip_events(), 0);
+        // The quantizer predicate itself.
+        let q = OutputQuantizer::new(12).unwrap();
+        assert!(q.clips(1.0));
+        assert!(q.clips(-1.001));
+        assert!(!q.clips(0.999));
+        assert!(!q.clips(-1.0));
     }
 
     #[test]

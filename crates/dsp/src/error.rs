@@ -32,7 +32,10 @@ impl fmt::Display for DspError {
                 write!(f, "length {len} is not a power of two")
             }
             DspError::InputTooShort { len, required } => {
-                write!(f, "input of {len} samples is shorter than required {required}")
+                write!(
+                    f,
+                    "input of {len} samples is shorter than required {required}"
+                )
             }
             DspError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             DspError::NoSignal => write!(f, "spectrum contains no signal component"),

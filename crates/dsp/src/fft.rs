@@ -244,7 +244,11 @@ mod tests {
         // Energy only at bins k and n-k, each with magnitude n/2.
         for (i, v) in spec.iter().enumerate() {
             if i == k || i == n - k {
-                assert!((v.abs() - n as f64 / 2.0).abs() < 1e-9, "bin {i}: {}", v.abs());
+                assert!(
+                    (v.abs() - n as f64 / 2.0).abs() < 1e-9,
+                    "bin {i}: {}",
+                    v.abs()
+                );
             } else {
                 assert!(v.abs() < 1e-9, "leak at bin {i}: {}", v.abs());
             }
@@ -297,8 +301,12 @@ mod tests {
     #[test]
     fn linearity_holds() {
         let n = 64;
-        let a: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
-        let b: Vec<Complex> = (0..n).map(|i| Complex::new(0.0, (i as f64).cos())).collect();
+        let a: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), 0.0))
+            .collect();
+        let b: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(0.0, (i as f64).cos()))
+            .collect();
         let mut fa = a.clone();
         let mut fb = b.clone();
         fft(&mut fa).unwrap();

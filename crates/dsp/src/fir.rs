@@ -137,8 +137,8 @@ impl FirDecimator {
     /// intermediate rate (normalized 0.125), decimating by 4, Hamming
     /// design window.
     pub fn paper_default() -> Self {
-        let taps = design_lowpass(32, 500.0 / 4000.0, Window::Hamming)
-            .expect("paper design is valid");
+        let taps =
+            design_lowpass(32, 500.0 / 4000.0, Window::Hamming).expect("paper design is valid");
         FirDecimator::new(taps, 4).expect("paper parameters are valid")
     }
 
@@ -282,8 +282,9 @@ mod tests {
         let fs = 4000.0;
         let f = 1500.0;
         let n = 4096;
-        let tone: Vec<f64> =
-            (0..n).map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin()).collect();
+        let tone: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f * i as f64 / fs).sin())
+            .collect();
         let mut fir = FirDecimator::paper_default();
         let out = fir.process(&tone);
         let settled = &out[16..];

@@ -69,6 +69,34 @@ impl QFormat {
     }
 }
 
+/// Running tally of fixed-point saturation events.
+///
+/// [`Fixed`] values are `Copy` and carry no history, so saturation
+/// accounting is explicit: conversion sites that care thread one of these
+/// through [`Fixed::from_f64_counted`] (or read the tally returned by
+/// [`quantize_coefficients_counted`]) and surface it through the
+/// telemetry layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SaturationStats {
+    /// Conversions that clamped at a format limit.
+    pub saturations: u64,
+    /// Total conversions observed.
+    pub conversions: u64,
+}
+
+impl SaturationStats {
+    /// Saturated fraction of all conversions, if any were observed.
+    pub fn rate(&self) -> Option<f64> {
+        (self.conversions > 0).then(|| self.saturations as f64 / self.conversions as f64)
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: SaturationStats) {
+        self.saturations += other.saturations;
+        self.conversions += other.conversions;
+    }
+}
+
 /// A value stored in a [`QFormat`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Fixed {
@@ -84,9 +112,25 @@ impl Fixed {
         let raw = if scaled.is_nan() {
             0
         } else {
-            scaled.round().clamp(format.min_raw() as f64, format.max_raw() as f64) as i64
+            scaled
+                .round()
+                .clamp(format.min_raw() as f64, format.max_raw() as f64) as i64
         };
         Fixed { raw, format }
+    }
+
+    /// Like [`Fixed::from_f64`], but tallies the conversion (and whether
+    /// it saturated) into `stats`.
+    pub fn from_f64_counted(x: f64, format: QFormat, stats: &mut SaturationStats) -> Self {
+        stats.conversions += 1;
+        let rounded = (x * (1_i64 << format.frac_bits) as f64).round();
+        // NaN maps to 0, which is not a clamp; only a rounded value
+        // beyond the representable raw range counts as saturation.
+        let in_range = rounded >= format.min_raw() as f64 && rounded <= format.max_raw() as f64;
+        if !rounded.is_nan() && !in_range {
+            stats.saturations += 1;
+        }
+        Fixed::from_f64(x, format)
     }
 
     /// Builds a value from a raw integer (caller asserts it fits).
@@ -130,7 +174,10 @@ impl Fixed {
     pub fn saturating_add(self, rhs: Fixed) -> Fixed {
         assert_eq!(self.format, rhs.format, "mixed Q formats");
         let raw = (self.raw + rhs.raw).clamp(self.format.min_raw(), self.format.max_raw());
-        Fixed { raw, format: self.format }
+        Fixed {
+            raw,
+            format: self.format,
+        }
     }
 
     /// Fixed-point multiply: full-precision product rescaled (with
@@ -148,25 +195,40 @@ impl Fixed {
         let prod = (self.raw as i128) * (rhs.raw as i128);
         // Round to nearest by adding half an LSB before the shift.
         let rounded = (prod + (1_i128 << (shift.max(1) - 1))) >> shift;
-        let raw = rounded.clamp(self.format.min_raw() as i128, self.format.max_raw() as i128)
-            as i64;
-        Fixed { raw, format: self.format }
+        let raw =
+            rounded.clamp(self.format.min_raw() as i128, self.format.max_raw() as i128) as i64;
+        Fixed {
+            raw,
+            format: self.format,
+        }
     }
 }
 
 /// Quantizes a slice of coefficients into a Q format and returns both the
 /// quantized real values and the worst-case quantization error.
 pub fn quantize_coefficients(coeffs: &[f64], format: QFormat) -> (Vec<f64>, f64) {
+    let (out, worst, _) = quantize_coefficients_counted(coeffs, format);
+    (out, worst)
+}
+
+/// Like [`quantize_coefficients`], but also reports how many coefficients
+/// saturated at the format limits (a word length too narrow for the
+/// filter's largest tap).
+pub fn quantize_coefficients_counted(
+    coeffs: &[f64],
+    format: QFormat,
+) -> (Vec<f64>, f64, SaturationStats) {
     let mut worst = 0.0_f64;
+    let mut stats = SaturationStats::default();
     let out = coeffs
         .iter()
         .map(|&c| {
-            let q = Fixed::from_f64(c, format).to_f64();
+            let q = Fixed::from_f64_counted(c, format, &mut stats).to_f64();
             worst = worst.max((q - c).abs());
             q
         })
         .collect();
-    (out, worst)
+    (out, worst, stats)
 }
 
 #[cfg(test)]
@@ -248,6 +310,39 @@ mod tests {
         let a = Fixed::from_f64(0.1, q15());
         let b = Fixed::from_f64(0.1, QFormat::new(12, 11).unwrap());
         let _ = a.saturating_add(b);
+    }
+
+    #[test]
+    fn counted_conversion_tallies_saturations() {
+        let f = q15();
+        let mut stats = SaturationStats::default();
+        // In range, exactly at max, beyond max, beyond min, NaN.
+        let _ = Fixed::from_f64_counted(0.5, f, &mut stats);
+        let _ = Fixed::from_f64_counted(f.max_value(), f, &mut stats);
+        let _ = Fixed::from_f64_counted(2.0, f, &mut stats);
+        let _ = Fixed::from_f64_counted(-2.0, f, &mut stats);
+        let _ = Fixed::from_f64_counted(f64::NAN, f, &mut stats);
+        assert_eq!(stats.conversions, 5);
+        assert_eq!(stats.saturations, 2, "NaN maps to 0, not a clamp");
+        assert!((stats.rate().unwrap() - 0.4).abs() < 1e-12);
+
+        let mut total = SaturationStats::default();
+        total.merge(stats);
+        total.merge(stats);
+        assert_eq!(total.conversions, 10);
+        assert_eq!(SaturationStats::default().rate(), None);
+    }
+
+    #[test]
+    fn counted_coefficient_quantization_matches_uncounted() {
+        let coeffs = [0.1, -0.2, 5.0, -0.5];
+        let f = QFormat::new(8, 7).unwrap();
+        let (q1, worst1) = quantize_coefficients(&coeffs, f);
+        let (q2, worst2, stats) = quantize_coefficients_counted(&coeffs, f);
+        assert_eq!(q1, q2);
+        assert_eq!(worst1, worst2);
+        assert_eq!(stats.conversions, 4);
+        assert_eq!(stats.saturations, 1, "only the 5.0 tap clamps");
     }
 
     #[test]

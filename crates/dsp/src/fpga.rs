@@ -216,10 +216,7 @@ pub fn cross_check_against_behavioral(bits: &[i8]) -> Result<f64, DspError> {
     let q = OutputQuantizer::new(12)?;
     let hw_codes: Vec<i32> = bits.iter().filter_map(|&b| hw.push(b)).collect();
     let hw_out: Vec<f64> = hw_codes.iter().map(|&c| hw.dequantize(c)).collect();
-    let sw_out: Vec<f64> = bits
-        .iter()
-        .filter_map(|&b| sw.push(f64::from(b)))
-        .collect();
+    let sw_out: Vec<f64> = bits.iter().filter_map(|&b| sw.push(f64::from(b))).collect();
     let mut worst = 0.0_f64;
     for (a, b) in hw_out.iter().zip(&sw_out) {
         worst = worst.max((a - b).abs() / q.lsb());
@@ -261,19 +258,13 @@ mod tests {
         let mut d = FixedPointDecimator::paper_default();
         let out = d.process(&vec![1_i8; 128 * 60]);
         let settled = d.dequantize(*out.last().unwrap());
-        assert!(
-            (settled - 1.0).abs() < 3.0 / 2048.0,
-            "settled to {settled}"
-        );
+        assert!((settled - 1.0).abs() < 3.0 / 2048.0, "settled to {settled}");
     }
 
     #[test]
     fn agrees_with_the_behavioral_chain_within_one_lsb() {
         let worst = cross_check_against_behavioral(&bitstream(128 * 200)).unwrap();
-        assert!(
-            worst <= 1.5,
-            "hardware/behavioral disagreement {worst} LSB"
-        );
+        assert!(worst <= 1.5, "hardware/behavioral disagreement {worst} LSB");
     }
 
     #[test]
@@ -291,7 +282,11 @@ mod tests {
         for &code in &out {
             assert!((-2048..=2047).contains(&code));
         }
-        assert_eq!(*out.last().unwrap(), 2047, "sustained +FS pins the top code");
+        assert_eq!(
+            *out.last().unwrap(),
+            2047,
+            "sustained +FS pins the top code"
+        );
     }
 
     #[test]

@@ -35,12 +35,7 @@ impl Biquad {
         }
     }
 
-    fn design(
-        kind: &str,
-        cutoff_hz: f64,
-        sample_rate: f64,
-        q: f64,
-    ) -> Result<Self, DspError> {
+    fn design(kind: &str, cutoff_hz: f64, sample_rate: f64, q: f64) -> Result<Self, DspError> {
         if !(sample_rate > 0.0) {
             return Err(DspError::InvalidParameter(
                 "sample rate must be positive".into(),
@@ -164,7 +159,11 @@ mod tests {
     fn highpass_blocks_dc() {
         let mut f = Biquad::highpass(1.0, 1000.0, std::f64::consts::FRAC_1_SQRT_2).unwrap();
         let out = f.process(&vec![1.0; 8000]);
-        assert!(out.last().unwrap().abs() < 1e-3, "DC leak {}", out.last().unwrap());
+        assert!(
+            out.last().unwrap().abs() < 1e-3,
+            "DC leak {}",
+            out.last().unwrap()
+        );
         assert!((f.magnitude_at(100.0, 1000.0) - 1.0).abs() < 1e-3);
     }
 
@@ -186,8 +185,7 @@ mod tests {
         let mut filt = design;
         let out = filt.process(&sine_wave(fs, f_tone, 1.0, 0.0, 8000));
         let settled = &out[2000..];
-        let rms =
-            (settled.iter().map(|v| v * v).sum::<f64>() / settled.len() as f64).sqrt();
+        let rms = (settled.iter().map(|v| v * v).sum::<f64>() / settled.len() as f64).sqrt();
         let measured = rms * 2.0_f64.sqrt();
         assert!(
             (measured - predicted).abs() < 0.01 * predicted.max(0.01),

@@ -123,8 +123,7 @@ impl DynamicMetrics {
         }
         let floor = 1e-30;
         let snr_db = 10.0 * (signal_power / noise_power.max(floor)).log10();
-        let sndr_db =
-            10.0 * (signal_power / (noise_power + harmonic_power).max(floor)).log10();
+        let sndr_db = 10.0 * (signal_power / (noise_power + harmonic_power).max(floor)).log10();
         let thd_db = 10.0 * (harmonic_power.max(floor) / signal_power).log10();
         let sfdr_db = 10.0 * (signal_power / strongest_spur.max(floor)).log10();
         Ok(DynamicMetrics {

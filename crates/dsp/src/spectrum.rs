@@ -41,11 +41,7 @@ impl Spectrum {
         }
         let n = signal.len();
         let coeffs = window.coefficients(n)?;
-        let windowed: Vec<f64> = signal
-            .iter()
-            .zip(&coeffs)
-            .map(|(&x, &w)| x * w)
-            .collect();
+        let windowed: Vec<f64> = signal.iter().zip(&coeffs).map(|(&x, &w)| x * w).collect();
         let spec = fft_real(&windowed)?;
         // Power normalization via Parseval with the window's energy Σw²:
         // the *integrated* power of a tone cluster and of broadband noise
@@ -110,8 +106,7 @@ impl Spectrum {
 
     /// The bin nearest a frequency.
     pub fn frequency_bin(&self, hz: f64) -> usize {
-        ((hz * self.fft_len as f64 / self.sample_rate).round() as usize)
-            .min(self.power.len() - 1)
+        ((hz * self.fft_len as f64 / self.sample_rate).round() as usize).min(self.power.len() - 1)
     }
 
     /// Per-bin level in dBFS (0 dBFS = full-scale sine), floored at

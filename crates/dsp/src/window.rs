@@ -44,7 +44,13 @@ impl Window {
             terms
                 .iter()
                 .enumerate()
-                .map(|(k, &a)| if k % 2 == 0 { a * (tau * k as f64 * x).cos() } else { -a * (tau * k as f64 * x).cos() })
+                .map(|(k, &a)| {
+                    if k % 2 == 0 {
+                        a * (tau * k as f64 * x).cos()
+                    } else {
+                        -a * (tau * k as f64 * x).cos()
+                    }
+                })
                 .sum()
         };
         let coeffs = match self {

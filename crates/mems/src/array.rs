@@ -167,9 +167,8 @@ impl SensorArray {
         // geometry plus its own parasitic mismatch.
         let nominal = ForceSensorElement::from_parts(SquarePlate::paper_default(), base_geometry)?
             .rest_capacitance();
-        let reference = Farads(
-            nominal.value() + mismatch.parasitic_sigma.value() * gaussian(&mut rng),
-        );
+        let reference =
+            Farads(nominal.value() + mismatch.parasitic_sigma.value() * gaussian(&mut rng));
         Ok(SensorArray {
             layout,
             elements,
@@ -191,8 +190,11 @@ impl SensorArray {
 
     /// An ideal, perfectly matched paper array (for analytic tests).
     pub fn paper_ideal() -> Self {
-        SensorArray::uniform(ArrayLayout::paper_default(), ForceSensorElement::paper_default())
-            .expect("paper array is valid")
+        SensorArray::uniform(
+            ArrayLayout::paper_default(),
+            ForceSensorElement::paper_default(),
+        )
+        .expect("paper array is valid")
     }
 
     /// Array layout.

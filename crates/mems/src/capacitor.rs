@@ -113,8 +113,11 @@ impl MembraneCapacitor {
     /// The paper's element: 100 µm CMOS membrane with the default
     /// electrode geometry.
     pub fn paper_default() -> Self {
-        MembraneCapacitor::new(SquarePlate::paper_default(), ElectrodeGeometry::paper_default())
-            .expect("paper geometry is valid")
+        MembraneCapacitor::new(
+            SquarePlate::paper_default(),
+            ElectrodeGeometry::paper_default(),
+        )
+        .expect("paper geometry is valid")
     }
 
     /// Overrides the Simpson integration grid (intervals per axis).
@@ -124,7 +127,10 @@ impl MembraneCapacitor {
     /// Panics if `grid` is odd or zero (Simpson's rule needs an even,
     /// positive interval count).
     pub fn with_grid(mut self, grid: usize) -> Self {
-        assert!(grid >= 2 && grid.is_multiple_of(2), "Simpson grid must be even and >= 2");
+        assert!(
+            grid >= 2 && grid.is_multiple_of(2),
+            "Simpson grid must be even and >= 2"
+        );
         self.grid = grid;
         self
     }
@@ -194,13 +200,13 @@ impl MembraneCapacitor {
         let w0 = self.plate.center_deflection(pressure)?;
         self.capacitance_at_deflection(w0).map_err(|e| match e {
             // Attach the actual pressure to the collapse report.
-            MemsError::MembraneCollapse { deflection, gap, .. } => {
-                MemsError::MembraneCollapse {
-                    deflection,
-                    gap,
-                    pressure,
-                }
-            }
+            MemsError::MembraneCollapse {
+                deflection, gap, ..
+            } => MemsError::MembraneCollapse {
+                deflection,
+                gap,
+                pressure,
+            },
             other => other,
         })
     }
@@ -250,7 +256,10 @@ mod tests {
         let ideal = EPSILON_0 * a * a / (g.air_gap.value() + g.dielectric_gap.value());
         let measured = c.rest_capacitance().value() - g.parasitic.value();
         let rel = (measured - ideal).abs() / ideal;
-        assert!(rel < 1e-6, "flat membrane must match the analytic plate: {rel}");
+        assert!(
+            rel < 1e-6,
+            "flat membrane must match the analytic plate: {rel}"
+        );
     }
 
     #[test]
@@ -349,8 +358,8 @@ mod tests {
         let mut geom = *base.geometry();
         geom.parasitic = Farads::from_femtofarads(geom.parasitic.to_femtofarads() + 10.0);
         let bumped = MembraneCapacitor::new(SquarePlate::paper_default(), geom).unwrap();
-        let d = bumped.rest_capacitance().to_femtofarads()
-            - base.rest_capacitance().to_femtofarads();
+        let d =
+            bumped.rest_capacitance().to_femtofarads() - base.rest_capacitance().to_femtofarads();
         assert!((d - 10.0).abs() < 1e-9);
     }
 

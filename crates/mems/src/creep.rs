@@ -155,8 +155,7 @@ mod tests {
         let c = CreepModel::pdms_strap();
         let t = c.settle_time(0.01);
         // After t, remaining relaxation is exactly epsilon.
-        let remaining = c.relaxing_fraction()
-            * (-(t / c.tau_s())).exp();
+        let remaining = c.relaxing_fraction() * (-(t / c.tau_s())).exp();
         assert!((remaining - 0.01).abs() < 1e-12);
         // A rigid coat needs no settling.
         assert_eq!(CreepModel::none().settle_time(0.01), 0.0);
@@ -167,10 +166,7 @@ mod tests {
         let c = CreepModel::none();
         for t in [0.0, 100.0, 1e5] {
             assert_eq!(c.transmitted_fraction(t), 1.0);
-            assert_eq!(
-                c.pressure_drift(Pascals(5000.0), t).value(),
-                0.0
-            );
+            assert_eq!(c.pressure_drift(Pascals(5000.0), t).value(), 0.0);
         }
     }
 

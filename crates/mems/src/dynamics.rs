@@ -53,8 +53,8 @@ impl MembraneDynamics {
         }
         let a = plate.side().value();
         let k_lin = plate.linear_stiffness(); // Pa per meter of deflection
-        // Work of a uniform pressure p over the swept volume V = w0·a²/4
-        // with p = k·w0 gives U = (k·a²/8)·w0² → modal stiffness k·a²/4.
+                                              // Work of a uniform pressure p over the swept volume V = w0·a²/4
+                                              // with p = k·w0 gives U = (k·a²/8)·w0² → modal stiffness k·a²/4.
         let modal_stiffness = k_lin * a * a / 4.0;
         // Kinetic energy of the separable mode shape: ∫∫φ² = (3a/8)².
         let rho_a = plate.laminate().areal_density();

@@ -31,11 +31,10 @@ impl ForceSensorElement {
     /// # Errors
     ///
     /// Propagates geometry validation from [`MembraneCapacitor::new`].
-    pub fn from_parts(
-        plate: SquarePlate,
-        geometry: ElectrodeGeometry,
-    ) -> Result<Self, MemsError> {
-        Ok(ForceSensorElement::new(MembraneCapacitor::new(plate, geometry)?))
+    pub fn from_parts(plate: SquarePlate, geometry: ElectrodeGeometry) -> Result<Self, MemsError> {
+        Ok(ForceSensorElement::new(MembraneCapacitor::new(
+            plate, geometry,
+        )?))
     }
 
     /// The underlying membrane capacitor.

@@ -305,8 +305,7 @@ mod tests {
     #[test]
     fn splitting_a_layer_does_not_change_rigidity() {
         let m = Material::silicon_dioxide();
-        let whole =
-            Laminate::new(vec![Layer::new(m, Meters::from_microns(2.0))]).unwrap();
+        let whole = Laminate::new(vec![Layer::new(m, Meters::from_microns(2.0))]).unwrap();
         let split = Laminate::new(vec![
             Layer::new(m, Meters::from_microns(0.7)),
             Layer::new(m, Meters::from_microns(1.3)),

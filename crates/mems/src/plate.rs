@@ -294,7 +294,11 @@ mod tests {
         let p = plate.pressure_for_deflection(Meters::from_microns(0.8));
         let w1 = plate.center_deflection(p).unwrap().value();
         let w2 = plate.center_deflection(p * 2.0).unwrap().value();
-        assert!(w2 < 2.0 * w1, "cubic hardening missing: {w2} !< {}", 2.0 * w1);
+        assert!(
+            w2 < 2.0 * w1,
+            "cubic hardening missing: {w2} !< {}",
+            2.0 * w1
+        );
     }
 
     #[test]
@@ -382,7 +386,9 @@ mod tests {
         )])
         .unwrap();
         let k_relaxed = SquarePlate::new(side, relaxed).unwrap().linear_stiffness();
-        let k_tense = SquarePlate::new(side, tensioned).unwrap().linear_stiffness();
+        let k_tense = SquarePlate::new(side, tensioned)
+            .unwrap()
+            .linear_stiffness();
         assert!(k_tense > k_relaxed);
     }
 
@@ -391,8 +397,7 @@ mod tests {
         // A thin, strongly compressive film cannot be modeled.
         let mut m = Material::silicon_dioxide();
         m.residual_stress = crate::units::StressPa(-2e9);
-        let lam =
-            Laminate::new(vec![Layer::new(m, Meters::from_nanometers(100.0))]).unwrap();
+        let lam = Laminate::new(vec![Layer::new(m, Meters::from_nanometers(100.0))]).unwrap();
         let err = SquarePlate::new(Meters::from_microns(100.0), lam).unwrap_err();
         assert!(matches!(err, MemsError::InvalidGeometry(_)));
     }
@@ -401,8 +406,7 @@ mod tests {
     fn invalid_side_is_rejected() {
         let err = SquarePlate::new(Meters(0.0), Laminate::cmos_membrane()).unwrap_err();
         assert!(matches!(err, MemsError::InvalidGeometry(_)));
-        let err =
-            SquarePlate::new(Meters(f64::NAN), Laminate::cmos_membrane()).unwrap_err();
+        let err = SquarePlate::new(Meters(f64::NAN), Laminate::cmos_membrane()).unwrap_err();
         assert!(matches!(err, MemsError::InvalidGeometry(_)));
     }
 
@@ -417,10 +421,10 @@ mod tests {
 
     #[test]
     fn bigger_membrane_is_softer() {
-        let small = SquarePlate::new(Meters::from_microns(80.0), Laminate::cmos_membrane())
-            .unwrap();
-        let large = SquarePlate::new(Meters::from_microns(140.0), Laminate::cmos_membrane())
-            .unwrap();
+        let small =
+            SquarePlate::new(Meters::from_microns(80.0), Laminate::cmos_membrane()).unwrap();
+        let large =
+            SquarePlate::new(Meters::from_microns(140.0), Laminate::cmos_membrane()).unwrap();
         assert!(large.linear_compliance() > small.linear_compliance());
     }
 }

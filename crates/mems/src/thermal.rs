@@ -119,7 +119,9 @@ impl ThermalModel {
     /// Propagates capacitance-evaluation failures.
     pub fn baseline_shift(&self, temp_c: f64, bias: Pascals) -> Result<Farads, MemsError> {
         let hot = self.capacitor_at(temp_c)?.capacitance(bias)?;
-        let nominal = self.capacitor_at(self.reference_temp_c)?.capacitance(bias)?;
+        let nominal = self
+            .capacitor_at(self.reference_temp_c)?
+            .capacitance(bias)?;
         Ok(Farads(hot.value() - nominal.value()))
     }
 
@@ -258,6 +260,9 @@ mod tests {
                 break;
             }
         }
-        assert!(failed, "the model must refuse a buckled membrane eventually");
+        assert!(
+            failed,
+            "the model must refuse a buckled membrane eventually"
+        );
     }
 }

@@ -99,7 +99,11 @@ impl ArtifactGenerator {
             } else {
                 ArtifactKind::ProbeShift
             };
-            let sign = if rng.gen_range(0.0..1.0) < 0.5 { 1.0 } else { -1.0 };
+            let sign = if rng.gen_range(0.0..1.0) < 0.5 {
+                1.0
+            } else {
+                -1.0
+            };
             let mag = sign * self.magnitude_mmhg * rng.gen_range(0.5..1.0);
             events.push(ArtifactEvent {
                 onset_s: t,
@@ -203,9 +207,7 @@ mod tests {
         let last = track.last().unwrap().value();
         let late_spike_bound: f64 = events
             .iter()
-            .filter(|e| {
-                e.kind == ArtifactKind::MotionSpike && e.onset_s > duration - 3.0
-            })
+            .filter(|e| e.kind == ArtifactKind::MotionSpike && e.onset_s > duration - 3.0)
             .map(|e| e.magnitude.value().abs())
             .sum();
         assert!(

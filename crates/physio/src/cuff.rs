@@ -154,16 +154,12 @@ impl CuffDevice {
             // The oscillometric estimate reflects the beats during the
             // deflation, i.e. around t + cycle/2.
             let probe = t + self.cycle_s / 2.0;
-            if let Some(beat) = record
-                .beats
-                .iter()
-                .min_by(|a, b| {
-                    (a.onset_s - probe)
-                        .abs()
-                        .partial_cmp(&(b.onset_s - probe).abs())
-                        .expect("finite times")
-                })
-            {
+            if let Some(beat) = record.beats.iter().min_by(|a, b| {
+                (a.onset_s - probe)
+                    .abs()
+                    .partial_cmp(&(b.onset_s - probe).abs())
+                    .expect("finite times")
+            }) {
                 // measure() cannot be busy here because we step by cycle_s.
                 let reading = self
                     .measure(t, beat.systolic, beat.diastolic)
@@ -223,7 +219,9 @@ mod tests {
         let err = cuff
             .measure(10.0, MillimetersHg(120.0), MillimetersHg(80.0))
             .unwrap_err();
-        assert!(matches!(err, PhysioError::CuffBusy { ready_in_s } if (ready_in_s - 20.0).abs() < 1e-9));
+        assert!(
+            matches!(err, PhysioError::CuffBusy { ready_in_s } if (ready_in_s - 20.0).abs() < 1e-9)
+        );
         // Ready again after the cycle.
         assert!(cuff
             .measure(30.0, MillimetersHg(120.0), MillimetersHg(80.0))
@@ -242,8 +240,7 @@ mod tests {
             sys_err.push(r.systolic.value() - 120.0);
         }
         let mean = sys_err.iter().sum::<f64>() / n as f64;
-        let std = (sys_err.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n as f64)
-            .sqrt();
+        let std = (sys_err.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n as f64).sqrt();
         assert!(mean.abs() < 0.2, "bias {mean}");
         assert!((std - 3.0).abs() < 0.2, "std {std}");
     }

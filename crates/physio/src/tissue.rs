@@ -90,14 +90,8 @@ impl TissueModel {
     /// *similar but not identical* pressures — exactly the regime in which
     /// strongest-element selection relaxes placement accuracy (§2).
     pub fn radial_artery() -> Self {
-        TissueModel::new(
-            Meters(2.5e-3),
-            0.0,
-            0.6,
-            Meters(4.0e-3),
-            Meters(0.8e-3),
-        )
-        .expect("radial artery preset is valid")
+        TissueModel::new(Meters(2.5e-3), 0.0, 0.6, Meters(4.0e-3), Meters(0.8e-3))
+            .expect("radial artery preset is valid")
     }
 
     /// Direct epicardial contact — the paper's invasive scenario: "an
@@ -277,16 +271,11 @@ mod tests {
     #[test]
     fn invalid_parameters_are_rejected() {
         assert!(TissueModel::new(Meters(0.0), 0.0, 0.5, Meters(4e-3), Meters(1e-3)).is_err());
-        assert!(
-            TissueModel::new(Meters(2e-3), 0.0, 0.0, Meters(4e-3), Meters(1e-3)).is_err()
-        );
-        assert!(
-            TissueModel::new(Meters(2e-3), 0.0, 1.5, Meters(4e-3), Meters(1e-3)).is_err()
-        );
-        assert!(
-            TissueModel::new(Meters(2e-3), f64::NAN, 0.5, Meters(4e-3), Meters(1e-3))
-                .is_err()
-        );
-        assert!(TissueModel::radial_artery().with_depth(Meters(-1.0)).is_err());
+        assert!(TissueModel::new(Meters(2e-3), 0.0, 0.0, Meters(4e-3), Meters(1e-3)).is_err());
+        assert!(TissueModel::new(Meters(2e-3), 0.0, 1.5, Meters(4e-3), Meters(1e-3)).is_err());
+        assert!(TissueModel::new(Meters(2e-3), f64::NAN, 0.5, Meters(4e-3), Meters(1e-3)).is_err());
+        assert!(TissueModel::radial_artery()
+            .with_depth(Meters(-1.0))
+            .is_err());
     }
 }

@@ -71,9 +71,21 @@ impl BeatMorphology {
     /// peak, moderate reflection, dicrotic wave.
     pub fn radial_adult() -> Self {
         BeatMorphology::new(vec![
-            MorphologyComponent { center: 0.16, width: 0.062, amplitude: 1.0 },
-            MorphologyComponent { center: 0.36, width: 0.12, amplitude: 0.42 },
-            MorphologyComponent { center: 0.58, width: 0.05, amplitude: 0.20 },
+            MorphologyComponent {
+                center: 0.16,
+                width: 0.062,
+                amplitude: 1.0,
+            },
+            MorphologyComponent {
+                center: 0.36,
+                width: 0.12,
+                amplitude: 0.42,
+            },
+            MorphologyComponent {
+                center: 0.58,
+                width: 0.05,
+                amplitude: 0.20,
+            },
         ])
         .expect("preset is valid")
     }
@@ -82,9 +94,21 @@ impl BeatMorphology {
     /// larger, merging into the systolic peak (high augmentation index).
     pub fn radial_elderly() -> Self {
         BeatMorphology::new(vec![
-            MorphologyComponent { center: 0.16, width: 0.062, amplitude: 1.0 },
-            MorphologyComponent { center: 0.28, width: 0.11, amplitude: 0.75 },
-            MorphologyComponent { center: 0.58, width: 0.05, amplitude: 0.12 },
+            MorphologyComponent {
+                center: 0.16,
+                width: 0.062,
+                amplitude: 1.0,
+            },
+            MorphologyComponent {
+                center: 0.28,
+                width: 0.11,
+                amplitude: 0.75,
+            },
+            MorphologyComponent {
+                center: 0.58,
+                width: 0.05,
+                amplitude: 0.12,
+            },
         ])
         .expect("preset is valid")
     }
@@ -93,9 +117,21 @@ impl BeatMorphology {
     /// dicrotic wave.
     pub fn radial_young() -> Self {
         BeatMorphology::new(vec![
-            MorphologyComponent { center: 0.15, width: 0.058, amplitude: 1.0 },
-            MorphologyComponent { center: 0.40, width: 0.13, amplitude: 0.25 },
-            MorphologyComponent { center: 0.56, width: 0.045, amplitude: 0.28 },
+            MorphologyComponent {
+                center: 0.15,
+                width: 0.058,
+                amplitude: 1.0,
+            },
+            MorphologyComponent {
+                center: 0.40,
+                width: 0.13,
+                amplitude: 0.25,
+            },
+            MorphologyComponent {
+                center: 0.56,
+                width: 0.045,
+                amplitude: 0.28,
+            },
         ])
         .expect("preset is valid")
     }
@@ -258,8 +294,7 @@ impl WaveformRecord {
         if self.beats.is_empty() {
             return 0.0;
         }
-        let mean_rr: f64 =
-            self.beats.iter().map(|b| b.rr_s).sum::<f64>() / self.beats.len() as f64;
+        let mean_rr: f64 = self.beats.iter().map(|b| b.rr_s).sum::<f64>() / self.beats.len() as f64;
         60.0 / mean_rr
     }
 }
@@ -412,8 +447,7 @@ impl PulseWaveform {
                     ectopic = false;
                     compensatory_pending = false;
                 } else {
-                    let p_ectopic =
-                        self.params.ectopic_rate_per_min * rr_gen.mean_rr() / 60.0;
+                    let p_ectopic = self.params.ectopic_rate_per_min * rr_gen.mean_rr() / 60.0;
                     if self.params.ectopic_rate_per_min > 0.0
                         && ectopy_rng.gen_range(0.0..1.0) < p_ectopic
                     {
@@ -690,7 +724,11 @@ mod tests {
             }
             found += 1;
             // Premature: clearly shorter than the nominal RR.
-            assert!(b.rr_s < 0.7 * normal_rr, "ectopic RR {} not premature", b.rr_s);
+            assert!(
+                b.rr_s < 0.7 * normal_rr,
+                "ectopic RR {} not premature",
+                b.rr_s
+            );
             // Weak: reduced pulse pressure.
             let pulse = b.systolic.value() - b.diastolic.value();
             assert!((pulse - 0.65 * 40.0).abs() < 2.0, "ectopic pulse {pulse}");

@@ -1,0 +1,104 @@
+//! Time sources for span timers and the event journal.
+//!
+//! All telemetry timestamps are [`Duration`]s since an arbitrary per-clock
+//! origin (monotonic, not wall time). Production code uses
+//! [`MonotonicClock`]; tests inject a [`FakeClock`] to make span timings
+//! and journal timestamps exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic time source.
+pub trait Clock: Send + Sync {
+    /// Time elapsed since this clock's origin.
+    fn now(&self) -> Duration;
+}
+
+/// Wall-clock-independent production clock backed by [`Instant`].
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is the moment of construction.
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// Manually-advanced clock for deterministic tests.
+///
+/// Starts at zero; time moves only through [`FakeClock::advance`] or
+/// [`FakeClock::set`]. Thread-safe, so it can be shared with a
+/// [`Registry`](crate::Registry) while the test keeps a handle.
+#[derive(Debug, Default)]
+pub struct FakeClock {
+    nanos: AtomicU64,
+}
+
+impl FakeClock {
+    /// A fake clock reading zero.
+    pub fn new() -> Self {
+        FakeClock::default()
+    }
+
+    /// Moves the clock forward by `delta`.
+    pub fn advance(&self, delta: Duration) {
+        self.nanos
+            .fetch_add(duration_to_nanos(delta), Ordering::Relaxed);
+    }
+
+    /// Jumps the clock to an absolute reading.
+    pub fn set(&self, at: Duration) {
+        self.nanos.store(duration_to_nanos(at), Ordering::Relaxed);
+    }
+}
+
+fn duration_to_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl Clock for FakeClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_does_not_go_backwards() {
+        let clock = MonotonicClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fake_clock_advances_exactly() {
+        let clock = FakeClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance(Duration::from_millis(250));
+        clock.advance(Duration::from_millis(250));
+        assert_eq!(clock.now(), Duration::from_millis(500));
+        clock.set(Duration::from_secs(2));
+        assert_eq!(clock.now(), Duration::from_secs(2));
+    }
+}

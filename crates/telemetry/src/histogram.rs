@@ -1,0 +1,335 @@
+//! Fixed-bucket histograms with quantile readout.
+//!
+//! A histogram is defined by an ascending list of bucket *upper bounds*;
+//! values above the last bound land in an implicit overflow bucket. All
+//! state is atomic, so recording is lock-free and handles can be shared
+//! across threads. Quantiles (p50/p95/p99) are estimated by linear
+//! interpolation inside the bucket containing the requested rank, which
+//! is the standard fixed-bucket estimator: exact at bucket boundaries,
+//! at most one bucket width off inside.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared lock-free histogram state. Public handles wrap this in an
+/// `Option<Arc<..>>` so a disabled handle costs one branch per record.
+#[derive(Debug)]
+pub struct HistogramCore {
+    /// Ascending bucket upper bounds (inclusive).
+    bounds: Vec<f64>,
+    /// One counter per bound, plus a trailing overflow bucket.
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    /// Running sum / extrema, stored as `f64` bit patterns.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl HistogramCore {
+    /// Builds a histogram over `bounds` (must be finite, ascending, and
+    /// non-empty).
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly ascending"
+        );
+        HistogramCore {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Records one observation. Non-finite values are counted in the
+    /// overflow bucket but excluded from sum/min/max.
+    pub fn record(&self, value: f64) {
+        let idx = if value.is_finite() {
+            self.bounds.partition_point(|&b| b < value)
+        } else {
+            self.bounds.len()
+        };
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        if value.is_finite() {
+            atomic_f64_add(&self.sum_bits, value);
+            atomic_f64_min(&self.min_bits, value);
+            atomic_f64_max(&self.max_bits, value);
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Smallest finite observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        let v = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        v.is_finite().then_some(v)
+    }
+
+    /// Largest finite observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        let v = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        v.is_finite().then_some(v)
+    }
+
+    /// Mean of all finite observations, if any.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum() / n as f64)
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (one per bound, plus the overflow bucket last).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by in-bucket linear
+    /// interpolation.
+    ///
+    /// Conventions: the first bucket's lower edge is `min(0, bounds[0])`;
+    /// ranks landing in the overflow bucket return the observed maximum.
+    /// Returns `None` while the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        // Rank in [1, total]: the k-th smallest observation.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                if i == self.bounds.len() {
+                    // Overflow bucket: the best point estimate we have.
+                    return Some(self.max().unwrap_or(*self.bounds.last().unwrap()));
+                }
+                let hi = self.bounds[i];
+                let lo = if i == 0 {
+                    0f64.min(hi)
+                } else {
+                    self.bounds[i - 1]
+                };
+                let within = (rank - cum) as f64 / c as f64;
+                return Some(lo + (hi - lo) * within);
+            }
+            cum += c;
+        }
+        unreachable!("rank {rank} exceeds total {total}");
+    }
+
+    /// Zeroes all state.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.total.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.min_bits
+            .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits
+            .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
+}
+
+fn atomic_f64_add(bits: &AtomicU64, delta: f64) {
+    let mut current = bits.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(current) + delta).to_bits();
+        match bits.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+fn atomic_f64_min(bits: &AtomicU64, value: f64) {
+    let mut current = bits.load(Ordering::Relaxed);
+    while value < f64::from_bits(current) {
+        match bits.compare_exchange_weak(
+            current,
+            value.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+fn atomic_f64_max(bits: &AtomicU64, value: f64) {
+    let mut current = bits.load(Ordering::Relaxed);
+    while value > f64::from_bits(current) {
+        match bits.compare_exchange_weak(
+            current,
+            value.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// Bucket layout helpers.
+pub mod buckets {
+    /// `count` bounds starting at `start`, spaced `width` apart.
+    pub fn linear(start: f64, width: f64, count: usize) -> Vec<f64> {
+        assert!(
+            width > 0.0 && count > 0,
+            "linear buckets need positive width and count"
+        );
+        (0..count).map(|i| start + width * i as f64).collect()
+    }
+
+    /// `count` bounds starting at `start`, each `factor` times the last.
+    pub fn exponential(start: f64, factor: f64, count: usize) -> Vec<f64> {
+        assert!(
+            start > 0.0 && factor > 1.0 && count > 0,
+            "exponential buckets need positive start and factor > 1"
+        );
+        let mut bound = start;
+        (0..count)
+            .map(|_| {
+                let b = bound;
+                bound *= factor;
+                b
+            })
+            .collect()
+    }
+
+    /// Default layout for span durations in seconds: 1 µs to ~16 s.
+    pub fn duration_seconds() -> Vec<f64> {
+        exponential(1e-6, 2.0, 24)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_route_values_to_the_right_slot() {
+        let h = HistogramCore::new(&[1.0, 2.0, 4.0]);
+        h.record(0.5); // bucket 0 (<= 1.0)
+        h.record(1.0); // bucket 0 (bounds are inclusive)
+        h.record(1.5); // bucket 1
+        h.record(4.0); // bucket 2
+        h.record(9.0); // overflow
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(9.0));
+        assert!((h.sum() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = HistogramCore::new(&[10.0, 20.0, 30.0]);
+        // 10 observations in (10, 20]: ranks 1..=10 spread linearly.
+        for _ in 0..10 {
+            h.record(15.0);
+        }
+        // p50 → rank 5 of 10, all in bucket (10, 20]: 10 + 10 * 5/10 = 15.
+        assert!((h.quantile(0.5).unwrap() - 15.0).abs() < 1e-12);
+        // p100 → rank 10: upper bound of the bucket.
+        assert!((h.quantile(1.0).unwrap() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_cross_buckets_correctly() {
+        let h = HistogramCore::new(&[1.0, 2.0, 3.0, 4.0]);
+        for v in [0.5, 1.5, 2.5, 3.5] {
+            for _ in 0..25 {
+                h.record(v);
+            }
+        }
+        // Rank 50 of 100 is the last observation of bucket (1, 2].
+        assert!((h.quantile(0.5).unwrap() - 2.0).abs() < 1e-12);
+        // Rank 95 of 100 falls in bucket (3, 4]: 3 + 1 * 20/25 = 3.8.
+        assert!((h.quantile(0.95).unwrap() - 3.8).abs() < 1e-12);
+        // Rank 99: 3 + 1 * 24/25 = 3.96.
+        assert!((h.quantile(0.99).unwrap() - 3.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_quantile_reports_observed_max() {
+        let h = HistogramCore::new(&[1.0]);
+        h.record(100.0);
+        h.record(250.0);
+        assert_eq!(h.quantile(0.99), Some(250.0));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = HistogramCore::new(&[1.0, 2.0]);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn non_finite_values_only_touch_overflow() {
+        let h = HistogramCore::new(&[1.0]);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.bucket_counts(), vec![0, 2]);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.min(), None);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = HistogramCore::new(&[1.0, 2.0]);
+        h.record(0.5);
+        h.record(5.0);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.bucket_counts(), vec![0, 0, 0]);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn bucket_layout_helpers() {
+        assert_eq!(buckets::linear(0.0, 0.5, 3), vec![0.0, 0.5, 1.0]);
+        assert_eq!(buckets::exponential(1.0, 10.0, 3), vec![1.0, 10.0, 100.0]);
+        let d = buckets::duration_seconds();
+        assert_eq!(d.len(), 24);
+        assert!(d.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn rejects_unsorted_bounds() {
+        HistogramCore::new(&[2.0, 1.0]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Cheap instrument handles held by instrumented components.
+//!
+//! Every handle wraps `Option<Arc<..>>`: code built against a disabled
+//! [`Telemetry`](crate::Telemetry) handle gets `None`, so each operation
+//! costs exactly one branch and no atomics. Handles are `Clone` and are
+//! meant to be resolved once, at component construction, not per call.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::clock::Clock;
+use crate::histogram::HistogramCore;
+
+/// Monotonically increasing event count.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    pub(crate) cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// A handle that ignores all updates.
+    pub fn disabled() -> Self {
+        Counter { cell: None }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Last-write-wins floating-point level (power draw, contact quality, ...).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    pub(crate) cell: Option<Arc<AtomicU64>>,
+}
+
+impl Gauge {
+    /// A handle that ignores all updates.
+    pub fn disabled() -> Self {
+        Gauge { cell: None }
+    }
+
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(cell) = &self.cell {
+            cell.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Accumulates into the value (for energy-style running totals).
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        if let Some(cell) = &self.cell {
+            let mut current = cell.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(current) + delta).to_bits();
+                match cell.compare_exchange_weak(
+                    current,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return,
+                    Err(actual) => current = actual,
+                }
+            }
+        }
+    }
+
+    /// Current value (0.0 when disabled).
+    pub fn get(&self) -> f64 {
+        self.cell
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+}
+
+/// Handle onto a shared fixed-bucket histogram.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    pub(crate) core: Option<Arc<HistogramCore>>,
+}
+
+impl Histogram {
+    /// A handle that ignores all updates.
+    pub fn disabled() -> Self {
+        Histogram { core: None }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: f64) {
+        if let Some(core) = &self.core {
+            core.record(value);
+        }
+    }
+
+    /// Number of observations (0 when disabled).
+    pub fn count(&self) -> u64 {
+        self.core.as_ref().map_or(0, |c| c.count())
+    }
+
+    /// Estimated quantile, when enabled and non-empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.core.as_ref().and_then(|c| c.quantile(q))
+    }
+}
+
+/// Times named stages and records their durations (in seconds) into a
+/// histogram, via the registry's [`Clock`].
+#[derive(Clone, Default)]
+pub struct SpanTimer {
+    pub(crate) clock: Option<Arc<dyn Clock>>,
+    pub(crate) hist: Option<Arc<HistogramCore>>,
+}
+
+impl std::fmt::Debug for SpanTimer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanTimer")
+            .field("enabled", &self.clock.is_some())
+            .finish()
+    }
+}
+
+impl SpanTimer {
+    /// A handle that ignores all updates.
+    pub fn disabled() -> Self {
+        SpanTimer {
+            clock: None,
+            hist: None,
+        }
+    }
+
+    /// Starts a span; the returned guard records on [`SpanGuard::finish`]
+    /// or drop.
+    #[inline]
+    pub fn start(&self) -> SpanGuard<'_> {
+        SpanGuard {
+            timer: self,
+            started: self.clock.as_ref().map(|c| c.now()),
+            done: false,
+        }
+    }
+
+    /// Records an already-measured duration.
+    #[inline]
+    pub fn record(&self, elapsed: Duration) {
+        if let Some(hist) = &self.hist {
+            hist.record(elapsed.as_secs_f64());
+        }
+    }
+}
+
+/// In-flight span; records its elapsed time when finished or dropped.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    timer: &'a SpanTimer,
+    started: Option<Duration>,
+    done: bool,
+}
+
+impl SpanGuard<'_> {
+    /// Ends the span now and records it.
+    pub fn finish(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        if let (Some(clock), Some(started)) = (self.timer.clock.as_ref(), self.started) {
+            self.timer.record(clock.now().saturating_sub(started));
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::FakeClock;
+    use crate::histogram::buckets;
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let c = Counter::disabled();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+
+        let g = Gauge::disabled();
+        g.set(3.5);
+        g.add(1.0);
+        assert_eq!(g.get(), 0.0);
+
+        let h = Histogram::disabled();
+        h.record(1.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+
+        let t = SpanTimer::disabled();
+        t.start().finish();
+        t.record(Duration::from_secs(1));
+    }
+
+    #[test]
+    fn counter_and_gauge_accumulate() {
+        let c = Counter {
+            cell: Some(Arc::new(AtomicU64::new(0))),
+        };
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge {
+            cell: Some(Arc::new(AtomicU64::new(0f64.to_bits()))),
+        };
+        g.set(2.0);
+        g.add(0.5);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn span_guard_records_fake_clock_elapsed() {
+        let clock = Arc::new(FakeClock::new());
+        let hist = Arc::new(HistogramCore::new(&buckets::duration_seconds()));
+        let timer = SpanTimer {
+            clock: Some(clock.clone() as Arc<dyn Clock>),
+            hist: Some(hist.clone()),
+        };
+
+        let guard = timer.start();
+        clock.advance(Duration::from_millis(3));
+        guard.finish();
+
+        assert_eq!(hist.count(), 1);
+        assert!((hist.sum() - 0.003).abs() < 1e-12);
+
+        // Drop (without finish) records too, and finish() is idempotent.
+        {
+            let _guard = timer.start();
+            clock.advance(Duration::from_millis(1));
+        }
+        assert_eq!(hist.count(), 2);
+    }
+}

@@ -38,14 +38,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spectrum = Spectrum::from_signal(tail, out_rate, Window::Hann)?;
     let metrics = DynamicMetrics::from_spectrum(&spectrum)?;
 
-    println!("test tone: {tone:.3} Hz at {:.2} V peak ({:.1} dBFS)", amplitude,
-        20.0 * (amplitude / vref).log10());
+    println!(
+        "test tone: {tone:.3} Hz at {:.2} V peak ({:.1} dBFS)",
+        amplitude,
+        20.0 * (amplitude / vref).log10()
+    );
     println!("{metrics}");
     println!(
         "ideal 12-bit bound: {:.1} dB; paper: 'better than 72 dB'",
         ideal_quantizer_snr_db(12)
     );
-    assert!(metrics.snr_db > 72.0, "the reproduction must clear the paper's floor");
-    println!("ok: SNR {:.1} dB clears the paper's 72 dB floor.", metrics.snr_db);
+    assert!(
+        metrics.snr_db > 72.0,
+        "the reproduction must clear the paper's floor"
+    );
+    println!(
+        "ok: SNR {:.1} dB clears the paper's 72 dB floor.",
+        metrics.snr_db
+    );
     Ok(())
 }

@@ -38,8 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // (b) The continuous sensor.
-    let mut monitor =
-        BloodPressureMonitor::new(SystemConfig::paper_default(), scenario.profile)?;
+    let mut monitor = BloodPressureMonitor::new(SystemConfig::paper_default(), scenario.profile)?;
     let session = monitor.run_record(truth)?;
     println!(
         "\ncontinuous sensor: {} beats resolved, systolic MAE {:.2} mmHg",
@@ -64,7 +63,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let mean = bin.iter().sum::<f64>() / bin.len() as f64;
         let bar = "#".repeat(((mean - 100.0).max(0.0) / 1.5) as usize);
-        println!("  {:3}-{:3} s: {:5.1} mmHg {}", i * 10, (i + 1) * 10, mean, bar);
+        println!(
+            "  {:3}-{:3} s: {:5.1} mmHg {}",
+            i * 10,
+            (i + 1) * 10,
+            mean,
+            bar
+        );
     }
     println!(
         "\nThe episode (60-110 s) is fully resolved by the continuous channel; the cuff \

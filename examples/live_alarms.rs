@@ -47,10 +47,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     }
                 }
                 MonitorEvent::HypertensionAlarm { time_s, systolic } => {
-                    println!(">>> HYPERTENSION ALARM at t = {time_s:.1} s (systolic {systolic:.0} mmHg)");
+                    println!(
+                        ">>> HYPERTENSION ALARM at t = {time_s:.1} s (systolic {systolic:.0} mmHg)"
+                    );
                 }
                 MonitorEvent::HypotensionAlarm { time_s, systolic } => {
-                    println!(">>> HYPOTENSION ALARM at t = {time_s:.1} s (systolic {systolic:.0} mmHg)");
+                    println!(
+                        ">>> HYPOTENSION ALARM at t = {time_s:.1} s (systolic {systolic:.0} mmHg)"
+                    );
                 }
                 MonitorEvent::SignalLossAlarm { time_s, silence_s } => {
                     println!(">>> SIGNAL LOSS at t = {time_s:.1} s ({silence_s:.1} s silent)");

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         high_level - low_level,
         (high_level - low_level) / 80.0 * 1e6
     );
-    assert!(high_level > low_level, "more pressure, more capacitance, higher code");
+    assert!(
+        high_level > low_level,
+        "more pressure, more capacitance, higher code"
+    );
     println!("ok: the digital output tracks membrane pressure.");
     Ok(())
 }

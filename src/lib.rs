@@ -13,6 +13,8 @@
 //! * [`dsp`] — decimation filters, FFT, spectral metrics
 //! * [`physio`] — arterial waveforms, tissue coupling, cuff reference
 //! * [`system`] — the chip + readout + calibration + analysis stack
+//! * [`telemetry`] — counters, histograms, spans, and the event journal
+//!   for observing the whole signal path (see `examples/observability.rs`)
 //!
 //! See `examples/quickstart.rs` for the five-minute tour.
 
@@ -21,3 +23,4 @@ pub use tonos_core as system;
 pub use tonos_dsp as dsp;
 pub use tonos_mems as mems;
 pub use tonos_physio as physio;
+pub use tonos_telemetry as telemetry;

@@ -77,7 +77,10 @@ fn physiology_maps_into_modulator_range() {
         max_u < 0.9,
         "hypertensive swing must stay inside the stable range, peak |u| = {max_u}"
     );
-    assert!(max_u > 0.001, "the signal must be measurable, peak |u| = {max_u}");
+    assert!(
+        max_u > 0.001,
+        "the signal must be measurable, peak |u| = {max_u}"
+    );
 }
 
 /// Unit conversions agree across crate boundaries.

@@ -88,12 +88,10 @@ fn fig9_monitoring_session_tracks_ground_truth() {
 #[test]
 fn full_pipeline_is_deterministic() {
     let run = || {
-        let mut monitor = BloodPressureMonitor::new(
-            SystemConfig::paper_default(),
-            PatientProfile::hypotensive(),
-        )
-        .unwrap()
-        .with_scan_window(120);
+        let mut monitor =
+            BloodPressureMonitor::new(SystemConfig::paper_default(), PatientProfile::hypotensive())
+                .unwrap()
+                .with_scan_window(120);
         monitor.run(4.5).unwrap()
     };
     let a = run();

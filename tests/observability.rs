@@ -1,0 +1,157 @@
+//! Cross-crate telemetry integration: one registry observing the whole
+//! monitoring pipeline, with exact frame accounting.
+
+use tonos::physio::patient::PatientProfile;
+use tonos::system::config::SystemConfig;
+use tonos::system::monitor::BloodPressureMonitor;
+use tonos::system::stream::{AlarmLimits, OnlineAnalyzer};
+use tonos::telemetry::{names, Registry, Severity};
+
+fn instrumented_session(
+    registry: &Registry,
+) -> (
+    tonos::system::monitor::MonitoringSession,
+    BloodPressureMonitor,
+) {
+    let mut monitor = BloodPressureMonitor::new(
+        SystemConfig::paper_default(),
+        PatientProfile::normotensive(),
+    )
+    .unwrap()
+    .with_scan_window(150)
+    .with_telemetry(registry.telemetry());
+    let session = monitor.run(6.0).unwrap();
+    (session, monitor)
+}
+
+#[test]
+fn every_frame_is_a_settled_sample_or_a_discard() {
+    let registry = Registry::new();
+    let (session, monitor) = instrumented_session(&registry);
+    let snapshot = registry.snapshot();
+    let counter = |name: &str| snapshot.counter(name).unwrap_or(0);
+
+    // The exact accounting identity.
+    let frames_in = counter(names::READOUT_FRAMES_IN);
+    let samples_out = counter(names::READOUT_SAMPLES_OUT);
+    let discarded = counter(names::READOUT_SETTLING_DISCARDED);
+    assert_eq!(frames_in, samples_out + discarded, "{snapshot:?}");
+
+    // And we know each term in closed form. The scan measures all four
+    // elements plus a winner re-select (5 selections, each discarding one
+    // settling window); the acquisition converts the rest of the record.
+    let sys = monitor.system();
+    let settle = sys.settling_frames() as u64;
+    let layout_len = 4u64;
+    let window = 150u64;
+    let scan_frames = layout_len * (settle + window) + (settle + 1);
+    let acquired = session.raw.len() as u64;
+    assert_eq!(frames_in, scan_frames + acquired);
+    assert_eq!(discarded, (layout_len + 1) * settle);
+    assert_eq!(counter(names::CHIP_ELEMENT_SELECTIONS), layout_len + 1);
+
+    // The substrate bridge is consistent with the frame count: OSR
+    // modulator clocks and decimator inputs per frame, one output each.
+    let osr = sys.osr() as u64;
+    assert_eq!(counter(names::MODULATOR_STEPS), frames_in * osr);
+    assert_eq!(counter(names::DECIMATOR_SAMPLES_IN), frames_in * osr);
+    assert_eq!(counter(names::DECIMATOR_SAMPLES_OUT), frames_in);
+
+    // Session-stage observability: beats counted, all four spans timed.
+    assert_eq!(
+        counter(names::MONITOR_BEATS),
+        session.analysis.beats.len() as u64
+    );
+    assert!(counter(names::MONITOR_BEATS) >= 5);
+    for span in [
+        names::SPAN_SCAN,
+        names::SPAN_ACQUISITION,
+        names::SPAN_CALIBRATION,
+        names::SPAN_ANALYSIS,
+    ] {
+        let h = snapshot
+            .histogram(span)
+            .unwrap_or_else(|| panic!("{span} missing"));
+        assert_eq!(h.count, 1, "{span}");
+    }
+    let h = snapshot.histogram(names::MONITOR_BEAT_INTERVAL_S).unwrap();
+    assert_eq!(h.count as usize + 1, session.analysis.beats.len());
+
+    // Energy integrates the per-cycle cost of the executed clocks.
+    let energy = snapshot.gauge(names::CHIP_ENERGY_J).unwrap();
+    let expected = monitor.system().chip().energy_for_cycles(frames_in * osr);
+    assert!((energy - expected).abs() < 1e-12);
+
+    // The health report exposes the same numbers.
+    let health = registry.health();
+    assert_eq!(health.frames_in, frames_in);
+    assert_eq!(
+        health.discard_ratio,
+        Some(discarded as f64 / frames_in as f64)
+    );
+}
+
+#[test]
+fn analyzer_alarms_reach_the_journal() {
+    let registry = Registry::new();
+    let mut monitor = BloodPressureMonitor::new(
+        SystemConfig::paper_default(),
+        PatientProfile::hypertensive(),
+    )
+    .unwrap()
+    .with_scan_window(150)
+    .with_telemetry(registry.telemetry());
+    let session = monitor.run(6.0).unwrap();
+
+    let mut analyzer = OnlineAnalyzer::new(session.sample_rate, AlarmLimits::adult())
+        .unwrap()
+        .with_telemetry(registry.telemetry());
+    let _ = analyzer.push_block(
+        &session
+            .calibrated
+            .iter()
+            .map(|p| p.value())
+            .collect::<Vec<_>>(),
+    );
+
+    let snapshot = registry.snapshot();
+    let alarms = snapshot.counter(names::ANALYZER_ALARMS).unwrap();
+    assert!(
+        alarms >= 1,
+        "a 170 mmHg patient must trip the 160 mmHg limit"
+    );
+    let critical: Vec<_> = snapshot
+        .events
+        .iter()
+        .filter(|e| e.severity == Severity::Critical && e.source == "analyzer")
+        .collect();
+    assert!(!critical.is_empty());
+    assert!(critical[0].message.contains("hypertension"));
+    assert!(registry.health().critical_events >= 1);
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_signal_path() {
+    // Sessions are deterministic; attaching telemetry must not change a
+    // single output sample.
+    let plain = BloodPressureMonitor::new(
+        SystemConfig::paper_default(),
+        PatientProfile::normotensive(),
+    )
+    .unwrap()
+    .with_scan_window(150)
+    .run(5.0)
+    .unwrap();
+    let registry = Registry::new();
+    let observed = BloodPressureMonitor::new(
+        SystemConfig::paper_default(),
+        PatientProfile::normotensive(),
+    )
+    .unwrap()
+    .with_scan_window(150)
+    .with_telemetry(registry.telemetry())
+    .run(5.0)
+    .unwrap();
+    assert_eq!(plain.raw, observed.raw);
+    assert_eq!(plain.calibration, observed.calibration);
+}
