@@ -210,7 +210,7 @@ pub mod prop {
         //! Collection strategies.
         use crate::{Strategy, TestRng};
 
-        /// Length specification for [`vec`]: a fixed size or a range.
+        /// Length specification for [`vec()`]: a fixed size or a range.
         #[derive(Debug, Clone, Copy)]
         pub struct SizeRange {
             lo: usize,
@@ -253,7 +253,7 @@ pub mod prop {
             }
         }
 
-        /// Strategy returned by [`vec`].
+        /// Strategy returned by [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             element: S,

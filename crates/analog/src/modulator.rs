@@ -20,6 +20,8 @@
 //! op-amp gain), saturation, input-referred sampled noise, comparator
 //! offset/hysteresis, and clock jitter.
 
+use tonos_dsp::bits::PackedBits;
+
 use crate::dac::FeedbackDac;
 use crate::integrator::ScIntegrator;
 use crate::noise::NoiseSource;
@@ -52,6 +54,18 @@ pub trait DeltaSigmaModulator {
     /// Converts a block into ±1.0 floats ready for the decimation chain.
     fn process_to_f64(&mut self, input: &[f64]) -> Vec<f64> {
         input.iter().map(|&u| f64::from(self.step(u))).collect()
+    }
+
+    /// Converts a block into a packed single-bit stream — the
+    /// modulator's native output density (one bit per clock, 64 clocks
+    /// per word) and the fast path into
+    /// `tonos_dsp::decimator::TwoStageDecimator::process_packed`.
+    fn process_packed(&mut self, input: &[f64]) -> PackedBits {
+        let mut bits = PackedBits::with_capacity(input.len());
+        for &u in input {
+            bits.push(self.step(u) > 0);
+        }
+        bits
     }
 }
 
@@ -568,6 +582,20 @@ mod tests {
         assert!(
             (slope_a - slope_b).abs() < 0.03,
             "nonlinear response under pure level mismatch: {slope_a} vs {slope_b}"
+        );
+    }
+
+    #[test]
+    fn packed_output_matches_the_i8_bitstream() {
+        let stim = sine_wave(PAPER_SAMPLE_RATE_HZ, 120.0, 0.6, 0.0, 10_000);
+        let mut a = SigmaDelta2::new(NonIdealities::typical().with_seed(9)).unwrap();
+        let mut b = SigmaDelta2::new(NonIdealities::typical().with_seed(9)).unwrap();
+        let unpacked = a.process(&stim);
+        let packed = b.process_packed(&stim);
+        assert_eq!(packed.len(), unpacked.len());
+        assert_eq!(
+            packed,
+            tonos_dsp::bits::PackedBits::from_bitstream(&unpacked)
         );
     }
 

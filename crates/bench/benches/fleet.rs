@@ -1,0 +1,61 @@
+//! Criterion bench: fleet session throughput and the packed-bit hot
+//! path.
+//!
+//! Two questions: (a) how much does packing the ΣΔ bitstream into u64
+//! words buy over shuttling ±1.0 f64s into the decimator, and (b) how
+//! does fleet throughput scale with pool width on this host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tonos_dsp::bits::PackedBits;
+use tonos_dsp::decimator::DecimatorConfig;
+use tonos_fleet::{FleetConfig, FleetEngine, SessionSpec};
+use tonos_physio::patient::PatientProfile;
+
+fn bench_packed_path(c: &mut Criterion) {
+    let n = 128_000; // one second of modulator output
+    let bools: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+    let floats: Vec<f64> = bools.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+    let packed: PackedBits = bools.iter().copied().collect();
+
+    let mut group = c.benchmark_group("packed_bits");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function(BenchmarkId::new("decimate", "f64_legacy"), |b| {
+        let mut dec = DecimatorConfig::paper_default().build().unwrap();
+        b.iter(|| black_box(dec.process(black_box(&floats))));
+    });
+    group.bench_function(BenchmarkId::new("decimate", "packed_u64"), |b| {
+        let mut dec = DecimatorConfig::paper_default().build().unwrap();
+        b.iter(|| black_box(dec.process_packed(black_box(&packed))));
+    });
+    group.bench_function(BenchmarkId::new("pack", "from_bools"), |b| {
+        b.iter(|| black_box(bools.iter().copied().collect::<PackedBits>()));
+    });
+    group.finish();
+}
+
+fn bench_fleet_scaling(c: &mut Criterion) {
+    // Short real sessions so one bench iteration stays tractable.
+    let spec = SessionSpec::new("bench", PatientProfile::normotensive())
+        .with_duration(4.0)
+        .with_scan_window(150);
+    let sessions = 4usize;
+
+    let mut group = c.benchmark_group("fleet");
+    group.throughput(Throughput::Elements(sessions as u64));
+    for workers in [1usize, 2, 4] {
+        group.bench_function(BenchmarkId::new("sessions", format!("{workers}w")), |b| {
+            b.iter(|| {
+                let mut fleet = FleetEngine::spawn(FleetConfig { workers });
+                for _ in 0..sessions {
+                    fleet.push(spec.clone());
+                }
+                black_box(fleet.drain())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packed_path, bench_fleet_scaling);
+criterion_main!(benches);

@@ -1,5 +1,5 @@
 //! Experiment E8 — §4 future work: "field tests have to be performed in
-//! order [to] evaluate reliability and stability of blood pressure
+//! order \[to\] evaluate reliability and stability of blood pressure
 //! monitoring."
 //!
 //! The dominant slow instability of a capacitive CMOS membrane sensor on

@@ -21,6 +21,7 @@ use tonos_analog::frontend::{CapacitiveFrontEnd, VoltageInput};
 use tonos_analog::modulator::{DeltaSigmaModulator, SigmaDelta2};
 use tonos_analog::mux::AnalogMux;
 use tonos_analog::power::PowerModel;
+use tonos_dsp::bits::PackedBits;
 use tonos_mems::array::SensorArray;
 use tonos_mems::units::{Farads, Pascals, Volts};
 
@@ -256,6 +257,9 @@ impl SensorChip {
     /// scale) and the resulting ±1 bitstream is returned as floats for
     /// the decimation filter.
     ///
+    /// This is the legacy representation; the hot path is
+    /// [`SensorChip::convert_frame_packed`], which this method expands.
+    ///
     /// # Errors
     ///
     /// Propagates capacitance-evaluation failures.
@@ -264,12 +268,30 @@ impl SensorChip {
         pressures: &[Pascals],
         clocks: usize,
     ) -> Result<Vec<f64>, SystemError> {
+        Ok(self.convert_frame_packed(pressures, clocks)?.to_f64_vec())
+    }
+
+    /// Converts one pressure frame into the modulator's native packed
+    /// single-bit stream (one bit per clock, 64 clocks per `u64` word) —
+    /// no per-bit `f64` materialization between modulator and decimator.
+    ///
+    /// Bit-exact against [`SensorChip::convert_frame`]: the two differ
+    /// only in how the identical bit sequence is carried.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capacitance-evaluation failures.
+    pub fn convert_frame_packed(
+        &mut self,
+        pressures: &[Pascals],
+        clocks: usize,
+    ) -> Result<PackedBits, SystemError> {
         let caps = self.capacitances(pressures)?;
-        let mut bits = Vec::with_capacity(clocks);
+        let mut bits = PackedBits::with_capacity(clocks);
         for _ in 0..clocks {
             let sensed = self.mux.sample(&caps)?;
             let u = self.frontend.input_fraction(sensed);
-            bits.push(f64::from(self.modulator.step(u)));
+            bits.push(self.modulator.step(u) > 0);
         }
         Ok(bits)
     }

@@ -46,6 +46,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod analyze;
 pub mod calibrate;
 pub mod chip;

@@ -214,10 +214,13 @@ impl ReadoutSystem {
     ///
     /// Propagates chip conversion failures.
     pub fn push_frame(&mut self, pressures: &[Pascals]) -> Result<f64, SystemError> {
-        let bits = self.chip.convert_frame(pressures, self.osr())?;
+        // Hot path: the bitstream stays packed (64 modulator clocks per
+        // u64 word) from the modulator to the integer CIC; no ±1.0 f64
+        // round trip. Bit-exact against the legacy f64 path.
+        let bits = self.chip.convert_frame_packed(pressures, self.osr())?;
         let mut out = None;
-        for b in bits {
-            if let Some(y) = self.decimator.push(b) {
+        for b in bits.iter() {
+            if let Some(y) = self.decimator.push_bit(b) {
                 out = Some(y);
             }
         }

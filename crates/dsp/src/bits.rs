@@ -1,0 +1,227 @@
+//! Packed single-bit ΣΔ streams.
+//!
+//! The modulator emits one of exactly two values per clock (±1), yet the
+//! behavioral chain historically shuttled that stream around as `Vec<f64>`
+//! — 64 bits of heap traffic per one bit of information, plus a
+//! float-multiply-and-round at the decimator's front door for every
+//! sample. [`PackedBits`] stores the stream the way the paper's FPGA link
+//! does: one bit per modulator clock, packed LSB-first into `u64` words.
+//!
+//! The packed representation is **bit-exact** against the `f64` path: a
+//! `+1` bit enters the integer CIC as `+2^20` and a `−1` bit as `−2^20`,
+//! which is precisely the value `(±1.0 * 2^20).round()` produces (see
+//! [`crate::decimator::TwoStageDecimator::push_bit`]). The equivalence is
+//! property-tested in `tests/props.rs`.
+//!
+//! ```
+//! use tonos_dsp::bits::PackedBits;
+//!
+//! let bits: PackedBits = [true, false, true, true].into_iter().collect();
+//! assert_eq!(bits.len(), 4);
+//! assert_eq!(bits.ones(), 3);
+//! assert_eq!(bits.to_f64_vec(), vec![1.0, -1.0, 1.0, 1.0]);
+//! ```
+
+/// A densely packed single-bit (±1) stream.
+///
+/// Bit `i` of the stream lives at bit `i % 64` (LSB-first) of word
+/// `i / 64`. A set bit encodes `+1`, a clear bit `−1` — the two levels of
+/// the 1-bit feedback DAC.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PackedBits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PackedBits {
+    /// An empty stream.
+    pub fn new() -> Self {
+        PackedBits::default()
+    }
+
+    /// An empty stream with room for `bits` bits before reallocating.
+    pub fn with_capacity(bits: usize) -> Self {
+        PackedBits {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Number of bits in the stream.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the stream holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backing words; bits beyond [`PackedBits::len`] in the last
+    /// word are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Appends one bit (`true` = +1, `false` = −1).
+    pub fn push(&mut self, bit: bool) {
+        let slot = self.len % 64;
+        if slot == 0 {
+            self.words.push(0);
+        }
+        if bit {
+            *self.words.last_mut().expect("word pushed above") |= 1u64 << slot;
+        }
+        self.len += 1;
+    }
+
+    /// Appends a modulator output bit given in its ±1 `i8` encoding
+    /// (any positive value maps to `+1`).
+    pub fn push_i8(&mut self, bit: i8) {
+        self.push(bit > 0);
+    }
+
+    /// Packs a ±1 `i8` bitstream (the modulator's `process` output
+    /// format: any positive value is `+1`, the rest `−1`).
+    pub fn from_bitstream(bits: &[i8]) -> Self {
+        let mut packed = PackedBits::with_capacity(bits.len());
+        for &b in bits {
+            packed.push_i8(b);
+        }
+        packed
+    }
+
+    /// The bit at `index`, or `None` past the end.
+    pub fn get(&self, index: usize) -> Option<bool> {
+        (index < self.len).then(|| self.words[index / 64] >> (index % 64) & 1 == 1)
+    }
+
+    /// Iterates the bits in stream order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        // Word-at-a-time: one shift per bit, one bounds check per 64.
+        self.words.iter().enumerate().flat_map(move |(w, &word)| {
+            let in_word = (self.len - w * 64).min(64);
+            (0..in_word).map(move |i| word >> i & 1 == 1)
+        })
+    }
+
+    /// Number of `+1` bits.
+    pub fn ones(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Mean of the ±1 stream — the demodulated DC value, in full-scale
+    /// units. `0.0` for an empty stream.
+    pub fn mean(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        (2.0 * self.ones() as f64 - self.len as f64) / self.len as f64
+    }
+
+    /// Expands to the ±1.0 `f64` representation the legacy decimator
+    /// entry points consume.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        self.iter().map(|b| if b { 1.0 } else { -1.0 }).collect()
+    }
+
+    /// Removes all bits, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+}
+
+impl FromIterator<bool> for PackedBits {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut packed = PackedBits::with_capacity(iter.size_hint().0);
+        for bit in iter {
+            packed.push(bit);
+        }
+        packed
+    }
+}
+
+impl Extend<bool> for PackedBits {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for bit in iter {
+            self.push(bit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_round_trip() {
+        let pattern: Vec<bool> = (0..200).map(|i| i % 3 == 0 || i % 7 == 0).collect();
+        let mut packed = PackedBits::new();
+        for &b in &pattern {
+            packed.push(b);
+        }
+        assert_eq!(packed.len(), 200);
+        assert!(!packed.is_empty());
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(packed.get(i), Some(b), "bit {i}");
+        }
+        assert_eq!(packed.get(200), None);
+        let unpacked: Vec<bool> = packed.iter().collect();
+        assert_eq!(unpacked, pattern);
+    }
+
+    #[test]
+    fn word_boundaries_are_exact() {
+        for len in [1, 63, 64, 65, 127, 128, 129] {
+            let packed: PackedBits = (0..len).map(|i| i % 2 == 0).collect();
+            assert_eq!(packed.len(), len);
+            assert_eq!(packed.words().len(), len.div_ceil(64));
+            assert_eq!(packed.iter().count(), len);
+            assert_eq!(packed.ones(), len.div_ceil(2) as u64);
+        }
+    }
+
+    #[test]
+    fn unused_tail_bits_stay_zero() {
+        let mut packed = PackedBits::new();
+        packed.push(true);
+        assert_eq!(packed.words(), &[1u64]);
+        // Equality must not depend on stale tail state after clear+reuse.
+        packed.clear();
+        assert!(packed.is_empty());
+        packed.push(false);
+        assert_eq!(packed.words(), &[0u64]);
+        let fresh: PackedBits = [false].into_iter().collect();
+        assert_eq!(packed, fresh);
+    }
+
+    #[test]
+    fn bitstream_conversion_matches_signs() {
+        let bits: Vec<i8> = vec![1, -1, -1, 1, 1, 1, -1];
+        let packed = PackedBits::from_bitstream(&bits);
+        assert_eq!(packed.len(), 7);
+        assert_eq!(packed.ones(), 4);
+        let back: Vec<f64> = packed.to_f64_vec();
+        let expected: Vec<f64> = bits.iter().map(|&b| f64::from(b)).collect();
+        assert_eq!(back, expected);
+    }
+
+    #[test]
+    fn mean_is_the_demodulated_dc() {
+        assert_eq!(PackedBits::new().mean(), 0.0);
+        let packed: PackedBits = (0..1000).map(|i| i % 4 != 0).collect();
+        // 750 ones, 250 zeros: mean = (750 - 250) / 1000 = 0.5.
+        assert!((packed.mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collect_matches_extend() {
+        let pattern: Vec<bool> = (0..130).map(|i| i % 5 == 0).collect();
+        let collected: PackedBits = pattern.iter().copied().collect();
+        let mut extended = PackedBits::new();
+        extended.extend(pattern.iter().copied());
+        assert_eq!(collected, extended);
+    }
+}

@@ -11,6 +11,7 @@
 //! ablation; the split keeps the FIR's final ÷4 fixed, matching the usual
 //! CIC+compensation partition and the paper's 32-tap second stage.
 
+use crate::bits::PackedBits;
 use crate::cic::CicDecimator;
 use crate::fir::{design_lowpass, FirDecimator};
 use crate::fixed::{quantize_coefficients, QFormat};
@@ -231,8 +232,25 @@ impl TwoStageDecimator {
     /// Pushes one modulator-rate sample (±1.0 for a single-bit stream);
     /// returns a decimated output sample every `ratio()`-th call.
     pub fn push(&mut self, x: f64) -> Option<f64> {
-        self.samples_in += 1;
         let xi = (x * (1_i64 << CIC_INPUT_FRAC_BITS) as f64).round() as i64;
+        self.push_fixed(xi)
+    }
+
+    /// Pushes one single-bit modulator sample directly, skipping the
+    /// float scale-and-round of [`TwoStageDecimator::push`].
+    ///
+    /// Bit-exact against the `f64` path: a `true` bit enters the integer
+    /// CIC as `+2^20`, exactly the value `(1.0 * 2^20).round()` yields
+    /// (and symmetrically for `false`). The equivalence is property-
+    /// tested in `tests/props.rs`.
+    pub fn push_bit(&mut self, bit: bool) -> Option<f64> {
+        const BIT_ONE: i64 = 1_i64 << CIC_INPUT_FRAC_BITS;
+        self.push_fixed(if bit { BIT_ONE } else { -BIT_ONE })
+    }
+
+    /// Shared fixed-point entry: `xi` is the Q-format CIC input word.
+    fn push_fixed(&mut self, xi: i64) -> Option<f64> {
+        self.samples_in += 1;
         let mid = self.cic.push(xi)? as f64 / self.cic_norm;
         let out = self.fir.push(mid)?;
         self.samples_out += 1;
@@ -254,9 +272,20 @@ impl TwoStageDecimator {
 
     /// Processes a single-bit stream given as `true`(+1) / `false`(−1).
     pub fn process_bits(&mut self, bits: &[bool]) -> Vec<f64> {
-        bits.iter()
-            .filter_map(|&b| self.push(if b { 1.0 } else { -1.0 }))
-            .collect()
+        bits.iter().filter_map(|&b| self.push_bit(b)).collect()
+    }
+
+    /// Processes a packed single-bit stream ([`PackedBits`]), the
+    /// modulator's native output format. One `u64` word carries 64
+    /// modulator clocks; no intermediate `f64` expansion is made.
+    pub fn process_packed(&mut self, bits: &PackedBits) -> Vec<f64> {
+        let mut out = Vec::with_capacity(bits.len() / self.ratio() + 1);
+        for bit in bits.iter() {
+            if let Some(y) = self.push_bit(bit) {
+                out.push(y);
+            }
+        }
+        out
     }
 
     /// Clears all filter state. Throughput counters survive the flush —
@@ -417,6 +446,24 @@ mod tests {
         let mut d1 = TwoStageDecimator::paper_default();
         let mut d2 = TwoStageDecimator::paper_default();
         assert_eq!(d1.process_bits(&bits), d2.process(&floats));
+    }
+
+    #[test]
+    fn packed_entry_point_is_bit_identical() {
+        // The packed path must match the f64 path sample for sample —
+        // not approximately: the decimator output is a deterministic
+        // function of the bit sequence in both representations.
+        let bools: Vec<bool> = (0..128 * 9 + 37).map(|i| (i * i + 3 * i) % 5 < 2).collect();
+        let packed: PackedBits = bools.iter().copied().collect();
+        let floats: Vec<f64> = bools.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let mut d1 = TwoStageDecimator::paper_default();
+        let mut d2 = TwoStageDecimator::paper_default();
+        let via_packed = d1.process_packed(&packed);
+        let via_floats = d2.process(&floats);
+        assert_eq!(via_packed, via_floats);
+        // Same throughput accounting on both paths.
+        assert_eq!(d1.samples_in(), d2.samples_in());
+        assert_eq!(d1.samples_out(), d2.samples_out());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Bit-exact integer model of the FPGA decimation filter.
 //!
 //! The paper's decimation filter "is implemented in an FPGA" (§2.2) —
-//! i.e. entirely in fixed-point arithmetic. [`TwoStageDecimator`] in
-//! [`crate::decimator`] already runs its CIC stage in integers but keeps
+//! i.e. entirely in fixed-point arithmetic.
+//! [`TwoStageDecimator`](crate::decimator::TwoStageDecimator) already
+//! runs its CIC stage in integers but keeps
 //! the FIR and output scaling in `f64`; this module goes all the way: a
 //! [`FixedPointDecimator`] whose every intermediate value is an integer a
 //! synthesizable design would hold in registers:

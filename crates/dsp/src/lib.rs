@@ -20,6 +20,8 @@
 //! * [`window`] — analysis windows and coherent-sampling helpers
 //! * [`spectrum`] — periodograms in dBFS (the plot of paper Fig. 7)
 //! * [`metrics`] — SNR / SNDR / THD / SFDR / ENOB extraction
+//! * [`bits`] — packed single-bit ΣΔ streams (`u64` words, bit-exact
+//!   against the ±1.0 `f64` representation)
 //! * [`cic`] — SINC^N (CIC) decimators, float and bit-exact integer
 //! * [`fir`] — windowed-sinc FIR design and streaming decimation
 //! * [`decimator`] — the paper's two-stage chain with 12-bit output
@@ -50,6 +52,7 @@
 //! # }
 //! ```
 
+pub mod bits;
 pub mod cic;
 pub mod decimator;
 pub mod fft;

@@ -1,6 +1,7 @@
 //! Property-based tests of the DSP substrate invariants.
 
 use proptest::prelude::*;
+use tonos_dsp::bits::PackedBits;
 use tonos_dsp::cic::{CicDecimator, CicDecimatorF64};
 use tonos_dsp::decimator::{DecimatorConfig, OutputQuantizer};
 use tonos_dsp::fft::{fft, ifft, Complex};
@@ -185,5 +186,47 @@ proptest! {
         prop_assert!((bin - bin.round()).abs() < 1e-9);
         prop_assert_eq!(bin.round() as i64 % 2, 1);
         prop_assert!(f > 0.0 && f < fs / 2.0);
+    }
+
+    /// PackedBits is a lossless container: pack → unpack is the identity
+    /// for arbitrary bit sequences, across word boundaries.
+    #[test]
+    fn packed_bits_round_trip(bools in prop::collection::vec(prop::bool::ANY, 0..300)) {
+        let packed: PackedBits = bools.iter().copied().collect();
+        prop_assert_eq!(packed.len(), bools.len());
+        let back: Vec<bool> = packed.iter().collect();
+        prop_assert_eq!(&back, &bools);
+        let ones = bools.iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(packed.ones(), ones);
+    }
+
+    /// Packed-bit decimation is **bit-identical** to the ±1.0 `f64`
+    /// path through the full two-stage chain — the property that lets
+    /// the readout hot path switch representations with zero behavioral
+    /// change. Checked across OSR variants and with/without the output
+    /// quantizer.
+    #[test]
+    fn packed_decimation_is_bit_identical_to_f64(
+        bools in prop::collection::vec(prop::bool::ANY, 0..2048),
+        osr_sel in 0_usize..3,
+        quantized in prop::bool::ANY,
+    ) {
+        let osr = [8, 32, 128][osr_sel];
+        let cfg = DecimatorConfig {
+            osr,
+            cutoff_hz: (128_000.0 / osr as f64) / 2.2,
+            output_bits: if quantized { Some(12) } else { None },
+            ..DecimatorConfig::paper_default()
+        };
+        let mut d_packed = cfg.build().unwrap();
+        let mut d_float = cfg.build().unwrap();
+        let packed: PackedBits = bools.iter().copied().collect();
+        let floats: Vec<f64> = bools.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let a = d_packed.process_packed(&packed);
+        let b = d_float.process(&floats);
+        // assert_eq on f64: identical bits, not approximately equal.
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(d_packed.samples_in(), d_float.samples_in());
+        prop_assert_eq!(d_packed.samples_out(), d_float.samples_out());
     }
 }

@@ -1,0 +1,281 @@
+//! The fleet engine: a fixed worker pool running isolated sessions.
+//!
+//! ## Design
+//!
+//! * **Fixed pool, shared queue.** [`FleetEngine::spawn`] starts
+//!   `workers` OS threads up front; submissions go down one shared
+//!   channel (`Mutex<Receiver>` hand-off, the classic pool shape) so a
+//!   long session on one worker never blocks the queue for the others.
+//! * **Session isolation.** Each session runs against its *own*
+//!   [`Registry`]; the worker snapshots it when the session ends and
+//!   ships the immutable snapshot back with the outcome. Sessions share
+//!   no mutable state — not even instruments.
+//! * **Graceful failure.** The workload runs under
+//!   [`std::panic::catch_unwind`]; a poisoned session comes back as
+//!   [`SessionOutcome::Panicked`] and its worker moves on to the next
+//!   job. One bad patient model cannot take down the ward.
+//! * **Aggregate telemetry.** [`FleetEngine::drain`] rolls every
+//!   session snapshot into the engine's fleet-level registry (via
+//!   [`Rollup`]), alongside the engine's own counters
+//!   ([`names::FLEET_SESSIONS_STARTED`] and friends) and the per-session
+//!   wall-clock span [`names::SPAN_FLEET_SESSION`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use tonos_telemetry::{names, Registry, Rollup, Telemetry, TelemetrySnapshot};
+
+use crate::report::{FleetReport, SessionResult};
+use crate::session::{SessionContext, SessionOutcome, SessionSpec, SessionSummary};
+
+/// A boxed session workload: what a worker actually executes.
+///
+/// [`FleetEngine::push`] wraps a [`SessionSpec`] into one of these;
+/// [`FleetEngine::push_task`] accepts one directly, which is how tests
+/// inject failing or panicking workloads.
+pub type SessionTask =
+    Box<dyn FnOnce(&SessionContext) -> Result<SessionSummary, String> + Send + 'static>;
+
+/// Fleet sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Worker threads in the pool (clamped to at least 1).
+    pub workers: usize,
+}
+
+impl Default for FleetConfig {
+    /// One worker per available hardware thread.
+    fn default() -> Self {
+        FleetConfig {
+            workers: thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+/// One submission travelling to a worker.
+struct Dispatch {
+    id: u64,
+    label: String,
+    task: SessionTask,
+}
+
+/// One finished session travelling back from a worker.
+struct RawResult {
+    id: u64,
+    label: String,
+    wall_s: f64,
+    outcome: SessionOutcome,
+    snapshot: TelemetrySnapshot,
+}
+
+/// A pool of worker threads running monitoring sessions concurrently.
+///
+/// Lifecycle: [`spawn`](FleetEngine::spawn) →
+/// [`push`](FleetEngine::push) / [`push_task`](FleetEngine::push_task) →
+/// [`drain`](FleetEngine::drain) (repeatable) — workers stay alive
+/// between drains and shut down when the engine drops.
+#[derive(Debug)]
+pub struct FleetEngine {
+    jobs: Option<Sender<Dispatch>>,
+    results: Receiver<RawResult>,
+    workers: Vec<JoinHandle<()>>,
+    registry: Registry,
+    rollup: Rollup,
+    next_id: u64,
+    in_flight: usize,
+}
+
+impl FleetEngine {
+    /// Starts the worker pool.
+    pub fn spawn(config: FleetConfig) -> Self {
+        let count = config.workers.max(1);
+        let (job_tx, job_rx) = channel::<Dispatch>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (result_tx, result_rx) = channel::<RawResult>();
+        let workers = (0..count)
+            .map(|_| {
+                let jobs = Arc::clone(&job_rx);
+                let results = result_tx.clone();
+                thread::spawn(move || worker_loop(&jobs, &results))
+            })
+            .collect();
+        let registry = Registry::new();
+        FleetEngine {
+            jobs: Some(job_tx),
+            results: result_rx,
+            workers,
+            rollup: Rollup::into_registry(registry.clone()),
+            registry,
+            next_id: 0,
+            in_flight: 0,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a monitoring session; returns its engine-assigned id.
+    pub fn push(&mut self, spec: SessionSpec) -> u64 {
+        let label = spec.label.clone();
+        self.submit(label, Box::new(move |ctx| spec.run(ctx)))
+    }
+
+    /// Submits an arbitrary workload under a label — the escape hatch
+    /// for custom session shapes and for exercising failure isolation
+    /// (a panicking task is contained to its own session).
+    pub fn push_task(
+        &mut self,
+        label: impl Into<String>,
+        task: impl FnOnce(&SessionContext) -> Result<SessionSummary, String> + Send + 'static,
+    ) -> u64 {
+        self.submit(label.into(), Box::new(task))
+    }
+
+    fn submit(&mut self, label: String, task: SessionTask) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.telemetry()
+            .counter(names::FLEET_SESSIONS_STARTED)
+            .inc();
+        self.jobs
+            .as_ref()
+            .expect("job channel open while engine is alive")
+            .send(Dispatch { id, label, task })
+            .expect("workers alive while engine is alive");
+        self.in_flight += 1;
+        id
+    }
+
+    /// Sessions submitted but not yet collected by a drain.
+    pub fn pending(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Blocks until every submitted session has finished, rolls their
+    /// telemetry into the fleet registry, and returns the outcomes
+    /// (ordered by session id). The engine stays usable afterwards.
+    pub fn drain(&mut self) -> FleetReport {
+        let mut sessions = Vec::with_capacity(self.in_flight);
+        while self.in_flight > 0 {
+            let raw = self
+                .results
+                .recv()
+                .expect("workers alive while sessions are in flight");
+            self.in_flight -= 1;
+            self.absorb(&raw);
+            sessions.push(SessionResult {
+                id: raw.id,
+                label: raw.label,
+                wall_s: raw.wall_s,
+                outcome: raw.outcome,
+            });
+        }
+        sessions.sort_by_key(|s| s.id);
+        FleetReport { sessions }
+    }
+
+    fn absorb(&mut self, raw: &RawResult) {
+        self.rollup.absorb(&raw.snapshot);
+        let t = self.telemetry();
+        let outcome_counter = match raw.outcome {
+            SessionOutcome::Completed(_) => names::FLEET_SESSIONS_COMPLETED,
+            SessionOutcome::Failed(_) => names::FLEET_SESSIONS_FAILED,
+            SessionOutcome::Panicked(_) => names::FLEET_SESSIONS_PANICKED,
+        };
+        t.counter(outcome_counter).inc();
+        t.span(names::SPAN_FLEET_SESSION)
+            .record(Duration::from_secs_f64(raw.wall_s));
+    }
+
+    /// The fleet-level registry: engine counters plus everything rolled
+    /// up from drained sessions.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Handle onto the fleet-level registry.
+    pub fn telemetry(&self) -> Telemetry {
+        self.registry.telemetry()
+    }
+
+    /// Snapshot of the fleet-level registry.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Drains outstanding sessions, stops the workers, and returns the
+    /// final report.
+    pub fn shutdown(mut self) -> FleetReport {
+        let report = self.drain();
+        self.close();
+        report
+    }
+
+    fn close(&mut self) {
+        // Dropping the sender ends every worker's recv loop.
+        self.jobs = None;
+        for worker in std::mem::take(&mut self.workers) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for FleetEngine {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn worker_loop(jobs: &Mutex<Receiver<Dispatch>>, results: &Sender<RawResult>) {
+    loop {
+        // Hold the lock only for the hand-off; a worker blocked in recv
+        // under the mutex is equivalent to blocking on the mutex itself.
+        let dispatch = {
+            let Ok(queue) = jobs.lock() else { return };
+            match queue.recv() {
+                Ok(d) => d,
+                Err(_) => return, // engine dropped the sender: shut down
+            }
+        };
+        // Session isolation: a registry that lives and dies with this
+        // session. Snapshotted below even on panic, so partial telemetry
+        // from a failed session still reaches the fleet rollup.
+        let registry = Registry::new();
+        let ctx = SessionContext {
+            id: dispatch.id,
+            label: dispatch.label.clone(),
+            telemetry: registry.telemetry(),
+        };
+        let started = Instant::now();
+        let outcome = match catch_unwind(AssertUnwindSafe(|| (dispatch.task)(&ctx))) {
+            Ok(Ok(summary)) => SessionOutcome::Completed(summary),
+            Ok(Err(error)) => SessionOutcome::Failed(error),
+            Err(payload) => SessionOutcome::Panicked(panic_message(payload.as_ref())),
+        };
+        let raw = RawResult {
+            id: dispatch.id,
+            label: dispatch.label,
+            wall_s: started.elapsed().as_secs_f64(),
+            outcome,
+            snapshot: registry.snapshot(),
+        };
+        if results.send(raw).is_err() {
+            return; // engine gone; nothing left to report to
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}

@@ -1,0 +1,110 @@
+//! Fleet drain results: per-session outcomes plus aggregate accessors.
+
+use std::fmt;
+
+use crate::session::{SessionOutcome, SessionSummary};
+
+/// One session's result as collected by a drain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionResult {
+    /// Engine-assigned session id.
+    pub id: u64,
+    /// The label the session was submitted under.
+    pub label: String,
+    /// Wall-clock seconds the session spent on its worker.
+    pub wall_s: f64,
+    /// How the session ended.
+    pub outcome: SessionOutcome,
+}
+
+/// Everything a [`drain`](crate::FleetEngine::drain) collected, ordered
+/// by session id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Per-session results.
+    pub sessions: Vec<SessionResult>,
+}
+
+impl FleetReport {
+    /// Number of sessions in the report.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the drain collected nothing.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Looks up a session by id.
+    pub fn get(&self, id: u64) -> Option<&SessionResult> {
+        self.sessions.iter().find(|s| s.id == id)
+    }
+
+    /// The sessions that completed, with their summaries.
+    pub fn completed(&self) -> impl Iterator<Item = (&SessionResult, &SessionSummary)> {
+        self.sessions
+            .iter()
+            .filter_map(|s| s.outcome.summary().map(|summary| (s, summary)))
+    }
+
+    /// The sessions that failed or panicked — the fleet's graceful-
+    /// degradation ledger. Empty means every patient was monitored.
+    pub fn failures(&self) -> Vec<&SessionResult> {
+        self.sessions
+            .iter()
+            .filter(|s| !s.outcome.is_ok())
+            .collect()
+    }
+
+    /// Total beats across completed sessions.
+    pub fn total_beats(&self) -> usize {
+        self.completed().map(|(_, s)| s.beats).sum()
+    }
+
+    /// Total alarms across completed sessions (alarm fan-in).
+    pub fn total_alarms(&self) -> usize {
+        self.completed().map(|(_, s)| s.alarms).sum()
+    }
+
+    /// Total wall-clock worker time, seconds — compare against the
+    /// drain's elapsed time to see the pool's effective parallelism.
+    pub fn total_wall_s(&self) -> f64 {
+        self.sessions.iter().map(|s| s.wall_s).sum()
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet report: {} sessions, {} failed, {} beats, {} alarms",
+            self.len(),
+            self.failures().len(),
+            self.total_beats(),
+            self.total_alarms(),
+        )?;
+        for s in &self.sessions {
+            match &s.outcome {
+                SessionOutcome::Completed(summary) => writeln!(
+                    f,
+                    "  #{:<3} {:<16} ok    {:>5.1} bpm, {}/{} mmHg, {} alarms ({:.2} s)",
+                    s.id,
+                    s.label,
+                    summary.pulse_rate_bpm,
+                    summary.mean_systolic_mmhg.round(),
+                    summary.mean_diastolic_mmhg.round(),
+                    summary.alarms,
+                    s.wall_s,
+                )?,
+                SessionOutcome::Failed(e) => {
+                    writeln!(f, "  #{:<3} {:<16} FAILED   {e}", s.id, s.label)?;
+                }
+                SessionOutcome::Panicked(e) => {
+                    writeln!(f, "  #{:<3} {:<16} PANICKED {e}", s.id, s.label)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}

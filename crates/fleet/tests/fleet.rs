@@ -1,0 +1,145 @@
+//! End-to-end fleet tests: real monitoring sessions on a real worker
+//! pool, failure isolation, and telemetry rollup accounting.
+
+use tonos_core::stream::AlarmLimits;
+use tonos_fleet::{FleetConfig, FleetEngine, SessionOutcome, SessionSpec, SessionSummary};
+use tonos_physio::patient::PatientProfile;
+use tonos_telemetry::names;
+
+/// A short-but-real session spec (150-frame scan, 4 s of monitoring)
+/// that keeps debug-build test time reasonable.
+fn quick(label: &str, patient: PatientProfile) -> SessionSpec {
+    SessionSpec::new(label, patient)
+        .with_duration(4.0)
+        .with_scan_window(150)
+}
+
+#[test]
+fn fleet_runs_real_sessions_and_rolls_up_telemetry() {
+    let mut fleet = FleetEngine::spawn(FleetConfig { workers: 2 });
+    assert_eq!(fleet.workers(), 2);
+    fleet.push(quick("bed-0", PatientProfile::normotensive()));
+    // Sensitive limits so the hypertensive patient (165/105) reliably
+    // alarms within a 4 s session.
+    fleet.push(
+        quick("bed-1", PatientProfile::hypertensive()).with_alarms(AlarmLimits {
+            systolic_high: 140.0,
+            systolic_low: 60.0,
+            qualifying_beats: 2,
+            signal_loss_s: 3.0,
+        }),
+    );
+    assert_eq!(fleet.pending(), 2);
+
+    let report = fleet.drain();
+    assert_eq!(fleet.pending(), 0);
+    assert_eq!(report.len(), 2);
+    assert!(report.failures().is_empty(), "{report}");
+    for (result, summary) in report.completed() {
+        assert!(summary.beats >= 3, "#{} beats {}", result.id, summary.beats);
+        assert!(summary.pulse_rate_bpm > 40.0 && summary.pulse_rate_bpm < 180.0);
+        assert!(summary.samples > 1000, "4 s at 1 kS/s");
+        assert!(summary.chip_power_w > 0.0);
+    }
+    // Alarm fan-in: the hypertensive bed screened positive.
+    let hyper = report.get(1).unwrap().outcome.summary().unwrap();
+    assert!(hyper.alarms > 0, "hypertensive session raised no alarms");
+    assert_eq!(report.total_alarms(), hyper.alarms);
+
+    // Fleet-level registry: engine accounting plus rolled-up session
+    // instruments in one snapshot.
+    let agg = fleet.snapshot();
+    assert_eq!(agg.counter(names::FLEET_SESSIONS_STARTED), Some(2));
+    assert_eq!(agg.counter(names::FLEET_SESSIONS_COMPLETED), Some(2));
+    assert_eq!(agg.counter(names::FLEET_SESSIONS_FAILED), None);
+    let frames = agg.counter(names::READOUT_FRAMES_IN).unwrap();
+    assert!(frames > 8000, "two 4 s sessions at 1 kHz, got {frames}");
+    assert_eq!(
+        agg.counter(names::ANALYZER_ALARMS),
+        Some(hyper.alarms as u64),
+        "rolled-up alarm counter must match the report's fan-in"
+    );
+    let wall = agg.histogram(names::SPAN_FLEET_SESSION).unwrap();
+    assert_eq!(wall.count, 2);
+    // The fleet health report reads like a single session's, fleet-wide.
+    let health = fleet.registry().health();
+    assert_eq!(health.frames_in, frames);
+    assert!(health.beats >= 6);
+}
+
+#[test]
+fn a_poisoned_session_does_not_take_down_the_fleet() {
+    let mut fleet = FleetEngine::spawn(FleetConfig { workers: 2 });
+    fleet.push(quick("bed-ok", PatientProfile::normotensive()));
+    let panicker = fleet.push_task("bed-poisoned", |ctx| {
+        ctx.telemetry.counter("poison.progress").add(7);
+        panic!("simulated driver bug");
+    });
+    let failer = fleet.push_task(
+        "bed-misconfigured",
+        |_ctx| Err("cuff not found".to_string()),
+    );
+
+    let report = fleet.drain();
+    assert_eq!(report.len(), 3);
+    assert_eq!(report.completed().count(), 1);
+    let failures = report.failures();
+    assert_eq!(failures.len(), 2);
+    match &report.get(panicker).unwrap().outcome {
+        SessionOutcome::Panicked(msg) => assert!(msg.contains("simulated driver bug")),
+        other => panic!("expected panic outcome, got {other:?}"),
+    }
+    assert_eq!(
+        report.get(failer).unwrap().outcome.error(),
+        Some("cuff not found")
+    );
+
+    let agg = fleet.snapshot();
+    assert_eq!(agg.counter(names::FLEET_SESSIONS_COMPLETED), Some(1));
+    assert_eq!(agg.counter(names::FLEET_SESSIONS_FAILED), Some(1));
+    assert_eq!(agg.counter(names::FLEET_SESSIONS_PANICKED), Some(1));
+    // Telemetry the panicking session recorded before dying still
+    // reached the rollup — sessions are isolated, not discarded.
+    assert_eq!(agg.counter("poison.progress"), Some(7));
+    // And the pool is still healthy: it runs new work after the panic.
+    fleet.push(quick("bed-after", PatientProfile::hypotensive()));
+    let second = fleet.drain();
+    assert_eq!(second.len(), 1);
+    assert!(second.failures().is_empty());
+}
+
+#[test]
+fn fleet_sessions_match_single_thread_runs_exactly() {
+    // The same seeded spec through the pool and on the calling thread
+    // must agree to the bit: parallelism adds no nondeterminism.
+    let spec = quick("bed-x", PatientProfile::exercise());
+
+    let mut monitor = tonos_core::monitor::BloodPressureMonitor::new(spec.config, spec.patient)
+        .unwrap()
+        .with_scan_window(150);
+    let session = monitor.run(spec.duration_s).unwrap();
+    let reference = SessionSummary::from_session(&session, 0);
+
+    let mut fleet = FleetEngine::spawn(FleetConfig { workers: 3 });
+    for _ in 0..3 {
+        fleet.push(spec.clone());
+    }
+    let report = fleet.drain();
+    assert!(report.failures().is_empty());
+    for (_, summary) in report.completed() {
+        assert_eq!(summary, &reference);
+    }
+}
+
+#[test]
+fn shutdown_drains_and_ids_stay_monotonic() {
+    let mut fleet = FleetEngine::spawn(FleetConfig { workers: 1 });
+    let a = fleet.push_task("a", |_| Err("x".into()));
+    let first = fleet.drain();
+    assert_eq!(first.len(), 1);
+    let b = fleet.push_task("b", |_| Err("y".into()));
+    assert!(b > a, "ids keep increasing across drains");
+    let report = fleet.shutdown();
+    assert_eq!(report.len(), 1);
+    assert_eq!(report.sessions[0].id, b);
+}

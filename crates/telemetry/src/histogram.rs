@@ -144,6 +144,40 @@ impl HistogramCore {
         unreachable!("rank {rank} exceeds total {total}");
     }
 
+    /// Merges another histogram's state into this one: per-bucket counts
+    /// are added (overflow last, same layout as
+    /// [`HistogramCore::bucket_counts`]), `sum` accumulates, and the
+    /// extrema widen. Returns `false` — absorbing nothing — when `counts`
+    /// does not match this histogram's bucket layout, so mismatched
+    /// layouts fail loudly at the caller instead of corrupting quantiles.
+    pub fn absorb_counts(
+        &self,
+        counts: &[u64],
+        sum: f64,
+        min: Option<f64>,
+        max: Option<f64>,
+    ) -> bool {
+        if counts.len() != self.counts.len() {
+            return false;
+        }
+        let mut total = 0u64;
+        for (slot, &c) in self.counts.iter().zip(counts) {
+            slot.fetch_add(c, Ordering::Relaxed);
+            total += c;
+        }
+        self.total.fetch_add(total, Ordering::Relaxed);
+        if sum.is_finite() {
+            atomic_f64_add(&self.sum_bits, sum);
+        }
+        if let Some(m) = min {
+            atomic_f64_min(&self.min_bits, m);
+        }
+        if let Some(m) = max {
+            atomic_f64_max(&self.max_bits, m);
+        }
+        true
+    }
+
     /// Zeroes all state.
     pub fn reset(&self) {
         for c in &self.counts {
@@ -331,5 +365,24 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn rejects_unsorted_bounds() {
         HistogramCore::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn absorb_merges_counts_and_extrema() {
+        let a = HistogramCore::new(&[1.0, 2.0]);
+        let b = HistogramCore::new(&[1.0, 2.0]);
+        a.record(0.5);
+        a.record(1.5);
+        b.record(1.7);
+        b.record(9.0);
+        assert!(a.absorb_counts(&b.bucket_counts(), b.sum(), b.min(), b.max()));
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.bucket_counts(), vec![1, 2, 1]);
+        assert!((a.sum() - 12.7).abs() < 1e-12);
+        assert_eq!(a.min(), Some(0.5));
+        assert_eq!(a.max(), Some(9.0));
+        // Layout mismatch is rejected without touching state.
+        assert!(!a.absorb_counts(&[1, 2], 3.0, None, None));
+        assert_eq!(a.count(), 4);
     }
 }

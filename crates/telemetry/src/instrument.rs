@@ -11,6 +11,7 @@ use std::time::Duration;
 
 use crate::clock::Clock;
 use crate::histogram::HistogramCore;
+use crate::snapshot::HistogramSummary;
 
 /// Monotonically increasing event count.
 #[derive(Debug, Clone, Default)]
@@ -120,6 +121,15 @@ impl Histogram {
     /// Estimated quantile, when enabled and non-empty.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         self.core.as_ref().and_then(|c| c.quantile(q))
+    }
+
+    /// Merges a snapshot's [`HistogramSummary`] into this histogram
+    /// (bucket-wise; the summary must have the same bucket layout).
+    /// Returns `false` when disabled or on layout mismatch.
+    pub fn absorb(&self, summary: &HistogramSummary) -> bool {
+        let Some(core) = &self.core else { return false };
+        let counts: Vec<u64> = summary.buckets.iter().map(|b| b.count).collect();
+        core.absorb_counts(&counts, summary.sum, summary.min, summary.max)
     }
 }
 

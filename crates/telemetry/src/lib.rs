@@ -45,11 +45,14 @@
 //! assert!(json.contains("core.readout.frames_in"));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod clock;
 pub mod histogram;
 pub mod instrument;
 pub mod journal;
 pub mod registry;
+pub mod rollup;
 pub mod snapshot;
 
 pub use clock::{Clock, FakeClock, MonotonicClock};
@@ -57,4 +60,5 @@ pub use histogram::{buckets, HistogramCore};
 pub use instrument::{Counter, Gauge, Histogram, SpanGuard, SpanTimer};
 pub use journal::{Event, Journal, Severity};
 pub use registry::{names, HealthReport, Registry, StageTiming, Telemetry};
+pub use rollup::Rollup;
 pub use snapshot::{BucketCount, CounterValue, GaugeValue, HistogramSummary, TelemetrySnapshot};

@@ -70,6 +70,22 @@ pub mod names {
     pub const SPAN_CALIBRATION: &str = "span.calibration_s";
     /// Waveform-analysis stage duration (span histogram, seconds).
     pub const SPAN_ANALYSIS: &str = "span.analysis_s";
+    /// Monitoring sessions submitted to a fleet engine (counter).
+    pub const FLEET_SESSIONS_STARTED: &str = "fleet.sessions_started";
+    /// Fleet sessions that ran to completion (counter).
+    pub const FLEET_SESSIONS_COMPLETED: &str = "fleet.sessions_completed";
+    /// Fleet sessions that returned an error (counter).
+    pub const FLEET_SESSIONS_FAILED: &str = "fleet.sessions_failed";
+    /// Fleet sessions that panicked and were isolated (counter).
+    pub const FLEET_SESSIONS_PANICKED: &str = "fleet.sessions_panicked";
+    /// Warning-severity journal events absorbed from session registries
+    /// during fleet rollup (counter).
+    pub const FLEET_WARNING_EVENTS: &str = "fleet.rollup.warning_events";
+    /// Critical-severity journal events absorbed from session registries
+    /// during fleet rollup (counter).
+    pub const FLEET_CRITICAL_EVENTS: &str = "fleet.rollup.critical_events";
+    /// Per-session wall-clock duration (span histogram, seconds).
+    pub const SPAN_FLEET_SESSION: &str = "span.fleet.session_s";
 }
 
 /// Default number of journal events retained.

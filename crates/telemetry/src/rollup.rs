@@ -1,0 +1,230 @@
+//! Fleet-wide aggregation of per-session telemetry.
+//!
+//! A fleet engine gives every monitoring session its own [`Registry`] so
+//! sessions stay isolated — a wedged session can't skew another's
+//! numbers, and a panicked session's instruments die with it. What
+//! operators want to *read*, though, is the aggregate: total modulator
+//! cycles across the ward, the alarm fan-in, the p95 beat interval over
+//! every patient. [`Rollup`] bridges the two: it absorbs immutable
+//! [`TelemetrySnapshot`]s from session registries into one fleet-level
+//! [`Registry`], merging counters, gauges, and histograms name-by-name.
+//!
+//! ```
+//! use tonos_telemetry::{names, Registry, Rollup};
+//!
+//! // Two independent sessions, each with its own registry.
+//! let (a, b) = (Registry::new(), Registry::new());
+//! a.telemetry().counter(names::MONITOR_BEATS).add(70);
+//! b.telemetry().counter(names::MONITOR_BEATS).add(65);
+//!
+//! // The fleet rolls both up into one aggregate view.
+//! let mut rollup = Rollup::new();
+//! rollup.absorb(&a.snapshot());
+//! rollup.absorb(&b.snapshot());
+//! assert_eq!(rollup.sessions(), 2);
+//! assert_eq!(rollup.snapshot().counter(names::MONITOR_BEATS), Some(135));
+//! ```
+
+use crate::journal::Severity;
+use crate::registry::{names, HealthReport, Registry};
+use crate::snapshot::TelemetrySnapshot;
+
+/// Accumulates per-session [`TelemetrySnapshot`]s into one fleet-level
+/// [`Registry`].
+///
+/// Merge semantics, per instrument kind:
+///
+/// * **Counters** add — fleet totals are the sum of session totals.
+/// * **Gauges** add too: the additive gauges in the canonical set
+///   (accumulated energy, power draw) aggregate meaningfully as fleet
+///   totals, and last-write-wins would be arbitrary across sessions.
+/// * **Histograms** merge bucket-wise via
+///   [`HistogramCore::absorb_counts`](crate::HistogramCore::absorb_counts),
+///   so fleet quantiles come from the pooled distribution, not an
+///   average of per-session quantiles. A summary whose bucket layout
+///   disagrees with an already-registered histogram of the same name is
+///   skipped (and counted in [`Rollup::layout_mismatches`]).
+/// * **Journal events** are not re-journaled (their sources are not
+///   static); warning/critical occurrences are tallied into the
+///   [`names::FLEET_WARNING_EVENTS`] / [`names::FLEET_CRITICAL_EVENTS`]
+///   counters instead.
+#[derive(Debug)]
+pub struct Rollup {
+    registry: Registry,
+    sessions: u64,
+    layout_mismatches: u64,
+}
+
+impl Rollup {
+    /// A rollup into a fresh registry.
+    pub fn new() -> Self {
+        Rollup::into_registry(Registry::new())
+    }
+
+    /// A rollup into an existing registry (e.g. the fleet engine's own,
+    /// so engine-level counters and absorbed session telemetry share one
+    /// snapshot).
+    pub fn into_registry(registry: Registry) -> Self {
+        Rollup {
+            registry,
+            sessions: 0,
+            layout_mismatches: 0,
+        }
+    }
+
+    /// Merges one session snapshot into the aggregate.
+    pub fn absorb(&mut self, snapshot: &TelemetrySnapshot) {
+        let t = self.registry.telemetry();
+        for c in &snapshot.counters {
+            t.counter(&c.name).add(c.value);
+        }
+        for g in &snapshot.gauges {
+            t.gauge(&g.name).add(g.value);
+        }
+        for h in &snapshot.histograms {
+            let bounds: Vec<f64> = h.buckets.iter().filter_map(|b| b.upper).collect();
+            if bounds.is_empty() || !t.histogram(&h.name, &bounds).absorb(h) {
+                self.layout_mismatches += 1;
+            }
+        }
+        let warnings = snapshot
+            .events
+            .iter()
+            .filter(|e| e.severity == Severity::Warning)
+            .count() as u64;
+        let criticals = snapshot
+            .events
+            .iter()
+            .filter(|e| e.severity == Severity::Critical)
+            .count() as u64;
+        t.counter(names::FLEET_WARNING_EVENTS).add(warnings);
+        t.counter(names::FLEET_CRITICAL_EVENTS).add(criticals);
+        self.sessions += 1;
+    }
+
+    /// Number of snapshots absorbed so far.
+    pub fn sessions(&self) -> u64 {
+        self.sessions
+    }
+
+    /// Histogram summaries dropped because their bucket layout did not
+    /// match the already-registered histogram of the same name.
+    pub fn layout_mismatches(&self) -> u64 {
+        self.layout_mismatches
+    }
+
+    /// The aggregate registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Snapshot of the aggregate.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Health report over the aggregate — the same cross-stage ratios as
+    /// a single session, computed fleet-wide.
+    pub fn health(&self) -> HealthReport {
+        HealthReport::from_snapshot(&self.snapshot())
+    }
+}
+
+impl Default for Rollup {
+    fn default() -> Self {
+        Rollup::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::buckets;
+    use crate::journal::Severity;
+
+    #[test]
+    fn counters_and_gauges_sum_across_sessions() {
+        let mut rollup = Rollup::new();
+        for beats in [10u64, 20, 30] {
+            let session = Registry::new();
+            let t = session.telemetry();
+            t.counter(names::MONITOR_BEATS).add(beats);
+            t.gauge(names::CHIP_ENERGY_J).add(0.5);
+            rollup.absorb(&session.snapshot());
+        }
+        assert_eq!(rollup.sessions(), 3);
+        let agg = rollup.snapshot();
+        assert_eq!(agg.counter(names::MONITOR_BEATS), Some(60));
+        assert!((agg.gauge(names::CHIP_ENERGY_J).unwrap() - 1.5).abs() < 1e-12);
+        assert_eq!(rollup.health().beats, 60);
+    }
+
+    #[test]
+    fn histograms_pool_distributions_not_quantiles() {
+        let mut rollup = Rollup::new();
+        for center in [0.4, 1.2] {
+            let session = Registry::new();
+            let h = session.telemetry().histogram(
+                names::MONITOR_BEAT_INTERVAL_S,
+                &buckets::linear(0.2, 0.2, 10),
+            );
+            for _ in 0..50 {
+                h.record(center);
+            }
+            rollup.absorb(&session.snapshot());
+        }
+        let agg = rollup.snapshot();
+        let h = agg.histogram(names::MONITOR_BEAT_INTERVAL_S).unwrap();
+        assert_eq!(h.count, 100);
+        assert_eq!(h.min, Some(0.4));
+        assert_eq!(h.max, Some(1.2));
+        // The pooled median sits between the two session modes — an
+        // average of per-session p50s could never see both.
+        let p50 = h.p50.unwrap();
+        assert!((0.2..=1.2).contains(&p50), "pooled p50 {p50}");
+        assert_eq!(rollup.layout_mismatches(), 0);
+    }
+
+    #[test]
+    fn mismatched_histogram_layouts_are_skipped_not_corrupted() {
+        let mut rollup = Rollup::new();
+        let a = Registry::new();
+        a.telemetry().histogram("h", &[1.0, 2.0]).record(0.5);
+        rollup.absorb(&a.snapshot());
+        let b = Registry::new();
+        b.telemetry().histogram("h", &[5.0]).record(4.0);
+        rollup.absorb(&b.snapshot());
+        assert_eq!(rollup.layout_mismatches(), 1);
+        assert_eq!(rollup.snapshot().histogram("h").unwrap().count, 1);
+    }
+
+    #[test]
+    fn journal_severities_become_fleet_counters() {
+        let mut rollup = Rollup::new();
+        let session = Registry::new();
+        let t = session.telemetry();
+        t.event(Severity::Info, "monitor", || "calibrated".into());
+        t.event(Severity::Warning, "readout", || "settling".into());
+        t.event(Severity::Critical, "analyzer", || "hypertension".into());
+        rollup.absorb(&session.snapshot());
+        let agg = rollup.snapshot();
+        assert_eq!(agg.counter(names::FLEET_WARNING_EVENTS), Some(1));
+        assert_eq!(agg.counter(names::FLEET_CRITICAL_EVENTS), Some(1));
+    }
+
+    #[test]
+    fn rollup_into_existing_registry_shares_engine_counters() {
+        let fleet = Registry::new();
+        fleet
+            .telemetry()
+            .counter(names::FLEET_SESSIONS_STARTED)
+            .inc();
+        let mut rollup = Rollup::into_registry(fleet.clone());
+        let session = Registry::new();
+        session.telemetry().counter(names::MONITOR_BEATS).add(5);
+        rollup.absorb(&session.snapshot());
+        let agg = fleet.snapshot();
+        assert_eq!(agg.counter(names::FLEET_SESSIONS_STARTED), Some(1));
+        assert_eq!(agg.counter(names::MONITOR_BEATS), Some(5));
+    }
+}

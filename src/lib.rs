@@ -15,12 +15,23 @@
 //! * [`system`] — the chip + readout + calibration + analysis stack
 //! * [`telemetry`] — counters, histograms, spans, and the event journal
 //!   for observing the whole signal path (see `examples/observability.rs`)
+//! * [`fleet`] — many concurrent monitoring sessions on a worker pool,
+//!   with failure isolation and fleet-wide telemetry rollup (see
+//!   `examples/fleet_monitor.rs`)
 //!
-//! See `examples/quickstart.rs` for the five-minute tour.
+//! See `examples/quickstart.rs` for the five-minute tour and
+//! `ARCHITECTURE.md` for the end-to-end dataflow.
 
 pub use tonos_analog as analog;
 pub use tonos_core as system;
 pub use tonos_dsp as dsp;
+pub use tonos_fleet as fleet;
 pub use tonos_mems as mems;
 pub use tonos_physio as physio;
 pub use tonos_telemetry as telemetry;
+
+/// Compiles every fenced Rust block in the repository README as a
+/// doctest, so the quickstart can never rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
