@@ -87,10 +87,16 @@ impl DcTransfer {
 
         let mut inputs = Vec::with_capacity(points);
         let mut outputs = Vec::with_capacity(points);
+        // One stimulus and one bitstream buffer reused across all points
+        // (the non-allocating `process_to_f64_into` path).
+        let mut stimulus = vec![0.0; samples_per_point];
+        let mut bits = Vec::with_capacity(samples_per_point);
         for i in 0..points {
             let u = -range + 2.0 * range * i as f64 / (points - 1) as f64;
             dsm.reset();
-            let bits = dsm.process_to_f64(&vec![u; samples_per_point]);
+            stimulus.fill(u);
+            bits.clear();
+            dsm.process_to_f64_into(&stimulus, &mut bits);
             inputs.push(u);
             outputs.push(decimate(&bits));
         }

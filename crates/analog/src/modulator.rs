@@ -48,12 +48,28 @@ pub trait DeltaSigmaModulator {
 
     /// Converts a block of samples.
     fn process(&mut self, input: &[f64]) -> Vec<i8> {
-        input.iter().map(|&u| self.step(u)).collect()
+        let mut out = Vec::with_capacity(input.len());
+        self.process_into(input, &mut out);
+        out
+    }
+
+    /// Converts a block, appending the ±1 bits to caller-owned `out`
+    /// (not cleared first) — no allocation beyond `out`'s own growth.
+    fn process_into(&mut self, input: &[f64], out: &mut Vec<i8>) {
+        out.extend(input.iter().map(|&u| self.step(u)));
     }
 
     /// Converts a block into ±1.0 floats ready for the decimation chain.
     fn process_to_f64(&mut self, input: &[f64]) -> Vec<f64> {
-        input.iter().map(|&u| f64::from(self.step(u))).collect()
+        let mut out = Vec::with_capacity(input.len());
+        self.process_to_f64_into(input, &mut out);
+        out
+    }
+
+    /// Converts a block, appending ±1.0 floats to caller-owned `out`
+    /// (not cleared first).
+    fn process_to_f64_into(&mut self, input: &[f64], out: &mut Vec<f64>) {
+        out.extend(input.iter().map(|&u| f64::from(self.step(u))));
     }
 
     /// Converts a block into a packed single-bit stream — the
@@ -62,10 +78,34 @@ pub trait DeltaSigmaModulator {
     /// `tonos_dsp::decimator::TwoStageDecimator::process_packed`.
     fn process_packed(&mut self, input: &[f64]) -> PackedBits {
         let mut bits = PackedBits::with_capacity(input.len());
+        let mut noise = Vec::new();
+        self.step_block(input, &mut noise, &mut bits);
+        bits
+    }
+
+    /// Converts a block, appending bits to a caller-owned packed stream
+    /// (not cleared first).
+    fn process_packed_into(&mut self, input: &[f64], bits: &mut PackedBits) {
         for &u in input {
             bits.push(self.step(u) > 0);
         }
-        bits
+    }
+
+    /// Block conversion into caller-owned scratch — the allocation-free
+    /// hot path. `noise` is a reusable buffer implementations may fill
+    /// with per-block pre-drawn noisy inputs (its contents on return are
+    /// unspecified); `bits` receives the packed output (appended, not
+    /// cleared).
+    ///
+    /// **Bit-identical** to calling [`DeltaSigmaModulator::step`] per
+    /// sample: implementations may reorder *independent* noise-stream
+    /// draws across the block, but every stream is consumed in the same
+    /// per-sample order, so the emitted bits and the final modulator
+    /// state are exactly those of the scalar path. The default simply
+    /// forwards to [`DeltaSigmaModulator::process_packed_into`].
+    fn step_block(&mut self, input: &[f64], noise: &mut Vec<f64>, bits: &mut PackedBits) {
+        let _ = noise;
+        self.process_packed_into(input, bits);
     }
 }
 
@@ -282,6 +322,58 @@ impl DeltaSigmaModulator for SigmaDelta2 {
 
     fn order(&self) -> usize {
         2
+    }
+
+    /// Two-pass block conversion, bit-identical to the per-sample path.
+    ///
+    /// Pass 1 pre-draws the sampled-input impairments (kT/C noise and
+    /// jitter error) into `noise`; pass 2 runs the loop filter over the
+    /// noisy inputs and packs the bits a word at a time. The reordering
+    /// is sound because every component owns an *independent* split
+    /// noise stream: the input-noise stream is consumed in the same
+    /// per-sample order in pass 1 as `step` consumes it, and the
+    /// integrator/DAC streams are consumed in the same order in pass 2 —
+    /// so all draws, bits, and final state match the scalar path exactly
+    /// (asserted in this module's tests).
+    fn step_block(&mut self, input: &[f64], noise: &mut Vec<f64>, bits: &mut PackedBits) {
+        noise.clear();
+        noise.reserve(input.len());
+        let sigma = self.nonideal.input_noise_sigma;
+        let slew_gain = self.nonideal.jitter_slew_gain;
+        for &x in input {
+            let jitter = slew_gain * (x - self.prev_input);
+            self.prev_input = x;
+            noise.push(
+                x + self.input_noise.gaussian(sigma) + self.input_noise.gaussian(jitter.abs()),
+            );
+        }
+        let Coefficients { b1, a1, c1, a2 } = self.coeffs;
+        let mut word = 0u64;
+        let mut filled = 0usize;
+        let mut saturations = 0u64;
+        for &u in noise.iter() {
+            let v = self.comparator.decide(self.int2.state());
+            let vf = self.dac.convert(v);
+            let x1_old = self.int1.state();
+            self.int1.update(b1 * u - a1 * vf);
+            self.int2.update(c1 * x1_old - a2 * vf);
+            if self.int1.is_saturated() || self.int2.is_saturated() {
+                saturations += 1;
+            }
+            self.last_bit = v;
+            if v > 0 {
+                word |= 1 << filled;
+            }
+            filled += 1;
+            if filled == 64 {
+                bits.push_bits(word, 64);
+                word = 0;
+                filled = 0;
+            }
+        }
+        bits.push_bits(word, filled);
+        self.saturation_events += saturations;
+        self.steps += input.len() as u64;
     }
 }
 
@@ -597,6 +689,57 @@ mod tests {
             packed,
             tonos_dsp::bits::PackedBits::from_bitstream(&unpacked)
         );
+    }
+
+    #[test]
+    fn step_block_is_bit_identical_to_per_sample_steps() {
+        // The block path reorders only independent noise streams, so the
+        // bits must match the scalar path exactly — under full typical
+        // non-idealities (all noise sources active), across multiple
+        // blocks of word-unaligned lengths, with identical state left
+        // behind (checked by continuing both modulators afterwards).
+        let stim = sine_wave(PAPER_SAMPLE_RATE_HZ, 90.0, 0.7, 0.0, 2048 + 77);
+        let mut scalar = SigmaDelta2::new(NonIdealities::typical().with_seed(41)).unwrap();
+        let mut block = SigmaDelta2::new(NonIdealities::typical().with_seed(41)).unwrap();
+        let mut noise = Vec::new();
+        let mut got = PackedBits::new();
+        // Word-unaligned split points exercise the packed splice too.
+        for chunk in stim.chunks(129) {
+            block.step_block(chunk, &mut noise, &mut got);
+        }
+        let expect = PackedBits::from_bitstream(&scalar.process(&stim));
+        assert_eq!(got, expect);
+        assert_eq!(block.steps(), scalar.steps());
+        assert_eq!(block.saturation_events(), scalar.saturation_events());
+        // Continue per-sample on both: any hidden state divergence
+        // (integrators, RNG positions, prev_input) would show up here.
+        let tail = sine_wave(PAPER_SAMPLE_RATE_HZ, 90.0, 0.7, 0.3, 512);
+        assert_eq!(scalar.process(&tail), block.process(&tail));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_defaults() {
+        let stim = sine_wave(PAPER_SAMPLE_RATE_HZ, 150.0, 0.5, 0.0, 1000);
+        let mk = || SigmaDelta2::new(NonIdealities::typical().with_seed(3)).unwrap();
+        let expect_i8 = mk().process(&stim);
+        let mut got_i8 = Vec::new();
+        mk().process_into(&stim, &mut got_i8);
+        assert_eq!(got_i8, expect_i8);
+        let expect_f64 = mk().process_to_f64(&stim);
+        let mut got_f64 = Vec::new();
+        mk().process_to_f64_into(&stim, &mut got_f64);
+        assert_eq!(got_f64, expect_f64);
+        let expect_packed = mk().process_packed(&stim);
+        let mut got_packed = PackedBits::new();
+        mk().process_packed_into(&stim, &mut got_packed);
+        assert_eq!(got_packed, expect_packed);
+        // The first-order modulator exercises the trait-default block
+        // path (no override).
+        let mut d1a = SigmaDelta1::new(NonIdealities::typical().with_seed(3)).unwrap();
+        let mut d1b = SigmaDelta1::new(NonIdealities::typical().with_seed(3)).unwrap();
+        let mut bits = PackedBits::new();
+        d1b.step_block(&stim, &mut Vec::new(), &mut bits);
+        assert_eq!(bits, PackedBits::from_bitstream(&d1a.process(&stim)));
     }
 
     #[test]

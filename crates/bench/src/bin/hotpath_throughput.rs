@@ -1,0 +1,203 @@
+//! Hot-path throughput measurement — the numbers behind
+//! `BENCH_hotpath.json`.
+//!
+//! Measures the zero-allocation packed-bit signal chain per stage and
+//! end to end, and prints one JSON document:
+//!
+//! 1. Packed-bit (word-parallel CIC) vs legacy f64 decimation
+//!    throughput, Mbit/s through the paper-default two-stage chain.
+//! 2. Per-stage costs in ns: one modulator clock (block stepper), one
+//!    CIC input bit (word kernel), one FIR input sample, and one
+//!    settled readout frame.
+//! 3. Single-thread monitoring-session throughput (sessions/s).
+//!
+//! Exits nonzero if the packed path is slower than the f64 baseline —
+//! the CI perf-smoke gate.
+//!
+//! Run with: `cargo run --release -p tonos-bench --bin hotpath_throughput`
+//! (`--quick` shrinks the workload for CI smoke runs).
+
+use std::time::Instant;
+
+use tonos_analog::modulator::{DeltaSigmaModulator, SigmaDelta2};
+use tonos_analog::nonideal::NonIdealities;
+use tonos_core::readout::ReadoutSystem;
+use tonos_dsp::bits::PackedBits;
+use tonos_dsp::cic::CicDecimator;
+use tonos_dsp::decimator::{DecimatorConfig, CIC_INPUT_FRAC_BITS};
+use tonos_dsp::fir::FirDecimator;
+use tonos_dsp::signal::sine_wave;
+use tonos_fleet::{FleetConfig, FleetEngine, SessionSpec};
+use tonos_mems::units::{MillimetersHg, Pascals};
+use tonos_physio::patient::PatientProfile;
+
+/// One real-time second of modulator clocks.
+const CLOCKS: usize = 128_000;
+
+/// Best-of-N wall-clock seconds for a closure processing `items` items;
+/// returns (items/s, ns/item).
+fn rate(reps: usize, items: usize, mut f: impl FnMut()) -> (f64, f64) {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (items as f64 / best, best * 1e9 / items as f64)
+}
+
+fn decimation_mbps(packed: bool, seconds: usize, reps: usize) -> f64 {
+    let n = CLOCKS * seconds;
+    let bools: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+    let mut dec = DecimatorConfig::paper_default().build().unwrap();
+    if packed {
+        let bits: PackedBits = bools.iter().copied().collect();
+        let mut out = Vec::with_capacity(n / 128 + 1);
+        let (per_s, _) = rate(reps, n, || {
+            out.clear();
+            dec.process_packed_into(&bits, &mut out);
+            assert!(!out.is_empty());
+        });
+        per_s / 1e6
+    } else {
+        let floats: Vec<f64> = bools.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let mut out = Vec::with_capacity(n / 128 + 1);
+        let (per_s, _) = rate(reps, n, || {
+            out.clear();
+            dec.process_into(&floats, &mut out);
+            assert!(!out.is_empty());
+        });
+        per_s / 1e6
+    }
+}
+
+fn modulator_ns_per_clock(reps: usize) -> f64 {
+    let stim = sine_wave(128_000.0, 100.0, 0.5, 0.0, CLOCKS);
+    let mut dsm = SigmaDelta2::new(NonIdealities::typical()).unwrap();
+    let mut noise = Vec::with_capacity(CLOCKS);
+    let mut bits = PackedBits::with_capacity(CLOCKS);
+    let (_, ns) = rate(reps, CLOCKS, || {
+        bits.clear();
+        dsm.step_block(&stim, &mut noise, &mut bits);
+        assert_eq!(bits.len(), CLOCKS);
+    });
+    ns
+}
+
+fn cic_ns_per_bit(reps: usize) -> f64 {
+    let bits: PackedBits = (0..CLOCKS).map(|i| i % 3 == 0).collect();
+    let scale = 1_i64 << CIC_INPUT_FRAC_BITS;
+    let mut cic = CicDecimator::new(3, 32).unwrap();
+    let mut out = Vec::with_capacity(CLOCKS / 32 + 1);
+    let (_, ns) = rate(reps, CLOCKS, || {
+        out.clear();
+        cic.process_packed_into(&bits, scale, &mut out);
+        assert!(!out.is_empty());
+    });
+    ns
+}
+
+fn fir_ns_per_sample(reps: usize) -> f64 {
+    let n = CLOCKS / 32; // the CIC's 4 kS/s intermediate rate
+    let xs = sine_wave(4_000.0, 100.0, 0.5, 0.0, n);
+    let mut fir = FirDecimator::paper_default();
+    let (_, ns) = rate(reps, n, || {
+        let mut acc = 0.0;
+        for &x in &xs {
+            if let Some(y) = fir.push(x) {
+                acc += y;
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    ns
+}
+
+fn frame_ns(reps: usize, frames: usize) -> f64 {
+    let mut sys = ReadoutSystem::paper_default().unwrap();
+    let frame = vec![Pascals::from_mmhg(MillimetersHg(100.0)); 4];
+    for _ in 0..16 {
+        sys.push_frame(&frame).unwrap();
+    }
+    let (_, ns) = rate(reps, frames, || {
+        for _ in 0..frames {
+            std::hint::black_box(sys.push_frame(&frame).unwrap());
+        }
+    });
+    ns
+}
+
+fn single_thread_sessions_per_s(sessions: usize, duration_s: f64) -> f64 {
+    let profiles = PatientProfile::all();
+    let mut fleet = FleetEngine::spawn(FleetConfig { workers: 1 });
+    let t = Instant::now();
+    for i in 0..sessions {
+        fleet.push(
+            SessionSpec::new(
+                format!("hotpath-{i}"),
+                profiles[i % profiles.len()].with_seed(1000 + i as u64),
+            )
+            .with_duration(duration_s)
+            .with_scan_window(150),
+        );
+    }
+    let report = fleet.drain();
+    let dt = t.elapsed().as_secs_f64();
+    assert!(report.failures().is_empty(), "bench sessions must complete");
+    sessions as f64 / dt
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (reps, dec_seconds, sessions, duration_s) = if quick {
+        (2, 2, 2, 6.0)
+    } else {
+        (5, 8, 8, 8.0)
+    };
+    eprintln!(
+        "measuring on {cores} hardware thread(s){}...",
+        if quick { " (quick)" } else { "" }
+    );
+
+    let f64_mbps = decimation_mbps(false, dec_seconds, reps);
+    let packed_mbps = decimation_mbps(true, dec_seconds, reps);
+    eprintln!("  decimation: f64 {f64_mbps:.2} Mbit/s, packed {packed_mbps:.2} Mbit/s");
+    let mod_ns = modulator_ns_per_clock(reps);
+    let cic_ns = cic_ns_per_bit(reps);
+    let fir_ns = fir_ns_per_sample(reps);
+    let fr_ns = frame_ns(reps, if quick { 500 } else { 2000 });
+    eprintln!("  stages: modulator {mod_ns:.1} ns/clock, cic {cic_ns:.2} ns/bit, fir {fir_ns:.1} ns/sample, frame {fr_ns:.0} ns");
+    let sessions_per_s = single_thread_sessions_per_s(sessions, duration_s);
+    eprintln!("  single-thread sessions/s: {sessions_per_s:.3}");
+
+    println!("{{");
+    println!("  \"bench\": \"hotpath_throughput\",");
+    println!("  \"quick\": {quick},");
+    println!("  \"host_hardware_threads\": {cores},");
+    println!("  \"decimation\": {{");
+    println!("    \"f64_path_mbit_per_s\": {f64_mbps:.2},");
+    println!("    \"packed_path_mbit_per_s\": {packed_mbps:.2},");
+    println!("    \"packed_speedup\": {:.3}", packed_mbps / f64_mbps);
+    println!("  }},");
+    println!("  \"stages\": {{");
+    println!("    \"modulator_ns_per_clock\": {mod_ns:.2},");
+    println!("    \"cic_word_kernel_ns_per_bit\": {cic_ns:.3},");
+    println!("    \"fir_ns_per_sample\": {fir_ns:.2},");
+    println!("    \"settled_frame_ns\": {fr_ns:.0}");
+    println!("  }},");
+    println!("  \"session_duration_s\": {duration_s},");
+    println!("  \"sessions_per_measurement\": {sessions},");
+    println!("  \"single_thread_sessions_per_s\": {sessions_per_s:.3},");
+    println!(
+        "  \"note\": \"pre-optimization baselines (BENCH_fleet.json, same host class): f64 157.65 Mbit/s, packed 217.56 Mbit/s, single-thread 9.147 sessions/s; targets were >= 2x packed (435.12) and >= 1.5x sessions/s (13.72)\""
+    );
+    println!("}}");
+
+    if packed_mbps < f64_mbps {
+        eprintln!(
+            "FAIL: packed path ({packed_mbps:.2} Mbit/s) slower than f64 baseline ({f64_mbps:.2} Mbit/s)"
+        );
+        std::process::exit(1);
+    }
+}

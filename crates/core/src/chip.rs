@@ -26,6 +26,7 @@ use tonos_mems::array::SensorArray;
 use tonos_mems::units::{Farads, Pascals, Volts};
 
 use crate::config::ChipConfig;
+use crate::scratch::ConversionScratch;
 use crate::SystemError;
 
 /// Pressure range covered by the capacitance lookup table.
@@ -81,6 +82,9 @@ pub struct SensorChip {
     voltage_input: VoltageInput,
     power: PowerModel,
     luts: Vec<CapacitanceLut>,
+    /// Reused per-call capacitance snapshot buffer (taken and restored by
+    /// the hot entry points so they stay allocation-free per frame).
+    caps_scratch: Vec<Farads>,
     /// Successful element selections (including no-op re-selects, which
     /// still represent scan-controller decisions).
     element_selections: u64,
@@ -132,6 +136,7 @@ impl SensorChip {
             voltage_input,
             power,
             luts,
+            caps_scratch: Vec::new(),
             element_selections: 0,
         })
     }
@@ -215,6 +220,22 @@ impl SensorChip {
     /// Propagates membrane collapse for loads beyond the table that the
     /// exact model rejects, and a length-mismatch configuration error.
     pub fn capacitances(&self, pressures: &[Pascals]) -> Result<Vec<Farads>, SystemError> {
+        let mut caps = Vec::with_capacity(pressures.len());
+        self.capacitances_into(pressures, &mut caps)?;
+        Ok(caps)
+    }
+
+    /// [`SensorChip::capacitances`] into a caller-owned buffer (cleared,
+    /// then filled) — the allocation-free variant the hot path uses.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`SensorChip::capacitances`].
+    pub fn capacitances_into(
+        &self,
+        pressures: &[Pascals],
+        caps: &mut Vec<Farads>,
+    ) -> Result<(), SystemError> {
         if pressures.len() != self.config.layout.len() {
             return Err(SystemError::Config(format!(
                 "expected {} element pressures, got {}",
@@ -222,7 +243,8 @@ impl SensorChip {
                 pressures.len()
             )));
         }
-        let mut caps = Vec::with_capacity(pressures.len());
+        caps.clear();
+        caps.reserve(pressures.len());
         for (((_, element), lut), &p) in self.array.iter().zip(&self.luts).zip(pressures) {
             let c = match lut.lookup(p) {
                 Some(c) => c,
@@ -230,7 +252,7 @@ impl SensorChip {
             };
             caps.push(c);
         }
-        Ok(caps)
+        Ok(())
     }
 
     /// Selects an array element through the row/column multiplexers. The
@@ -246,8 +268,11 @@ impl SensorChip {
         col: usize,
         pressures: &[Pascals],
     ) -> Result<(), SystemError> {
-        let caps = self.capacitances(pressures)?;
-        self.mux.select(row, col, &caps)?;
+        let mut caps = std::mem::take(&mut self.caps_scratch);
+        let result = self.capacitances_into(pressures, &mut caps);
+        let routed = result.and_then(|()| Ok(self.mux.select(row, col, &caps)?));
+        self.caps_scratch = caps;
+        routed?;
         self.element_selections += 1;
         Ok(())
     }
@@ -286,24 +311,77 @@ impl SensorChip {
         pressures: &[Pascals],
         clocks: usize,
     ) -> Result<PackedBits, SystemError> {
-        let caps = self.capacitances(pressures)?;
-        let mut bits = PackedBits::with_capacity(clocks);
-        for _ in 0..clocks {
-            let sensed = self.mux.sample(&caps)?;
-            let u = self.frontend.input_fraction(sensed);
-            bits.push(self.modulator.step(u) > 0);
-        }
-        Ok(bits)
+        let mut scratch = ConversionScratch::with_frame_capacity(clocks);
+        self.convert_frame_packed_into(pressures, clocks, &mut scratch)?;
+        Ok(scratch.bits)
+    }
+
+    /// [`SensorChip::convert_frame_packed`] into caller-owned scratch —
+    /// the zero-allocation hot path. The packed bitstream lands in
+    /// `scratch.bits`; `scratch.inputs` and `scratch.noise` hold the
+    /// frame's modulator inputs and pre-drawn noise as side products.
+    ///
+    /// Bit-exact against the per-sample path: the settled mux emits a
+    /// constant, so the input fill and the modulator's block stepper
+    /// ([`DeltaSigmaModulator::step_block`]) reproduce the scalar
+    /// sequence exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capacitance-evaluation failures.
+    pub fn convert_frame_packed_into(
+        &mut self,
+        pressures: &[Pascals],
+        clocks: usize,
+        scratch: &mut ConversionScratch,
+    ) -> Result<(), SystemError> {
+        let mut caps = std::mem::take(&mut self.caps_scratch);
+        let result = self.capacitances_into(pressures, &mut caps);
+        let filled = result.and_then(|()| {
+            scratch.clear();
+            scratch.inputs.reserve(clocks);
+            if self.mux.is_settled() {
+                // Settled fast path: the routed capacitance is constant
+                // for the whole frame — one sample, `clocks` copies.
+                if clocks > 0 {
+                    let sensed = self.mux.sample(&caps)?;
+                    let u = self.frontend.input_fraction(sensed);
+                    scratch.inputs.extend(std::iter::repeat_n(u, clocks));
+                }
+            } else {
+                for _ in 0..clocks {
+                    let sensed = self.mux.sample(&caps)?;
+                    scratch.inputs.push(self.frontend.input_fraction(sensed));
+                }
+            }
+            Ok(())
+        });
+        self.caps_scratch = caps;
+        filled?;
+        self.modulator
+            .step_block(&scratch.inputs, &mut scratch.noise, &mut scratch.bits);
+        Ok(())
     }
 
     /// Converts a block through the auxiliary differential voltage input
     /// (electrical characterization, §3/§3.1). One input sample per
     /// modulator clock.
     pub fn convert_voltage_block(&mut self, inputs: &[Volts]) -> Vec<f64> {
-        inputs
-            .iter()
-            .map(|&v| f64::from(self.modulator.step(self.voltage_input.input_fraction(v))))
-            .collect()
+        let mut out = Vec::with_capacity(inputs.len());
+        self.convert_voltage_block_into(inputs, &mut out);
+        out
+    }
+
+    /// [`SensorChip::convert_voltage_block`] into a caller-owned buffer
+    /// (cleared, then filled) — the allocation-free variant.
+    pub fn convert_voltage_block_into(&mut self, inputs: &[Volts], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(inputs.len());
+        for &v in inputs {
+            out.push(f64::from(
+                self.modulator.step(self.voltage_input.input_fraction(v)),
+            ));
+        }
     }
 
     /// Resets the modulator loop state (integrators, comparator).

@@ -15,6 +15,8 @@
 //! * [`chip`] — [`chip::SensorChip`]: array + reference + mux + modulator
 //! * [`readout`] — [`readout::ReadoutSystem`]: chip + decimation filter
 //!   (the Fig. 3 block diagram), with scan settling management
+//! * [`scratch`] — [`scratch::ConversionScratch`]: reusable per-frame
+//!   working memory, the key to the zero-allocation hot path
 //! * [`select`] — strongest-element selection (§2)
 //! * [`localize`] — vessel localization from the array scan (§2)
 //! * [`calibrate`] — two-point systolic/diastolic cuff calibration (§3.2)
@@ -57,6 +59,7 @@ pub mod localize;
 pub mod monitor;
 pub mod readout;
 pub mod report;
+pub mod scratch;
 pub mod select;
 pub mod stream;
 pub mod vitals;

@@ -339,19 +339,21 @@ impl BloodPressureMonitor {
         };
 
         // Frame factory: arterial sample + surface artifact → per-element
-        // pressures.
-        let element_pressures = |arterial: MillimetersHg,
-                                 artifact: Pascals|
-         -> Result<Vec<Pascals>, SystemError> {
+        // pressures, filled into a caller-owned buffer (the tissue field
+        // and contact transfer are pure math — infallible and
+        // allocation-free, which keeps the acquisition loop on the
+        // zero-allocation frame path).
+        let fill_element_pressures = |arterial: MillimetersHg,
+                                      artifact: Pascals,
+                                      out: &mut Vec<Pascals>| {
             let field = tissue.field(arterial);
-            let mut out = Vec::with_capacity(array_layout.len());
+            out.clear();
             for row in 0..array_layout.rows {
                 for col in 0..array_layout.cols {
                     let (x, y) = array_layout.position(row, col);
                     out.push(contact.net_element_pressure(field.pressure_at_xy(x, y) + artifact));
                 }
             }
-            Ok(out)
         };
         let artifact_at =
             |i: usize| -> Pascals { artifact_track.get(i).copied().unwrap_or(Pascals(0.0)) };
@@ -362,27 +364,18 @@ impl BloodPressureMonitor {
         let scan_span = self.instruments.span_scan.start();
         let scan = {
             let samples = &truth.samples;
-            let mut frame_err = None;
-            let result = scan_strongest(
+            scan_strongest(
                 &mut self.system,
                 || {
                     let idx = cursor.min(truth_len - 1);
                     let arterial = samples[idx];
                     cursor += 1;
-                    match element_pressures(arterial, artifact_at(idx)) {
-                        Ok(f) => f,
-                        Err(e) => {
-                            frame_err = Some(e);
-                            vec![Pascals(0.0); array_layout.len()]
-                        }
-                    }
+                    let mut frame = Vec::with_capacity(array_layout.len());
+                    fill_element_pressures(arterial, artifact_at(idx), &mut frame);
+                    frame
                 },
                 self.scan_window,
-            )?;
-            if let Some(e) = frame_err {
-                return Err(e);
-            }
-            result
+            )?
         };
         scan_span.finish();
         self.telemetry.event(Severity::Info, "monitor", || {
@@ -448,9 +441,13 @@ impl BloodPressureMonitor {
         // --- Acquisition phase. ---
         let acquisition_span = self.instruments.span_acquisition.start();
         let mut raw = Vec::with_capacity(truth_len - acquisition_start);
+        // One frame buffer for the whole session: with the readout's
+        // conversion scratch underneath, each iteration of this loop is
+        // allocation-free except for `raw`'s pre-sized pushes.
+        let mut frame = Vec::with_capacity(array_layout.len());
         for (i, &arterial) in truth.samples[acquisition_start..].iter().enumerate() {
             let t = (acquisition_start + i) as f64 / fs;
-            let mut frame = element_pressures(arterial, artifact_at(acquisition_start + i))?;
+            fill_element_pressures(arterial, artifact_at(acquisition_start + i), &mut frame);
             let drift = drift_at(t);
             for p in &mut frame {
                 *p += drift;

@@ -15,6 +15,7 @@ use tonos_telemetry::{names, Counter, Gauge, Telemetry};
 
 use crate::chip::SensorChip;
 use crate::config::SystemConfig;
+use crate::scratch::ConversionScratch;
 use crate::SystemError;
 
 /// Telemetry handles and native-counter cursors for the readout path.
@@ -56,6 +57,9 @@ pub struct ReadoutSystem {
     decimator: TwoStageDecimator,
     telemetry: Telemetry,
     instruments: ReadoutInstruments,
+    /// Reusable per-frame working memory; makes the settled frame path
+    /// allocation-free (see `tests/alloc_free.rs`).
+    scratch: ConversionScratch,
     /// Output samples still inside the post-switch settling window; used
     /// to classify each produced sample as settled or discarded.
     pending_discard: usize,
@@ -84,12 +88,14 @@ impl ReadoutSystem {
         config.validate()?;
         let chip = SensorChip::new(config.chip)?;
         let decimator = config.decimator.build()?;
+        let scratch = ConversionScratch::with_frame_capacity(config.decimator.osr);
         let mut sys = ReadoutSystem {
             config,
             chip,
             decimator,
             telemetry: Telemetry::disabled(),
             instruments: ReadoutInstruments::default(),
+            scratch,
             pending_discard: 0,
         };
         sys.attach_telemetry(telemetry);
@@ -215,20 +221,25 @@ impl ReadoutSystem {
     /// Propagates chip conversion failures.
     pub fn push_frame(&mut self, pressures: &[Pascals]) -> Result<f64, SystemError> {
         // Hot path: the bitstream stays packed (64 modulator clocks per
-        // u64 word) from the modulator to the integer CIC; no ±1.0 f64
-        // round trip. Bit-exact against the legacy f64 path.
-        let bits = self.chip.convert_frame_packed(pressures, self.osr())?;
-        let mut out = None;
-        for b in bits.iter() {
-            if let Some(y) = self.decimator.push_bit(b) {
-                out = Some(y);
-            }
-        }
+        // u64 word) from the modulator's block stepper to the
+        // word-parallel integer CIC — no ±1.0 f64 round trip, no per-bit
+        // loop, and no heap allocation once the scratch has grown to the
+        // frame size. Bit-exact against the legacy f64 path.
+        let osr = self.osr();
+        self.chip
+            .convert_frame_packed_into(pressures, osr, &mut self.scratch)?;
+        self.decimator
+            .process_packed_into(&self.scratch.bits, &mut self.scratch.out);
         // Feeding exactly `osr` modulator samples always produces exactly
         // one decimated output (the phases are aligned by construction).
-        let y = out.ok_or_else(|| {
-            SystemError::Config("decimator phase misaligned with frame size".into())
-        })?;
+        let y = match self.scratch.out[..] {
+            [y] => y,
+            _ => {
+                return Err(SystemError::Config(
+                    "decimator phase misaligned with frame size".into(),
+                ))
+            }
+        };
         if self.telemetry.enabled() {
             self.instruments.frames_in.inc();
             // Every frame yields one output; it is either still inside
@@ -317,8 +328,14 @@ impl ReadoutSystem {
     /// voltage sequence at the modulator rate through the auxiliary input
     /// and the decimation filter. Returns the decimated output.
     pub fn acquire_voltage(&mut self, inputs: &[Volts]) -> Vec<f64> {
-        let bits = self.chip.convert_voltage_block(inputs);
-        let out = self.decimator.process(&bits);
+        // Reuse the frame scratch: the ±1 stream lands in `inputs` (an
+        // f64 buffer of the right shape), the decimated output in `out`.
+        self.scratch.clear();
+        self.chip
+            .convert_voltage_block_into(inputs, &mut self.scratch.inputs);
+        self.decimator
+            .process_into(&self.scratch.inputs, &mut self.scratch.out);
+        let out = self.scratch.out.clone();
         if self.telemetry.enabled() {
             self.flush_native();
         }

@@ -81,6 +81,35 @@ impl PackedBits {
         self.push(bit > 0);
     }
 
+    /// Appends the low `len` bits of `word` (LSB-first) in one call —
+    /// the block writers' fast path (one word splice instead of up to 64
+    /// per-bit pushes). Bits of `word` at or above `len` are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len > 64`.
+    pub fn push_bits(&mut self, word: u64, len: usize) {
+        assert!(len <= 64, "a word carries at most 64 bits, got {len}");
+        if len == 0 {
+            return;
+        }
+        let w = if len < 64 {
+            word & ((1u64 << len) - 1)
+        } else {
+            word
+        };
+        let slot = self.len % 64;
+        if slot == 0 {
+            self.words.push(w);
+        } else {
+            *self.words.last_mut().expect("non-empty at slot > 0") |= w << slot;
+            if slot + len > 64 {
+                self.words.push(w >> (64 - slot));
+            }
+        }
+        self.len += len;
+    }
+
     /// Packs a ±1 `i8` bitstream (the modulator's `process` output
     /// format: any positive value is `+1`, the rest `−1`).
     pub fn from_bitstream(bits: &[i8]) -> Self {
@@ -195,6 +224,33 @@ mod tests {
         assert_eq!(packed.words(), &[0u64]);
         let fresh: PackedBits = [false].into_iter().collect();
         assert_eq!(packed, fresh);
+    }
+
+    #[test]
+    fn push_bits_matches_per_bit_pushes() {
+        // Every alignment × length combination must splice identically to
+        // per-bit pushes, including the cross-word spill.
+        for prefix in [0usize, 1, 7, 63, 64, 65] {
+            for len in [0usize, 1, 5, 63, 64] {
+                let word = 0xDEAD_BEEF_CAFE_F00D_u64;
+                let mut a = PackedBits::new();
+                let mut b = PackedBits::new();
+                for i in 0..prefix {
+                    a.push(i % 3 == 0);
+                    b.push(i % 3 == 0);
+                }
+                a.push_bits(word, len);
+                for t in 0..len {
+                    b.push(word >> t & 1 == 1);
+                }
+                assert_eq!(a, b, "prefix {prefix} len {len}");
+                assert_eq!(a.words(), b.words(), "prefix {prefix} len {len}");
+            }
+        }
+        // Bits above `len` must be ignored (tail stays zero).
+        let mut c = PackedBits::new();
+        c.push_bits(u64::MAX, 3);
+        assert_eq!(c.words(), &[0b111u64]);
     }
 
     #[test]

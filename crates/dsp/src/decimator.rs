@@ -190,7 +190,12 @@ impl OutputQuantizer {
 /// design relies on two's-complement wraparound, which `f64` cannot
 /// provide). Q20 input quantization adds noise at ~-120 dBFS, far below
 /// every other noise source in the chain.
-const CIC_INPUT_FRAC_BITS: u32 = 20;
+pub const CIC_INPUT_FRAC_BITS: u32 = 20;
+
+/// The Q-format CIC input word for a `+1` modulator bit (`−BIT_ONE` for
+/// a `−1` bit) — exactly `(±1.0 · 2^20).round()`, which is what keeps the
+/// packed path bit-identical to the `f64` path.
+const BIT_ONE: i64 = 1_i64 << CIC_INPUT_FRAC_BITS;
 
 /// Streaming two-stage decimator (CIC ÷(OSR/4), FIR ÷4, optional output
 /// quantizer).
@@ -244,7 +249,6 @@ impl TwoStageDecimator {
     /// (and symmetrically for `false`). The equivalence is property-
     /// tested in `tests/props.rs`.
     pub fn push_bit(&mut self, bit: bool) -> Option<f64> {
-        const BIT_ONE: i64 = 1_i64 << CIC_INPUT_FRAC_BITS;
         self.push_fixed(if bit { BIT_ONE } else { -BIT_ONE })
     }
 
@@ -267,7 +271,15 @@ impl TwoStageDecimator {
 
     /// Processes a block of modulator-rate samples.
     pub fn process(&mut self, xs: &[f64]) -> Vec<f64> {
-        xs.iter().filter_map(|&x| self.push(x)).collect()
+        let mut out = Vec::with_capacity(xs.len() / self.ratio() + 1);
+        self.process_into(xs, &mut out);
+        out
+    }
+
+    /// [`TwoStageDecimator::process`] appending into a caller-owned
+    /// buffer — the allocation-free variant.
+    pub fn process_into(&mut self, xs: &[f64], out: &mut Vec<f64>) {
+        out.extend(xs.iter().filter_map(|&x| self.push(x)));
     }
 
     /// Processes a single-bit stream given as `true`(+1) / `false`(−1).
@@ -280,12 +292,53 @@ impl TwoStageDecimator {
     /// modulator clocks; no intermediate `f64` expansion is made.
     pub fn process_packed(&mut self, bits: &PackedBits) -> Vec<f64> {
         let mut out = Vec::with_capacity(bits.len() / self.ratio() + 1);
-        for bit in bits.iter() {
-            if let Some(y) = self.push_bit(bit) {
-                out.push(y);
-            }
-        }
+        self.process_packed_into(bits, &mut out);
         out
+    }
+
+    /// Packed-stream entry point writing into caller-owned scratch — the
+    /// zero-allocation hot path. Decimated outputs are appended to `out`
+    /// (not cleared first, so callers can accumulate).
+    ///
+    /// The first stage runs word-parallel through
+    /// [`CicDecimator::push_word`]: 64 modulator clocks per kernel call
+    /// instead of one, with bit-identical results to the scalar
+    /// [`TwoStageDecimator::push_bit`] loop (and therefore to the `f64`
+    /// path — both equivalences are property-tested in `tests/props.rs`).
+    pub fn process_packed_into(&mut self, bits: &PackedBits, out: &mut Vec<f64>) {
+        self.samples_in += bits.len() as u64;
+        // Split borrows: the emit closure drives the FIR, quantizer, and
+        // counters while the CIC is exclusively borrowed by the kernel.
+        let TwoStageDecimator {
+            cic,
+            cic_norm,
+            fir,
+            quantizer,
+            samples_out,
+            clip_events,
+            ..
+        } = self;
+        let norm = *cic_norm;
+        let mut remaining = bits.len();
+        for &w in bits.words() {
+            let take = remaining.min(64);
+            remaining -= take;
+            cic.push_word(w, take, BIT_ONE, &mut |v| {
+                let mid = v as f64 / norm;
+                if let Some(y) = fir.push(mid) {
+                    *samples_out += 1;
+                    out.push(match quantizer {
+                        Some(q) => {
+                            if q.clips(y) {
+                                *clip_events += 1;
+                            }
+                            q.round_trip(y)
+                        }
+                        None => y,
+                    });
+                }
+            });
+        }
     }
 
     /// Clears all filter state. Throughput counters survive the flush —

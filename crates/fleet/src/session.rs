@@ -82,6 +82,12 @@ impl SessionSpec {
     /// into the context's (session-local) telemetry. This is what fleet
     /// workers execute; errors come back as strings because they cross
     /// the fleet's result channel.
+    ///
+    /// Per-frame working memory is owned by the monitor's
+    /// `ReadoutSystem` (one `ConversionScratch` per session, reused
+    /// across every frame), so a worker's steady-state acquisition loop
+    /// does not touch the heap — sessions scale across workers without
+    /// contending on the allocator.
     pub(crate) fn run(self, ctx: &SessionContext) -> Result<SessionSummary, String> {
         let mut monitor = BloodPressureMonitor::new(self.config, self.patient)
             .map_err(|e| e.to_string())?
