@@ -1,0 +1,669 @@
+//! Structure-of-arrays **lane bank** for the 2nd-order ΣΔ modulator:
+//! K independent converter sessions stepped per clock in lockstep.
+//!
+//! Array-scale CMOS readout gets its throughput from running many
+//! identical channels in parallel; the software analogue is data-level
+//! parallelism. [`SigmaDelta2Bank`] holds the loop-filter state of K
+//! independent [`SigmaDelta2`] instances in flat `[f64]` lanes
+//! (integrator states, comparator/DAC history, input history) and steps
+//! *all* lanes for each modulator clock in one tight loop — the K serial
+//! floating-point dependency chains interleave in the CPU pipeline and
+//! the lane loop autovectorizes, where the scalar path serializes on a
+//! single chain.
+//!
+//! ## Scalar path as the oracle
+//!
+//! The bank is an *execution strategy*, never a different model: every
+//! lane's bitstream, loop-filter state, and noise-stream positions are
+//! **bit-identical** to a scalar [`SigmaDelta2`] with the same seed fed
+//! the same inputs (property-tested across random K, seeds, and block
+//! boundaries). This holds because every noise consumer owns an
+//! independent split stream, so per-lane pre-filling (batched ziggurat
+//! draws into a lanes×block noise tile via
+//! [`NoiseSource::fill_standard`]) consumes each stream in exactly the
+//! per-sample order of the scalar path, and the per-clock arithmetic
+//! reproduces the scalar expressions association-for-association.
+//!
+//! Lanes are absorbed from and released back to scalar modulators
+//! ([`SigmaDelta2Bank::push_lane`] / [`SigmaDelta2Bank::retire_lane`]),
+//! so sessions can join late, finish early, or be reset mid-run without
+//! disturbing the neighbours' streams.
+
+use tonos_dsp::bits::PackedBits;
+
+use crate::dac::FeedbackDac;
+use crate::integrator::ScIntegrator;
+use crate::modulator::{Coefficients, SigmaDelta2};
+use crate::noise::{LockstepFill, NoiseSource};
+use crate::nonideal::NonIdealities;
+use crate::quantizer::Comparator;
+
+/// One lane's input for a block conversion.
+///
+/// The settled readout mux holds a constant modulator input for a whole
+/// output frame — the common case, and the one the bank's pre-fill fast
+/// path exploits (jitter vanishes after the first clock because the
+/// per-sample slew is zero). A still-settling mux produces a per-clock
+/// transient, supplied as explicit samples.
+#[derive(Debug, Clone, Copy)]
+pub enum LaneInput<'a> {
+    /// The input is held at this value for every clock of the block.
+    Constant(f64),
+    /// One explicit input sample per clock (length must equal the block
+    /// size).
+    Samples(&'a [f64]),
+}
+
+/// Per-lane cold state: the split noise streams and configuration that
+/// the per-clock loop does not touch.
+#[derive(Debug, Clone)]
+struct LaneCold {
+    n1: NoiseSource,
+    n2: NoiseSource,
+    nc: NoiseSource,
+    nd: NoiseSource,
+    input_noise: NoiseSource,
+    coeffs: Coefficients,
+    nonideal: NonIdealities,
+}
+
+/// K second-order ΣΔ modulators in structure-of-arrays form, stepped in
+/// lockstep one clock at a time.
+#[derive(Debug, Clone, Default)]
+pub struct SigmaDelta2Bank {
+    // --- Hot per-lane state, one flat array per field (SoA). ---
+    /// First integrator state.
+    x1: Vec<f64>,
+    /// Second integrator state.
+    x2: Vec<f64>,
+    /// Integrator pole `p = A/(A+1)` (shared by both stages).
+    leak: Vec<f64>,
+    /// Integrator output clamp.
+    sat: Vec<f64>,
+    /// First-stage per-sample noise sigma.
+    int1_sigma: Vec<f64>,
+    /// Second-stage per-sample noise sigma.
+    int2_sigma: Vec<f64>,
+    comp_offset: Vec<f64>,
+    comp_hyst: Vec<f64>,
+    comp_sigma: Vec<f64>,
+    /// Previous comparator decision as ±1.0.
+    comp_last: Vec<f64>,
+    dac_mismatch: Vec<f64>,
+    dac_isi: Vec<f64>,
+    dac_sigma: Vec<f64>,
+    /// Previous DAC bit as ±1.0.
+    dac_last: Vec<f64>,
+    b1: Vec<f64>,
+    a1: Vec<f64>,
+    c1: Vec<f64>,
+    a2: Vec<f64>,
+    prev_input: Vec<f64>,
+    input_sigma: Vec<f64>,
+    jitter_gain: Vec<f64>,
+    steps: Vec<u64>,
+    saturation_events: Vec<u64>,
+    // --- Cold per-lane state. ---
+    cold: Vec<LaneCold>,
+    // --- Reusable block scratch (clock-major tiles: index n*K + lane).
+    /// Noisy modulator inputs `u[n]` per lane.
+    u_tile: Vec<f64>,
+    /// Pre-multiplied first-integrator noise (`standard * sigma`).
+    z1_tile: Vec<f64>,
+    /// Pre-multiplied second-integrator noise.
+    z2_tile: Vec<f64>,
+    /// Pre-multiplied comparator noise.
+    zc_tile: Vec<f64>,
+    /// Pre-multiplied DAC reference noise.
+    zr_tile: Vec<f64>,
+    /// Contiguous per-lane fill scratch.
+    row: Vec<f64>,
+    /// Per-lane 64-bit output accumulators.
+    words: Vec<u64>,
+    /// Per noise tile (z1, z2, zc, zr): clock count through which every
+    /// zero-sigma lane column is known to hold 0.0 for the current lane
+    /// layout. Zero-sigma columns never change once written, so the
+    /// per-block zero fill can be skipped while the layout is stable;
+    /// any lane add/remove invalidates the markers.
+    zero_clean: [usize; 4],
+    /// Per noise tile: true when *every* lane's sigma is zero. Such a
+    /// tile is neither filled nor read — the loop filter substitutes
+    /// [`SigmaDelta2Bank::zero_row`], keeping the per-block working set
+    /// to the tiles that actually carry noise (the difference between
+    /// staying in L1 and spilling at K=8).
+    all_zero: [bool; 4],
+    /// One k-length row of exact 0.0 standing in for all-zero tiles.
+    zero_row: Vec<f64>,
+    /// Lockstep multi-stream ziggurat scratch: when every lane of a tile
+    /// is noisy, all K streams advance side by side instead of one lane
+    /// at a time (see [`LockstepFill`]).
+    fill: LockstepFill,
+}
+
+impl SigmaDelta2Bank {
+    /// An empty bank; add lanes with [`SigmaDelta2Bank::push_lane`].
+    pub fn new() -> Self {
+        SigmaDelta2Bank::default()
+    }
+
+    /// Builds a bank by absorbing a set of scalar modulators, one lane
+    /// each (lane index = position in `mods`).
+    pub fn from_modulators(mods: impl IntoIterator<Item = SigmaDelta2>) -> Self {
+        let mut bank = SigmaDelta2Bank::new();
+        for m in mods {
+            bank.push_lane(m);
+        }
+        bank
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.x1.len()
+    }
+
+    /// True when the bank holds no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.x1.is_empty()
+    }
+
+    /// Absorbs a scalar modulator as a new lane (appended last) and
+    /// returns its lane index. The modulator's exact state — loop
+    /// filter, histories, counters, and the positions of all five split
+    /// noise streams — carries over, so a lane behaves as if the scalar
+    /// modulator had simply kept stepping.
+    pub fn push_lane(&mut self, m: SigmaDelta2) -> usize {
+        let lane = self.lanes();
+        self.x1.push(m.int1.state);
+        self.x2.push(m.int2.state);
+        self.leak.push(m.int1.leak);
+        self.sat.push(m.int1.saturation);
+        self.int1_sigma.push(m.int1.noise_sigma);
+        self.int2_sigma.push(m.int2.noise_sigma);
+        self.comp_offset.push(m.comparator.offset);
+        self.comp_hyst.push(m.comparator.hysteresis);
+        self.comp_sigma.push(m.comparator.noise_sigma);
+        self.comp_last.push(f64::from(m.comparator.last));
+        self.dac_mismatch.push(m.dac.level_mismatch);
+        self.dac_isi.push(m.dac.isi);
+        self.dac_sigma.push(m.dac.reference_noise_sigma);
+        self.dac_last.push(f64::from(m.dac.last_bit));
+        self.b1.push(m.coeffs.b1);
+        self.a1.push(m.coeffs.a1);
+        self.c1.push(m.coeffs.c1);
+        self.a2.push(m.coeffs.a2);
+        self.prev_input.push(m.prev_input);
+        self.input_sigma.push(m.nonideal.input_noise_sigma);
+        self.jitter_gain.push(m.nonideal.jitter_slew_gain);
+        self.steps.push(m.steps);
+        self.saturation_events.push(m.saturation_events);
+        self.cold.push(LaneCold {
+            n1: m.int1.noise,
+            n2: m.int2.noise,
+            nc: m.comparator.noise,
+            nd: m.dac.noise,
+            input_noise: m.input_noise,
+            coeffs: m.coeffs,
+            nonideal: m.nonideal,
+        });
+        self.zero_clean = [0; 4];
+        self.refresh_zero_tiles();
+        lane
+    }
+
+    /// Removes a lane and reconstitutes it as a scalar modulator with
+    /// the lane's exact state, including noise-stream positions. Lanes
+    /// after `lane` shift down by one; their streams are untouched, so
+    /// surviving lanes stay bit-identical to their scalar references.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn retire_lane(&mut self, lane: usize) -> SigmaDelta2 {
+        assert!(lane < self.lanes(), "lane {lane} out of range");
+        let cold = self.cold.remove(lane);
+        // The comparator decision doubles as the modulator's last output
+        // bit (scalar `step` sets both from the same `v`).
+        let comp_last = if self.comp_last.remove(lane) > 0.0 {
+            1
+        } else {
+            -1
+        };
+        let m = SigmaDelta2 {
+            coeffs: cold.coeffs,
+            int1: ScIntegrator {
+                state: self.x1.remove(lane),
+                leak: self.leak[lane],
+                saturation: self.sat[lane],
+                noise_sigma: self.int1_sigma.remove(lane),
+                noise: cold.n1,
+                saturated: false,
+            },
+            int2: ScIntegrator {
+                state: self.x2.remove(lane),
+                leak: self.leak.remove(lane),
+                saturation: self.sat.remove(lane),
+                noise_sigma: self.int2_sigma.remove(lane),
+                noise: cold.n2,
+                saturated: false,
+            },
+            comparator: Comparator {
+                offset: self.comp_offset.remove(lane),
+                hysteresis: self.comp_hyst.remove(lane),
+                noise_sigma: self.comp_sigma.remove(lane),
+                noise: cold.nc,
+                last: comp_last,
+            },
+            dac: FeedbackDac {
+                level_mismatch: self.dac_mismatch.remove(lane),
+                isi: self.dac_isi.remove(lane),
+                reference_noise_sigma: self.dac_sigma.remove(lane),
+                noise: cold.nd,
+                last_bit: if self.dac_last.remove(lane) > 0.0 {
+                    1
+                } else {
+                    -1
+                },
+            },
+            input_noise: cold.input_noise,
+            nonideal: cold.nonideal,
+            prev_input: self.prev_input.remove(lane),
+            last_bit: comp_last,
+            saturation_events: self.saturation_events.remove(lane),
+            steps: self.steps.remove(lane),
+        };
+        self.b1.remove(lane);
+        self.a1.remove(lane);
+        self.c1.remove(lane);
+        self.a2.remove(lane);
+        self.input_sigma.remove(lane);
+        self.jitter_gain.remove(lane);
+        self.zero_clean = [0; 4];
+        self.refresh_zero_tiles();
+        m
+    }
+
+    /// Recomputes the all-zero tile markers for the current lane layout.
+    fn refresh_zero_tiles(&mut self) {
+        self.all_zero = [
+            self.int1_sigma.iter().all(|&s| s == 0.0),
+            self.int2_sigma.iter().all(|&s| s == 0.0),
+            self.comp_sigma.iter().all(|&s| s == 0.0),
+            self.dac_sigma.iter().all(|&s| s == 0.0),
+        ];
+    }
+
+    /// Resets one lane's loop state exactly like
+    /// [`crate::modulator::DeltaSigmaModulator::reset`] on the scalar
+    /// modulator: integrators and histories clear, counters zero, noise
+    /// stream positions are *kept*.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn reset_lane(&mut self, lane: usize) {
+        assert!(lane < self.lanes(), "lane {lane} out of range");
+        self.x1[lane] = 0.0;
+        self.x2[lane] = 0.0;
+        self.comp_last[lane] = 1.0;
+        self.dac_last[lane] = 1.0;
+        self.prev_input[lane] = 0.0;
+        self.steps[lane] = 0;
+        self.saturation_events[lane] = 0;
+    }
+
+    /// Total converted clocks on a lane since construction/reset.
+    pub fn steps(&self, lane: usize) -> u64 {
+        self.steps[lane]
+    }
+
+    /// Integrator saturation events on a lane since construction/reset.
+    pub fn saturation_events(&self, lane: usize) -> u64 {
+        self.saturation_events[lane]
+    }
+
+    /// Converts `clocks` modulator cycles on every lane in lockstep,
+    /// appending each lane's packed bitstream to the matching entry of
+    /// `bits` (not cleared first).
+    ///
+    /// Per lane, the produced bits and the post-block state are
+    /// bit-identical to the scalar path. Allocation-free once the
+    /// internal tiles have grown to the block size (the scratch is
+    /// reused across calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs` or `bits` length differs from the lane
+    /// count, or a [`LaneInput::Samples`] length differs from `clocks`.
+    pub fn step_block(&mut self, clocks: usize, inputs: &[LaneInput], bits: &mut [PackedBits]) {
+        let k = self.lanes();
+        assert_eq!(inputs.len(), k, "one input per lane");
+        assert_eq!(bits.len(), k, "one bit sink per lane");
+        if clocks == 0 || k == 0 {
+            return;
+        }
+        self.grow_scratch(clocks);
+        self.fill_input_tile(clocks, inputs);
+        self.fill_noise_tiles(clocks);
+        self.run_loop_filter(clocks, bits);
+    }
+
+    /// Converts `clocks` modulator cycles on every lane in lockstep with
+    /// every lane held at a constant input for the whole block — the
+    /// settled-mux frame case. Semantically identical to
+    /// [`SigmaDelta2Bank::step_block`] with all-[`LaneInput::Constant`]
+    /// inputs, but takes a plain `&[f64]` so callers converting settled
+    /// frames need no per-frame `LaneInput` buffer at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs` or `bits` length differs from the lane count.
+    pub fn step_block_constant(&mut self, clocks: usize, inputs: &[f64], bits: &mut [PackedBits]) {
+        let k = self.lanes();
+        assert_eq!(inputs.len(), k, "one input per lane");
+        assert_eq!(bits.len(), k, "one bit sink per lane");
+        if clocks == 0 || k == 0 {
+            return;
+        }
+        self.grow_scratch(clocks);
+        self.fill_input_tile_constant(clocks, inputs);
+        self.fill_noise_tiles(clocks);
+        self.run_loop_filter(clocks, bits);
+    }
+
+    /// Grows the block scratch to `clocks` (no-op once warm).
+    fn grow_scratch(&mut self, clocks: usize) {
+        let k = self.lanes();
+        let tile = clocks * k;
+        for t in [
+            &mut self.u_tile,
+            &mut self.z1_tile,
+            &mut self.z2_tile,
+            &mut self.zc_tile,
+            &mut self.zr_tile,
+        ] {
+            if t.len() < tile {
+                t.resize(tile, 0.0);
+            }
+        }
+        if self.row.len() < clocks {
+            self.row.resize(clocks, 0.0);
+        }
+        if self.words.len() < k {
+            self.words.resize(k, 0);
+        }
+        if self.zero_row.len() < k {
+            self.zero_row.resize(k, 0.0);
+        }
+    }
+
+    /// Pass 1: per-lane sampled-input impairments into the clock-major
+    /// input tile — the same draws, in the same order, as the scalar
+    /// `step_block` input pass.
+    fn fill_input_tile(&mut self, clocks: usize, inputs: &[LaneInput]) {
+        for (lane, input) in inputs.iter().enumerate() {
+            match *input {
+                LaneInput::Constant(x) => self.fill_lane_constant(lane, clocks, x),
+                LaneInput::Samples(xs) => self.fill_lane_samples(lane, clocks, xs),
+            }
+        }
+    }
+
+    /// Fills the whole input tile for an all-constant block. Clock 0 is
+    /// per-lane scalar (it carries the frame-boundary slew and its
+    /// conditional jitter draw); when every lane has input noise, clocks
+    /// `1..` advance all K input streams in lockstep through one biased
+    /// tile fill instead of lane-at-a-time rows.
+    fn fill_input_tile_constant(&mut self, clocks: usize, inputs: &[f64]) {
+        let k = self.lanes();
+        if clocks > 1 && self.input_sigma[..k].iter().all(|&s| s != 0.0) {
+            for (lane, &x) in inputs.iter().enumerate() {
+                let sigma = self.input_sigma[lane];
+                let gain = self.jitter_gain[lane];
+                let src = &mut self.cold[lane].input_noise;
+                let jitter = gain * (x - self.prev_input[lane]);
+                self.u_tile[lane] = x + src.gaussian(sigma) + src.gaussian(jitter.abs());
+                self.prev_input[lane] = x;
+            }
+            self.fill.begin(k);
+            for c in self.cold.iter() {
+                self.fill.load(&c.input_noise);
+            }
+            self.fill.fill_biased(
+                inputs,
+                &self.input_sigma[..k],
+                clocks - 1,
+                &mut self.u_tile[k..clocks * k],
+            );
+            for (j, c) in self.cold.iter_mut().enumerate() {
+                self.fill.store(j, &mut c.input_noise);
+            }
+        } else {
+            for (lane, &x) in inputs.iter().enumerate() {
+                self.fill_lane_constant(lane, clocks, x);
+            }
+        }
+    }
+
+    /// Fills one lane's input-tile column for a constant-input block.
+    fn fill_lane_constant(&mut self, lane: usize, clocks: usize, x: f64) {
+        let k = self.lanes();
+        let sigma = self.input_sigma[lane];
+        let gain = self.jitter_gain[lane];
+        let src = &mut self.cold[lane].input_noise;
+        // Clock 0 sees the frame-boundary slew (scalar semantics,
+        // including the conditional jitter draw); every later clock has
+        // zero slew, so the jitter term is exactly `+ 0.0` and consumes
+        // nothing.
+        let jitter = gain * (x - self.prev_input[lane]);
+        self.u_tile[lane] = x + src.gaussian(sigma) + src.gaussian(jitter.abs());
+        self.prev_input[lane] = x;
+        if sigma != 0.0 {
+            let row = &mut self.row[..clocks - 1];
+            src.fill_standard(row);
+            for (n, &z) in row.iter().enumerate() {
+                self.u_tile[(n + 1) * k + lane] = x + z * sigma + 0.0;
+            }
+        } else {
+            for n in 1..clocks {
+                self.u_tile[n * k + lane] = x + 0.0 + 0.0;
+            }
+        }
+    }
+
+    /// Fills one lane's input-tile column from explicit per-clock
+    /// samples (the still-settling mux transient).
+    fn fill_lane_samples(&mut self, lane: usize, clocks: usize, xs: &[f64]) {
+        let k = self.lanes();
+        assert_eq!(xs.len(), clocks, "one sample per clock");
+        let sigma = self.input_sigma[lane];
+        let gain = self.jitter_gain[lane];
+        let src = &mut self.cold[lane].input_noise;
+        for (n, &x) in xs.iter().enumerate() {
+            let jitter = gain * (x - self.prev_input[lane]);
+            self.prev_input[lane] = x;
+            self.u_tile[n * k + lane] = x + src.gaussian(sigma) + src.gaussian(jitter.abs());
+        }
+    }
+
+    /// Pass 2: pre-draw every unconditional per-clock noise stream into
+    /// pre-multiplied clock-major tiles. A zero-sigma stream draws
+    /// nothing (its tile entries are exactly `0.0`, matching the scalar
+    /// `gaussian(0.0)` short-circuit). Three tile classes, cheapest
+    /// first: all lanes zero-sigma → the tile is dead (the loop filter
+    /// reads `zero_row`); all lanes noisy → one lockstep fill advances
+    /// every stream side by side; mixed → lane-at-a-time rows.
+    fn fill_noise_tiles(&mut self, clocks: usize) {
+        let k = self.lanes();
+        let clean = self.zero_clean;
+        let all_zero = self.all_zero;
+        let SigmaDelta2Bank {
+            int1_sigma,
+            int2_sigma,
+            comp_sigma,
+            dac_sigma,
+            cold,
+            z1_tile,
+            z2_tile,
+            zc_tile,
+            zr_tile,
+            row,
+            fill,
+            ..
+        } = self;
+        type Pick = fn(&mut LaneCold) -> &mut NoiseSource;
+        let tiles: [(&mut Vec<f64>, &Vec<f64>, Pick); 4] = [
+            (z1_tile, int1_sigma, |c| &mut c.n1),
+            (z2_tile, int2_sigma, |c| &mut c.n2),
+            (zc_tile, comp_sigma, |c| &mut c.nc),
+            (zr_tile, dac_sigma, |c| &mut c.nd),
+        ];
+        for (t, (tile, sigmas, pick)) in tiles.into_iter().enumerate() {
+            if all_zero[t] {
+                continue;
+            }
+            if sigmas[..k].iter().all(|&s| s != 0.0) {
+                fill.begin(k);
+                for c in cold.iter_mut() {
+                    fill.load(pick(c));
+                }
+                fill.fill_scaled(&sigmas[..k], clocks, &mut tile[..clocks * k]);
+                for (j, c) in cold.iter_mut().enumerate() {
+                    fill.store(j, pick(c));
+                }
+                continue;
+            }
+            for (lane, c) in cold.iter_mut().enumerate() {
+                let sigma = sigmas[lane];
+                if sigma == 0.0 {
+                    // Once zeroed for this layout, the column stays
+                    // zero — the loop filter only reads the tiles.
+                    if clean[t] < clocks {
+                        for n in 0..clocks {
+                            tile[n * k + lane] = 0.0;
+                        }
+                    }
+                } else {
+                    let r = &mut row[..clocks];
+                    pick(c).fill_standard(r);
+                    for (n, &z) in r.iter().enumerate() {
+                        tile[n * k + lane] = z * sigma;
+                    }
+                }
+            }
+        }
+        for (t, c) in self.zero_clean.iter_mut().enumerate() {
+            if !all_zero[t] {
+                *c = clean[t].max(clocks);
+            }
+        }
+    }
+
+    /// Pass 3: the lockstep loop filter — clock-outer, lane-inner, every
+    /// lane access unit-stride, every expression associated exactly as
+    /// in the scalar `SigmaDelta2::step`.
+    ///
+    /// Every per-lane field is hoisted into a `k`-length slice before the
+    /// clock loop: the inner lane loop then runs over equal-length slices
+    /// with no bounds checks, and every branch in the body is a select on
+    /// lane-local data — the shape LLVM turns into vector min/max/blend
+    /// over the lanes.
+    fn run_loop_filter(&mut self, clocks: usize, bits: &mut [PackedBits]) {
+        let k = self.lanes();
+        self.words[..k].fill(0);
+        let words = &mut self.words[..k];
+        let x1 = &mut self.x1[..k];
+        let x2 = &mut self.x2[..k];
+        let leak = &self.leak[..k];
+        let sat = &self.sat[..k];
+        let comp_offset = &self.comp_offset[..k];
+        let comp_hyst = &self.comp_hyst[..k];
+        let comp_last = &mut self.comp_last[..k];
+        let dac_mismatch = &self.dac_mismatch[..k];
+        let dac_isi = &self.dac_isi[..k];
+        let dac_last = &mut self.dac_last[..k];
+        let b1 = &self.b1[..k];
+        let a1 = &self.a1[..k];
+        let c1 = &self.c1[..k];
+        let a2 = &self.a2[..k];
+        let sat_events = &mut self.saturation_events[..k];
+        // All-zero tiles collapse to one shared zero row: `x + 0.0` from
+        // the row is bit-identical to reading a zeroed tile entry, and
+        // the block working set shrinks to the tiles that carry noise.
+        let zero_row = &self.zero_row[..k];
+        let [z1_zero, z2_zero, zc_zero, zr_zero] = self.all_zero;
+        for n in 0..clocks {
+            let base = n * k;
+            let u_row = &self.u_tile[base..base + k];
+            let z1_row = if z1_zero {
+                zero_row
+            } else {
+                &self.z1_tile[base..base + k]
+            };
+            let z2_row = if z2_zero {
+                zero_row
+            } else {
+                &self.z2_tile[base..base + k]
+            };
+            let zc_row = if zc_zero {
+                zero_row
+            } else {
+                &self.zc_tile[base..base + k]
+            };
+            let zr_row = if zr_zero {
+                zero_row
+            } else {
+                &self.zr_tile[base..base + k]
+            };
+            let bit_mask = 1u64 << (n & 63);
+            for lane in 0..k {
+                // Comparator decision from the previous x2 (delaying
+                // loop): threshold = offset − h·last + noise.
+                let threshold =
+                    comp_offset[lane] - comp_hyst[lane] * comp_last[lane] + zc_row[lane];
+                let vpos = x2[lane] >= threshold;
+                let v = if vpos { 1.0 } else { -1.0 };
+                // 1-bit DAC: positive-level mismatch, rising-edge ISI,
+                // multiplicative reference noise.
+                let level = if vpos { 1.0 + dac_mismatch[lane] } else { -1.0 };
+                let rising = v > dac_last[lane];
+                let level = if rising {
+                    level * (1.0 - dac_isi[lane])
+                } else {
+                    level
+                };
+                comp_last[lane] = v;
+                dac_last[lane] = v;
+                let vf = level * (1.0 + zr_row[lane]);
+                // Both integrators, saturating exactly like the scalar
+                // ScIntegrator::update.
+                let x1_old = x1[lane];
+                let s = sat[lane];
+                let next1 =
+                    leak[lane] * x1_old + (b1[lane] * u_row[lane] - a1[lane] * vf) + z1_row[lane];
+                let sat1 = next1 > s || next1 < -s;
+                x1[lane] = next1.clamp(-s, s);
+                let next2 =
+                    leak[lane] * x2[lane] + (c1[lane] * x1_old - a2[lane] * vf) + z2_row[lane];
+                let sat2 = next2 > s || next2 < -s;
+                x2[lane] = next2.clamp(-s, s);
+                sat_events[lane] += u64::from(sat1 || sat2);
+                words[lane] |= if vpos { bit_mask } else { 0 };
+            }
+            if n & 63 == 63 {
+                for lane in 0..k {
+                    bits[lane].push_bits(words[lane], 64);
+                }
+                words.fill(0);
+            }
+        }
+        let tail = clocks & 63;
+        if tail != 0 {
+            for lane in 0..k {
+                bits[lane].push_bits(words[lane], tail);
+            }
+        }
+        for s in self.steps[..k].iter_mut() {
+            *s += clocks as u64;
+        }
+    }
+}

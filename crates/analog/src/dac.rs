@@ -26,14 +26,14 @@ use crate::noise::NoiseSource;
 #[derive(Debug, Clone)]
 pub struct FeedbackDac {
     /// Relative positive-level error.
-    level_mismatch: f64,
+    pub(crate) level_mismatch: f64,
     /// Fraction of feedback charge lost on a *rising* transition (the
     /// asymmetric part of the settling error).
-    isi: f64,
+    pub(crate) isi: f64,
     /// Reference-noise sigma per clock (relative).
-    reference_noise_sigma: f64,
-    noise: NoiseSource,
-    last_bit: i8,
+    pub(crate) reference_noise_sigma: f64,
+    pub(crate) noise: NoiseSource,
+    pub(crate) last_bit: i8,
 }
 
 impl FeedbackDac {

@@ -17,16 +17,16 @@ use crate::noise::NoiseSource;
 /// A leaky, saturating, noisy discrete-time integrator.
 #[derive(Debug, Clone)]
 pub struct ScIntegrator {
-    state: f64,
+    pub(crate) state: f64,
     /// Pole location `p = A/(A+1)`.
-    leak: f64,
+    pub(crate) leak: f64,
     /// Output clamp in full-scale units.
-    saturation: f64,
+    pub(crate) saturation: f64,
     /// Per-sample additive noise sigma (input-referred, FS units).
-    noise_sigma: f64,
-    noise: NoiseSource,
+    pub(crate) noise_sigma: f64,
+    pub(crate) noise: NoiseSource,
     /// Set when the last update hit the clamp.
-    saturated: bool,
+    pub(crate) saturated: bool,
 }
 
 impl ScIntegrator {

@@ -27,6 +27,8 @@
 //! * [`characterize`] — static (DC transfer / INL) converter
 //!   characterization
 //! * [`modulator`] — 2nd-order (and baseline 1st-order) single-bit ΣΔ
+//! * [`bank`] — structure-of-arrays lane bank stepping K modulators per
+//!   clock (bit-identical to the scalar path, which stays the oracle)
 //! * [`mux`] — the 2:1 row/column multiplexers with settling transients
 //! * [`noise`] — seeded Gaussian noise sources and kT/C helpers
 //! * [`power`] — supply/clock-scaled power model anchored at the measured
@@ -48,6 +50,7 @@
 //! # }
 //! ```
 
+pub mod bank;
 pub mod characterize;
 pub mod dac;
 pub mod frontend;

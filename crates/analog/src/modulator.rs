@@ -172,17 +172,17 @@ impl Default for Coefficients {
 /// Second-order single-bit ΣΔ modulator (the paper's converter).
 #[derive(Debug, Clone)]
 pub struct SigmaDelta2 {
-    coeffs: Coefficients,
-    int1: ScIntegrator,
-    int2: ScIntegrator,
-    comparator: Comparator,
-    dac: FeedbackDac,
-    input_noise: NoiseSource,
-    nonideal: NonIdealities,
-    prev_input: f64,
-    last_bit: i8,
-    saturation_events: u64,
-    steps: u64,
+    pub(crate) coeffs: Coefficients,
+    pub(crate) int1: ScIntegrator,
+    pub(crate) int2: ScIntegrator,
+    pub(crate) comparator: Comparator,
+    pub(crate) dac: FeedbackDac,
+    pub(crate) input_noise: NoiseSource,
+    pub(crate) nonideal: NonIdealities,
+    pub(crate) prev_input: f64,
+    pub(crate) last_bit: i8,
+    pub(crate) saturation_events: u64,
+    pub(crate) steps: u64,
 }
 
 impl SigmaDelta2 {

@@ -8,9 +8,6 @@
 //! * sampled thermal noise on a capacitor: `v_rms = sqrt(kT / C)`;
 //! * aperture jitter on a sampled waveform: `v_err ≈ slope · t_jitter`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// Boltzmann constant in J/K.
 pub const BOLTZMANN: f64 = 1.380_649e-23;
 
@@ -69,17 +66,72 @@ fn ziggurat_tables() -> &'static ([f64; ZIGGURAT_LAYERS + 1], [f64; ZIGGURAT_LAY
     })
 }
 
+/// xoshiro256++ (Blackman & Vigna, public domain): the entropy engine
+/// behind every noise draw in the signal chain.
+///
+/// Chosen over a cryptographic generator because the modulator draws
+/// several 64-bit words *per clock per lane* — at 128 kHz × K lanes the
+/// generator is a first-order term in the conversion budget, and
+/// xoshiro256++ costs a handful of ALU ops per word (~4× cheaper than
+/// the ChaCha-class generator it replaced; see `BENCH_hotpath.json`).
+/// Statistical quality (passes BigCrush) is far beyond what a noise
+/// model needs, and streams stay fully determined by their seed.
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seeds the four state words through SplitMix64 — the reference
+    /// seeding procedure, which also guarantees a non-zero state.
+    fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Applies the ziggurat sign bit (bit 7 of the entropy word) to a
+/// non-negative sample by OR-ing it into the IEEE sign position —
+/// bit-identical to multiplying by ±1.0, with no branch.
+#[inline]
+fn apply_sign(bits: u64, x: f64) -> f64 {
+    f64::from_bits(x.to_bits() | ((bits & ZIGGURAT_LAYERS as u64) << 56))
+}
+
 /// A deterministic Gaussian noise stream.
 #[derive(Debug, Clone)]
 pub struct NoiseSource {
-    rng: StdRng,
+    rng: Xoshiro256,
 }
 
 impl NoiseSource {
     /// Creates a source from an explicit seed.
     pub fn from_seed(seed: u64) -> Self {
         NoiseSource {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256::from_seed(seed),
         }
     }
 
@@ -98,37 +150,107 @@ impl NoiseSource {
     /// clock dropped ~3× when this replaced the Box–Muller transform —
     /// see `BENCH_hotpath.json`.
     pub fn standard(&mut self) -> f64 {
-        let (xs, ys) = ziggurat_tables();
+        let tables = ziggurat_tables();
+        self.one_standard(tables)
+    }
+
+    /// One full ziggurat draw against pre-resolved tables (hot path,
+    /// rejection loop, and tail).
+    #[inline]
+    fn one_standard(
+        &mut self,
+        tables: &([f64; ZIGGURAT_LAYERS + 1], [f64; ZIGGURAT_LAYERS + 1]),
+    ) -> f64 {
+        let bits = self.rng.next_u64();
+        self.finish_standard(tables, bits)
+    }
+
+    /// Completes a ziggurat draw whose first entropy word has already
+    /// been consumed from this stream — the continuation shared by the
+    /// per-draw path and the lockstep tile fill's rejection handling.
+    /// Word-for-word identical to the historical single-loop sampler.
+    #[inline]
+    fn finish_standard(
+        &mut self,
+        (xs, ys): &([f64; ZIGGURAT_LAYERS + 1], [f64; ZIGGURAT_LAYERS + 1]),
+        mut bits: u64,
+    ) -> f64 {
         loop {
-            let bits = self.rng.next_u64();
             let i = (bits & (ZIGGURAT_LAYERS as u64 - 1)) as usize;
-            let sign = if bits & ZIGGURAT_LAYERS as u64 != 0 {
-                -1.0
-            } else {
-                1.0
-            };
             let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
             let x = u * xs[i];
             if x < xs[i + 1] {
                 // Strictly inside the next layer's rectangle: accept
                 // without evaluating the density (the hot path).
-                return sign * x;
+                return apply_sign(bits, x);
             }
             if i == 0 {
                 // Base layer overflow: sample the tail beyond R.
-                loop {
-                    let e1 = -self.unit_open().ln() / ZIGGURAT_R;
-                    let e2 = -self.unit_open().ln();
-                    if e2 + e2 > e1 * e1 {
-                        return sign * (ZIGGURAT_R + e1);
-                    }
-                }
+                return apply_sign(bits, self.tail_beyond_r());
             }
             // Layer edge: accept with probability proportional to the
             // density between the layer's bounding heights.
             let y = ys[i] + (ys[i + 1] - ys[i]) * self.unit_open();
             if y < (-0.5 * x * x).exp() {
-                return sign * x;
+                return apply_sign(bits, x);
+            }
+            bits = self.rng.next_u64();
+        }
+    }
+
+    /// Fills `out` with standard-normal samples, exactly as if each had
+    /// been drawn by [`NoiseSource::standard`] in sequence.
+    ///
+    /// This is the batched ziggurat fill the lane bank uses to pre-draw
+    /// a block of per-clock noise per lane. Four draws are speculated at
+    /// a time entirely branch-free (generator step, layer lookup, accept
+    /// test, branchless sign via a bit OR); when all four land in the
+    /// accept-without-density region (~94 % of chunks) they commit as a
+    /// straight-line store. A chunk with any rejection rolls the
+    /// generator back (its state is four words) and replays the chunk
+    /// through the full per-draw path. The sample *sequence* is
+    /// bit-identical to repeated `standard()` calls, so pre-filling
+    /// never shifts a stream.
+    pub fn fill_standard(&mut self, out: &mut [f64]) {
+        let tables = ziggurat_tables();
+        let (xs, _) = tables;
+        let mut chunks = out.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            let rolled_back = self.rng.clone();
+            let mut accept = true;
+            for slot in chunk.iter_mut() {
+                let bits = self.rng.next_u64();
+                let i = (bits & (ZIGGURAT_LAYERS as u64 - 1)) as usize;
+                let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let x = u * xs[i];
+                accept &= x < xs[i + 1];
+                *slot = apply_sign(bits, x);
+            }
+            if !accept {
+                // Replay the whole chunk through the exact per-draw
+                // path, so rejection handling consumes words in the
+                // same order as `standard()`.
+                self.rng = rolled_back;
+                for slot in chunk.iter_mut() {
+                    *slot = self.one_standard(tables);
+                }
+            }
+        }
+        for slot in chunks.into_remainder() {
+            *slot = self.one_standard(tables);
+        }
+    }
+
+    /// Marsaglia tail sample beyond the base-layer edge `R` (the rare
+    /// fallback shared by [`NoiseSource::standard`] and
+    /// [`NoiseSource::fill_standard`]).
+    #[cold]
+    fn tail_beyond_r(&mut self) -> f64 {
+        loop {
+            let e1 = -self.unit_open().ln() / ZIGGURAT_R;
+            let e2 = -self.unit_open().ln();
+            if e2 + e2 > e1 * e1 {
+                return ZIGGURAT_R + e1;
             }
         }
     }
@@ -148,7 +270,153 @@ impl NoiseSource {
     /// Derives an independent child source (splitting streams for the two
     /// integrators, the comparator, etc.).
     pub fn split(&mut self) -> NoiseSource {
-        NoiseSource::from_seed(self.rng.gen())
+        NoiseSource::from_seed(self.rng.next_u64())
+    }
+}
+
+/// Lockstep multi-stream ziggurat fill: K independent [`NoiseSource`]
+/// streams advanced one draw per step, side by side.
+///
+/// A single stream's generator is a serial dependency chain — each word
+/// waits on the last — so per-stream fills are latency-bound no matter
+/// how they are batched. Holding K streams' state words in
+/// structure-of-arrays form and stepping all K per clock turns that
+/// latency into throughput: the K chains interleave in the pipeline and
+/// the pure-integer generator loop autovectorizes. This is the noise
+/// engine behind the lane bank's clock-major tiles.
+///
+/// Each stream's draw *sequence* stays bit-identical to scalar
+/// [`NoiseSource::standard`] calls: the lockstep step consumes exactly
+/// the word `standard()` would, and the ~1 % of draws that miss the
+/// accept-without-density region replay through the exact scalar
+/// rejection path on their own stream.
+#[derive(Debug, Clone, Default)]
+pub struct LockstepFill {
+    s0: Vec<u64>,
+    s1: Vec<u64>,
+    s2: Vec<u64>,
+    s3: Vec<u64>,
+    bits: Vec<u64>,
+}
+
+impl LockstepFill {
+    /// An empty fill scratch; reusable across blocks without
+    /// reallocating once warm.
+    pub fn new() -> Self {
+        LockstepFill::default()
+    }
+
+    /// Starts a new lockstep group; follow with one
+    /// [`LockstepFill::load`] per stream.
+    pub fn begin(&mut self, k: usize) {
+        for v in [&mut self.s0, &mut self.s1, &mut self.s2, &mut self.s3] {
+            v.clear();
+            v.reserve(k);
+        }
+        self.bits.clear();
+        self.bits.resize(k, 0);
+    }
+
+    /// Adds one stream to the group (slot index = call order).
+    pub fn load(&mut self, src: &NoiseSource) {
+        let [a, b, c, d] = src.rng.s;
+        self.s0.push(a);
+        self.s1.push(b);
+        self.s2.push(c);
+        self.s3.push(d);
+    }
+
+    /// Writes slot `j`'s advanced generator state back to its stream.
+    pub fn store(&self, j: usize, src: &mut NoiseSource) {
+        src.rng.s = [self.s0[j], self.s1[j], self.s2[j], self.s3[j]];
+    }
+
+    /// Fills a clock-major tile with scaled draws:
+    /// `out[n*k + j] = stream_j.standard() * sigmas[j]` for each clock
+    /// `n` — the lane bank's pre-multiplied noise tiles.
+    pub fn fill_scaled(&mut self, sigmas: &[f64], clocks: usize, out: &mut [f64]) {
+        self.fill_with(clocks, out, |j, z| z * sigmas[j]);
+    }
+
+    /// Fills a clock-major tile with biased scaled draws:
+    /// `out[n*k + j] = biases[j] + stream_j.standard() * sigmas[j] + 0.0`
+    /// — the lane bank's noisy constant-input tile (the trailing `+ 0.0`
+    /// mirrors the scalar path's vanished jitter term exactly).
+    pub fn fill_biased(&mut self, biases: &[f64], sigmas: &[f64], clocks: usize, out: &mut [f64]) {
+        self.fill_with(clocks, out, |j, z| biases[j] + z * sigmas[j] + 0.0);
+    }
+
+    /// The lockstep core: one generator step for all K streams, then the
+    /// per-stream accept test; rejected draws (rare) replay through the
+    /// exact scalar path on a stream rebuilt from their slot's words.
+    fn fill_with(&mut self, clocks: usize, out: &mut [f64], f: impl Fn(usize, f64) -> f64) {
+        let k = self.bits.len();
+        if k == 0 || clocks == 0 {
+            return;
+        }
+        let tables = ziggurat_tables();
+        let (xs, _) = tables;
+        let s0 = &mut self.s0[..k];
+        let s1 = &mut self.s1[..k];
+        let s2 = &mut self.s2[..k];
+        let s3 = &mut self.s3[..k];
+        let bits = &mut self.bits[..k];
+        for row in out[..clocks * k].chunks_exact_mut(k) {
+            // One xoshiro256++ step per stream, all streams in lockstep
+            // (pure integer, unit stride: the autovectorized half).
+            for j in 0..k {
+                let r = s0[j]
+                    .wrapping_add(s3[j])
+                    .rotate_left(23)
+                    .wrapping_add(s0[j]);
+                let t = s1[j] << 17;
+                s2[j] ^= s0[j];
+                s3[j] ^= s1[j];
+                s1[j] ^= s2[j];
+                s0[j] ^= s3[j];
+                s2[j] ^= t;
+                s3[j] = s3[j].rotate_left(45);
+                bits[j] = r;
+            }
+            // Speculative accept for every stream: layer lookup, one
+            // multiply, branchless sign — exactly `standard()`'s hot
+            // path.
+            let mut any_reject = false;
+            for j in 0..k {
+                let b = bits[j];
+                let i = (b & (ZIGGURAT_LAYERS as u64 - 1)) as usize;
+                let u = (b >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let x = u * xs[i];
+                any_reject |= x >= xs[i + 1];
+                row[j] = f(j, apply_sign(b, x));
+            }
+            if any_reject {
+                // Re-test each slot and replay the misses through the
+                // scalar rejection path (layer edge or tail) on their
+                // own stream; the accepted slots are untouched.
+                for j in 0..k {
+                    let b = bits[j];
+                    let i = (b & (ZIGGURAT_LAYERS as u64 - 1)) as usize;
+                    let u = (b >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    let x = u * xs[i];
+                    if x < xs[i + 1] {
+                        continue;
+                    }
+                    let mut src = NoiseSource {
+                        rng: Xoshiro256 {
+                            s: [s0[j], s1[j], s2[j], s3[j]],
+                        },
+                    };
+                    let z = src.finish_standard(tables, b);
+                    let [a, bb, c, d] = src.rng.s;
+                    s0[j] = a;
+                    s1[j] = bb;
+                    s2[j] = c;
+                    s3[j] = d;
+                    row[j] = f(j, z);
+                }
+            }
+        }
     }
 }
 
@@ -192,6 +460,87 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var.sqrt() - sigma).abs() < 0.03, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn fill_standard_matches_sequential_draws() {
+        // The batched fill must be sequence-identical to repeated
+        // standard() calls — across block boundaries and for enough
+        // draws to hit the rejection paths (layer edges, tail).
+        let mut batched = NoiseSource::from_seed(0xBA7C);
+        let mut scalar = NoiseSource::from_seed(0xBA7C);
+        let mut buf = vec![0.0; 1024];
+        for len in [1usize, 7, 64, 127, 128, 500, 1024] {
+            batched.fill_standard(&mut buf[..len]);
+            for (i, &b) in buf[..len].iter().enumerate() {
+                assert_eq!(b, scalar.standard(), "draw {i} of block {len}");
+            }
+        }
+        // Interleaving fills and scalar draws must also stay aligned.
+        batched.fill_standard(&mut buf[..33]);
+        for &b in &buf[..33] {
+            assert_eq!(b, scalar.standard());
+        }
+        assert_eq!(batched.standard(), scalar.standard());
+    }
+
+    #[test]
+    fn lockstep_fill_matches_scalar_draws_per_stream() {
+        // Enough draws per stream to exercise the rejection paths, plus
+        // re-loading the same group for a second block: every stream
+        // must stay sequence-identical to scalar draws, and the bias /
+        // scale application must match the scalar expressions exactly.
+        let k = 7;
+        let clocks = 600;
+        let sigmas: Vec<f64> = (0..k).map(|j| 0.5 + j as f64).collect();
+        let biases: Vec<f64> = (0..k).map(|j| -3.0 + j as f64).collect();
+        let mut streams: Vec<NoiseSource> = (0..k)
+            .map(|j| NoiseSource::from_seed(900 + j as u64))
+            .collect();
+        let mut oracle: Vec<NoiseSource> = streams.clone();
+        let mut fill = LockstepFill::new();
+        let mut tile = vec![0.0; clocks * k];
+
+        fill.begin(k);
+        for s in &streams {
+            fill.load(s);
+        }
+        fill.fill_scaled(&sigmas, clocks, &mut tile);
+        for (j, s) in streams.iter_mut().enumerate() {
+            fill.store(j, s);
+        }
+        for n in 0..clocks {
+            for (j, o) in oracle.iter_mut().enumerate() {
+                assert_eq!(
+                    tile[n * k + j],
+                    o.standard() * sigmas[j],
+                    "clock {n} slot {j}"
+                );
+            }
+        }
+
+        // Second block through the biased fill: the stored-back states
+        // must resume exactly where the oracle streams are.
+        fill.begin(k);
+        for s in &streams {
+            fill.load(s);
+        }
+        fill.fill_biased(&biases, &sigmas, clocks, &mut tile);
+        for (j, s) in streams.iter_mut().enumerate() {
+            fill.store(j, s);
+        }
+        for n in 0..clocks {
+            for (j, o) in oracle.iter_mut().enumerate() {
+                assert_eq!(
+                    tile[n * k + j],
+                    biases[j] + o.standard() * sigmas[j] + 0.0,
+                    "clock {n} slot {j}"
+                );
+            }
+        }
+        for (s, o) in streams.iter_mut().zip(&mut oracle) {
+            assert_eq!(s.standard(), o.standard());
+        }
     }
 
     #[test]

@@ -11,12 +11,12 @@ use crate::noise::NoiseSource;
 /// A clocked single-bit comparator.
 #[derive(Debug, Clone)]
 pub struct Comparator {
-    offset: f64,
-    hysteresis: f64,
+    pub(crate) offset: f64,
+    pub(crate) hysteresis: f64,
     /// Per-decision input-referred noise sigma.
-    noise_sigma: f64,
-    noise: NoiseSource,
-    last: i8,
+    pub(crate) noise_sigma: f64,
+    pub(crate) noise: NoiseSource,
+    pub(crate) last: i8,
 }
 
 impl Comparator {

@@ -145,35 +145,38 @@ pub struct MonitoringSession {
 
 /// Telemetry handles for the monitor's session stages.
 #[derive(Debug, Clone, Default)]
-struct MonitorInstruments {
+pub(crate) struct MonitorInstruments {
     beats: Counter,
     recalibrations: Counter,
     beat_interval: Histogram,
-    span_scan: SpanTimer,
-    span_acquisition: SpanTimer,
+    pub(crate) span_scan: SpanTimer,
+    pub(crate) span_acquisition: SpanTimer,
     span_calibration: SpanTimer,
     span_analysis: SpanTimer,
 }
 
 /// The end-to-end monitor.
+///
+/// Fields are crate-visible so the lane-batched session runner
+/// (`crate::batch`) can drive the same per-monitor state in lockstep.
 #[derive(Debug, Clone)]
 pub struct BloodPressureMonitor {
-    system: ReadoutSystem,
-    tissue: TissueModel,
-    patient: PatientProfile,
-    cuff: CuffDevice,
-    scan_window: usize,
-    recalibration: RecalibrationPolicy,
-    telemetry: Telemetry,
-    instruments: MonitorInstruments,
+    pub(crate) system: ReadoutSystem,
+    pub(crate) tissue: TissueModel,
+    pub(crate) patient: PatientProfile,
+    pub(crate) cuff: CuffDevice,
+    pub(crate) scan_window: usize,
+    pub(crate) recalibration: RecalibrationPolicy,
+    pub(crate) telemetry: Telemetry,
+    pub(crate) instruments: MonitorInstruments,
     /// Optional sensor-side thermal drift: the thermal model plus the
     /// die-temperature profile. Affects the *sensor*, not the truth.
-    thermal: Option<(ThermalModel, TemperatureProfile)>,
+    pub(crate) thermal: Option<(ThermalModel, TemperatureProfile)>,
     /// Optional sensor-side motion artifacts added to the contact-surface
     /// pressure (probe motion disturbs the contact, not the artery).
-    artifacts: Option<tonos_physio::artifact::ArtifactGenerator>,
+    pub(crate) artifacts: Option<tonos_physio::artifact::ArtifactGenerator>,
     /// Optional PDMS stress relaxation of the contact (strap-on creep).
-    creep: Option<CreepModel>,
+    pub(crate) creep: Option<CreepModel>,
 }
 
 /// Default number of settled frames scored per element during the scan.
@@ -323,8 +326,70 @@ impl BloodPressureMonitor {
                 truth.sample_rate, fs
             )));
         }
+        let synth = self.frame_synth(&truth, fs)?;
+        let array_len = self.system.chip().array().layout().len();
+
+        // --- Scan phase: advance through the truth record. ---
+        let mut cursor = 0usize;
+        let truth_len = truth.samples.len();
+        let scan_span = self.instruments.span_scan.start();
+        let scan = {
+            let truth_ref = &truth;
+            let synth_ref = &synth;
+            scan_strongest(
+                &mut self.system,
+                || {
+                    let mut frame = Vec::with_capacity(array_len);
+                    synth_ref.fill_scan(truth_ref, cursor, &mut frame);
+                    cursor += 1;
+                    frame
+                },
+                self.scan_window,
+            )?
+        };
+        scan_span.finish();
+        self.telemetry.event(Severity::Info, "monitor", || {
+            format!(
+                "scan selected element ({}, {}) of {}",
+                scan.best.0, scan.best.1, array_len
+            )
+        });
+
+        let acquisition_start = cursor.min(truth_len);
+        if truth_len - acquisition_start < (4.0 * fs) as usize {
+            return Err(SystemError::Config(format!(
+                "only {} samples remain after the scan; extend the record",
+                truth_len - acquisition_start
+            )));
+        }
+
+        // --- Acquisition phase. ---
+        let acquisition_span = self.instruments.span_acquisition.start();
+        let mut raw = Vec::with_capacity(truth_len - acquisition_start);
+        // One frame buffer for the whole session: with the readout's
+        // conversion scratch underneath, each iteration of this loop is
+        // allocation-free except for `raw`'s pre-sized pushes.
+        let mut frame = Vec::with_capacity(array_len);
+        for i in 0..truth_len - acquisition_start {
+            synth.fill_acquisition(&truth, acquisition_start, i, fs, &mut frame);
+            raw.push(self.system.push_frame(&frame)?);
+        }
+        acquisition_span.finish();
+
+        self.finish_session(truth, raw, acquisition_start, scan)
+    }
+
+    /// Builds this session's frame synthesizer: artifact track aligned
+    /// with the truth record and precomputed drift terms. Pure with
+    /// respect to the readout state, so the scalar and lane-batched
+    /// paths can build identical synthesizers.
+    pub(crate) fn frame_synth(
+        &self,
+        truth: &WaveformRecord,
+        fs: f64,
+    ) -> Result<FrameSynth, SystemError> {
         let contact = self.system.config().contact;
-        let array_layout = self.system.chip().array().layout();
+        let layout = self.system.chip().array().layout();
         let tissue = self.tissue;
 
         // Sensor-side motion artifacts: a surface-pressure disturbance
@@ -338,63 +403,6 @@ impl BloodPressureMonitor {
             None => Vec::new(),
         };
 
-        // Frame factory: arterial sample + surface artifact → per-element
-        // pressures, filled into a caller-owned buffer (the tissue field
-        // and contact transfer are pure math — infallible and
-        // allocation-free, which keeps the acquisition loop on the
-        // zero-allocation frame path).
-        let fill_element_pressures = |arterial: MillimetersHg,
-                                      artifact: Pascals,
-                                      out: &mut Vec<Pascals>| {
-            let field = tissue.field(arterial);
-            out.clear();
-            for row in 0..array_layout.rows {
-                for col in 0..array_layout.cols {
-                    let (x, y) = array_layout.position(row, col);
-                    out.push(contact.net_element_pressure(field.pressure_at_xy(x, y) + artifact));
-                }
-            }
-        };
-        let artifact_at =
-            |i: usize| -> Pascals { artifact_track.get(i).copied().unwrap_or(Pascals(0.0)) };
-
-        // --- Scan phase: advance through the truth record. ---
-        let mut cursor = 0usize;
-        let truth_len = truth.samples.len();
-        let scan_span = self.instruments.span_scan.start();
-        let scan = {
-            let samples = &truth.samples;
-            scan_strongest(
-                &mut self.system,
-                || {
-                    let idx = cursor.min(truth_len - 1);
-                    let arterial = samples[idx];
-                    cursor += 1;
-                    let mut frame = Vec::with_capacity(array_layout.len());
-                    fill_element_pressures(arterial, artifact_at(idx), &mut frame);
-                    frame
-                },
-                self.scan_window,
-            )?
-        };
-        scan_span.finish();
-        self.telemetry.event(Severity::Info, "monitor", || {
-            format!(
-                "scan selected element ({}, {}) of {}",
-                scan.best.0,
-                scan.best.1,
-                array_layout.len()
-            )
-        });
-
-        let acquisition_start = cursor.min(truth_len);
-        if truth_len - acquisition_start < (4.0 * fs) as usize {
-            return Err(SystemError::Config(format!(
-                "only {} samples remain after the scan; extend the record",
-                truth_len - acquisition_start
-            )));
-        }
-
         // --- Sensor-side thermal drift (membrane-load-referred). ---
         // Precompute the full-scale drift once; the per-frame value is a
         // linear interpolation along the temperature profile.
@@ -406,7 +414,7 @@ impl BloodPressureMonitor {
                 let bias = contact
                     .net_element_pressure(tissue.field(mean_arterial).pressure_at_xy(0.0, 0.0));
                 let full = model.equivalent_pressure_drift(profile.end_c, bias)?;
-                Some((*profile, full, model.reference_temp_c()))
+                Some((*profile, full))
             }
             _ => None,
         };
@@ -419,42 +427,33 @@ impl BloodPressureMonitor {
             let gain = contact.force_concentration * contact.pdms_transmission;
             (creep, surface_bias, gain)
         });
-        let drift_at = |t: f64| -> Pascals {
-            let thermal = match &thermal_drift {
-                Some((profile, full, _)) => {
-                    let frac =
-                        (profile.temp_at(t) - profile.start_c) / (profile.end_c - profile.start_c);
-                    // The model's drift is referenced to its own reference
-                    // temperature; the session starts at profile.start_c,
-                    // so only the *change* from the start matters.
-                    *full * frac
-                }
-                None => Pascals(0.0),
-            };
-            let creep = match &creep_drift {
-                Some((creep, surface_bias, gain)) => creep.pressure_drift(*surface_bias, t) * *gain,
-                None => Pascals(0.0),
-            };
-            thermal + creep
-        };
 
-        // --- Acquisition phase. ---
-        let acquisition_span = self.instruments.span_acquisition.start();
-        let mut raw = Vec::with_capacity(truth_len - acquisition_start);
-        // One frame buffer for the whole session: with the readout's
-        // conversion scratch underneath, each iteration of this loop is
-        // allocation-free except for `raw`'s pre-sized pushes.
-        let mut frame = Vec::with_capacity(array_layout.len());
-        for (i, &arterial) in truth.samples[acquisition_start..].iter().enumerate() {
-            let t = (acquisition_start + i) as f64 / fs;
-            fill_element_pressures(arterial, artifact_at(acquisition_start + i), &mut frame);
-            let drift = drift_at(t);
-            for p in &mut frame {
-                *p += drift;
-            }
-            raw.push(self.system.push_frame(&frame)?);
-        }
-        acquisition_span.finish();
+        Ok(FrameSynth {
+            tissue,
+            contact,
+            layout,
+            artifact_track,
+            thermal_drift,
+            creep_drift,
+        })
+    }
+
+    /// The post-acquisition half of a session: cuff calibration(s),
+    /// piecewise application, beat analysis, and error reporting. Shared
+    /// by [`BloodPressureMonitor::run_record`] and the lane-batched
+    /// runner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration and analysis failures.
+    pub(crate) fn finish_session(
+        &mut self,
+        truth: WaveformRecord,
+        raw: Vec<f64>,
+        acquisition_start: usize,
+        scan: ScanResult,
+    ) -> Result<MonitoringSession, SystemError> {
+        let fs = self.system.output_rate_hz();
 
         // --- Calibration(s) against the cuff. ---
         let window_s = self.recalibration.window_s.min(raw.len() as f64 / fs);
@@ -573,6 +572,96 @@ impl BloodPressureMonitor {
             errors,
             sample_rate: fs,
         })
+    }
+}
+
+/// Per-session frame synthesis: arterial truth sample + surface
+/// artifact + sensor-side drift → per-element pressure frame.
+///
+/// Extracted from the session loop so the scalar path and the
+/// lane-batched runner (`crate::batch`) synthesize frames through the
+/// *same* expressions in the same order — frame values, and therefore
+/// the converted bitstreams, stay bit-identical between the two
+/// execution strategies. All methods are pure math: infallible and
+/// allocation-free, keeping the acquisition loop on the zero-allocation
+/// frame path.
+#[derive(Debug, Clone)]
+pub(crate) struct FrameSynth {
+    tissue: TissueModel,
+    contact: tonos_mems::contact::ContactInterface,
+    layout: tonos_mems::array::ArrayLayout,
+    artifact_track: Vec<Pascals>,
+    /// Active thermal ramp: (profile, full-scale equivalent drift).
+    thermal_drift: Option<(TemperatureProfile, Pascals)>,
+    /// Contact creep: (model, surface bias, concentration·transmission).
+    creep_drift: Option<(CreepModel, Pascals, f64)>,
+}
+
+impl FrameSynth {
+    /// Surface artifact at truth index `i` (zero outside the track).
+    fn artifact_at(&self, i: usize) -> Pascals {
+        self.artifact_track.get(i).copied().unwrap_or(Pascals(0.0))
+    }
+
+    /// Arterial sample + surface artifact → per-element pressures, into
+    /// a caller-owned buffer.
+    fn fill(&self, arterial: MillimetersHg, artifact: Pascals, out: &mut Vec<Pascals>) {
+        let field = self.tissue.field(arterial);
+        out.clear();
+        for row in 0..self.layout.rows {
+            for col in 0..self.layout.cols {
+                let (x, y) = self.layout.position(row, col);
+                out.push(
+                    self.contact
+                        .net_element_pressure(field.pressure_at_xy(x, y) + artifact),
+                );
+            }
+        }
+    }
+
+    /// Scan-phase frame at truth index `idx` (clamped to the record).
+    pub(crate) fn fill_scan(&self, truth: &WaveformRecord, idx: usize, out: &mut Vec<Pascals>) {
+        let i = idx.min(truth.samples.len() - 1);
+        self.fill(truth.samples[i], self.artifact_at(i), out);
+    }
+
+    /// Combined sensor drift (thermal + creep) at session time `t`.
+    fn drift_at(&self, t: f64) -> Pascals {
+        let thermal = match &self.thermal_drift {
+            Some((profile, full)) => {
+                let frac =
+                    (profile.temp_at(t) - profile.start_c) / (profile.end_c - profile.start_c);
+                // The model's drift is referenced to its own reference
+                // temperature; the session starts at profile.start_c,
+                // so only the *change* from the start matters.
+                *full * frac
+            }
+            None => Pascals(0.0),
+        };
+        let creep = match &self.creep_drift {
+            Some((creep, surface_bias, gain)) => creep.pressure_drift(*surface_bias, t) * *gain,
+            None => Pascals(0.0),
+        };
+        thermal + creep
+    }
+
+    /// Acquisition-phase frame: truth index `acquisition_start + i`,
+    /// with the session drift applied to every element.
+    pub(crate) fn fill_acquisition(
+        &self,
+        truth: &WaveformRecord,
+        acquisition_start: usize,
+        i: usize,
+        fs: f64,
+        out: &mut Vec<Pascals>,
+    ) {
+        let t = (acquisition_start + i) as f64 / fs;
+        let arterial = truth.samples[acquisition_start + i];
+        self.fill(arterial, self.artifact_at(acquisition_start + i), out);
+        let drift = self.drift_at(t);
+        for p in out {
+            *p += drift;
+        }
     }
 }
 

@@ -1,0 +1,175 @@
+//! The scalar readout/session path is the **bit-exact oracle** for the
+//! lane-banked one: a banked lane must produce the same output samples,
+//! counters, scan decisions, and final session as the same system (or
+//! monitor) run alone.
+
+use tonos_core::bank::ReadoutBank;
+use tonos_core::batch::run_batch;
+use tonos_core::config::SystemConfig;
+use tonos_core::monitor::BloodPressureMonitor;
+use tonos_core::readout::ReadoutSystem;
+use tonos_core::SystemError;
+use tonos_mems::units::{MillimetersHg, Pascals};
+use tonos_physio::patient::PatientProfile;
+
+/// A paper-default system with per-lane fabrication and noise seeds, so
+/// lanes genuinely differ (different mismatch maps, different noise
+/// streams).
+fn system(seed: u64) -> ReadoutSystem {
+    let mut config = SystemConfig::paper_default();
+    config.chip.fabrication_seed ^= seed;
+    config.chip.nonideal = config.chip.nonideal.with_seed(0xA0 ^ seed);
+    ReadoutSystem::new(config).unwrap()
+}
+
+fn frame(mmhg: f64) -> Vec<Pascals> {
+    vec![Pascals::from_mmhg(MillimetersHg(mmhg)); 4]
+}
+
+#[test]
+fn banked_frames_match_scalar_systems_exactly() {
+    let k = 4;
+    let mut scalars: Vec<ReadoutSystem> = (0..k as u64).map(system).collect();
+    let mut banked: Vec<ReadoutSystem> = (0..k as u64).map(system).collect();
+
+    // Element selection (settling transient included) plus a pressure
+    // staircase: every lane sees a different waveform.
+    let pressure = |lane: usize, i: usize| 60.0 + 10.0 * lane as f64 + (i as f64 * 0.11).sin();
+    let n = scalars[0].settling_frames() + 40;
+
+    let mut expect: Vec<Vec<f64>> = Vec::new();
+    for (lane, sys) in scalars.iter_mut().enumerate() {
+        sys.select_element(1, 0, &frame(pressure(lane, 0))).unwrap();
+        let mut out = Vec::new();
+        for i in 0..n {
+            out.push(sys.push_frame(&frame(pressure(lane, i))).unwrap());
+        }
+        expect.push(out);
+    }
+
+    {
+        let mut bank = ReadoutBank::new(banked.iter_mut().collect()).unwrap();
+        assert_eq!(bank.lanes(), k);
+        assert_eq!(bank.osr(), 128);
+        let mut frames: Vec<Vec<Pascals>> = vec![Vec::new(); k];
+        let mut ys = vec![0.0; k];
+        for (lane, f) in frames.iter_mut().enumerate() {
+            *f = frame(pressure(lane, 0));
+            bank.select_element(lane, 1, 0, f).unwrap();
+        }
+        for i in 0..n {
+            for (lane, f) in frames.iter_mut().enumerate() {
+                *f = frame(pressure(lane, i));
+            }
+            bank.push_frames(&frames, &mut ys).unwrap();
+            for (lane, (y, e)) in ys.iter().zip(&expect).enumerate() {
+                assert_eq!(y.to_bits(), e[i].to_bits(), "lane {lane} frame {i}");
+            }
+        }
+    } // bank drops: modulators restored
+
+    // After release, the systems continue scalar operation
+    // bit-identically (noise streams carried over exactly).
+    for (lane, (s, b)) in scalars.iter_mut().zip(banked.iter_mut()).enumerate() {
+        for i in 0..30 {
+            let p = frame(pressure(lane, n + i));
+            assert_eq!(
+                s.push_frame(&p).unwrap().to_bits(),
+                b.push_frame(&p).unwrap().to_bits(),
+                "post-release lane {lane} frame {i}"
+            );
+        }
+        assert_eq!(
+            s.chip().modulator_steps(),
+            b.chip().modulator_steps(),
+            "lane {lane} steps"
+        );
+        assert_eq!(
+            s.chip().modulator_saturations(),
+            b.chip().modulator_saturations(),
+            "lane {lane} saturations"
+        );
+    }
+}
+
+#[test]
+fn mixed_osr_lanes_are_rejected() {
+    let mut a = system(1);
+    let mut config = SystemConfig::paper_default();
+    config.decimator.osr = 64;
+    let mut b = match ReadoutSystem::new(config) {
+        Ok(sys) => sys,
+        // If that decimator shape is invalid, the uniform-OSR check is
+        // unreachable through public construction; nothing to test.
+        Err(_) => return,
+    };
+    assert!(matches!(
+        ReadoutBank::new(vec![&mut a, &mut b]),
+        Err(SystemError::Config(_))
+    ));
+    assert!(matches!(
+        ReadoutBank::new(Vec::new()),
+        Err(SystemError::Config(_))
+    ));
+    // Rejected construction must leave both systems fully operational.
+    let _ = a.push_frame(&frame(80.0)).unwrap();
+    let _ = b.push_frame(&frame(80.0)).unwrap();
+}
+
+/// One monitor per patient seed, distinct chips as well.
+fn monitor(seed: u64) -> BloodPressureMonitor {
+    let mut config = SystemConfig::paper_default();
+    config.chip.fabrication_seed ^= seed;
+    config.chip.nonideal = config.chip.nonideal.with_seed(0xB0 ^ seed);
+    let patient = PatientProfile::normotensive().with_seed(7 + seed);
+    BloodPressureMonitor::new(config, patient)
+        .unwrap()
+        .with_scan_window(150)
+}
+
+#[test]
+fn batched_sessions_match_scalar_sessions_exactly() {
+    let k = 3u64;
+    let mut scalar_sessions = Vec::new();
+    for seed in 0..k {
+        scalar_sessions.push(monitor(seed).run(6.0).unwrap());
+    }
+
+    let mut monitors: Vec<BloodPressureMonitor> = (0..k).map(monitor).collect();
+    let batched = run_batch(&mut monitors, 6.0).unwrap();
+
+    assert_eq!(batched.len(), scalar_sessions.len());
+    for (lane, (b, s)) in batched.iter().zip(&scalar_sessions).enumerate() {
+        assert_eq!(b.scan, s.scan, "lane {lane} scan");
+        assert_eq!(b.acquisition_start, s.acquisition_start, "lane {lane}");
+        assert_eq!(b.raw, s.raw, "lane {lane} raw waveform");
+        assert_eq!(b.calibrated, s.calibrated, "lane {lane} calibrated");
+        assert_eq!(b.errors, s.errors, "lane {lane} errors");
+        assert_eq!(
+            b.analysis.beats.len(),
+            s.analysis.beats.len(),
+            "lane {lane} beats"
+        );
+        assert_eq!(b.chip_power_w, s.chip_power_w, "lane {lane} power");
+    }
+}
+
+#[test]
+fn incompatible_batches_are_rejected_cleanly() {
+    let mut monitors = vec![monitor(0), monitor(1).with_scan_window(99)];
+    assert!(matches!(
+        run_batch(&mut monitors, 6.0),
+        Err(SystemError::Config(_))
+    ));
+    // Too-short sessions mirror the scalar validation.
+    let mut monitors = vec![monitor(0)];
+    assert!(matches!(
+        run_batch(&mut monitors, 2.0),
+        Err(SystemError::Config(_))
+    ));
+    // An empty batch is a no-op.
+    assert_eq!(run_batch(&mut [], 6.0).unwrap().len(), 0);
+    // The rejected monitors still run scalar sessions.
+    let session = monitors[0].run(6.0).unwrap();
+    assert!(!session.raw.is_empty());
+}

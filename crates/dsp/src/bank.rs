@@ -1,0 +1,277 @@
+//! Lane-banked decimation: K packed bitstreams through K filter chains
+//! in lockstep.
+//!
+//! The decimation stages are already word-parallel ([`CicDecimator::push_word`]
+//! consumes 64 modulator clocks per call) and account for a few percent
+//! of frame cost, so these banks are deliberately *thin*: one scalar
+//! filter per lane, driven lane-by-lane. That keeps every lane
+//! bit-identical to the scalar chain **by construction** — the same
+//! kernel runs on the same words — while giving the batched readout in
+//! `tonos-core` a uniform push/retire/reset lane lifecycle mirroring the
+//! `SigmaDelta2Bank` modulator bank in `tonos-analog`.
+
+use crate::bits::PackedBits;
+use crate::cic::CicDecimator;
+use crate::decimator::TwoStageDecimator;
+use crate::fir::FirDecimator;
+
+/// K first-stage CIC decimators with a lane lifecycle.
+#[derive(Debug, Clone, Default)]
+pub struct CicBank {
+    lanes: Vec<CicDecimator>,
+}
+
+impl CicBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        CicBank::default()
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Absorbs a scalar CIC as a new lane; returns its index.
+    pub fn push_lane(&mut self, cic: CicDecimator) -> usize {
+        self.lanes.push(cic);
+        self.lanes.len() - 1
+    }
+
+    /// Removes a lane, handing back the scalar filter with its exact
+    /// state. Later lanes shift down by one.
+    pub fn retire_lane(&mut self, lane: usize) -> CicDecimator {
+        self.lanes.remove(lane)
+    }
+
+    /// Borrows one lane mutably (for reset or inspection).
+    pub fn lane_mut(&mut self, lane: usize) -> &mut CicDecimator {
+        &mut self.lanes[lane]
+    }
+
+    /// Decimates K packed bitstreams, appending each lane's outputs to
+    /// the matching `out` entry. Bit-identical to running each scalar
+    /// CIC alone — it *is* each scalar CIC.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits` and `outs` lengths differ from the lane count.
+    pub fn process_packed_into(&mut self, bits: &[PackedBits], scale: i64, outs: &mut [Vec<i64>]) {
+        assert_eq!(bits.len(), self.lanes(), "one bitstream per lane");
+        assert_eq!(outs.len(), self.lanes(), "one output sink per lane");
+        for ((cic, b), out) in self.lanes.iter_mut().zip(bits).zip(outs) {
+            cic.process_packed_into(b, scale, out);
+        }
+    }
+}
+
+/// K second-stage FIR decimators with a lane lifecycle.
+#[derive(Debug, Clone, Default)]
+pub struct FirBank {
+    lanes: Vec<FirDecimator>,
+}
+
+impl FirBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        FirBank::default()
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Absorbs a scalar FIR as a new lane; returns its index.
+    pub fn push_lane(&mut self, fir: FirDecimator) -> usize {
+        self.lanes.push(fir);
+        self.lanes.len() - 1
+    }
+
+    /// Removes a lane, handing back the scalar filter with its exact
+    /// state. Later lanes shift down by one.
+    pub fn retire_lane(&mut self, lane: usize) -> FirDecimator {
+        self.lanes.remove(lane)
+    }
+
+    /// Borrows one lane mutably (for reset or inspection).
+    pub fn lane_mut(&mut self, lane: usize) -> &mut FirDecimator {
+        &mut self.lanes[lane]
+    }
+
+    /// Pushes one sample into each lane, appending any decimated output
+    /// to the matching `outs` entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs` and `outs` lengths differ from the lane count.
+    pub fn push(&mut self, xs: &[f64], outs: &mut [Vec<f64>]) {
+        assert_eq!(xs.len(), self.lanes(), "one sample per lane");
+        assert_eq!(outs.len(), self.lanes(), "one output sink per lane");
+        for ((fir, &x), out) in self.lanes.iter_mut().zip(xs).zip(outs) {
+            if let Some(y) = fir.push(x) {
+                out.push(y);
+            }
+        }
+    }
+}
+
+/// K complete SINC³+FIR decimation chains ([`TwoStageDecimator`] per
+/// lane) with the same push/retire/reset lane lifecycle as the
+/// modulator bank in `tonos-analog`.
+#[derive(Debug, Clone, Default)]
+pub struct DecimatorBank {
+    lanes: Vec<TwoStageDecimator>,
+}
+
+impl DecimatorBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        DecimatorBank::default()
+    }
+
+    /// Builds a bank from scalar chains, one lane each.
+    pub fn from_decimators(decs: impl IntoIterator<Item = TwoStageDecimator>) -> Self {
+        DecimatorBank {
+            lanes: decs.into_iter().collect(),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// True when the bank holds no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Absorbs a scalar chain as a new lane; returns its index.
+    pub fn push_lane(&mut self, dec: TwoStageDecimator) -> usize {
+        self.lanes.push(dec);
+        self.lanes.len() - 1
+    }
+
+    /// Removes a lane, handing back the scalar chain with its exact
+    /// state (filter memories and throughput counters). Later lanes
+    /// shift down by one.
+    pub fn retire_lane(&mut self, lane: usize) -> TwoStageDecimator {
+        self.lanes.remove(lane)
+    }
+
+    /// Flushes one lane's filter state
+    /// (see [`TwoStageDecimator::reset`]).
+    pub fn reset_lane(&mut self, lane: usize) {
+        self.lanes[lane].reset();
+    }
+
+    /// Borrows one lane (for counters or settling queries).
+    pub fn lane(&self, lane: usize) -> &TwoStageDecimator {
+        &self.lanes[lane]
+    }
+
+    /// Decimates K packed bitstreams in lockstep, appending each lane's
+    /// output samples to the matching `outs` entry (not cleared first).
+    /// Each lane is bit-identical to the scalar
+    /// [`TwoStageDecimator::process_packed_into`] — it *is* that call.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits` and `outs` lengths differ from the lane count.
+    pub fn process_packed_into(&mut self, bits: &[PackedBits], outs: &mut [Vec<f64>]) {
+        assert_eq!(bits.len(), self.lanes(), "one bitstream per lane");
+        assert_eq!(outs.len(), self.lanes(), "one output sink per lane");
+        for ((dec, b), out) in self.lanes.iter_mut().zip(bits).zip(outs) {
+            dec.process_packed_into(b, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decimator::DecimatorConfig;
+
+    /// A deterministic pseudo-random bitstream (xorshift) packed per
+    /// lane, different per seed.
+    fn stream(seed: u64, bits: usize) -> PackedBits {
+        let mut s = seed | 1;
+        let mut out = PackedBits::new();
+        for _ in 0..bits {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            out.push(s & 1 == 1);
+        }
+        out
+    }
+
+    #[test]
+    fn decimator_bank_matches_scalar_chains() {
+        let k = 5;
+        let streams: Vec<PackedBits> = (0..k).map(|i| stream(0x9E37 + i as u64, 4096)).collect();
+        let mut scalars: Vec<TwoStageDecimator> = (0..k)
+            .map(|_| DecimatorConfig::paper_default().build().unwrap())
+            .collect();
+        let mut bank = DecimatorBank::from_decimators(scalars.clone());
+        let mut outs: Vec<Vec<f64>> = vec![Vec::new(); k];
+        bank.process_packed_into(&streams, &mut outs);
+        for (lane, (scalar, s)) in scalars.iter_mut().zip(&streams).enumerate() {
+            let expect = scalar.process_packed(s);
+            assert_eq!(outs[lane], expect, "lane {lane}");
+            assert_eq!(bank.lane(lane).samples_out(), scalar.samples_out());
+        }
+    }
+
+    #[test]
+    fn retired_decimator_lane_continues_like_scalar() {
+        let mut bank = DecimatorBank::new();
+        for _ in 0..3 {
+            bank.push_lane(DecimatorConfig::paper_default().build().unwrap());
+        }
+        let streams: Vec<PackedBits> = (0..3).map(|i| stream(7 + i as u64, 2048)).collect();
+        let mut outs: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        bank.process_packed_into(&streams, &mut outs);
+
+        let mut retired = bank.retire_lane(1);
+        assert_eq!(bank.lanes(), 2);
+        // The retired lane carries its filter state: feeding more bits
+        // continues the stream, identical to a scalar that saw both
+        // segments.
+        let tail = stream(8, 1024);
+        let got = retired.process_packed(&tail);
+        let mut reference = DecimatorConfig::paper_default().build().unwrap();
+        let _ = reference.process_packed(&streams[1]);
+        let expect = reference.process_packed(&tail);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn cic_and_fir_banks_run_lockstep() {
+        let mut cics = CicBank::new();
+        cics.push_lane(CicDecimator::paper_default());
+        cics.push_lane(CicDecimator::paper_default());
+        let streams = [stream(21, 640), stream(22, 640)];
+        let mut outs: Vec<Vec<i64>> = vec![Vec::new(); 2];
+        cics.process_packed_into(&streams, 1, &mut outs);
+        let mut scalar = CicDecimator::paper_default();
+        let mut expect = Vec::new();
+        scalar.process_packed_into(&streams[1], 1, &mut expect);
+        assert_eq!(outs[1], expect);
+
+        let taps = crate::fir::design_lowpass(16, 0.2, crate::window::Window::Hann).unwrap();
+        let mut firs = FirBank::new();
+        firs.push_lane(FirDecimator::new(taps.clone(), 2).unwrap());
+        firs.push_lane(FirDecimator::new(taps.clone(), 2).unwrap());
+        let mut fir_outs: Vec<Vec<f64>> = vec![Vec::new(); 2];
+        for n in 0..100 {
+            firs.push(&[n as f64 * 0.01, (n as f64 * 0.3).sin()], &mut fir_outs);
+        }
+        let mut fir_ref = FirDecimator::new(taps, 2).unwrap();
+        let expect: Vec<f64> = (0..100)
+            .filter_map(|n| fir_ref.push((n as f64 * 0.3).sin()))
+            .collect();
+        assert_eq!(fir_outs[1], expect);
+    }
+}

@@ -268,3 +268,67 @@ proptest! {
         prop_assert_eq!(d_packed.samples_out(), d_float.samples_out());
     }
 }
+
+proptest! {
+    /// The folded (16-multiply) linear-phase inner product agrees with
+    /// the direct 32-multiply form to a forward-error bound of a few
+    /// ulps of the term-magnitude sum `Σ|h·x|` — the natural yardstick
+    /// for a reassociated dot product (measured worst case ≈ 2.8 ε; the
+    /// asserted slack is 8 ε). Exact equality cannot hold in general
+    /// because folding changes the association of the sum.
+    #[test]
+    fn folded_fir_matches_direct_form(
+        size_idx in 0usize..6,
+        cutoff in 0.05_f64..0.45,
+        xs in prop::collection::vec(-2.0_f64..2.0, 64..256),
+    ) {
+        // Even, odd, and the paper's 32-tap size.
+        let ntaps = [8usize, 16, 31, 32, 33, 48][size_idx];
+        let taps = design_lowpass(ntaps, cutoff, Window::Hamming).unwrap();
+        // design_lowpass must give *exactly* symmetric taps, or the
+        // decimator won't take the folded path at all.
+        for i in 0..ntaps / 2 {
+            prop_assert_eq!(taps[i].to_bits(), taps[ntaps - 1 - i].to_bits(), "tap {}", i);
+        }
+        let mut fir = FirDecimator::new(taps.clone(), 1).unwrap();
+        let mut hist = vec![0.0_f64; ntaps];
+        for &x in &xs {
+            hist.rotate_right(1);
+            hist[0] = x;
+            let direct: f64 = taps.iter().zip(hist.iter()).map(|(&h, &s)| h * s).sum();
+            let mag: f64 = taps.iter().zip(hist.iter()).map(|(&h, &s)| (h * s).abs()).sum();
+            let got = fir.push(x).unwrap();
+            let bound = 8.0 * f64::EPSILON * mag + f64::MIN_POSITIVE;
+            prop_assert!(
+                (got - direct).abs() <= bound,
+                "folded {} vs direct {} (bound {})",
+                got,
+                direct,
+                bound
+            );
+        }
+    }
+
+    /// Asymmetric taps fall back to the unfolded path and reproduce the
+    /// plain convolution exactly (same operand order, no reassociation).
+    #[test]
+    fn asymmetric_fir_is_exactly_the_direct_form(
+        taps in prop::collection::vec(-1.0_f64..1.0, 3..24),
+        xs in prop::collection::vec(-2.0_f64..2.0, 32..128),
+    ) {
+        let asymmetric = taps
+            .iter()
+            .zip(taps.iter().rev())
+            .any(|(a, b)| a.to_bits() != b.to_bits());
+        prop_assume!(asymmetric);
+        let n = taps.len();
+        let mut fir = FirDecimator::new(taps.clone(), 1).unwrap();
+        let mut hist = vec![0.0_f64; n];
+        for &x in &xs {
+            hist.rotate_right(1);
+            hist[0] = x;
+            let direct: f64 = taps.iter().zip(hist.iter()).map(|(&h, &s)| h * s).sum();
+            prop_assert_eq!(fir.push(x).unwrap(), direct);
+        }
+    }
+}

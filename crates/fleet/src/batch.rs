@@ -1,0 +1,367 @@
+//! The batch engine: B sessions per worker, converted on one lane bank.
+//!
+//! [`FleetEngine`](crate::FleetEngine) parallelizes across threads — one
+//! session per core. On narrow hardware (or when cores are saturated)
+//! the next axis is *within* the instruction stream:
+//! [`tonos_core::batch::run_batch`] steps K modulators per clock through
+//! one SoA lane bank, converting K patients per core. [`BatchEngine`]
+//! wraps that mode in the same fleet contract:
+//!
+//! * **Same isolation.** Every session in a batch still gets its own
+//!   telemetry [`Registry`]; lanes share an instruction stream, never a
+//!   registry.
+//! * **Same graceful failure.** A batch whose banked run errors or
+//!   panics falls back to scalar sessions, one at a time under
+//!   [`catch_unwind`] — the failing lane fails alone and is reported
+//!   individually; healthy lanes still complete.
+//! * **Same reporting.** Results come back as the familiar
+//!   [`FleetReport`]. Banked lanes are bit-identical to scalar sessions,
+//!   so the two engines produce the same summaries for the same specs.
+//!
+//! Per-session `wall_s` in a banked batch is the batch wall time divided
+//! by the lane count — the fair per-patient share of the core.
+//!
+//! Pick [`BatchEngine`] over the thread-pool engine when sessions
+//! outnumber cores and specs are lockstep-compatible (same config shape
+//! and duration); see `ARCHITECTURE.md` § Lane bank for the full
+//! guidance.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use tonos_core::batch::run_batch;
+use tonos_core::monitor::BloodPressureMonitor;
+use tonos_telemetry::{names, Registry, Rollup, Telemetry, TelemetrySnapshot};
+
+use crate::report::{FleetReport, SessionResult};
+use crate::session::{summarize, SessionContext, SessionOutcome, SessionSpec};
+
+/// Batch engine sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Worker threads in the pool (clamped to at least 1).
+    pub workers: usize,
+    /// Sessions per batch — the lane count K of each worker's bank
+    /// (clamped to at least 1).
+    pub lanes: usize,
+}
+
+impl Default for BatchConfig {
+    /// One worker per hardware thread, eight lanes per bank.
+    fn default() -> Self {
+        BatchConfig {
+            workers: thread::available_parallelism().map_or(1, |n| n.get()),
+            lanes: 8,
+        }
+    }
+}
+
+/// One batch of sessions travelling to a worker.
+struct Dispatch {
+    sessions: Vec<(u64, SessionSpec)>,
+}
+
+/// One finished session travelling back from a worker (batches are
+/// unbundled worker-side so the drain path matches the fleet engine's).
+struct RawResult {
+    id: u64,
+    label: String,
+    wall_s: f64,
+    banked: bool,
+    outcome: SessionOutcome,
+    snapshot: TelemetrySnapshot,
+}
+
+/// A pool of workers running monitoring sessions K-at-a-time on lane
+/// banks, with scalar fallback per batch.
+///
+/// Lifecycle mirrors [`FleetEngine`](crate::FleetEngine):
+/// [`spawn`](BatchEngine::spawn) → [`push`](BatchEngine::push) →
+/// [`drain`](BatchEngine::drain) (repeatable). Sessions are grouped into
+/// batches of `lanes` in submission order; a partial batch is flushed by
+/// the next drain.
+#[derive(Debug)]
+pub struct BatchEngine {
+    jobs: Option<Sender<Dispatch>>,
+    results: Receiver<RawResult>,
+    workers: Vec<JoinHandle<()>>,
+    registry: Registry,
+    rollup: Rollup,
+    next_id: u64,
+    lanes: usize,
+    staged: Vec<(u64, SessionSpec)>,
+    in_flight: usize,
+}
+
+impl BatchEngine {
+    /// Starts the worker pool.
+    pub fn spawn(config: BatchConfig) -> Self {
+        let count = config.workers.max(1);
+        let (job_tx, job_rx) = channel::<Dispatch>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (result_tx, result_rx) = channel::<RawResult>();
+        let workers = (0..count)
+            .map(|_| {
+                let jobs = Arc::clone(&job_rx);
+                let results = result_tx.clone();
+                thread::spawn(move || worker_loop(&jobs, &results))
+            })
+            .collect();
+        let registry = Registry::new();
+        BatchEngine {
+            jobs: Some(job_tx),
+            results: result_rx,
+            workers,
+            rollup: Rollup::into_registry(registry.clone()),
+            registry,
+            next_id: 0,
+            lanes: config.lanes.max(1),
+            staged: Vec::new(),
+            in_flight: 0,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Sessions per batch (the bank's lane count K).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Submits a monitoring session; returns its engine-assigned id.
+    /// The session is dispatched once a full batch of `lanes` specs has
+    /// accumulated (or at the next [`drain`](BatchEngine::drain)).
+    pub fn push(&mut self, spec: SessionSpec) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.telemetry()
+            .counter(names::FLEET_SESSIONS_STARTED)
+            .inc();
+        self.staged.push((id, spec));
+        if self.staged.len() >= self.lanes {
+            self.flush();
+        }
+        id
+    }
+
+    /// Dispatches any staged partial batch immediately.
+    pub fn flush(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let sessions = std::mem::take(&mut self.staged);
+        self.in_flight += sessions.len();
+        self.jobs
+            .as_ref()
+            .expect("job channel open while engine is alive")
+            .send(Dispatch { sessions })
+            .expect("workers alive while engine is alive");
+    }
+
+    /// Sessions submitted but not yet collected by a drain.
+    pub fn pending(&self) -> usize {
+        self.in_flight + self.staged.len()
+    }
+
+    /// Flushes the staged batch, blocks until every submitted session
+    /// has finished, rolls telemetry into the fleet registry, and
+    /// returns the outcomes ordered by session id. The engine stays
+    /// usable afterwards.
+    pub fn drain(&mut self) -> FleetReport {
+        self.flush();
+        let mut sessions = Vec::with_capacity(self.in_flight);
+        while self.in_flight > 0 {
+            let raw = self
+                .results
+                .recv()
+                .expect("workers alive while sessions are in flight");
+            self.in_flight -= 1;
+            self.absorb(&raw);
+            sessions.push(SessionResult {
+                id: raw.id,
+                label: raw.label,
+                wall_s: raw.wall_s,
+                outcome: raw.outcome,
+            });
+        }
+        sessions.sort_by_key(|s| s.id);
+        FleetReport { sessions }
+    }
+
+    fn absorb(&mut self, raw: &RawResult) {
+        self.rollup.absorb(&raw.snapshot);
+        let t = self.telemetry();
+        let outcome_counter = match raw.outcome {
+            SessionOutcome::Completed(_) => names::FLEET_SESSIONS_COMPLETED,
+            SessionOutcome::Failed(_) => names::FLEET_SESSIONS_FAILED,
+            SessionOutcome::Panicked(_) => names::FLEET_SESSIONS_PANICKED,
+        };
+        t.counter(outcome_counter).inc();
+        let mode = if raw.banked {
+            names::FLEET_BATCHES_BANKED
+        } else {
+            names::FLEET_BATCHES_SCALAR
+        };
+        t.counter(mode).inc();
+        t.span(names::SPAN_FLEET_SESSION)
+            .record(Duration::from_secs_f64(raw.wall_s));
+    }
+
+    /// The fleet-level registry: engine counters plus everything rolled
+    /// up from drained sessions.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Handle onto the fleet-level registry.
+    pub fn telemetry(&self) -> Telemetry {
+        self.registry.telemetry()
+    }
+
+    /// Snapshot of the fleet-level registry.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Drains outstanding sessions, stops the workers, and returns the
+    /// final report.
+    pub fn shutdown(mut self) -> FleetReport {
+        let report = self.drain();
+        self.close();
+        report
+    }
+
+    fn close(&mut self) {
+        self.jobs = None;
+        for worker in std::mem::take(&mut self.workers) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for BatchEngine {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn worker_loop(jobs: &Mutex<Receiver<Dispatch>>, results: &Sender<RawResult>) {
+    loop {
+        let dispatch = {
+            let Ok(queue) = jobs.lock() else { return };
+            match queue.recv() {
+                Ok(d) => d,
+                Err(_) => return,
+            }
+        };
+        for raw in run_dispatch(dispatch) {
+            if results.send(raw).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Executes one batch: banked first, scalar fallback on any error.
+fn run_dispatch(dispatch: Dispatch) -> Vec<RawResult> {
+    if let Some(raws) = try_banked(&dispatch.sessions) {
+        return raws;
+    }
+    // Scalar fallback: the exact fleet-engine session path, one spec at
+    // a time, each under its own registry and catch_unwind, so the lane
+    // that poisoned the bank fails alone.
+    dispatch
+        .sessions
+        .into_iter()
+        .map(|(id, spec)| {
+            let registry = Registry::new();
+            let ctx = SessionContext {
+                id,
+                label: spec.label.clone(),
+                telemetry: registry.telemetry(),
+            };
+            let label = spec.label.clone();
+            let started = Instant::now();
+            let outcome = match catch_unwind(AssertUnwindSafe(|| spec.run(&ctx))) {
+                Ok(Ok(summary)) => SessionOutcome::Completed(summary),
+                Ok(Err(error)) => SessionOutcome::Failed(error),
+                Err(payload) => SessionOutcome::Panicked(panic_message(payload.as_ref())),
+            };
+            RawResult {
+                id,
+                label,
+                wall_s: started.elapsed().as_secs_f64(),
+                banked: false,
+                outcome,
+                snapshot: registry.snapshot(),
+            }
+        })
+        .collect()
+}
+
+/// Attempts the banked lockstep run. `None` means "use the scalar
+/// fallback" — heterogeneous durations, any construction/run error, or
+/// a panic inside the bank. The registries built here are discarded on
+/// fallback so a half-run banked attempt never double-counts telemetry.
+fn try_banked(sessions: &[(u64, SessionSpec)]) -> Option<Vec<RawResult>> {
+    let k = sessions.len();
+    let duration_s = sessions[0].1.duration_s;
+    if sessions.iter().any(|(_, s)| s.duration_s != duration_s) {
+        return None;
+    }
+    let registries: Vec<Registry> = (0..k).map(|_| Registry::new()).collect();
+    let started = Instant::now();
+    let run = catch_unwind(AssertUnwindSafe(|| -> Result<_, String> {
+        let mut monitors = Vec::with_capacity(k);
+        for ((_, spec), registry) in sessions.iter().zip(&registries) {
+            let mut monitor = BloodPressureMonitor::new(spec.config, spec.patient)
+                .map_err(|e| e.to_string())?
+                .with_telemetry(registry.telemetry());
+            if let Some(frames) = spec.scan_window {
+                monitor = monitor.with_scan_window(frames);
+            }
+            monitors.push(monitor);
+        }
+        run_batch(&mut monitors, duration_s).map_err(|e| e.to_string())
+    }));
+    let completed = match run {
+        Ok(Ok(completed)) => completed,
+        // Error or panic: one lane (or the group shape) is bad. Rerun
+        // scalar so the healthy lanes complete and the bad one is
+        // isolated and reported with its own error.
+        _ => return None,
+    };
+    let wall_each = started.elapsed().as_secs_f64() / k as f64;
+    let mut raws = Vec::with_capacity(k);
+    for (((id, spec), session), registry) in sessions.iter().zip(&completed).zip(&registries) {
+        let outcome = match summarize(session, spec.alarm_limits, &registry.telemetry()) {
+            Ok(summary) => SessionOutcome::Completed(summary),
+            Err(error) => SessionOutcome::Failed(error),
+        };
+        raws.push(RawResult {
+            id: *id,
+            label: spec.label.clone(),
+            wall_s: wall_each,
+            banked: true,
+            outcome,
+            snapshot: registry.snapshot(),
+        });
+    }
+    Some(raws)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}

@@ -96,22 +96,33 @@ impl SessionSpec {
             monitor = monitor.with_scan_window(frames);
         }
         let session = monitor.run(self.duration_s).map_err(|e| e.to_string())?;
-        let alarms = match self.alarm_limits {
-            None => 0,
-            Some(limits) => {
-                let mut analyzer = OnlineAnalyzer::new(session.sample_rate, limits)
-                    .map_err(|e| e.to_string())?
-                    .with_telemetry(ctx.telemetry.clone());
-                let pressures: Vec<f64> = session.calibrated.iter().map(|p| p.value()).collect();
-                analyzer
-                    .push_block(&pressures)
-                    .iter()
-                    .filter(|e| !matches!(e, MonitorEvent::Beat { .. }))
-                    .count()
-            }
-        };
-        Ok(SessionSummary::from_session(&session, alarms))
+        summarize(&session, self.alarm_limits, &ctx.telemetry)
     }
+}
+
+/// Condenses a finished session, running the optional alarm screening
+/// stage exactly as [`SessionSpec::run`] does — the batch engine calls
+/// this per lane so banked and scalar sessions summarize identically.
+pub(crate) fn summarize(
+    session: &MonitoringSession,
+    alarm_limits: Option<AlarmLimits>,
+    telemetry: &Telemetry,
+) -> Result<SessionSummary, String> {
+    let alarms = match alarm_limits {
+        None => 0,
+        Some(limits) => {
+            let mut analyzer = OnlineAnalyzer::new(session.sample_rate, limits)
+                .map_err(|e| e.to_string())?
+                .with_telemetry(telemetry.clone());
+            let pressures: Vec<f64> = session.calibrated.iter().map(|p| p.value()).collect();
+            analyzer
+                .push_block(&pressures)
+                .iter()
+                .filter(|e| !matches!(e, MonitorEvent::Beat { .. }))
+                .count()
+        }
+    };
+    Ok(SessionSummary::from_session(session, alarms))
 }
 
 /// Per-session execution context handed to the workload by a worker.

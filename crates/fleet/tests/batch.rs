@@ -1,0 +1,123 @@
+//! Batch engine tests: banked lockstep sessions must report exactly
+//! what the thread-pool engine reports, and a batch that cannot bank
+//! must degrade to scalar sessions without losing anyone.
+
+use tonos_core::stream::AlarmLimits;
+use tonos_fleet::{BatchConfig, BatchEngine, FleetConfig, FleetEngine, SessionSpec};
+use tonos_physio::patient::PatientProfile;
+use tonos_telemetry::names;
+
+/// A short-but-real session spec (150-frame scan, 4 s of monitoring).
+fn quick(label: &str, seed: u64) -> SessionSpec {
+    SessionSpec::new(label, PatientProfile::normotensive().with_seed(seed))
+        .with_duration(4.0)
+        .with_scan_window(150)
+}
+
+#[test]
+fn banked_batches_report_exactly_what_the_fleet_engine_reports() {
+    // Three lockstep-compatible patients, one with alarm screening.
+    let limits = AlarmLimits {
+        systolic_high: 100.0, // deliberately low: normotensive alarms too
+        systolic_low: 40.0,
+        qualifying_beats: 2,
+        signal_loss_s: 3.0,
+    };
+    let specs = vec![
+        quick("bed-0", 11),
+        quick("bed-1", 22).with_alarms(limits),
+        quick("bed-2", 33),
+    ];
+
+    let mut fleet = FleetEngine::spawn(FleetConfig { workers: 1 });
+    for spec in &specs {
+        fleet.push(spec.clone());
+    }
+    let scalar = fleet.drain();
+
+    let mut batch = BatchEngine::spawn(BatchConfig {
+        workers: 1,
+        lanes: 3,
+    });
+    assert_eq!(batch.lanes(), 3);
+    for spec in specs {
+        batch.push(spec);
+    }
+    // A full batch dispatches on push; nothing staged at drain time.
+    let banked = batch.drain();
+    assert_eq!(batch.pending(), 0);
+
+    assert_eq!(banked.len(), scalar.len());
+    assert!(banked.failures().is_empty(), "{banked}");
+    for (b, s) in banked.sessions.iter().zip(&scalar.sessions) {
+        assert_eq!(b.label, s.label);
+        // Banked lanes are bit-identical to scalar sessions, so the
+        // full summary — beats, pressures, errors, alarms — matches
+        // exactly, not approximately.
+        assert_eq!(b.outcome.summary(), s.outcome.summary(), "{}", b.label);
+    }
+
+    let agg = batch.snapshot();
+    assert_eq!(agg.counter(names::FLEET_SESSIONS_STARTED), Some(3));
+    assert_eq!(agg.counter(names::FLEET_SESSIONS_COMPLETED), Some(3));
+    assert_eq!(agg.counter(names::FLEET_BATCHES_BANKED), Some(3));
+    assert_eq!(agg.counter(names::FLEET_BATCHES_SCALAR), None);
+    // Session-local telemetry still rolls up through the batch path.
+    assert!(agg.counter(names::READOUT_SAMPLES_OUT).unwrap_or(0) > 0);
+    assert!(agg.counter(names::ANALYZER_ALARMS).unwrap_or(0) > 0);
+}
+
+#[test]
+fn unbankable_batches_degrade_to_scalar_without_losing_sessions() {
+    let mut batch = BatchEngine::spawn(BatchConfig {
+        workers: 1,
+        lanes: 3,
+    });
+    // Lane 1's scan window breaks lockstep compatibility; lane 2's
+    // duration is below the monitor's 4 s floor, so it fails even
+    // scalar. The bank must reject the group, rerun it scalar, and
+    // report lane 2 as the only casualty.
+    batch.push(quick("good-a", 1));
+    batch.push(quick("odd-window", 2).with_scan_window(99));
+    batch.push(quick("too-short", 3).with_duration(2.0));
+    let report = batch.drain();
+
+    assert_eq!(report.len(), 3);
+    assert!(report.get(0).unwrap().outcome.is_ok(), "{report}");
+    assert!(report.get(1).unwrap().outcome.is_ok(), "{report}");
+    let failed = report.get(2).unwrap();
+    assert!(!failed.outcome.is_ok());
+    assert!(failed.outcome.error().unwrap().contains("too short"));
+
+    let agg = batch.snapshot();
+    assert_eq!(agg.counter(names::FLEET_BATCHES_BANKED), None);
+    assert_eq!(agg.counter(names::FLEET_BATCHES_SCALAR), Some(3));
+    assert_eq!(agg.counter(names::FLEET_SESSIONS_COMPLETED), Some(2));
+    assert_eq!(agg.counter(names::FLEET_SESSIONS_FAILED), Some(1));
+}
+
+#[test]
+fn partial_batches_flush_on_drain() {
+    // Two sessions into four lanes: the batch never fills, so drain
+    // must flush the staged partial batch itself.
+    let mut batch = BatchEngine::spawn(BatchConfig {
+        workers: 2,
+        lanes: 4,
+    });
+    batch.push(quick("bed-0", 5));
+    batch.push(quick("bed-1", 6));
+    assert_eq!(batch.pending(), 2);
+    let report = batch.drain();
+    assert_eq!(report.len(), 2);
+    assert!(report.failures().is_empty(), "{report}");
+    assert_eq!(
+        batch.snapshot().counter(names::FLEET_BATCHES_BANKED),
+        Some(2)
+    );
+
+    // The engine stays usable for a second round.
+    batch.push(quick("bed-2", 7));
+    let second = batch.drain();
+    assert_eq!(second.len(), 1);
+    assert!(second.failures().is_empty(), "{second}");
+}

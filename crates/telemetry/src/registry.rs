@@ -86,6 +86,10 @@ pub mod names {
     pub const FLEET_CRITICAL_EVENTS: &str = "fleet.rollup.critical_events";
     /// Per-session wall-clock duration (span histogram, seconds).
     pub const SPAN_FLEET_SESSION: &str = "span.fleet.session_s";
+    /// Session batches converted in lockstep on a lane bank (counter).
+    pub const FLEET_BATCHES_BANKED: &str = "fleet.batches_banked";
+    /// Session batches that fell back to scalar execution (counter).
+    pub const FLEET_BATCHES_SCALAR: &str = "fleet.batches_scalar";
 }
 
 /// Default number of journal events retained.

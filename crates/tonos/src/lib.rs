@@ -33,5 +33,5 @@ pub use tonos_telemetry as telemetry;
 /// Compiles every fenced Rust block in the repository README as a
 /// doctest, so the quickstart can never rot.
 #[cfg(doctest)]
-#[doc = include_str!("../README.md")]
+#[doc = include_str!("../../../README.md")]
 pub struct ReadmeDoctests;
