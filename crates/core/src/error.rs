@@ -21,6 +21,10 @@ pub enum SystemError {
     Physio(PhysioError),
     /// A system-level configuration or processing failure.
     Config(String),
+    /// An I/O failure (export writers, session records, the host link).
+    /// Carries the [`std::io::ErrorKind`] plus the rendered message —
+    /// [`std::io::Error`] itself is neither `Clone` nor `PartialEq`.
+    Io(std::io::ErrorKind, String),
     /// Calibration could not be established (degenerate raw span, missing
     /// beats, or missing cuff reading).
     CalibrationFailed(String),
@@ -39,6 +43,7 @@ impl fmt::Display for SystemError {
             SystemError::Dsp(e) => write!(f, "dsp: {e}"),
             SystemError::Physio(e) => write!(f, "physio: {e}"),
             SystemError::Config(msg) => write!(f, "configuration: {msg}"),
+            SystemError::Io(kind, msg) => write!(f, "i/o ({kind:?}): {msg}"),
             SystemError::CalibrationFailed(msg) => write!(f, "calibration failed: {msg}"),
             SystemError::NoBeatsDetected { samples } => {
                 write!(f, "no beats detected in {samples} samples")
@@ -83,6 +88,12 @@ impl From<PhysioError> for SystemError {
     }
 }
 
+impl From<std::io::Error> for SystemError {
+    fn from(e: std::io::Error) -> Self {
+        SystemError::Io(e.kind(), e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +111,10 @@ mod tests {
         assert!(e.to_string().contains("physio"));
         let e = SystemError::NoBeatsDetected { samples: 42 };
         assert!(e.to_string().contains("42"));
+        assert!(e.source().is_none());
+        let e: SystemError = std::io::Error::other("disk full").into();
+        assert!(matches!(e, SystemError::Io(std::io::ErrorKind::Other, _)));
+        assert!(e.to_string().contains("disk full"));
         assert!(e.source().is_none());
     }
 

@@ -1,28 +1,34 @@
-//! CSV export of sessions, beats, and spectra.
+//! Export of sessions, beats, and spectra — CSV and binary records.
 //!
 //! The paper's setup streamed the 12-bit samples over USB "to a computer
 //! system" — which means someone immediately needed the data in a file.
-//! These writers produce plain CSV (RFC-4180-simple: no quoting needed
-//! for numeric data) against any [`std::io::Write`], so callers choose
-//! the destination (file, buffer, pipe) per C-RW-VALUE.
+//! The CSV writers produce plain text (RFC-4180-simple: no quoting
+//! needed for numeric data) against any [`std::io::Write`], so callers
+//! choose the destination (file, buffer, pipe) per C-RW-VALUE.
+//!
+//! [`write_session_record`] / [`read_session_record`] store the sample
+//! stream *binary and CRC-protected*, as a sequence of
+//! [`tonos_dsp::frame`] frames — the exact codec the live host link
+//! (`tonos-link`) speaks on the wire, so recorded sessions and link
+//! traffic share one format and one corruption-detection story.
 
-use std::io::Write;
+use std::io::{Read, Write};
 
 use crate::monitor::MonitoringSession;
 use crate::SystemError;
 use tonos_dsp::spectrum::Spectrum;
+use tonos_mems::units::MillimetersHg;
 
 /// Writes a session's sample stream: `time_s,raw_fs,calibrated_mmhg`.
 ///
 /// # Errors
 ///
-/// Returns [`SystemError::Config`] wrapping any I/O failure.
+/// Returns [`SystemError::Io`] wrapping any I/O failure.
 pub fn write_session_csv<W: Write>(
     session: &MonitoringSession,
     mut out: W,
 ) -> Result<(), SystemError> {
-    let io = |e: std::io::Error| SystemError::Config(format!("csv write failed: {e}"));
-    writeln!(out, "time_s,raw_fs,calibrated_mmhg").map_err(io)?;
+    writeln!(out, "time_s,raw_fs,calibrated_mmhg")?;
     let t0 = session.acquisition_start as f64 / session.sample_rate;
     for (i, (&raw, cal)) in session.raw.iter().zip(&session.calibrated).enumerate() {
         writeln!(
@@ -31,8 +37,7 @@ pub fn write_session_csv<W: Write>(
             t0 + i as f64 / session.sample_rate,
             raw,
             cal.value()
-        )
-        .map_err(io)?;
+        )?;
     }
     Ok(())
 }
@@ -41,13 +46,12 @@ pub fn write_session_csv<W: Write>(
 ///
 /// # Errors
 ///
-/// Returns [`SystemError::Config`] wrapping any I/O failure.
+/// Returns [`SystemError::Io`] wrapping any I/O failure.
 pub fn write_beats_csv<W: Write>(
     session: &MonitoringSession,
     mut out: W,
 ) -> Result<(), SystemError> {
-    let io = |e: std::io::Error| SystemError::Config(format!("csv write failed: {e}"));
-    writeln!(out, "time_s,systolic_mmhg,diastolic_mmhg").map_err(io)?;
+    writeln!(out, "time_s,systolic_mmhg,diastolic_mmhg")?;
     let t0 = session.acquisition_start as f64 / session.sample_rate;
     for beat in &session.analysis.beats {
         writeln!(
@@ -56,8 +60,7 @@ pub fn write_beats_csv<W: Write>(
             t0 + beat.peak_index as f64 / session.sample_rate,
             beat.systolic,
             beat.diastolic
-        )
-        .map_err(io)?;
+        )?;
     }
     Ok(())
 }
@@ -66,14 +69,167 @@ pub fn write_beats_csv<W: Write>(
 ///
 /// # Errors
 ///
-/// Returns [`SystemError::Config`] wrapping any I/O failure.
+/// Returns [`SystemError::Io`] wrapping any I/O failure.
 pub fn write_spectrum_csv<W: Write>(spectrum: &Spectrum, mut out: W) -> Result<(), SystemError> {
-    let io = |e: std::io::Error| SystemError::Config(format!("csv write failed: {e}"));
-    writeln!(out, "frequency_hz,level_dbfs").map_err(io)?;
+    writeln!(out, "frequency_hz,level_dbfs")?;
     for (i, db) in spectrum.to_dbfs().into_iter().enumerate() {
-        writeln!(out, "{:.4},{:.3}", spectrum.bin_frequency(i), db).map_err(io)?;
+        writeln!(out, "{:.4},{:.3}", spectrum.bin_frequency(i), db)?;
     }
     Ok(())
+}
+
+/// Samples per [`tonos_dsp::frame::KIND_SESSION_DATA`] frame in a binary
+/// session record (16 bytes per sample: raw + calibrated `f64`).
+const RECORD_CHUNK_SAMPLES: usize = 4096;
+
+/// The sample stream read back from a binary session record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRecord {
+    /// Output sample rate, Hz.
+    pub sample_rate: f64,
+    /// Truth sample index at which acquisition began.
+    pub acquisition_start: usize,
+    /// Raw (uncalibrated, full-scale) samples — bit-exact.
+    pub raw: Vec<f64>,
+    /// Calibrated samples aligned with `raw` — bit-exact.
+    pub calibrated: Vec<MillimetersHg>,
+}
+
+fn record_corrupt(msg: impl Into<String>) -> SystemError {
+    SystemError::Io(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes a session's sample stream as a binary, CRC-protected record:
+/// one [`KIND_SESSION_META`](tonos_dsp::frame::KIND_SESSION_META) frame
+/// (sample rate, acquisition start, sample count) followed by
+/// [`KIND_SESSION_DATA`](tonos_dsp::frame::KIND_SESSION_DATA) frames of
+/// up to `RECORD_CHUNK_SAMPLES` (4096) interleaved `(raw, calibrated)` `f64`
+/// pairs. The frame `clock` field carries the chunk's first sample
+/// index; `seq` numbers the frames.
+///
+/// [`read_session_record`] round-trips this bit-exactly, and because the
+/// container is the live link's frame codec, a recorded session can be
+/// replayed through any frame decoder.
+///
+/// # Errors
+///
+/// Returns [`SystemError::Io`] on write failure.
+pub fn write_session_record<W: Write>(
+    session: &MonitoringSession,
+    mut out: W,
+) -> Result<(), SystemError> {
+    use tonos_dsp::frame::{Frame, KIND_SESSION_DATA, KIND_SESSION_META};
+    let mut meta = Vec::with_capacity(24);
+    meta.extend_from_slice(&session.sample_rate.to_le_bytes());
+    meta.extend_from_slice(&(session.acquisition_start as u64).to_le_bytes());
+    meta.extend_from_slice(&(session.raw.len() as u64).to_le_bytes());
+    let meta = Frame::bytes(KIND_SESSION_META, 0, 0, 0, meta)
+        .expect("24-byte meta payload is within the frame limit");
+    out.write_all(&meta.encode())?;
+    let mut seq = 1u32;
+    let mut buf = Vec::new();
+    for (start, chunk) in session
+        .raw
+        .chunks(RECORD_CHUNK_SAMPLES)
+        .enumerate()
+        .map(|(i, c)| (i * RECORD_CHUNK_SAMPLES, c))
+    {
+        let mut payload = Vec::with_capacity(chunk.len() * 16);
+        for (i, &raw) in chunk.iter().enumerate() {
+            payload.extend_from_slice(&raw.to_le_bytes());
+            payload.extend_from_slice(&session.calibrated[start + i].value().to_le_bytes());
+        }
+        let frame = Frame::bytes(KIND_SESSION_DATA, 0, seq, start as u64, payload)
+            .expect("chunk payload is within the frame limit");
+        seq = seq.wrapping_add(1);
+        buf.clear();
+        frame.encode_into(&mut buf);
+        out.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Reads back a binary session record written by
+/// [`write_session_record`], verifying every frame's CRC and the
+/// meta-declared sample count.
+///
+/// # Errors
+///
+/// Returns [`SystemError::Io`] on read failure, and
+/// [`SystemError::Io`] with [`std::io::ErrorKind::InvalidData`] when a
+/// frame fails its CRC, frames are missing, or the layout is not a
+/// session record.
+pub fn read_session_record<R: Read>(mut input: R) -> Result<SessionRecord, SystemError> {
+    use tonos_dsp::frame::{Frame, ParseOutcome, KIND_SESSION_DATA, KIND_SESSION_META};
+    let mut bytes = Vec::new();
+    input.read_to_end(&mut bytes)?;
+    let mut pos = 0;
+    let mut frames = Vec::new();
+    while pos < bytes.len() {
+        match Frame::parse(&bytes[pos..]) {
+            ParseOutcome::Parsed { frame, consumed } => {
+                pos += consumed;
+                frames.push(frame);
+            }
+            ParseOutcome::NeedMore => {
+                return Err(record_corrupt("session record ends mid-frame"));
+            }
+            ParseOutcome::Corrupt { reason } => {
+                return Err(record_corrupt(format!(
+                    "corrupt frame at byte {pos}: {reason:?}"
+                )));
+            }
+        }
+    }
+    let Some((meta, data)) = frames.split_first() else {
+        return Err(record_corrupt("empty session record"));
+    };
+    if meta.kind != KIND_SESSION_META || meta.payload_bytes().len() != 24 {
+        return Err(record_corrupt("session record does not start with meta"));
+    }
+    let m = meta.payload_bytes();
+    let sample_rate = f64::from_le_bytes(m[0..8].try_into().expect("8 bytes"));
+    let acquisition_start = u64::from_le_bytes(m[8..16].try_into().expect("8 bytes")) as usize;
+    let samples = u64::from_le_bytes(m[16..24].try_into().expect("8 bytes")) as usize;
+    let mut raw = Vec::with_capacity(samples);
+    let mut calibrated = Vec::with_capacity(samples);
+    for frame in data {
+        if frame.kind != KIND_SESSION_DATA {
+            return Err(record_corrupt(format!(
+                "unexpected frame kind {} in session record",
+                frame.kind
+            )));
+        }
+        if frame.clock as usize != raw.len() {
+            return Err(record_corrupt(format!(
+                "data frame at sample {} but {} samples read",
+                frame.clock,
+                raw.len()
+            )));
+        }
+        let payload = frame.payload_bytes();
+        if !payload.len().is_multiple_of(16) {
+            return Err(record_corrupt("data frame payload is not whole samples"));
+        }
+        for pair in payload.chunks_exact(16) {
+            raw.push(f64::from_le_bytes(pair[0..8].try_into().expect("8 bytes")));
+            calibrated.push(MillimetersHg(f64::from_le_bytes(
+                pair[8..16].try_into().expect("8 bytes"),
+            )));
+        }
+    }
+    if raw.len() != samples {
+        return Err(record_corrupt(format!(
+            "meta declared {samples} samples, record holds {}",
+            raw.len()
+        )));
+    }
+    Ok(SessionRecord {
+        sample_rate,
+        acquisition_start,
+        raw,
+        calibrated,
+    })
 }
 
 #[cfg(test)]
@@ -162,7 +318,46 @@ mod tests {
         }
         let s = session();
         let err = write_session_csv(&s, Broken).unwrap_err();
-        assert!(matches!(err, SystemError::Config(_)));
+        assert!(matches!(err, SystemError::Io(std::io::ErrorKind::Other, _)));
         assert!(err.to_string().contains("disk full"));
+        let err = write_session_record(&s, Broken).unwrap_err();
+        assert!(matches!(err, SystemError::Io(_, _)));
+    }
+
+    #[test]
+    fn binary_record_round_trips_bit_exactly() {
+        let s = session();
+        let mut buf = Vec::new();
+        write_session_record(&s, &mut buf).unwrap();
+        let record = read_session_record(buf.as_slice()).unwrap();
+        assert_eq!(record.sample_rate, s.sample_rate);
+        assert_eq!(record.acquisition_start, s.acquisition_start);
+        // Bit-exact: f64 equality, not tolerance.
+        assert_eq!(record.raw, s.raw);
+        assert_eq!(record.calibrated, s.calibrated);
+    }
+
+    #[test]
+    fn corrupt_records_are_rejected_not_misread() {
+        let s = session();
+        let mut buf = Vec::new();
+        write_session_record(&s, &mut buf).unwrap();
+        // Flip one payload bit: the CRC must catch it.
+        let mut bad = buf.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x01;
+        let err = read_session_record(bad.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, SystemError::Io(std::io::ErrorKind::InvalidData, _)),
+            "{err}"
+        );
+        // Truncation is detected, not silently accepted.
+        let err = read_session_record(buf[..buf.len() - 5].as_ref()).unwrap_err();
+        assert!(matches!(
+            err,
+            SystemError::Io(std::io::ErrorKind::InvalidData, _)
+        ));
+        // Empty input is an error too.
+        assert!(read_session_record([].as_slice()).is_err());
     }
 }

@@ -129,11 +129,16 @@ pub struct OnlineAnalyzer {
     low_run: usize,
     high_acc: f64,
     low_acc: f64,
+    // Whether the current qualifying run contains any beat detected on
+    // gap-concealed samples (see [`OnlineAnalyzer::push_flagged`]).
+    high_tainted: bool,
+    low_tainted: bool,
     signal_loss_armed: bool,
     // Telemetry: alarms are counted and journaled; beats are far too
     // chatty for the journal and are counted by the session monitor.
     telemetry: Telemetry,
     alarms: Counter,
+    alarms_suppressed: Counter,
 }
 
 impl OnlineAnalyzer {
@@ -180,9 +185,12 @@ impl OnlineAnalyzer {
             low_run: 0,
             high_acc: 0.0,
             low_acc: 0.0,
+            high_tainted: false,
+            low_tainted: false,
             signal_loss_armed: true,
             telemetry: Telemetry::disabled(),
             alarms: Counter::disabled(),
+            alarms_suppressed: Counter::disabled(),
         })
     }
 
@@ -191,6 +199,7 @@ impl OnlineAnalyzer {
     /// critical severity, signal loss as a warning).
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.alarms = telemetry.counter(names::ANALYZER_ALARMS);
+        self.alarms_suppressed = telemetry.counter(names::ANALYZER_ALARMS_SUPPRESSED);
         self.telemetry = telemetry;
         self
     }
@@ -208,6 +217,28 @@ impl OnlineAnalyzer {
     /// Pushes one sample; returns any events it triggered (usually none,
     /// occasionally one beat and/or one alarm).
     pub fn push(&mut self, x: f64) -> Vec<MonitorEvent> {
+        self.push_flagged(x, false)
+    }
+
+    /// [`OnlineAnalyzer::push`] with an explicit provenance flag — the
+    /// entry point for host-link pipelines whose transport can lose
+    /// frames (`tonos-link`).
+    ///
+    /// A `concealed` sample is one the transport layer fabricated to
+    /// cover a gap (e.g. hold-last). It advances the stream's timebase
+    /// and detector state exactly like a clean sample, but a
+    /// *pressure* alarm whose qualifying run includes any beat detected
+    /// on concealed data is **suppressed**: counted under
+    /// [`names::ANALYZER_ALARMS_SUPPRESSED`] and journaled as a warning
+    /// instead of raised — fabricated samples must never fire a clinical
+    /// alarm on their own. The run state is kept, so the alarm fires
+    /// normally once enough *clean* qualifying beats accumulate.
+    ///
+    /// [`MonitorEvent::SignalLossAlarm`] deliberately still fires during
+    /// concealed spans: it reports the *absence* of beats, which a
+    /// transport gap genuinely is — fail-safe in the alarm-raising
+    /// direction, never in the alarm-masking one.
+    pub fn push_flagged(&mut self, x: f64, concealed: bool) -> Vec<MonitorEvent> {
         let mut events = Vec::new();
         let t = self.samples_seen as f64 / self.sample_rate;
 
@@ -283,48 +314,82 @@ impl OnlineAnalyzer {
                     diastolic,
                     pulse_rate_bpm: self.rate_bpm,
                 });
-                // --- Pressure alarms on beat values. ---
+                // --- Pressure alarms on beat values. A qualifying run
+                // containing any concealed-sample beat is suppressed:
+                // fabricated data must not raise a pressure alarm.
                 if systolic > self.limits.systolic_high {
                     self.high_run += 1;
                     self.high_acc += systolic;
+                    self.high_tainted |= concealed;
                     if self.high_run == self.limits.qualifying_beats {
                         let mean_sys = self.high_acc / self.high_run as f64;
-                        events.push(MonitorEvent::HypertensionAlarm {
-                            time_s: beat_time,
-                            systolic: mean_sys,
-                        });
-                        self.alarms.inc();
-                        self.telemetry.event(Severity::Critical, "analyzer", || {
-                            format!(
-                                "hypertension alarm at t = {beat_time:.1} s \
-                                 (mean systolic {mean_sys:.1})"
-                            )
-                        });
+                        if self.high_tainted {
+                            self.alarms_suppressed.inc();
+                            self.telemetry.event(Severity::Warning, "analyzer", || {
+                                format!(
+                                    "hypertension alarm at t = {beat_time:.1} s suppressed: \
+                                     qualifying beats include gap-concealed samples"
+                                )
+                            });
+                            // Restart the run so the alarm can still
+                            // fire on purely clean qualifying beats.
+                            self.high_run = 0;
+                            self.high_acc = 0.0;
+                            self.high_tainted = false;
+                        } else {
+                            events.push(MonitorEvent::HypertensionAlarm {
+                                time_s: beat_time,
+                                systolic: mean_sys,
+                            });
+                            self.alarms.inc();
+                            self.telemetry.event(Severity::Critical, "analyzer", || {
+                                format!(
+                                    "hypertension alarm at t = {beat_time:.1} s \
+                                     (mean systolic {mean_sys:.1})"
+                                )
+                            });
+                        }
                     }
                 } else {
                     self.high_run = 0;
                     self.high_acc = 0.0;
+                    self.high_tainted = false;
                 }
                 if systolic < self.limits.systolic_low {
                     self.low_run += 1;
                     self.low_acc += systolic;
+                    self.low_tainted |= concealed;
                     if self.low_run == self.limits.qualifying_beats {
                         let mean_sys = self.low_acc / self.low_run as f64;
-                        events.push(MonitorEvent::HypotensionAlarm {
-                            time_s: beat_time,
-                            systolic: mean_sys,
-                        });
-                        self.alarms.inc();
-                        self.telemetry.event(Severity::Critical, "analyzer", || {
-                            format!(
-                                "hypotension alarm at t = {beat_time:.1} s \
-                                 (mean systolic {mean_sys:.1})"
-                            )
-                        });
+                        if self.low_tainted {
+                            self.alarms_suppressed.inc();
+                            self.telemetry.event(Severity::Warning, "analyzer", || {
+                                format!(
+                                    "hypotension alarm at t = {beat_time:.1} s suppressed: \
+                                     qualifying beats include gap-concealed samples"
+                                )
+                            });
+                            self.low_run = 0;
+                            self.low_acc = 0.0;
+                            self.low_tainted = false;
+                        } else {
+                            events.push(MonitorEvent::HypotensionAlarm {
+                                time_s: beat_time,
+                                systolic: mean_sys,
+                            });
+                            self.alarms.inc();
+                            self.telemetry.event(Severity::Critical, "analyzer", || {
+                                format!(
+                                    "hypotension alarm at t = {beat_time:.1} s \
+                                     (mean systolic {mean_sys:.1})"
+                                )
+                            });
+                        }
                     }
                 } else {
                     self.low_run = 0;
                     self.low_acc = 0.0;
+                    self.low_tainted = false;
                 }
             }
         }
@@ -508,6 +573,66 @@ mod tests {
         // be caught, but the rhythm must not double-count).
         let n = beats(&events).len();
         assert!((60..=85).contains(&n), "{n} beats in 60 s");
+    }
+
+    #[test]
+    fn concealed_beats_suppress_pressure_alarms() {
+        use tonos_telemetry::{names, Registry};
+        // A hypertensive stream: every beat qualifies for the alarm.
+        let scenario = PressureTransient {
+            onset_s: 0.0,
+            ramp_s: 1.0,
+            hold_s: 60.0,
+            sys_delta: tonos_mems::units::MillimetersHg(50.0),
+            ..PressureTransient::episode()
+        };
+        let record = scenario.record(250.0, 40.0).unwrap();
+        let x: Vec<f64> = record.samples.iter().map(|p| p.value()).collect();
+
+        // Clean stream: the alarm fires.
+        let mut clean = OnlineAnalyzer::new(250.0, AlarmLimits::adult()).unwrap();
+        let events: Vec<_> = x.iter().flat_map(|&v| clean.push(v)).collect();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, MonitorEvent::HypertensionAlarm { .. })));
+
+        // Same stream flagged concealed end-to-end: no pressure alarm,
+        // every would-be alarm counted as suppressed + journaled.
+        let registry = Registry::new();
+        let mut concealed = OnlineAnalyzer::new(250.0, AlarmLimits::adult())
+            .unwrap()
+            .with_telemetry(registry.telemetry());
+        let events: Vec<_> = x
+            .iter()
+            .flat_map(|&v| concealed.push_flagged(v, true))
+            .collect();
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, MonitorEvent::HypertensionAlarm { .. })),
+            "concealed samples must not raise pressure alarms"
+        );
+        // Beats are still detected (timebase and detector keep running).
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, MonitorEvent::Beat { .. })));
+        let s = registry.snapshot();
+        assert!(s.counter(names::ANALYZER_ALARMS_SUPPRESSED).unwrap() >= 1);
+        assert_eq!(s.counter(names::ANALYZER_ALARMS).unwrap_or(0), 0);
+
+        // A short concealed span taints only runs that include it: after
+        // `qualifying_beats` clean beats, the alarm still fires.
+        let mut mixed = OnlineAnalyzer::new(250.0, AlarmLimits::adult()).unwrap();
+        let conceal_until = (5.0 * 250.0) as usize;
+        let mut fired = false;
+        for (i, &v) in x.iter().enumerate() {
+            for e in mixed.push_flagged(v, i < conceal_until) {
+                if matches!(e, MonitorEvent::HypertensionAlarm { .. }) {
+                    fired = true;
+                }
+            }
+        }
+        assert!(fired, "clean qualifying beats after the gap must alarm");
     }
 
     #[test]

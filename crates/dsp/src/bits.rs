@@ -159,6 +159,48 @@ impl PackedBits {
         self.words.clear();
         self.len = 0;
     }
+
+    /// Serializes the stream to bytes, LSB-first within each byte (byte
+    /// `j` holds bits `8j..8j+8`), `len().div_ceil(8)` bytes total. Tail
+    /// bits of the last byte beyond [`PackedBits::len`] are zero. This is
+    /// the wire/file representation used by [`crate::frame`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.len.div_ceil(8);
+        let mut out = Vec::with_capacity(n);
+        for &w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.truncate(n);
+        out
+    }
+
+    /// Rebuilds a stream of `len` bits from its [`PackedBits::to_bytes`]
+    /// representation. Bits of `bytes` at or beyond `len` are ignored, so
+    /// the result is bit-identical to the stream that was serialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bytes` holds fewer than `len` bits.
+    pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
+        assert!(
+            bytes.len() * 8 >= len,
+            "{} bytes carry fewer than {len} bits",
+            bytes.len()
+        );
+        let mut packed = PackedBits::with_capacity(len);
+        let mut remaining = len;
+        for chunk in bytes.chunks(8) {
+            if remaining == 0 {
+                break;
+            }
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            let take = remaining.min(chunk.len() * 8).min(64);
+            packed.push_bits(u64::from_le_bytes(word), take);
+            remaining -= take;
+        }
+        packed
+    }
 }
 
 impl FromIterator<bool> for PackedBits {
@@ -270,6 +312,27 @@ mod tests {
         let packed: PackedBits = (0..1000).map(|i| i % 4 != 0).collect();
         // 750 ones, 250 zeros: mean = (750 - 250) / 1000 = 0.5.
         assert!((packed.mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_round_trip_is_exact() {
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 127, 128, 200] {
+            let pattern: PackedBits = (0..len).map(|i| i % 3 == 0 || i % 11 == 0).collect();
+            let bytes = pattern.to_bytes();
+            assert_eq!(bytes.len(), len.div_ceil(8), "len {len}");
+            let back = PackedBits::from_bytes(&bytes, len);
+            assert_eq!(back, pattern, "len {len}");
+            assert_eq!(back.words(), pattern.words(), "len {len}");
+        }
+        // Junk bits beyond `len` in the source bytes are masked off.
+        let noisy = PackedBits::from_bytes(&[0xFF], 3);
+        assert_eq!(noisy.words(), &[0b111u64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than")]
+    fn from_bytes_rejects_short_buffers() {
+        let _ = PackedBits::from_bytes(&[0u8], 9);
     }
 
     #[test]

@@ -1,0 +1,413 @@
+//! Self-delimiting link frames: the wire/file format of the host link.
+//!
+//! The paper's chip streams its ΣΔ bitstream "over USB to a computer
+//! system" (§2.2). This module defines the byte-level frame that crosses
+//! that boundary — used both by the live transport (`tonos-link`) and by
+//! the binary session recorder (`tonos_core::export`), so recorded
+//! sessions and link traffic share one format.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     sync word  5A DC B1 7E
+//! 4       1     version (high nibble) | kind (low nibble)
+//! 5       2     element id          (u16 LE)
+//! 7       4     sequence number     (u32 LE)
+//! 11      8     clock index         (u64 LE)
+//! 19      4     payload length, BITS (u32 LE)
+//! 23      n     payload, n = bits.div_ceil(8), LSB-first per byte
+//! 23+n    4     CRC-32 (IEEE) over bytes 4..23+n   (u32 LE)
+//! ```
+//!
+//! Design rules that make the stream recoverable after corruption:
+//!
+//! * **Self-delimiting.** A receiver that lost its place scans for the
+//!   4-byte sync word and re-parses from there; a false sync inside
+//!   payload bytes is rejected by the CRC with probability `1 − 2⁻³²`.
+//! * **Bounded length.** `payload_bits` above [`MAX_PAYLOAD_BITS`] is
+//!   corruption by definition ([`CorruptReason::Length`]) — a flipped
+//!   length bit can never convince the parser to buffer gigabytes.
+//! * **Versioned.** The version nibble must match [`VERSION`]; anything
+//!   else is treated as corruption, not as a future format.
+//!
+//! The streaming decoder with resynchronization and sequence-gap
+//! tracking lives in `tonos-link`; this module provides the frame type,
+//! the one-shot parser it is built on, and [`crc32`].
+
+use crate::bits::PackedBits;
+use crate::DspError;
+
+/// The frame sync word. Chosen to avoid runs likely in ΣΔ payloads
+/// (alternating-heavy bytes) while staying cheap to scan for.
+pub const SYNC: [u8; 4] = [0x5A, 0xDC, 0xB1, 0x7E];
+
+/// Bytes before the payload, sync word included.
+pub const HEADER_LEN: usize = 23;
+
+/// Trailing CRC-32 bytes.
+pub const CRC_LEN: usize = 4;
+
+/// Wire-format version carried in the high nibble of byte 4.
+pub const VERSION: u8 = 1;
+
+/// Hard ceiling on `payload_bits`; larger values are corruption.
+pub const MAX_PAYLOAD_BITS: u32 = 1 << 20;
+
+/// Frame kind: a packed ΣΔ bitstream chunk (the live link payload).
+pub const KIND_BITSTREAM: u8 = 0;
+/// Frame kind: session-record metadata (`tonos_core::export`).
+pub const KIND_SESSION_META: u8 = 1;
+/// Frame kind: session-record sample data (`tonos_core::export`).
+pub const KIND_SESSION_DATA: u8 = 2;
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`) — the
+/// polynomial every USB/Ethernet-adjacent link layer uses, table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// One decoded (or to-be-encoded) frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame kind (low nibble of byte 4): [`KIND_BITSTREAM`] and friends.
+    pub kind: u8,
+    /// Source element/channel id.
+    pub element: u16,
+    /// Per-stream sequence number (wraps at `u32::MAX`).
+    pub seq: u32,
+    /// Modulator clock index of the payload's first bit (bitstream
+    /// frames) or an application-defined cursor (record frames).
+    pub clock: u64,
+    payload_bits: u32,
+    payload: Vec<u8>,
+}
+
+/// Outcome of [`Frame::parse`] on a buffer positioned at a candidate
+/// frame start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// The buffer holds a valid prefix of a frame; feed more bytes.
+    NeedMore,
+    /// A complete, CRC-verified frame occupying `consumed` bytes.
+    Parsed {
+        /// The decoded frame.
+        frame: Frame,
+        /// Bytes of the buffer the frame occupied.
+        consumed: usize,
+    },
+    /// The bytes at the buffer start are not a valid frame.
+    Corrupt {
+        /// What check failed.
+        reason: CorruptReason,
+    },
+}
+
+/// Why a candidate frame was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptReason {
+    /// The buffer does not start with [`SYNC`].
+    Sync,
+    /// The version nibble does not match [`VERSION`].
+    Version,
+    /// `payload_bits` exceeds [`MAX_PAYLOAD_BITS`].
+    Length,
+    /// The CRC-32 check failed.
+    Crc,
+}
+
+impl Frame {
+    /// A bitstream frame carrying a packed ΣΔ chunk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] when the chunk exceeds
+    /// [`MAX_PAYLOAD_BITS`] bits.
+    pub fn bitstream(
+        element: u16,
+        seq: u32,
+        clock: u64,
+        bits: &PackedBits,
+    ) -> Result<Self, DspError> {
+        Frame::new(
+            KIND_BITSTREAM,
+            element,
+            seq,
+            clock,
+            bits.to_bytes(),
+            bits.len() as u32,
+        )
+    }
+
+    /// A frame over an opaque byte payload (record kinds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] when the payload exceeds
+    /// [`MAX_PAYLOAD_BITS`] bits or the kind does not fit its nibble.
+    pub fn bytes(
+        kind: u8,
+        element: u16,
+        seq: u32,
+        clock: u64,
+        payload: Vec<u8>,
+    ) -> Result<Self, DspError> {
+        let bits = (payload.len() as u32).saturating_mul(8);
+        Frame::new(kind, element, seq, clock, payload, bits)
+    }
+
+    fn new(
+        kind: u8,
+        element: u16,
+        seq: u32,
+        clock: u64,
+        payload: Vec<u8>,
+        payload_bits: u32,
+    ) -> Result<Self, DspError> {
+        if kind > 0x0F {
+            return Err(DspError::InvalidParameter(format!(
+                "frame kind {kind} does not fit the kind nibble"
+            )));
+        }
+        if payload_bits > MAX_PAYLOAD_BITS {
+            return Err(DspError::InvalidParameter(format!(
+                "payload of {payload_bits} bits exceeds the {MAX_PAYLOAD_BITS}-bit frame limit"
+            )));
+        }
+        debug_assert_eq!(payload.len(), (payload_bits as usize).div_ceil(8));
+        Ok(Frame {
+            kind,
+            element,
+            seq,
+            clock,
+            payload_bits,
+            payload,
+        })
+    }
+
+    /// Number of valid payload bits.
+    pub fn payload_bits(&self) -> usize {
+        self.payload_bits as usize
+    }
+
+    /// The raw payload bytes (`payload_bits().div_ceil(8)` of them).
+    pub fn payload_bytes(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// The payload as a packed ΣΔ stream (bitstream frames).
+    pub fn to_packed_bits(&self) -> PackedBits {
+        PackedBits::from_bytes(&self.payload, self.payload_bits as usize)
+    }
+
+    /// Encoded size in bytes (sync + header + payload + CRC).
+    pub fn encoded_len(&self) -> usize {
+        HEADER_LEN + self.payload.len() + CRC_LEN
+    }
+
+    /// Appends the encoded frame to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len());
+        let body_start = out.len() + SYNC.len();
+        out.extend_from_slice(&SYNC);
+        out.push((VERSION << 4) | self.kind);
+        out.extend_from_slice(&self.element.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.clock.to_le_bytes());
+        out.extend_from_slice(&self.payload_bits.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let crc = crc32(&out[body_start..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+    }
+
+    /// The encoded frame as a fresh byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Parses one frame from the start of `buf`.
+    ///
+    /// `buf` must be positioned at a candidate frame start (the caller
+    /// scans for [`SYNC`]); anything else comes back as
+    /// [`ParseOutcome::Corrupt`] so streaming decoders can advance one
+    /// byte and rescan.
+    pub fn parse(buf: &[u8]) -> ParseOutcome {
+        if buf.len() < SYNC.len() {
+            return if SYNC.starts_with(buf) {
+                ParseOutcome::NeedMore
+            } else {
+                ParseOutcome::Corrupt {
+                    reason: CorruptReason::Sync,
+                }
+            };
+        }
+        if buf[..SYNC.len()] != SYNC {
+            return ParseOutcome::Corrupt {
+                reason: CorruptReason::Sync,
+            };
+        }
+        if buf.len() < HEADER_LEN {
+            return ParseOutcome::NeedMore;
+        }
+        if buf[4] >> 4 != VERSION {
+            return ParseOutcome::Corrupt {
+                reason: CorruptReason::Version,
+            };
+        }
+        let payload_bits = u32::from_le_bytes(buf[19..23].try_into().expect("4 bytes"));
+        if payload_bits > MAX_PAYLOAD_BITS {
+            return ParseOutcome::Corrupt {
+                reason: CorruptReason::Length,
+            };
+        }
+        let payload_len = (payload_bits as usize).div_ceil(8);
+        let total = HEADER_LEN + payload_len + CRC_LEN;
+        if buf.len() < total {
+            return ParseOutcome::NeedMore;
+        }
+        let crc_stored =
+            u32::from_le_bytes(buf[total - CRC_LEN..total].try_into().expect("4 bytes"));
+        if crc32(&buf[SYNC.len()..total - CRC_LEN]) != crc_stored {
+            return ParseOutcome::Corrupt {
+                reason: CorruptReason::Crc,
+            };
+        }
+        let frame = Frame {
+            kind: buf[4] & 0x0F,
+            element: u16::from_le_bytes(buf[5..7].try_into().expect("2 bytes")),
+            seq: u32::from_le_bytes(buf[7..11].try_into().expect("4 bytes")),
+            clock: u64::from_le_bytes(buf[11..19].try_into().expect("8 bytes")),
+            payload_bits,
+            payload: buf[HEADER_LEN..HEADER_LEN + payload_len].to_vec(),
+        };
+        ParseOutcome::Parsed {
+            frame,
+            consumed: total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bits(n: usize) -> PackedBits {
+        (0..n).map(|i| i % 3 == 0 || i % 7 == 2).collect()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The two universally published IEEE CRC-32 check values.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_parse_round_trip() {
+        for n in [0usize, 1, 7, 8, 63, 64, 65, 128, 1000] {
+            let bits = sample_bits(n);
+            let frame = Frame::bitstream(3, 42, 9999, &bits).unwrap();
+            let encoded = frame.encode();
+            assert_eq!(encoded.len(), frame.encoded_len());
+            match Frame::parse(&encoded) {
+                ParseOutcome::Parsed {
+                    frame: back,
+                    consumed,
+                } => {
+                    assert_eq!(consumed, encoded.len());
+                    assert_eq!(back, frame);
+                    assert_eq!(back.to_packed_bits(), bits, "{n} bits");
+                }
+                other => panic!("parse failed for {n} bits: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frames_ask_for_more() {
+        let frame = Frame::bitstream(0, 0, 0, &sample_bits(100)).unwrap();
+        let encoded = frame.encode();
+        for cut in 0..encoded.len() {
+            assert_eq!(
+                Frame::parse(&encoded[..cut]),
+                ParseOutcome::NeedMore,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_corruption_class_is_rejected() {
+        let frame = Frame::bitstream(1, 2, 3, &sample_bits(64)).unwrap();
+        let good = frame.encode();
+
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF; // sync
+        assert_eq!(
+            Frame::parse(&bad),
+            ParseOutcome::Corrupt {
+                reason: CorruptReason::Sync
+            }
+        );
+
+        let mut bad = good.clone();
+        bad[4] ^= 0xF0; // version nibble
+        assert_eq!(
+            Frame::parse(&bad),
+            ParseOutcome::Corrupt {
+                reason: CorruptReason::Version
+            }
+        );
+
+        let mut bad = good.clone();
+        bad[22] = 0xFF; // length high byte -> over MAX_PAYLOAD_BITS
+        assert_eq!(
+            Frame::parse(&bad),
+            ParseOutcome::Corrupt {
+                reason: CorruptReason::Length
+            }
+        );
+
+        // A flip anywhere in the CRC-covered region must fail the CRC.
+        for i in [4usize, 6, 9, 15, 21, 25, good.len() - 1] {
+            let mut bad = good.clone();
+            bad[i] ^= 0x10;
+            let outcome = Frame::parse(&bad);
+            assert!(
+                matches!(outcome, ParseOutcome::Corrupt { .. }),
+                "flip at {i}: {outcome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_payloads_are_rejected_at_construction() {
+        let too_big: PackedBits = (0..(MAX_PAYLOAD_BITS as usize + 1)).map(|_| true).collect();
+        assert!(Frame::bitstream(0, 0, 0, &too_big).is_err());
+        assert!(Frame::bytes(0x10, 0, 0, 0, Vec::new()).is_err());
+        assert!(Frame::bytes(KIND_SESSION_DATA, 0, 0, 0, vec![0; 8]).is_ok());
+    }
+}

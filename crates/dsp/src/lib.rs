@@ -62,6 +62,7 @@ pub mod fft;
 pub mod fir;
 pub mod fixed;
 pub mod fpga;
+pub mod frame;
 pub mod goertzel;
 pub mod iir;
 pub mod metrics;

@@ -170,6 +170,38 @@ pub struct SessionSummary {
 }
 
 impl SessionSummary {
+    /// A summary for a *streamed* session — one ingested from an
+    /// external device over the host link (`tonos-link`) rather than
+    /// simulated in-process. Such sessions have no ground truth to score
+    /// against, so the error fields are zero and `matched_beats`
+    /// mirrors `beats`; everything else carries the live analyzer's
+    /// output, making link-ingested sessions first-class citizens of
+    /// [`FleetReport`](crate::FleetReport).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_stream(
+        beats: usize,
+        pulse_rate_bpm: f64,
+        mean_systolic_mmhg: f64,
+        mean_diastolic_mmhg: f64,
+        samples: usize,
+        sample_rate_hz: f64,
+        alarms: usize,
+    ) -> Self {
+        SessionSummary {
+            beats,
+            pulse_rate_bpm,
+            mean_systolic_mmhg,
+            mean_diastolic_mmhg,
+            systolic_mae_mmhg: 0.0,
+            diastolic_mae_mmhg: 0.0,
+            matched_beats: beats,
+            samples,
+            sample_rate_hz,
+            chip_power_w: 0.0,
+            alarms,
+        }
+    }
+
     /// Condenses a completed [`MonitoringSession`].
     pub fn from_session(session: &MonitoringSession, alarms: usize) -> Self {
         SessionSummary {

@@ -1,0 +1,352 @@
+//! Host-side streaming frame decoder: resynchronization, CRC
+//! verification, and sequence-gap detection.
+//!
+//! The decoder is push-based: feed it whatever bytes the transport
+//! delivered — any split, any alignment — and it emits [`LinkEvent`]s.
+//! Its contract is the crate's no-silent-corruption invariant:
+//!
+//! * A damaged frame never comes out as a [`LinkEvent::Frame`]; the
+//!   CRC rejects it and the decoder scans forward to the next sync
+//!   word (**resync**).
+//! * A missing frame never goes unnoticed; the sequence number jump is
+//!   reported as a [`LinkEvent::Gap`] carrying the number of lost
+//!   modulator clocks (from the clock-index headers), which is what
+//!   the pipeline's gap concealment consumes.
+//! * A duplicated or reordered-stale frame is dropped, not replayed.
+
+use tonos_dsp::frame::{CorruptReason, Frame, ParseOutcome, SYNC};
+use tonos_telemetry::{names, Counter, Telemetry};
+
+/// Keep at most this much undecodable prefix before compacting the
+/// internal buffer.
+const COMPACT_THRESHOLD: usize = 16 * 1024;
+
+/// What the decoder tells the layer above.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkEvent {
+    /// A CRC-verified, in-order frame.
+    Frame(Frame),
+    /// One or more frames were lost between the last delivered frame
+    /// and the one that follows this event.
+    Gap {
+        /// Sequence number that was expected.
+        expected_seq: u32,
+        /// Sequence number that actually arrived.
+        got_seq: u32,
+        /// Frames missing (`got_seq - expected_seq`, mod 2³²).
+        lost_frames: u32,
+        /// Modulator clocks missing, from the clock-index headers.
+        lost_clocks: u64,
+    },
+}
+
+/// Plain (telemetry-independent) decoder statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecoderStats {
+    /// Bytes pushed into the decoder.
+    pub bytes: u64,
+    /// CRC-verified frames delivered in order.
+    pub frames: u64,
+    /// CRC check failures (includes false syncs found while scanning).
+    pub crc_failures: u64,
+    /// Times the decoder lost framing and had to scan for sync.
+    pub resyncs: u64,
+    /// Sequence-gap events reported.
+    pub gap_events: u64,
+    /// Total frames lost across all gap events.
+    pub lost_frames: u64,
+    /// Duplicate or reordered-stale frames dropped.
+    pub stale_frames: u64,
+}
+
+/// Push-based streaming decoder for the link frame format.
+#[derive(Debug, Clone)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    /// `(seq, clock)` expected for the next in-order frame; `None`
+    /// until the first frame of the stream arrives.
+    expect: Option<(u32, u64)>,
+    in_resync: bool,
+    stats: DecoderStats,
+    frames_rx: Counter,
+    bytes_rx: Counter,
+    crc_fail: Counter,
+    resyncs: Counter,
+    gap_events: Counter,
+    gap_frames: Counter,
+    stale_frames: Counter,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder with no telemetry attached.
+    pub fn new() -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            expect: None,
+            in_resync: false,
+            stats: DecoderStats::default(),
+            frames_rx: Counter::disabled(),
+            bytes_rx: Counter::disabled(),
+            crc_fail: Counter::disabled(),
+            resyncs: Counter::disabled(),
+            gap_events: Counter::disabled(),
+            gap_frames: Counter::disabled(),
+            stale_frames: Counter::disabled(),
+        }
+    }
+
+    /// Reports receive-side counters (`link.frames_rx`, `link.crc_fail`,
+    /// `link.resyncs`, `link.gap_events`, ...) into the given registry.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.frames_rx = telemetry.counter(names::LINK_FRAMES_RX);
+        self.bytes_rx = telemetry.counter(names::LINK_BYTES_RX);
+        self.crc_fail = telemetry.counter(names::LINK_CRC_FAIL);
+        self.resyncs = telemetry.counter(names::LINK_RESYNCS);
+        self.gap_events = telemetry.counter(names::LINK_GAP_EVENTS);
+        self.gap_frames = telemetry.counter(names::LINK_GAP_FRAMES);
+        self.stale_frames = telemetry.counter(names::LINK_STALE_FRAMES);
+        self
+    }
+
+    /// Decoder statistics so far.
+    pub fn stats(&self) -> DecoderStats {
+        self.stats
+    }
+
+    /// Bytes buffered but not yet decodable (partial frame tail).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Feeds transport bytes in, appending decoded events to `events`.
+    ///
+    /// Any split of the byte stream decodes identically: the decoder
+    /// buffers partial frames internally and is insensitive to where
+    /// the transport fragments its reads.
+    pub fn push(&mut self, bytes: &[u8], events: &mut Vec<LinkEvent>) {
+        self.stats.bytes += bytes.len() as u64;
+        self.bytes_rx.add(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+        loop {
+            let window = &self.buf[self.pos..];
+            if window.is_empty() {
+                break;
+            }
+            match Frame::parse(window) {
+                ParseOutcome::NeedMore => break,
+                ParseOutcome::Parsed { frame, consumed } => {
+                    self.pos += consumed;
+                    self.in_resync = false;
+                    self.accept(frame, events);
+                }
+                ParseOutcome::Corrupt { reason } => {
+                    if !self.in_resync {
+                        self.in_resync = true;
+                        self.stats.resyncs += 1;
+                        self.resyncs.inc();
+                    }
+                    if reason == CorruptReason::Crc {
+                        self.stats.crc_failures += 1;
+                        self.crc_fail.inc();
+                    }
+                    // Scan forward to the next candidate sync byte,
+                    // at least one byte ahead of the rejected start.
+                    let window = &self.buf[self.pos..];
+                    let skip = window[1..]
+                        .iter()
+                        .position(|&b| b == SYNC[0])
+                        .map_or(window.len(), |i| i + 1);
+                    self.pos += skip;
+                }
+            }
+        }
+        // Reclaim the consumed prefix once it is worth a memmove.
+        if self.pos >= COMPACT_THRESHOLD {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    fn accept(&mut self, frame: Frame, events: &mut Vec<LinkEvent>) {
+        if self.expect.is_none() && (frame.seq != 0 || frame.clock != 0) {
+            // The stream was already running when we attached (or its
+            // head was lost): everything before this frame is a gap, so
+            // downstream sample indices stay aligned to the device
+            // clock. Encoders start at sequence 0, clock 0.
+            self.stats.gap_events += 1;
+            self.stats.lost_frames += u64::from(frame.seq);
+            self.gap_events.inc();
+            self.gap_frames.add(u64::from(frame.seq));
+            events.push(LinkEvent::Gap {
+                expected_seq: 0,
+                got_seq: frame.seq,
+                lost_frames: frame.seq,
+                lost_clocks: frame.clock,
+            });
+        }
+        if let Some((expected_seq, expected_clock)) = self.expect {
+            let diff = frame.seq.wrapping_sub(expected_seq);
+            if diff != 0 {
+                // Forward jumps (mod 2³²) are gaps; backward jumps are
+                // duplicates or reordered stragglers and are dropped —
+                // the link has no reorder buffer (see ROADMAP).
+                if diff < 0x8000_0000 {
+                    let lost_clocks = frame.clock.saturating_sub(expected_clock);
+                    self.stats.gap_events += 1;
+                    self.stats.lost_frames += u64::from(diff);
+                    self.gap_events.inc();
+                    self.gap_frames.add(u64::from(diff));
+                    events.push(LinkEvent::Gap {
+                        expected_seq,
+                        got_seq: frame.seq,
+                        lost_frames: diff,
+                        lost_clocks,
+                    });
+                } else {
+                    self.stats.stale_frames += 1;
+                    self.stale_frames.inc();
+                    return;
+                }
+            }
+        }
+        self.expect = Some((
+            frame.seq.wrapping_add(1),
+            frame.clock + frame.payload_bits() as u64,
+        ));
+        self.stats.frames += 1;
+        self.frames_rx.inc();
+        events.push(LinkEvent::Frame(frame));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::FrameEncoder;
+    use tonos_dsp::bits::PackedBits;
+
+    fn chunk(n: usize, phase: usize) -> PackedBits {
+        (0..n).map(|i| (i + phase).is_multiple_of(3)).collect()
+    }
+
+    fn encode_stream(chunks: &[PackedBits]) -> (Vec<u8>, Vec<usize>) {
+        let mut enc = FrameEncoder::new(1);
+        let mut wire = Vec::new();
+        let mut bounds = Vec::new();
+        for c in chunks {
+            enc.encode_into(c, &mut wire).unwrap();
+            bounds.push(wire.len());
+        }
+        (wire, bounds)
+    }
+
+    #[test]
+    fn byte_at_a_time_matches_one_shot() {
+        let chunks: Vec<PackedBits> = (0..10).map(|i| chunk(100 + i, i)).collect();
+        let (wire, _) = encode_stream(&chunks);
+
+        let mut one = Vec::new();
+        FrameDecoder::new().push(&wire, &mut one);
+
+        let mut dec = FrameDecoder::new();
+        let mut dribble = Vec::new();
+        for b in &wire {
+            dec.push(std::slice::from_ref(b), &mut dribble);
+        }
+        assert_eq!(one, dribble);
+        assert_eq!(one.len(), 10);
+        assert_eq!(dec.stats().frames, 10);
+        assert_eq!(dec.stats().resyncs, 0);
+    }
+
+    #[test]
+    fn corrupted_frame_is_rejected_and_framing_recovers() {
+        let chunks: Vec<PackedBits> = (0..5).map(|i| chunk(128, i)).collect();
+        let (mut wire, bounds) = encode_stream(&chunks);
+        // Flip a payload byte inside frame 2.
+        wire[bounds[1] + 30] ^= 0x40;
+
+        let mut events = Vec::new();
+        let mut dec = FrameDecoder::new();
+        dec.push(&wire, &mut events);
+
+        let frames: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                LinkEvent::Frame(f) => Some(f.seq),
+                LinkEvent::Gap { .. } => None,
+            })
+            .collect();
+        assert_eq!(frames, vec![0, 1, 3, 4]);
+        let gaps: Vec<(u32, u64)> = events
+            .iter()
+            .filter_map(|e| match e {
+                LinkEvent::Gap {
+                    lost_frames,
+                    lost_clocks,
+                    ..
+                } => Some((*lost_frames, *lost_clocks)),
+                LinkEvent::Frame(_) => None,
+            })
+            .collect();
+        assert_eq!(gaps, vec![(1, 128)]);
+        assert!(dec.stats().crc_failures >= 1);
+        assert_eq!(dec.stats().resyncs, 1);
+    }
+
+    #[test]
+    fn duplicates_and_stale_frames_are_dropped() {
+        let chunks: Vec<PackedBits> = (0..3).map(|i| chunk(64, i)).collect();
+        let (wire, bounds) = encode_stream(&chunks);
+        // frame0, frame1, frame1 again, frame0 again, frame2.
+        let mut replay = wire[..bounds[1]].to_vec();
+        replay.extend_from_slice(&wire[bounds[0]..bounds[1]]);
+        replay.extend_from_slice(&wire[..bounds[0]]);
+        replay.extend_from_slice(&wire[bounds[1]..]);
+
+        let mut events = Vec::new();
+        let mut dec = FrameDecoder::new();
+        dec.push(&replay, &mut events);
+        let seqs: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e {
+                LinkEvent::Frame(f) => Some(f.seq),
+                LinkEvent::Gap { .. } => None,
+            })
+            .collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(dec.stats().stale_frames, 2);
+        assert_eq!(dec.stats().gap_events, 0);
+    }
+
+    #[test]
+    fn garbage_between_frames_is_skipped() {
+        let chunks: Vec<PackedBits> = (0..2).map(|i| chunk(64, i)).collect();
+        let (wire, bounds) = encode_stream(&chunks);
+        let mut noisy = wire[..bounds[0]].to_vec();
+        // Garbage that includes sync-first bytes to force false-sync
+        // probes.
+        noisy.extend_from_slice(&[0x5A, 0x00, 0x5A, 0xDC, 0x13, 0x37, 0xFF]);
+        noisy.extend_from_slice(&wire[bounds[0]..]);
+
+        let mut events = Vec::new();
+        let mut dec = FrameDecoder::new();
+        dec.push(&noisy, &mut events);
+        let frames = events
+            .iter()
+            .filter(|e| matches!(e, LinkEvent::Frame(_)))
+            .count();
+        assert_eq!(frames, 2);
+        assert_eq!(dec.stats().resyncs, 1);
+        assert_eq!(dec.stats().gap_events, 0);
+    }
+}

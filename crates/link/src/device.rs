@@ -1,0 +1,225 @@
+//! The device side of the link: a sensor chip streaming framed ΣΔ
+//! payloads.
+//!
+//! [`DeviceSimulator`] is the paper's measurement hardware reduced to
+//! what actually crosses the USB boundary: a [`SensorChip`] converting
+//! a patient's pressure waveform into packed modulator bits, and a
+//! [`FrameEncoder`] serializing those bits. No decimation, no
+//! calibration, no analysis — all of that is the host's job, which is
+//! the whole point of the split.
+
+use tonos_core::chip::SensorChip;
+use tonos_core::config::SystemConfig;
+use tonos_core::scratch::ConversionScratch;
+use tonos_core::SystemError;
+use tonos_dsp::bits::PackedBits;
+use tonos_mems::contact::ContactInterface;
+use tonos_mems::units::{MillimetersHg, Pascals};
+use tonos_physio::patient::PatientProfile;
+use tonos_telemetry::Telemetry;
+
+use crate::encode::FrameEncoder;
+
+/// Appends every bit of `src` to `dst`, word-wise.
+fn append_bits(dst: &mut PackedBits, src: &PackedBits) {
+    let mut remaining = src.len();
+    for &word in src.words() {
+        if remaining == 0 {
+            break;
+        }
+        let take = remaining.min(64);
+        dst.push_bits(word, take);
+        remaining -= take;
+    }
+}
+
+/// A simulated device streaming one element's framed bitstream.
+///
+/// Construction synthesizes the patient's arterial waveform for the
+/// whole session up front (devices are allowed memory for their own
+/// stimulus); each [`next_packet`](DeviceSimulator::next_packet) call
+/// converts the next few pressure frames through the chip and returns
+/// one encoded wire frame.
+#[derive(Debug)]
+pub struct DeviceSimulator {
+    chip: SensorChip,
+    scratch: ConversionScratch,
+    encoder: FrameEncoder,
+    contact: ContactInterface,
+    truth: Vec<MillimetersHg>,
+    elements: usize,
+    osr: usize,
+    frames_per_packet: usize,
+    cursor: usize,
+    frame_buf: Vec<Pascals>,
+    packet: PackedBits,
+}
+
+impl DeviceSimulator {
+    /// A device built from `config`, streaming `patient`'s waveform for
+    /// `duration_s` seconds. Identical `(config, patient, duration)`
+    /// triples produce bit-identical streams — the property the
+    /// link-vs-in-process equivalence tests are built on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip construction, decimator-geometry, and waveform
+    /// synthesis failures.
+    pub fn new(
+        config: &SystemConfig,
+        patient: &PatientProfile,
+        duration_s: f64,
+    ) -> Result<Self, SystemError> {
+        let chip = SensorChip::new(config.chip)?;
+        let osr = config.decimator.build().map_err(SystemError::Dsp)?.ratio();
+        let frame_rate = config.chip.sample_rate_hz / osr as f64;
+        let truth = patient.record(frame_rate, duration_s)?.samples;
+        let elements = config.chip.layout.rows * config.chip.layout.cols;
+        Ok(DeviceSimulator {
+            chip,
+            scratch: ConversionScratch::with_frame_capacity(osr),
+            encoder: FrameEncoder::new(0),
+            contact: config.contact,
+            truth,
+            elements,
+            osr,
+            frames_per_packet: 8,
+            cursor: 0,
+            frame_buf: Vec::with_capacity(elements),
+            packet: PackedBits::new(),
+        })
+    }
+
+    /// Pressure frames batched into each wire frame (default 8, i.e.
+    /// 8 ms of signal per frame at the paper rate). Clamped to ≥ 1.
+    #[must_use]
+    pub fn with_frames_per_packet(mut self, frames: usize) -> Self {
+        self.frames_per_packet = frames.max(1);
+        self
+    }
+
+    /// Reports the encoder's transmit counters into the given registry.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.encoder = self.encoder.with_telemetry(telemetry);
+        self
+    }
+
+    /// Modulator clocks per pressure frame.
+    pub fn osr(&self) -> usize {
+        self.osr
+    }
+
+    /// Total pressure frames the session will stream.
+    pub fn frames_total(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// Whether the stream has ended.
+    pub fn finished(&self) -> bool {
+        self.cursor >= self.truth.len()
+    }
+
+    /// The packed bits of the most recent packet, before encoding —
+    /// lets a caller tee the exact payload into an in-process decimator
+    /// for equivalence checks.
+    pub fn last_packet_bits(&self) -> &PackedBits {
+        &self.packet
+    }
+
+    /// Converts the next batch of pressure frames and appends one
+    /// encoded wire frame to `out`. Returns `false` (appending nothing)
+    /// once the stream has ended.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip conversion failures.
+    pub fn next_packet_into(&mut self, out: &mut Vec<u8>) -> Result<bool, SystemError> {
+        if self.finished() {
+            return Ok(false);
+        }
+        self.packet.clear();
+        for _ in 0..self.frames_per_packet {
+            let Some(&mmhg) = self.truth.get(self.cursor) else {
+                break;
+            };
+            let pressure = self.contact.net_element_pressure(Pascals::from_mmhg(mmhg));
+            self.frame_buf.clear();
+            self.frame_buf.resize(self.elements, pressure);
+            self.chip
+                .convert_frame_packed_into(&self.frame_buf, self.osr, &mut self.scratch)?;
+            append_bits(&mut self.packet, &self.scratch.bits);
+            self.cursor += 1;
+        }
+        self.encoder
+            .encode_into(&self.packet, out)
+            .map_err(SystemError::Dsp)?;
+        Ok(true)
+    }
+
+    /// [`DeviceSimulator::next_packet_into`] returning a fresh vector,
+    /// or `None` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chip conversion failures.
+    pub fn next_packet(&mut self) -> Result<Option<Vec<u8>>, SystemError> {
+        let mut out = Vec::new();
+        if self.next_packet_into(&mut out)? {
+            Ok(Some(out))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tonos_dsp::frame::{Frame, ParseOutcome};
+
+    #[test]
+    fn device_streams_are_deterministic_and_framed() {
+        let config = SystemConfig::paper_default();
+        let patient = PatientProfile::normotensive();
+        let run = || -> Vec<u8> {
+            let mut dev = DeviceSimulator::new(&config, &patient, 1.0).unwrap();
+            let mut wire = Vec::new();
+            while dev.next_packet_into(&mut wire).unwrap() {}
+            wire
+        };
+        let a = run();
+        assert_eq!(a, run());
+
+        // The stream parses end to end: 1000 frames at 8 per packet.
+        let mut rest = &a[..];
+        let mut frames = 0usize;
+        let mut clocks = 0u64;
+        while !rest.is_empty() {
+            match Frame::parse(rest) {
+                ParseOutcome::Parsed { frame, consumed } => {
+                    assert_eq!(frame.seq, frames as u32);
+                    assert_eq!(frame.clock, clocks);
+                    clocks += frame.payload_bits() as u64;
+                    frames += 1;
+                    rest = &rest[consumed..];
+                }
+                other => panic!("stream unparseable: {other:?}"),
+            }
+        }
+        assert_eq!(frames, 125);
+        assert_eq!(clocks, 1000 * 128);
+    }
+
+    #[test]
+    fn last_packet_bits_mirror_the_wire_payload() {
+        let config = SystemConfig::paper_default();
+        let patient = PatientProfile::hypertensive();
+        let mut dev = DeviceSimulator::new(&config, &patient, 0.1).unwrap();
+        let wire = dev.next_packet().unwrap().unwrap();
+        let ParseOutcome::Parsed { frame, .. } = Frame::parse(&wire) else {
+            panic!("unparseable");
+        };
+        assert_eq!(&frame.to_packed_bits(), dev.last_packet_bits());
+    }
+}

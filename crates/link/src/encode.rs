@@ -1,0 +1,137 @@
+//! Device-side frame serialization.
+//!
+//! The encoder is the only stateful thing on the device side of the
+//! link: it owns the stream's sequence number and modulator clock
+//! cursor, so every chunk the device hands it comes out as a
+//! well-formed [`Frame`] whose header lets the
+//! host reconstruct exactly *where* in the modulator timeline the
+//! payload sits — the property gap concealment is built on.
+
+use tonos_dsp::bits::PackedBits;
+use tonos_dsp::frame::Frame;
+use tonos_dsp::DspError;
+use tonos_telemetry::{names, Counter, Telemetry};
+
+/// Serializes packed ΣΔ chunks into wire frames, tracking the stream's
+/// sequence number and modulator clock index.
+///
+/// One encoder per bitstream (per selected element). Sequence numbers
+/// wrap at `u32::MAX`; the clock index is the running count of payload
+/// bits ever encoded, i.e. the modulator clock of each frame's first
+/// bit.
+#[derive(Debug, Clone)]
+pub struct FrameEncoder {
+    element: u16,
+    next_seq: u32,
+    clock: u64,
+    frames_tx: Counter,
+    bytes_tx: Counter,
+}
+
+impl FrameEncoder {
+    /// An encoder for the given element's bitstream, starting at
+    /// sequence 0, clock 0.
+    pub fn new(element: u16) -> Self {
+        FrameEncoder {
+            element,
+            next_seq: 0,
+            clock: 0,
+            frames_tx: Counter::disabled(),
+            bytes_tx: Counter::disabled(),
+        }
+    }
+
+    /// Reports transmit counters ([`names::LINK_FRAMES_TX`],
+    /// [`names::LINK_BYTES_TX`]) into the given registry.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.frames_tx = telemetry.counter(names::LINK_FRAMES_TX);
+        self.bytes_tx = telemetry.counter(names::LINK_BYTES_TX);
+        self
+    }
+
+    /// The element id stamped into every frame.
+    pub fn element(&self) -> u16 {
+        self.element
+    }
+
+    /// Sequence number the next frame will carry.
+    pub fn next_seq(&self) -> u32 {
+        self.next_seq
+    }
+
+    /// Modulator clock index of the next payload's first bit.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Encodes one bitstream chunk, appending the wire bytes to `out`
+    /// and advancing the sequence/clock cursors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] when the chunk exceeds
+    /// the frame format's payload limit; the cursors are left untouched
+    /// so the caller can split and retry.
+    pub fn encode_into(&mut self, bits: &PackedBits, out: &mut Vec<u8>) -> Result<(), DspError> {
+        let frame = Frame::bitstream(self.element, self.next_seq, self.clock, bits)?;
+        let before = out.len();
+        frame.encode_into(out);
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.clock += bits.len() as u64;
+        self.frames_tx.inc();
+        self.bytes_tx.add((out.len() - before) as u64);
+        Ok(())
+    }
+
+    /// [`FrameEncoder::encode_into`] returning a fresh byte vector.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FrameEncoder::encode_into`].
+    pub fn encode(&mut self, bits: &PackedBits) -> Result<Vec<u8>, DspError> {
+        let mut out = Vec::new();
+        self.encode_into(bits, &mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tonos_dsp::frame::{Frame, ParseOutcome};
+
+    fn bits(n: usize) -> PackedBits {
+        (0..n).map(|i| i % 5 != 0).collect()
+    }
+
+    #[test]
+    fn encoder_advances_seq_and_clock() {
+        let mut enc = FrameEncoder::new(7);
+        let a = enc.encode(&bits(100)).unwrap();
+        let b = enc.encode(&bits(28)).unwrap();
+        assert_eq!(enc.next_seq(), 2);
+        assert_eq!(enc.clock(), 128);
+
+        let ParseOutcome::Parsed { frame, .. } = Frame::parse(&a) else {
+            panic!("frame a unparseable");
+        };
+        assert_eq!((frame.element, frame.seq, frame.clock), (7, 0, 0));
+        let ParseOutcome::Parsed { frame, .. } = Frame::parse(&b) else {
+            panic!("frame b unparseable");
+        };
+        assert_eq!((frame.element, frame.seq, frame.clock), (7, 1, 100));
+        assert_eq!(frame.to_packed_bits(), bits(28));
+    }
+
+    #[test]
+    fn oversized_chunks_leave_cursors_untouched() {
+        use tonos_dsp::frame::MAX_PAYLOAD_BITS;
+        let mut enc = FrameEncoder::new(0);
+        enc.encode(&bits(64)).unwrap();
+        let huge: PackedBits = (0..(MAX_PAYLOAD_BITS as usize + 1)).map(|_| true).collect();
+        assert!(enc.encode(&huge).is_err());
+        assert_eq!(enc.next_seq(), 1);
+        assert_eq!(enc.clock(), 64);
+    }
+}

@@ -1,0 +1,243 @@
+//! Deterministic lossy-transport fault injection.
+//!
+//! [`FaultyTransport`] sits between an encoder and a decoder and mangles
+//! the byte stream the way a marginal cable, a saturated hub, or a
+//! crashing bridge process would: flipped bits, dropped chunks,
+//! truncated tails, duplicated chunks, reordered chunks, and stalls
+//! (bytes withheld until the next transmit). Every fault is drawn from
+//! a SplitMix64 stream seeded at construction, so a failing corruption
+//! case is reproducible from its seed alone.
+//!
+//! The transport treats each [`FaultyTransport::transmit`] call as one
+//! "chunk" for the chunk-level faults (drop / duplicate / reorder /
+//! stall) and applies bit flips per byte — matching how real links fail
+//! at two scales (packets and symbols).
+
+/// Per-chunk and per-byte fault probabilities. All in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a transmitted byte has one random bit flipped.
+    pub bit_flip_per_byte: f64,
+    /// Probability an entire chunk is dropped.
+    pub drop_chunk: f64,
+    /// Probability a chunk loses a random-length tail.
+    pub truncate_chunk: f64,
+    /// Probability a chunk is delivered twice.
+    pub duplicate_chunk: f64,
+    /// Probability a chunk is held back and delivered *after* the next
+    /// chunk (pairwise reordering).
+    pub reorder_chunk: f64,
+    /// Probability a chunk is stalled: held back and delivered at the
+    /// front of the next transmit (models jitter/buffering, no loss).
+    pub stall_chunk: f64,
+}
+
+impl FaultConfig {
+    /// A perfect transport: every fault probability zero.
+    pub fn clean() -> Self {
+        FaultConfig {
+            bit_flip_per_byte: 0.0,
+            drop_chunk: 0.0,
+            truncate_chunk: 0.0,
+            duplicate_chunk: 0.0,
+            reorder_chunk: 0.0,
+            stall_chunk: 0.0,
+        }
+    }
+
+    /// A marginal link: rare bit flips and occasional chunk-level
+    /// faults of every class.
+    pub fn noisy() -> Self {
+        FaultConfig {
+            bit_flip_per_byte: 2e-4,
+            drop_chunk: 0.02,
+            truncate_chunk: 0.01,
+            duplicate_chunk: 0.01,
+            reorder_chunk: 0.01,
+            stall_chunk: 0.02,
+        }
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::clean()
+    }
+}
+
+/// SplitMix64: tiny, seedable, and good enough to schedule faults.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `0..n` (`n > 0`).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A seeded, deterministic byte-stream mangler.
+#[derive(Debug, Clone)]
+pub struct FaultyTransport {
+    config: FaultConfig,
+    rng: SplitMix64,
+    /// Chunks held back by stall/reorder, delivered ahead of the next
+    /// transmit's own output.
+    held: Vec<Vec<u8>>,
+    chunks_in: u64,
+    chunks_dropped: u64,
+    bits_flipped: u64,
+}
+
+impl FaultyTransport {
+    /// A transport applying `config`'s faults from the given seed.
+    pub fn new(config: FaultConfig, seed: u64) -> Self {
+        FaultyTransport {
+            config,
+            rng: SplitMix64(seed),
+            held: Vec::new(),
+            chunks_in: 0,
+            chunks_dropped: 0,
+            bits_flipped: 0,
+        }
+    }
+
+    /// Chunks submitted so far.
+    pub fn chunks_in(&self) -> u64 {
+        self.chunks_in
+    }
+
+    /// Chunks dropped outright.
+    pub fn chunks_dropped(&self) -> u64 {
+        self.chunks_dropped
+    }
+
+    /// Individual bits flipped so far.
+    pub fn bits_flipped(&self) -> u64 {
+        self.bits_flipped
+    }
+
+    /// Sends one chunk through the lossy link, returning what actually
+    /// comes out the far end (possibly empty, possibly containing
+    /// previously stalled chunks).
+    pub fn transmit(&mut self, chunk: &[u8]) -> Vec<u8> {
+        self.chunks_in += 1;
+        let mut out = Vec::new();
+        // Anything stalled earlier arrives first.
+        for held in std::mem::take(&mut self.held) {
+            out.extend_from_slice(&held);
+        }
+
+        if self.rng.next_f64() < self.config.drop_chunk {
+            self.chunks_dropped += 1;
+            return out;
+        }
+
+        let mut data = chunk.to_vec();
+        if !data.is_empty() && self.rng.next_f64() < self.config.truncate_chunk {
+            let keep = self.rng.below(data.len());
+            data.truncate(keep);
+        }
+        for byte in &mut data {
+            if self.rng.next_f64() < self.config.bit_flip_per_byte {
+                *byte ^= 1 << self.rng.below(8);
+                self.bits_flipped += 1;
+            }
+        }
+        let duplicate = self.rng.next_f64() < self.config.duplicate_chunk;
+        if self.rng.next_f64() < self.config.stall_chunk {
+            self.held.push(data.clone());
+            if duplicate {
+                self.held.push(data);
+            }
+            return out;
+        }
+        if self.rng.next_f64() < self.config.reorder_chunk {
+            // Held back past the next chunk: pairwise reorder.
+            self.held.push(data.clone());
+            if duplicate {
+                self.held.push(data);
+            }
+            return out;
+        }
+        out.extend_from_slice(&data);
+        if duplicate {
+            out.extend_from_slice(&data);
+        }
+        out
+    }
+
+    /// Delivers anything still stalled inside the transport (end of
+    /// stream).
+    pub fn flush(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for held in std::mem::take(&mut self.held) {
+            out.extend_from_slice(&held);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_transport_is_the_identity() {
+        let mut t = FaultyTransport::new(FaultConfig::clean(), 1);
+        let mut out = Vec::new();
+        for i in 0..50u8 {
+            out.extend_from_slice(&t.transmit(&[i, i ^ 0xFF, 3]));
+        }
+        out.extend_from_slice(&t.flush());
+        let expect: Vec<u8> = (0..50u8).flat_map(|i| [i, i ^ 0xFF, 3]).collect();
+        assert_eq!(out, expect);
+        assert_eq!(t.bits_flipped(), 0);
+        assert_eq!(t.chunks_dropped(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let chunks: Vec<Vec<u8>> = (0..100u8).map(|i| vec![i; 40]).collect();
+        let run = |seed| {
+            let mut t = FaultyTransport::new(FaultConfig::noisy(), seed);
+            let mut out = Vec::new();
+            for c in &chunks {
+                out.extend_from_slice(&t.transmit(c));
+            }
+            out.extend_from_slice(&t.flush());
+            out
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn noisy_transport_actually_faults() {
+        let mut t = FaultyTransport::new(FaultConfig::noisy(), 7);
+        let mut delivered = 0usize;
+        let mut sent = 0usize;
+        for i in 0..2000u32 {
+            let chunk = vec![(i % 251) as u8; 64];
+            sent += chunk.len();
+            delivered += t.transmit(&chunk).len();
+        }
+        delivered += t.flush().len();
+        assert!(t.chunks_dropped() > 0);
+        assert!(t.bits_flipped() > 0);
+        assert!(delivered < sent, "{delivered} vs {sent}");
+    }
+}

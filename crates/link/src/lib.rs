@@ -1,0 +1,53 @@
+//! The chip-to-host link: what happens to the ΣΔ bitstream between the
+//! die and the computer.
+//!
+//! The paper's measurement setup streams the modulator bitstream "over
+//! USB to a computer system" (§2.2) and decimates on the host. Every
+//! crate below this one pretends that hop is perfect — the modulator's
+//! packed words flow straight into the decimation filter by function
+//! call. This crate models the hop itself, split at the same boundary
+//! the paper draws:
+//!
+//! * **Device side** ([`FrameEncoder`], [`DeviceSimulator`]): serialize
+//!   packed ΣΔ chunks ([`tonos_dsp::bits::PackedBits`]) into
+//!   self-delimiting wire frames ([`tonos_dsp::frame`]) carrying the
+//!   element id, a sequence number, and the modulator clock index of
+//!   the first payload bit.
+//! * **Lossy transport** ([`FaultyTransport`]): a seeded, deterministic
+//!   byte-stream mangler — bit flips, chunk drops, truncation,
+//!   duplication, reordering, stalls — for exercising the receiver the
+//!   way a flaky cable would.
+//! * **Host side** ([`FrameDecoder`], [`HostPipeline`]): a push-based
+//!   decoder that resynchronizes after corruption, verifies CRCs, and
+//!   detects sequence gaps; above it, a pipeline that decimates clean
+//!   payloads and *conceals* gaps under an explicit [`GapPolicy`] —
+//!   concealed spans are flagged all the way into the
+//!   [`OnlineAnalyzer`](tonos_core::stream::OnlineAnalyzer), where they
+//!   suppress pressure alarms rather than silently firing them.
+//! * **Ingest server** ([`LinkServer`]): a `std`-only TCP listener that
+//!   runs one host pipeline per connection on the fleet worker pool,
+//!   with bounded per-connection queues and a slow-consumer disconnect
+//!   policy.
+//!
+//! The invariant the whole crate is built around: **no silent
+//! corruption**. Every byte the transport damages either never reaches
+//! the pipeline (CRC rejection) or reaches it flagged (gap
+//! concealment); fault-free transport is bit-identical to the
+//! in-process path.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod decode;
+pub mod device;
+pub mod encode;
+pub mod fault;
+pub mod pipeline;
+pub mod server;
+
+pub use decode::{DecoderStats, FrameDecoder, LinkEvent};
+pub use device::DeviceSimulator;
+pub use encode::FrameEncoder;
+pub use fault::{FaultConfig, FaultyTransport};
+pub use pipeline::{GapPolicy, HostPipeline, HostSample, LinkCalibration, LinkHealth, SampleFlag};
+pub use server::{LinkServer, LinkServerConfig};

@@ -1,0 +1,595 @@
+//! The host-side signal pipeline: decoded frames → decimation →
+//! calibration → online analysis, with explicit gap concealment.
+//!
+//! ## The gap-policy rule
+//!
+//! The link can lose frames; the pipeline must decide what the samples
+//! that should have existed become. Whatever the policy, one rule is
+//! non-negotiable: **a concealed sample can never silently fire a
+//! pressure alarm**. Every sample that covers lost input — and every
+//! sample whose decimation window overlaps lost input — is flagged, the
+//! flag travels into [`OnlineAnalyzer::push_flagged`], and a pressure
+//! alarm whose qualifying run includes flagged beats is suppressed and
+//! journaled instead of raised. Signal-loss alarms still fire on
+//! concealed spans: failing to alarm on a dead link is the dangerous
+//! direction.
+//!
+//! Two concealment policies are offered ([`GapPolicy`]):
+//!
+//! * [`GapPolicy::HoldLast`] — emit the last good raw value for each
+//!   lost output sample, flagged [`SampleFlag::Concealed`]. Keeps
+//!   downstream consumers (trend displays, recorders) fed with a
+//!   plausible waveform.
+//! * [`GapPolicy::MarkInvalid`] — emit `NaN`, flagged
+//!   [`SampleFlag::Invalid`]. Keeps downstream consumers honest.
+//!
+//! Under *both* policies the analyzer is advanced with the held value
+//! (flagged concealed), so its timebase, beat detector state, and
+//! alarm-suppression semantics are identical regardless of what the
+//! exported stream shows.
+
+use tonos_core::config::SystemConfig;
+use tonos_core::readout::ReadoutSystem;
+use tonos_core::stream::{AlarmLimits, MonitorEvent, OnlineAnalyzer};
+use tonos_core::SystemError;
+use tonos_dsp::bits::PackedBits;
+use tonos_dsp::decimator::{DecimatorConfig, TwoStageDecimator};
+use tonos_dsp::frame::KIND_BITSTREAM;
+use tonos_mems::units::{MillimetersHg, Pascals};
+use tonos_telemetry::{names, Counter, Telemetry};
+
+use crate::decode::{FrameDecoder, LinkEvent};
+
+/// What to emit for output samples lost to a link gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GapPolicy {
+    /// Repeat the last good raw value, flagged [`SampleFlag::Concealed`].
+    HoldLast,
+    /// Emit `NaN`, flagged [`SampleFlag::Invalid`].
+    MarkInvalid,
+}
+
+/// Provenance of one pipeline output sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleFlag {
+    /// Decimated from CRC-verified, in-order payload only.
+    Clean,
+    /// Covers lost input (held value), or decimated from a window that
+    /// overlaps lost input (post-gap filter memory).
+    Concealed,
+    /// Covers lost input under [`GapPolicy::MarkInvalid`]; the value is
+    /// `NaN`.
+    Invalid,
+}
+
+/// One calibrated output sample with provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostSample {
+    /// Output-sample index since the start of the stream (gaps
+    /// included, so index × output period is wall-clock time).
+    pub index: u64,
+    /// Calibrated pressure in mmHg (`NaN` for [`SampleFlag::Invalid`]).
+    pub value_mmhg: f64,
+    /// Provenance flag.
+    pub flag: SampleFlag,
+}
+
+/// Linear raw→mmHg calibration for link-ingested streams.
+///
+/// The wire carries raw modulator payloads; the cuff-based calibration
+/// machinery of `tonos_core` lives on the other side of the link. This
+/// is the host's stand-in: `mmHg = gain · raw + offset`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkCalibration {
+    /// mmHg per raw decimated unit.
+    pub gain: f64,
+    /// mmHg at raw zero.
+    pub offset: f64,
+}
+
+impl LinkCalibration {
+    /// The identity map: raw values pass through unchanged.
+    pub fn identity() -> Self {
+        LinkCalibration {
+            gain: 1.0,
+            offset: 0.0,
+        }
+    }
+
+    /// Applies the calibration.
+    pub fn apply(&self, raw: f64) -> f64 {
+        self.gain * raw + self.offset
+    }
+
+    /// Two-point bench calibration: runs the given system configuration
+    /// through an in-process [`ReadoutSystem`] at two known uniform
+    /// pressures and fits the line between the settled raw outputs —
+    /// how a bench operator would calibrate a freshly connected device
+    /// whose configuration is known.
+    ///
+    /// # Errors
+    ///
+    /// Propagates readout failures and returns
+    /// [`SystemError::CalibrationFailed`] when the two probe points
+    /// produce a degenerate raw span.
+    pub fn two_point(
+        config: &SystemConfig,
+        low: MillimetersHg,
+        high: MillimetersHg,
+    ) -> Result<Self, SystemError> {
+        let probe = |mmhg: MillimetersHg| -> Result<f64, SystemError> {
+            let mut sys = ReadoutSystem::new(*config)?;
+            let elements = config.chip.layout.rows * config.chip.layout.cols;
+            let frame = vec![
+                config
+                    .contact
+                    .net_element_pressure(Pascals::from_mmhg(mmhg));
+                elements
+            ];
+            // Let mux and filter chain settle, then average the noise.
+            let settle = sys.settling_frames() + 64;
+            for _ in 0..settle {
+                sys.push_frame(&frame)?;
+            }
+            let reps = 64;
+            let mut acc = 0.0;
+            for _ in 0..reps {
+                acc += sys.push_frame(&frame)?;
+            }
+            Ok(acc / f64::from(reps))
+        };
+        let raw_low = probe(low)?;
+        let raw_high = probe(high)?;
+        let span = raw_high - raw_low;
+        if !(span.abs() > 1e-12) {
+            return Err(SystemError::CalibrationFailed(format!(
+                "degenerate raw span between {} and {} mmHg probes",
+                low.value(),
+                high.value()
+            )));
+        }
+        let gain = (high.value() - low.value()) / span;
+        Ok(LinkCalibration {
+            gain,
+            offset: low.value() - gain * raw_low,
+        })
+    }
+}
+
+/// Aggregate health of one link-ingested stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkHealth {
+    /// Decoder-level statistics (frames, CRC failures, resyncs, gaps).
+    pub decoder: crate::decode::DecoderStats,
+    /// Output samples decimated from verified payload only.
+    pub clean_samples: u64,
+    /// Output samples that cover or touch lost input, emitted flagged.
+    pub concealed_samples: u64,
+    /// Concealed samples emitted as `NaN` under
+    /// [`GapPolicy::MarkInvalid`] (a subset of the concealment total in
+    /// spirit; disjoint from `concealed_samples` in the counts).
+    pub invalid_samples: u64,
+    /// Beats detected by the online analyzer (0 without an analyzer).
+    pub beats: u64,
+    /// Alarms raised by the online analyzer.
+    pub alarms: u64,
+    /// Smoothed pulse rate estimate, beats/minute.
+    pub pulse_rate_bpm: f64,
+    /// Mean systolic over detected beats, mmHg (0 without beats).
+    pub mean_systolic_mmhg: f64,
+    /// Mean diastolic over detected beats, mmHg (0 without beats).
+    pub mean_diastolic_mmhg: f64,
+}
+
+impl LinkHealth {
+    /// Total output samples emitted (clean + concealed + invalid).
+    pub fn samples(&self) -> u64 {
+        self.clean_samples + self.concealed_samples + self.invalid_samples
+    }
+}
+
+/// Push-based host pipeline: bytes in, flagged calibrated samples out.
+///
+/// Build order: [`HostPipeline::new`] →
+/// [`with_analyzer`](HostPipeline::with_analyzer) (optional) →
+/// [`with_telemetry`](HostPipeline::with_telemetry) (optional, last, so
+/// the analyzer's instruments are wired too).
+#[derive(Debug)]
+pub struct HostPipeline {
+    decoder: FrameDecoder,
+    decimator: TwoStageDecimator,
+    osr: usize,
+    output_rate_hz: f64,
+    calibration: LinkCalibration,
+    policy: GapPolicy,
+    analyzer: Option<OnlineAnalyzer>,
+    monitor_events: Vec<MonitorEvent>,
+    last_raw: Option<f64>,
+    /// Outputs still flagged after a gap (decimator memory span).
+    taint: usize,
+    taint_span: usize,
+    next_index: u64,
+    clean_samples: u64,
+    concealed_samples: u64,
+    invalid_samples: u64,
+    beats: u64,
+    alarms: u64,
+    sum_systolic: f64,
+    sum_diastolic: f64,
+    clean_counter: Counter,
+    concealed_counter: Counter,
+    invalid_counter: Counter,
+    link_scratch: Vec<LinkEvent>,
+    out_scratch: Vec<f64>,
+}
+
+impl HostPipeline {
+    /// A pipeline decimating with `decimator` under the given
+    /// calibration and gap policy, no analyzer, no telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decimator construction failures.
+    pub fn new(
+        decimator: &DecimatorConfig,
+        calibration: LinkCalibration,
+        policy: GapPolicy,
+    ) -> Result<Self, SystemError> {
+        let built = decimator.build().map_err(SystemError::Dsp)?;
+        let taint_span = built.settling_output_samples();
+        Ok(HostPipeline {
+            osr: built.ratio(),
+            output_rate_hz: decimator.output_rate(),
+            decimator: built,
+            calibration,
+            policy,
+            analyzer: None,
+            monitor_events: Vec::new(),
+            last_raw: None,
+            taint: 0,
+            taint_span,
+            next_index: 0,
+            clean_samples: 0,
+            concealed_samples: 0,
+            invalid_samples: 0,
+            beats: 0,
+            alarms: 0,
+            sum_systolic: 0.0,
+            sum_diastolic: 0.0,
+            clean_counter: Counter::disabled(),
+            concealed_counter: Counter::disabled(),
+            invalid_counter: Counter::disabled(),
+            decoder: FrameDecoder::new(),
+            link_scratch: Vec::new(),
+            out_scratch: Vec::new(),
+        })
+    }
+
+    /// Adds online alarm screening at the pipeline's output rate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analyzer construction failures.
+    pub fn with_analyzer(mut self, limits: AlarmLimits) -> Result<Self, SystemError> {
+        self.analyzer = Some(OnlineAnalyzer::new(self.output_rate_hz, limits)?);
+        Ok(self)
+    }
+
+    /// Wires decoder, sample counters, and (if present) the analyzer
+    /// into the given registry. Call after
+    /// [`with_analyzer`](HostPipeline::with_analyzer).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.decoder = self.decoder.with_telemetry(telemetry);
+        self.clean_counter = telemetry.counter(names::LINK_SAMPLES_CLEAN);
+        self.concealed_counter = telemetry.counter(names::LINK_GAPS_CONCEALED);
+        self.invalid_counter = telemetry.counter(names::LINK_SAMPLES_INVALID);
+        self.analyzer = self.analyzer.map(|a| a.with_telemetry(telemetry.clone()));
+        self
+    }
+
+    /// Decimation ratio (modulator clocks per output sample).
+    pub fn osr(&self) -> usize {
+        self.osr
+    }
+
+    /// Output sample rate in Hz.
+    pub fn output_rate_hz(&self) -> f64 {
+        self.output_rate_hz
+    }
+
+    /// Feeds transport bytes in; flagged calibrated samples are
+    /// appended to `out`.
+    pub fn push_bytes(&mut self, bytes: &[u8], out: &mut Vec<HostSample>) {
+        let mut events = std::mem::take(&mut self.link_scratch);
+        events.clear();
+        self.decoder.push(bytes, &mut events);
+        for event in events.drain(..) {
+            match event {
+                LinkEvent::Gap { lost_clocks, .. } => self.conceal(lost_clocks, out),
+                LinkEvent::Frame(frame) => {
+                    if frame.kind != KIND_BITSTREAM {
+                        continue;
+                    }
+                    let bits = frame.to_packed_bits();
+                    self.decimate(&bits, out);
+                }
+            }
+        }
+        self.link_scratch = events;
+    }
+
+    /// Events raised by the online analyzer since the last drain
+    /// (empty without an analyzer).
+    pub fn drain_events(&mut self) -> Vec<MonitorEvent> {
+        std::mem::take(&mut self.monitor_events)
+    }
+
+    /// Aggregate stream health so far.
+    pub fn health(&self) -> LinkHealth {
+        let beats_f = if self.beats > 0 {
+            self.beats as f64
+        } else {
+            1.0
+        };
+        LinkHealth {
+            decoder: self.decoder.stats(),
+            clean_samples: self.clean_samples,
+            concealed_samples: self.concealed_samples,
+            invalid_samples: self.invalid_samples,
+            beats: self.beats,
+            alarms: self.alarms,
+            pulse_rate_bpm: self
+                .analyzer
+                .as_ref()
+                .map_or(0.0, OnlineAnalyzer::pulse_rate_bpm),
+            mean_systolic_mmhg: self.sum_systolic / beats_f,
+            mean_diastolic_mmhg: self.sum_diastolic / beats_f,
+        }
+    }
+
+    /// Decimates verified payload bits and emits the outputs.
+    fn decimate(&mut self, bits: &PackedBits, out: &mut Vec<HostSample>) {
+        let mut ys = std::mem::take(&mut self.out_scratch);
+        ys.clear();
+        self.decimator.process_packed_into(bits, &mut ys);
+        for &y in &ys {
+            self.emit(y, out);
+        }
+        self.out_scratch = ys;
+    }
+
+    /// Emits one decimated output, honouring post-gap taint.
+    fn emit(&mut self, raw: f64, out: &mut Vec<HostSample>) {
+        self.last_raw = Some(raw);
+        let mmhg = self.calibration.apply(raw);
+        let concealed = if self.taint > 0 {
+            self.taint -= 1;
+            true
+        } else {
+            false
+        };
+        if concealed {
+            self.concealed_samples += 1;
+            self.concealed_counter.inc();
+        } else {
+            self.clean_samples += 1;
+            self.clean_counter.inc();
+        }
+        out.push(HostSample {
+            index: self.next_index,
+            value_mmhg: mmhg,
+            flag: if concealed {
+                SampleFlag::Concealed
+            } else {
+                SampleFlag::Clean
+            },
+        });
+        self.next_index += 1;
+        self.analyze(mmhg, concealed);
+    }
+
+    /// Emits the concealment samples for a gap of `lost_clocks`
+    /// modulator clocks and re-aligns the decimator phase.
+    fn conceal(&mut self, lost_clocks: u64, out: &mut Vec<HostSample>) {
+        let whole = lost_clocks / self.osr as u64;
+        let residual = (lost_clocks % self.osr as u64) as usize;
+        let held = self.last_raw.unwrap_or(0.0);
+        let held_mmhg = self.calibration.apply(held);
+        for _ in 0..whole {
+            let (value, flag) = match self.policy {
+                GapPolicy::HoldLast => (held_mmhg, SampleFlag::Concealed),
+                GapPolicy::MarkInvalid => (f64::NAN, SampleFlag::Invalid),
+            };
+            match flag {
+                SampleFlag::Concealed => {
+                    self.concealed_samples += 1;
+                    self.concealed_counter.inc();
+                }
+                _ => {
+                    self.invalid_samples += 1;
+                    self.invalid_counter.inc();
+                }
+            }
+            out.push(HostSample {
+                index: self.next_index,
+                value_mmhg: value,
+                flag,
+            });
+            self.next_index += 1;
+            // The analyzer always advances on the held value so its
+            // timebase and suppression semantics are policy-independent
+            // (NaN would poison its running sums).
+            self.analyze(held_mmhg, true);
+        }
+        // Taint the decimator-memory span after the gap; set before the
+        // residual filler so filler-built outputs come out flagged.
+        self.taint = self.taint_span.max(1);
+        if residual > 0 {
+            // Keep the output phase aligned across non-frame-multiple
+            // gaps: feed mid-scale filler bits for the lost remainder.
+            let filler: PackedBits = (0..residual).map(|i| i % 2 == 0).collect();
+            self.decimate(&filler, out);
+        }
+    }
+
+    /// Advances the optional analyzer and folds its events into the
+    /// aggregates.
+    fn analyze(&mut self, mmhg: f64, concealed: bool) {
+        let Some(analyzer) = self.analyzer.as_mut() else {
+            return;
+        };
+        let events = analyzer.push_flagged(mmhg, concealed);
+        for event in &events {
+            match event {
+                MonitorEvent::Beat {
+                    systolic,
+                    diastolic,
+                    ..
+                } => {
+                    self.beats += 1;
+                    self.sum_systolic += systolic;
+                    self.sum_diastolic += diastolic;
+                }
+                _ => self.alarms += 1,
+            }
+        }
+        self.monitor_events.extend(events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::FrameEncoder;
+
+    fn chunk(n: usize, phase: usize) -> PackedBits {
+        (0..n).map(|i| (i + phase).is_multiple_of(3)).collect()
+    }
+
+    fn pipeline(policy: GapPolicy) -> HostPipeline {
+        HostPipeline::new(
+            &DecimatorConfig::paper_default(),
+            LinkCalibration::identity(),
+            policy,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fault_free_bytes_match_direct_decimation() {
+        let mut enc = FrameEncoder::new(0);
+        let mut wire = Vec::new();
+        let chunks: Vec<PackedBits> = (0..40).map(|i| chunk(128, i)).collect();
+        for c in &chunks {
+            enc.encode_into(c, &mut wire).unwrap();
+        }
+
+        let mut pipe = pipeline(GapPolicy::HoldLast);
+        let mut got = Vec::new();
+        pipe.push_bytes(&wire, &mut got);
+
+        let mut direct = DecimatorConfig::paper_default().build().unwrap();
+        let mut expect = Vec::new();
+        for c in &chunks {
+            expect.extend(direct.process_packed(c));
+        }
+        assert_eq!(got.len(), expect.len());
+        for (s, e) in got.iter().zip(&expect) {
+            assert_eq!(s.flag, SampleFlag::Clean);
+            assert_eq!(s.value_mmhg.to_bits(), e.to_bits());
+        }
+        let health = pipe.health();
+        assert_eq!(health.clean_samples, expect.len() as u64);
+        assert_eq!(health.concealed_samples + health.invalid_samples, 0);
+    }
+
+    #[test]
+    fn dropped_frames_become_flagged_samples_not_silence() {
+        for policy in [GapPolicy::HoldLast, GapPolicy::MarkInvalid] {
+            let mut enc = FrameEncoder::new(0);
+            let packets: Vec<Vec<u8>> = (0..20)
+                .map(|i| enc.encode(&chunk(128, i)).unwrap())
+                .collect();
+            let mut pipe = pipeline(policy);
+            let mut got = Vec::new();
+            for (i, p) in packets.iter().enumerate() {
+                if (5..8).contains(&i) {
+                    continue; // three frames lost in transit
+                }
+                pipe.push_bytes(p, &mut got);
+            }
+            // Every output slot is accounted for: 20 frames' worth.
+            assert_eq!(got.len(), 20, "policy {policy:?}");
+            let concealed = got.iter().filter(|s| s.flag != SampleFlag::Clean).count();
+            // 3 lost + the post-gap decimator-memory span.
+            assert!(concealed >= 3, "policy {policy:?}: {concealed}");
+            match policy {
+                GapPolicy::HoldLast => {
+                    assert!(got.iter().all(|s| s.value_mmhg.is_finite()));
+                }
+                GapPolicy::MarkInvalid => {
+                    let nans = got.iter().filter(|s| s.value_mmhg.is_nan()).count();
+                    assert_eq!(nans, 3);
+                }
+            }
+            // Indices are continuous: time is never silently compressed.
+            for (i, s) in got.iter().enumerate() {
+                assert_eq!(s.index, i as u64);
+            }
+            assert_eq!(pipe.health().decoder.gap_events, 1);
+        }
+    }
+
+    #[test]
+    fn unaligned_gap_keeps_output_cadence() {
+        // 100-bit frames: gaps are not multiples of the OSR, so the
+        // pipeline must re-phase with filler.
+        let mut enc = FrameEncoder::new(0);
+        let packets: Vec<Vec<u8>> = (0..64)
+            .map(|i| enc.encode(&chunk(100, i)).unwrap())
+            .collect();
+        let mut pipe = pipeline(GapPolicy::HoldLast);
+        let mut got = Vec::new();
+        for (i, p) in packets.iter().enumerate() {
+            if i == 10 || i == 30 {
+                continue;
+            }
+            pipe.push_bytes(p, &mut got);
+        }
+        // 64 × 100 bits = 6400 clocks = 50 outputs at OSR 128; the two
+        // 100-clock gaps shift which clocks exist but the total output
+        // count stays within one sample of the lossless cadence.
+        let total = got.len() as i64;
+        assert!((total - 50).abs() <= 1, "{total}");
+        assert!(got.iter().any(|s| s.flag == SampleFlag::Concealed));
+    }
+
+    #[test]
+    fn two_point_calibration_recovers_pressure() {
+        let config = SystemConfig::paper_default();
+        let cal =
+            LinkCalibration::two_point(&config, MillimetersHg(60.0), MillimetersHg(160.0)).unwrap();
+        // A third settled probe point must land near the line.
+        let mut sys = ReadoutSystem::new(config).unwrap();
+        let elements = config.chip.layout.rows * config.chip.layout.cols;
+        let frame = vec![
+            config
+                .contact
+                .net_element_pressure(Pascals::from_mmhg(MillimetersHg(100.0)));
+            elements
+        ];
+        for _ in 0..(sys.settling_frames() + 64) {
+            sys.push_frame(&frame).unwrap();
+        }
+        let mut acc = 0.0;
+        for _ in 0..64 {
+            acc += sys.push_frame(&frame).unwrap();
+        }
+        let recovered = cal.apply(acc / 64.0);
+        assert!(
+            (recovered - 100.0).abs() < 5.0,
+            "recovered {recovered} mmHg"
+        );
+    }
+}

@@ -1,0 +1,377 @@
+//! A `std`-only concurrent ingest server: one TCP connection per
+//! device, one [`HostPipeline`] per connection, run on the fleet's
+//! worker pool.
+//!
+//! ## Shape
+//!
+//! * An **accept thread** owns the listener and a [`FleetEngine`]. Each
+//!   accepted connection gets a dedicated **reader thread** (sockets
+//!   block; pipelines shouldn't) and one ingest task pushed onto the
+//!   fleet pool via [`FleetEngine::push_task`] — so ingest sessions get
+//!   the fleet's panic isolation, per-session telemetry registries, and
+//!   rollup for free, and appear in the final
+//!   [`FleetReport`] next to simulated
+//!   sessions.
+//! * **Backpressure is bounded.** Reader and pipeline are coupled by a
+//!   bounded channel of byte chunks. When the pipeline can't keep up,
+//!   the reader waits out a short grace window and then *disconnects*
+//!   the device, bumping [`names::LINK_SLOW_CONSUMER_DISCONNECTS`] and
+//!   journaling the eviction — an unbounded queue on a medical ingest
+//!   path is a slow-motion out-of-memory abort.
+//! * **Shutdown is cooperative.** [`LinkServer::shutdown`] flips a stop
+//!   flag; the accept loop (non-blocking) and readers (read timeouts)
+//!   notice, drain, and the fleet engine is shut down for its report
+//!   and merged telemetry snapshot.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use tonos_core::stream::AlarmLimits;
+use tonos_dsp::decimator::DecimatorConfig;
+use tonos_fleet::{FleetConfig, FleetEngine, FleetReport};
+use tonos_telemetry::{names, Severity, Telemetry, TelemetrySnapshot};
+
+use crate::pipeline::{GapPolicy, HostPipeline, LinkCalibration};
+
+/// Socket read size and channel chunk granularity.
+const READ_CHUNK: usize = 8 * 1024;
+
+/// Poll interval for the non-blocking accept loop and reader timeouts.
+const POLL: Duration = Duration::from_millis(5);
+
+/// Ingest server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkServerConfig {
+    /// Fleet worker threads (0 = one per hardware thread).
+    pub workers: usize,
+    /// Bounded per-connection queue, in read chunks (≥ 1).
+    pub queue_chunks: usize,
+    /// How long a reader waits on a full queue before evicting the
+    /// connection as a slow consumer.
+    pub slow_consumer_grace_ms: u64,
+    /// Decimator configuration for every connection's pipeline.
+    pub decimator: DecimatorConfig,
+    /// Raw→mmHg calibration applied to every connection.
+    pub calibration: LinkCalibration,
+    /// Gap-concealment policy.
+    pub policy: GapPolicy,
+    /// Online alarm screening limits (`None` = no analyzer).
+    pub alarm_limits: Option<AlarmLimits>,
+}
+
+impl Default for LinkServerConfig {
+    /// Paper-default decimation, identity calibration, hold-last
+    /// concealment, adult alarm limits.
+    fn default() -> Self {
+        LinkServerConfig {
+            workers: 0,
+            queue_chunks: 64,
+            slow_consumer_grace_ms: 200,
+            decimator: DecimatorConfig::paper_default(),
+            calibration: LinkCalibration::identity(),
+            policy: GapPolicy::HoldLast,
+            alarm_limits: Some(AlarmLimits::adult()),
+        }
+    }
+}
+
+/// A running ingest server.
+///
+/// Bind with [`LinkServer::bind`], learn the ephemeral port from
+/// [`LinkServer::local_addr`], and finish with [`LinkServer::shutdown`]
+/// for the fleet report and merged telemetry.
+#[derive(Debug)]
+pub struct LinkServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    connections: Arc<AtomicUsize>,
+    accept_thread: Option<JoinHandle<(FleetReport, TelemetrySnapshot)>>,
+}
+
+impl LinkServer {
+    /// Binds and starts accepting. `addr` follows
+    /// [`TcpListener::bind`] conventions (`"127.0.0.1:0"` picks an
+    /// ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration I/O failures.
+    pub fn bind(addr: &str, config: LinkServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(AtomicUsize::new(0));
+        let stop_accept = Arc::clone(&stop);
+        let conn_accept = Arc::clone(&connections);
+        let accept_thread =
+            thread::spawn(move || accept_loop(&listener, &config, &stop_accept, &conn_accept));
+        Ok(LinkServer {
+            addr: local,
+            stop,
+            connections,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far — lets tests and operators confirm
+    /// devices landed before shutting down.
+    pub fn connections(&self) -> usize {
+        self.connections.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, drains every connection to completion, and
+    /// returns the fleet report (one session per connection) plus the
+    /// merged telemetry snapshot.
+    pub fn shutdown(mut self) -> (FleetReport, TelemetrySnapshot) {
+        self.stop.store(true, Ordering::SeqCst);
+        let handle = self
+            .accept_thread
+            .take()
+            .expect("accept thread present until shutdown");
+        handle.join().expect("accept thread never panics")
+    }
+}
+
+impl Drop for LinkServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    config: &LinkServerConfig,
+    stop: &Arc<AtomicBool>,
+    connections: &AtomicUsize,
+) -> (FleetReport, TelemetrySnapshot) {
+    let workers = if config.workers == 0 {
+        FleetConfig::default().workers
+    } else {
+        config.workers
+    };
+    let mut engine = FleetEngine::spawn(FleetConfig { workers });
+    let fleet_tel = engine.telemetry();
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                connections.fetch_add(1, Ordering::SeqCst);
+                fleet_tel.counter(names::LINK_CONNECTIONS).inc();
+                spawn_connection(
+                    &mut engine,
+                    &fleet_tel,
+                    stream,
+                    peer,
+                    config,
+                    stop,
+                    &mut readers,
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => break,
+        }
+    }
+    for reader in readers {
+        let _ = reader.join();
+    }
+    let report = engine.drain();
+    let snapshot = engine.snapshot();
+    (report, snapshot)
+}
+
+fn spawn_connection(
+    engine: &mut FleetEngine,
+    fleet_tel: &Telemetry,
+    stream: TcpStream,
+    peer: SocketAddr,
+    config: &LinkServerConfig,
+    stop: &Arc<AtomicBool>,
+    readers: &mut Vec<JoinHandle<()>>,
+) {
+    let (tx, rx) = sync_channel::<Vec<u8>>(config.queue_chunks.max(1));
+    let depth = Arc::new(AtomicUsize::new(0));
+
+    let reader_tel = fleet_tel.clone();
+    let reader_depth = Arc::clone(&depth);
+    let reader_stop = Arc::clone(stop);
+    let grace = Duration::from_millis(config.slow_consumer_grace_ms);
+    readers.push(thread::spawn(move || {
+        reader_loop(
+            stream,
+            peer,
+            &tx,
+            &reader_depth,
+            grace,
+            &reader_tel,
+            &reader_stop,
+        );
+    }));
+
+    let cfg = *config;
+    engine.push_task(format!("link:{peer}"), move |ctx| {
+        ingest_session(&rx, &depth, &cfg, &ctx.telemetry)
+    });
+}
+
+/// Reads the socket until EOF/error/eviction, pushing chunks into the
+/// bounded queue. Dropping `tx` is what ends the ingest task.
+#[allow(clippy::too_many_arguments)]
+fn reader_loop(
+    mut stream: TcpStream,
+    peer: SocketAddr,
+    tx: &SyncSender<Vec<u8>>,
+    depth: &AtomicUsize,
+    grace: Duration,
+    fleet_tel: &Telemetry,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(POLL * 20));
+    let queue_depth = fleet_tel.histogram(
+        names::LINK_QUEUE_DEPTH,
+        &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+    );
+    let mut buf = vec![0u8; READ_CHUNK];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return, // clean EOF
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Timeout: the channel sender staying alive keeps the
+                // session open; poll again unless the server is
+                // shutting down (otherwise an idle client would make
+                // shutdown's reader join hang forever).
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        let mut chunk = buf[..n].to_vec();
+        let deadline = std::time::Instant::now() + grace;
+        loop {
+            match tx.try_send(chunk) {
+                Ok(()) => {
+                    queue_depth.record(depth.fetch_add(1, Ordering::SeqCst) as f64 + 1.0);
+                    break;
+                }
+                Err(TrySendError::Disconnected(_)) => return, // session died
+                Err(TrySendError::Full(back)) => {
+                    if std::time::Instant::now() >= deadline {
+                        // Slow consumer: evict rather than buffer
+                        // without bound. Dropping the stream + sender
+                        // tears the session down; its summary still
+                        // reports everything ingested so far.
+                        fleet_tel
+                            .counter(names::LINK_SLOW_CONSUMER_DISCONNECTS)
+                            .inc();
+                        fleet_tel.event(Severity::Warning, "link.server", || {
+                            format!("slow consumer {peer}: queue full past grace, disconnecting")
+                        });
+                        return;
+                    }
+                    chunk = back;
+                    thread::sleep(POLL);
+                }
+            }
+        }
+    }
+}
+
+/// The per-connection fleet task: drain the chunk queue through a
+/// [`HostPipeline`], then summarize.
+fn ingest_session(
+    rx: &Receiver<Vec<u8>>,
+    depth: &AtomicUsize,
+    config: &LinkServerConfig,
+    telemetry: &Telemetry,
+) -> Result<tonos_fleet::SessionSummary, String> {
+    let mut pipe = HostPipeline::new(&config.decimator, config.calibration, config.policy)
+        .map_err(|e| e.to_string())?;
+    if let Some(limits) = config.alarm_limits {
+        pipe = pipe.with_analyzer(limits).map_err(|e| e.to_string())?;
+    }
+    pipe = pipe.with_telemetry(telemetry);
+    let mut samples = Vec::new();
+    while let Ok(chunk) = rx.recv() {
+        depth.fetch_sub(1, Ordering::SeqCst);
+        samples.clear();
+        pipe.push_bytes(&chunk, &mut samples);
+    }
+    let health = pipe.health();
+    telemetry.event(Severity::Info, "link.server", || {
+        format!(
+            "session closed: {} frames, {} samples ({} concealed/invalid), {} beats, {} alarms",
+            health.decoder.frames,
+            health.samples(),
+            health.concealed_samples + health.invalid_samples,
+            health.beats,
+            health.alarms,
+        )
+    });
+    Ok(tonos_fleet::SessionSummary::from_stream(
+        health.beats as usize,
+        health.pulse_rate_bpm,
+        health.mean_systolic_mmhg,
+        health.mean_diastolic_mmhg,
+        health.samples() as usize,
+        pipe.output_rate_hz(),
+        health.alarms as usize,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn server_binds_accepts_and_reports() {
+        let server = LinkServer::bind("127.0.0.1:0", LinkServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+
+        // A device that sends two valid frames and disconnects.
+        let mut enc = crate::encode::FrameEncoder::new(0);
+        let bits: tonos_dsp::bits::PackedBits = (0..256).map(|i| i % 3 == 0).collect();
+        let mut wire = Vec::new();
+        enc.encode_into(&bits, &mut wire).unwrap();
+        enc.encode_into(&bits, &mut wire).unwrap();
+        {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.write_all(&wire).unwrap();
+        }
+        while server.connections() < 1 {
+            thread::sleep(POLL);
+        }
+        // Give the reader a beat to drain the socket to EOF.
+        thread::sleep(Duration::from_millis(100));
+
+        let (report, snapshot) = server.shutdown();
+        assert_eq!(report.sessions.len(), 1);
+        let summary = report.sessions[0].outcome.summary().unwrap();
+        assert_eq!(summary.samples, 4); // 512 bits at OSR 128
+        let frames_rx = snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == names::LINK_FRAMES_RX)
+            .map_or(0, |c| c.value);
+        assert_eq!(frames_rx, 2);
+    }
+}

@@ -1,0 +1,220 @@
+//! Fault-free round-trip properties: whatever the chunking, whatever
+//! the fragmentation, a clean transport is bit-invisible.
+
+use proptest::prelude::*;
+use tonos_core::config::SystemConfig;
+use tonos_dsp::bits::PackedBits;
+use tonos_dsp::decimator::DecimatorConfig;
+use tonos_link::{
+    DeviceSimulator, FaultConfig, FaultyTransport, FrameDecoder, FrameEncoder, GapPolicy,
+    HostPipeline, LinkCalibration, LinkEvent, SampleFlag,
+};
+use tonos_physio::patient::PatientProfile;
+
+/// Deterministic pseudo-random bit at position `i` of stream `seed`.
+fn bit(seed: u64, i: u64) -> bool {
+    let mut z = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z & 1 == 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Word-unaligned chunk lengths and arbitrary transport
+    /// fragmentation decode to the exact bit sequence that was encoded.
+    #[test]
+    fn any_chunking_and_fragmentation_round_trips(
+        seed in any::<u64>(),
+        lens in prop::collection::vec(1_usize..400, 1..20),
+        frag in 1_usize..64,
+    ) {
+        // Encode chunks of word-unaligned lengths.
+        let mut enc = FrameEncoder::new(3);
+        let mut wire = Vec::new();
+        let mut sent = PackedBits::new();
+        let mut cursor = 0u64;
+        for &len in &lens {
+            let chunk: PackedBits = (0..len as u64).map(|i| bit(seed, cursor + i)).collect();
+            for b in chunk.iter() {
+                sent.push(b);
+            }
+            cursor += len as u64;
+            enc.encode_into(&chunk, &mut wire).unwrap();
+        }
+
+        // Deliver in arbitrary fragment sizes.
+        let mut dec = FrameDecoder::new();
+        let mut events = Vec::new();
+        for piece in wire.chunks(frag) {
+            dec.push(piece, &mut events);
+        }
+
+        let mut got = PackedBits::new();
+        for event in &events {
+            match event {
+                LinkEvent::Frame(f) => {
+                    for b in f.to_packed_bits().iter() {
+                        got.push(b);
+                    }
+                }
+                LinkEvent::Gap { .. } => prop_assert!(false, "gap on a clean link"),
+            }
+        }
+        prop_assert_eq!(got, sent);
+        prop_assert_eq!(dec.stats().frames, lens.len() as u64);
+        prop_assert_eq!(dec.stats().resyncs, 0);
+        prop_assert_eq!(dec.stats().crc_failures, 0);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// A clean [`FaultyTransport`] is also bit-invisible end to end.
+    #[test]
+    fn clean_transport_is_transparent(seed in any::<u64>(), n in 1_usize..30) {
+        let mut enc = FrameEncoder::new(0);
+        let mut transport = FaultyTransport::new(FaultConfig::clean(), seed);
+        let mut dec = FrameDecoder::new();
+        let mut events = Vec::new();
+        for i in 0..n {
+            let chunk: PackedBits = (0..128u64).map(|k| bit(seed, i as u64 * 128 + k)).collect();
+            let packet = enc.encode(&chunk).unwrap();
+            let delivered = transport.transmit(&packet);
+            dec.push(&delivered, &mut events);
+        }
+        dec.push(&transport.flush(), &mut events);
+        let frames = events.iter().filter(|e| matches!(e, LinkEvent::Frame(_))).count();
+        prop_assert_eq!(frames, n);
+        prop_assert_eq!(dec.stats().gap_events, 0);
+    }
+}
+
+/// A mid-stream reconnect: the device keeps encoding while the
+/// transport is down, the host decoder survives the torn frame, flags
+/// exactly the lost span, and delivers everything after reconnect
+/// bit-identically.
+#[test]
+fn mid_stream_reconnect_resyncs_and_accounts_the_loss() {
+    let seed = 0xDEC0DE;
+    let chunks: Vec<PackedBits> = (0..30)
+        .map(|i| (0..128u64).map(|k| bit(seed, i * 128 + k)).collect())
+        .collect();
+    let mut enc = FrameEncoder::new(0);
+    let packets: Vec<Vec<u8>> = chunks.iter().map(|c| enc.encode(c).unwrap()).collect();
+
+    let mut dec = FrameDecoder::new();
+    let mut events = Vec::new();
+    // Frames 0..10 delivered, frame 10 torn mid-frame, 11..15 lost
+    // entirely, connection resumes at frame 15.
+    for p in &packets[..10] {
+        dec.push(p, &mut events);
+    }
+    dec.push(&packets[10][..15], &mut events);
+    for p in &packets[15..] {
+        dec.push(p, &mut events);
+    }
+
+    let delivered: Vec<u32> = events
+        .iter()
+        .filter_map(|e| match e {
+            LinkEvent::Frame(f) => Some(f.seq),
+            LinkEvent::Gap { .. } => None,
+        })
+        .collect();
+    let expect: Vec<u32> = (0..10).chain(15..30).collect();
+    assert_eq!(delivered, expect);
+
+    // The whole outage is one gap: frames 10..=14, 5 × 128 clocks.
+    let gaps: Vec<(u32, u32, u32, u64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            LinkEvent::Gap {
+                expected_seq,
+                got_seq,
+                lost_frames,
+                lost_clocks,
+            } => Some((*expected_seq, *got_seq, *lost_frames, *lost_clocks)),
+            LinkEvent::Frame(_) => None,
+        })
+        .collect();
+    assert_eq!(gaps, vec![(10, 15, 5, 5 * 128)]);
+    assert_eq!(dec.stats().resyncs, 1);
+
+    // Delivered payloads are bit-identical to what was encoded.
+    let mut iter = events.iter().filter_map(|e| match e {
+        LinkEvent::Frame(f) => Some(f),
+        LinkEvent::Gap { .. } => None,
+    });
+    for seq in expect {
+        let frame = iter.next().unwrap();
+        assert_eq!(frame.to_packed_bits(), chunks[seq as usize], "frame {seq}");
+    }
+}
+
+/// A host attaching to an already-running stream conceals everything
+/// before its first frame, keeping sample indices on the device clock.
+#[test]
+fn late_attach_aligns_to_device_clock() {
+    let seed = 0xA77AC4;
+    let mut enc = FrameEncoder::new(0);
+    let packets: Vec<Vec<u8>> = (0..12)
+        .map(|i| {
+            let c: PackedBits = (0..128u64).map(|k| bit(seed, i * 128 + k)).collect();
+            enc.encode(&c).unwrap()
+        })
+        .collect();
+    let mut pipe = HostPipeline::new(
+        &DecimatorConfig::paper_default(),
+        LinkCalibration::identity(),
+        GapPolicy::MarkInvalid,
+    )
+    .unwrap();
+    let mut out = Vec::new();
+    for p in &packets[4..] {
+        pipe.push_bytes(p, &mut out);
+    }
+    assert_eq!(out.len(), 12);
+    assert!(out[..4].iter().all(|s| s.flag == SampleFlag::Invalid));
+    assert_eq!(out[4].index, 4);
+    assert_eq!(pipe.health().decoder.gap_events, 1);
+    assert_eq!(pipe.health().decoder.lost_frames, 4);
+}
+
+/// The tentpole equivalence: device → wire → host pipeline on a
+/// fault-free link produces the *bit-identical* decimated stream to
+/// feeding the same payload straight into an in-process decimator.
+#[test]
+fn wire_path_matches_in_process_path_bit_for_bit() {
+    let config = SystemConfig::paper_default();
+    let patient = PatientProfile::normotensive();
+    let mut device = DeviceSimulator::new(&config, &patient, 2.0).unwrap();
+
+    let mut pipe = HostPipeline::new(
+        &config.decimator,
+        LinkCalibration::identity(),
+        GapPolicy::HoldLast,
+    )
+    .unwrap();
+    let mut direct = config.decimator.build().unwrap();
+
+    let mut wire_samples = Vec::new();
+    let mut direct_samples = Vec::new();
+    while let Some(packet) = device.next_packet().unwrap() {
+        // Tee the identical payload into the in-process decimator...
+        direct.process_packed_into(device.last_packet_bits(), &mut direct_samples);
+        // ...and push the wire bytes through the link, split awkwardly.
+        let (a, b) = packet.split_at(packet.len() / 3);
+        pipe.push_bytes(a, &mut wire_samples);
+        pipe.push_bytes(b, &mut wire_samples);
+    }
+
+    assert_eq!(wire_samples.len(), direct_samples.len());
+    assert_eq!(wire_samples.len(), 2000); // 2 s at 1 kS/s
+    for (w, d) in wire_samples.iter().zip(&direct_samples) {
+        assert_eq!(w.flag, SampleFlag::Clean);
+        assert_eq!(w.value_mmhg.to_bits(), d.to_bits());
+    }
+    let health = pipe.health();
+    assert_eq!(health.clean_samples, 2000);
+    assert_eq!(health.concealed_samples, 0);
+    assert_eq!(health.decoder.crc_failures, 0);
+}

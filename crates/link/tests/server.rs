@@ -1,0 +1,142 @@
+//! Loopback ingest at scale: eight concurrent device sessions over real
+//! TCP sockets, each matching the in-process signal path exactly on a
+//! fault-free transport.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+use tonos_core::config::SystemConfig;
+use tonos_core::stream::AlarmLimits;
+use tonos_link::{
+    DeviceSimulator, GapPolicy, HostPipeline, LinkCalibration, LinkServer, LinkServerConfig,
+};
+use tonos_physio::patient::PatientProfile;
+use tonos_telemetry::names;
+
+const SESSIONS: usize = 8;
+const DURATION_S: f64 = 1.0;
+
+/// What one session should look like when the link is invisible:
+/// computed by running the identical device stream straight into an
+/// in-process [`HostPipeline`].
+struct Expected {
+    samples: u64,
+    beats: u64,
+    alarms: u64,
+}
+
+fn patient_for(i: usize) -> PatientProfile {
+    let base = match i % 3 {
+        0 => PatientProfile::normotensive(),
+        1 => PatientProfile::hypertensive(),
+        _ => PatientProfile::hypotensive(),
+    };
+    base.with_seed(0xC0FFEE + i as u64)
+}
+
+fn expected_for(config: &SystemConfig, patient: &PatientProfile) -> Expected {
+    let mut device = DeviceSimulator::new(config, patient, DURATION_S).unwrap();
+    let mut pipe = HostPipeline::new(
+        &config.decimator,
+        LinkCalibration::identity(),
+        GapPolicy::HoldLast,
+    )
+    .unwrap()
+    .with_analyzer(AlarmLimits::adult())
+    .unwrap();
+    let mut out = Vec::new();
+    while let Some(packet) = device.next_packet().unwrap() {
+        pipe.push_bytes(&packet, &mut out);
+    }
+    let health = pipe.health();
+    Expected {
+        samples: health.samples(),
+        beats: health.beats,
+        alarms: health.alarms,
+    }
+}
+
+#[test]
+fn eight_concurrent_sessions_match_the_in_process_path() {
+    let config = SystemConfig::paper_default();
+    let server = LinkServer::bind(
+        "127.0.0.1:0",
+        LinkServerConfig {
+            workers: 4,
+            decimator: config.decimator,
+            ..LinkServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Eight devices stream concurrently, each its own patient.
+    let clients: Vec<_> = (0..SESSIONS)
+        .map(|i| {
+            thread::spawn(move || {
+                let mut device =
+                    DeviceSimulator::new(&config, &patient_for(i), DURATION_S).unwrap();
+                let mut stream = TcpStream::connect(addr).unwrap();
+                let mut frames = 0u64;
+                while let Some(packet) = device.next_packet().unwrap() {
+                    stream.write_all(&packet).unwrap();
+                    frames += 1;
+                }
+                stream.flush().unwrap();
+                frames
+            })
+        })
+        .collect();
+    let frames_sent: u64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+
+    // All eight connections must have been accepted before we stop.
+    let mut waited = 0;
+    while server.connections() < SESSIONS && waited < 5_000 {
+        thread::sleep(Duration::from_millis(10));
+        waited += 10;
+    }
+    assert_eq!(server.connections(), SESSIONS, "not all sessions accepted");
+    // Let the readers drain the already-closed sockets to EOF.
+    thread::sleep(Duration::from_millis(300));
+
+    let (report, snapshot) = server.shutdown();
+    assert_eq!(report.len(), SESSIONS);
+    assert!(
+        report.failures().is_empty(),
+        "sessions failed: {:?}",
+        report.failures()
+    );
+
+    // Every session matches the in-process path — same sample count,
+    // same beats, same alarms, on a fault-free wire. Sessions complete
+    // in accept order, not client order, so compare as multisets.
+    let mut expected: Vec<(u64, u64, u64)> = (0..SESSIONS)
+        .map(|i| {
+            let e = expected_for(&config, &patient_for(i));
+            (e.samples, e.beats, e.alarms)
+        })
+        .collect();
+    let mut actual: Vec<(u64, u64, u64)> = report
+        .completed()
+        .map(|(_, s)| (s.samples as u64, s.beats as u64, s.alarms as u64))
+        .collect();
+    expected.sort_unstable();
+    actual.sort_unstable();
+    assert_eq!(actual, expected, "wire sessions diverged from in-process");
+
+    // The rolled-up telemetry saw every frame and no corruption.
+    let counter = |name: &str| -> u64 {
+        snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    };
+    assert_eq!(counter(names::LINK_CONNECTIONS), SESSIONS as u64);
+    assert_eq!(counter(names::LINK_FRAMES_RX), frames_sent);
+    assert_eq!(counter(names::LINK_CRC_FAIL), 0);
+    assert_eq!(counter(names::LINK_GAP_EVENTS), 0);
+    assert_eq!(counter(names::LINK_SLOW_CONSUMER_DISCONNECTS), 0);
+}

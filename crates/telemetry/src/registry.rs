@@ -60,6 +60,9 @@ pub mod names {
     pub const MONITOR_RECALIBRATIONS: &str = "core.monitor.recalibrations";
     /// Alarm events raised by the online analyzer (counter).
     pub const ANALYZER_ALARMS: &str = "core.analyzer.alarms";
+    /// Pressure alarms suppressed because their qualifying beats
+    /// included gap-concealed samples (counter).
+    pub const ANALYZER_ALARMS_SUPPRESSED: &str = "core.analyzer.alarms_suppressed";
     /// Beat-to-beat interval distribution in seconds (histogram).
     pub const MONITOR_BEAT_INTERVAL_S: &str = "core.monitor.beat_interval_s";
     /// Array-scan stage duration (span histogram, seconds).
@@ -90,6 +93,41 @@ pub mod names {
     pub const FLEET_BATCHES_BANKED: &str = "fleet.batches_banked";
     /// Session batches that fell back to scalar execution (counter).
     pub const FLEET_BATCHES_SCALAR: &str = "fleet.batches_scalar";
+    /// Frames serialized by a link encoder (counter).
+    pub const LINK_FRAMES_TX: &str = "link.frames_tx";
+    /// Bytes serialized by a link encoder (counter).
+    pub const LINK_BYTES_TX: &str = "link.bytes_tx";
+    /// CRC-verified frames delivered by a link decoder (counter).
+    pub const LINK_FRAMES_RX: &str = "link.frames_rx";
+    /// Bytes consumed by a link decoder, garbage included (counter).
+    pub const LINK_BYTES_RX: &str = "link.bytes_rx";
+    /// Candidate frames rejected by the CRC-32 check (counter).
+    pub const LINK_CRC_FAIL: &str = "link.crc_fail";
+    /// Resynchronization episodes: the decoder had to skip bytes to find
+    /// the next sync word (counter).
+    pub const LINK_RESYNCS: &str = "link.resyncs";
+    /// Sequence-gap episodes observed by a link decoder (counter).
+    pub const LINK_GAP_EVENTS: &str = "link.gap_events";
+    /// Frames lost inside sequence gaps (counter).
+    pub const LINK_GAP_FRAMES: &str = "link.gap_frames";
+    /// Duplicate or reordered-stale frames dropped by a decoder
+    /// (counter).
+    pub const LINK_STALE_FRAMES: &str = "link.stale_frames";
+    /// Clean (bit-exact) samples delivered by a host link pipeline
+    /// (counter).
+    pub const LINK_SAMPLES_CLEAN: &str = "link.samples_clean";
+    /// Gap samples concealed by the hold-last policy (counter).
+    pub const LINK_GAPS_CONCEALED: &str = "link.gaps_concealed";
+    /// Gap samples delivered as explicitly invalid (counter).
+    pub const LINK_SAMPLES_INVALID: &str = "link.samples_invalid";
+    /// Device connections accepted by a link server (counter).
+    pub const LINK_CONNECTIONS: &str = "link.connections";
+    /// Connections dropped because their ingest queue stayed full past
+    /// the grace window (counter).
+    pub const LINK_SLOW_CONSUMER_DISCONNECTS: &str = "link.slow_consumer_disconnects";
+    /// Per-connection ingest queue depth observed at each enqueue
+    /// (histogram, chunks).
+    pub const LINK_QUEUE_DEPTH: &str = "link.queue_depth";
 }
 
 /// Default number of journal events retained.

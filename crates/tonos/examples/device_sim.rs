@@ -1,0 +1,70 @@
+//! The device half of the host link: a simulated sensor chip that
+//! frames its ΣΔ bitstream and streams it to an ingest server over TCP,
+//! optionally through a deliberately lossy transport.
+//!
+//! Start an ingest server first (`cargo run --release --example
+//! host_ingest` prints its address, or embed [`tonos::link::LinkServer`]
+//! in your own binary), then:
+//!
+//! ```text
+//! cargo run --release --example device_sim -- 127.0.0.1:7400 hypertensive 10 noisy
+//! ```
+//!
+//! Arguments (all optional, in order): server address, patient profile
+//! (`normotensive` | `hypertensive` | `hypotensive`), duration in
+//! seconds, and the literal `noisy` to route the stream through a
+//! seeded [`tonos::link::FaultyTransport`].
+
+use std::io::Write;
+use std::net::TcpStream;
+
+use tonos::link::{DeviceSimulator, FaultConfig, FaultyTransport};
+use tonos::physio::patient::PatientProfile;
+use tonos::system::config::SystemConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = args.first().map_or("127.0.0.1:7400", String::as_str);
+    let patient = match args.get(1).map(String::as_str) {
+        None | Some("normotensive") => PatientProfile::normotensive(),
+        Some("hypertensive") => PatientProfile::hypertensive(),
+        Some("hypotensive") => PatientProfile::hypotensive(),
+        Some(other) => {
+            eprintln!("unknown profile {other:?}; use normotensive | hypertensive | hypotensive");
+            std::process::exit(2);
+        }
+    };
+    let duration_s: f64 = args.get(2).map_or(10.0, |s| s.parse().expect("duration"));
+    let noisy = args.iter().any(|a| a == "noisy");
+
+    let config = SystemConfig::paper_default();
+    let mut device = DeviceSimulator::new(&config, &patient, duration_s).expect("device");
+    let mut transport = FaultyTransport::new(
+        if noisy {
+            FaultConfig::noisy()
+        } else {
+            FaultConfig::clean()
+        },
+        0xD1CE,
+    );
+
+    println!(
+        "device: {} for {duration_s} s over {} transport -> {addr}",
+        patient.name,
+        if noisy { "a noisy" } else { "a clean" },
+    );
+    let mut stream = TcpStream::connect(addr).expect("connect to ingest server");
+    let mut frames = 0u64;
+    let mut bytes = 0u64;
+    while let Some(packet) = device.next_packet().expect("conversion") {
+        frames += 1;
+        let delivered = transport.transmit(&packet);
+        bytes += delivered.len() as u64;
+        stream.write_all(&delivered).expect("stream to server");
+    }
+    let tail = transport.flush();
+    bytes += tail.len() as u64;
+    stream.write_all(&tail).expect("stream to server");
+    stream.flush().expect("flush");
+    println!("device: sent {frames} frames, {bytes} bytes on the wire; done");
+}

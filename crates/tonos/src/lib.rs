@@ -18,6 +18,9 @@
 //! * [`fleet`] — many concurrent monitoring sessions on a worker pool,
 //!   with failure isolation and fleet-wide telemetry rollup (see
 //!   `examples/fleet_monitor.rs`)
+//! * [`link`] — the chip-to-host boundary: wire framing, lossy-transport
+//!   fault injection, the gap-concealing host pipeline, and a
+//!   concurrent TCP ingest server (see `examples/host_ingest.rs`)
 //!
 //! See `examples/quickstart.rs` for the five-minute tour and
 //! `ARCHITECTURE.md` for the end-to-end dataflow.
@@ -26,6 +29,7 @@ pub use tonos_analog as analog;
 pub use tonos_core as system;
 pub use tonos_dsp as dsp;
 pub use tonos_fleet as fleet;
+pub use tonos_link as link;
 pub use tonos_mems as mems;
 pub use tonos_physio as physio;
 pub use tonos_telemetry as telemetry;
