@@ -190,7 +190,19 @@ pub fn read_session_record<R: Read>(mut input: R) -> Result<SessionRecord, Syste
     let m = meta.payload_bytes();
     let sample_rate = f64::from_le_bytes(m[0..8].try_into().expect("8 bytes"));
     let acquisition_start = u64::from_le_bytes(m[8..16].try_into().expect("8 bytes")) as usize;
-    let samples = u64::from_le_bytes(m[16..24].try_into().expect("8 bytes")) as usize;
+    let samples = u64::from_le_bytes(m[16..24].try_into().expect("8 bytes"));
+    // The declared count sizes two allocations below, so sanity-check it
+    // against the input before trusting it: every sample costs 16
+    // payload bytes, so the record can't possibly hold more than
+    // len/16 of them. A corrupt or crafted meta frame declaring more is
+    // rejected here instead of panicking on a huge `with_capacity`.
+    if samples > (bytes.len() / 16) as u64 {
+        return Err(record_corrupt(format!(
+            "meta declares {samples} samples but the record is only {} bytes",
+            bytes.len()
+        )));
+    }
+    let samples = samples as usize;
     let mut raw = Vec::with_capacity(samples);
     let mut calibrated = Vec::with_capacity(samples);
     for frame in data {
@@ -335,6 +347,23 @@ mod tests {
         // Bit-exact: f64 equality, not tolerance.
         assert_eq!(record.raw, s.raw);
         assert_eq!(record.calibrated, s.calibrated);
+    }
+
+    #[test]
+    fn absurd_declared_sample_count_is_rejected_before_allocating() {
+        use tonos_dsp::frame::{Frame, KIND_SESSION_META};
+        // A CRC-valid meta frame declaring ~u64::MAX samples: the reader
+        // must reject it as corrupt, not attempt the allocation.
+        let mut meta = Vec::with_capacity(24);
+        meta.extend_from_slice(&1000.0f64.to_le_bytes());
+        meta.extend_from_slice(&0u64.to_le_bytes());
+        meta.extend_from_slice(&u64::MAX.to_le_bytes());
+        let frame = Frame::bytes(KIND_SESSION_META, 0, 0, 0, meta).unwrap();
+        let err = read_session_record(frame.encode().as_slice()).unwrap_err();
+        assert!(
+            matches!(err, SystemError::Io(std::io::ErrorKind::InvalidData, _)),
+            "{err}"
+        );
     }
 
     #[test]

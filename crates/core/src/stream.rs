@@ -111,6 +111,9 @@ pub struct OnlineAnalyzer {
     window_sum: f64,
     // Raw history for peak refinement (same span as the smoother).
     raw_history: VecDeque<f64>,
+    // Concealment flags aligned with `raw_history`: whether each sample
+    // feeding the systolic refinement was transport-fabricated.
+    flag_history: VecDeque<bool>,
     // Adaptive envelope.
     env_max: f64,
     env_min: f64,
@@ -121,6 +124,9 @@ pub struct OnlineAnalyzer {
     samples_seen: u64,
     last_peak_sample: Option<u64>,
     running_min_since_peak: f64,
+    // Whether any sample since the last peak — the span the diastolic
+    // (running min) is drawn from — was concealed.
+    concealed_since_peak: bool,
     // Rate estimate.
     last_beat_time: Option<f64>,
     rate_bpm: f64,
@@ -129,8 +135,9 @@ pub struct OnlineAnalyzer {
     low_run: usize,
     high_acc: f64,
     low_acc: f64,
-    // Whether the current qualifying run contains any beat detected on
-    // gap-concealed samples (see [`OnlineAnalyzer::push_flagged`]).
+    // Whether the current qualifying run contains any beat whose
+    // systolic/diastolic measurement windows include gap-concealed
+    // samples (see [`OnlineAnalyzer::push_flagged`]).
     high_tainted: bool,
     low_tainted: bool,
     signal_loss_armed: bool,
@@ -171,6 +178,7 @@ impl OnlineAnalyzer {
             window_len,
             window_sum: 0.0,
             raw_history: VecDeque::with_capacity(window_len),
+            flag_history: VecDeque::with_capacity(window_len),
             env_max: f64::MIN,
             env_min: f64::MAX,
             env_alpha: 1.0 / (ENVELOPE_TAU_S * sample_rate),
@@ -179,6 +187,7 @@ impl OnlineAnalyzer {
             samples_seen: 0,
             last_peak_sample: None,
             running_min_since_peak: f64::MAX,
+            concealed_since_peak: false,
             last_beat_time: None,
             rate_bpm: 0.0,
             high_run: 0,
@@ -226,9 +235,14 @@ impl OnlineAnalyzer {
     ///
     /// A `concealed` sample is one the transport layer fabricated to
     /// cover a gap (e.g. hold-last). It advances the stream's timebase
-    /// and detector state exactly like a clean sample, but a
-    /// *pressure* alarm whose qualifying run includes any beat detected
-    /// on concealed data is **suppressed**: counted under
+    /// and detector state exactly like a clean sample, but a *pressure*
+    /// alarm whose qualifying run includes any beat *measured from*
+    /// concealed data is **suppressed**. A beat's systolic is the max
+    /// over the smoother-window history and its diastolic the running
+    /// min since the previous peak, so a beat counts as concealed when
+    /// any sample in either of those windows was flagged — not merely
+    /// the sample at the detection instant. Suppressed alarms are
+    /// counted under
     /// [`names::ANALYZER_ALARMS_SUPPRESSED`] and journaled as a warning
     /// instead of raised — fabricated samples must never fire a clinical
     /// alarm on their own. The run state is kept, so the alarm fires
@@ -245,10 +259,12 @@ impl OnlineAnalyzer {
         // --- Smoother (centered moving average, streamed). ---
         self.window.push_back(x);
         self.raw_history.push_back(x);
+        self.flag_history.push_back(concealed);
         self.window_sum += x;
         if self.window.len() > self.window_len {
             self.window_sum -= self.window.pop_front().expect("non-empty");
             self.raw_history.pop_front();
+            self.flag_history.pop_front();
         }
         let s = self.window_sum / self.window.len() as f64;
 
@@ -273,6 +289,7 @@ impl OnlineAnalyzer {
         let threshold = self.env_min + THRESHOLD_FRACTION * span;
 
         self.running_min_since_peak = self.running_min_since_peak.min(x);
+        self.concealed_since_peak |= concealed;
 
         // --- Peak picking on [s(n-2), s(n-1), s(n)]. ---
         let refractory = (REFRACTORY_S * self.sample_rate) as u64;
@@ -292,6 +309,11 @@ impl OnlineAnalyzer {
                 } else {
                     self.env_min
                 };
+                // The beat is tainted when any sample its values were
+                // drawn from was concealed: the systolic comes from the
+                // history window, the diastolic from the since-peak span.
+                let beat_tainted =
+                    self.concealed_since_peak || self.flag_history.iter().any(|&f| f);
                 let beat_time = (self.samples_seen - 1) as f64 / self.sample_rate;
                 if let Some(prev) = self.last_beat_time {
                     let rr = beat_time - prev;
@@ -307,6 +329,7 @@ impl OnlineAnalyzer {
                 self.last_beat_time = Some(beat_time);
                 self.last_peak_sample = Some(self.samples_seen - 1);
                 self.running_min_since_peak = f64::MAX;
+                self.concealed_since_peak = false;
                 self.signal_loss_armed = true;
                 events.push(MonitorEvent::Beat {
                     time_s: beat_time,
@@ -315,12 +338,12 @@ impl OnlineAnalyzer {
                     pulse_rate_bpm: self.rate_bpm,
                 });
                 // --- Pressure alarms on beat values. A qualifying run
-                // containing any concealed-sample beat is suppressed:
+                // containing any concealed-tainted beat is suppressed:
                 // fabricated data must not raise a pressure alarm.
                 if systolic > self.limits.systolic_high {
                     self.high_run += 1;
                     self.high_acc += systolic;
-                    self.high_tainted |= concealed;
+                    self.high_tainted |= beat_tainted;
                     if self.high_run == self.limits.qualifying_beats {
                         let mean_sys = self.high_acc / self.high_run as f64;
                         if self.high_tainted {
@@ -358,7 +381,7 @@ impl OnlineAnalyzer {
                 if systolic < self.limits.systolic_low {
                     self.low_run += 1;
                     self.low_acc += systolic;
-                    self.low_tainted |= concealed;
+                    self.low_tainted |= beat_tainted;
                     if self.low_run == self.limits.qualifying_beats {
                         let mean_sys = self.low_acc / self.low_run as f64;
                         if self.low_tainted {
@@ -633,6 +656,43 @@ mod tests {
             }
         }
         assert!(fired, "clean qualifying beats after the gap must alarm");
+    }
+
+    #[test]
+    fn concealed_samples_inside_beat_windows_taint_the_beat() {
+        // A hypertensive stream with short concealed bursts recurring
+        // inside every beat period. The beat's systolic and diastolic
+        // are drawn from windows spanning up to a full beat interval, so
+        // these bursts feed every beat's values even though the
+        // detection instants themselves are almost always clean — the
+        // alarm must still be suppressed.
+        let scenario = PressureTransient {
+            onset_s: 0.0,
+            ramp_s: 1.0,
+            hold_s: 60.0,
+            sys_delta: tonos_mems::units::MillimetersHg(50.0),
+            ..PressureTransient::episode()
+        };
+        let record = scenario.record(250.0, 40.0).unwrap();
+        let x: Vec<f64> = record.samples.iter().map(|p| p.value()).collect();
+        let mut online = OnlineAnalyzer::new(250.0, AlarmLimits::adult()).unwrap();
+        let mut events = Vec::new();
+        // 40 ms concealed every 0.8 s: inside every ~0.85 s beat window.
+        for (i, &v) in x.iter().enumerate() {
+            events.extend(online.push_flagged(v, i % 200 < 10));
+        }
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, MonitorEvent::Beat { .. })),
+            "beats must still be detected"
+        );
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, MonitorEvent::HypertensionAlarm { .. })),
+            "beats measured from concealed samples must not alarm"
+        );
     }
 
     #[test]

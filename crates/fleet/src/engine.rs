@@ -81,11 +81,19 @@ struct RawResult {
 pub struct FleetEngine {
     jobs: Option<Sender<Dispatch>>,
     results: Receiver<RawResult>,
+    /// Kept for [`ensure_workers`](FleetEngine::ensure_workers): new
+    /// workers need the shared job queue and the result channel.
+    job_queue: Arc<Mutex<Receiver<Dispatch>>>,
+    result_tx: Sender<RawResult>,
     workers: Vec<JoinHandle<()>>,
     registry: Registry,
     rollup: Rollup,
     next_id: u64,
     in_flight: usize,
+    /// Finished sessions gathered early by
+    /// [`poll_finished`](FleetEngine::poll_finished), held for the next
+    /// drain's report.
+    collected: Vec<SessionResult>,
 }
 
 impl FleetEngine {
@@ -106,17 +114,36 @@ impl FleetEngine {
         FleetEngine {
             jobs: Some(job_tx),
             results: result_rx,
+            job_queue: job_rx,
+            result_tx,
             workers,
             rollup: Rollup::into_registry(registry.clone()),
             registry,
             next_id: 0,
             in_flight: 0,
+            collected: Vec::new(),
         }
     }
 
     /// Number of worker threads in the pool.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Grows the pool so at least `n` workers exist (never shrinks).
+    ///
+    /// For workloads whose sessions occupy a worker for their entire —
+    /// possibly unbounded — lifetime (e.g. a live ingest connection),
+    /// call this before each submission so a long session can never
+    /// starve the queue: with one worker per in-flight session, every
+    /// submitted task starts promptly.
+    pub fn ensure_workers(&mut self, n: usize) {
+        while self.workers.len() < n {
+            let jobs = Arc::clone(&self.job_queue);
+            let results = self.result_tx.clone();
+            self.workers
+                .push(thread::spawn(move || worker_loop(&jobs, &results)));
+        }
     }
 
     /// Submits a monitoring session; returns its engine-assigned id.
@@ -151,8 +178,23 @@ impl FleetEngine {
         id
     }
 
-    /// Sessions submitted but not yet collected by a drain.
+    /// Sessions submitted but not yet collected by a
+    /// [`poll_finished`](FleetEngine::poll_finished) or a drain.
     pub fn pending(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Collects every session that has already finished — without
+    /// blocking — rolling their telemetry into the fleet registry and
+    /// holding their results for the next [`drain`](FleetEngine::drain).
+    /// Returns the number of sessions still in flight.
+    ///
+    /// This is what lets a long-lived submitter (an accept loop, a
+    /// scheduler) keep an accurate in-flight count between drains.
+    pub fn poll_finished(&mut self) -> usize {
+        while let Ok(raw) = self.results.try_recv() {
+            self.collect(raw);
+        }
         self.in_flight
     }
 
@@ -160,23 +202,27 @@ impl FleetEngine {
     /// telemetry into the fleet registry, and returns the outcomes
     /// (ordered by session id). The engine stays usable afterwards.
     pub fn drain(&mut self) -> FleetReport {
-        let mut sessions = Vec::with_capacity(self.in_flight);
         while self.in_flight > 0 {
             let raw = self
                 .results
                 .recv()
                 .expect("workers alive while sessions are in flight");
-            self.in_flight -= 1;
-            self.absorb(&raw);
-            sessions.push(SessionResult {
-                id: raw.id,
-                label: raw.label,
-                wall_s: raw.wall_s,
-                outcome: raw.outcome,
-            });
+            self.collect(raw);
         }
+        let mut sessions = std::mem::take(&mut self.collected);
         sessions.sort_by_key(|s| s.id);
         FleetReport { sessions }
+    }
+
+    fn collect(&mut self, raw: RawResult) {
+        self.in_flight -= 1;
+        self.absorb(&raw);
+        self.collected.push(SessionResult {
+            id: raw.id,
+            label: raw.label,
+            wall_s: raw.wall_s,
+            outcome: raw.outcome,
+        });
     }
 
     fn absorb(&mut self, raw: &RawResult) {

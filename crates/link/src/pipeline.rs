@@ -27,6 +27,21 @@
 //! (flagged concealed), so its timebase, beat detector state, and
 //! alarm-suppression semantics are identical regardless of what the
 //! exported stream shows.
+//!
+//! ## Concealment is bounded
+//!
+//! Concealment emits one sample per lost output slot, and the gap size
+//! comes from the frame clock headers — which the wire does not
+//! authenticate (CRC-32 is integrity, not provenance) and which can be
+//! legitimately enormous on reconnect to a long-running device. Filling
+//! such a jump sample-by-sample would spin for up to 2⁵⁷ iterations and
+//! grow the output without bound, so concealment is clamped to
+//! [`MAX_CONCEAL_S`] seconds of output. Anything beyond the clamp is a
+//! **stream reset**: the output index is re-based past the skipped span
+//! (time is still never silently compressed — the index jump *is* the
+//! record of the loss), `link.stream_resets` / `link.gap_skipped_samples`
+//! count it, a journal warning names it, and a bounded concealed span is
+//! still emitted so downstream consumers see the gap boundary.
 
 use tonos_core::config::SystemConfig;
 use tonos_core::readout::ReadoutSystem;
@@ -36,9 +51,13 @@ use tonos_dsp::bits::PackedBits;
 use tonos_dsp::decimator::{DecimatorConfig, TwoStageDecimator};
 use tonos_dsp::frame::KIND_BITSTREAM;
 use tonos_mems::units::{MillimetersHg, Pascals};
-use tonos_telemetry::{names, Counter, Telemetry};
+use tonos_telemetry::{names, Counter, Severity, Telemetry};
 
 use crate::decode::{FrameDecoder, LinkEvent};
+
+/// Longest gap (seconds of output) concealed sample-by-sample; larger
+/// clock jumps are handled as a stream reset (see the module docs).
+pub const MAX_CONCEAL_S: f64 = 5.0;
 
 /// What to emit for output samples lost to a link gap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -169,6 +188,13 @@ pub struct LinkHealth {
     /// [`GapPolicy::MarkInvalid`] (a subset of the concealment total in
     /// spirit; disjoint from `concealed_samples` in the counts).
     pub invalid_samples: u64,
+    /// Output samples skipped by stream resets: lost slots beyond the
+    /// [`MAX_CONCEAL_S`] clamp, accounted for by re-basing the output
+    /// index rather than emitting per-sample filler. Not included in
+    /// [`LinkHealth::samples`] — nothing was emitted for them.
+    pub skipped_samples: u64,
+    /// Clock jumps too large to conceal, handled as stream resets.
+    pub stream_resets: u64,
     /// Beats detected by the online analyzer (0 without an analyzer).
     pub beats: u64,
     /// Alarms raised by the online analyzer.
@@ -208,10 +234,14 @@ pub struct HostPipeline {
     /// Outputs still flagged after a gap (decimator memory span).
     taint: usize,
     taint_span: usize,
+    /// Output samples concealed per gap before it becomes a reset.
+    max_conceal_samples: u64,
     next_index: u64,
     clean_samples: u64,
     concealed_samples: u64,
     invalid_samples: u64,
+    skipped_samples: u64,
+    stream_resets: u64,
     beats: u64,
     alarms: u64,
     sum_systolic: f64,
@@ -219,6 +249,9 @@ pub struct HostPipeline {
     clean_counter: Counter,
     concealed_counter: Counter,
     invalid_counter: Counter,
+    skipped_counter: Counter,
+    resets_counter: Counter,
+    telemetry: Telemetry,
     link_scratch: Vec<LinkEvent>,
     out_scratch: Vec<f64>,
 }
@@ -237,6 +270,7 @@ impl HostPipeline {
     ) -> Result<Self, SystemError> {
         let built = decimator.build().map_err(SystemError::Dsp)?;
         let taint_span = built.settling_output_samples();
+        let max_conceal_samples = ((MAX_CONCEAL_S * decimator.output_rate()).ceil() as u64).max(1);
         Ok(HostPipeline {
             osr: built.ratio(),
             output_rate_hz: decimator.output_rate(),
@@ -248,10 +282,13 @@ impl HostPipeline {
             last_raw: None,
             taint: 0,
             taint_span,
+            max_conceal_samples,
             next_index: 0,
             clean_samples: 0,
             concealed_samples: 0,
             invalid_samples: 0,
+            skipped_samples: 0,
+            stream_resets: 0,
             beats: 0,
             alarms: 0,
             sum_systolic: 0.0,
@@ -259,6 +296,9 @@ impl HostPipeline {
             clean_counter: Counter::disabled(),
             concealed_counter: Counter::disabled(),
             invalid_counter: Counter::disabled(),
+            skipped_counter: Counter::disabled(),
+            resets_counter: Counter::disabled(),
+            telemetry: Telemetry::disabled(),
             decoder: FrameDecoder::new(),
             link_scratch: Vec::new(),
             out_scratch: Vec::new(),
@@ -284,7 +324,10 @@ impl HostPipeline {
         self.clean_counter = telemetry.counter(names::LINK_SAMPLES_CLEAN);
         self.concealed_counter = telemetry.counter(names::LINK_GAPS_CONCEALED);
         self.invalid_counter = telemetry.counter(names::LINK_SAMPLES_INVALID);
+        self.skipped_counter = telemetry.counter(names::LINK_GAP_SKIPPED_SAMPLES);
+        self.resets_counter = telemetry.counter(names::LINK_STREAM_RESETS);
         self.analyzer = self.analyzer.map(|a| a.with_telemetry(telemetry.clone()));
+        self.telemetry = telemetry.clone();
         self
     }
 
@@ -337,6 +380,8 @@ impl HostPipeline {
             clean_samples: self.clean_samples,
             concealed_samples: self.concealed_samples,
             invalid_samples: self.invalid_samples,
+            skipped_samples: self.skipped_samples,
+            stream_resets: self.stream_resets,
             beats: self.beats,
             alarms: self.alarms,
             pulse_rate_bpm: self
@@ -391,9 +436,31 @@ impl HostPipeline {
 
     /// Emits the concealment samples for a gap of `lost_clocks`
     /// modulator clocks and re-aligns the decimator phase.
+    ///
+    /// Concealment work is bounded: the clock header that sizes the gap
+    /// is attacker- and reconnect-controlled (up to `u64::MAX`), so a
+    /// jump past [`MAX_CONCEAL_S`] of output becomes a stream reset —
+    /// the output index is re-based over the excess and only the
+    /// bounded tail is emitted sample-by-sample.
     fn conceal(&mut self, lost_clocks: u64, out: &mut Vec<HostSample>) {
-        let whole = lost_clocks / self.osr as u64;
+        let mut whole = lost_clocks / self.osr as u64;
         let residual = (lost_clocks % self.osr as u64) as usize;
+        if whole > self.max_conceal_samples {
+            let skipped = whole - self.max_conceal_samples;
+            whole = self.max_conceal_samples;
+            self.next_index = self.next_index.saturating_add(skipped);
+            self.skipped_samples += skipped;
+            self.skipped_counter.add(skipped);
+            self.stream_resets += 1;
+            self.resets_counter.inc();
+            self.telemetry
+                .event(Severity::Warning, "link.pipeline", || {
+                    format!(
+                        "stream reset: clock jump of {lost_clocks} clocks exceeds the \
+                     concealment clamp; re-based output index over {skipped} samples"
+                    )
+                });
+        }
         let held = self.last_raw.unwrap_or(0.0);
         let held_mmhg = self.calibration.apply(held);
         for _ in 0..whole {
@@ -563,6 +630,37 @@ mod tests {
         let total = got.len() as i64;
         assert!((total - 50).abs() <= 1, "{total}");
         assert!(got.iter().any(|s| s.flag == SampleFlag::Concealed));
+    }
+
+    #[test]
+    fn huge_clock_jump_is_a_bounded_stream_reset() {
+        use tonos_dsp::frame::Frame;
+        // First frame of a connection claiming an enormous clock index —
+        // a long-uptime reconnect, or a forged header (the CRC is
+        // integrity, not authentication). Concealment must stay bounded
+        // instead of emitting one sample per lost output slot.
+        let bits = chunk(128, 0);
+        let clock = 1u64 << 40;
+        let frame = Frame::bitstream(0, 7, clock, &bits).unwrap();
+        let mut pipe = pipeline(GapPolicy::HoldLast);
+        let mut got = Vec::new();
+        pipe.push_bytes(&frame.encode(), &mut got);
+
+        let clamp = (MAX_CONCEAL_S * pipe.output_rate_hz()).ceil() as u64;
+        assert!(
+            (got.len() as u64) <= clamp + 2,
+            "{} samples emitted for a 2^40-clock gap",
+            got.len()
+        );
+        let health = pipe.health();
+        assert_eq!(health.stream_resets, 1);
+        let whole = clock / pipe.osr() as u64;
+        // Every output slot is accounted for: skipped + emitted covers
+        // the whole gap plus the frame's own decimated sample.
+        assert_eq!(health.skipped_samples + got.len() as u64, whole + 1);
+        // The index is re-based, not compressed: the frame's own sample
+        // lands exactly where the device clock says it belongs.
+        assert_eq!(got.last().unwrap().index, whole);
     }
 
     #[test]

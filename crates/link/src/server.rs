@@ -11,7 +11,11 @@
 //!   the fleet's panic isolation, per-session telemetry registries, and
 //!   rollup for free, and appear in the final
 //!   [`FleetReport`] next to simulated
-//!   sessions.
+//!   sessions. Because an ingest task occupies its worker for the whole
+//!   connection lifetime, the accept loop grows the pool
+//!   ([`FleetEngine::ensure_workers`]) so every live connection has a
+//!   worker — more simultaneous devices than the initial pool size can
+//!   never starve a session into a spurious slow-consumer eviction.
 //! * **Backpressure is bounded.** Reader and pipeline are coupled by a
 //!   bounded channel of byte chunks. When the pipeline can't keep up,
 //!   the reader waits out a short grace window and then *disconnects*
@@ -47,7 +51,9 @@ const POLL: Duration = Duration::from_millis(5);
 /// Ingest server configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct LinkServerConfig {
-    /// Fleet worker threads (0 = one per hardware thread).
+    /// Initial fleet worker threads (0 = one per hardware thread). The
+    /// pool grows on demand so every live connection has a worker; this
+    /// only sizes the pool the server starts with.
     pub workers: usize,
     /// Bounded per-connection queue, in read chunks (≥ 1).
     pub queue_chunks: usize,
@@ -171,6 +177,13 @@ fn accept_loop(
             Ok((stream, peer)) => {
                 connections.fetch_add(1, Ordering::SeqCst);
                 fleet_tel.counter(names::LINK_CONNECTIONS).inc();
+                // An ingest session occupies its worker for the whole
+                // connection lifetime, so a fixed pool would starve
+                // every connection past `workers`: collect what has
+                // finished and grow the pool so each live session has a
+                // worker of its own.
+                engine.poll_finished();
+                engine.ensure_workers(engine.pending() + 1);
                 spawn_connection(
                     &mut engine,
                     &fleet_tel,
@@ -182,7 +195,17 @@ fn accept_loop(
                 );
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(POLL),
-            Err(_) => break,
+            Err(e) => {
+                // ECONNABORTED, EINTR, EMFILE under fd pressure, ...: a
+                // transient accept failure must not silently stop the
+                // ward from admitting devices. Journal it, back off,
+                // keep listening; the stop flag is the only exit.
+                fleet_tel.counter(names::LINK_ACCEPT_ERRORS).inc();
+                fleet_tel.event(Severity::Warning, "link.server", || {
+                    format!("accept error ({e}); still listening")
+                });
+                thread::sleep(POLL);
+            }
         }
     }
     for reader in readers {

@@ -10,7 +10,8 @@ use std::time::Duration;
 use tonos_core::config::SystemConfig;
 use tonos_core::stream::AlarmLimits;
 use tonos_link::{
-    DeviceSimulator, GapPolicy, HostPipeline, LinkCalibration, LinkServer, LinkServerConfig,
+    DeviceSimulator, FrameEncoder, GapPolicy, HostPipeline, LinkCalibration, LinkServer,
+    LinkServerConfig,
 };
 use tonos_physio::patient::PatientProfile;
 use tonos_telemetry::names;
@@ -139,4 +140,90 @@ fn eight_concurrent_sessions_match_the_in_process_path() {
     assert_eq!(counter(names::LINK_CRC_FAIL), 0);
     assert_eq!(counter(names::LINK_GAP_EVENTS), 0);
     assert_eq!(counter(names::LINK_SLOW_CONSUMER_DISCONNECTS), 0);
+}
+
+#[test]
+fn more_live_connections_than_workers_are_not_evicted() {
+    // Four devices stream simultaneously into a server seeded with a
+    // single fleet worker and a tiny 2-chunk queue. Each session
+    // occupies its worker for its whole lifetime, so without on-demand
+    // pool growth three of the four ingest tasks would never run: their
+    // queues fill, and the readers evict perfectly healthy devices as
+    // "slow consumers" once the grace window expires.
+    const CONNS: usize = 4;
+    const FRAMES: u64 = 200;
+    let server = LinkServer::bind(
+        "127.0.0.1:0",
+        LinkServerConfig {
+            workers: 1,
+            queue_chunks: 2,
+            slow_consumer_grace_ms: 100,
+            ..LinkServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let clients: Vec<_> = (0..CONNS)
+        .map(|i| {
+            thread::spawn(move || -> u64 {
+                let bits: tonos_dsp::bits::PackedBits = (0..2048).map(|j| j % 3 == 0).collect();
+                let mut enc = FrameEncoder::new(i as u16);
+                let mut wire = Vec::new();
+                if i == 0 {
+                    // The holder: one frame, then an open, idle
+                    // connection — its ingest task occupies the lone
+                    // worker for this entire span.
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    enc.encode_into(&bits, &mut wire).unwrap();
+                    stream.write_all(&wire).unwrap();
+                    thread::sleep(Duration::from_millis(800));
+                    1
+                } else {
+                    // The blasters: connect once the holder owns the
+                    // worker, then send several times the queue
+                    // capacity in one burst.
+                    thread::sleep(Duration::from_millis(200));
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    for _ in 0..FRAMES {
+                        enc.encode_into(&bits, &mut wire).unwrap();
+                    }
+                    // ~56 KiB against a 2 × 8 KiB chunk queue.
+                    stream.write_all(&wire).unwrap();
+                    stream.flush().unwrap();
+                    FRAMES
+                }
+            })
+        })
+        .collect();
+    let frames_sent: u64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    // Let the readers drain the closed sockets to EOF.
+    let mut waited = 0;
+    while server.connections() < CONNS && waited < 5_000 {
+        thread::sleep(Duration::from_millis(10));
+        waited += 10;
+    }
+    thread::sleep(Duration::from_millis(300));
+
+    let (report, snapshot) = server.shutdown();
+    assert_eq!(report.len(), CONNS);
+    assert!(
+        report.failures().is_empty(),
+        "sessions failed: {:?}",
+        report.failures()
+    );
+    let counter = |name: &str| -> u64 {
+        snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    };
+    assert_eq!(
+        counter(names::LINK_SLOW_CONSUMER_DISCONNECTS),
+        0,
+        "healthy devices were evicted for lack of a worker"
+    );
+    assert_eq!(counter(names::LINK_FRAMES_RX), frames_sent);
+    assert_eq!(counter(names::LINK_GAP_EVENTS), 0);
 }

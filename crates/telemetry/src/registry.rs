@@ -120,8 +120,17 @@ pub mod names {
     pub const LINK_GAPS_CONCEALED: &str = "link.gaps_concealed";
     /// Gap samples delivered as explicitly invalid (counter).
     pub const LINK_SAMPLES_INVALID: &str = "link.samples_invalid";
+    /// Clock jumps too large to conceal sample-by-sample, handled as a
+    /// stream reset that re-bases the output index (counter).
+    pub const LINK_STREAM_RESETS: &str = "link.stream_resets";
+    /// Output samples skipped (index re-based, nothing emitted) by
+    /// stream resets (counter).
+    pub const LINK_GAP_SKIPPED_SAMPLES: &str = "link.gap_skipped_samples";
     /// Device connections accepted by a link server (counter).
     pub const LINK_CONNECTIONS: &str = "link.connections";
+    /// Transient accept() failures survived by a link server's accept
+    /// loop (counter).
+    pub const LINK_ACCEPT_ERRORS: &str = "link.accept_errors";
     /// Connections dropped because their ingest queue stayed full past
     /// the grace window (counter).
     pub const LINK_SLOW_CONSUMER_DISCONNECTS: &str = "link.slow_consumer_disconnects";
