@@ -94,9 +94,17 @@ pub fn run_batch(
     // keeps the monitors free for the exclusive system borrows below.
     let instruments: Vec<_> = monitors.iter().map(|m| m.instruments.clone()).collect();
     let telemetry: Vec<_> = monitors.iter().map(|m| m.telemetry.clone()).collect();
+    // One banked-conversion span per lane, on the lane's own registry —
+    // operators comparing `span.bank.convert_s` against the scalar
+    // scan/acquisition spans see what lockstep bought that session.
+    let bank_timers: Vec<_> = telemetry
+        .iter()
+        .map(|t| t.span(tonos_telemetry::names::SPAN_BANK_CONVERT))
+        .collect();
 
     // --- Banked conversion: scan then acquisition, all lanes lockstep.
     let (scans, raws, acquisition_start) = {
+        let bank_spans: Vec<_> = bank_timers.iter().map(|t| t.start()).collect();
         let systems: Vec<_> = monitors.iter_mut().map(|m| &mut m.system).collect();
         let mut bank = ReadoutBank::new(systems)?;
 
@@ -208,6 +216,9 @@ pub fn run_batch(
             }
         }
         for span in acq_spans {
+            span.finish();
+        }
+        for span in bank_spans {
             span.finish();
         }
 

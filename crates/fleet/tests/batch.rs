@@ -65,6 +65,15 @@ fn banked_batches_report_exactly_what_the_fleet_engine_reports() {
     // Session-local telemetry still rolls up through the batch path.
     assert!(agg.counter(names::READOUT_SAMPLES_OUT).unwrap_or(0) > 0);
     assert!(agg.counter(names::ANALYZER_ALARMS).unwrap_or(0) > 0);
+    // Every lane timed its banked conversion; the scalar engine, which
+    // never touched a lane bank, has no such span.
+    let bank_span = agg.histogram(names::SPAN_BANK_CONVERT).unwrap();
+    assert_eq!(bank_span.count, 3, "one convert span per lane");
+    assert!(bank_span.sum > 0.0);
+    assert!(fleet
+        .snapshot()
+        .histogram(names::SPAN_BANK_CONVERT)
+        .is_none());
 }
 
 #[test]

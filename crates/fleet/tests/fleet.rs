@@ -68,6 +68,57 @@ fn fleet_runs_real_sessions_and_rolls_up_telemetry() {
 }
 
 #[test]
+fn session_criticals_reach_the_fleet_journal_with_their_timestamps() {
+    use std::time::Duration;
+    use tonos_telemetry::Severity;
+
+    let mut fleet = FleetEngine::spawn(FleetConfig { workers: 2 });
+    fleet.push_task("bed-crit", |ctx| {
+        // Journal with explicit session-clock timestamps so the test can
+        // assert exact preservation through the rollup.
+        ctx.telemetry.event_at(
+            Duration::from_millis(1500),
+            Severity::Critical,
+            "analyzer",
+            || "sustained hypertension".into(),
+        );
+        ctx.telemetry.event_at(
+            Duration::from_millis(2750),
+            Severity::Warning,
+            "link",
+            || "gap concealed".into(),
+        );
+        ctx.telemetry
+            .event(Severity::Info, "monitor", || "chatter".into());
+        Ok(SessionSummary::from_stream(0, 0.0, 0.0, 0.0, 0, 0.0, 0))
+    });
+    let report = fleet.drain();
+    assert!(report.failures().is_empty(), "{report}");
+
+    let agg = fleet.snapshot();
+    assert_eq!(agg.counter(names::FLEET_CRITICAL_EVENTS), Some(1));
+    assert_eq!(agg.counter(names::FLEET_WARNING_EVENTS), Some(1));
+    // The events themselves were re-journaled — with session-clock
+    // timestamps, sources, and messages intact — while the info-level
+    // chatter was dropped at the fleet boundary.
+    let crit = agg
+        .events
+        .iter()
+        .find(|e| e.severity == tonos_telemetry::Severity::Critical)
+        .expect("critical event in the fleet journal");
+    assert_eq!(crit.at, Duration::from_millis(1500));
+    assert_eq!(crit.source, "analyzer");
+    assert_eq!(crit.message, "sustained hypertension");
+    let warn = agg
+        .events
+        .iter()
+        .find(|e| e.severity == tonos_telemetry::Severity::Warning)
+        .expect("warning event in the fleet journal");
+    assert_eq!(warn.at, Duration::from_millis(2750));
+    assert!(!agg.events.iter().any(|e| e.message == "chatter"));
+}
+
+#[test]
 fn a_poisoned_session_does_not_take_down_the_fleet() {
     let mut fleet = FleetEngine::spawn(FleetConfig { workers: 2 });
     fleet.push(quick("bed-ok", PatientProfile::normotensive()));

@@ -28,6 +28,11 @@
 //!   runs one host pipeline per connection on the fleet worker pool,
 //!   with bounded per-connection queues and a slow-consumer disconnect
 //!   policy.
+//! * **Live queries** ([`LinkDirectory`]): every connection publishes
+//!   its [`LinkHealth`] into a directory entry after each chunk, so
+//!   operators (and the `tonos-scope` endpoint's `/links`) can inspect
+//!   per-connection counters *while* devices are ingesting instead of
+//!   waiting for the fleet rollup at disconnect.
 //!
 //! The invariant the whole crate is built around: **no silent
 //! corruption**. Every byte the transport damages either never reaches
@@ -43,6 +48,7 @@ pub mod device;
 pub mod encode;
 pub mod fault;
 pub mod pipeline;
+pub mod query;
 pub mod server;
 
 pub use decode::{DecoderStats, FrameDecoder, LinkEvent};
@@ -50,4 +56,5 @@ pub use device::DeviceSimulator;
 pub use encode::FrameEncoder;
 pub use fault::{FaultConfig, FaultyTransport};
 pub use pipeline::{GapPolicy, HostPipeline, HostSample, LinkCalibration, LinkHealth, SampleFlag};
+pub use query::{LinkAggregate, LinkDirectory, LinkEntry, LinkStatus};
 pub use server::{LinkServer, LinkServerConfig};

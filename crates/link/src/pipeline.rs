@@ -51,7 +51,7 @@ use tonos_dsp::bits::PackedBits;
 use tonos_dsp::decimator::{DecimatorConfig, TwoStageDecimator};
 use tonos_dsp::frame::KIND_BITSTREAM;
 use tonos_mems::units::{MillimetersHg, Pascals};
-use tonos_telemetry::{names, Counter, Severity, Telemetry};
+use tonos_telemetry::{names, Counter, Severity, SpanTimer, Telemetry};
 
 use crate::decode::{FrameDecoder, LinkEvent};
 
@@ -176,7 +176,7 @@ impl LinkCalibration {
 }
 
 /// Aggregate health of one link-ingested stream.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LinkHealth {
     /// Decoder-level statistics (frames, CRC failures, resyncs, gaps).
     pub decoder: crate::decode::DecoderStats,
@@ -214,6 +214,19 @@ impl LinkHealth {
     }
 }
 
+/// Snapshot of the pipeline's per-sample totals, kept so telemetry
+/// counters receive one batched delta per transport chunk instead of
+/// one atomic op per output sample (which costs real hot-path
+/// throughput at OSR-scale output rates).
+#[derive(Debug, Clone, Copy, Default)]
+struct SampleCounts {
+    clean: u64,
+    concealed: u64,
+    invalid: u64,
+    skipped: u64,
+    resets: u64,
+}
+
 /// Push-based host pipeline: bytes in, flagged calibrated samples out.
 ///
 /// Build order: [`HostPipeline::new`] →
@@ -242,6 +255,8 @@ pub struct HostPipeline {
     invalid_samples: u64,
     skipped_samples: u64,
     stream_resets: u64,
+    /// Totals as of the last telemetry flush (see [`SampleCounts`]).
+    flushed: SampleCounts,
     beats: u64,
     alarms: u64,
     sum_systolic: f64,
@@ -251,6 +266,8 @@ pub struct HostPipeline {
     invalid_counter: Counter,
     skipped_counter: Counter,
     resets_counter: Counter,
+    decode_span: SpanTimer,
+    conceal_span: SpanTimer,
     telemetry: Telemetry,
     link_scratch: Vec<LinkEvent>,
     out_scratch: Vec<f64>,
@@ -289,6 +306,7 @@ impl HostPipeline {
             invalid_samples: 0,
             skipped_samples: 0,
             stream_resets: 0,
+            flushed: SampleCounts::default(),
             beats: 0,
             alarms: 0,
             sum_systolic: 0.0,
@@ -298,6 +316,8 @@ impl HostPipeline {
             invalid_counter: Counter::disabled(),
             skipped_counter: Counter::disabled(),
             resets_counter: Counter::disabled(),
+            decode_span: SpanTimer::disabled(),
+            conceal_span: SpanTimer::disabled(),
             telemetry: Telemetry::disabled(),
             decoder: FrameDecoder::new(),
             link_scratch: Vec::new(),
@@ -326,9 +346,25 @@ impl HostPipeline {
         self.invalid_counter = telemetry.counter(names::LINK_SAMPLES_INVALID);
         self.skipped_counter = telemetry.counter(names::LINK_GAP_SKIPPED_SAMPLES);
         self.resets_counter = telemetry.counter(names::LINK_STREAM_RESETS);
+        self.decode_span = telemetry.span(names::SPAN_LINK_DECODE);
+        self.conceal_span = telemetry.span(names::SPAN_LINK_CONCEAL);
         self.analyzer = self.analyzer.map(|a| a.with_telemetry(telemetry.clone()));
         self.telemetry = telemetry.clone();
+        // Counters report activity from attach time on: don't credit
+        // pre-attach samples to the registry at the first flush.
+        self.flushed = self.counts();
         self
+    }
+
+    /// Current per-sample totals, for the batched telemetry flush.
+    fn counts(&self) -> SampleCounts {
+        SampleCounts {
+            clean: self.clean_samples,
+            concealed: self.concealed_samples,
+            invalid: self.invalid_samples,
+            skipped: self.skipped_samples,
+            resets: self.stream_resets,
+        }
     }
 
     /// Decimation ratio (modulator clocks per output sample).
@@ -346,7 +382,11 @@ impl HostPipeline {
     pub fn push_bytes(&mut self, bytes: &[u8], out: &mut Vec<HostSample>) {
         let mut events = std::mem::take(&mut self.link_scratch);
         events.clear();
+        // One span per transport chunk, not per frame: at 8 KiB chunks
+        // that is ~1 clock read per ~60 frames, cheap enough to leave on.
+        let span = self.decode_span.start();
         self.decoder.push(bytes, &mut events);
+        span.finish();
         for event in events.drain(..) {
             match event {
                 LinkEvent::Gap { lost_clocks, .. } => self.conceal(lost_clocks, out),
@@ -360,6 +400,19 @@ impl HostPipeline {
             }
         }
         self.link_scratch = events;
+        // Batched telemetry flush, mirroring the decoder: one atomic
+        // add per counter per chunk instead of one per output sample.
+        // All sample/reset totals mutate under this method (conceal,
+        // decimate, and emit are only reached from here), so flushing
+        // at the end keeps the registry exact at chunk granularity.
+        let now = self.counts();
+        self.clean_counter.add(now.clean - self.flushed.clean);
+        self.concealed_counter
+            .add(now.concealed - self.flushed.concealed);
+        self.invalid_counter.add(now.invalid - self.flushed.invalid);
+        self.skipped_counter.add(now.skipped - self.flushed.skipped);
+        self.resets_counter.add(now.resets - self.flushed.resets);
+        self.flushed = now;
     }
 
     /// Events raised by the online analyzer since the last drain
@@ -416,10 +469,8 @@ impl HostPipeline {
         };
         if concealed {
             self.concealed_samples += 1;
-            self.concealed_counter.inc();
         } else {
             self.clean_samples += 1;
-            self.clean_counter.inc();
         }
         out.push(HostSample {
             index: self.next_index,
@@ -443,6 +494,10 @@ impl HostPipeline {
     /// the output index is re-based over the excess and only the
     /// bounded tail is emitted sample-by-sample.
     fn conceal(&mut self, lost_clocks: u64, out: &mut Vec<HostSample>) {
+        // Clone the handle so the guard doesn't pin `self` across the
+        // `&mut self` emit/decimate calls below (two Arc clones).
+        let timer = self.conceal_span.clone();
+        let _span = timer.start();
         let mut whole = lost_clocks / self.osr as u64;
         let residual = (lost_clocks % self.osr as u64) as usize;
         if whole > self.max_conceal_samples {
@@ -450,9 +505,7 @@ impl HostPipeline {
             whole = self.max_conceal_samples;
             self.next_index = self.next_index.saturating_add(skipped);
             self.skipped_samples += skipped;
-            self.skipped_counter.add(skipped);
             self.stream_resets += 1;
-            self.resets_counter.inc();
             self.telemetry
                 .event(Severity::Warning, "link.pipeline", || {
                     format!(
@@ -469,14 +522,8 @@ impl HostPipeline {
                 GapPolicy::MarkInvalid => (f64::NAN, SampleFlag::Invalid),
             };
             match flag {
-                SampleFlag::Concealed => {
-                    self.concealed_samples += 1;
-                    self.concealed_counter.inc();
-                }
-                _ => {
-                    self.invalid_samples += 1;
-                    self.invalid_counter.inc();
-                }
+                SampleFlag::Concealed => self.concealed_samples += 1,
+                _ => self.invalid_samples += 1,
             }
             out.push(HostSample {
                 index: self.next_index,

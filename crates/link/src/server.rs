@@ -38,9 +38,10 @@ use std::time::Duration;
 use tonos_core::stream::AlarmLimits;
 use tonos_dsp::decimator::DecimatorConfig;
 use tonos_fleet::{FleetConfig, FleetEngine, FleetReport};
-use tonos_telemetry::{names, Severity, Telemetry, TelemetrySnapshot};
+use tonos_telemetry::{names, Registry, Severity, Telemetry, TelemetrySnapshot};
 
 use crate::pipeline::{GapPolicy, HostPipeline, LinkCalibration};
+use crate::query::{LinkDirectory, LinkEntry, LinkStatus};
 
 /// Socket read size and channel chunk granularity.
 const READ_CHUNK: usize = 8 * 1024;
@@ -96,6 +97,8 @@ pub struct LinkServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     connections: Arc<AtomicUsize>,
+    fleet_registry: Registry,
+    directory: Arc<LinkDirectory>,
     accept_thread: Option<JoinHandle<(FleetReport, TelemetrySnapshot)>>,
 }
 
@@ -113,14 +116,37 @@ impl LinkServer {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(AtomicUsize::new(0));
+        let workers = if config.workers == 0 {
+            FleetConfig::default().workers
+        } else {
+            config.workers
+        };
+        // The engine lives on the accept thread, but its registry and
+        // the connection directory are created here so the server (and
+        // anything it hands them to, like a scope endpoint) can query
+        // live telemetry without touching the accept thread.
+        let engine = FleetEngine::spawn(FleetConfig { workers });
+        let fleet_registry = engine.registry().clone();
+        let directory = Arc::new(LinkDirectory::new());
         let stop_accept = Arc::clone(&stop);
         let conn_accept = Arc::clone(&connections);
-        let accept_thread =
-            thread::spawn(move || accept_loop(&listener, &config, &stop_accept, &conn_accept));
+        let dir_accept = Arc::clone(&directory);
+        let accept_thread = thread::spawn(move || {
+            accept_loop(
+                &listener,
+                engine,
+                &dir_accept,
+                &config,
+                &stop_accept,
+                &conn_accept,
+            )
+        });
         Ok(LinkServer {
             addr: local,
             stop,
             connections,
+            fleet_registry,
+            directory,
             accept_thread: Some(accept_thread),
         })
     }
@@ -134,6 +160,25 @@ impl LinkServer {
     /// devices landed before shutting down.
     pub fn connections(&self) -> usize {
         self.connections.load(Ordering::SeqCst)
+    }
+
+    /// The fleet-level registry backing this server: engine counters
+    /// live from the start, per-session telemetry folded in at rollup.
+    /// Scrape it (e.g. through a `tonos-scope` endpoint) while the
+    /// server runs.
+    pub fn fleet_registry(&self) -> &Registry {
+        &self.fleet_registry
+    }
+
+    /// The live connection directory: every accepted connection's
+    /// [`LinkStatus`], updated per ingested chunk.
+    pub fn directory(&self) -> Arc<LinkDirectory> {
+        Arc::clone(&self.directory)
+    }
+
+    /// Point-in-time status of every connection, mid-ingest included.
+    pub fn links(&self) -> Vec<LinkStatus> {
+        self.directory.snapshot()
     }
 
     /// Stops accepting, drains every connection to completion, and
@@ -160,16 +205,12 @@ impl Drop for LinkServer {
 
 fn accept_loop(
     listener: &TcpListener,
+    mut engine: FleetEngine,
+    directory: &Arc<LinkDirectory>,
     config: &LinkServerConfig,
     stop: &Arc<AtomicBool>,
     connections: &AtomicUsize,
 ) -> (FleetReport, TelemetrySnapshot) {
-    let workers = if config.workers == 0 {
-        FleetConfig::default().workers
-    } else {
-        config.workers
-    };
-    let mut engine = FleetEngine::spawn(FleetConfig { workers });
     let fleet_tel = engine.telemetry();
     let mut readers: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::SeqCst) {
@@ -184,9 +225,11 @@ fn accept_loop(
                 // worker of its own.
                 engine.poll_finished();
                 engine.ensure_workers(engine.pending() + 1);
+                let entry = directory.register(peer.to_string(), fleet_tel.now());
                 spawn_connection(
                     &mut engine,
                     &fleet_tel,
+                    entry,
                     stream,
                     peer,
                     config,
@@ -194,7 +237,14 @@ fn accept_loop(
                     &mut readers,
                 );
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Idle beat: fold any finished sessions into the fleet
+                // rollup now, so live scrapes of the fleet registry see
+                // completed-session telemetry promptly instead of at
+                // the next accept or shutdown.
+                engine.poll_finished();
+                thread::sleep(POLL);
+            }
             Err(e) => {
                 // ECONNABORTED, EINTR, EMFILE under fd pressure, ...: a
                 // transient accept failure must not silently stop the
@@ -216,9 +266,11 @@ fn accept_loop(
     (report, snapshot)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn spawn_connection(
     engine: &mut FleetEngine,
     fleet_tel: &Telemetry,
+    entry: Arc<LinkEntry>,
     stream: TcpStream,
     peer: SocketAddr,
     config: &LinkServerConfig,
@@ -246,7 +298,7 @@ fn spawn_connection(
 
     let cfg = *config;
     engine.push_task(format!("link:{peer}"), move |ctx| {
-        ingest_session(&rx, &depth, &cfg, &ctx.telemetry)
+        ingest_session(&rx, &depth, &cfg, &entry, &ctx.telemetry)
     });
 }
 
@@ -324,6 +376,22 @@ fn ingest_session(
     rx: &Receiver<Vec<u8>>,
     depth: &AtomicUsize,
     config: &LinkServerConfig,
+    entry: &LinkEntry,
+    telemetry: &Telemetry,
+) -> Result<tonos_fleet::SessionSummary, String> {
+    let result = ingest_stream(rx, depth, config, entry, telemetry);
+    // Whatever happened — clean EOF, eviction, construction failure —
+    // the directory entry must not stay "live" after the session ends.
+    entry.disconnect();
+    result
+}
+
+/// The fallible body of [`ingest_session`].
+fn ingest_stream(
+    rx: &Receiver<Vec<u8>>,
+    depth: &AtomicUsize,
+    config: &LinkServerConfig,
+    entry: &LinkEntry,
     telemetry: &Telemetry,
 ) -> Result<tonos_fleet::SessionSummary, String> {
     let mut pipe = HostPipeline::new(&config.decimator, config.calibration, config.policy)
@@ -337,8 +405,12 @@ fn ingest_session(
         depth.fetch_sub(1, Ordering::SeqCst);
         samples.clear();
         pipe.push_bytes(&chunk, &mut samples);
+        // Publish after every chunk so mid-ingest queries see counters
+        // move; `LinkHealth` is `Copy`, one short lock per chunk.
+        entry.publish(pipe.health());
     }
     let health = pipe.health();
+    entry.publish(health);
     telemetry.event(Severity::Info, "link.server", || {
         format!(
             "session closed: {} frames, {} samples ({} concealed/invalid), {} beats, {} alarms",

@@ -1,17 +1,19 @@
 //! Loopback ingest at scale: eight concurrent device sessions over real
 //! TCP sockets, each matching the in-process signal path exactly on a
-//! fault-free transport.
+//! fault-free transport — plus live `/links`-style queries mid-ingest
+//! on a faulty one.
 
 use std::io::Write;
 use std::net::TcpStream;
+use std::sync::mpsc;
 use std::thread;
 use std::time::Duration;
 
 use tonos_core::config::SystemConfig;
 use tonos_core::stream::AlarmLimits;
 use tonos_link::{
-    DeviceSimulator, FrameEncoder, GapPolicy, HostPipeline, LinkCalibration, LinkServer,
-    LinkServerConfig,
+    DeviceSimulator, FaultConfig, FaultyTransport, FrameEncoder, GapPolicy, HostPipeline,
+    LinkCalibration, LinkServer, LinkServerConfig, LinkStatus,
 };
 use tonos_physio::patient::PatientProfile;
 use tonos_telemetry::names;
@@ -226,4 +228,147 @@ fn more_live_connections_than_workers_are_not_evicted() {
     );
     assert_eq!(counter(names::LINK_FRAMES_RX), frames_sent);
     assert_eq!(counter(names::LINK_GAP_EVENTS), 0);
+}
+
+/// Polls `server.links()` until `pred` holds for every entry, panicking
+/// with the last observed state after ~10 s.
+fn wait_links(
+    server: &LinkServer,
+    what: &str,
+    pred: impl Fn(&LinkStatus) -> bool,
+) -> Vec<LinkStatus> {
+    let mut last = Vec::new();
+    for _ in 0..1_000 {
+        last = server.links();
+        if !last.is_empty() && last.iter().all(&pred) {
+            return last;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    panic!("timed out waiting for {what}; last directory state: {last:#?}");
+}
+
+#[test]
+fn links_query_sees_counters_move_mid_ingest() {
+    // Regression: the loopback tests above only assert *final* fleet
+    // reports, which would pass even if live queries were broken. Here
+    // eight devices stream over a faulty transport, pause mid-stream,
+    // and the directory must show per-connection `stream_resets` /
+    // `gap_skipped_samples` moving while every connection is still live.
+    const DEVICES: usize = 8;
+    const FRAME_BITS: usize = 1024;
+    const PHASE1_FRAMES: u32 = 20;
+    const PHASE2_FRAMES: u32 = 30;
+
+    let server = LinkServer::bind(
+        "127.0.0.1:0",
+        LinkServerConfig {
+            workers: 2, // fewer than DEVICES: exercises pool growth too
+            ..LinkServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Each client is gated by a channel so the main thread controls
+    // when the faulty phase starts and when the connection closes —
+    // every query below is guaranteed to be truly mid-ingest.
+    let mut gates = Vec::new();
+    let clients: Vec<_> = (0..DEVICES)
+        .map(|i| {
+            let (tx, rx) = mpsc::channel::<()>();
+            gates.push(tx);
+            thread::spawn(move || {
+                let bits: tonos_dsp::bits::PackedBits =
+                    (0..FRAME_BITS).map(|i| i % 3 == 0).collect();
+                let frame = |seq: u32, clock: u64| -> Vec<u8> {
+                    tonos_dsp::frame::Frame::bitstream(0, seq, clock, &bits)
+                        .unwrap()
+                        .encode()
+                };
+                let mut stream = TcpStream::connect(addr).unwrap();
+                // Phase 1: clean frames, contiguous clocks.
+                let mut clock = 0u64;
+                for seq in 0..PHASE1_FRAMES {
+                    stream.write_all(&frame(seq, clock)).unwrap();
+                    clock += FRAME_BITS as u64;
+                }
+                stream.flush().unwrap();
+                rx.recv().unwrap();
+                // Phase 2: a forged outage — sequence AND clock jump
+                // far past the concealment clamp (a stream reset by
+                // construction; gaps key on the seq jump, the clock
+                // delta sizes them), then frames mangled by a lossy
+                // transport.
+                clock += 100_000_000;
+                let seq_base = PHASE1_FRAMES + 1_000;
+                let mut transport =
+                    FaultyTransport::new(FaultConfig::noisy(), 0xBAD5EED + i as u64);
+                for seq in seq_base..(seq_base + PHASE2_FRAMES) {
+                    let wire = frame(seq, clock);
+                    clock += FRAME_BITS as u64;
+                    let mangled = if seq == seq_base {
+                        wire // the reset frame itself arrives intact
+                    } else {
+                        transport.transmit(&wire)
+                    };
+                    stream.write_all(&mangled).unwrap();
+                }
+                stream.write_all(&transport.flush()).unwrap();
+                stream.flush().unwrap();
+                // Hold the connection open until the main thread has
+                // seen the counters move on a *live* link.
+                rx.recv().unwrap();
+            })
+        })
+        .collect();
+
+    // Phase 1 visible: every connection live, frames flowing, no resets.
+    let baseline = wait_links(&server, "phase-1 frames on live links", |s| {
+        s.live && s.health.decoder.frames >= PHASE1_FRAMES as u64
+    });
+    assert_eq!(baseline.len(), DEVICES);
+    for s in &baseline {
+        assert_eq!(s.health.stream_resets, 0, "premature reset: {s:?}");
+        assert_eq!(s.health.skipped_samples, 0);
+    }
+
+    // Release phase 2 and watch the fault counters move mid-ingest.
+    for gate in &gates {
+        gate.send(()).unwrap();
+    }
+    let mid = wait_links(&server, "stream resets on live links", |s| {
+        s.live && s.health.stream_resets >= 1 && s.health.skipped_samples > 0
+    });
+    for s in &mid {
+        assert!(s.live, "connection closed before the query: {s:?}");
+        assert!(s.health.stream_resets >= 1);
+        assert!(s.health.skipped_samples > 0);
+    }
+    // The JSON view carries the same live counters.
+    let json = server.directory().to_json();
+    assert_eq!(json.matches("\"live\":true").count(), DEVICES);
+    assert!(!json.contains("\"stream_resets\":0"));
+
+    // Let the clients hang up; entries flip to closed but stay listed.
+    for gate in &gates {
+        gate.send(()).unwrap();
+    }
+    for client in clients {
+        client.join().unwrap();
+    }
+    let closed = wait_links(&server, "entries marked closed", |s| !s.live);
+    assert_eq!(closed.len(), DEVICES);
+
+    let (report, snapshot) = server.shutdown();
+    assert_eq!(report.len(), DEVICES);
+    let resets = snapshot
+        .counters
+        .iter()
+        .find(|c| c.name == names::LINK_STREAM_RESETS)
+        .map_or(0, |c| c.value);
+    assert!(
+        resets >= DEVICES as u64,
+        "rolled-up stream resets {resets} < {DEVICES}"
+    );
 }

@@ -1,0 +1,498 @@
+//! The exposition endpoint: a hand-rolled HTTP/1.1 server on
+//! `std::net` serving live telemetry to scrapers and operators.
+//!
+//! Routes:
+//!
+//! * `GET /metrics` — the observed registry's snapshot in Prometheus
+//!   text exposition format 0.0.4 (via
+//!   [`prometheus_text`]), plus directory-derived
+//!   `tonos_links_*` gauges when a [`LinkDirectory`] is attached —
+//!   those sum *live* per-connection counters that won't reach the
+//!   fleet registry until session rollup.
+//! * `GET /health` — a compact JSON health summary derived from the
+//!   registry's [`HealthReport`](tonos_telemetry::HealthReport).
+//! * `GET /links` — per-connection [`LinkStatus`](tonos_link::LinkStatus)
+//!   JSON, mid-ingest included (empty array without a directory).
+//! * `GET /flight` — the attached [`FlightRecorder`]'s ring status.
+//!
+//! The server never mutates the observed registry: a scrape is a read.
+//! Connections are handled inline on the accept thread under short
+//! read/write timeouts — scrape payloads are small and the handler
+//! allocation-light, so a dedicated thread per scrape would buy
+//! nothing; the timeouts bound how long a stalled client can hold the
+//! loop. The same loop drives the flight recorder's
+//! [`maybe_tick`](FlightRecorder::maybe_tick), so attaching a recorder
+//! is all it takes to get periodic history capture.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use tonos_link::LinkDirectory;
+use tonos_telemetry::{prometheus_text, Registry};
+
+use crate::recorder::FlightRecorder;
+
+/// Accept-loop poll interval (also the recorder-tick granularity).
+const POLL: Duration = Duration::from_millis(2);
+
+/// How long a single scrape may stall on a slow client.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Request size cap: a scrape request line + headers, nothing more.
+const MAX_REQUEST: usize = 4096;
+
+/// What the endpoint exposes: a registry (required) plus optional
+/// live-link directory and flight recorder.
+#[derive(Clone)]
+pub struct ScopeSources {
+    registry: Registry,
+    directory: Option<Arc<LinkDirectory>>,
+    recorder: Option<Arc<Mutex<FlightRecorder>>>,
+}
+
+impl ScopeSources {
+    /// Sources exposing only `registry`.
+    pub fn registry(registry: Registry) -> Self {
+        ScopeSources {
+            registry,
+            directory: None,
+            recorder: None,
+        }
+    }
+
+    /// Attaches a link directory: `/links` gains per-connection status
+    /// and `/metrics` gains live `tonos_links_*` gauges.
+    #[must_use]
+    pub fn with_directory(mut self, directory: Arc<LinkDirectory>) -> Self {
+        self.directory = Some(directory);
+        self
+    }
+
+    /// Attaches a flight recorder; the accept loop drives its ticks.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<Mutex<FlightRecorder>>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+}
+
+impl std::fmt::Debug for ScopeSources {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScopeSources")
+            .field("directory", &self.directory.is_some())
+            .field("recorder", &self.recorder.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A running telemetry endpoint.
+///
+/// Bind with [`ScopeServer::bind`], learn the ephemeral port from
+/// [`ScopeServer::local_addr`], stop with [`ScopeServer::shutdown`].
+#[derive(Debug)]
+pub struct ScopeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ScopeServer {
+    /// Binds and starts serving. `addr` follows [`TcpListener::bind`]
+    /// conventions (`"127.0.0.1:0"` picks an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration I/O failures.
+    pub fn bind(addr: &str, sources: ScopeSources) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let requests = Arc::new(AtomicU64::new(0));
+        let stop_accept = Arc::clone(&stop);
+        let req_accept = Arc::clone(&requests);
+        let accept_thread =
+            thread::spawn(move || accept_loop(&listener, &sources, &stop_accept, &req_accept));
+        Ok(ScopeServer {
+            addr: local,
+            stop,
+            requests,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far (any route, errors included).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::SeqCst)
+    }
+
+    /// Stops the accept loop and joins it.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            handle.join().expect("scope accept thread never panics");
+        }
+    }
+}
+
+impl Drop for ScopeServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    sources: &ScopeSources,
+    stop: &AtomicBool,
+    requests: &AtomicU64,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        if let Some(recorder) = &sources.recorder {
+            recorder
+                .lock()
+                .expect("flight recorder lock poisoned")
+                .maybe_tick();
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                requests.fetch_add(1, Ordering::SeqCst);
+                // Inline handling: scrapes are tiny; the timeouts bound
+                // how long a stalled client can hold the loop.
+                let _ = serve(stream, sources);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(_) => thread::sleep(POLL),
+        }
+    }
+}
+
+/// Reads one request and writes one response; errors only on I/O.
+fn serve(mut stream: TcpStream, sources: &ScopeSources) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let request = read_request(&mut stream)?;
+    let (status, content_type, body) = match parse_request_line(&request) {
+        None => (
+            "400 Bad Request",
+            "application/json",
+            "{\"error\":\"malformed request\"}".to_string(),
+        ),
+        Some((method, _)) if method != "GET" => (
+            "405 Method Not Allowed",
+            "application/json",
+            "{\"error\":\"method not allowed\"}".to_string(),
+        ),
+        Some((_, path)) => route(path, sources),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// Reads until the header terminator, EOF, timeout, or the size cap.
+fn read_request(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                break
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// `"GET /metrics HTTP/1.1" → ("GET", "/metrics")`, query string
+/// stripped. `None` on anything that is not a two-token request line.
+fn parse_request_line(request: &str) -> Option<(&str, &str)> {
+    let line = request.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let path = target.split('?').next().unwrap_or(target);
+    Some((method, path))
+}
+
+/// Dispatches a GET to its payload.
+fn route(path: &str, sources: &ScopeSources) -> (&'static str, &'static str, String) {
+    match path {
+        "/metrics" => ("200 OK", "text/plain; version=0.0.4", metrics_body(sources)),
+        "/health" => ("200 OK", "application/json", health_body(sources)),
+        "/links" => (
+            "200 OK",
+            "application/json",
+            sources
+                .directory
+                .as_ref()
+                .map_or_else(|| "[]".to_string(), |d| d.to_json()),
+        ),
+        "/flight" => ("200 OK", "application/json", flight_body(sources)),
+        _ => (
+            "404 Not Found",
+            "application/json",
+            "{\"error\":\"not found\"}".to_string(),
+        ),
+    }
+}
+
+/// The registry exposition, plus live link gauges when a directory is
+/// attached.
+fn metrics_body(sources: &ScopeSources) -> String {
+    let mut body = prometheus_text(&sources.registry.snapshot());
+    if let Some(directory) = &sources.directory {
+        let agg = directory.aggregate();
+        // Gauges, not counters: these are sums over a mutable directory
+        // of live sessions, a complement to the rolled-up
+        // `tonos_link_*_total` counters above (which lag by design —
+        // session registries fold in only at rollup).
+        for (name, help, value) in [
+            ("live", "Connections currently ingesting", agg.live),
+            ("closed", "Connections that have disconnected", agg.closed),
+            (
+                "frames",
+                "CRC-verified frames across all connections",
+                agg.frames,
+            ),
+            (
+                "crc_failures",
+                "CRC failures across all connections",
+                agg.crc_failures,
+            ),
+            (
+                "gap_events",
+                "Gap episodes across all connections",
+                agg.gap_events,
+            ),
+            (
+                "clean_samples",
+                "Clean output samples across all connections",
+                agg.clean_samples,
+            ),
+            (
+                "concealed_samples",
+                "Concealed or invalid output samples across all connections",
+                agg.concealed_samples,
+            ),
+            (
+                "stream_resets",
+                "Stream resets across all connections",
+                agg.stream_resets,
+            ),
+            (
+                "skipped_samples",
+                "Reset-skipped output samples across all connections",
+                agg.skipped_samples,
+            ),
+            ("alarms", "Alarms across all connections", agg.alarms),
+        ] {
+            body.push_str(&format!(
+                "# HELP tonos_links_{name} {help} (live directory sum).\n\
+                 # TYPE tonos_links_{name} gauge\n\
+                 tonos_links_{name} {value}\n",
+            ));
+        }
+    }
+    body
+}
+
+/// The `/health` JSON payload.
+fn health_body(sources: &ScopeSources) -> String {
+    let h = sources.registry.health();
+    let (live, closed) = sources.directory.as_ref().map_or((0, 0), |d| {
+        let agg = d.aggregate();
+        (agg.live, agg.closed)
+    });
+    format!(
+        concat!(
+            "{{\"status\":\"ok\",\"uptime_s\":{},\"modulator_steps\":{},",
+            "\"frames_in\":{},\"samples_out\":{},\"beats\":{},\"alarms\":{},",
+            "\"warning_events\":{},\"critical_events\":{},",
+            "\"links_live\":{},\"links_closed\":{}}}"
+        ),
+        h.uptime.as_secs_f64(),
+        h.modulator_steps,
+        h.frames_in,
+        h.samples_out,
+        h.beats,
+        h.alarms,
+        h.warning_events,
+        h.critical_events,
+        live,
+        closed,
+    )
+}
+
+/// The `/flight` JSON payload: ring status, not the frames themselves
+/// (replay is an in-process API; the endpoint answers "is history being
+/// kept, how much, how big").
+fn flight_body(sources: &ScopeSources) -> String {
+    match &sources.recorder {
+        None => "{\"enabled\":false}".to_string(),
+        Some(recorder) => {
+            let rec = recorder.lock().expect("flight recorder lock poisoned");
+            let (from, to) = rec
+                .span()
+                .map_or((0.0, 0.0), |(a, b)| (a.as_secs_f64(), b.as_secs_f64()));
+            format!(
+                concat!(
+                    "{{\"enabled\":true,\"frames\":{},\"capacity\":{},",
+                    "\"interval_s\":{},\"ticks\":{},\"from_s\":{},\"to_s\":{},",
+                    "\"series\":{},\"approx_bytes\":{}}}"
+                ),
+                rec.len(),
+                rec.capacity(),
+                rec.interval().as_secs_f64(),
+                rec.ticks(),
+                from,
+                to,
+                rec.series_names().len(),
+                rec.approx_bytes(),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect to scope server");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has a header terminator");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn request_line_parsing() {
+        assert_eq!(
+            parse_request_line("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Some(("GET", "/metrics"))
+        );
+        assert_eq!(
+            parse_request_line("GET /links?live=1 HTTP/1.1\r\n\r\n"),
+            Some(("GET", "/links"))
+        );
+        assert_eq!(parse_request_line(""), None);
+        assert_eq!(parse_request_line("GET"), None);
+    }
+
+    #[test]
+    fn serves_metrics_health_links_and_404() {
+        let registry = Registry::new();
+        registry.telemetry().counter("scope.test").add(9);
+        let server =
+            ScopeServer::bind("127.0.0.1:0", ScopeSources::registry(registry.clone())).unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "head: {head}");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("tonos_uptime_seconds"));
+        assert!(body.contains("tonos_scope_test_total 9"));
+
+        let (head, body) = http_get(addr, "/health");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(body.starts_with("{\"status\":\"ok\""));
+        assert!(body.contains("\"links_live\":0"));
+
+        let (head, body) = http_get(addr, "/links");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(body, "[]");
+
+        let (head, body) = http_get(addr, "/flight");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(body, "{\"enabled\":false}");
+
+        let (head, _) = http_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+
+        assert_eq!(server.requests(), 5);
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_get_and_garbage() {
+        let server =
+            ScopeServer::bind("127.0.0.1:0", ScopeSources::registry(Registry::new())).unwrap();
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "got: {response}");
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "got: {response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn accept_loop_drives_the_recorder() {
+        let registry = Registry::new(); // real clock: ticks are time-driven
+        let recorder = Arc::new(Mutex::new(FlightRecorder::new(
+            registry.clone(),
+            crate::recorder::RecorderConfig {
+                interval: Duration::from_millis(5),
+                retention: Duration::from_secs(1),
+            },
+        )));
+        let server = ScopeServer::bind(
+            "127.0.0.1:0",
+            ScopeSources::registry(registry).with_recorder(Arc::clone(&recorder)),
+        )
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let ticks = recorder.lock().unwrap().ticks();
+            if ticks >= 3 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "recorder never ticked (got {ticks})"
+            );
+            thread::sleep(Duration::from_millis(5));
+        }
+        let (_, body) = http_get(server.local_addr(), "/flight");
+        assert!(body.starts_with("{\"enabled\":true"), "body: {body}");
+        assert!(body.contains("\"capacity\":200"));
+        server.shutdown();
+    }
+}

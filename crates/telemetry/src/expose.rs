@@ -1,0 +1,275 @@
+//! Prometheus text exposition (format version 0.0.4) of a snapshot.
+//!
+//! [`prometheus_text`] renders a [`TelemetrySnapshot`] as the plain-text
+//! format every Prometheus-compatible scraper understands, so one
+//! `GET /metrics` against the scope endpoint plugs the whole fleet into
+//! an existing monitoring stack with zero glue.
+//!
+//! ## Naming and stability
+//!
+//! Instrument names use the repo's dotted convention
+//! (`link.frames_rx`); Prometheus names must match
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*`. The mapping is mechanical and **stable**:
+//! prefix `tonos_`, then every character outside the legal set becomes
+//! `_`. Counters additionally get the conventional `_total` suffix.
+//! The golden-file test (`tests/exposition.rs`) pins the rendered output
+//! for the canonical [`names`](crate::registry::names) set, so renaming
+//! an instrument breaks CI instead of silently breaking dashboards.
+//!
+//! ## Instrument mapping
+//!
+//! * Counter `a.b` → `tonos_a_b_total` (TYPE `counter`).
+//! * Gauge `a.b` → `tonos_a_b` (TYPE `gauge`).
+//! * Histogram `a.b` → `tonos_a_b` (TYPE `histogram`): cumulative
+//!   `_bucket{le="…"}` series ending in `le="+Inf"`, plus `_sum` and
+//!   `_count`; followed by a `tonos_a_b_quantile{quantile="…"}` gauge
+//!   family carrying the interpolated p50/p90/p99 estimates
+//!   ([`HistogramSummary::quantile`]).
+//! * Snapshot metadata → `tonos_uptime_seconds`,
+//!   `tonos_journal_events_total`, `tonos_journal_events_dropped_total`,
+//!   and `tonos_journal_retained{severity="…"}`. Journal *messages* are
+//!   not exposed — Prometheus is a metrics plane, not a log sink; tail
+//!   the journal through the snapshot JSON instead.
+
+use crate::journal::Severity;
+use crate::snapshot::{HistogramSummary, TelemetrySnapshot};
+
+/// Quantiles rendered for every histogram, as `{quantile="…"}` labels.
+const QUANTILES: [(f64, &str); 3] = [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")];
+
+/// Renders the snapshot in the Prometheus text exposition format.
+pub fn prometheus_text(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+
+    family(
+        &mut out,
+        "tonos_uptime_seconds",
+        "gauge",
+        "Registry-clock time at snapshot capture.",
+    );
+    sample(
+        &mut out,
+        "tonos_uptime_seconds",
+        None,
+        snapshot.uptime.as_secs_f64(),
+    );
+
+    family(
+        &mut out,
+        "tonos_journal_events_total",
+        "counter",
+        "Events ever journaled, including evicted ones.",
+    );
+    sample(
+        &mut out,
+        "tonos_journal_events_total",
+        None,
+        snapshot.total_events as f64,
+    );
+
+    family(
+        &mut out,
+        "tonos_journal_events_dropped_total",
+        "counter",
+        "Events evicted by the journal ring buffer.",
+    );
+    sample(
+        &mut out,
+        "tonos_journal_events_dropped_total",
+        None,
+        snapshot.dropped_events as f64,
+    );
+
+    family(
+        &mut out,
+        "tonos_journal_retained",
+        "gauge",
+        "Retained journal events by severity.",
+    );
+    for severity in [
+        Severity::Debug,
+        Severity::Info,
+        Severity::Warning,
+        Severity::Critical,
+    ] {
+        let count = snapshot
+            .events
+            .iter()
+            .filter(|e| e.severity == severity)
+            .count();
+        sample(
+            &mut out,
+            "tonos_journal_retained",
+            Some(&format!("severity=\"{}\"", severity.as_str())),
+            count as f64,
+        );
+    }
+
+    for c in &snapshot.counters {
+        let name = format!("{}_total", metric_name(&c.name));
+        family(
+            &mut out,
+            &name,
+            "counter",
+            &format!("tonos counter {}", help_escape(&c.name)),
+        );
+        sample(&mut out, &name, None, c.value as f64);
+    }
+
+    for g in &snapshot.gauges {
+        let name = metric_name(&g.name);
+        family(
+            &mut out,
+            &name,
+            "gauge",
+            &format!("tonos gauge {}", help_escape(&g.name)),
+        );
+        sample(&mut out, &name, None, g.value);
+    }
+
+    for h in &snapshot.histograms {
+        render_histogram(&mut out, h);
+    }
+
+    out
+}
+
+fn render_histogram(out: &mut String, h: &HistogramSummary) {
+    let name = metric_name(&h.name);
+    family(
+        out,
+        &name,
+        "histogram",
+        &format!("tonos histogram {}", help_escape(&h.name)),
+    );
+    let mut cumulative = 0u64;
+    for b in &h.buckets {
+        cumulative += b.count;
+        let le = match b.upper {
+            Some(upper) => prom_f64(upper),
+            None => "+Inf".to_string(),
+        };
+        sample(
+            out,
+            &format!("{name}_bucket"),
+            Some(&format!("le=\"{}\"", label_escape(&le))),
+            cumulative as f64,
+        );
+    }
+    sample(out, &format!("{name}_sum"), None, h.sum);
+    sample(out, &format!("{name}_count"), None, h.count as f64);
+
+    let quantile_name = format!("{name}_quantile");
+    family(
+        out,
+        &quantile_name,
+        "gauge",
+        &format!(
+            "Interpolated quantile estimates of tonos histogram {}",
+            help_escape(&h.name)
+        ),
+    );
+    for (q, label) in QUANTILES {
+        if let Some(v) = h.quantile(q) {
+            sample(
+                out,
+                &quantile_name,
+                Some(&format!("quantile=\"{label}\"")),
+                v,
+            );
+        }
+    }
+}
+
+/// Writes the `# HELP` / `# TYPE` header of one metric family.
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str("# HELP ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(help);
+    out.push_str("\n# TYPE ");
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(kind);
+    out.push('\n');
+}
+
+/// Writes one sample line, with optional `{labels}`.
+fn sample(out: &mut String, name: &str, labels: Option<&str>, value: f64) {
+    out.push_str(name);
+    if let Some(labels) = labels {
+        out.push('{');
+        out.push_str(labels);
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&prom_f64(value));
+    out.push('\n');
+}
+
+/// Maps a dotted instrument name onto the Prometheus grammar:
+/// `tonos_` prefix, every character outside `[a-zA-Z0-9_:]` becomes `_`.
+pub fn metric_name(instrument: &str) -> String {
+    let mut name = String::with_capacity(instrument.len() + 6);
+    name.push_str("tonos_");
+    for ch in instrument.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
+            name.push(ch);
+        } else {
+            name.push('_');
+        }
+    }
+    name
+}
+
+/// Formats a value for a sample line. Prometheus accepts Go-syntax
+/// floats plus `NaN` / `+Inf` / `-Inf` (unlike JSON, which gets `null`).
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes HELP text: backslash and newline, per the exposition spec.
+fn help_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslash, double quote, and newline.
+fn label_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_names_are_sanitized_and_prefixed() {
+        assert_eq!(metric_name("link.frames_rx"), "tonos_link_frames_rx");
+        assert_eq!(metric_name("span.scan_s"), "tonos_span_scan_s");
+        assert_eq!(metric_name("weird-name/β"), "tonos_weird_name__");
+    }
+
+    #[test]
+    fn prom_floats_cover_non_finite_values() {
+        assert_eq!(prom_f64(1.5), "1.5");
+        assert_eq!(prom_f64(f64::NAN), "NaN");
+        assert_eq!(prom_f64(f64::INFINITY), "+Inf");
+        assert_eq!(prom_f64(f64::NEG_INFINITY), "-Inf");
+    }
+
+    #[test]
+    fn escapes_follow_the_exposition_spec() {
+        assert_eq!(help_escape("a\\b\nc"), "a\\\\b\\nc");
+        assert_eq!(label_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

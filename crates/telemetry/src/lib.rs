@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod expose;
 pub mod histogram;
 pub mod instrument;
 pub mod journal;
@@ -56,6 +57,7 @@ pub mod rollup;
 pub mod snapshot;
 
 pub use clock::{Clock, FakeClock, MonotonicClock};
+pub use expose::prometheus_text;
 pub use histogram::{buckets, HistogramCore};
 pub use instrument::{Counter, Gauge, Histogram, SpanGuard, SpanTimer};
 pub use journal::{Event, Journal, Severity};

@@ -137,6 +137,15 @@ pub mod names {
     /// Per-connection ingest queue depth observed at each enqueue
     /// (histogram, chunks).
     pub const LINK_QUEUE_DEPTH: &str = "link.queue_depth";
+    /// Wire-frame decode stage duration per ingested chunk (span
+    /// histogram, seconds).
+    pub const SPAN_LINK_DECODE: &str = "span.link.decode_s";
+    /// Gap-concealment stage duration per gap episode (span histogram,
+    /// seconds).
+    pub const SPAN_LINK_CONCEAL: &str = "span.link.conceal_s";
+    /// Banked lockstep conversion duration per lane per batch (span
+    /// histogram, seconds).
+    pub const SPAN_BANK_CONVERT: &str = "span.bank.convert_s";
 }
 
 /// Default number of journal events retained.
@@ -378,6 +387,24 @@ impl Telemetry {
             inner
                 .journal
                 .push(inner.clock.now(), severity, source, message());
+        }
+    }
+
+    /// Journals an event with an explicit timestamp instead of reading
+    /// the registry clock. For re-journaling events that already carry a
+    /// timestamp from another registry — fleet rollup uses this to
+    /// preserve session-clock event times (see
+    /// [`Rollup::absorb`](crate::Rollup::absorb)). New events should use
+    /// [`Telemetry::event`], which stamps the shared clock.
+    pub fn event_at<F: FnOnce() -> String>(
+        &self,
+        at: Duration,
+        severity: Severity,
+        source: &'static str,
+        message: F,
+    ) {
+        if let Some(inner) = &self.inner {
+            inner.journal.push(at, severity, source, message());
         }
     }
 

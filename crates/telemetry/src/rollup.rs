@@ -44,10 +44,15 @@ use crate::snapshot::TelemetrySnapshot;
 ///   average of per-session quantiles. A summary whose bucket layout
 ///   disagrees with an already-registered histogram of the same name is
 ///   skipped (and counted in [`Rollup::layout_mismatches`]).
-/// * **Journal events** are not re-journaled (their sources are not
-///   static); warning/critical occurrences are tallied into the
-///   [`names::FLEET_WARNING_EVENTS`] / [`names::FLEET_CRITICAL_EVENTS`]
-///   counters instead.
+/// * **Journal events** at warning/critical severity are re-journaled
+///   into the fleet registry with their **session-clock timestamps and
+///   sources preserved** (via
+///   [`Telemetry::event_at`](crate::Telemetry::event_at)), so a fleet
+///   operator can see *when* in a session's life an alarm fired; they
+///   are also tallied into the [`names::FLEET_WARNING_EVENTS`] /
+///   [`names::FLEET_CRITICAL_EVENTS`] counters, which survive journal
+///   ring-buffer eviction. Debug/info events are dropped — fleet
+///   journals would otherwise be all chatter.
 #[derive(Debug)]
 pub struct Rollup {
     registry: Registry,
@@ -87,16 +92,16 @@ impl Rollup {
                 self.layout_mismatches += 1;
             }
         }
-        let warnings = snapshot
-            .events
-            .iter()
-            .filter(|e| e.severity == Severity::Warning)
-            .count() as u64;
-        let criticals = snapshot
-            .events
-            .iter()
-            .filter(|e| e.severity == Severity::Critical)
-            .count() as u64;
+        let mut warnings = 0u64;
+        let mut criticals = 0u64;
+        for e in &snapshot.events {
+            match e.severity {
+                Severity::Warning => warnings += 1,
+                Severity::Critical => criticals += 1,
+                Severity::Debug | Severity::Info => continue,
+            }
+            t.event_at(e.at, e.severity, e.source, || e.message.clone());
+        }
         t.counter(names::FLEET_WARNING_EVENTS).add(warnings);
         t.counter(names::FLEET_CRITICAL_EVENTS).add(criticals);
         self.sessions += 1;
@@ -210,6 +215,44 @@ mod tests {
         let agg = rollup.snapshot();
         assert_eq!(agg.counter(names::FLEET_WARNING_EVENTS), Some(1));
         assert_eq!(agg.counter(names::FLEET_CRITICAL_EVENTS), Some(1));
+        // Info chatter stays behind; only the actionable events travel.
+        assert_eq!(agg.events.len(), 2);
+    }
+
+    #[test]
+    fn fake_clock_events_are_ordered_and_rollup_preserves_timestamps() {
+        use crate::clock::FakeClock;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let clock = Arc::new(FakeClock::new());
+        let session = Registry::with_clock(clock.clone());
+        let t = session.telemetry();
+
+        clock.advance(Duration::from_secs(3));
+        t.event(Severity::Warning, "readout", || "first".into());
+        clock.advance(Duration::from_secs(4));
+        t.event(Severity::Critical, "analyzer", || "second".into());
+
+        // Session journal: monotone clock stamps in emission order.
+        let events = session.snapshot().events;
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at, Duration::from_secs(3));
+        assert_eq!(events[1].at, Duration::from_secs(7));
+        assert!(events[0].seq < events[1].seq);
+        assert!(events[0].at < events[1].at);
+
+        // Rollup into a registry whose own clock reads zero: the absorbed
+        // events must carry the session-clock times, not the fleet's.
+        let mut rollup = Rollup::new();
+        rollup.absorb(&session.snapshot());
+        let fleet_events = rollup.snapshot().events;
+        assert_eq!(fleet_events.len(), 2);
+        assert_eq!(fleet_events[0].at, Duration::from_secs(3));
+        assert_eq!(fleet_events[0].source, "readout");
+        assert_eq!(fleet_events[0].message, "first");
+        assert_eq!(fleet_events[1].at, Duration::from_secs(7));
+        assert_eq!(fleet_events[1].severity, Severity::Critical);
     }
 
     #[test]

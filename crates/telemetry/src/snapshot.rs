@@ -66,6 +66,51 @@ impl HistogramSummary {
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum / self.count as f64)
     }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// inside the bucket containing the requested rank — the same
+    /// fixed-bucket estimator
+    /// [`HistogramCore::quantile`](crate::HistogramCore::quantile)
+    /// applies to live state, usable on any snapshot (including rolled-up
+    /// summaries whose live core is long gone). This is what renders the
+    /// p50/p90/p99 quantile lines of the Prometheus exposition.
+    ///
+    /// Conventions match the core estimator: the first bucket's lower
+    /// edge is `min(0, first bound)`; ranks landing in the overflow
+    /// bucket return the observed maximum (falling back to the last
+    /// finite bound when no finite value was ever recorded). Returns
+    /// `None` while the summary is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        let total: u64 = self.buckets.iter().map(|b| b.count).sum();
+        if total == 0 {
+            return None;
+        }
+        // Rank in [1, total]: the k-th smallest observation.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        let mut prev_upper: Option<f64> = None;
+        for b in &self.buckets {
+            if b.count > 0 && cum + b.count >= rank {
+                let Some(hi) = b.upper else {
+                    // Overflow bucket: the best point estimate we have.
+                    return self.max.or(prev_upper);
+                };
+                let lo = prev_upper.unwrap_or_else(|| 0f64.min(hi));
+                let within = (rank - cum) as f64 / b.count as f64;
+                return Some(lo + (hi - lo) * within);
+            }
+            cum += b.count;
+            if b.upper.is_some() {
+                prev_upper = b.upper;
+            }
+        }
+        None
+    }
 }
 
 /// Serializable capture of every instrument and the journal.
@@ -379,6 +424,66 @@ mod tests {
         assert!(csv.contains("histogram,beat_s,p50,0.7\n"));
         // The comma in the message forces quoting.
         assert!(csv.contains("\"hypertension, MAP 130 mmHg\""));
+    }
+
+    fn summary_from(bounds: &[f64], counts: &[u64], max: Option<f64>) -> HistogramSummary {
+        assert_eq!(counts.len(), bounds.len() + 1, "overflow bucket last");
+        HistogramSummary {
+            name: "h".into(),
+            count: counts.iter().sum(),
+            sum: 0.0,
+            min: None,
+            max,
+            p50: None,
+            p95: None,
+            p99: None,
+            buckets: bounds
+                .iter()
+                .map(|&b| Some(b))
+                .chain(std::iter::once(None))
+                .zip(counts.iter().copied())
+                .map(|(upper, count)| BucketCount { upper, count })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn empty_summary_has_no_quantiles() {
+        let s = summary_from(&[1.0, 2.0], &[0, 0, 0], None);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.quantile(0.99), None);
+    }
+
+    #[test]
+    fn single_bucket_summary_interpolates_from_zero() {
+        // 4 observations, all in the one bucket (0, 10]: rank k of 4
+        // lands at 10·k/4.
+        let s = summary_from(&[10.0], &[4, 0], Some(9.0));
+        assert!((s.quantile(0.5).unwrap() - 5.0).abs() < 1e-12);
+        assert!((s.quantile(1.0).unwrap() - 10.0).abs() < 1e-12);
+        // q = 0 clamps to rank 1.
+        assert!((s.quantile(0.0).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_bucket_quantile_reports_observed_max() {
+        let s = summary_from(&[1.0], &[1, 3], Some(250.0));
+        assert_eq!(s.quantile(0.99), Some(250.0));
+        // Without a recorded max (only non-finite observations landed
+        // there), fall back to the last finite bound.
+        let s = summary_from(&[1.0], &[0, 2], None);
+        assert_eq!(s.quantile(0.5), Some(1.0));
+    }
+
+    #[test]
+    fn summary_quantiles_cross_buckets_like_the_core_estimator() {
+        // Mirror of the HistogramCore cross-bucket test: 25 observations
+        // in each of the four buckets (0,1], (1,2], (2,3], (3,4].
+        let s = summary_from(&[1.0, 2.0, 3.0, 4.0], &[25, 25, 25, 25, 0], Some(3.5));
+        assert!((s.quantile(0.5).unwrap() - 2.0).abs() < 1e-12);
+        assert!((s.quantile(0.90).unwrap() - 3.6).abs() < 1e-12);
+        assert!((s.quantile(0.95).unwrap() - 3.8).abs() < 1e-12);
+        assert!((s.quantile(0.99).unwrap() - 3.96).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Golden-file test for the Prometheus text exposition.
+//!
+//! The rendered output for a deterministic registry is pinned byte-for-
+//! byte in `golden_metrics.prom`. Renaming an instrument in
+//! `registry::names`, changing the sanitization rule, or reordering
+//! families breaks this test — which is the point: dashboards scrape
+//! these names, so a rename must be a deliberate, reviewed act.
+//!
+//! All recorded values are exactly representable in binary floating
+//! point (0.25, 0.75, 2.5, ...) so the goldens never depend on
+//! accumulation rounding.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tonos_telemetry::{names, prometheus_text, FakeClock, Registry, Severity};
+
+const GOLDEN: &str = include_str!("golden_metrics.prom");
+
+/// Builds the fixed registry the golden file was rendered from.
+fn golden_registry() -> Registry {
+    let clock = Arc::new(FakeClock::new());
+    let registry = Registry::with_clock(clock.clone());
+    let t = registry.telemetry();
+
+    t.counter(names::LINK_FRAMES_RX).add(42);
+    t.counter(names::ANALYZER_ALARMS).add(3);
+    t.gauge(names::CHIP_POWER_W).set(0.0115);
+
+    let h = t.histogram(names::MONITOR_BEAT_INTERVAL_S, &[0.5, 1.0, 2.0]);
+    h.record(0.25);
+    h.record(0.75);
+    h.record(0.75);
+    h.record(2.5); // overflow bucket
+
+    t.event(Severity::Warning, "readout", || "settling burst".into());
+
+    clock.advance(Duration::from_secs(12));
+    registry
+}
+
+#[test]
+fn exposition_matches_golden_file() {
+    let rendered = prometheus_text(&golden_registry().snapshot());
+    if rendered != GOLDEN {
+        // Print both sides so a deliberate rename can regenerate the
+        // golden by copy-paste instead of reverse-engineering diffs.
+        println!("=== rendered ===\n{rendered}\n=== golden ===\n{GOLDEN}");
+        let mismatch = rendered
+            .lines()
+            .zip(GOLDEN.lines())
+            .enumerate()
+            .find(|(_, (r, g))| r != g);
+        panic!(
+            "exposition drifted from tests/golden_metrics.prom; first differing line: {:?}",
+            mismatch
+        );
+    }
+}
+
+#[test]
+fn exposition_is_parseable_prometheus_text() {
+    let rendered = prometheus_text(&golden_registry().snapshot());
+    let mut sample_lines = 0usize;
+    for line in rendered.lines() {
+        if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+            continue;
+        }
+        // Sample line: `name[{labels}] value`.
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("sample line without value: {line:?}"));
+        assert!(
+            value.parse::<f64>().is_ok() || matches!(value, "NaN" | "+Inf" | "-Inf"),
+            "unparseable value {value:?} on line {line:?}"
+        );
+        let name = series.split('{').next().unwrap();
+        assert!(!name.is_empty(), "empty metric name on line {line:?}");
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "illegal metric name {name:?}"
+        );
+        assert!(
+            !name.chars().next().unwrap().is_ascii_digit(),
+            "metric name starts with a digit: {name:?}"
+        );
+        if let Some(rest) = series.strip_prefix(name) {
+            if !rest.is_empty() {
+                assert!(
+                    rest.starts_with('{') && rest.ends_with('}'),
+                    "malformed label block {rest:?} on line {line:?}"
+                );
+            }
+        }
+        sample_lines += 1;
+    }
+    assert!(
+        sample_lines >= 10,
+        "suspiciously few samples: {sample_lines}"
+    );
+}
+
+#[test]
+fn every_canonical_name_round_trips_through_the_exposition() {
+    // Register one counter under each canonical name and check each one
+    // surfaces under its sanitized Prometheus spelling.
+    let registry = Registry::new();
+    let t = registry.telemetry();
+    let all = [
+        names::MODULATOR_STEPS,
+        names::READOUT_FRAMES_IN,
+        names::MONITOR_BEATS,
+        names::FLEET_SESSIONS_COMPLETED,
+        names::LINK_STREAM_RESETS,
+        names::LINK_GAP_SKIPPED_SAMPLES,
+    ];
+    for name in all {
+        t.counter(name).inc();
+    }
+    let rendered = prometheus_text(&registry.snapshot());
+    for name in all {
+        let prom = format!("tonos_{}_total 1", name.replace('.', "_"));
+        assert!(
+            rendered.contains(&prom),
+            "{name} missing from exposition as {prom:?}"
+        );
+    }
+}

@@ -21,6 +21,9 @@
 //! * [`link`] — the chip-to-host boundary: wire framing, lossy-transport
 //!   fault injection, the gap-concealing host pipeline, and a
 //!   concurrent TCP ingest server (see `examples/host_ingest.rs`)
+//! * [`scope`] — the live telemetry plane: a flight recorder over any
+//!   registry plus an HTTP endpoint serving Prometheus `/metrics`,
+//!   `/health`, `/links`, and `/flight` (see `examples/ops_dashboard.rs`)
 //!
 //! See `examples/quickstart.rs` for the five-minute tour and
 //! `ARCHITECTURE.md` for the end-to-end dataflow.
@@ -32,6 +35,7 @@ pub use tonos_fleet as fleet;
 pub use tonos_link as link;
 pub use tonos_mems as mems;
 pub use tonos_physio as physio;
+pub use tonos_scope as scope;
 pub use tonos_telemetry as telemetry;
 
 /// Compiles every fenced Rust block in the repository README as a
