@@ -184,6 +184,90 @@ fn loopback_sessions_per_s(n: usize, duration_s: f64) -> f64 {
     n as f64 / wall
 }
 
+/// One step of the concurrency sweep: `n` simultaneous links, each
+/// sending the same pre-encoded `frames_per_link`-frame blob, all
+/// sockets held open together so the server really multiplexes `n`
+/// live connections. Returns (io_threads, links/s, frames/s).
+///
+/// The payload is synthetic (no per-link device simulation) — the sweep
+/// measures the *server*: accept, readiness loop, actor scheduling,
+/// decode, decimation. The gate is structural: the IO-thread count the
+/// server reports must not grow with `n`.
+fn ingest_sweep_step(n: usize, frames_per_link: usize) -> (usize, f64, f64) {
+    const WRITERS: usize = 8;
+    let chunks = test_frames(frames_per_link);
+    let mut blob = Vec::new();
+    let mut enc = FrameEncoder::new(0);
+    for c in &chunks {
+        enc.encode_into(c, &mut blob).unwrap();
+    }
+    let blob = std::sync::Arc::new(blob);
+
+    let server = LinkServer::bind(
+        "127.0.0.1:0",
+        LinkServerConfig {
+            workers: 2,
+            ..LinkServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let io_threads = server.io_threads();
+
+    let t = Instant::now();
+    // Open every socket before writing any payload: all n links are
+    // concurrently established, so the server is provably multiplexing
+    // n live connections on its one IO thread.
+    let sockets: Vec<TcpStream> = (0..n).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    let writers: Vec<_> = sockets
+        .chunks((n / WRITERS).max(1))
+        .map(|chunk| {
+            let mut streams: Vec<TcpStream> =
+                chunk.iter().map(|s| s.try_clone().unwrap()).collect();
+            let blob = std::sync::Arc::clone(&blob);
+            thread::spawn(move || {
+                for s in &mut streams {
+                    s.write_all(&blob).unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    // EOF every link only after every payload is on the wire.
+    drop(sockets);
+
+    while server.connections() < n {
+        thread::sleep(Duration::from_millis(5));
+    }
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while server.directory().live_count() > 0 && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(10));
+    }
+    let (report, snapshot) = server.shutdown();
+    let wall = t.elapsed().as_secs_f64();
+
+    assert_eq!(report.len(), n, "sweep accepted {} of {n}", report.len());
+    assert!(
+        report.failures().is_empty(),
+        "sweep sessions failed: {:?}",
+        report.failures()
+    );
+    let frames_sent = (n * frames_per_link) as u64;
+    let frames_rx = snapshot.counter(names::LINK_FRAMES_RX).unwrap_or(0);
+    assert_eq!(frames_rx, frames_sent, "sweep lost frames");
+    assert_eq!(snapshot.counter(names::LINK_CRC_FAIL).unwrap_or(0), 0);
+    let expected_samples = frames_per_link * FRAME_BITS / 128;
+    for (_, summary) in report.completed() {
+        assert_eq!(
+            summary.samples, expected_samples,
+            "session short of samples"
+        );
+    }
+    (io_threads, n as f64 / wall, frames_sent as f64 / wall)
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -212,6 +296,20 @@ fn main() {
         loopback.push((n, per_s));
     }
 
+    // Concurrency sweep: the no-thread-per-connection gate. The link
+    // counts are fixed (not shrunk by --quick) because the gate is the
+    // whole point; only the per-link payload shrinks.
+    let sweep_counts = [64usize, 256, 1024];
+    let frames_per_link = if quick { 10 } else { 40 };
+    let mut sweep = Vec::with_capacity(sweep_counts.len());
+    for &n in &sweep_counts {
+        let (io_threads, links_per_s, frames_per_s) = ingest_sweep_step(n, frames_per_link);
+        eprintln!(
+            "  ingest sweep N={n}: io_threads={io_threads}, {links_per_s:.1} links/s, {frames_per_s:.0} frames/s"
+        );
+        sweep.push((n, io_threads, links_per_s, frames_per_s));
+    }
+
     println!("{{");
     println!("  \"bench\": \"link_throughput\",");
     println!("  \"quick\": {quick},");
@@ -237,8 +335,19 @@ fn main() {
     }
     println!("    ]");
     println!("  }},");
+    println!("  \"ingest_sweep\": {{");
+    println!("    \"frames_per_link\": {frames_per_link},");
+    println!("    \"links\": [");
+    for (i, (n, io_threads, links_per_s, frames_per_s)) in sweep.iter().enumerate() {
+        let comma = if i + 1 < sweep.len() { "," } else { "" };
+        println!(
+            "      {{ \"n\": {n}, \"io_threads\": {io_threads}, \"links_per_s\": {links_per_s:.2}, \"frames_per_s\": {frames_per_s:.0} }}{comma}"
+        );
+    }
+    println!("    ]");
+    println!("  }},");
     println!(
-        "  \"gate\": \"fault-free wire path bit-identical to in-process; all loopback sessions complete with zero CRC failures; wire/bare decimation ratio >= 0.5\""
+        "  \"gate\": \"fault-free wire path bit-identical to in-process; all loopback sessions complete with zero CRC failures; wire/bare decimation ratio >= 0.5; ingest-sweep IO-thread count constant (=1) across N in {{64,256,1024}}\""
     );
     println!("}}");
 
@@ -250,6 +359,12 @@ fn main() {
             "FAIL: host pipeline at {pipe_mbps:.1} Mbit/s is {overhead_ratio:.2}x the bare \
              decimator ({bare_mbps:.1} Mbit/s); the framing-overhead gate is 0.5x"
         );
+        std::process::exit(1);
+    }
+    // Structural gate: ingest must not spawn IO threads with link
+    // count. One readiness loop serves 64 and 1024 links alike.
+    if sweep.iter().any(|&(_, io, _, _)| io != sweep[0].1) || sweep[0].1 != 1 {
+        eprintln!("FAIL: ingest-sweep IO-thread count varied with link count: {sweep:?}");
         std::process::exit(1);
     }
 }

@@ -58,6 +58,171 @@ pub const KIND_BITSTREAM: u8 = 0;
 pub const KIND_SESSION_META: u8 = 1;
 /// Frame kind: session-record sample data (`tonos_core::export`).
 pub const KIND_SESSION_DATA: u8 = 2;
+/// Control frame kind: device→host session handshake carrying a keyed
+/// MAC ([`Hello`]).
+pub const KIND_HELLO: u8 = 3;
+/// Control frame kind: host→device handshake verdict ([`HelloAck`]).
+pub const KIND_HELLO_ACK: u8 = 4;
+/// Control frame kind: host→device negative acknowledgement listing
+/// missing sequence ranges ([`Nak`]).
+pub const KIND_NAK: u8 = 5;
+
+/// Whether a frame kind is a control frame (handshake / NAK traffic).
+///
+/// Control frames are *not* part of the data sequence space: their
+/// `seq`/`clock` header fields are advisory (senders write 0) and a
+/// streaming decoder must exclude them from gap and duplicate tracking.
+pub fn is_control_kind(kind: u8) -> bool {
+    matches!(kind, KIND_HELLO | KIND_HELLO_ACK | KIND_NAK)
+}
+
+/// Hard ceiling on ranges inside one [`Nak`]; more is corruption.
+pub const NAK_MAX_RANGES: usize = 64;
+
+/// The `KIND_HELLO` payload: a device introducing itself with a keyed
+/// 64-bit MAC tag, so stream provenance stops riding on CRC-32 (which
+/// is integrity only — anyone can compute it).
+///
+/// The tag algorithm (SipHash-2-4 over `device_id ‖ nonce`, see
+/// `tonos-link`'s `LinkKey`) is part of the wire contract; this type is
+/// only the byte layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Device-chosen stable identity.
+    pub device_id: u64,
+    /// Device-chosen fresh value, mixed into the tag.
+    pub nonce: u64,
+    /// Keyed MAC over `device_id ‖ nonce` (little-endian).
+    pub tag: u64,
+}
+
+impl Hello {
+    /// Payload length in bytes.
+    pub const LEN: usize = 24;
+
+    /// Serializes to the 24-byte `KIND_HELLO` payload.
+    pub fn to_payload(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::LEN);
+        out.extend_from_slice(&self.device_id.to_le_bytes());
+        out.extend_from_slice(&self.nonce.to_le_bytes());
+        out.extend_from_slice(&self.tag.to_le_bytes());
+        out
+    }
+
+    /// Parses a `KIND_HELLO` payload; `None` if the length is wrong.
+    pub fn from_payload(payload: &[u8]) -> Option<Self> {
+        if payload.len() != Self::LEN {
+            return None;
+        }
+        Some(Hello {
+            device_id: u64::from_le_bytes(payload[0..8].try_into().ok()?),
+            nonce: u64::from_le_bytes(payload[8..16].try_into().ok()?),
+            tag: u64::from_le_bytes(payload[16..24].try_into().ok()?),
+        })
+    }
+
+    /// Wraps the payload in a `KIND_HELLO` frame (seq/clock 0 — control
+    /// frames sit outside the data sequence space).
+    pub fn to_frame(self) -> Frame {
+        Frame::bytes(KIND_HELLO, 0, 0, 0, self.to_payload())
+            .expect("hello payload is well within frame limits")
+    }
+}
+
+/// The `KIND_HELLO_ACK` payload: the host's one-byte handshake verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloAck {
+    /// Whether the host accepted the handshake.
+    pub accepted: bool,
+}
+
+impl HelloAck {
+    /// Payload length in bytes.
+    pub const LEN: usize = 1;
+
+    /// Serializes to the 1-byte `KIND_HELLO_ACK` payload.
+    pub fn to_payload(self) -> Vec<u8> {
+        vec![u8::from(self.accepted)]
+    }
+
+    /// Parses a `KIND_HELLO_ACK` payload; `None` on a wrong length or a
+    /// byte other than 0/1.
+    pub fn from_payload(payload: &[u8]) -> Option<Self> {
+        match payload {
+            [0] => Some(HelloAck { accepted: false }),
+            [1] => Some(HelloAck { accepted: true }),
+            _ => None,
+        }
+    }
+
+    /// Wraps the payload in a `KIND_HELLO_ACK` frame.
+    pub fn to_frame(self) -> Frame {
+        Frame::bytes(KIND_HELLO_ACK, 0, 0, 0, self.to_payload())
+            .expect("ack payload is well within frame limits")
+    }
+}
+
+/// One missing-sequence range inside a [`Nak`]: `count` frames starting
+/// at `first` (sequence arithmetic is mod 2³²).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqRange {
+    /// First missing sequence number.
+    pub first: u32,
+    /// Number of consecutive missing frames (≥ 1).
+    pub count: u32,
+}
+
+/// The `KIND_NAK` payload: the host telling the device which data
+/// frames never arrived, so the device can retransmit them from its
+/// bounded window before gap concealment has to invent samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nak {
+    /// Missing ranges, at most [`NAK_MAX_RANGES`].
+    pub ranges: Vec<SeqRange>,
+}
+
+impl Nak {
+    /// Serializes to the `KIND_NAK` payload:
+    /// `count:u16 LE` then `count × (first:u32 LE, count:u32 LE)`.
+    pub fn to_payload(&self) -> Vec<u8> {
+        let n = self.ranges.len().min(NAK_MAX_RANGES);
+        let mut out = Vec::with_capacity(2 + n * 8);
+        out.extend_from_slice(&(n as u16).to_le_bytes());
+        for r in &self.ranges[..n] {
+            out.extend_from_slice(&r.first.to_le_bytes());
+            out.extend_from_slice(&r.count.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a `KIND_NAK` payload; `None` on a malformed length, a
+    /// range count over [`NAK_MAX_RANGES`], or a zero-length range.
+    pub fn from_payload(payload: &[u8]) -> Option<Self> {
+        let n = u16::from_le_bytes(payload.get(0..2)?.try_into().ok()?) as usize;
+        if n > NAK_MAX_RANGES || payload.len() != 2 + n * 8 {
+            return None;
+        }
+        let mut ranges = Vec::with_capacity(n);
+        for i in 0..n {
+            let at = 2 + i * 8;
+            let range = SeqRange {
+                first: u32::from_le_bytes(payload[at..at + 4].try_into().ok()?),
+                count: u32::from_le_bytes(payload[at + 4..at + 8].try_into().ok()?),
+            };
+            if range.count == 0 {
+                return None;
+            }
+            ranges.push(range);
+        }
+        Some(Nak { ranges })
+    }
+
+    /// Wraps the payload in a `KIND_NAK` frame.
+    pub fn to_frame(&self) -> Frame {
+        Frame::bytes(KIND_NAK, 0, 0, 0, self.to_payload())
+            .expect("nak payload is well within frame limits")
+    }
+}
 
 /// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`) — the
 /// polynomial every USB/Ethernet-adjacent link layer uses, table-driven.

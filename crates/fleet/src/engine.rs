@@ -20,9 +20,11 @@
 //!   ([`names::FLEET_SESSIONS_STARTED`] and friends) and the per-session
 //!   wall-clock span [`names::SPAN_FLEET_SESSION`].
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -55,11 +57,182 @@ impl Default for FleetConfig {
     }
 }
 
-/// One submission travelling to a worker.
-struct Dispatch {
+/// What a chunk actor's handler is invoked with.
+///
+/// See [`FleetEngine::open_actor`] for the actor lifecycle.
+#[derive(Debug)]
+pub enum ActorEvent<'a> {
+    /// One chunk pushed via [`ActorHandle::try_push_chunk`], delivered
+    /// in push order.
+    Chunk(&'a [u8]),
+    /// The handle was closed (or dropped); no further chunks follow.
+    /// The handler must return its session summary now.
+    Closed,
+}
+
+/// A chunk-actor workload: invoked once per [`ActorEvent`], always by
+/// at most one worker at a time, in chunk order. Returning
+/// `Some(result)` finishes the session (mandatory on
+/// [`ActorEvent::Closed`]; allowed earlier to terminate the actor).
+pub type ActorHandler = Box<
+    dyn FnMut(ActorEvent<'_>, &SessionContext) -> Option<Result<SessionSummary, String>>
+        + Send
+        + 'static,
+>;
+
+/// A chunk failed to enqueue because the actor's queue is at capacity
+/// (or the actor is closed); the chunk is handed back for the caller
+/// to retry, buffer, or drop.
+#[derive(Debug)]
+pub struct ChunkFull(pub Vec<u8>);
+
+/// Queue state shared between an [`ActorHandle`] and the workers.
+struct ActorQueue {
+    chunks: VecDeque<Vec<u8>>,
+    closed: bool,
+    /// Set once the final result has been shipped; late chunks and
+    /// re-schedules become no-ops.
+    finished: bool,
+}
+
+/// Per-actor execution state, entered by one worker at a time.
+struct ActorState {
+    handler: ActorHandler,
+    registry: Registry,
+    ctx: SessionContext,
+    started: Instant,
+}
+
+/// Everything a parked chunk actor owns, shared between its handle and
+/// whichever worker is currently scheduled to run it.
+struct ActorShared {
     id: u64,
     label: String,
-    task: SessionTask,
+    cap: usize,
+    queue: Mutex<ActorQueue>,
+    /// At most one worker runs (or is queued to run) the actor at a
+    /// time: set by the scheduler via compare-and-swap before
+    /// dispatching, cleared by the worker when the queue looks empty.
+    /// This is what preserves per-connection chunk ordering on a
+    /// many-connection pool.
+    scheduled: AtomicBool,
+    state: Mutex<Option<ActorState>>,
+}
+
+/// The submitter's end of a chunk actor (not cloneable: one producer
+/// per actor keeps the ordering story trivial). Dropping the handle
+/// closes the actor.
+pub struct ActorHandle {
+    shared: Arc<ActorShared>,
+    jobs: Weak<JobSender>,
+}
+
+impl std::fmt::Debug for ActorHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActorHandle")
+            .field("id", &self.shared.id)
+            .field("label", &self.shared.label)
+            .finish()
+    }
+}
+
+impl ActorHandle {
+    /// The engine-assigned session id.
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Chunks currently queued and not yet handled.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.lock().map_or(0, |q| q.chunks.len())
+    }
+
+    /// Enqueues a chunk for the actor's handler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChunkFull`] (handing the chunk back) when the queue is
+    /// at capacity — the backpressure signal a readiness loop turns
+    /// into "stop reading this socket" — or when the actor is already
+    /// closed.
+    pub fn try_push_chunk(&self, chunk: Vec<u8>) -> Result<(), ChunkFull> {
+        {
+            let Ok(mut queue) = self.shared.queue.lock() else {
+                return Err(ChunkFull(chunk));
+            };
+            if queue.closed || queue.finished || queue.chunks.len() >= self.shared.cap {
+                return Err(ChunkFull(chunk));
+            }
+            queue.chunks.push_back(chunk);
+        }
+        self.schedule();
+        Ok(())
+    }
+
+    /// Closes the actor: its handler sees [`ActorEvent::Closed`] after
+    /// the chunks already queued, returns the session summary, and the
+    /// session is accounted like any other fleet session. Idempotent.
+    pub fn close(&self) {
+        if let Ok(mut queue) = self.shared.queue.lock() {
+            if queue.closed {
+                return;
+            }
+            queue.closed = true;
+        }
+        self.schedule();
+    }
+
+    /// Dispatches the actor to a worker unless one is already running
+    /// (or queued to run) it.
+    fn schedule(&self) {
+        if self
+            .shared
+            .scheduled
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            if let Some(jobs) = self.jobs.upgrade() {
+                if jobs
+                    .0
+                    .send(Dispatch::Actor(Arc::clone(&self.shared)))
+                    .is_ok()
+                {
+                    return;
+                }
+            }
+            // Engine gone: nothing will run the actor.
+            self.shared.scheduled.store(false, Ordering::Release);
+        }
+    }
+}
+
+impl Drop for ActorHandle {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Newtype so actor handles can hold a [`Weak`] reference to the job
+/// channel: once the engine closes it, scheduling becomes a no-op
+/// instead of keeping the worker pool alive forever.
+struct JobSender(Sender<Dispatch>);
+
+impl std::fmt::Debug for JobSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JobSender")
+    }
+}
+
+/// One submission travelling to a worker.
+enum Dispatch {
+    /// A run-to-completion session occupying one worker.
+    Task {
+        id: u64,
+        label: String,
+        task: SessionTask,
+    },
+    /// A chunk actor with queued work (or a close) to process.
+    Actor(Arc<ActorShared>),
 }
 
 /// One finished session travelling back from a worker.
@@ -79,7 +252,7 @@ struct RawResult {
 /// between drains and shut down when the engine drops.
 #[derive(Debug)]
 pub struct FleetEngine {
-    jobs: Option<Sender<Dispatch>>,
+    jobs: Option<Arc<JobSender>>,
     results: Receiver<RawResult>,
     /// Kept for [`ensure_workers`](FleetEngine::ensure_workers): new
     /// workers need the shared job queue and the result channel.
@@ -112,7 +285,7 @@ impl FleetEngine {
             .collect();
         let registry = Registry::new();
         FleetEngine {
-            jobs: Some(job_tx),
+            jobs: Some(Arc::new(JobSender(job_tx))),
             results: result_rx,
             job_queue: job_rx,
             result_tx,
@@ -172,10 +345,77 @@ impl FleetEngine {
         self.jobs
             .as_ref()
             .expect("job channel open while engine is alive")
-            .send(Dispatch { id, label, task })
+            .0
+            .send(Dispatch::Task { id, label, task })
             .expect("workers alive while engine is alive");
         self.in_flight += 1;
         id
+    }
+
+    /// Opens a **chunk actor**: a session that does not occupy a worker
+    /// while idle. Chunks pushed through the returned [`ActorHandle`]
+    /// are queued (bounded by `queue_cap`) and the actor is dispatched
+    /// to the pool only while it has work, so thousands of mostly-idle
+    /// sessions — live ingest connections — share a fixed-size pool.
+    ///
+    /// Ordering: the handler runs under an at-most-one-worker guarantee
+    /// and sees chunks strictly in push order. Panics are contained
+    /// exactly like [`FleetEngine::push_task`] sessions
+    /// ([`SessionOutcome::Panicked`]); the per-session registry
+    /// snapshot is rolled up when the actor finishes.
+    ///
+    /// The session stays in flight — [`FleetEngine::drain`] will wait
+    /// for it — until [`ActorHandle::close`] (or the handle's drop)
+    /// lets the handler return its summary.
+    pub fn open_actor(
+        &mut self,
+        label: impl Into<String>,
+        queue_cap: usize,
+        handler: impl FnMut(ActorEvent<'_>, &SessionContext) -> Option<Result<SessionSummary, String>>
+            + Send
+            + 'static,
+    ) -> ActorHandle {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.telemetry()
+            .counter(names::FLEET_SESSIONS_STARTED)
+            .inc();
+        self.in_flight += 1;
+        let label = label.into();
+        // Session isolation, actor flavour: the registry is created at
+        // open time and lives until the actor closes, so telemetry from
+        // every burst of chunks lands in one per-session registry.
+        let registry = Registry::new();
+        let ctx = SessionContext {
+            id,
+            label: label.clone(),
+            telemetry: registry.telemetry(),
+        };
+        let shared = Arc::new(ActorShared {
+            id,
+            label,
+            cap: queue_cap.max(1),
+            queue: Mutex::new(ActorQueue {
+                chunks: VecDeque::new(),
+                closed: false,
+                finished: false,
+            }),
+            scheduled: AtomicBool::new(false),
+            state: Mutex::new(Some(ActorState {
+                handler: Box::new(handler),
+                registry,
+                ctx,
+                started: Instant::now(),
+            })),
+        });
+        let jobs = self
+            .jobs
+            .as_ref()
+            .expect("job channel open while engine is alive");
+        ActorHandle {
+            shared,
+            jobs: Arc::downgrade(jobs),
+        }
     }
 
     /// Sessions submitted but not yet collected by a
@@ -288,32 +528,184 @@ fn worker_loop(jobs: &Mutex<Receiver<Dispatch>>, results: &Sender<RawResult>) {
                 Err(_) => return, // engine dropped the sender: shut down
             }
         };
-        // Session isolation: a registry that lives and dies with this
-        // session. Snapshotted below even on panic, so partial telemetry
-        // from a failed session still reaches the fleet rollup.
-        let registry = Registry::new();
-        let ctx = SessionContext {
-            id: dispatch.id,
-            label: dispatch.label.clone(),
-            telemetry: registry.telemetry(),
-        };
-        let started = Instant::now();
-        let outcome = match catch_unwind(AssertUnwindSafe(|| (dispatch.task)(&ctx))) {
-            Ok(Ok(summary)) => SessionOutcome::Completed(summary),
-            Ok(Err(error)) => SessionOutcome::Failed(error),
-            Err(payload) => SessionOutcome::Panicked(panic_message(payload.as_ref())),
-        };
-        let raw = RawResult {
-            id: dispatch.id,
-            label: dispatch.label,
-            wall_s: started.elapsed().as_secs_f64(),
-            outcome,
-            snapshot: registry.snapshot(),
-        };
-        if results.send(raw).is_err() {
-            return; // engine gone; nothing left to report to
+        match dispatch {
+            Dispatch::Task { id, label, task } => {
+                if run_task(id, label, task, results).is_err() {
+                    return; // engine gone; nothing left to report to
+                }
+            }
+            Dispatch::Actor(shared) => {
+                if run_actor(&shared, results).is_err() {
+                    return;
+                }
+            }
         }
     }
+}
+
+/// Runs one run-to-completion session on this worker.
+fn run_task(
+    id: u64,
+    label: String,
+    task: SessionTask,
+    results: &Sender<RawResult>,
+) -> Result<(), ()> {
+    // Session isolation: a registry that lives and dies with this
+    // session. Snapshotted below even on panic, so partial telemetry
+    // from a failed session still reaches the fleet rollup.
+    let registry = Registry::new();
+    let ctx = SessionContext {
+        id,
+        label: label.clone(),
+        telemetry: registry.telemetry(),
+    };
+    let started = Instant::now();
+    let outcome = match catch_unwind(AssertUnwindSafe(|| task(&ctx))) {
+        Ok(Ok(summary)) => SessionOutcome::Completed(summary),
+        Ok(Err(error)) => SessionOutcome::Failed(error),
+        Err(payload) => SessionOutcome::Panicked(panic_message(payload.as_ref())),
+    };
+    let raw = RawResult {
+        id,
+        label,
+        wall_s: started.elapsed().as_secs_f64(),
+        outcome,
+        snapshot: registry.snapshot(),
+    };
+    results.send(raw).map_err(|_| ())
+}
+
+/// What one handler invocation decided.
+enum ActorStep {
+    Continue,
+    Finished(SessionOutcome),
+}
+
+/// Drains a scheduled actor's queue on this worker.
+///
+/// The `scheduled` flag is cleared only after the queue looks empty,
+/// and re-acquired (never double-queued, thanks to the CAS in
+/// `ActorHandle::schedule`) if a racing producer slipped a chunk in
+/// between the emptiness check and the clear.
+fn run_actor(shared: &Arc<ActorShared>, results: &Sender<RawResult>) -> Result<(), ()> {
+    loop {
+        loop {
+            enum Item {
+                Chunk(Vec<u8>),
+                Close,
+                Empty,
+            }
+            let item = {
+                let Ok(mut queue) = shared.queue.lock() else {
+                    return Ok(());
+                };
+                if queue.finished {
+                    // Late chunks after the handler already returned its
+                    // summary (early finish): discard them.
+                    queue.chunks.clear();
+                    Item::Empty
+                } else if let Some(chunk) = queue.chunks.pop_front() {
+                    Item::Chunk(chunk)
+                } else if queue.closed {
+                    Item::Close
+                } else {
+                    Item::Empty
+                }
+            };
+            match item {
+                Item::Chunk(chunk) => match step_actor(shared, &ActorEvent::Chunk(&chunk)) {
+                    ActorStep::Continue => {}
+                    ActorStep::Finished(outcome) => finish_actor(shared, outcome, results)?,
+                },
+                Item::Close => {
+                    let outcome = match step_actor(shared, &ActorEvent::Closed) {
+                        ActorStep::Finished(outcome) => outcome,
+                        ActorStep::Continue => SessionOutcome::Failed(
+                            "actor handler returned no summary at close".to_string(),
+                        ),
+                    };
+                    finish_actor(shared, outcome, results)?;
+                    break;
+                }
+                Item::Empty => break,
+            }
+        }
+        // Park the actor. A producer that enqueued after the emptiness
+        // check above also ran its CAS; exactly one of us re-schedules.
+        shared.scheduled.store(false, Ordering::Release);
+        let more = {
+            let Ok(queue) = shared.queue.lock() else {
+                return Ok(());
+            };
+            !queue.finished && (!queue.chunks.is_empty() || queue.closed)
+        };
+        if !more {
+            return Ok(());
+        }
+        if shared
+            .scheduled
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            // A producer won the race and queued a fresh dispatch.
+            return Ok(());
+        }
+        // We won: keep draining on this worker instead of re-queueing.
+    }
+}
+
+/// Invokes the handler once, under panic containment.
+fn step_actor(shared: &Arc<ActorShared>, event: &ActorEvent<'_>) -> ActorStep {
+    let Ok(mut slot) = shared.state.lock() else {
+        return ActorStep::Finished(SessionOutcome::Failed("actor state poisoned".to_string()));
+    };
+    let Some(state) = slot.as_mut() else {
+        return ActorStep::Continue; // already finished
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let ev = match event {
+            ActorEvent::Chunk(c) => ActorEvent::Chunk(c),
+            ActorEvent::Closed => ActorEvent::Closed,
+        };
+        (state.handler)(ev, &state.ctx)
+    }));
+    match result {
+        Ok(None) => ActorStep::Continue,
+        Ok(Some(Ok(summary))) => ActorStep::Finished(SessionOutcome::Completed(summary)),
+        Ok(Some(Err(error))) => ActorStep::Finished(SessionOutcome::Failed(error)),
+        Err(payload) => {
+            ActorStep::Finished(SessionOutcome::Panicked(panic_message(payload.as_ref())))
+        }
+    }
+}
+
+/// Ships the actor's result and marks it finished (idempotent).
+fn finish_actor(
+    shared: &Arc<ActorShared>,
+    outcome: SessionOutcome,
+    results: &Sender<RawResult>,
+) -> Result<(), ()> {
+    let state = {
+        let Ok(mut slot) = shared.state.lock() else {
+            return Ok(());
+        };
+        slot.take()
+    };
+    let Some(state) = state else {
+        return Ok(()); // a second finish (e.g. close after early finish)
+    };
+    if let Ok(mut queue) = shared.queue.lock() {
+        queue.finished = true;
+        queue.chunks.clear();
+    }
+    let raw = RawResult {
+        id: shared.id,
+        label: shared.label.clone(),
+        wall_s: state.started.elapsed().as_secs_f64(),
+        outcome,
+        snapshot: state.registry.snapshot(),
+    };
+    results.send(raw).map_err(|_| ())
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

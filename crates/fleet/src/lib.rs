@@ -83,6 +83,8 @@ pub mod report;
 pub mod session;
 
 pub use batch::{BatchConfig, BatchEngine};
-pub use engine::{FleetConfig, FleetEngine, SessionTask};
+pub use engine::{
+    ActorEvent, ActorHandle, ActorHandler, ChunkFull, FleetConfig, FleetEngine, SessionTask,
+};
 pub use report::{FleetReport, SessionResult};
 pub use session::{SessionContext, SessionOutcome, SessionSpec, SessionSummary};

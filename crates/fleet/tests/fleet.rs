@@ -239,3 +239,127 @@ fn shutdown_drains_and_ids_stay_monotonic() {
     assert_eq!(report.len(), 1);
     assert_eq!(report.sessions[0].id, b);
 }
+
+#[test]
+fn actors_preserve_chunk_order_and_summarize_at_close() {
+    // Many actors, few workers: chunk actors must interleave on the
+    // pool without losing per-actor ordering, and an idle actor must
+    // not occupy a worker (with 64 actors on 2 workers, the test would
+    // deadlock if it did).
+    use tonos_fleet::ActorEvent;
+    const ACTORS: usize = 64;
+    const CHUNKS: u64 = 50;
+    let mut fleet = FleetEngine::spawn(FleetConfig { workers: 2 });
+    let mut handles = Vec::new();
+    for a in 0..ACTORS {
+        let mut expect = 0u64;
+        let handle = fleet.open_actor(format!("actor-{a}"), 8, move |event, ctx| {
+            match event {
+                ActorEvent::Chunk(bytes) => {
+                    // Each chunk carries its sequence number; any
+                    // reordering or cross-actor bleed trips this.
+                    let got = u64::from_le_bytes(bytes.try_into().unwrap());
+                    assert_eq!(got, expect, "chunks out of order");
+                    expect += 1;
+                    ctx.telemetry.counter("actor.chunks").inc();
+                    None
+                }
+                ActorEvent::Closed => Some(Ok(SessionSummary::from_stream(
+                    0,
+                    0.0,
+                    0.0,
+                    0.0,
+                    expect as usize,
+                    1.0,
+                    0,
+                ))),
+            }
+        });
+        handles.push(handle);
+    }
+    // Interleave pushes across actors; retry when a bounded queue is
+    // momentarily full (that's backpressure doing its job).
+    for seq in 0..CHUNKS {
+        for handle in &handles {
+            let mut chunk = seq.to_le_bytes().to_vec();
+            while let Err(tonos_fleet::ChunkFull(back)) = handle.try_push_chunk(chunk) {
+                chunk = back;
+                std::thread::yield_now();
+            }
+        }
+    }
+    for handle in &handles {
+        handle.close();
+    }
+    drop(handles);
+    let report = fleet.drain();
+    assert_eq!(report.len(), ACTORS);
+    assert!(report.failures().is_empty(), "{:?}", report.failures());
+    for (_, summary) in report.completed() {
+        assert_eq!(summary.samples as u64, CHUNKS);
+    }
+    // Per-actor registries rolled up: every chunk counted exactly once.
+    assert_eq!(
+        fleet.snapshot().counter("actor.chunks"),
+        Some(ACTORS as u64 * CHUNKS)
+    );
+}
+
+#[test]
+fn a_panicking_actor_is_contained_and_queue_rejects_afterwards() {
+    use tonos_fleet::ActorEvent;
+    let mut fleet = FleetEngine::spawn(FleetConfig { workers: 1 });
+    let bad = fleet.open_actor("bad", 4, |event, _ctx| match event {
+        ActorEvent::Chunk(_) => panic!("poisoned chunk"),
+        ActorEvent::Closed => Some(Err("unreachable".into())),
+    });
+    let good = fleet.open_actor("good", 4, |event, _ctx| match event {
+        ActorEvent::Chunk(_) => None,
+        ActorEvent::Closed => Some(Ok(SessionSummary::from_stream(0, 0.0, 0.0, 0.0, 1, 1.0, 0))),
+    });
+    bad.try_push_chunk(vec![1]).unwrap();
+    // The panic lands asynchronously; pushes eventually bounce off the
+    // finished actor instead of queueing into the void.
+    let mut rejected = false;
+    for _ in 0..1_000 {
+        if bad.try_push_chunk(vec![2]).is_err() {
+            rejected = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(rejected, "finished actor kept accepting chunks");
+    good.try_push_chunk(vec![3]).unwrap();
+    good.close();
+    bad.close();
+    drop((good, bad));
+    let report = fleet.drain();
+    assert_eq!(report.len(), 2);
+    let outcomes: Vec<_> = report
+        .sessions
+        .iter()
+        .map(|s| {
+            (
+                s.label.clone(),
+                matches!(s.outcome, SessionOutcome::Panicked(_)),
+            )
+        })
+        .collect();
+    assert!(outcomes.contains(&("bad".to_string(), true)));
+    assert!(outcomes.contains(&("good".to_string(), false)));
+}
+
+#[test]
+fn dropping_an_actor_handle_closes_the_session() {
+    use tonos_fleet::ActorEvent;
+    let mut fleet = FleetEngine::spawn(FleetConfig { workers: 1 });
+    let handle = fleet.open_actor("dropped", 4, |event, _ctx| match event {
+        ActorEvent::Chunk(_) => None,
+        ActorEvent::Closed => Some(Ok(SessionSummary::from_stream(0, 0.0, 0.0, 0.0, 7, 1.0, 0))),
+    });
+    handle.try_push_chunk(vec![0]).unwrap();
+    drop(handle); // no explicit close(): drop must stand in for it
+    let report = fleet.drain();
+    assert_eq!(report.len(), 1);
+    assert_eq!(report.completed().next().unwrap().1.samples, 7);
+}

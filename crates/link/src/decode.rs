@@ -14,12 +14,18 @@
 //!   the pipeline's gap concealment consumes.
 //! * A duplicated or reordered-stale frame is dropped, not replayed.
 
-use tonos_dsp::frame::{CorruptReason, Frame, ParseOutcome, SYNC};
+use tonos_dsp::frame::{
+    is_control_kind, CorruptReason, Frame, Nak, ParseOutcome, SeqRange, NAK_MAX_RANGES, SYNC,
+};
 use tonos_telemetry::{names, Counter, Telemetry};
 
 /// Keep at most this much undecodable prefix before compacting the
 /// internal buffer.
 const COMPACT_THRESHOLD: usize = 16 * 1024;
+
+/// Hard ceiling on the reorder window so the pending buffer stays
+/// small; windows are typically 16–64 frames.
+pub const MAX_REORDER_WINDOW: u32 = 1024;
 
 /// What the decoder tells the layer above.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +44,10 @@ pub enum LinkEvent {
         /// Modulator clocks missing, from the clock-index headers.
         lost_clocks: u64,
     },
+    /// A CRC-verified control frame (handshake or NAK). Control frames
+    /// sit outside the data sequence space: they never trigger gaps,
+    /// never count as stale, and carry advisory `seq`/`clock` headers.
+    Control(Frame),
 }
 
 /// Plain (telemetry-independent) decoder statistics.
@@ -57,9 +67,39 @@ pub struct DecoderStats {
     pub lost_frames: u64,
     /// Duplicate or reordered-stale frames dropped.
     pub stale_frames: u64,
+    /// Out-of-order frames healed by the reorder buffer (delivered in
+    /// order instead of dropped-and-concealed).
+    pub reordered_frames: u64,
+    /// Previously-NAK'd frames that later arrived (via retransmission
+    /// or very late reordering).
+    pub retransmits_rx: u64,
+    /// Control frames (hello / ack / NAK) delivered.
+    pub control_frames: u64,
 }
 
 /// Push-based streaming decoder for the link frame format.
+///
+/// # Example
+///
+/// The decoder is insensitive to how the transport fragments the byte
+/// stream — any split decodes identically:
+///
+/// ```
+/// use tonos_dsp::bits::PackedBits;
+/// use tonos_link::{FrameDecoder, FrameEncoder, LinkEvent};
+///
+/// let mut enc = FrameEncoder::new(0);
+/// let chunk: PackedBits = (0..64).map(|i| i % 3 == 0).collect();
+/// let mut wire = Vec::new();
+/// enc.encode_into(&chunk, &mut wire).unwrap();
+///
+/// let mut dec = FrameDecoder::new();
+/// let mut events = Vec::new();
+/// dec.push(&wire[..10], &mut events); // partial frame: buffered
+/// assert!(events.is_empty());
+/// dec.push(&wire[10..], &mut events); // rest arrives: frame decodes
+/// assert!(matches!(events[0], LinkEvent::Frame(_)));
+/// ```
 #[derive(Debug, Clone)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
@@ -68,6 +108,15 @@ pub struct FrameDecoder {
     /// until the first frame of the stream arrives.
     expect: Option<(u32, u64)>,
     in_resync: bool,
+    /// Reorder window in frames; 0 disables the reorder buffer (every
+    /// forward seq jump becomes an immediate gap, as in PR 5).
+    reorder_window: u32,
+    /// Out-of-order frames waiting for their predecessors, each at a
+    /// forward seq distance `< reorder_window` when buffered.
+    pending: Vec<Frame>,
+    /// Sequence numbers already reported by [`FrameDecoder::take_nak`],
+    /// for retransmit accounting when they eventually arrive.
+    nak_sent: Vec<u32>,
     stats: DecoderStats,
     /// Stats as of the last telemetry flush; counters receive the delta
     /// once per [`FrameDecoder::push`], not one atomic op per frame.
@@ -79,6 +128,9 @@ pub struct FrameDecoder {
     gap_events: Counter,
     gap_frames: Counter,
     stale_frames: Counter,
+    reordered: Counter,
+    retransmits: Counter,
+    control: Counter,
 }
 
 impl Default for FrameDecoder {
@@ -95,6 +147,9 @@ impl FrameDecoder {
             pos: 0,
             expect: None,
             in_resync: false,
+            reorder_window: 0,
+            pending: Vec::new(),
+            nak_sent: Vec::new(),
             stats: DecoderStats::default(),
             flushed: DecoderStats::default(),
             frames_rx: Counter::disabled(),
@@ -104,7 +159,26 @@ impl FrameDecoder {
             gap_events: Counter::disabled(),
             gap_frames: Counter::disabled(),
             stale_frames: Counter::disabled(),
+            reordered: Counter::disabled(),
+            retransmits: Counter::disabled(),
+            control: Counter::disabled(),
         }
+    }
+
+    /// Enables a reorder buffer of `window` frames (clamped to
+    /// [`MAX_REORDER_WINDOW`]; 0 disables it).
+    ///
+    /// With a window, a frame arriving up to `window - 1` sequence
+    /// numbers early is buffered rather than gapped: if the missing
+    /// predecessors arrive (late, or retransmitted after a NAK), the
+    /// stream heals with **no gap at all** and the samples downstream
+    /// are bit-identical to a lossless link. Only when a frame would
+    /// land at or beyond the window does the decoder give up on the
+    /// oldest missing span and report a [`LinkEvent::Gap`].
+    #[must_use]
+    pub fn with_reorder_window(mut self, window: u32) -> Self {
+        self.reorder_window = window.min(MAX_REORDER_WINDOW);
+        self
     }
 
     /// Reports receive-side counters (`link.frames_rx`, `link.crc_fail`,
@@ -118,6 +192,9 @@ impl FrameDecoder {
         self.gap_events = telemetry.counter(names::LINK_GAP_EVENTS);
         self.gap_frames = telemetry.counter(names::LINK_GAP_FRAMES);
         self.stale_frames = telemetry.counter(names::LINK_STALE_FRAMES);
+        self.reordered = telemetry.counter(names::LINK_REORDERED_FRAMES);
+        self.retransmits = telemetry.counter(names::LINK_RETRANSMITS_RX);
+        self.control = telemetry.counter(names::LINK_CONTROL_FRAMES);
         // Counters report activity from attach time on, as before the
         // batched flush: don't credit pre-attach stats to the registry.
         self.flushed = self.stats;
@@ -194,45 +271,191 @@ impl FrameDecoder {
             .add(self.stats.lost_frames - self.flushed.lost_frames);
         self.stale_frames
             .add(self.stats.stale_frames - self.flushed.stale_frames);
+        self.reordered
+            .add(self.stats.reordered_frames - self.flushed.reordered_frames);
+        self.retransmits
+            .add(self.stats.retransmits_rx - self.flushed.retransmits_rx);
+        self.control
+            .add(self.stats.control_frames - self.flushed.control_frames);
         self.flushed = self.stats;
     }
 
-    fn accept(&mut self, frame: Frame, events: &mut Vec<LinkEvent>) {
-        if self.expect.is_none() && (frame.seq != 0 || frame.clock != 0) {
-            // The stream was already running when we attached (or its
-            // head was lost): everything before this frame is a gap, so
-            // downstream sample indices stay aligned to the device
-            // clock. Encoders start at sequence 0, clock 0.
-            self.stats.gap_events += 1;
-            self.stats.lost_frames += u64::from(frame.seq);
-            events.push(LinkEvent::Gap {
-                expected_seq: 0,
-                got_seq: frame.seq,
-                lost_frames: frame.seq,
-                lost_clocks: frame.clock,
-            });
+    /// Reports the sequence ranges currently missing inside the reorder
+    /// window, as a [`Nak`] ready to send back to the device — or
+    /// `None` when nothing is missing (or the reorder buffer is off).
+    ///
+    /// Every call returns **all** currently-missing ranges, including
+    /// ones reported before: the caller paces NAK traffic, and a
+    /// retransmission that was itself lost is re-requested on the next
+    /// call rather than waited on forever. Duplicate retransmissions
+    /// are harmless — they arrive as stale frames and are dropped.
+    pub fn take_nak(&mut self) -> Option<Nak> {
+        let (expected_seq, _) = self.expect?;
+        if self.reorder_window == 0 || self.pending.is_empty() {
+            return None;
         }
-        if let Some((expected_seq, expected_clock)) = self.expect {
-            let diff = frame.seq.wrapping_sub(expected_seq);
-            if diff != 0 {
-                // Forward jumps (mod 2³²) are gaps; backward jumps are
-                // duplicates or reordered stragglers and are dropped —
-                // the link has no reorder buffer (see ROADMAP).
-                if diff < 0x8000_0000 {
-                    let lost_clocks = frame.clock.saturating_sub(expected_clock);
-                    self.stats.gap_events += 1;
-                    self.stats.lost_frames += u64::from(diff);
-                    events.push(LinkEvent::Gap {
-                        expected_seq,
-                        got_seq: frame.seq,
-                        lost_frames: diff,
-                        lost_clocks,
-                    });
-                } else {
+        // Distances of buffered frames ahead of the next expected seq;
+        // everything between them (and before the first) is missing.
+        let mut have: Vec<u32> = self
+            .pending
+            .iter()
+            .map(|f| f.seq.wrapping_sub(expected_seq))
+            .collect();
+        have.sort_unstable();
+        let mut ranges = Vec::new();
+        let mut cursor = 0u32;
+        for &d in &have {
+            if d > cursor {
+                ranges.push(SeqRange {
+                    first: expected_seq.wrapping_add(cursor),
+                    count: d - cursor,
+                });
+            }
+            cursor = d + 1;
+        }
+        ranges.truncate(NAK_MAX_RANGES);
+        if ranges.is_empty() {
+            return None;
+        }
+        for r in &ranges {
+            for k in 0..r.count {
+                let s = r.first.wrapping_add(k);
+                if !self.nak_sent.contains(&s) {
+                    self.nak_sent.push(s);
+                }
+            }
+        }
+        Some(Nak { ranges })
+    }
+
+    fn accept(&mut self, frame: Frame, events: &mut Vec<LinkEvent>) {
+        if is_control_kind(frame.kind) {
+            // Control frames sit outside the data sequence space:
+            // surface them and leave gap/stale tracking untouched.
+            self.stats.control_frames += 1;
+            events.push(LinkEvent::Control(frame));
+            return;
+        }
+        if self.expect.is_none() {
+            if frame.seq != 0 || frame.clock != 0 {
+                // The stream was already running when we attached (or
+                // its head was lost): everything before this frame is a
+                // gap, so downstream sample indices stay aligned to the
+                // device clock. Encoders start at sequence 0, clock 0.
+                self.stats.gap_events += 1;
+                self.stats.lost_frames += u64::from(frame.seq);
+                events.push(LinkEvent::Gap {
+                    expected_seq: 0,
+                    got_seq: frame.seq,
+                    lost_frames: frame.seq,
+                    lost_clocks: frame.clock,
+                });
+            }
+            self.deliver(frame, events);
+            return;
+        }
+        let (expected_seq, expected_clock) = self.expect.unwrap();
+        let diff = frame.seq.wrapping_sub(expected_seq);
+        if diff == 0 {
+            self.deliver(frame, events);
+            self.drain_pending(events);
+        } else if diff < 0x8000_0000 {
+            // Forward jump. With no reorder window this is an immediate
+            // gap (PR 5 behavior); with one, the frame is buffered and
+            // the decoder waits — up to the window bound — for the
+            // missing predecessors to arrive late or be retransmitted.
+            if self.reorder_window == 0 {
+                let lost_clocks = frame.clock.saturating_sub(expected_clock);
+                self.stats.gap_events += 1;
+                self.stats.lost_frames += u64::from(diff);
+                events.push(LinkEvent::Gap {
+                    expected_seq,
+                    got_seq: frame.seq,
+                    lost_frames: diff,
+                    lost_clocks,
+                });
+                self.deliver(frame, events);
+            } else {
+                if self.pending.iter().any(|p| p.seq == frame.seq) {
                     self.stats.stale_frames += 1;
                     return;
                 }
+                self.pending.push(frame);
+                // Give up on the oldest missing span(s) while any
+                // buffered frame sits at or past the window edge.
+                while self.max_pending_diff() >= u64::from(self.reorder_window) {
+                    self.force_advance(events);
+                }
             }
+        } else {
+            // Backward jump: a duplicate or a straggler that already
+            // fell out of the window (its span was given up on).
+            self.stats.stale_frames += 1;
+        }
+    }
+
+    /// Largest forward distance of any buffered frame from the next
+    /// expected seq (0 when the buffer is empty).
+    fn max_pending_diff(&self) -> u64 {
+        let expected_seq = self.expect.map_or(0, |(s, _)| s);
+        self.pending
+            .iter()
+            .map(|f| u64::from(f.seq.wrapping_sub(expected_seq)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Declares the span up to the earliest buffered frame lost,
+    /// delivers that frame, and drains anything now consecutive.
+    fn force_advance(&mut self, events: &mut Vec<LinkEvent>) {
+        let (expected_seq, expected_clock) = self.expect.expect("force_advance needs a stream");
+        let at = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, f)| f.seq.wrapping_sub(expected_seq))
+            .map(|(i, _)| i)
+            .expect("force_advance needs pending frames");
+        let frame = self.pending.swap_remove(at);
+        let diff = frame.seq.wrapping_sub(expected_seq);
+        self.stats.gap_events += 1;
+        self.stats.lost_frames += u64::from(diff);
+        events.push(LinkEvent::Gap {
+            expected_seq,
+            got_seq: frame.seq,
+            lost_frames: diff,
+            lost_clocks: frame.clock.saturating_sub(expected_clock),
+        });
+        // The given-up seqs will never be counted as retransmits.
+        let give_up_end = frame.seq;
+        self.nak_sent
+            .retain(|&s| s.wrapping_sub(give_up_end) < 0x8000_0000);
+        self.stats.reordered_frames += 1;
+        self.deliver(frame, events);
+        self.drain_pending(events);
+    }
+
+    /// Delivers every buffered frame that is now consecutive with the
+    /// stream head.
+    fn drain_pending(&mut self, events: &mut Vec<LinkEvent>) {
+        loop {
+            let Some((expected_seq, _)) = self.expect else {
+                return;
+            };
+            let Some(at) = self.pending.iter().position(|f| f.seq == expected_seq) else {
+                return;
+            };
+            let frame = self.pending.swap_remove(at);
+            self.stats.reordered_frames += 1;
+            self.deliver(frame, events);
+        }
+    }
+
+    /// Emits a frame as the new stream head and advances `expect`.
+    fn deliver(&mut self, frame: Frame, events: &mut Vec<LinkEvent>) {
+        if let Some(i) = self.nak_sent.iter().position(|&s| s == frame.seq) {
+            self.nak_sent.swap_remove(i);
+            self.stats.retransmits_rx += 1;
         }
         self.expect = Some((
             frame.seq.wrapping_add(1),
@@ -298,7 +521,7 @@ mod tests {
             .iter()
             .filter_map(|e| match e {
                 LinkEvent::Frame(f) => Some(f.seq),
-                LinkEvent::Gap { .. } => None,
+                LinkEvent::Gap { .. } | LinkEvent::Control(_) => None,
             })
             .collect();
         assert_eq!(frames, vec![0, 1, 3, 4]);
@@ -310,7 +533,7 @@ mod tests {
                     lost_clocks,
                     ..
                 } => Some((*lost_frames, *lost_clocks)),
-                LinkEvent::Frame(_) => None,
+                LinkEvent::Frame(_) | LinkEvent::Control(_) => None,
             })
             .collect();
         assert_eq!(gaps, vec![(1, 128)]);
@@ -335,7 +558,7 @@ mod tests {
             .iter()
             .filter_map(|e| match e {
                 LinkEvent::Frame(f) => Some(f.seq),
-                LinkEvent::Gap { .. } => None,
+                LinkEvent::Gap { .. } | LinkEvent::Control(_) => None,
             })
             .collect();
         assert_eq!(seqs, vec![0, 1, 2]);
@@ -363,5 +586,119 @@ mod tests {
         assert_eq!(frames, 2);
         assert_eq!(dec.stats().resyncs, 1);
         assert_eq!(dec.stats().gap_events, 0);
+    }
+
+    fn delivered_seqs(events: &[LinkEvent]) -> Vec<u32> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                LinkEvent::Frame(f) => Some(f.seq),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reorder_window_heals_a_swap_without_a_gap() {
+        let chunks: Vec<PackedBits> = (0..4).map(|i| chunk(64, i)).collect();
+        let (wire, bounds) = encode_stream(&chunks);
+        // Send 0, 2, 1, 3.
+        let mut swapped = wire[..bounds[0]].to_vec();
+        swapped.extend_from_slice(&wire[bounds[1]..bounds[2]]);
+        swapped.extend_from_slice(&wire[bounds[0]..bounds[1]]);
+        swapped.extend_from_slice(&wire[bounds[2]..]);
+
+        let mut events = Vec::new();
+        let mut dec = FrameDecoder::new().with_reorder_window(8);
+        dec.push(&swapped, &mut events);
+        assert_eq!(delivered_seqs(&events), vec![0, 1, 2, 3]);
+        assert_eq!(dec.stats().gap_events, 0);
+        assert_eq!(dec.stats().reordered_frames, 1);
+        assert_eq!(dec.stats().stale_frames, 0);
+    }
+
+    #[test]
+    fn reorder_window_overflow_gives_up_with_a_gap() {
+        let chunks: Vec<PackedBits> = (0..6).map(|i| chunk(64, i)).collect();
+        let (wire, bounds) = encode_stream(&chunks);
+        // Drop frame 1 entirely, then stream 0, 2, 3, 4, 5 with
+        // window 3: frame 4 lands at diff 3 ≥ 3, forcing the give-up.
+        let mut lossy = wire[..bounds[0]].to_vec();
+        lossy.extend_from_slice(&wire[bounds[1]..]);
+
+        let mut events = Vec::new();
+        let mut dec = FrameDecoder::new().with_reorder_window(3);
+        dec.push(&lossy, &mut events);
+        assert_eq!(delivered_seqs(&events), vec![0, 2, 3, 4, 5]);
+        assert_eq!(dec.stats().gap_events, 1);
+        assert_eq!(dec.stats().lost_frames, 1);
+        // The gap is declared before frame 2 is delivered.
+        assert!(matches!(
+            events[1],
+            LinkEvent::Gap {
+                expected_seq: 1,
+                got_seq: 2,
+                lost_frames: 1,
+                lost_clocks: 64,
+            }
+        ));
+    }
+
+    #[test]
+    fn take_nak_reports_missing_and_counts_retransmits() {
+        let chunks: Vec<PackedBits> = (0..4).map(|i| chunk(64, i)).collect();
+        let (wire, bounds) = encode_stream(&chunks);
+        let mut events = Vec::new();
+        let mut dec = FrameDecoder::new().with_reorder_window(8);
+        // Deliver 0, then 2 and 3 out of order; 1 is missing.
+        dec.push(&wire[..bounds[0]], &mut events);
+        dec.push(&wire[bounds[1]..], &mut events);
+        let nak = dec.take_nak().expect("frame 1 is missing");
+        assert_eq!(nak.ranges.len(), 1);
+        assert_eq!((nak.ranges[0].first, nak.ranges[0].count), (1, 1));
+        // A second call re-reports the same span (caller-paced re-NAK).
+        assert!(dec.take_nak().is_some());
+
+        // The "retransmission" arrives: stream heals, retransmit
+        // counted, nothing concealed.
+        dec.push(&wire[bounds[0]..bounds[1]], &mut events);
+        assert_eq!(delivered_seqs(&events), vec![0, 1, 2, 3]);
+        assert_eq!(dec.stats().retransmits_rx, 1);
+        assert_eq!(dec.stats().gap_events, 0);
+        assert!(dec.take_nak().is_none());
+    }
+
+    #[test]
+    fn control_frames_bypass_sequence_tracking() {
+        use tonos_dsp::frame::{Hello, HelloAck};
+        let chunks: Vec<PackedBits> = (0..2).map(|i| chunk(64, i)).collect();
+        let (wire, bounds) = encode_stream(&chunks);
+        // data0, hello, ack, data1 — control seq=0 must not look stale
+        // or gap the data stream.
+        let mut mixed = wire[..bounds[0]].to_vec();
+        Hello {
+            device_id: 9,
+            nonce: 1,
+            tag: 2,
+        }
+        .to_frame()
+        .encode_into(&mut mixed);
+        HelloAck { accepted: true }
+            .to_frame()
+            .encode_into(&mut mixed);
+        mixed.extend_from_slice(&wire[bounds[0]..]);
+
+        let mut events = Vec::new();
+        let mut dec = FrameDecoder::new();
+        dec.push(&mixed, &mut events);
+        assert_eq!(delivered_seqs(&events), vec![0, 1]);
+        assert_eq!(dec.stats().control_frames, 2);
+        assert_eq!(dec.stats().gap_events, 0);
+        assert_eq!(dec.stats().stale_frames, 0);
+        let controls = events
+            .iter()
+            .filter(|e| matches!(e, LinkEvent::Control(_)))
+            .count();
+        assert_eq!(controls, 2);
     }
 }

@@ -13,11 +13,14 @@ use tonos_core::config::SystemConfig;
 use tonos_core::scratch::ConversionScratch;
 use tonos_core::SystemError;
 use tonos_dsp::bits::PackedBits;
+use tonos_dsp::frame::{HelloAck, Nak, KIND_HELLO_ACK, KIND_NAK};
 use tonos_mems::contact::ContactInterface;
 use tonos_mems::units::{MillimetersHg, Pascals};
 use tonos_physio::patient::PatientProfile;
 use tonos_telemetry::Telemetry;
 
+use crate::auth::LinkKey;
+use crate::decode::{FrameDecoder, LinkEvent};
 use crate::encode::FrameEncoder;
 
 /// Appends every bit of `src` to `dst`, word-wise.
@@ -53,6 +56,15 @@ pub struct DeviceSimulator {
     cursor: usize,
     frame_buf: Vec<Pascals>,
     packet: PackedBits,
+    /// `(key, device_id, nonce)` when the device introduces itself with
+    /// a keyed-MAC hello before the first data frame.
+    auth: Option<(LinkKey, u64, u64)>,
+    hello_sent: bool,
+    /// Host verdict from the last `KIND_HELLO_ACK` seen, if any.
+    acked: Option<bool>,
+    /// Decoder for the host→device control channel (acks and NAKs).
+    host_decoder: FrameDecoder,
+    host_events: Vec<LinkEvent>,
 }
 
 impl DeviceSimulator {
@@ -87,7 +99,71 @@ impl DeviceSimulator {
             cursor: 0,
             frame_buf: Vec::with_capacity(elements),
             packet: PackedBits::new(),
+            auth: None,
+            hello_sent: false,
+            acked: None,
+            host_decoder: FrameDecoder::new(),
+            host_events: Vec::new(),
         })
+    }
+
+    /// Keeps the last `window` encoded frames for NAK-driven replay
+    /// (see [`FrameEncoder::with_retransmit_window`]).
+    #[must_use]
+    pub fn with_retransmit_window(mut self, window: usize) -> Self {
+        self.encoder = self.encoder.with_retransmit_window(window);
+        self
+    }
+
+    /// Authenticates the stream: the first call to
+    /// [`DeviceSimulator::next_packet_into`] will emit a keyed-MAC
+    /// hello frame (tagged with `key` over `device_id ‖ nonce`) ahead
+    /// of the data.
+    #[must_use]
+    pub fn with_auth(mut self, key: LinkKey, device_id: u64, nonce: u64) -> Self {
+        self.auth = Some((key, device_id, nonce));
+        self
+    }
+
+    /// The host's handshake verdict, if a `KIND_HELLO_ACK` has been
+    /// seen by [`DeviceSimulator::handle_host_bytes`].
+    pub fn hello_acked(&self) -> Option<bool> {
+        self.acked
+    }
+
+    /// Consumes bytes from the host→device direction of the link —
+    /// handshake acks and NAKs — appending any retransmitted frames to
+    /// `out`. Returns how many frames were replayed.
+    ///
+    /// NAK'd spans that have already aged out of the retransmit window
+    /// are silently skipped; the host's gap concealment covers them.
+    pub fn handle_host_bytes(&mut self, bytes: &[u8], out: &mut Vec<u8>) -> u32 {
+        self.host_events.clear();
+        let mut events = std::mem::take(&mut self.host_events);
+        self.host_decoder.push(bytes, &mut events);
+        let mut replayed = 0u32;
+        for event in &events {
+            let LinkEvent::Control(frame) = event else {
+                continue;
+            };
+            match frame.kind {
+                KIND_HELLO_ACK => {
+                    if let Some(ack) = HelloAck::from_payload(frame.payload_bytes()) {
+                        self.acked = Some(ack.accepted);
+                    }
+                }
+                KIND_NAK => {
+                    if let Some(nak) = Nak::from_payload(frame.payload_bytes()) {
+                        for range in &nak.ranges {
+                            replayed += self.encoder.retransmit_into(*range, out);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.host_events = events;
+        replayed
     }
 
     /// Pressure frames batched into each wire frame (default 8, i.e.
@@ -137,6 +213,12 @@ impl DeviceSimulator {
     pub fn next_packet_into(&mut self, out: &mut Vec<u8>) -> Result<bool, SystemError> {
         if self.finished() {
             return Ok(false);
+        }
+        if !self.hello_sent {
+            self.hello_sent = true;
+            if let Some((key, device_id, nonce)) = self.auth {
+                key.hello(device_id, nonce).to_frame().encode_into(out);
+            }
         }
         self.packet.clear();
         for _ in 0..self.frames_per_packet {

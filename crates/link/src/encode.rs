@@ -7,10 +7,15 @@
 //! host reconstruct exactly *where* in the modulator timeline the
 //! payload sits — the property gap concealment is built on.
 
+use std::collections::VecDeque;
+
 use tonos_dsp::bits::PackedBits;
-use tonos_dsp::frame::Frame;
+use tonos_dsp::frame::{Frame, SeqRange};
 use tonos_dsp::DspError;
 use tonos_telemetry::{names, Counter, Telemetry};
+
+/// Hard ceiling on the retransmit window (frames of history kept).
+pub const MAX_RETRANSMIT_WINDOW: usize = 1024;
 
 /// Serializes packed ΣΔ chunks into wire frames, tracking the stream's
 /// sequence number and modulator clock index.
@@ -19,11 +24,21 @@ use tonos_telemetry::{names, Counter, Telemetry};
 /// wrap at `u32::MAX`; the clock index is the running count of payload
 /// bits ever encoded, i.e. the modulator clock of each frame's first
 /// bit.
+///
+/// With [`FrameEncoder::with_retransmit_window`], the encoder keeps the
+/// last N encoded frames and can replay them on request
+/// ([`FrameEncoder::retransmit_into`]) when the host NAKs a missing
+/// span — recovery instead of concealment.
 #[derive(Debug, Clone)]
 pub struct FrameEncoder {
     element: u16,
     next_seq: u32,
     clock: u64,
+    /// Ring of `(seq, encoded bytes)` for the last `retransmit_window`
+    /// frames; empty when the window is 0.
+    history: VecDeque<(u32, Vec<u8>)>,
+    retransmit_window: usize,
+    retransmits_tx: u64,
     frames_tx: Counter,
     bytes_tx: Counter,
 }
@@ -36,9 +51,45 @@ impl FrameEncoder {
             element,
             next_seq: 0,
             clock: 0,
+            history: VecDeque::new(),
+            retransmit_window: 0,
+            retransmits_tx: 0,
             frames_tx: Counter::disabled(),
             bytes_tx: Counter::disabled(),
         }
+    }
+
+    /// Keeps the last `window` encoded frames (clamped to
+    /// [`MAX_RETRANSMIT_WINDOW`]; 0 disables history) for NAK-driven
+    /// replay via [`FrameEncoder::retransmit_into`].
+    #[must_use]
+    pub fn with_retransmit_window(mut self, window: usize) -> Self {
+        self.retransmit_window = window.min(MAX_RETRANSMIT_WINDOW);
+        self.history.truncate(self.retransmit_window);
+        self
+    }
+
+    /// Frames replayed so far in response to NAKs.
+    pub fn retransmits_tx(&self) -> u64 {
+        self.retransmits_tx
+    }
+
+    /// Replays every frame of `range` still in the retransmit window,
+    /// appending their wire bytes to `out`. Returns how many frames
+    /// were actually replayed — fewer than `range.count` when part of
+    /// the span has already aged out of the window (the host's gap
+    /// concealment covers what the window no longer can).
+    pub fn retransmit_into(&mut self, range: SeqRange, out: &mut Vec<u8>) -> u32 {
+        let mut sent = 0u32;
+        for k in 0..range.count {
+            let seq = range.first.wrapping_add(k);
+            if let Some((_, bytes)) = self.history.iter().find(|(s, _)| *s == seq) {
+                out.extend_from_slice(bytes);
+                sent += 1;
+            }
+        }
+        self.retransmits_tx += u64::from(sent);
+        sent
     }
 
     /// Reports transmit counters ([`names::LINK_FRAMES_TX`],
@@ -77,6 +128,13 @@ impl FrameEncoder {
         let frame = Frame::bitstream(self.element, self.next_seq, self.clock, bits)?;
         let before = out.len();
         frame.encode_into(out);
+        if self.retransmit_window > 0 {
+            if self.history.len() == self.retransmit_window {
+                self.history.pop_front();
+            }
+            self.history
+                .push_back((self.next_seq, out[before..].to_vec()));
+        }
         self.next_seq = self.next_seq.wrapping_add(1);
         self.clock += bits.len() as u64;
         self.frames_tx.inc();
@@ -122,6 +180,39 @@ mod tests {
         };
         assert_eq!((frame.element, frame.seq, frame.clock), (7, 1, 100));
         assert_eq!(frame.to_packed_bits(), bits(28));
+    }
+
+    #[test]
+    fn retransmit_window_replays_exact_bytes_and_ages_out() {
+        use tonos_dsp::frame::SeqRange;
+        let mut enc = FrameEncoder::new(3).with_retransmit_window(2);
+        let f0 = enc.encode(&bits(64)).unwrap();
+        let f1 = enc.encode(&bits(64)).unwrap();
+        let f2 = enc.encode(&bits(64)).unwrap();
+        let _ = f0;
+
+        // Frames 1 and 2 are in the window; 0 has aged out.
+        let mut replay = Vec::new();
+        let sent = enc.retransmit_into(SeqRange { first: 0, count: 3 }, &mut replay);
+        assert_eq!(sent, 2);
+        let mut expected = f1.clone();
+        expected.extend_from_slice(&f2);
+        assert_eq!(replay, expected);
+        assert_eq!(enc.retransmits_tx(), 2);
+
+        // A span fully outside the window replays nothing.
+        let mut empty = Vec::new();
+        assert_eq!(
+            enc.retransmit_into(
+                SeqRange {
+                    first: 10,
+                    count: 4
+                },
+                &mut empty
+            ),
+            0
+        );
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -24,10 +24,23 @@
 //!   concealed spans are flagged all the way into the
 //!   [`OnlineAnalyzer`](tonos_core::stream::OnlineAnalyzer), where they
 //!   suppress pressure alarms rather than silently firing them.
-//! * **Ingest server** ([`LinkServer`]): a `std`-only TCP listener that
-//!   runs one host pipeline per connection on the fleet worker pool,
-//!   with bounded per-connection queues and a slow-consumer disconnect
-//!   policy.
+//! * **Stream provenance** ([`LinkKey`]): a keyed-MAC (SipHash-2-4)
+//!   hello handshake — devices introduce themselves with a tagged
+//!   `device_id ‖ nonce`, hosts verify against a pre-shared key, and a
+//!   `require_auth` pipeline drops (and counts) data frames until a
+//!   verified hello arrives.
+//! * **Recovery** (reorder window + NAK retransmit): the decoder can
+//!   buffer out-of-order frames inside a bounded window and request
+//!   missing spans back from the device (`KIND_NAK`), which replays the
+//!   exact original bytes from its retransmit history. A stream
+//!   recovered within the window is **bit-identical** to a lossless
+//!   one; beyond it, recovery degrades to the explicit-gap machinery.
+//!   The byte-level rules live in the repo's `PROTOCOL.md`.
+//! * **Ingest server** ([`LinkServer`]): a `std`-only TCP listener
+//!   whose single non-blocking IO thread multiplexes every connection
+//!   onto per-connection chunk actors on the fleet worker pool, with
+//!   bounded per-connection queues, a slow-consumer disconnect policy,
+//!   and best-effort control write-back (acks, NAKs) on each socket.
 //! * **Live queries** ([`LinkDirectory`]): every connection publishes
 //!   its [`LinkHealth`] into a directory entry after each chunk, so
 //!   operators (and the `tonos-scope` endpoint's `/links`) can inspect
@@ -43,6 +56,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod auth;
 pub mod decode;
 pub mod device;
 pub mod encode;
@@ -51,6 +65,7 @@ pub mod pipeline;
 pub mod query;
 pub mod server;
 
+pub use auth::LinkKey;
 pub use decode::{DecoderStats, FrameDecoder, LinkEvent};
 pub use device::DeviceSimulator;
 pub use encode::FrameEncoder;

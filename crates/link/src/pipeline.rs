@@ -49,10 +49,11 @@ use tonos_core::stream::{AlarmLimits, MonitorEvent, OnlineAnalyzer};
 use tonos_core::SystemError;
 use tonos_dsp::bits::PackedBits;
 use tonos_dsp::decimator::{DecimatorConfig, TwoStageDecimator};
-use tonos_dsp::frame::KIND_BITSTREAM;
+use tonos_dsp::frame::{Frame, Hello, HelloAck, KIND_BITSTREAM, KIND_HELLO};
 use tonos_mems::units::{MillimetersHg, Pascals};
 use tonos_telemetry::{names, Counter, Severity, SpanTimer, Telemetry};
 
+use crate::auth::LinkKey;
 use crate::decode::{FrameDecoder, LinkEvent};
 
 /// Longest gap (seconds of output) concealed sample-by-sample; larger
@@ -205,6 +206,15 @@ pub struct LinkHealth {
     pub mean_systolic_mmhg: f64,
     /// Mean diastolic over detected beats, mmHg (0 without beats).
     pub mean_diastolic_mmhg: f64,
+    /// NAK control frames queued for the device (retransmit requests).
+    pub naks_tx: u64,
+    /// Keyed-MAC handshakes verified and accepted.
+    pub handshakes_ok: u64,
+    /// Handshakes rejected: forged tag, malformed payload.
+    pub handshakes_rejected: u64,
+    /// Data frames dropped because the pipeline requires an
+    /// authenticated session and none was established.
+    pub unauth_frames: u64,
 }
 
 impl LinkHealth {
@@ -230,9 +240,35 @@ struct SampleCounts {
 /// Push-based host pipeline: bytes in, flagged calibrated samples out.
 ///
 /// Build order: [`HostPipeline::new`] →
+/// [`with_reorder_window`](HostPipeline::with_reorder_window) /
+/// [`with_auth`](HostPipeline::with_auth) (optional) →
 /// [`with_analyzer`](HostPipeline::with_analyzer) (optional) →
 /// [`with_telemetry`](HostPipeline::with_telemetry) (optional, last, so
 /// the analyzer's instruments are wired too).
+///
+/// # Example
+///
+/// ```
+/// use tonos_dsp::bits::PackedBits;
+/// use tonos_dsp::decimator::DecimatorConfig;
+/// use tonos_link::{FrameEncoder, GapPolicy, HostPipeline, LinkCalibration, SampleFlag};
+///
+/// let mut pipe = HostPipeline::new(
+///     &DecimatorConfig::paper_default(),
+///     LinkCalibration::identity(),
+///     GapPolicy::HoldLast,
+/// )
+/// .unwrap();
+///
+/// // A device encodes one 128-bit chunk; the transport delivers it.
+/// let mut enc = FrameEncoder::new(0);
+/// let chunk: PackedBits = (0..128).map(|i| i % 3 == 0).collect();
+/// let wire = enc.encode(&chunk).unwrap();
+///
+/// let mut samples = Vec::new();
+/// pipe.push_bytes(&wire, &mut samples);
+/// assert!(samples.iter().all(|s| s.flag == SampleFlag::Clean));
+/// ```
 #[derive(Debug)]
 pub struct HostPipeline {
     decoder: FrameDecoder,
@@ -261,6 +297,23 @@ pub struct HostPipeline {
     alarms: u64,
     sum_systolic: f64,
     sum_diastolic: f64,
+    /// Pre-shared key for verifying device hellos; `None` leaves the
+    /// wire unauthenticated (hellos are acked but not verified).
+    auth_key: Option<LinkKey>,
+    /// Whether data frames are dropped until a verified handshake.
+    auth_required: bool,
+    authenticated: bool,
+    naks_tx: u64,
+    handshakes_ok: u64,
+    handshakes_rejected: u64,
+    unauth_frames: u64,
+    /// Encoded control frames (acks, NAKs) awaiting
+    /// [`HostPipeline::drain_control_into`].
+    control_out: Vec<u8>,
+    naks_counter: Counter,
+    handshakes_ok_counter: Counter,
+    handshakes_rejected_counter: Counter,
+    unauth_counter: Counter,
     clean_counter: Counter,
     concealed_counter: Counter,
     invalid_counter: Counter,
@@ -311,6 +364,18 @@ impl HostPipeline {
             alarms: 0,
             sum_systolic: 0.0,
             sum_diastolic: 0.0,
+            auth_key: None,
+            auth_required: false,
+            authenticated: true,
+            naks_tx: 0,
+            handshakes_ok: 0,
+            handshakes_rejected: 0,
+            unauth_frames: 0,
+            control_out: Vec::new(),
+            naks_counter: Counter::disabled(),
+            handshakes_ok_counter: Counter::disabled(),
+            handshakes_rejected_counter: Counter::disabled(),
+            unauth_counter: Counter::disabled(),
             clean_counter: Counter::disabled(),
             concealed_counter: Counter::disabled(),
             invalid_counter: Counter::disabled(),
@@ -323,6 +388,57 @@ impl HostPipeline {
             link_scratch: Vec::new(),
             out_scratch: Vec::new(),
         })
+    }
+
+    /// Enables the decoder's reorder buffer (see
+    /// [`FrameDecoder::with_reorder_window`]): out-of-order frames
+    /// within `window` are re-sequenced instead of gapped, and
+    /// [`HostPipeline::drain_control_into`] emits NAKs for the spans
+    /// still missing so the device can retransmit them.
+    #[must_use]
+    pub fn with_reorder_window(mut self, window: u32) -> Self {
+        self.decoder = self.decoder.with_reorder_window(window);
+        self
+    }
+
+    /// Verifies device handshakes against `key`.
+    ///
+    /// With `required = false`, unauthenticated data still flows (the
+    /// handshake only feeds provenance counters and the journal); with
+    /// `required = true`, data and gap events are dropped — and counted
+    /// as `link.unauth_frames` — until a hello tagged with `key`
+    /// arrives.
+    ///
+    /// ```
+    /// use tonos_dsp::decimator::DecimatorConfig;
+    /// use tonos_link::{GapPolicy, HostPipeline, LinkCalibration, LinkKey};
+    ///
+    /// let key = LinkKey::from_bytes([9u8; 16]);
+    /// let mut pipe = HostPipeline::new(
+    ///     &DecimatorConfig::paper_default(),
+    ///     LinkCalibration::identity(),
+    ///     GapPolicy::HoldLast,
+    /// )
+    /// .unwrap()
+    /// .with_auth(key, true);
+    ///
+    /// // The device opens with a keyed hello; the host verifies it and
+    /// // queues an accept ack for the return path.
+    /// let hello = key.hello(42, 7).to_frame().encode();
+    /// let mut samples = Vec::new();
+    /// pipe.push_bytes(&hello, &mut samples);
+    /// assert_eq!(pipe.health().handshakes_ok, 1);
+    ///
+    /// let mut reply = Vec::new();
+    /// pipe.drain_control_into(&mut reply);
+    /// assert!(!reply.is_empty()); // the encoded HelloAck frame
+    /// ```
+    #[must_use]
+    pub fn with_auth(mut self, key: LinkKey, required: bool) -> Self {
+        self.auth_key = Some(key);
+        self.auth_required = required;
+        self.authenticated = !required;
+        self
     }
 
     /// Adds online alarm screening at the pipeline's output rate.
@@ -346,6 +462,10 @@ impl HostPipeline {
         self.invalid_counter = telemetry.counter(names::LINK_SAMPLES_INVALID);
         self.skipped_counter = telemetry.counter(names::LINK_GAP_SKIPPED_SAMPLES);
         self.resets_counter = telemetry.counter(names::LINK_STREAM_RESETS);
+        self.naks_counter = telemetry.counter(names::LINK_NAKS_TX);
+        self.handshakes_ok_counter = telemetry.counter(names::LINK_HANDSHAKES_OK);
+        self.handshakes_rejected_counter = telemetry.counter(names::LINK_HANDSHAKES_REJECTED);
+        self.unauth_counter = telemetry.counter(names::LINK_UNAUTH_FRAMES);
         self.decode_span = telemetry.span(names::SPAN_LINK_DECODE);
         self.conceal_span = telemetry.span(names::SPAN_LINK_CONCEAL);
         self.analyzer = self.analyzer.map(|a| a.with_telemetry(telemetry.clone()));
@@ -389,14 +509,25 @@ impl HostPipeline {
         span.finish();
         for event in events.drain(..) {
             match event {
-                LinkEvent::Gap { lost_clocks, .. } => self.conceal(lost_clocks, out),
+                LinkEvent::Gap { lost_clocks, .. } => {
+                    if !self.authenticated {
+                        continue;
+                    }
+                    self.conceal(lost_clocks, out);
+                }
                 LinkEvent::Frame(frame) => {
+                    if !self.authenticated {
+                        self.unauth_frames += 1;
+                        self.unauth_counter.inc();
+                        continue;
+                    }
                     if frame.kind != KIND_BITSTREAM {
                         continue;
                     }
                     let bits = frame.to_packed_bits();
                     self.decimate(&bits, out);
                 }
+                LinkEvent::Control(frame) => self.handle_control(&frame),
             }
         }
         self.link_scratch = events;
@@ -421,6 +552,74 @@ impl HostPipeline {
         std::mem::take(&mut self.monitor_events)
     }
 
+    /// Handles one device→host control frame.
+    fn handle_control(&mut self, frame: &Frame) {
+        if frame.kind != KIND_HELLO {
+            // Acks and NAKs belong to the host→device direction; seen
+            // here they are counted as control traffic and ignored.
+            return;
+        }
+        let verdict = match Hello::from_payload(frame.payload_bytes()) {
+            Some(hello) => match self.auth_key {
+                Some(key) => {
+                    if key.verify(&hello) {
+                        Ok(hello)
+                    } else {
+                        Err(format!(
+                            "forged handshake: device_id {} nonce {} carries a bad MAC tag",
+                            hello.device_id, hello.nonce
+                        ))
+                    }
+                }
+                // No key configured: the hello is advisory; accept it
+                // so an authenticated device can talk to a host that
+                // does not enforce provenance.
+                None => Ok(hello),
+            },
+            None => Err("malformed hello payload".to_string()),
+        };
+        match verdict {
+            Ok(_) => {
+                self.authenticated = true;
+                self.handshakes_ok += 1;
+                self.handshakes_ok_counter.inc();
+                HelloAck { accepted: true }
+                    .to_frame()
+                    .encode_into(&mut self.control_out);
+            }
+            Err(why) => {
+                self.handshakes_rejected += 1;
+                self.handshakes_rejected_counter.inc();
+                self.telemetry.event(Severity::Warning, "link.auth", || {
+                    format!("handshake rejected: {why}")
+                });
+                HelloAck { accepted: false }
+                    .to_frame()
+                    .encode_into(&mut self.control_out);
+            }
+        }
+    }
+
+    /// Appends the host→device control traffic queued so far — hello
+    /// acks, plus a NAK for every span currently missing inside the
+    /// reorder window — to `out`. Returns `true` if anything was
+    /// appended.
+    ///
+    /// Call once per ingested chunk (the server does): each call
+    /// re-requests everything still missing, so a lost NAK or a lost
+    /// retransmission heals on the next round instead of deadlocking
+    /// the window.
+    pub fn drain_control_into(&mut self, out: &mut Vec<u8>) -> bool {
+        let before = out.len();
+        out.append(&mut self.control_out);
+        if let Some(nak) = self.decoder.take_nak() {
+            nak.to_frame().encode_into(out);
+            self.naks_tx += 1;
+            self.naks_counter.inc();
+        }
+        out.len() > before
+    }
+
     /// Aggregate stream health so far.
     pub fn health(&self) -> LinkHealth {
         let beats_f = if self.beats > 0 {
@@ -443,6 +642,10 @@ impl HostPipeline {
                 .map_or(0.0, OnlineAnalyzer::pulse_rate_bpm),
             mean_systolic_mmhg: self.sum_systolic / beats_f,
             mean_diastolic_mmhg: self.sum_diastolic / beats_f,
+            naks_tx: self.naks_tx,
+            handshakes_ok: self.handshakes_ok,
+            handshakes_rejected: self.handshakes_rejected,
+            unauth_frames: self.unauth_frames,
         }
     }
 

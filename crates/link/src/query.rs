@@ -91,6 +91,8 @@ impl LinkStatus {
                 "{{\"id\":{},\"peer\":\"{}\",\"connected_at_s\":{},\"live\":{},",
                 "\"frames\":{},\"bytes\":{},\"crc_failures\":{},\"resyncs\":{},",
                 "\"gap_events\":{},\"lost_frames\":{},\"stale_frames\":{},",
+                "\"reordered_frames\":{},\"retransmits_rx\":{},\"naks_tx\":{},",
+                "\"handshakes_ok\":{},\"handshakes_rejected\":{},\"unauth_frames\":{},",
                 "\"clean_samples\":{},\"concealed_samples\":{},\"invalid_samples\":{},",
                 "\"skipped_samples\":{},\"stream_resets\":{},",
                 "\"beats\":{},\"alarms\":{},\"pulse_rate_bpm\":{}}}"
@@ -106,6 +108,12 @@ impl LinkStatus {
             d.gap_events,
             d.lost_frames,
             d.stale_frames,
+            d.reordered_frames,
+            d.retransmits_rx,
+            self.health.naks_tx,
+            self.health.handshakes_ok,
+            self.health.handshakes_rejected,
+            self.health.unauth_frames,
             self.health.clean_samples,
             self.health.concealed_samples,
             self.health.invalid_samples,
@@ -143,6 +151,18 @@ pub struct LinkAggregate {
     pub skipped_samples: u64,
     /// Alarms across all entries.
     pub alarms: u64,
+    /// Frames healed by the reorder window across all entries.
+    pub reordered_frames: u64,
+    /// NAK-recovered retransmits accepted across all entries.
+    pub retransmits_rx: u64,
+    /// NAK frames queued for devices across all entries.
+    pub naks_tx: u64,
+    /// Verified device handshakes across all entries.
+    pub handshakes_ok: u64,
+    /// Rejected (forged or malformed) handshakes across all entries.
+    pub handshakes_rejected: u64,
+    /// Data frames dropped pre-authentication across all entries.
+    pub unauth_frames: u64,
 }
 
 /// Registry of every connection the server has accepted.
@@ -211,6 +231,12 @@ impl LinkDirectory {
             agg.stream_resets += h.stream_resets;
             agg.skipped_samples += h.skipped_samples;
             agg.alarms += h.alarms;
+            agg.reordered_frames += h.decoder.reordered_frames;
+            agg.retransmits_rx += h.decoder.retransmits_rx;
+            agg.naks_tx += h.naks_tx;
+            agg.handshakes_ok += h.handshakes_ok;
+            agg.handshakes_rejected += h.handshakes_rejected;
+            agg.unauth_frames += h.unauth_frames;
         }
         agg
     }

@@ -1,65 +1,81 @@
-//! A `std`-only concurrent ingest server: one TCP connection per
-//! device, one [`HostPipeline`] per connection, run on the fleet's
-//! worker pool.
+//! A `std`-only ingest server: one TCP connection per device, one
+//! [`HostPipeline`] per connection, multiplexed by a single IO thread
+//! over the fleet's worker pool.
 //!
 //! ## Shape
 //!
-//! * An **accept thread** owns the listener and a [`FleetEngine`]. Each
-//!   accepted connection gets a dedicated **reader thread** (sockets
-//!   block; pipelines shouldn't) and one ingest task pushed onto the
-//!   fleet pool via [`FleetEngine::push_task`] — so ingest sessions get
-//!   the fleet's panic isolation, per-session telemetry registries, and
-//!   rollup for free, and appear in the final
-//!   [`FleetReport`] next to simulated
-//!   sessions. Because an ingest task occupies its worker for the whole
-//!   connection lifetime, the accept loop grows the pool
-//!   ([`FleetEngine::ensure_workers`]) so every live connection has a
-//!   worker — more simultaneous devices than the initial pool size can
-//!   never starve a session into a spurious slow-consumer eviction.
-//! * **Backpressure is bounded.** Reader and pipeline are coupled by a
-//!   bounded channel of byte chunks. When the pipeline can't keep up,
-//!   the reader waits out a short grace window and then *disconnects*
-//!   the device, bumping [`names::LINK_SLOW_CONSUMER_DISCONNECTS`] and
-//!   journaling the eviction — an unbounded queue on a medical ingest
-//!   path is a slow-motion out-of-memory abort.
+//! * **One IO thread, any number of links.** The listener and every
+//!   accepted socket are non-blocking; a readiness loop sweeps them
+//!   round-robin — accept new connections, read whatever bytes are
+//!   ready, hand each chunk to that connection's **chunk actor** on the
+//!   [`FleetEngine`] pool ([`FleetEngine::open_actor`]). No
+//!   thread-per-connection anywhere: thread count is `1 + workers`,
+//!   constant from 1 link to 10k (the loopback sweep in
+//!   `BENCH_link.json` gates exactly this).
+//! * **Ordering without pinning.** A chunk actor is run by at most one
+//!   worker at a time and sees chunks in push order, so each
+//!   connection's pipeline state is single-threaded even though any
+//!   worker may run it. Idle connections cost no worker at all —
+//!   that is what lets a fixed pool carry thousands of links.
+//! * **Backpressure is bounded.** Each actor's chunk queue is bounded.
+//!   When a connection's queue is full the IO thread simply stops
+//!   reading that socket (TCP pushes back on the device); if the queue
+//!   stays full past a grace window the connection is evicted, bumping
+//!   [`names::LINK_SLOW_CONSUMER_DISCONNECTS`] and journaling the
+//!   eviction — an unbounded queue on a medical ingest path is a
+//!   slow-motion out-of-memory abort.
+//! * **The wire is bidirectional.** Each pipeline's control traffic —
+//!   handshake acks and NAK retransmit requests
+//!   ([`HostPipeline::drain_control_into`]) — is written back to the
+//!   device best-effort on the same socket after every chunk. A lost
+//!   NAK is re-requested on the next chunk; the device's decoder
+//!   resyncs across any partial write.
 //! * **Shutdown is cooperative.** [`LinkServer::shutdown`] flips a stop
-//!   flag; the accept loop (non-blocking) and readers (read timeouts)
-//!   notice, drain, and the fleet engine is shut down for its report
-//!   and merged telemetry snapshot.
+//!   flag; the IO loop notices, closes every actor (queued chunks are
+//!   still processed first), and the fleet engine is drained for its
+//!   report and merged telemetry snapshot.
 
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use tonos_core::stream::AlarmLimits;
 use tonos_dsp::decimator::DecimatorConfig;
-use tonos_fleet::{FleetConfig, FleetEngine, FleetReport};
-use tonos_telemetry::{names, Registry, Severity, Telemetry, TelemetrySnapshot};
+use tonos_fleet::{ActorEvent, ActorHandle, ChunkFull, FleetConfig, FleetEngine, FleetReport};
+use tonos_telemetry::{names, Histogram, Registry, Severity, Telemetry, TelemetrySnapshot};
 
+use crate::auth::LinkKey;
 use crate::pipeline::{GapPolicy, HostPipeline, LinkCalibration};
 use crate::query::{LinkDirectory, LinkEntry, LinkStatus};
 
-/// Socket read size and channel chunk granularity.
+/// Socket read size and actor chunk granularity.
 const READ_CHUNK: usize = 8 * 1024;
 
-/// Poll interval for the non-blocking accept loop and reader timeouts.
+/// Reads taken from one socket per readiness sweep before moving on —
+/// fairness cap so one firehose device cannot starve its neighbours.
+const READS_PER_SWEEP: usize = 4;
+
+/// Accepts taken per readiness sweep before the sockets get a turn.
+const ACCEPTS_PER_SWEEP: usize = 64;
+
+/// Idle-sweep sleep for the readiness loop.
 const POLL: Duration = Duration::from_millis(5);
 
 /// Ingest server configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct LinkServerConfig {
-    /// Initial fleet worker threads (0 = one per hardware thread). The
-    /// pool grows on demand so every live connection has a worker; this
-    /// only sizes the pool the server starts with.
+    /// Fleet worker threads (0 = one per hardware thread). Connections
+    /// are chunk actors — idle links occupy no worker — so the pool
+    /// stays this size no matter how many devices connect.
     pub workers: usize,
-    /// Bounded per-connection queue, in read chunks (≥ 1).
+    /// Bounded per-connection actor queue, in read chunks (≥ 1).
     pub queue_chunks: usize,
-    /// How long a reader waits on a full queue before evicting the
-    /// connection as a slow consumer.
+    /// How long a connection's queue may stay full — with the IO loop
+    /// not reading its socket — before it is evicted as a slow
+    /// consumer.
     pub slow_consumer_grace_ms: u64,
     /// Decimator configuration for every connection's pipeline.
     pub decimator: DecimatorConfig,
@@ -69,11 +85,21 @@ pub struct LinkServerConfig {
     pub policy: GapPolicy,
     /// Online alarm screening limits (`None` = no analyzer).
     pub alarm_limits: Option<AlarmLimits>,
+    /// Decoder reorder window per connection, in frames (0 disables
+    /// reordering and NAK-driven retransmit requests).
+    pub reorder_window: u32,
+    /// Pre-shared key for verifying device handshakes (`None` leaves
+    /// hellos unverified).
+    pub auth_key: Option<LinkKey>,
+    /// With a key set: drop (and count) data frames until a verified
+    /// handshake arrives on each connection.
+    pub require_auth: bool,
 }
 
 impl Default for LinkServerConfig {
     /// Paper-default decimation, identity calibration, hold-last
-    /// concealment, adult alarm limits.
+    /// concealment, adult alarm limits, a 32-frame reorder window, no
+    /// handshake enforcement.
     fn default() -> Self {
         LinkServerConfig {
             workers: 0,
@@ -83,6 +109,9 @@ impl Default for LinkServerConfig {
             calibration: LinkCalibration::identity(),
             policy: GapPolicy::HoldLast,
             alarm_limits: Some(AlarmLimits::adult()),
+            reorder_window: 32,
+            auth_key: None,
+            require_auth: false,
         }
     }
 }
@@ -99,7 +128,7 @@ pub struct LinkServer {
     connections: Arc<AtomicUsize>,
     fleet_registry: Registry,
     directory: Arc<LinkDirectory>,
-    accept_thread: Option<JoinHandle<(FleetReport, TelemetrySnapshot)>>,
+    io_thread: Option<JoinHandle<(FleetReport, TelemetrySnapshot)>>,
 }
 
 impl LinkServer {
@@ -121,33 +150,25 @@ impl LinkServer {
         } else {
             config.workers
         };
-        // The engine lives on the accept thread, but its registry and
-        // the connection directory are created here so the server (and
+        // The engine lives on the IO thread, but its registry and the
+        // connection directory are created here so the server (and
         // anything it hands them to, like a scope endpoint) can query
-        // live telemetry without touching the accept thread.
+        // live telemetry without touching the IO thread.
         let engine = FleetEngine::spawn(FleetConfig { workers });
         let fleet_registry = engine.registry().clone();
         let directory = Arc::new(LinkDirectory::new());
-        let stop_accept = Arc::clone(&stop);
-        let conn_accept = Arc::clone(&connections);
-        let dir_accept = Arc::clone(&directory);
-        let accept_thread = thread::spawn(move || {
-            accept_loop(
-                &listener,
-                engine,
-                &dir_accept,
-                &config,
-                &stop_accept,
-                &conn_accept,
-            )
-        });
+        let stop_io = Arc::clone(&stop);
+        let conn_io = Arc::clone(&connections);
+        let dir_io = Arc::clone(&directory);
+        let io_thread =
+            thread::spawn(move || io_loop(&listener, engine, &dir_io, &config, &stop_io, &conn_io));
         Ok(LinkServer {
             addr: local,
             stop,
             connections,
             fleet_registry,
             directory,
-            accept_thread: Some(accept_thread),
+            io_thread: Some(io_thread),
         })
     }
 
@@ -160,6 +181,13 @@ impl LinkServer {
     /// devices landed before shutting down.
     pub fn connections(&self) -> usize {
         self.connections.load(Ordering::SeqCst)
+    }
+
+    /// IO threads multiplexing the sockets — always 1, independent of
+    /// connection count. Exposed so benchmarks and operators can assert
+    /// the no-thread-per-connection property.
+    pub fn io_threads(&self) -> usize {
+        1
     }
 
     /// The fleet-level registry backing this server: engine counters
@@ -187,23 +215,40 @@ impl LinkServer {
     pub fn shutdown(mut self) -> (FleetReport, TelemetrySnapshot) {
         self.stop.store(true, Ordering::SeqCst);
         let handle = self
-            .accept_thread
+            .io_thread
             .take()
-            .expect("accept thread present until shutdown");
-        handle.join().expect("accept thread never panics")
+            .expect("IO thread present until shutdown");
+        handle.join().expect("IO thread never panics")
     }
 }
 
 impl Drop for LinkServer {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept_thread.take() {
+        if let Some(handle) = self.io_thread.take() {
             let _ = handle.join();
         }
     }
 }
 
-fn accept_loop(
+/// One multiplexed connection's IO-side state.
+struct Conn {
+    stream: TcpStream,
+    peer: SocketAddr,
+    actor: ActorHandle,
+    /// A chunk the actor queue refused; retried until it fits or the
+    /// grace window expires. While set, the socket is not read —
+    /// backpressure propagates to the device through TCP.
+    pending: Option<Vec<u8>>,
+    full_since: Option<Instant>,
+    /// Socket finished (EOF, error, eviction): actor closed, awaiting
+    /// removal from the sweep.
+    done: bool,
+}
+
+/// The single IO thread: a hand-rolled readiness loop over the
+/// non-blocking listener and every connection socket.
+fn io_loop(
     listener: &TcpListener,
     mut engine: FleetEngine,
     directory: &Arc<LinkDirectory>,
@@ -212,235 +257,301 @@ fn accept_loop(
     connections: &AtomicUsize,
 ) -> (FleetReport, TelemetrySnapshot) {
     let fleet_tel = engine.telemetry();
-    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    let queue_depth = fleet_tel.histogram(
+        names::LINK_QUEUE_DEPTH,
+        &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+    );
+    let grace = Duration::from_millis(config.slow_consumer_grace_ms);
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut buf = vec![0u8; READ_CHUNK];
     while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, peer)) => {
-                connections.fetch_add(1, Ordering::SeqCst);
-                fleet_tel.counter(names::LINK_CONNECTIONS).inc();
-                // An ingest session occupies its worker for the whole
-                // connection lifetime, so a fixed pool would starve
-                // every connection past `workers`: collect what has
-                // finished and grow the pool so each live session has a
-                // worker of its own.
-                engine.poll_finished();
-                engine.ensure_workers(engine.pending() + 1);
-                let entry = directory.register(peer.to_string(), fleet_tel.now());
-                spawn_connection(
-                    &mut engine,
-                    &fleet_tel,
-                    entry,
-                    stream,
-                    peer,
-                    config,
-                    stop,
-                    &mut readers,
-                );
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                // Idle beat: fold any finished sessions into the fleet
-                // rollup now, so live scrapes of the fleet registry see
-                // completed-session telemetry promptly instead of at
-                // the next accept or shutdown.
-                engine.poll_finished();
-                thread::sleep(POLL);
-            }
-            Err(e) => {
-                // ECONNABORTED, EINTR, EMFILE under fd pressure, ...: a
-                // transient accept failure must not silently stop the
-                // ward from admitting devices. Journal it, back off,
-                // keep listening; the stop flag is the only exit.
-                fleet_tel.counter(names::LINK_ACCEPT_ERRORS).inc();
-                fleet_tel.event(Severity::Warning, "link.server", || {
-                    format!("accept error ({e}); still listening")
-                });
-                thread::sleep(POLL);
+        let mut progressed = false;
+        // Admit new devices, a bounded batch per sweep.
+        for _ in 0..ACCEPTS_PER_SWEEP {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    progressed = true;
+                    connections.fetch_add(1, Ordering::SeqCst);
+                    fleet_tel.counter(names::LINK_CONNECTIONS).inc();
+                    match open_connection(&mut engine, directory, config, &fleet_tel, stream, peer)
+                    {
+                        Ok(conn) => conns.push(conn),
+                        Err(e) => {
+                            fleet_tel.event(Severity::Warning, "link.server", || {
+                                format!("connection setup failed for {peer}: {e}")
+                            });
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) => {
+                    // ECONNABORTED, EINTR, EMFILE under fd pressure...:
+                    // a transient accept failure must not silently stop
+                    // the ward from admitting devices. Journal it and
+                    // keep listening; the stop flag is the only exit.
+                    fleet_tel.counter(names::LINK_ACCEPT_ERRORS).inc();
+                    fleet_tel.event(Severity::Warning, "link.server", || {
+                        format!("accept error ({e}); still listening")
+                    });
+                    break;
+                }
             }
         }
+        // Sweep the sockets round-robin.
+        for conn in &mut conns {
+            if conn.done {
+                continue;
+            }
+            if sweep_conn(conn, &mut buf, grace, &queue_depth, &fleet_tel) {
+                progressed = true;
+            }
+        }
+        conns.retain(|c| !c.done);
+        // Fold any finished sessions into the fleet rollup now, so live
+        // scrapes of the fleet registry see completed-session telemetry
+        // promptly instead of only at shutdown.
+        engine.poll_finished();
+        if !progressed {
+            thread::sleep(POLL);
+        }
     }
-    for reader in readers {
-        let _ = reader.join();
+    // Cooperative shutdown: close every actor (queued chunks are still
+    // processed before each Closed event), then drain the pool.
+    for conn in &conns {
+        conn.actor.close();
     }
+    drop(conns);
     let report = engine.drain();
     let snapshot = engine.snapshot();
     (report, snapshot)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn spawn_connection(
-    engine: &mut FleetEngine,
+/// Services one connection for one sweep: retry a refused chunk, evict
+/// on expired grace, read up to [`READS_PER_SWEEP`] chunks. Returns
+/// whether any progress was made.
+fn sweep_conn(
+    conn: &mut Conn,
+    buf: &mut [u8],
+    grace: Duration,
+    queue_depth: &Histogram,
     fleet_tel: &Telemetry,
-    entry: Arc<LinkEntry>,
-    stream: TcpStream,
-    peer: SocketAddr,
-    config: &LinkServerConfig,
-    stop: &Arc<AtomicBool>,
-    readers: &mut Vec<JoinHandle<()>>,
-) {
-    let (tx, rx) = sync_channel::<Vec<u8>>(config.queue_chunks.max(1));
-    let depth = Arc::new(AtomicUsize::new(0));
-
-    let reader_tel = fleet_tel.clone();
-    let reader_depth = Arc::clone(&depth);
-    let reader_stop = Arc::clone(stop);
-    let grace = Duration::from_millis(config.slow_consumer_grace_ms);
-    readers.push(thread::spawn(move || {
-        reader_loop(
-            stream,
-            peer,
-            &tx,
-            &reader_depth,
-            grace,
-            &reader_tel,
-            &reader_stop,
-        );
-    }));
-
-    let cfg = *config;
-    engine.push_task(format!("link:{peer}"), move |ctx| {
-        ingest_session(&rx, &depth, &cfg, &entry, &ctx.telemetry)
-    });
+) -> bool {
+    let mut progressed = false;
+    // A refused chunk gets first claim on the queue.
+    if let Some(chunk) = conn.pending.take() {
+        match conn.actor.try_push_chunk(chunk) {
+            Ok(()) => {
+                progressed = true;
+                conn.full_since = None;
+                queue_depth.record(conn.actor.queue_len() as f64);
+            }
+            Err(ChunkFull(back)) => {
+                let since = *conn.full_since.get_or_insert_with(Instant::now);
+                if since.elapsed() >= grace {
+                    // Slow consumer: evict rather than buffer without
+                    // bound. Closing the actor lets the session
+                    // summarize everything ingested so far.
+                    fleet_tel
+                        .counter(names::LINK_SLOW_CONSUMER_DISCONNECTS)
+                        .inc();
+                    let peer = conn.peer;
+                    fleet_tel.event(Severity::Warning, "link.server", || {
+                        format!("slow consumer {peer}: queue full past grace, disconnecting")
+                    });
+                    conn.actor.close();
+                    conn.done = true;
+                    return true;
+                }
+                conn.pending = Some(back);
+                return false;
+            }
+        }
+    }
+    for _ in 0..READS_PER_SWEEP {
+        match conn.stream.read(buf) {
+            Ok(0) => {
+                // Clean EOF: the device is done; let the actor drain
+                // its queue and summarize.
+                conn.actor.close();
+                conn.done = true;
+                return true;
+            }
+            Ok(n) => {
+                progressed = true;
+                match conn.actor.try_push_chunk(buf[..n].to_vec()) {
+                    Ok(()) => {
+                        queue_depth.record(conn.actor.queue_len() as f64);
+                    }
+                    Err(ChunkFull(back)) => {
+                        // Queue full: park the chunk and stop reading
+                        // this socket; TCP backpressure does the rest.
+                        conn.pending = Some(back);
+                        conn.full_since = Some(Instant::now());
+                        return true;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.actor.close();
+                conn.done = true;
+                return true;
+            }
+        }
+    }
+    progressed
 }
 
-/// Reads the socket until EOF/error/eviction, pushing chunks into the
-/// bounded queue. Dropping `tx` is what ends the ingest task.
-#[allow(clippy::too_many_arguments)]
-fn reader_loop(
-    mut stream: TcpStream,
-    peer: SocketAddr,
-    tx: &SyncSender<Vec<u8>>,
-    depth: &AtomicUsize,
-    grace: Duration,
+/// Registers a directory entry and opens the connection's chunk actor.
+fn open_connection(
+    engine: &mut FleetEngine,
+    directory: &Arc<LinkDirectory>,
+    config: &LinkServerConfig,
     fleet_tel: &Telemetry,
-    stop: &AtomicBool,
-) {
-    let _ = stream.set_read_timeout(Some(POLL * 20));
-    let queue_depth = fleet_tel.histogram(
-        names::LINK_QUEUE_DEPTH,
-        &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
-    );
-    let mut buf = vec![0u8; READ_CHUNK];
-    loop {
-        let n = match stream.read(&mut buf) {
-            Ok(0) => return, // clean EOF
-            Ok(n) => n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Timeout: the channel sender staying alive keeps the
-                // session open; poll again unless the server is
-                // shutting down (otherwise an idle client would make
-                // shutdown's reader join hang forever).
-                if stop.load(Ordering::SeqCst) {
-                    return;
+    stream: TcpStream,
+    peer: SocketAddr,
+) -> std::io::Result<Conn> {
+    stream.set_nonblocking(true)?;
+    // The actor writes control frames (handshake acks, NAKs) back to
+    // the device on its own clone of the socket; writes are best-effort
+    // and never block a worker.
+    let write_half = stream.try_clone()?;
+    let entry = directory.register(peer.to_string(), fleet_tel.now());
+    let handler = ingest_actor(*config, Arc::clone(&entry), write_half);
+    let actor = engine.open_actor(format!("link:{peer}"), config.queue_chunks.max(1), handler);
+    Ok(Conn {
+        stream,
+        peer,
+        actor,
+        pending: None,
+        full_since: None,
+        done: false,
+    })
+}
+
+/// Builds the per-connection chunk-actor handler: a [`HostPipeline`]
+/// fed chunk-by-chunk, publishing health after every chunk and writing
+/// control frames back to the device.
+fn ingest_actor(
+    config: LinkServerConfig,
+    entry: Arc<LinkEntry>,
+    mut write_half: TcpStream,
+) -> impl FnMut(
+    ActorEvent<'_>,
+    &tonos_fleet::SessionContext,
+) -> Option<Result<tonos_fleet::SessionSummary, String>>
+       + Send
+       + 'static {
+    let mut pipe: Option<HostPipeline> = None;
+    let mut failed: Option<String> = None;
+    let mut samples = Vec::new();
+    let mut control = Vec::new();
+    move |event, ctx| {
+        match event {
+            ActorEvent::Chunk(bytes) => {
+                if failed.is_some() {
+                    return None; // construction failed; report at close
                 }
-                continue;
+                let pipe = match &mut pipe {
+                    Some(p) => p,
+                    None => match build_pipeline(&config, &ctx.telemetry) {
+                        Ok(p) => pipe.insert(p),
+                        Err(e) => {
+                            failed = Some(e);
+                            return None;
+                        }
+                    },
+                };
+                samples.clear();
+                pipe.push_bytes(bytes, &mut samples);
+                // Publish after every chunk so mid-ingest queries see
+                // counters move; `LinkHealth` is `Copy`, one short lock
+                // per chunk.
+                entry.publish(pipe.health());
+                // Bidirectional wire: ship queued acks and NAKs back to
+                // the device. Best-effort — a WouldBlock or broken pipe
+                // drops the control bytes, and the next chunk's NAK
+                // re-requests anything still missing.
+                control.clear();
+                if pipe.drain_control_into(&mut control) {
+                    let _ = write_half.write(&control);
+                }
+                None
             }
-            Err(_) => return,
-        };
-        let mut chunk = buf[..n].to_vec();
-        let deadline = std::time::Instant::now() + grace;
-        loop {
-            match tx.try_send(chunk) {
-                Ok(()) => {
-                    queue_depth.record(depth.fetch_add(1, Ordering::SeqCst) as f64 + 1.0);
-                    break;
+            ActorEvent::Closed => {
+                // Whatever happened — clean EOF, eviction, construction
+                // failure — the directory entry must not stay "live"
+                // after the session ends.
+                entry.disconnect();
+                if let Some(why) = failed.take() {
+                    return Some(Err(why));
                 }
-                Err(TrySendError::Disconnected(_)) => return, // session died
-                Err(TrySendError::Full(back)) => {
-                    if std::time::Instant::now() >= deadline {
-                        // Slow consumer: evict rather than buffer
-                        // without bound. Dropping the stream + sender
-                        // tears the session down; its summary still
-                        // reports everything ingested so far.
-                        fleet_tel
-                            .counter(names::LINK_SLOW_CONSUMER_DISCONNECTS)
-                            .inc();
-                        fleet_tel.event(Severity::Warning, "link.server", || {
-                            format!("slow consumer {peer}: queue full past grace, disconnecting")
-                        });
-                        return;
-                    }
-                    chunk = back;
-                    thread::sleep(POLL);
-                }
+                let Some(pipe) = &mut pipe else {
+                    // Connection closed before its first chunk.
+                    return Some(Ok(tonos_fleet::SessionSummary::from_stream(
+                        0,
+                        0.0,
+                        0.0,
+                        0.0,
+                        0,
+                        config.decimator.output_rate(),
+                        0,
+                    )));
+                };
+                let health = pipe.health();
+                entry.publish(health);
+                ctx.telemetry.event(Severity::Info, "link.server", || {
+                    format!(
+                        "session closed: {} frames, {} samples ({} concealed/invalid), \
+                         {} beats, {} alarms",
+                        health.decoder.frames,
+                        health.samples(),
+                        health.concealed_samples + health.invalid_samples,
+                        health.beats,
+                        health.alarms,
+                    )
+                });
+                Some(Ok(tonos_fleet::SessionSummary::from_stream(
+                    health.beats as usize,
+                    health.pulse_rate_bpm,
+                    health.mean_systolic_mmhg,
+                    health.mean_diastolic_mmhg,
+                    health.samples() as usize,
+                    pipe.output_rate_hz(),
+                    health.alarms as usize,
+                )))
             }
         }
     }
 }
 
-/// The per-connection fleet task: drain the chunk queue through a
-/// [`HostPipeline`], then summarize.
-fn ingest_session(
-    rx: &Receiver<Vec<u8>>,
-    depth: &AtomicUsize,
+/// Builds one connection's pipeline from the server configuration.
+fn build_pipeline(
     config: &LinkServerConfig,
-    entry: &LinkEntry,
     telemetry: &Telemetry,
-) -> Result<tonos_fleet::SessionSummary, String> {
-    let result = ingest_stream(rx, depth, config, entry, telemetry);
-    // Whatever happened — clean EOF, eviction, construction failure —
-    // the directory entry must not stay "live" after the session ends.
-    entry.disconnect();
-    result
-}
-
-/// The fallible body of [`ingest_session`].
-fn ingest_stream(
-    rx: &Receiver<Vec<u8>>,
-    depth: &AtomicUsize,
-    config: &LinkServerConfig,
-    entry: &LinkEntry,
-    telemetry: &Telemetry,
-) -> Result<tonos_fleet::SessionSummary, String> {
+) -> Result<HostPipeline, String> {
     let mut pipe = HostPipeline::new(&config.decimator, config.calibration, config.policy)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| e.to_string())?
+        .with_reorder_window(config.reorder_window);
+    if let Some(key) = config.auth_key {
+        pipe = pipe.with_auth(key, config.require_auth);
+    }
     if let Some(limits) = config.alarm_limits {
         pipe = pipe.with_analyzer(limits).map_err(|e| e.to_string())?;
     }
-    pipe = pipe.with_telemetry(telemetry);
-    let mut samples = Vec::new();
-    while let Ok(chunk) = rx.recv() {
-        depth.fetch_sub(1, Ordering::SeqCst);
-        samples.clear();
-        pipe.push_bytes(&chunk, &mut samples);
-        // Publish after every chunk so mid-ingest queries see counters
-        // move; `LinkHealth` is `Copy`, one short lock per chunk.
-        entry.publish(pipe.health());
-    }
-    let health = pipe.health();
-    entry.publish(health);
-    telemetry.event(Severity::Info, "link.server", || {
-        format!(
-            "session closed: {} frames, {} samples ({} concealed/invalid), {} beats, {} alarms",
-            health.decoder.frames,
-            health.samples(),
-            health.concealed_samples + health.invalid_samples,
-            health.beats,
-            health.alarms,
-        )
-    });
-    Ok(tonos_fleet::SessionSummary::from_stream(
-        health.beats as usize,
-        health.pulse_rate_bpm,
-        health.mean_systolic_mmhg,
-        health.mean_diastolic_mmhg,
-        health.samples() as usize,
-        pipe.output_rate_hz(),
-        health.alarms as usize,
-    ))
+    Ok(pipe.with_telemetry(telemetry))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Write;
 
     #[test]
     fn server_binds_accepts_and_reports() {
         let server = LinkServer::bind("127.0.0.1:0", LinkServerConfig::default()).unwrap();
         let addr = server.local_addr();
+        assert_eq!(server.io_threads(), 1);
 
         // A device that sends two valid frames and disconnects.
         let mut enc = crate::encode::FrameEncoder::new(0);
@@ -455,7 +566,7 @@ mod tests {
         while server.connections() < 1 {
             thread::sleep(POLL);
         }
-        // Give the reader a beat to drain the socket to EOF.
+        // Give the IO loop a beat to drain the socket to EOF.
         thread::sleep(Duration::from_millis(100));
 
         let (report, snapshot) = server.shutdown();

@@ -1,0 +1,317 @@
+//! The bidirectional wire: NAK-driven retransmit, reorder healing, and
+//! the keyed-MAC handshake, exercised end to end.
+//!
+//! The tentpole invariant extends PR 5's "no silent corruption" to
+//! recovery: a frame recovered by retransmit or healed by the reorder
+//! window produces samples **bit-identical** to a lossless stream — the
+//! host must not be able to tell, after the fact, that the wire ever
+//! misbehaved within the recovery window.
+
+use proptest::prelude::*;
+use tonos_core::config::SystemConfig;
+use tonos_link::{
+    DeviceSimulator, FaultConfig, FaultyTransport, GapPolicy, HostPipeline, HostSample,
+    LinkCalibration, LinkKey, SampleFlag,
+};
+use tonos_physio::patient::PatientProfile;
+use tonos_telemetry::Registry;
+
+const KEY: [u8; 16] = *b"tonos-test-key-0";
+
+fn test_key() -> LinkKey {
+    LinkKey::from_bytes(KEY)
+}
+
+/// The lossless reference: an identical device decoded by a clean
+/// pipeline. `(config, patient, duration)` fully determines the
+/// bitstream, so this is exactly what the lossy run must reproduce.
+fn reference_samples(config: &SystemConfig, duration_s: f64) -> Vec<HostSample> {
+    let patient = PatientProfile::normotensive();
+    let mut device = DeviceSimulator::new(config, &patient, duration_s).unwrap();
+    let mut pipe = HostPipeline::new(
+        &config.decimator,
+        LinkCalibration::identity(),
+        GapPolicy::HoldLast,
+    )
+    .unwrap();
+    let mut samples = Vec::new();
+    while let Some(packet) = device.next_packet().unwrap() {
+        pipe.push_bytes(&packet, &mut samples);
+    }
+    samples
+}
+
+/// Pumps one device through a lossy transport into an authenticated,
+/// reorder-window pipeline, with the host→device control channel (acks
+/// and NAKs) and the retransmit path delivered cleanly — the recovery
+/// machinery under test, not re-mangled.
+///
+/// The first packet (carrying the hello) and the final packet bypass
+/// the faults: the handshake precedes the lossy window, and a trailing
+/// drop leaves no later frame to evidence it — NAK recovery is
+/// explicitly a *within-window* guarantee.
+fn pump_lossy(
+    config: &SystemConfig,
+    duration_s: f64,
+    faults: FaultConfig,
+    seed: u64,
+) -> (
+    Vec<HostSample>,
+    tonos_link::LinkHealth,
+    DeviceSimulator,
+    u64,
+) {
+    let patient = PatientProfile::normotensive();
+    let mut device = DeviceSimulator::new(config, &patient, duration_s)
+        .unwrap()
+        .with_retransmit_window(64)
+        .with_auth(test_key(), 0xD0_0D, seed);
+    let mut pipe = HostPipeline::new(
+        &config.decimator,
+        LinkCalibration::identity(),
+        GapPolicy::HoldLast,
+    )
+    .unwrap()
+    .with_reorder_window(64)
+    .with_auth(test_key(), true);
+    let mut transport = FaultyTransport::new(faults, seed);
+
+    let mut samples = Vec::new();
+    let mut ctl = Vec::new();
+    let mut retx = Vec::new();
+    let mut nak_rounds =
+        |pipe: &mut HostPipeline, device: &mut DeviceSimulator, samples: &mut Vec<HostSample>| {
+            for _ in 0..4 {
+                ctl.clear();
+                if !pipe.drain_control_into(&mut ctl) {
+                    break;
+                }
+                retx.clear();
+                device.handle_host_bytes(&ctl, &mut retx);
+                if !retx.is_empty() {
+                    pipe.push_bytes(&retx, samples);
+                }
+            }
+        };
+
+    // Deliver with one packet of lookahead so the final packet can skip
+    // the transport; every in-between packet is fair game.
+    let mut prev: Option<Vec<u8>> = None;
+    let mut first = true;
+    loop {
+        let next = device.next_packet().unwrap();
+        if let Some(packet) = prev.take() {
+            let delivered = if first || next.is_none() {
+                first = false;
+                packet
+            } else {
+                transport.transmit(&packet)
+            };
+            if next.is_none() {
+                // Anything stalled or held for reordering lands before
+                // the final packet; the reorder window sorts it out.
+                pipe.push_bytes(&transport.flush(), &mut samples);
+            }
+            pipe.push_bytes(&delivered, &mut samples);
+            nak_rounds(&mut pipe, &mut device, &mut samples);
+        }
+        match next {
+            Some(p) => prev = Some(p),
+            None => break,
+        }
+    }
+    // Let any still-outstanding NAKs settle.
+    for _ in 0..8 {
+        ctl.clear();
+        if !pipe.drain_control_into(&mut ctl) {
+            break;
+        }
+        retx.clear();
+        device.handle_host_bytes(&ctl, &mut retx);
+        if !retx.is_empty() {
+            pipe.push_bytes(&retx, &mut samples);
+        }
+    }
+    let dropped = transport.chunks_dropped();
+    (samples, pipe.health(), device, dropped)
+}
+
+fn assert_bit_identical(wire: &[HostSample], reference: &[HostSample]) {
+    assert_eq!(wire.len(), reference.len(), "sample counts differ");
+    for (w, r) in wire.iter().zip(reference) {
+        assert_eq!(w.index, r.index, "sample index diverged");
+        assert_eq!(w.flag, SampleFlag::Clean, "non-clean sample at {}", w.index);
+        assert!(
+            w.value_mmhg == r.value_mmhg,
+            "sample {} diverged: wire {} vs reference {}",
+            w.index,
+            w.value_mmhg,
+            r.value_mmhg,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The headline property: random drop, duplication, reordering,
+    /// stalls, truncation, and bit flips — with retransmit enabled —
+    /// conceal **zero** samples inside the recovery window, and every
+    /// delivered sample is bit-identical to the lossless stream.
+    #[test]
+    fn lossy_wire_with_retransmit_is_bit_identical(seed in any::<u64>()) {
+        let config = SystemConfig::paper_default();
+        let faults = FaultConfig {
+            bit_flip_per_byte: 1e-4,
+            drop_chunk: 0.10,
+            truncate_chunk: 0.05,
+            duplicate_chunk: 0.10,
+            reorder_chunk: 0.15,
+            stall_chunk: 0.10,
+        };
+        let reference = reference_samples(&config, 0.4);
+        let (wire, health, device, dropped) = pump_lossy(&config, 0.4, faults, seed);
+
+        prop_assert_eq!(wire.len(), reference.len());
+        for (w, r) in wire.iter().zip(&reference) {
+            prop_assert_eq!(w.flag, SampleFlag::Clean);
+            prop_assert_eq!(w.index, r.index);
+            prop_assert!(w.value_mmhg == r.value_mmhg, "sample {} diverged", w.index);
+        }
+        prop_assert_eq!(health.concealed_samples, 0);
+        prop_assert_eq!(health.invalid_samples, 0);
+        prop_assert_eq!(health.skipped_samples, 0);
+        prop_assert_eq!(health.stream_resets, 0);
+        prop_assert_eq!(health.decoder.gap_events, 0);
+        prop_assert!(health.handshakes_ok >= 1);
+        prop_assert_eq!(health.unauth_frames, 0);
+        prop_assert_eq!(device.hello_acked(), Some(true));
+        // If the transport actually dropped chunks, recovery must have
+        // gone through the NAK path, not around it.
+        if dropped > 0 {
+            prop_assert!(health.naks_tx >= 1);
+            prop_assert!(health.decoder.retransmits_rx >= 1);
+        }
+    }
+}
+
+/// One dropped packet, recovered by a single NAK round: no gap, no
+/// concealment, bit-identical output.
+#[test]
+fn single_dropped_packet_recovers_bit_identically() {
+    let config = SystemConfig::paper_default();
+    let reference = reference_samples(&config, 0.5);
+    let (wire, health, device, _) = pump_lossy(
+        &config,
+        0.5,
+        FaultConfig {
+            drop_chunk: 0.08,
+            ..FaultConfig::clean()
+        },
+        7,
+    );
+    assert_bit_identical(&wire, &reference);
+    assert_eq!(health.decoder.gap_events, 0);
+    assert_eq!(health.concealed_samples, 0);
+    assert!(health.naks_tx >= 1, "drop must trigger a NAK");
+    assert!(health.decoder.retransmits_rx >= 1);
+    assert_eq!(device.hello_acked(), Some(true));
+}
+
+/// Pairwise reordering heals inside the window without any retransmit
+/// traffic at all: the decoder buffers the early frame and releases it
+/// in order.
+#[test]
+fn swapped_packets_heal_without_retransmit() {
+    let config = SystemConfig::paper_default();
+    let patient = PatientProfile::normotensive();
+    let mut device = DeviceSimulator::new(&config, &patient, 0.5).unwrap();
+    let mut packets = Vec::new();
+    while let Some(p) = device.next_packet().unwrap() {
+        packets.push(p);
+    }
+    packets.swap(4, 5);
+
+    let mut pipe = HostPipeline::new(
+        &config.decimator,
+        LinkCalibration::identity(),
+        GapPolicy::HoldLast,
+    )
+    .unwrap()
+    .with_reorder_window(8);
+    let mut wire = Vec::new();
+    for p in &packets {
+        pipe.push_bytes(p, &mut wire);
+    }
+
+    let reference = reference_samples(&config, 0.5);
+    assert_bit_identical(&wire, &reference);
+    let health = pipe.health();
+    assert_eq!(health.decoder.gap_events, 0);
+    assert!(health.decoder.reordered_frames >= 1);
+    assert_eq!(health.decoder.retransmits_rx, 0);
+    assert_eq!(health.naks_tx, 0);
+}
+
+/// Regression: a forged (wrong-key) handshake is rejected, journaled,
+/// counted, NACK'd back to the device, and — with `require_auth` — the
+/// data behind it never reaches the pipeline.
+#[test]
+fn forged_handshake_is_rejected_and_journaled() {
+    let config = SystemConfig::paper_default();
+    let patient = PatientProfile::normotensive();
+    let registry = Registry::new();
+    let forged = LinkKey::from_bytes(*b"not-the-ward-key");
+    let mut device = DeviceSimulator::new(&config, &patient, 0.2)
+        .unwrap()
+        .with_auth(forged, 0xBAD, 99);
+    let mut pipe = HostPipeline::new(
+        &config.decimator,
+        LinkCalibration::identity(),
+        GapPolicy::HoldLast,
+    )
+    .unwrap()
+    .with_auth(test_key(), true)
+    .with_telemetry(&registry.telemetry());
+
+    let mut samples = Vec::new();
+    while let Some(packet) = device.next_packet().unwrap() {
+        pipe.push_bytes(&packet, &mut samples);
+    }
+    assert!(samples.is_empty(), "unauthenticated data must not decode");
+    let health = pipe.health();
+    assert_eq!(health.handshakes_ok, 0);
+    assert_eq!(health.handshakes_rejected, 1);
+    assert!(health.unauth_frames > 0);
+    assert_eq!(health.samples(), 0);
+
+    // The rejection is journaled for the ops plane...
+    let snapshot = registry.snapshot();
+    assert!(
+        snapshot
+            .events
+            .iter()
+            .any(|e| e.source == "link.auth" && e.message.contains("handshake rejected")),
+        "rejection must land in the journal",
+    );
+    // ...and NACK'd back to the device.
+    let mut ctl = Vec::new();
+    assert!(pipe.drain_control_into(&mut ctl));
+    let mut retx = Vec::new();
+    device.handle_host_bytes(&ctl, &mut retx);
+    assert_eq!(device.hello_acked(), Some(false));
+}
+
+/// The matching positive case: the genuine key opens the gate and the
+/// stream is bit-identical to an unauthenticated lossless run.
+#[test]
+fn genuine_handshake_opens_the_gate() {
+    let config = SystemConfig::paper_default();
+    let reference = reference_samples(&config, 0.3);
+    let (wire, health, device, _) = pump_lossy(&config, 0.3, FaultConfig::clean(), 11);
+    assert_bit_identical(&wire, &reference);
+    assert_eq!(health.handshakes_ok, 1);
+    assert_eq!(health.handshakes_rejected, 0);
+    assert_eq!(health.unauth_frames, 0);
+    assert_eq!(device.hello_acked(), Some(true));
+}

@@ -59,6 +59,9 @@ proptest! {
                     }
                 }
                 LinkEvent::Gap { .. } => prop_assert!(false, "gap on a clean link"),
+                LinkEvent::Control(_) => {
+                    prop_assert!(false, "control frame on a data-only link")
+                }
             }
         }
         prop_assert_eq!(got, sent);
@@ -117,7 +120,7 @@ fn mid_stream_reconnect_resyncs_and_accounts_the_loss() {
         .iter()
         .filter_map(|e| match e {
             LinkEvent::Frame(f) => Some(f.seq),
-            LinkEvent::Gap { .. } => None,
+            LinkEvent::Gap { .. } | LinkEvent::Control(_) => None,
         })
         .collect();
     let expect: Vec<u32> = (0..10).chain(15..30).collect();
@@ -133,7 +136,7 @@ fn mid_stream_reconnect_resyncs_and_accounts_the_loss() {
                 lost_frames,
                 lost_clocks,
             } => Some((*expected_seq, *got_seq, *lost_frames, *lost_clocks)),
-            LinkEvent::Frame(_) => None,
+            LinkEvent::Frame(_) | LinkEvent::Control(_) => None,
         })
         .collect();
     assert_eq!(gaps, vec![(10, 15, 5, 5 * 128)]);
@@ -142,7 +145,7 @@ fn mid_stream_reconnect_resyncs_and_accounts_the_loss() {
     // Delivered payloads are bit-identical to what was encoded.
     let mut iter = events.iter().filter_map(|e| match e {
         LinkEvent::Frame(f) => Some(f),
-        LinkEvent::Gap { .. } => None,
+        LinkEvent::Gap { .. } | LinkEvent::Control(_) => None,
     });
     for seq in expect {
         let frame = iter.next().unwrap();

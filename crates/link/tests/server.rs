@@ -230,6 +230,83 @@ fn more_live_connections_than_workers_are_not_evicted() {
     assert_eq!(counter(names::LINK_GAP_EVENTS), 0);
 }
 
+#[test]
+fn authenticated_session_with_control_writeback_over_tcp() {
+    // The wire is bidirectional through the real server: the device's
+    // hello rides ahead of its data, the server's ack comes back on the
+    // same socket, and with `require_auth` the session still ingests
+    // everything — proving the gate opens before the first data frame
+    // is dropped.
+    use std::io::Read;
+    let config = SystemConfig::paper_default();
+    let key = tonos_link::LinkKey::from_bytes(*b"ward-shared-key!");
+    let server = LinkServer::bind(
+        "127.0.0.1:0",
+        LinkServerConfig {
+            workers: 2,
+            decimator: config.decimator,
+            auth_key: Some(key),
+            require_auth: true,
+            ..LinkServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let patient = PatientProfile::normotensive();
+    let expected = expected_for(&config, &patient);
+    let mut device = DeviceSimulator::new(&config, &patient, DURATION_S)
+        .unwrap()
+        .with_auth(key, 42, 7);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .unwrap();
+    let mut buf = [0u8; 4096];
+    let mut retx = Vec::new();
+    while let Some(packet) = device.next_packet().unwrap() {
+        stream.write_all(&packet).unwrap();
+        // Pick up any acks the server has written back so far.
+        if let Ok(n) = stream.read(&mut buf) {
+            device.handle_host_bytes(&buf[..n], &mut retx);
+        }
+    }
+    stream.flush().unwrap();
+    // Drain the control channel until the ack lands.
+    for _ in 0..250 {
+        if device.hello_acked().is_some() {
+            break;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                device.handle_host_bytes(&buf[..n], &mut retx);
+            }
+            Err(_) => {}
+        }
+    }
+    assert_eq!(device.hello_acked(), Some(true), "hello never acked");
+    assert!(retx.is_empty(), "clean TCP must not trigger retransmits");
+    drop(stream);
+
+    thread::sleep(Duration::from_millis(200));
+    let (report, snapshot) = server.shutdown();
+    assert_eq!(report.len(), 1);
+    assert!(report.failures().is_empty());
+    let summary = report.completed().next().unwrap().1;
+    assert_eq!(summary.samples as u64, expected.samples);
+    let counter = |name: &str| -> u64 {
+        snapshot
+            .counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    };
+    assert_eq!(counter(names::LINK_HANDSHAKES_OK), 1);
+    assert_eq!(counter(names::LINK_HANDSHAKES_REJECTED), 0);
+    assert_eq!(counter(names::LINK_UNAUTH_FRAMES), 0);
+}
+
 /// Polls `server.links()` until `pred` holds for every entry, panicking
 /// with the last observed state after ~10 s.
 fn wait_links(

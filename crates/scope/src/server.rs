@@ -312,6 +312,36 @@ fn metrics_body(sources: &ScopeSources) -> String {
                 agg.skipped_samples,
             ),
             ("alarms", "Alarms across all connections", agg.alarms),
+            (
+                "reordered_frames",
+                "Frames healed by the reorder window across all connections",
+                agg.reordered_frames,
+            ),
+            (
+                "retransmits_rx",
+                "NAK-recovered retransmitted frames accepted across all connections",
+                agg.retransmits_rx,
+            ),
+            (
+                "naks_tx",
+                "NAK retransmit requests sent to devices across all connections",
+                agg.naks_tx,
+            ),
+            (
+                "handshakes_ok",
+                "Verified device handshakes across all connections",
+                agg.handshakes_ok,
+            ),
+            (
+                "handshakes_rejected",
+                "Rejected (forged or malformed) device handshakes across all connections",
+                agg.handshakes_rejected,
+            ),
+            (
+                "unauth_frames",
+                "Data frames dropped before authentication across all connections",
+                agg.unauth_frames,
+            ),
         ] {
             body.push_str(&format!(
                 "# HELP tonos_links_{name} {help} (live directory sum).\n\

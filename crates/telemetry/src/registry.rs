@@ -146,6 +146,25 @@ pub mod names {
     /// Banked lockstep conversion duration per lane per batch (span
     /// histogram, seconds).
     pub const SPAN_BANK_CONVERT: &str = "span.bank.convert_s";
+    /// Out-of-order frames healed by the decoder's reorder buffer
+    /// instead of being dropped-and-concealed (counter).
+    pub const LINK_REORDERED_FRAMES: &str = "link.reordered_frames";
+    /// Previously-NAK'd frames that arrived via retransmission
+    /// (counter).
+    pub const LINK_RETRANSMITS_RX: &str = "link.retransmits_rx";
+    /// NAK control frames emitted by a host pipeline (counter).
+    pub const LINK_NAKS_TX: &str = "link.naks_tx";
+    /// Control frames (hello/ack/NAK) received by a link decoder
+    /// (counter).
+    pub const LINK_CONTROL_FRAMES: &str = "link.control_frames";
+    /// Keyed-MAC session handshakes verified and accepted (counter).
+    pub const LINK_HANDSHAKES_OK: &str = "link.handshakes_ok";
+    /// Session handshakes rejected — forged, replayed with a bad tag,
+    /// or malformed (counter).
+    pub const LINK_HANDSHAKES_REJECTED: &str = "link.handshakes_rejected";
+    /// Data frames dropped because the pipeline requires an
+    /// authenticated session and none was established (counter).
+    pub const LINK_UNAUTH_FRAMES: &str = "link.unauth_frames";
 }
 
 /// Default number of journal events retained.

@@ -1,0 +1,117 @@
+//! Markdown link checker for the repo's documentation set.
+//!
+//! Every relative link in the tracked top-level documents must resolve
+//! to a file that actually exists (anchors are stripped; external
+//! `http(s):`/`mailto:` links are out of scope). This is the CI
+//! link-check gate: a renamed file or a typo'd `[spec](PROTOCOL.md)`
+//! fails here, not in a reader's browser.
+
+use std::path::{Path, PathBuf};
+
+/// Repo root, resolved from this crate's manifest directory.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/tonos sits two levels below the repo root")
+        .to_path_buf()
+}
+
+/// The documents under check. Deliberately explicit: a new document
+/// joins the gate by being added here.
+const DOCS: &[&str] = &[
+    "README.md",
+    "ARCHITECTURE.md",
+    "DESIGN.md",
+    "PROTOCOL.md",
+    "ROADMAP.md",
+    "CHANGELOG.md",
+    "EXPERIMENTS.md",
+];
+
+/// Extracts `(link_text, target)` pairs from inline markdown links,
+/// skipping fenced code blocks and images.
+fn links(markdown: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            // Find `[text](target)`, ignoring images (`![`).
+            if bytes[i] == b'[' && (i == 0 || bytes[i - 1] != b'!') {
+                if let Some(close) = line[i..].find("](") {
+                    let text = &line[i + 1..i + close];
+                    let rest = &line[i + close + 2..];
+                    if let Some(end) = rest.find(')') {
+                        out.push((text.to_string(), rest[..end].to_string()));
+                        i += close + 2 + end;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+#[test]
+fn every_relative_doc_link_resolves() {
+    let root = repo_root();
+    let mut broken = Vec::new();
+    for doc in DOCS {
+        let path = root.join(doc);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        for (label, target) in links(&text) {
+            let target = target.trim();
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            // Strip anchors; a bare `#section` link is internal.
+            let file = target.split('#').next().unwrap_or("");
+            if file.is_empty() {
+                continue;
+            }
+            let resolved = path.parent().unwrap().join(file);
+            if !resolved.exists() {
+                broken.push(format!(
+                    "{doc}: [{label}]({target}) -> {}",
+                    resolved.display()
+                ));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken relative links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn the_wire_spec_is_reachable_from_readme_and_architecture() {
+    // The PR's documentation contract: the normative wire spec is
+    // linked from both entry-point documents.
+    let root = repo_root();
+    for doc in ["README.md", "ARCHITECTURE.md"] {
+        let text = std::fs::read_to_string(root.join(doc)).unwrap();
+        assert!(
+            links(&text)
+                .iter()
+                .any(|(_, t)| t.split('#').next() == Some("PROTOCOL.md")),
+            "{doc} must link to PROTOCOL.md"
+        );
+    }
+}
