@@ -1,15 +1,33 @@
-//! Structure-of-arrays **lane bank** for the 2nd-order ΣΔ modulator:
-//! K independent converter sessions stepped per clock in lockstep.
+//! Tiled structure-of-arrays **lane bank** for the 2nd-order ΣΔ
+//! modulator: K independent converter sessions stepped per clock in
+//! lockstep.
 //!
 //! Array-scale CMOS readout gets its throughput from running many
 //! identical channels in parallel; the software analogue is data-level
 //! parallelism. [`SigmaDelta2Bank`] holds the loop-filter state of K
-//! independent [`SigmaDelta2`] instances in flat `[f64]` lanes
-//! (integrator states, comparator/DAC history, input history) and steps
-//! *all* lanes for each modulator clock in one tight loop — the K serial
-//! floating-point dependency chains interleave in the CPU pipeline and
-//! the lane loop autovectorizes, where the scalar path serializes on a
-//! single chain.
+//! independent [`SigmaDelta2`] instances as fixed-width **lane tiles**
+//! — cache-line-aligned rows of [`TILE`] f64 lanes (see
+//! [`crate::tile`]) — and converts blocks in 64-clock **chunks**:
+//! within a chunk the loop runs tile-outer/clock-inner, so each tile's
+//! integrator states, coefficient rows, and ±1 histories stay in
+//! registers for 64 consecutive clocks instead of streaming through
+//! memory once per clock.
+//!
+//! The 1-bit side is **bit-sliced**: comparator decisions and
+//! feedback-DAC selects live as packed lane masks (a `u8` per tile in
+//! flight, one `u64` word per 64 lanes at rest in the bank), and each
+//! clock of a chunk deposits its per-lane comparator bits into one
+//! `u64` *lane word* — quantize/feedback is word-parallel mask
+//! arithmetic, the same trick [`PackedBits`]' `push_word` plays for
+//! the CIC. At the chunk boundary a 64×64 bit transpose
+//! ([`tonos_dsp::bits::transpose64`]) pivots the per-clock lane words
+//! into per-lane time words, which flush straight into each lane's
+//! [`PackedBits`].
+//!
+//! Full tiles step through `step_tile` — the explicit
+//! wide-ops kernel under `--features wide-lanes`, the portable scalar
+//! tile loop otherwise. The final partial tile (K mod [`TILE`] lanes)
+//! always steps scalar, so padding lanes never execute.
 //!
 //! ## Scalar path as the oracle
 //!
@@ -17,19 +35,20 @@
 //! lane's bitstream, loop-filter state, and noise-stream positions are
 //! **bit-identical** to a scalar [`SigmaDelta2`] with the same seed fed
 //! the same inputs (property-tested across random K, seeds, and block
-//! boundaries). This holds because every noise consumer owns an
-//! independent split stream, so per-lane pre-filling (batched ziggurat
-//! draws into a lanes×block noise tile via
-//! [`NoiseSource::fill_standard`]) consumes each stream in exactly the
-//! per-sample order of the scalar path, and the per-clock arithmetic
-//! reproduces the scalar expressions association-for-association.
+//! boundaries, with and without `wide-lanes`). This holds because every
+//! noise consumer owns an independent split stream, so per-lane
+//! pre-filling (batched ziggurat draws into a lanes×block noise tile
+//! via [`NoiseSource::fill_standard`]) consumes each stream in exactly
+//! the per-sample order of the scalar path, and the per-clock
+//! arithmetic reproduces the scalar expressions
+//! association-for-association.
 //!
 //! Lanes are absorbed from and released back to scalar modulators
 //! ([`SigmaDelta2Bank::push_lane`] / [`SigmaDelta2Bank::retire_lane`]),
 //! so sessions can join late, finish early, or be reset mid-run without
 //! disturbing the neighbours' streams.
 
-use tonos_dsp::bits::PackedBits;
+use tonos_dsp::bits::{transpose64, PackedBits};
 
 use crate::dac::FeedbackDac;
 use crate::integrator::ScIntegrator;
@@ -37,6 +56,7 @@ use crate::modulator::{Coefficients, SigmaDelta2};
 use crate::noise::{LockstepFill, NoiseSource};
 use crate::nonideal::NonIdealities;
 use crate::quantizer::Comparator;
+use crate::tile::{step_lane, step_tile, BitRow, F64Tile, TileConsts, TileRow, TileRows, TILE};
 
 /// One lane's input for a block conversion.
 ///
@@ -67,46 +87,19 @@ struct LaneCold {
     nonideal: NonIdealities,
 }
 
-/// K second-order ΣΔ modulators in structure-of-arrays form, stepped in
-/// lockstep one clock at a time.
+/// Reusable block scratch for a [`SigmaDelta2Bank`]: the clock-major
+/// noise/input tiles, the per-chunk lane-word buffer, and the lockstep
+/// ziggurat fill state.
+///
+/// The scratch is allocation-free once warm, and it is *detachable*:
+/// [`SigmaDelta2Bank::take_scratch`] /
+/// [`SigmaDelta2Bank::adopt_scratch`] move it between banks so a fleet
+/// worker can pre-fill once and reuse the grown tiles across every
+/// batch it runs, instead of re-growing per session group.
 #[derive(Debug, Clone, Default)]
-pub struct SigmaDelta2Bank {
-    // --- Hot per-lane state, one flat array per field (SoA). ---
-    /// First integrator state.
-    x1: Vec<f64>,
-    /// Second integrator state.
-    x2: Vec<f64>,
-    /// Integrator pole `p = A/(A+1)` (shared by both stages).
-    leak: Vec<f64>,
-    /// Integrator output clamp.
-    sat: Vec<f64>,
-    /// First-stage per-sample noise sigma.
-    int1_sigma: Vec<f64>,
-    /// Second-stage per-sample noise sigma.
-    int2_sigma: Vec<f64>,
-    comp_offset: Vec<f64>,
-    comp_hyst: Vec<f64>,
-    comp_sigma: Vec<f64>,
-    /// Previous comparator decision as ±1.0.
-    comp_last: Vec<f64>,
-    dac_mismatch: Vec<f64>,
-    dac_isi: Vec<f64>,
-    dac_sigma: Vec<f64>,
-    /// Previous DAC bit as ±1.0.
-    dac_last: Vec<f64>,
-    b1: Vec<f64>,
-    a1: Vec<f64>,
-    c1: Vec<f64>,
-    a2: Vec<f64>,
-    prev_input: Vec<f64>,
-    input_sigma: Vec<f64>,
-    jitter_gain: Vec<f64>,
-    steps: Vec<u64>,
-    saturation_events: Vec<u64>,
-    // --- Cold per-lane state. ---
-    cold: Vec<LaneCold>,
-    // --- Reusable block scratch (clock-major tiles: index n*K + lane).
-    /// Noisy modulator inputs `u[n]` per lane.
+pub struct BankScratch {
+    /// Noisy modulator inputs `u[n]` per lane (clock-major: `n*K +
+    /// lane`).
     u_tile: Vec<f64>,
     /// Pre-multiplied first-integrator noise (`standard * sigma`).
     z1_tile: Vec<f64>,
@@ -118,26 +111,302 @@ pub struct SigmaDelta2Bank {
     zr_tile: Vec<f64>,
     /// Contiguous per-lane fill scratch.
     row: Vec<f64>,
-    /// Per-lane 64-bit output accumulators.
-    words: Vec<u64>,
+    /// Per-chunk lane words: for each 64-lane group, 64 words — word
+    /// `r` holds every lane's comparator bit for clock `r` of the
+    /// chunk. Transposed in place to per-lane time words at the chunk
+    /// boundary.
+    clock_rows: Vec<u64>,
+    /// One k-length row of exact 0.0 standing in for all-zero tiles.
+    zero_row: Vec<f64>,
+    /// Lockstep multi-stream ziggurat scratch: when every lane of a
+    /// tile is noisy, all K streams advance side by side instead of one
+    /// lane at a time (see [`LockstepFill`]).
+    fill: LockstepFill,
+}
+
+/// Strided reader over a clock-major tile: row `n` starts at
+/// `n * stride`. An all-zero noise tile aliases the shared zero row
+/// with stride 0, so dead tiles cost one cache line regardless of the
+/// block length.
+#[derive(Clone, Copy)]
+struct RowSrc<'a> {
+    data: &'a [f64],
+    stride: usize,
+}
+
+impl<'a> RowSrc<'a> {
+    fn new(tile: &'a [f64], zero_row: &'a [f64], dead: bool, stride: usize) -> Self {
+        if dead {
+            RowSrc {
+                data: zero_row,
+                stride: 0,
+            }
+        } else {
+            RowSrc { data: tile, stride }
+        }
+    }
+
+    /// The aligned copy of lanes `lane0..lane0+TILE` at clock `n`.
+    #[inline(always)]
+    fn tile(&self, n: usize, lane0: usize) -> F64Tile {
+        let base = n * self.stride + lane0;
+        F64Tile::from_row(self.data[base..base + TILE].try_into().expect("full tile"))
+    }
+
+    /// One lane's value at clock `n`.
+    #[inline(always)]
+    fn at(&self, n: usize, lane: usize) -> f64 {
+        self.data[n * self.stride + lane]
+    }
+}
+
+/// The per-chunk row sources shared by every tile of a chunk.
+#[derive(Clone, Copy)]
+struct ChunkSrc<'a> {
+    u: RowSrc<'a>,
+    z1: RowSrc<'a>,
+    z2: RowSrc<'a>,
+    zc: RowSrc<'a>,
+    zr: RowSrc<'a>,
+    /// First clock of the chunk.
+    start: usize,
+}
+
+/// One full tile through one ≤64-clock chunk: state stays in the caller
+/// provided locals (registers), each clock's comparator byte lands in
+/// the chunk's per-clock lane word at `shift`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tile_chunk_body(
+    x1: &mut F64Tile,
+    x2: &mut F64Tile,
+    cl: &mut u8,
+    dl: &mut u8,
+    sat: &mut [u64; TILE],
+    consts: &TileConsts,
+    src: &ChunkSrc,
+    lane0: usize,
+    shift: u32,
+    out: &mut [u64],
+) {
+    for (r, out_word) in out.iter_mut().enumerate() {
+        let n = src.start + r;
+        let rows = TileRows {
+            u: src.u.tile(n, lane0),
+            z1: src.z1.tile(n, lane0),
+            z2: src.z2.tile(n, lane0),
+            zc: src.zc.tile(n, lane0),
+            zr: src.zr.tile(n, lane0),
+        };
+        let (vpos8, sat8) = step_tile(x1, x2, consts, &rows, *cl, *dl);
+        *cl = vpos8;
+        *dl = vpos8;
+        *out_word |= u64::from(vpos8) << shift;
+        for (i, acc) in sat.iter_mut().enumerate() {
+            *acc += u64::from(sat8 >> i & 1);
+        }
+    }
+}
+
+/// Baseline-ISA instantiation of the chunk kernel (always present; the
+/// only one on non-x86 or without `wide-lanes`).
+#[allow(clippy::too_many_arguments)]
+fn tile_chunk_portable(
+    x1: &mut F64Tile,
+    x2: &mut F64Tile,
+    cl: &mut u8,
+    dl: &mut u8,
+    sat: &mut [u64; TILE],
+    consts: &TileConsts,
+    src: &ChunkSrc,
+    lane0: usize,
+    shift: u32,
+    out: &mut [u64],
+) {
+    tile_chunk_body(x1, x2, cl, dl, sat, consts, src, lane0, shift, out);
+}
+
+/// AVX2 instantiation: identical Rust body, recompiled with 256-bit
+/// vector codegen. Bit-identical results — the body is plain IEEE
+/// adds/muls/compares/selects and Rust never contracts them into FMAs,
+/// so wider registers change scheduling only, never values.
+///
+/// # Safety
+///
+/// Caller must have verified AVX2 support (the [`Isa`] dispatch does).
+#[cfg(all(feature = "wide-lanes", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn tile_chunk_avx2(
+    x1: &mut F64Tile,
+    x2: &mut F64Tile,
+    cl: &mut u8,
+    dl: &mut u8,
+    sat: &mut [u64; TILE],
+    consts: &TileConsts,
+    src: &ChunkSrc,
+    lane0: usize,
+    shift: u32,
+    out: &mut [u64],
+) {
+    tile_chunk_body(x1, x2, cl, dl, sat, consts, src, lane0, shift, out);
+}
+
+/// AVX-512F instantiation: one 8-lane tile per zmm register.
+///
+/// # Safety
+///
+/// Caller must have verified AVX-512F support (the [`Isa`] dispatch
+/// does).
+#[cfg(all(feature = "wide-lanes", target_arch = "x86_64"))]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn tile_chunk_avx512(
+    x1: &mut F64Tile,
+    x2: &mut F64Tile,
+    cl: &mut u8,
+    dl: &mut u8,
+    sat: &mut [u64; TILE],
+    consts: &TileConsts,
+    src: &ChunkSrc,
+    lane0: usize,
+    shift: u32,
+    out: &mut [u64],
+) {
+    tile_chunk_body(x1, x2, cl, dl, sat, consts, src, lane0, shift, out);
+}
+
+/// Which instantiation of the chunk kernel this process runs, resolved
+/// once per block from runtime CPU detection (`wide-lanes` on x86-64)
+/// or fixed to the portable body elsewhere.
+#[derive(Clone, Copy, Debug)]
+enum Isa {
+    Portable,
+    #[cfg(all(feature = "wide-lanes", target_arch = "x86_64"))]
+    Avx2,
+    #[cfg(all(feature = "wide-lanes", target_arch = "x86_64"))]
+    Avx512,
+}
+
+impl Isa {
+    fn detect() -> Isa {
+        #[cfg(all(feature = "wide-lanes", target_arch = "x86_64"))]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return Isa::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return Isa::Avx2;
+            }
+        }
+        Isa::Portable
+    }
+
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn run_tile_chunk(
+        self,
+        x1: &mut F64Tile,
+        x2: &mut F64Tile,
+        cl: &mut u8,
+        dl: &mut u8,
+        sat: &mut [u64; TILE],
+        consts: &TileConsts,
+        src: &ChunkSrc,
+        lane0: usize,
+        shift: u32,
+        out: &mut [u64],
+    ) {
+        match self {
+            Isa::Portable => {
+                tile_chunk_portable(x1, x2, cl, dl, sat, consts, src, lane0, shift, out)
+            }
+            // SAFETY: the variant only exists when `detect` confirmed
+            // the feature on this CPU.
+            #[cfg(all(feature = "wide-lanes", target_arch = "x86_64"))]
+            Isa::Avx2 => unsafe {
+                tile_chunk_avx2(x1, x2, cl, dl, sat, consts, src, lane0, shift, out);
+            },
+            #[cfg(all(feature = "wide-lanes", target_arch = "x86_64"))]
+            Isa::Avx512 => unsafe {
+                tile_chunk_avx512(x1, x2, cl, dl, sat, consts, src, lane0, shift, out);
+            },
+        }
+    }
+}
+
+/// The tile kernel this build+host actually steps full tiles with —
+/// benchmarks record it next to their numbers. `"scalar-tile"` without
+/// `wide-lanes`; with it, `"wide-avx512f"` / `"wide-avx2"` /
+/// `"wide-portable"` by runtime CPU detection.
+pub fn kernel_name() -> &'static str {
+    if !crate::tile::wide_lanes() {
+        return "scalar-tile";
+    }
+    match Isa::detect() {
+        Isa::Portable => "wide-portable",
+        #[cfg(all(feature = "wide-lanes", target_arch = "x86_64"))]
+        Isa::Avx2 => "wide-avx2",
+        #[cfg(all(feature = "wide-lanes", target_arch = "x86_64"))]
+        Isa::Avx512 => "wide-avx512f",
+    }
+}
+
+/// K second-order ΣΔ modulators in tiled structure-of-arrays form,
+/// stepped in lockstep one clock at a time.
+#[derive(Debug, Clone, Default)]
+pub struct SigmaDelta2Bank {
+    // --- Hot per-lane state the per-clock kernel touches, stored as
+    // --- aligned 8-lane tiles. ---
+    /// First integrator state.
+    x1: TileRow,
+    /// Second integrator state.
+    x2: TileRow,
+    /// Integrator pole `p = A/(A+1)` (shared by both stages).
+    leak: TileRow,
+    /// Integrator output clamp.
+    sat: TileRow,
+    comp_offset: TileRow,
+    comp_hyst: TileRow,
+    dac_mismatch: TileRow,
+    dac_isi: TileRow,
+    b1: TileRow,
+    a1: TileRow,
+    c1: TileRow,
+    a2: TileRow,
+    /// Previous comparator decisions, bit-sliced: bit set ⇔ last was
+    /// +1.
+    comp_last: BitRow,
+    /// Previous DAC bits, bit-sliced likewise.
+    dac_last: BitRow,
+    // --- Per-lane state the fill passes touch (flat rows). ---
+    /// First-stage per-sample noise sigma.
+    int1_sigma: Vec<f64>,
+    /// Second-stage per-sample noise sigma.
+    int2_sigma: Vec<f64>,
+    comp_sigma: Vec<f64>,
+    dac_sigma: Vec<f64>,
+    prev_input: Vec<f64>,
+    input_sigma: Vec<f64>,
+    jitter_gain: Vec<f64>,
+    steps: Vec<u64>,
+    saturation_events: Vec<u64>,
+    // --- Cold per-lane state. ---
+    cold: Vec<LaneCold>,
     /// Per noise tile (z1, z2, zc, zr): clock count through which every
     /// zero-sigma lane column is known to hold 0.0 for the current lane
     /// layout. Zero-sigma columns never change once written, so the
     /// per-block zero fill can be skipped while the layout is stable;
-    /// any lane add/remove invalidates the markers.
+    /// any lane add/remove (or scratch swap) invalidates the markers.
     zero_clean: [usize; 4],
     /// Per noise tile: true when *every* lane's sigma is zero. Such a
     /// tile is neither filled nor read — the loop filter substitutes
-    /// [`SigmaDelta2Bank::zero_row`], keeping the per-block working set
-    /// to the tiles that actually carry noise (the difference between
-    /// staying in L1 and spilling at K=8).
+    /// the shared zero row, keeping the per-block working set to the
+    /// tiles that actually carry noise (the difference between staying
+    /// in L1 and spilling at K=8).
     all_zero: [bool; 4],
-    /// One k-length row of exact 0.0 standing in for all-zero tiles.
-    zero_row: Vec<f64>,
-    /// Lockstep multi-stream ziggurat scratch: when every lane of a tile
-    /// is noisy, all K streams advance side by side instead of one lane
-    /// at a time (see [`LockstepFill`]).
-    fill: LockstepFill,
+    /// Detachable block scratch (see [`BankScratch`]).
+    scratch: BankScratch,
 }
 
 impl SigmaDelta2Bank {
@@ -158,12 +427,28 @@ impl SigmaDelta2Bank {
 
     /// Number of lanes.
     pub fn lanes(&self) -> usize {
-        self.x1.len()
+        self.prev_input.len()
     }
 
     /// True when the bank holds no lanes.
     pub fn is_empty(&self) -> bool {
-        self.x1.is_empty()
+        self.prev_input.is_empty()
+    }
+
+    /// Hands this bank a pre-grown scratch (typically taken from a
+    /// retired bank on the same worker), replacing its own. The
+    /// zero-column markers are invalidated because the adopted tiles'
+    /// contents are unknown.
+    pub fn adopt_scratch(&mut self, scratch: BankScratch) {
+        self.scratch = scratch;
+        self.zero_clean = [0; 4];
+    }
+
+    /// Detaches the bank's block scratch for reuse elsewhere, leaving a
+    /// fresh (empty) one behind.
+    pub fn take_scratch(&mut self) -> BankScratch {
+        self.zero_clean = [0; 4];
+        std::mem::take(&mut self.scratch)
     }
 
     /// Absorbs a scalar modulator as a new lane (appended last) and
@@ -182,11 +467,11 @@ impl SigmaDelta2Bank {
         self.comp_offset.push(m.comparator.offset);
         self.comp_hyst.push(m.comparator.hysteresis);
         self.comp_sigma.push(m.comparator.noise_sigma);
-        self.comp_last.push(f64::from(m.comparator.last));
+        self.comp_last.push(m.comparator.last > 0);
         self.dac_mismatch.push(m.dac.level_mismatch);
         self.dac_isi.push(m.dac.isi);
         self.dac_sigma.push(m.dac.reference_noise_sigma);
-        self.dac_last.push(f64::from(m.dac.last_bit));
+        self.dac_last.push(m.dac.last_bit > 0);
         self.b1.push(m.coeffs.b1);
         self.a1.push(m.coeffs.a1);
         self.c1.push(m.coeffs.c1);
@@ -212,8 +497,9 @@ impl SigmaDelta2Bank {
 
     /// Removes a lane and reconstitutes it as a scalar modulator with
     /// the lane's exact state, including noise-stream positions. Lanes
-    /// after `lane` shift down by one; their streams are untouched, so
-    /// surviving lanes stay bit-identical to their scalar references.
+    /// after `lane` shift down by one — across tile and word boundaries
+    /// — and their streams are untouched, so surviving lanes stay
+    /// bit-identical to their scalar references.
     ///
     /// # Panics
     ///
@@ -223,17 +509,13 @@ impl SigmaDelta2Bank {
         let cold = self.cold.remove(lane);
         // The comparator decision doubles as the modulator's last output
         // bit (scalar `step` sets both from the same `v`).
-        let comp_last = if self.comp_last.remove(lane) > 0.0 {
-            1
-        } else {
-            -1
-        };
+        let comp_last = if self.comp_last.remove(lane) { 1 } else { -1 };
         let m = SigmaDelta2 {
             coeffs: cold.coeffs,
             int1: ScIntegrator {
                 state: self.x1.remove(lane),
-                leak: self.leak[lane],
-                saturation: self.sat[lane],
+                leak: self.leak.get(lane),
+                saturation: self.sat.get(lane),
                 noise_sigma: self.int1_sigma.remove(lane),
                 noise: cold.n1,
                 saturated: false,
@@ -258,11 +540,7 @@ impl SigmaDelta2Bank {
                 isi: self.dac_isi.remove(lane),
                 reference_noise_sigma: self.dac_sigma.remove(lane),
                 noise: cold.nd,
-                last_bit: if self.dac_last.remove(lane) > 0.0 {
-                    1
-                } else {
-                    -1
-                },
+                last_bit: if self.dac_last.remove(lane) { 1 } else { -1 },
             },
             input_noise: cold.input_noise,
             nonideal: cold.nonideal,
@@ -302,10 +580,10 @@ impl SigmaDelta2Bank {
     /// Panics when `lane` is out of range.
     pub fn reset_lane(&mut self, lane: usize) {
         assert!(lane < self.lanes(), "lane {lane} out of range");
-        self.x1[lane] = 0.0;
-        self.x2[lane] = 0.0;
-        self.comp_last[lane] = 1.0;
-        self.dac_last[lane] = 1.0;
+        self.x1.set(lane, 0.0);
+        self.x2.set(lane, 0.0);
+        self.comp_last.set(lane, true);
+        self.dac_last.set(lane, true);
         self.prev_input[lane] = 0.0;
         self.steps[lane] = 0;
         self.saturation_events[lane] = 0;
@@ -374,25 +652,27 @@ impl SigmaDelta2Bank {
     fn grow_scratch(&mut self, clocks: usize) {
         let k = self.lanes();
         let tile = clocks * k;
+        let s = &mut self.scratch;
         for t in [
-            &mut self.u_tile,
-            &mut self.z1_tile,
-            &mut self.z2_tile,
-            &mut self.zc_tile,
-            &mut self.zr_tile,
+            &mut s.u_tile,
+            &mut s.z1_tile,
+            &mut s.z2_tile,
+            &mut s.zc_tile,
+            &mut s.zr_tile,
         ] {
             if t.len() < tile {
                 t.resize(tile, 0.0);
             }
         }
-        if self.row.len() < clocks {
-            self.row.resize(clocks, 0.0);
+        if s.row.len() < clocks {
+            s.row.resize(clocks, 0.0);
         }
-        if self.words.len() < k {
-            self.words.resize(k, 0);
+        let words = k.div_ceil(64) * 64;
+        if s.clock_rows.len() < words {
+            s.clock_rows.resize(words, 0);
         }
-        if self.zero_row.len() < k {
-            self.zero_row.resize(k, 0.0);
+        if s.zero_row.len() < k {
+            s.zero_row.resize(k, 0.0);
         }
     }
 
@@ -421,21 +701,22 @@ impl SigmaDelta2Bank {
                 let gain = self.jitter_gain[lane];
                 let src = &mut self.cold[lane].input_noise;
                 let jitter = gain * (x - self.prev_input[lane]);
-                self.u_tile[lane] = x + src.gaussian(sigma) + src.gaussian(jitter.abs());
+                self.scratch.u_tile[lane] = x + src.gaussian(sigma) + src.gaussian(jitter.abs());
                 self.prev_input[lane] = x;
             }
-            self.fill.begin(k);
+            self.scratch.fill.begin(k);
             for c in self.cold.iter() {
-                self.fill.load(&c.input_noise);
+                self.scratch.fill.load(&c.input_noise);
             }
-            self.fill.fill_biased(
+            let s = &mut self.scratch;
+            s.fill.fill_biased(
                 inputs,
                 &self.input_sigma[..k],
                 clocks - 1,
-                &mut self.u_tile[k..clocks * k],
+                &mut s.u_tile[k..clocks * k],
             );
             for (j, c) in self.cold.iter_mut().enumerate() {
-                self.fill.store(j, &mut c.input_noise);
+                self.scratch.fill.store(j, &mut c.input_noise);
             }
         } else {
             for (lane, &x) in inputs.iter().enumerate() {
@@ -455,17 +736,17 @@ impl SigmaDelta2Bank {
         // zero slew, so the jitter term is exactly `+ 0.0` and consumes
         // nothing.
         let jitter = gain * (x - self.prev_input[lane]);
-        self.u_tile[lane] = x + src.gaussian(sigma) + src.gaussian(jitter.abs());
+        self.scratch.u_tile[lane] = x + src.gaussian(sigma) + src.gaussian(jitter.abs());
         self.prev_input[lane] = x;
         if sigma != 0.0 {
-            let row = &mut self.row[..clocks - 1];
+            let row = &mut self.scratch.row[..clocks - 1];
             src.fill_standard(row);
             for (n, &z) in row.iter().enumerate() {
-                self.u_tile[(n + 1) * k + lane] = x + z * sigma + 0.0;
+                self.scratch.u_tile[(n + 1) * k + lane] = x + z * sigma + 0.0;
             }
         } else {
             for n in 1..clocks {
-                self.u_tile[n * k + lane] = x + 0.0 + 0.0;
+                self.scratch.u_tile[n * k + lane] = x + 0.0 + 0.0;
             }
         }
     }
@@ -481,7 +762,8 @@ impl SigmaDelta2Bank {
         for (n, &x) in xs.iter().enumerate() {
             let jitter = gain * (x - self.prev_input[lane]);
             self.prev_input[lane] = x;
-            self.u_tile[n * k + lane] = x + src.gaussian(sigma) + src.gaussian(jitter.abs());
+            self.scratch.u_tile[n * k + lane] =
+                x + src.gaussian(sigma) + src.gaussian(jitter.abs());
         }
     }
 
@@ -490,7 +772,7 @@ impl SigmaDelta2Bank {
     /// nothing (its tile entries are exactly `0.0`, matching the scalar
     /// `gaussian(0.0)` short-circuit). Three tile classes, cheapest
     /// first: all lanes zero-sigma → the tile is dead (the loop filter
-    /// reads `zero_row`); all lanes noisy → one lockstep fill advances
+    /// reads the zero row); all lanes noisy → one lockstep fill advances
     /// every stream side by side; mixed → lane-at-a-time rows.
     fn fill_noise_tiles(&mut self, clocks: usize) {
         let k = self.lanes();
@@ -502,6 +784,10 @@ impl SigmaDelta2Bank {
             comp_sigma,
             dac_sigma,
             cold,
+            scratch,
+            ..
+        } = self;
+        let BankScratch {
             z1_tile,
             z2_tile,
             zc_tile,
@@ -509,7 +795,7 @@ impl SigmaDelta2Bank {
             row,
             fill,
             ..
-        } = self;
+        } = scratch;
         type Pick = fn(&mut LaneCold) -> &mut NoiseSource;
         let tiles: [(&mut Vec<f64>, &Vec<f64>, Pick); 4] = [
             (z1_tile, int1_sigma, |c| &mut c.n1),
@@ -558,111 +844,189 @@ impl SigmaDelta2Bank {
         }
     }
 
-    /// Pass 3: the lockstep loop filter — clock-outer, lane-inner, every
-    /// lane access unit-stride, every expression associated exactly as
-    /// in the scalar `SigmaDelta2::step`.
+    /// Pass 3: the tiled lockstep loop filter.
     ///
-    /// Every per-lane field is hoisted into a `k`-length slice before the
-    /// clock loop: the inner lane loop then runs over equal-length slices
-    /// with no bounds checks, and every branch in the body is a select on
-    /// lane-local data — the shape LLVM turns into vector min/max/blend
-    /// over the lanes.
+    /// The block is converted in chunks of ≤ 64 clocks. Within a chunk
+    /// the loop runs **tile-outer, clock-inner**: each full tile's
+    /// integrator states, coefficients, and packed ±1 history bytes are
+    /// pulled into locals once and stepped through
+    /// `step_tile` for the whole chunk — 64 clocks of
+    /// register-resident state per memory round trip. Each clock
+    /// deposits its comparator byte into the chunk's per-clock `u64`
+    /// lane word; at the chunk boundary [`transpose64`] pivots each
+    /// 64-lane group's words into per-lane time words, which flush into
+    /// the lanes' [`PackedBits`]. Chunk boundaries land exactly on the
+    /// 64-clock flush points of the per-clock formulation, so packed
+    /// output is bit-identical.
+    ///
+    /// Lanes past the last full tile (K mod [`TILE`]) step scalar
+    /// through [`step_lane`] with the same chunk structure, so padding
+    /// lanes never execute.
     fn run_loop_filter(&mut self, clocks: usize, bits: &mut [PackedBits]) {
         let k = self.lanes();
-        self.words[..k].fill(0);
-        let words = &mut self.words[..k];
-        let x1 = &mut self.x1[..k];
-        let x2 = &mut self.x2[..k];
-        let leak = &self.leak[..k];
-        let sat = &self.sat[..k];
-        let comp_offset = &self.comp_offset[..k];
-        let comp_hyst = &self.comp_hyst[..k];
-        let comp_last = &mut self.comp_last[..k];
-        let dac_mismatch = &self.dac_mismatch[..k];
-        let dac_isi = &self.dac_isi[..k];
-        let dac_last = &mut self.dac_last[..k];
-        let b1 = &self.b1[..k];
-        let a1 = &self.a1[..k];
-        let c1 = &self.c1[..k];
-        let a2 = &self.a2[..k];
-        let sat_events = &mut self.saturation_events[..k];
-        // All-zero tiles collapse to one shared zero row: `x + 0.0` from
-        // the row is bit-identical to reading a zeroed tile entry, and
-        // the block working set shrinks to the tiles that carry noise.
-        let zero_row = &self.zero_row[..k];
+        let groups = k.div_ceil(64);
+        let full_tiles = k / TILE;
+        let tail = full_tiles * TILE;
         let [z1_zero, z2_zero, zc_zero, zr_zero] = self.all_zero;
-        for n in 0..clocks {
-            let base = n * k;
-            let u_row = &self.u_tile[base..base + k];
-            let z1_row = if z1_zero {
-                zero_row
-            } else {
-                &self.z1_tile[base..base + k]
+        let SigmaDelta2Bank {
+            x1,
+            x2,
+            leak,
+            sat,
+            comp_offset,
+            comp_hyst,
+            dac_mismatch,
+            dac_isi,
+            b1,
+            a1,
+            c1,
+            a2,
+            comp_last,
+            dac_last,
+            steps,
+            saturation_events,
+            scratch,
+            ..
+        } = self;
+        let BankScratch {
+            u_tile,
+            z1_tile,
+            z2_tile,
+            zc_tile,
+            zr_tile,
+            clock_rows,
+            zero_row,
+            ..
+        } = scratch;
+        let zero_row = &zero_row[..k];
+        let u = RowSrc {
+            data: u_tile,
+            stride: k,
+        };
+        let z1 = RowSrc::new(z1_tile, zero_row, z1_zero, k);
+        let z2 = RowSrc::new(z2_tile, zero_row, z2_zero, k);
+        let zc = RowSrc::new(zc_tile, zero_row, zc_zero, k);
+        let zr = RowSrc::new(zr_tile, zero_row, zr_zero, k);
+        let clock_rows = &mut clock_rows[..groups * 64];
+        let isa = Isa::detect();
+        let mut start = 0usize;
+        while start < clocks {
+            let nb = (clocks - start).min(64);
+            clock_rows.fill(0);
+            let src = ChunkSrc {
+                u,
+                z1,
+                z2,
+                zc,
+                zr,
+                start,
             };
-            let z2_row = if z2_zero {
-                zero_row
-            } else {
-                &self.z2_tile[base..base + k]
-            };
-            let zc_row = if zc_zero {
-                zero_row
-            } else {
-                &self.zc_tile[base..base + k]
-            };
-            let zr_row = if zr_zero {
-                zero_row
-            } else {
-                &self.zr_tile[base..base + k]
-            };
-            let bit_mask = 1u64 << (n & 63);
-            for lane in 0..k {
-                // Comparator decision from the previous x2 (delaying
-                // loop): threshold = offset − h·last + noise.
-                let threshold =
-                    comp_offset[lane] - comp_hyst[lane] * comp_last[lane] + zc_row[lane];
-                let vpos = x2[lane] >= threshold;
-                let v = if vpos { 1.0 } else { -1.0 };
-                // 1-bit DAC: positive-level mismatch, rising-edge ISI,
-                // multiplicative reference noise.
-                let level = if vpos { 1.0 + dac_mismatch[lane] } else { -1.0 };
-                let rising = v > dac_last[lane];
-                let level = if rising {
-                    level * (1.0 - dac_isi[lane])
-                } else {
-                    level
+            // Full tiles: state stays in registers for the whole chunk.
+            for t in 0..full_tiles {
+                let lane0 = t * TILE;
+                let consts = TileConsts {
+                    leak: *leak.tile(t),
+                    sat: *sat.tile(t),
+                    off: *comp_offset.tile(t),
+                    hyst: *comp_hyst.tile(t),
+                    mis: *dac_mismatch.tile(t),
+                    isi: *dac_isi.tile(t),
+                    b1: *b1.tile(t),
+                    a1: *a1.tile(t),
+                    c1: *c1.tile(t),
+                    a2: *a2.tile(t),
                 };
-                comp_last[lane] = v;
-                dac_last[lane] = v;
-                let vf = level * (1.0 + zr_row[lane]);
-                // Both integrators, saturating exactly like the scalar
-                // ScIntegrator::update.
-                let x1_old = x1[lane];
-                let s = sat[lane];
-                let next1 =
-                    leak[lane] * x1_old + (b1[lane] * u_row[lane] - a1[lane] * vf) + z1_row[lane];
-                let sat1 = next1 > s || next1 < -s;
-                x1[lane] = next1.clamp(-s, s);
-                let next2 =
-                    leak[lane] * x2[lane] + (c1[lane] * x1_old - a2[lane] * vf) + z2_row[lane];
-                let sat2 = next2 > s || next2 < -s;
-                x2[lane] = next2.clamp(-s, s);
-                sat_events[lane] += u64::from(sat1 || sat2);
-                words[lane] |= if vpos { bit_mask } else { 0 };
-            }
-            if n & 63 == 63 {
-                for lane in 0..k {
-                    bits[lane].push_bits(words[lane], 64);
+                let mut x1t = *x1.tile(t);
+                let mut x2t = *x2.tile(t);
+                let mut cl = comp_last.byte(t);
+                let mut dl = dac_last.byte(t);
+                let mut sat8_acc = [0u64; TILE];
+                let shift = 8 * (t % 8) as u32;
+                let rows_out = &mut clock_rows[(lane0 / 64) * 64..(lane0 / 64) * 64 + nb];
+                isa.run_tile_chunk(
+                    &mut x1t,
+                    &mut x2t,
+                    &mut cl,
+                    &mut dl,
+                    &mut sat8_acc,
+                    &consts,
+                    &src,
+                    lane0,
+                    shift,
+                    rows_out,
+                );
+                x1.set_tile(t, x1t);
+                x2.set_tile(t, x2t);
+                comp_last.set_byte(t, cl);
+                dac_last.set_byte(t, dl);
+                for (i, &acc) in sat8_acc.iter().enumerate() {
+                    saturation_events[lane0 + i] += acc;
                 }
-                words.fill(0);
             }
-        }
-        let tail = clocks & 63;
-        if tail != 0 {
-            for lane in 0..k {
-                bits[lane].push_bits(words[lane], tail);
+            // Tail lanes (< TILE of them): plain scalar chunk.
+            for lane in tail..k {
+                let (leak, sat) = (leak.get(lane), sat.get(lane));
+                let (off, hyst) = (comp_offset.get(lane), comp_hyst.get(lane));
+                let (mis, isi) = (dac_mismatch.get(lane), dac_isi.get(lane));
+                let (b1, a1) = (b1.get(lane), a1.get(lane));
+                let (c1, a2) = (c1.get(lane), a2.get(lane));
+                let mut x1s = x1.get(lane);
+                let mut x2s = x2.get(lane);
+                let mut cl = comp_last.get(lane);
+                let mut dl = dac_last.get(lane);
+                let mut sat_acc = 0u64;
+                let bit = lane % 64;
+                let rows_out = &mut clock_rows[(lane / 64) * 64..(lane / 64) * 64 + nb];
+                for (r, out_word) in rows_out.iter_mut().enumerate() {
+                    let n = start + r;
+                    let (vpos, satd) = step_lane(
+                        &mut x1s,
+                        &mut x2s,
+                        leak,
+                        sat,
+                        off,
+                        hyst,
+                        mis,
+                        isi,
+                        b1,
+                        a1,
+                        c1,
+                        a2,
+                        u.at(n, lane),
+                        z1.at(n, lane),
+                        z2.at(n, lane),
+                        zc.at(n, lane),
+                        zr.at(n, lane),
+                        cl,
+                        dl,
+                    );
+                    cl = vpos;
+                    dl = vpos;
+                    *out_word |= u64::from(vpos) << bit;
+                    sat_acc += u64::from(satd);
+                }
+                x1.set(lane, x1s);
+                x2.set(lane, x2s);
+                comp_last.set(lane, cl);
+                dac_last.set(lane, dl);
+                saturation_events[lane] += sat_acc;
             }
+            // Pivot per-clock lane words into per-lane time words and
+            // flush — same boundaries as a per-clock `n & 63 == 63`
+            // flush, so the packed streams are bit-identical.
+            for g in 0..groups {
+                let block: &mut [u64; 64] = (&mut clock_rows[g * 64..(g + 1) * 64])
+                    .try_into()
+                    .expect("64-word group block");
+                transpose64(block);
+                let lanes_here = (k - g * 64).min(64);
+                for (l, word) in block[..lanes_here].iter().enumerate() {
+                    bits[g * 64 + l].push_bits(*word, nb);
+                }
+            }
+            start += nb;
         }
-        for s in self.steps[..k].iter_mut() {
+        for s in steps[..k].iter_mut() {
             *s += clocks as u64;
         }
     }

@@ -29,6 +29,9 @@
 //! * [`modulator`] — 2nd-order (and baseline 1st-order) single-bit ΣΔ
 //! * [`bank`] — structure-of-arrays lane bank stepping K modulators per
 //!   clock (bit-identical to the scalar path, which stays the oracle)
+//! * [`tile`] — the fixed-width lane tiles and wide/scalar per-clock
+//!   kernels the bank executes on (`wide-lanes` feature selects the
+//!   explicit wide-ops body)
 //! * [`mux`] — the 2:1 row/column multiplexers with settling transients
 //! * [`noise`] — seeded Gaussian noise sources and kT/C helpers
 //! * [`power`] — supply/clock-scaled power model anchored at the measured
@@ -61,6 +64,7 @@ pub mod noise;
 pub mod nonideal;
 pub mod power;
 pub mod quantizer;
+pub mod tile;
 
 mod error;
 

@@ -74,6 +74,37 @@ fn block_samples(lane: usize, block: usize, base: f64, clocks: usize) -> Option<
     }
 }
 
+/// Drives the bank and its scalar oracles through one mixed
+/// constant/sampled block (the same input-shape mix as
+/// [`block_samples`]), keeping both sides step-for-step aligned.
+fn drive(
+    bank: &mut SigmaDelta2Bank,
+    oracles: &mut [Oracle],
+    bits: &mut [PackedBits],
+    block: usize,
+    base: f64,
+    clocks: usize,
+) {
+    let k = oracles.len();
+    let sampled: Vec<Option<Vec<f64>>> = (0..k)
+        .map(|lane| block_samples(lane, block, base, clocks))
+        .collect();
+    let inputs: Vec<LaneInput> = sampled
+        .iter()
+        .map(|s| match s {
+            Some(xs) => LaneInput::Samples(xs),
+            None => LaneInput::Constant(base),
+        })
+        .collect();
+    bank.step_block(clocks, &inputs, bits);
+    for (lane, oracle) in oracles.iter_mut().enumerate() {
+        match &sampled[lane] {
+            Some(xs) => oracle.feed(xs),
+            None => oracle.feed(&vec![base; clocks]),
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -135,6 +166,79 @@ proptest! {
                 prop_assert_eq!(retired.step(x), oracle.dsm.step(x), "retired lane {}", lane);
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Absorbing a session into a partially-full tail tile and then
+    /// retiring one from the middle of the bank leaves every
+    /// neighbour's bitstream — and the noise-stream position it depends
+    /// on — bit-identical to the scalar oracle. Lane counts span the
+    /// 8-lane tile boundaries (1..=20 crosses one, two, and three
+    /// tiles), so the join lands in a partially-full tile whenever
+    /// `k % 8 != 0` and the retire compacts across tile edges.
+    #[test]
+    fn join_into_partial_tile_then_middle_retire_is_bit_identical(
+        k in 1usize..=20,
+        seed0 in any::<u64>(),
+        pre in 1usize..160,
+        mid in 1usize..160,
+        post in 1usize..160,
+        base in -0.5_f64..0.5,
+    ) {
+        let seeds: Vec<u64> = (0..k as u64)
+            .map(|i| seed0 ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let mods = build_lanes(&seeds);
+        let mut oracles: Vec<Oracle> = mods.iter().cloned().map(Oracle::new).collect();
+        let mut bank = SigmaDelta2Bank::from_modulators(mods);
+        let mut bits = vec![PackedBits::new(); k];
+
+        // Phase 1: run the initial lane set up to an arbitrary clock
+        // (deliberately not 64-aligned) so the join happens mid-word.
+        drive(&mut bank, &mut oracles, &mut bits, 0, base, pre);
+
+        // Phase 2: a session joins into the (usually partially-full)
+        // tail tile, mid-run.
+        let joiner =
+            SigmaDelta2::new(NonIdealities::typical().with_seed(seed0 ^ 0xDEAD_BEEF)).unwrap();
+        oracles.push(Oracle::new(joiner.clone()));
+        prop_assert_eq!(bank.push_lane(joiner), k);
+        bits.push(PackedBits::new());
+        drive(&mut bank, &mut oracles, &mut bits, 1, base, mid);
+
+        // Phase 3: retire a lane from the middle. The handed-back
+        // scalar modulator must carry its exact state — loop filter,
+        // comparator history, and noise-stream position — so it keeps
+        // agreeing with its oracle bit for bit.
+        let victim = k / 2;
+        let mut retired = bank.retire_lane(victim);
+        let mut gone = oracles.remove(victim);
+        bits.remove(victim);
+        for n in 0..96 {
+            let x = base + 0.04 * (n as f64 * 0.31).sin();
+            prop_assert_eq!(retired.step(x), gone.dsm.step(x), "retired lane at clock {}", n);
+        }
+
+        // Phase 4: the survivors (including the joiner, now shifted
+        // down) keep converting in their compacted slots.
+        drive(&mut bank, &mut oracles, &mut bits, 2, base, post);
+
+        for (lane, oracle) in oracles.iter().enumerate() {
+            prop_assert_eq!(&bits[lane], &oracle.packed(), "survivor slot {} bits", lane);
+            prop_assert_eq!(bank.steps(lane), oracle.dsm.steps(), "survivor slot {} steps", lane);
+            prop_assert_eq!(
+                bank.saturation_events(lane),
+                oracle.dsm.saturation_events(),
+                "survivor slot {} saturations",
+                lane
+            );
+        }
+        // The joiner only saw the clocks since it joined; the victim
+        // (k/2 < k) sat ahead of it, so it now sits one slot lower.
+        prop_assert_eq!(bank.steps(k - 1), (mid + post) as u64);
     }
 }
 

@@ -7,18 +7,30 @@
 //! 1. Packed-bit (word-parallel CIC) vs legacy f64 decimation
 //!    throughput, Mbit/s through the paper-default two-stage chain.
 //! 2. Per-stage costs in ns: one modulator clock (block stepper), one
-//!    CIC input bit (word kernel), one FIR input sample, and one
-//!    settled readout frame.
-//! 3. Single-thread monitoring-session throughput (sessions/s).
+//!    banked clock-lane through the tiled K=16 kernel, one CIC input
+//!    bit (word kernel), one FIR input sample, and one settled readout
+//!    frame.
+//! 3. Single-thread monitoring-session throughput (sessions/s), the
+//!    single-core lane-bank K sweep, and the W × K pool sweep
+//!    (`BatchEngine` on the fleet worker pool: W workers, K lanes
+//!    each). Scalar and banked runs are interleaved rep by rep so host
+//!    drift hits both sides of every ratio equally.
 //!
-//! Exits nonzero if the packed path is slower than the f64 baseline —
-//! the CI perf-smoke gate.
+//! Every gate is a numeric `gate_*` field in the JSON `gates` block and
+//! is asserted by this binary (exit nonzero on miss) — the CI
+//! perf-smoke gate. Gate levels scale with the detected core count
+//! (the 4x pool target assumes an 8-core host; single-core hosts only
+//! sanity-check the pool) and `--quick` relaxes every gate to 60% for
+//! noisy CI runners.
 //!
 //! Run with: `cargo run --release -p tonos-bench --bin hotpath_throughput`
-//! (`--quick` shrinks the workload for CI smoke runs).
+//! (`--quick` shrinks the workload for CI smoke runs). Build with
+//! `--features wide-lanes` to measure the explicit wide-ops tile
+//! kernel; the `kernel` JSON field records which one ran.
 
 use std::time::Instant;
 
+use tonos_analog::bank::{kernel_name, SigmaDelta2Bank};
 use tonos_analog::modulator::{DeltaSigmaModulator, SigmaDelta2};
 use tonos_analog::nonideal::NonIdealities;
 use tonos_core::batch::run_batch;
@@ -30,7 +42,7 @@ use tonos_dsp::cic::CicDecimator;
 use tonos_dsp::decimator::{DecimatorConfig, CIC_INPUT_FRAC_BITS};
 use tonos_dsp::fir::FirDecimator;
 use tonos_dsp::signal::sine_wave;
-use tonos_fleet::{FleetConfig, FleetEngine, SessionSpec};
+use tonos_fleet::{BatchConfig, BatchEngine, FleetConfig, FleetEngine, SessionSpec};
 use tonos_mems::units::{MillimetersHg, Pascals};
 use tonos_physio::patient::PatientProfile;
 
@@ -39,11 +51,10 @@ const CLOCKS: usize = 128_000;
 
 /// The scalar single-thread figure recorded in `BENCH_hotpath.json`
 /// before the lane bank landed (commit f5bd278, this host class,
-/// 8 s sessions). The K=8 gate is anchored here rather than to the
-/// in-run scalar measurement: the same change set that added the bank
-/// also sped the scalar path up ~40% (shared xoshiro256++/ziggurat
-/// rewrite), and gating against a bar the PR itself raised would hide
-/// the combined win. The in-run ratio is still reported as data.
+/// 8 s sessions). Reported as data, not gated: absolute sessions/s
+/// tracks the host's speed of the day as much as the code (observed
+/// swinging ±40% on shared hosts), so every asserted gate is an
+/// in-run ratio whose two sides are measured back to back instead.
 const SEED_SCALAR_SESSIONS_PER_S: f64 = 18.203;
 
 /// Best-of-N wall-clock seconds for a closure processing `items` items;
@@ -96,6 +107,33 @@ fn modulator_ns_per_clock(reps: usize) -> f64 {
     ns
 }
 
+/// Banked modulator cost through the tiled chunk kernel: ns per
+/// clock-lane for K lanes stepping one real-time second in lockstep.
+/// The ratio against [`modulator_ns_per_clock`] is the clock-level
+/// tiling win — the number the `gate_tiled_k16_clock_speedup_min` gate
+/// tracks, independent of the scalar stages wrapped around a session.
+fn bank_ns_per_clock_lane(reps: usize, k: usize) -> f64 {
+    let mut bank = SigmaDelta2Bank::from_modulators((0..k).map(|i| {
+        SigmaDelta2::new(NonIdealities::typical().with_seed(9000 + i as u64)).expect("valid config")
+    }));
+    let inputs = vec![0.2; k];
+    let mut bits = vec![PackedBits::with_capacity(CLOCKS); k];
+    // Step in cache-resident blocks, like the session path does (one
+    // OSR frame per call): one giant block would grow the noise-tile
+    // scratch past the cache and measure memory, not the kernel.
+    let block = 5120; // 25 blocks of one real-time second, 64-clock aligned
+    let (_, ns) = rate(reps, CLOCKS * k, || {
+        for b in &mut bits {
+            b.clear();
+        }
+        for _ in 0..CLOCKS / block {
+            bank.step_block_constant(block, &inputs, &mut bits);
+        }
+        assert_eq!(bits[0].len(), CLOCKS);
+    });
+    ns
+}
+
 fn cic_ns_per_bit(reps: usize) -> f64 {
     let bits: PackedBits = (0..CLOCKS).map(|i| i % 3 == 0).collect();
     let scale = 1_i64 << CIC_INPUT_FRAC_BITS;
@@ -139,69 +177,96 @@ fn frame_ns(reps: usize, frames: usize) -> f64 {
     ns
 }
 
-fn single_thread_sessions_per_s(reps: usize, sessions: usize, duration_s: f64) -> f64 {
+fn single_thread_run(sessions: usize, duration_s: f64) -> f64 {
     let profiles = PatientProfile::all();
-    let mut best = 0.0_f64;
-    for _ in 0..reps {
-        let mut fleet = FleetEngine::spawn(FleetConfig { workers: 1 });
-        let t = Instant::now();
-        for i in 0..sessions {
-            fleet.push(
-                SessionSpec::new(
-                    format!("hotpath-{i}"),
-                    profiles[i % profiles.len()].with_seed(1000 + i as u64),
-                )
-                .with_duration(duration_s)
-                .with_scan_window(150),
-            );
-        }
-        let report = fleet.drain();
-        let dt = t.elapsed().as_secs_f64();
-        assert!(report.failures().is_empty(), "bench sessions must complete");
-        best = best.max(sessions as f64 / dt);
+    let mut fleet = FleetEngine::spawn(FleetConfig { workers: 1 });
+    let t = Instant::now();
+    for i in 0..sessions {
+        fleet.push(
+            SessionSpec::new(
+                format!("hotpath-{i}"),
+                profiles[i % profiles.len()].with_seed(1000 + i as u64),
+            )
+            .with_duration(duration_s)
+            .with_scan_window(150),
+        );
     }
-    best
+    let report = fleet.drain();
+    let dt = t.elapsed().as_secs_f64();
+    assert!(report.failures().is_empty(), "bench sessions must complete");
+    sessions as f64 / dt
 }
 
 /// Single-core sessions/s with K sessions banked on one SoA lane bank
 /// (`tonos_core::batch::run_batch`). Monitor construction is inside the
 /// timed region, matching the scalar measurement above.
-fn banked_sessions_per_s(reps: usize, k: usize, duration_s: f64) -> f64 {
+fn banked_run(k: usize, duration_s: f64) -> f64 {
     let profiles = PatientProfile::all();
-    let mut best = 0.0_f64;
-    for _ in 0..reps {
-        let t = Instant::now();
-        let mut monitors: Vec<BloodPressureMonitor> = (0..k)
-            .map(|i| {
-                BloodPressureMonitor::new(
-                    SystemConfig::paper_default(),
-                    profiles[i % profiles.len()].with_seed(2000 + i as u64),
-                )
-                .unwrap()
-                .with_scan_window(150)
-            })
-            .collect();
-        let sessions = run_batch(&mut monitors, duration_s).unwrap();
-        let dt = t.elapsed().as_secs_f64();
-        assert_eq!(sessions.len(), k, "bench batch must complete");
-        for s in &sessions {
-            assert!(s.analysis.pulse_rate_bpm > 40.0, "bench lane degenerated");
-        }
-        best = best.max(k as f64 / dt);
+    let t = Instant::now();
+    let mut monitors: Vec<BloodPressureMonitor> = (0..k)
+        .map(|i| {
+            BloodPressureMonitor::new(
+                SystemConfig::paper_default(),
+                profiles[i % profiles.len()].with_seed(2000 + i as u64),
+            )
+            .unwrap()
+            .with_scan_window(150)
+        })
+        .collect();
+    let sessions = run_batch(&mut monitors, duration_s).unwrap();
+    let dt = t.elapsed().as_secs_f64();
+    assert_eq!(sessions.len(), k, "bench batch must complete");
+    for s in &sessions {
+        assert!(s.analysis.pulse_rate_bpm > 40.0, "bench lane degenerated");
     }
-    best
+    k as f64 / dt
+}
+
+/// Sessions/s through a [`BatchEngine`] of W fleet workers with K-lane
+/// banks — one full group per worker, so the pool sweep exercises the
+/// shard queues, work stealing, and per-worker scratch reuse.
+fn pool_run(w: usize, k: usize, duration_s: f64) -> f64 {
+    let profiles = PatientProfile::all();
+    let total = w * k;
+    let mut engine = BatchEngine::spawn(BatchConfig {
+        workers: w,
+        lanes: k,
+    });
+    let t = Instant::now();
+    for i in 0..total {
+        engine.push(
+            SessionSpec::new(
+                format!("pool-{w}x{k}-{i}"),
+                profiles[i % profiles.len()].with_seed(3000 + i as u64),
+            )
+            .with_duration(duration_s)
+            .with_scan_window(150),
+        );
+    }
+    let report = engine.drain();
+    let dt = t.elapsed().as_secs_f64();
+    assert!(report.failures().is_empty(), "bench sessions must complete");
+    total as f64 / dt
+}
+
+struct GateCheck {
+    name: &'static str,
+    measured: f64,
+    min: f64,
 }
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let kernel = kernel_name();
+    let wide = kernel.starts_with("wide");
     let (reps, dec_seconds, sessions, duration_s) = if quick {
         (2, 2, 2, 6.0)
     } else {
         (5, 8, 8, 8.0)
     };
     eprintln!(
-        "measuring on {cores} hardware thread(s){}...",
+        "measuring on {cores} hardware thread(s), kernel {kernel}{}...",
         if quick { " (quick)" } else { "" }
     );
 
@@ -209,46 +274,127 @@ fn main() {
     let packed_mbps = decimation_mbps(true, dec_seconds, reps);
     eprintln!("  decimation: f64 {f64_mbps:.2} Mbit/s, packed {packed_mbps:.2} Mbit/s");
     let mod_ns = modulator_ns_per_clock(reps);
+    let bank16_ns = bank_ns_per_clock_lane(reps, 16);
+    let tiled_k16_clock_speedup = mod_ns / bank16_ns;
     let cic_ns = cic_ns_per_bit(reps);
     let fir_ns = fir_ns_per_sample(reps);
     let fr_ns = frame_ns(reps, if quick { 500 } else { 2000 });
-    eprintln!("  stages: modulator {mod_ns:.1} ns/clock, cic {cic_ns:.2} ns/bit, fir {fir_ns:.1} ns/sample, frame {fr_ns:.0} ns");
-    // Session throughput fluctuates ~30% run to run on shared hosts,
-    // so take best-of-N like the micro-benches above.
-    let session_reps = if quick { 2 } else { 3 };
-    let sessions_per_s = single_thread_sessions_per_s(session_reps, sessions, duration_s);
-    eprintln!("  single-thread sessions/s: {sessions_per_s:.3}");
+    eprintln!(
+        "  stages: modulator {mod_ns:.1} ns/clock, tiled K=16 {bank16_ns:.2} ns/clock-lane \
+         ({tiled_k16_clock_speedup:.2}x), cic {cic_ns:.2} ns/bit, fir {fir_ns:.1} ns/sample, \
+         frame {fr_ns:.0} ns"
+    );
 
-    // Lane-bank sweep: K whole sessions per instruction stream.
-    let lane_counts = [1usize, 2, 4, 8, 16];
-    let mut banked = Vec::with_capacity(lane_counts.len());
-    for &k in &lane_counts {
-        let per_s = banked_sessions_per_s(session_reps, k, duration_s);
-        eprintln!(
-            "  banked K={k}: {per_s:.3} sessions/s ({:.2}x scalar)",
-            per_s / sessions_per_s
-        );
-        banked.push((k, per_s));
+    // Session-level sweep, interleaved: each rep measures the scalar
+    // baseline, every banked K, and every W x K pool cell back to back,
+    // so slow host drift moves every side of a ratio together instead
+    // of biasing whichever leg ran last. Speedups are computed within a
+    // rep (best rep wins); absolute sessions/s are best-of-reps.
+    let lane_counts: &[usize] = &[1, 2, 4, 8, 16];
+    let pool_ws: &[usize] = &[1, 2, 4];
+    let pool_ks: &[usize] = if quick { &[4, 8] } else { &[4, 8, 16] };
+    let session_reps = if quick { 1 } else { 3 };
+    let mut scalar_reps = vec![0.0_f64; session_reps];
+    let mut banked_reps = vec![vec![0.0_f64; session_reps]; lane_counts.len()];
+    let mut pool_reps = vec![vec![vec![0.0_f64; session_reps]; pool_ks.len()]; pool_ws.len()];
+    for rep in 0..session_reps {
+        eprintln!("  session sweep rep {}/{}...", rep + 1, session_reps);
+        scalar_reps[rep] = single_thread_run(sessions, duration_s);
+        for (j, &k) in lane_counts.iter().enumerate() {
+            banked_reps[j][rep] = banked_run(k, duration_s);
+        }
+        for (wi, &w) in pool_ws.iter().enumerate() {
+            for (ki, &k) in pool_ks.iter().enumerate() {
+                pool_reps[wi][ki][rep] = pool_run(w, k, duration_s);
+            }
+        }
     }
-    let k8_per_s = banked
+    let best = |xs: &[f64]| xs.iter().cloned().fold(0.0_f64, f64::max);
+    // Drift-robust speedup: best same-rep ratio against the scalar leg.
+    let ratio = |xs: &[f64]| {
+        xs.iter()
+            .zip(&scalar_reps)
+            .map(|(&x, &s)| x / s)
+            .fold(0.0_f64, f64::max)
+    };
+    let sessions_per_s = best(&scalar_reps);
+    eprintln!("  single-thread sessions/s: {sessions_per_s:.3}");
+    let banked: Vec<(usize, f64, f64)> = lane_counts
         .iter()
-        .find(|(k, _)| *k == 8)
-        .map(|(_, v)| *v)
-        .unwrap();
-    let k8_speedup = k8_per_s / sessions_per_s;
+        .zip(&banked_reps)
+        .map(|(&k, reps)| (k, best(reps), ratio(reps)))
+        .collect();
+    for &(k, per_s, speedup) in &banked {
+        eprintln!("  banked K={k}: {per_s:.3} sessions/s ({speedup:.2}x scalar)");
+    }
+    let mut best_wxk = (pool_ws[0], pool_ks[0], 0.0_f64, 0.0_f64);
+    for (wi, &w) in pool_ws.iter().enumerate() {
+        for (ki, &k) in pool_ks.iter().enumerate() {
+            let per_s = best(&pool_reps[wi][ki]);
+            let speedup = ratio(&pool_reps[wi][ki]);
+            eprintln!("  pool W={w} K={k}: {per_s:.3} sessions/s ({speedup:.2}x scalar)");
+            if speedup > best_wxk.3 {
+                best_wxk = (w, k, per_s, speedup);
+            }
+        }
+    }
+
+    let (_, k8_per_s, k8_speedup) = *banked.iter().find(|(k, ..)| *k == 8).unwrap();
     let k8_vs_seed = k8_per_s / SEED_SCALAR_SESSIONS_PER_S;
+    let (_, k16_per_s, k16_speedup) = *banked.iter().find(|(k, ..)| *k == 16).unwrap();
+    // "Single-core K=16": the direct banked run or the one-worker
+    // K=16 pool cell, whichever same-rep ratio is better — both step
+    // sixteen lanes on one core.
+    let k16_single_core_speedup = pool_ws
+        .iter()
+        .position(|&w| w == 1)
+        .and_then(|wi| {
+            pool_ks
+                .iter()
+                .position(|&k| k == 16)
+                .map(|ki| ratio(&pool_reps[wi][ki]))
+        })
+        .unwrap_or(0.0)
+        .max(k16_speedup);
+    let best_wxk_speedup = best_wxk.3;
+
+    // --- Gates: numeric, core-scaled, quick-relaxed, all asserted. ---
+    // The pool target encodes "4x assumes an 8-core host": full 4.0
+    // only with >= 8 cores, 2.5 on any multi-core host, and a bare
+    // sanity floor on a single core (where W > 1 cannot speed anything
+    // up). The K=16 session gate (1.6x on any host) rides the wide
+    // kernel at the clock level too, with a "tiling must not lose"
+    // floor for the portable scalar-tile build.
+    let relax = if quick { 0.6 } else { 1.0 };
+    let gate_packed = 1.0 * relax;
+    let gate_tiled_clock = relax * if wide { 1.25 } else { 0.9 };
+    let gate_k16 = 1.6 * relax;
+    let gate_k8_scalar = 1.2 * relax;
+    let gate_pool = relax
+        * if cores >= 8 {
+            4.0
+        } else if cores >= 2 {
+            2.5
+        } else {
+            0.9
+        };
 
     println!("{{");
     println!("  \"bench\": \"hotpath_throughput\",");
     println!("  \"quick\": {quick},");
     println!("  \"host_hardware_threads\": {cores},");
+    println!("  \"kernel\": \"{kernel}\",");
     println!("  \"decimation\": {{");
+    println!("    \"host_hardware_threads\": {cores},");
     println!("    \"f64_path_mbit_per_s\": {f64_mbps:.2},");
     println!("    \"packed_path_mbit_per_s\": {packed_mbps:.2},");
     println!("    \"packed_speedup\": {:.3}", packed_mbps / f64_mbps);
     println!("  }},");
     println!("  \"stages\": {{");
+    println!("    \"host_hardware_threads\": {cores},");
     println!("    \"modulator_ns_per_clock\": {mod_ns:.2},");
+    println!("    \"tiled_k16_ns_per_clock_lane\": {bank16_ns:.2},");
+    println!("    \"tiled_k16_clock_speedup\": {tiled_k16_clock_speedup:.3},");
     println!("    \"cic_word_kernel_ns_per_bit\": {cic_ns:.3},");
     println!("    \"fir_ns_per_sample\": {fir_ns:.2},");
     println!("    \"settled_frame_ns\": {fr_ns:.0}");
@@ -257,50 +403,104 @@ fn main() {
     println!("  \"sessions_per_measurement\": {sessions},");
     println!("  \"single_thread_sessions_per_s\": {sessions_per_s:.3},");
     println!("  \"batch\": {{");
+    println!("    \"host_hardware_threads\": {cores},");
     println!(
-        "    \"description\": \"K whole sessions in lockstep on one SoA lane bank, single core\","
+        "    \"description\": \"K whole sessions in lockstep on one SoA lane bank, single core; speedups are best same-rep ratios vs the interleaved scalar leg\","
     );
     println!("    \"lanes\": [");
-    for (i, (k, per_s)) in banked.iter().enumerate() {
+    for (i, (k, per_s, speedup)) in banked.iter().enumerate() {
         let comma = if i + 1 < banked.len() { "," } else { "" };
         println!(
-            "      {{ \"k\": {k}, \"sessions_per_s\": {per_s:.3}, \"speedup_vs_scalar\": {:.3} }}{comma}",
-            per_s / sessions_per_s
+            "      {{ \"k\": {k}, \"sessions_per_s\": {per_s:.3}, \"speedup_vs_scalar\": {speedup:.3} }}{comma}"
         );
     }
     println!("    ],");
     println!("    \"k8_speedup_vs_in_run_scalar\": {k8_speedup:.3},");
+    println!("    \"k16_speedup_vs_in_run_scalar\": {k16_speedup:.3},");
+    println!("    \"k16_single_core_speedup\": {k16_single_core_speedup:.3},");
     println!("    \"seed_scalar_sessions_per_s\": {SEED_SCALAR_SESSIONS_PER_S},");
-    println!("    \"k8_speedup_vs_seed_scalar\": {k8_vs_seed:.3},");
-    println!("    \"gate\": \"K=8 >= 1.5x the seed scalar figure ({SEED_SCALAR_SESSIONS_PER_S}/s) and >= 0.9x the in-run scalar; both paths share the ~4 ns/draw noise floor on this host, so the in-run ratio tops out near 1.35x while the combined win vs the seed is what the gate tracks\"");
+    println!("    \"k8_vs_seed_scalar\": {k8_vs_seed:.3},");
+    println!("    \"k16_sessions_per_s\": {k16_per_s:.3}");
+    println!("  }},");
+    println!("  \"pool\": {{");
+    println!("    \"host_hardware_threads\": {cores},");
+    println!(
+        "    \"description\": \"W x K sweep: BatchEngine on the fleet pool, W workers with K-lane banks, one group per worker\","
+    );
+    println!("    \"sweep\": [");
+    let cells = pool_ws.len() * pool_ks.len();
+    let mut cell = 0;
+    for (wi, &w) in pool_ws.iter().enumerate() {
+        for (ki, &k) in pool_ks.iter().enumerate() {
+            cell += 1;
+            let per_s = best(&pool_reps[wi][ki]);
+            let speedup = ratio(&pool_reps[wi][ki]);
+            let comma = if cell < cells { "," } else { "" };
+            println!(
+                "      {{ \"workers\": {w}, \"k\": {k}, \"sessions_per_s\": {per_s:.3}, \"speedup_vs_scalar\": {speedup:.3} }}{comma}"
+            );
+        }
+    }
+    println!("    ],");
+    println!(
+        "    \"best\": {{ \"workers\": {}, \"k\": {}, \"sessions_per_s\": {:.3}, \"speedup_vs_scalar\": {best_wxk_speedup:.3} }}",
+        best_wxk.0, best_wxk.1, best_wxk.2
+    );
+    println!("  }},");
+    println!("  \"gates\": {{");
+    println!("    \"host_hardware_threads\": {cores},");
+    println!("    \"gate_packed_speedup_min\": {gate_packed:.3},");
+    println!("    \"gate_tiled_k16_clock_speedup_min\": {gate_tiled_clock:.3},");
+    println!("    \"gate_k16_single_core_speedup_min\": {gate_k16:.3},");
+    println!("    \"gate_k8_vs_in_run_scalar_min\": {gate_k8_scalar:.3},");
+    println!("    \"gate_best_pool_speedup_min\": {gate_pool:.3},");
+    println!(
+        "    \"note\": \"all gates are in-run ratios measured back to back (host-speed drift cancels; the seed anchor is data only); core-scaled: the 4x pool target assumes an 8-core host (2.5x on any multi-core, sanity floor on one core); the 1.6x single-core K=16 session gate holds on any host; the clock-level gate tracks the wide-lanes kernel (tiling-must-not-lose floor for the portable build); --quick relaxes all gates to 60% for noisy CI runners\""
+    );
     println!("  }},");
     println!(
         "  \"note\": \"pre-optimization baselines (BENCH_fleet.json, same host class): f64 157.65 Mbit/s, packed 217.56 Mbit/s, single-thread 9.147 sessions/s; targets were >= 2x packed (435.12) and >= 1.5x sessions/s (13.72)\""
     );
     println!("}}");
 
-    if packed_mbps < f64_mbps {
-        eprintln!(
-            "FAIL: packed path ({packed_mbps:.2} Mbit/s) slower than f64 baseline ({f64_mbps:.2} Mbit/s)"
-        );
-        std::process::exit(1);
+    let checks = [
+        GateCheck {
+            name: "packed decimation vs f64 baseline",
+            measured: packed_mbps / f64_mbps,
+            min: gate_packed,
+        },
+        GateCheck {
+            name: "tiled K=16 clock-level speedup vs scalar modulator",
+            measured: tiled_k16_clock_speedup,
+            min: gate_tiled_clock,
+        },
+        GateCheck {
+            name: "single-core K=16 session speedup vs in-run scalar",
+            measured: k16_single_core_speedup,
+            min: gate_k16,
+        },
+        GateCheck {
+            name: "banked K=8 vs in-run scalar sessions/s",
+            measured: k8_speedup,
+            min: gate_k8_scalar,
+        },
+        GateCheck {
+            name: "best W x K pool speedup vs in-run scalar",
+            measured: best_wxk_speedup,
+            min: gate_pool,
+        },
+    ];
+    let mut failed = false;
+    for c in &checks {
+        if c.measured < c.min {
+            eprintln!(
+                "FAIL: {} is {:.3}, below the gate of {:.3}",
+                c.name, c.measured, c.min
+            );
+            failed = true;
+        }
     }
-    if k8_vs_seed < 1.5 {
-        eprintln!(
-            "FAIL: K=8 lane bank at {k8_per_s:.3} sessions/s is only {k8_vs_seed:.2}x \
-             the seed scalar figure ({SEED_SCALAR_SESSIONS_PER_S}); the gate is 1.5x"
-        );
-        std::process::exit(1);
-    }
-    // Sanity, not a target: banking must not materially lose to the
-    // in-run scalar path. The 0.9 floor absorbs the ~30% run-to-run
-    // swing shared 1-core hosts show; a real banking regression lands
-    // far below it.
-    if k8_speedup < 0.9 {
-        eprintln!(
-            "FAIL: K=8 lane bank at {k8_per_s:.3} sessions/s is materially slower \
-             than the in-run scalar path ({sessions_per_s:.3})"
-        );
+    if failed {
         std::process::exit(1);
     }
 }

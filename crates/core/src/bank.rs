@@ -15,7 +15,7 @@
 //! a banked lane produces the same outputs, counters, and telemetry as
 //! the same system run alone (see `tests/bank_readout.rs`).
 
-use tonos_analog::bank::{LaneInput, SigmaDelta2Bank};
+use tonos_analog::bank::{BankScratch, LaneInput, SigmaDelta2Bank};
 use tonos_dsp::bits::PackedBits;
 use tonos_mems::units::Pascals;
 
@@ -93,6 +93,18 @@ impl<'a> ReadoutBank<'a> {
     /// Number of lanes.
     pub fn lanes(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// Hands a pre-grown block scratch to the underlying modulator bank
+    /// (see [`BankScratch`]); a fleet worker reuses one scratch across
+    /// every batch it runs so the noise tiles stay grown.
+    pub fn adopt_scratch(&mut self, scratch: BankScratch) {
+        self.modulators.adopt_scratch(scratch);
+    }
+
+    /// Detaches the modulator bank's block scratch for reuse elsewhere.
+    pub fn take_scratch(&mut self) -> BankScratch {
+        self.modulators.take_scratch()
     }
 
     /// Modulator clocks per output sample (uniform across lanes).

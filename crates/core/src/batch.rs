@@ -14,12 +14,25 @@
 //! groups are rejected with [`SystemError::Config`] — callers (the
 //! fleet's batch engine) fall back to scalar sessions.
 
+use tonos_analog::bank::BankScratch;
 use tonos_mems::units::Pascals;
 
 use crate::bank::ReadoutBank;
 use crate::monitor::{BloodPressureMonitor, MonitoringSession};
 use crate::select::ScanResult;
 use crate::SystemError;
+
+/// Reusable per-worker scratch for [`run_batch_with_scratch`].
+///
+/// Holds the modulator bank's grown noise tiles (and transpose buffers)
+/// between batches, so a long-lived worker fills its lane tiles into
+/// already-sized storage instead of re-growing allocations per session
+/// group. Contents carry no session state — adopting a stale scratch is
+/// always bit-safe; it only changes allocation behavior.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    bank: BankScratch,
+}
 
 /// Runs one monitoring session per monitor, K lanes in lockstep on a
 /// shared modulator bank. Returns one [`MonitoringSession`] per monitor,
@@ -36,6 +49,23 @@ use crate::SystemError;
 pub fn run_batch(
     monitors: &mut [BloodPressureMonitor],
     duration_s: f64,
+) -> Result<Vec<MonitoringSession>, SystemError> {
+    let mut scratch = BatchScratch::default();
+    run_batch_with_scratch(monitors, duration_s, &mut scratch)
+}
+
+/// [`run_batch`] with a caller-held [`BatchScratch`]: the bank adopts
+/// the scratch for the conversion and hands it back (grown) before the
+/// modulators are released, so fleet workers amortize tile allocation
+/// across every batch they run.
+///
+/// # Errors
+///
+/// Identical to [`run_batch`].
+pub fn run_batch_with_scratch(
+    monitors: &mut [BloodPressureMonitor],
+    duration_s: f64,
+    scratch: &mut BatchScratch,
 ) -> Result<Vec<MonitoringSession>, SystemError> {
     let k = monitors.len();
     if k == 0 {
@@ -107,6 +137,7 @@ pub fn run_batch(
         let bank_spans: Vec<_> = bank_timers.iter().map(|t| t.start()).collect();
         let systems: Vec<_> = monitors.iter_mut().map(|m| &mut m.system).collect();
         let mut bank = ReadoutBank::new(systems)?;
+        bank.adopt_scratch(std::mem::take(&mut scratch.bank));
 
         let mut cursor = 0usize;
         let mut frame_bufs: Vec<Vec<Pascals>> = vec![Vec::with_capacity(layout.len()); k];
@@ -222,6 +253,7 @@ pub fn run_batch(
             span.finish();
         }
 
+        scratch.bank = bank.take_scratch();
         bank.release();
         (scans, raws, acquisition_start)
     };

@@ -1,12 +1,30 @@
-//! The batch engine: B sessions per worker, converted on one lane bank.
+//! The batch engine: B sessions per worker, converted on one lane bank,
+//! scheduled on the fleet's shared worker pool.
 //!
-//! [`FleetEngine`](crate::FleetEngine) parallelizes across threads — one
-//! session per core. On narrow hardware (or when cores are saturated)
-//! the next axis is *within* the instruction stream:
-//! [`tonos_core::batch::run_batch`] steps K modulators per clock through
-//! one SoA lane bank, converting K patients per core. [`BatchEngine`]
-//! wraps that mode in the same fleet contract:
+//! [`FleetEngine`] parallelizes across threads — one session per core.
+//! On narrow hardware (or when cores are saturated) the next axis is
+//! *within* the instruction stream:
+//! [`tonos_core::batch::run_batch_with_scratch`] steps K modulators per
+//! clock through one SoA lane bank, converting K patients per core.
+//! [`BatchEngine`] wraps that mode in the same fleet contract:
 //!
+//! * **Same pool.** A batch engine is a facade over a [`FleetEngine`]:
+//!   its lane groups run on the same workers as ordinary sessions and
+//!   chunk actors, so batch conversion, scalar sessions, and live
+//!   ingest share one fixed-size pool (a `Dispatch::Batch` kick in the
+//!   engine's job queue). [`BatchEngine::fleet`] /
+//!   [`BatchEngine::fleet_mut`] expose it.
+//! * **Per-worker shards, work-stealing rebalance.** Submitted groups
+//!   land on per-worker lane queues (round-robin). A worker drains its
+//!   own queue first and steals from the longest other queue when dry —
+//!   session join/retire churn rebalances instead of idling workers.
+//!   [`names::FLEET_LANE_STEALS`] counts steals;
+//!   [`names::FLEET_BATCH_OCCUPANCY`] records how many lanes each
+//!   claimed group actually filled.
+//! * **Per-worker noise-tile prefill.** Each fleet worker owns one
+//!   [`BatchScratch`]: the lane bank's noise tiles are grown by the
+//!   first batch a worker runs and reused for every later batch, so
+//!   the steady state allocates nothing per group.
 //! * **Same isolation.** Every session in a batch still gets its own
 //!   telemetry [`Registry`]; lanes share an instruction stream, never a
 //!   registry.
@@ -21,22 +39,24 @@
 //! Per-session `wall_s` in a banked batch is the batch wall time divided
 //! by the lane count — the fair per-patient share of the core.
 //!
-//! Pick [`BatchEngine`] over the thread-pool engine when sessions
+//! Pick [`BatchEngine`] over the plain thread-pool engine when sessions
 //! outnumber cores and specs are lockstep-compatible (same config shape
 //! and duration); see `ARCHITECTURE.md` § Lane bank for the full
 //! guidance.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
-use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::thread;
+use std::time::Instant;
 
-use tonos_core::batch::run_batch;
+use tonos_core::batch::{run_batch_with_scratch, BatchScratch};
 use tonos_core::monitor::BloodPressureMonitor;
-use tonos_telemetry::{names, Registry, Rollup, Telemetry, TelemetrySnapshot};
+use tonos_telemetry::{buckets, names, Registry, Telemetry, TelemetrySnapshot};
 
-use crate::report::{FleetReport, SessionResult};
+use crate::engine::{panic_message, FleetConfig, FleetEngine, RawResult};
+use crate::report::FleetReport;
 use crate::session::{summarize, SessionContext, SessionOutcome, SessionSpec};
 
 /// Batch engine sizing.
@@ -59,74 +79,162 @@ impl Default for BatchConfig {
     }
 }
 
-/// One batch of sessions travelling to a worker.
-struct Dispatch {
-    sessions: Vec<(u64, SessionSpec)>,
-}
-
-/// One finished session travelling back from a worker (batches are
-/// unbundled worker-side so the drain path matches the fleet engine's).
-struct RawResult {
-    id: u64,
-    label: String,
-    wall_s: f64,
-    banked: bool,
-    outcome: SessionOutcome,
-    snapshot: TelemetrySnapshot,
-}
-
-/// A pool of workers running monitoring sessions K-at-a-time on lane
-/// banks, with scalar fallback per batch.
+/// Lane-bank work shared between a [`BatchEngine`] and the fleet
+/// workers: one session queue per worker, drained `lanes` sessions at a
+/// time.
 ///
-/// Lifecycle mirrors [`FleetEngine`](crate::FleetEngine):
-/// [`spawn`](BatchEngine::spawn) → [`push`](BatchEngine::push) →
-/// [`drain`](BatchEngine::drain) (repeatable). Sessions are grouped into
-/// batches of `lanes` in submission order; a partial batch is flushed by
-/// the next drain.
+/// All scheduling state lives under one mutex, so the wakeup protocol
+/// has no lost-update window: a producer that enqueues work sees the
+/// exact set of active runners (and kicks more workers if needed), and
+/// a runner gives its slot back *in the same critical section* that
+/// finds every queue empty.
+pub(crate) struct BatchShard {
+    /// Sessions per claimed group — the bank's lane count K.
+    lanes: usize,
+    state: Mutex<ShardState>,
+    /// Fleet-level telemetry (the owning engine's registry): steal and
+    /// occupancy instruments plus the per-session banked/scalar mode
+    /// counters recorded worker-side.
+    telemetry: Telemetry,
+}
+
+struct ShardState {
+    /// One FIFO of staged sessions per worker index.
+    queues: Vec<VecDeque<(u64, SessionSpec)>>,
+    /// Round-robin cursor: which queue the next submitted group joins.
+    next: usize,
+    /// Workers currently kicked at (or draining) this shard.
+    runners: usize,
+}
+
+impl std::fmt::Debug for BatchShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchShard")
+            .field("lanes", &self.lanes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BatchShard {
+    fn new(workers: usize, lanes: usize, telemetry: Telemetry) -> Self {
+        BatchShard {
+            lanes: lanes.max(1),
+            state: Mutex::new(ShardState {
+                queues: (0..workers.max(1)).map(|_| VecDeque::new()).collect(),
+                next: 0,
+                runners: 0,
+            }),
+            telemetry,
+        }
+    }
+
+    /// Places one submitted group on a worker queue (round-robin) and
+    /// returns how many batch kicks the caller owes the pool: enough
+    /// that every non-empty queue could have a runner, counting the
+    /// runners already active.
+    fn submit(&self, group: Vec<(u64, SessionSpec)>, workers: usize) -> usize {
+        let mut s = self.state.lock().expect("shard state lock poisoned");
+        let slot = s.next % s.queues.len();
+        s.next = (s.next + 1) % s.queues.len();
+        s.queues[slot].extend(group);
+        let nonempty = s.queues.iter().filter(|q| !q.is_empty()).count();
+        let kicks = nonempty.min(workers.max(1)).saturating_sub(s.runners);
+        s.runners += kicks;
+        kicks
+    }
+
+    /// Claims up to `lanes` sessions for worker `who`: its own queue
+    /// first, otherwise stolen from the longest other queue (rebalance
+    /// on join/retire churn). `None` means every queue is empty and the
+    /// runner slot has been released — the caller stops draining; the
+    /// next [`submit`](BatchShard::submit) re-kicks.
+    fn claim(&self, who: usize) -> Option<Vec<(u64, SessionSpec)>> {
+        let group = {
+            let mut s = self.state.lock().expect("shard state lock poisoned");
+            let n = s.queues.len();
+            let own = who % n;
+            let src = if s.queues[own].is_empty() {
+                let victim = (0..n)
+                    .filter(|&i| i != own && !s.queues[i].is_empty())
+                    .max_by_key(|&i| s.queues[i].len());
+                match victim {
+                    Some(v) => v,
+                    None => {
+                        s.runners -= 1;
+                        return None;
+                    }
+                }
+            } else {
+                own
+            };
+            if src != own {
+                self.telemetry.counter(names::FLEET_LANE_STEALS).inc();
+            }
+            let take = s.queues[src].len().min(self.lanes);
+            s.queues[src].drain(..take).collect::<Vec<_>>()
+        };
+        self.telemetry
+            .histogram(names::FLEET_BATCH_OCCUPANCY, &occupancy_buckets(self.lanes))
+            .record(group.len() as f64);
+        Some(group)
+    }
+
+    /// Drains the shard on one fleet worker: claim, convert, report,
+    /// repeat until dry. `Err` means the engine is gone.
+    pub(crate) fn run_on_worker(
+        &self,
+        who: usize,
+        scratch: &mut BatchScratch,
+        results: &Sender<RawResult>,
+    ) -> Result<(), ()> {
+        while let Some(group) = self.claim(who) {
+            for raw in run_group(group, scratch, &self.telemetry) {
+                results.send(raw).map_err(|_| ())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Histogram bounds for lane occupancy: one bucket per lane count.
+fn occupancy_buckets(lanes: usize) -> Vec<f64> {
+    buckets::linear(1.0, 1.0, lanes.max(1))
+}
+
+/// A facade running monitoring sessions K-at-a-time on lane banks, with
+/// scalar fallback per batch, on a shared [`FleetEngine`] worker pool.
+///
+/// Lifecycle mirrors [`FleetEngine`]: [`spawn`](BatchEngine::spawn) →
+/// [`push`](BatchEngine::push) → [`drain`](BatchEngine::drain)
+/// (repeatable). Sessions are grouped into batches of `lanes` in
+/// submission order; a partial batch is flushed by the next drain.
 #[derive(Debug)]
 pub struct BatchEngine {
-    jobs: Option<Sender<Dispatch>>,
-    results: Receiver<RawResult>,
-    workers: Vec<JoinHandle<()>>,
-    registry: Registry,
-    rollup: Rollup,
-    next_id: u64,
+    fleet: FleetEngine,
+    shard: Arc<BatchShard>,
     lanes: usize,
     staged: Vec<(u64, SessionSpec)>,
-    in_flight: usize,
 }
 
 impl BatchEngine {
-    /// Starts the worker pool.
+    /// Starts the worker pool (a plain [`FleetEngine`] underneath).
     pub fn spawn(config: BatchConfig) -> Self {
-        let count = config.workers.max(1);
-        let (job_tx, job_rx) = channel::<Dispatch>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
-        let (result_tx, result_rx) = channel::<RawResult>();
-        let workers = (0..count)
-            .map(|_| {
-                let jobs = Arc::clone(&job_rx);
-                let results = result_tx.clone();
-                thread::spawn(move || worker_loop(&jobs, &results))
-            })
-            .collect();
-        let registry = Registry::new();
+        let fleet = FleetEngine::spawn(FleetConfig {
+            workers: config.workers,
+        });
+        let lanes = config.lanes.max(1);
+        let shard = Arc::new(BatchShard::new(fleet.workers(), lanes, fleet.telemetry()));
         BatchEngine {
-            jobs: Some(job_tx),
-            results: result_rx,
-            workers,
-            rollup: Rollup::into_registry(registry.clone()),
-            registry,
-            next_id: 0,
-            lanes: config.lanes.max(1),
+            fleet,
+            shard,
+            lanes,
             staged: Vec::new(),
-            in_flight: 0,
         }
     }
 
     /// Number of worker threads in the pool.
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.fleet.workers()
     }
 
     /// Sessions per batch (the bank's lane count K).
@@ -134,15 +242,24 @@ impl BatchEngine {
         self.lanes
     }
 
+    /// The underlying fleet engine — batch groups, plain sessions
+    /// ([`FleetEngine::push`]), and chunk actors
+    /// ([`FleetEngine::open_actor`]) all share its worker pool, queue,
+    /// and registry.
+    pub fn fleet(&self) -> &FleetEngine {
+        &self.fleet
+    }
+
+    /// Mutable access to the underlying fleet engine.
+    pub fn fleet_mut(&mut self) -> &mut FleetEngine {
+        &mut self.fleet
+    }
+
     /// Submits a monitoring session; returns its engine-assigned id.
     /// The session is dispatched once a full batch of `lanes` specs has
     /// accumulated (or at the next [`drain`](BatchEngine::drain)).
     pub fn push(&mut self, spec: SessionSpec) -> u64 {
-        let id = self.next_id;
-        self.next_id += 1;
-        self.telemetry()
-            .counter(names::FLEET_SESSIONS_STARTED)
-            .inc();
+        let id = self.fleet.stage_batch_session();
         self.staged.push((id, spec));
         if self.staged.len() >= self.lanes {
             self.flush();
@@ -155,18 +272,17 @@ impl BatchEngine {
         if self.staged.is_empty() {
             return;
         }
-        let sessions = std::mem::take(&mut self.staged);
-        self.in_flight += sessions.len();
-        self.jobs
-            .as_ref()
-            .expect("job channel open while engine is alive")
-            .send(Dispatch { sessions })
-            .expect("workers alive while engine is alive");
+        let group = std::mem::take(&mut self.staged);
+        let kicks = self.shard.submit(group, self.fleet.workers());
+        for _ in 0..kicks {
+            self.fleet.send_batch(Arc::clone(&self.shard));
+        }
     }
 
-    /// Sessions submitted but not yet collected by a drain.
+    /// Sessions submitted but not yet collected by a drain (staged
+    /// sessions included).
     pub fn pending(&self) -> usize {
-        self.in_flight + self.staged.len()
+        self.fleet.pending()
     }
 
     /// Flushes the staged batch, blocks until every submitted session
@@ -175,109 +291,55 @@ impl BatchEngine {
     /// usable afterwards.
     pub fn drain(&mut self) -> FleetReport {
         self.flush();
-        let mut sessions = Vec::with_capacity(self.in_flight);
-        while self.in_flight > 0 {
-            let raw = self
-                .results
-                .recv()
-                .expect("workers alive while sessions are in flight");
-            self.in_flight -= 1;
-            self.absorb(&raw);
-            sessions.push(SessionResult {
-                id: raw.id,
-                label: raw.label,
-                wall_s: raw.wall_s,
-                outcome: raw.outcome,
-            });
-        }
-        sessions.sort_by_key(|s| s.id);
-        FleetReport { sessions }
-    }
-
-    fn absorb(&mut self, raw: &RawResult) {
-        self.rollup.absorb(&raw.snapshot);
-        let t = self.telemetry();
-        let outcome_counter = match raw.outcome {
-            SessionOutcome::Completed(_) => names::FLEET_SESSIONS_COMPLETED,
-            SessionOutcome::Failed(_) => names::FLEET_SESSIONS_FAILED,
-            SessionOutcome::Panicked(_) => names::FLEET_SESSIONS_PANICKED,
-        };
-        t.counter(outcome_counter).inc();
-        let mode = if raw.banked {
-            names::FLEET_BATCHES_BANKED
-        } else {
-            names::FLEET_BATCHES_SCALAR
-        };
-        t.counter(mode).inc();
-        t.span(names::SPAN_FLEET_SESSION)
-            .record(Duration::from_secs_f64(raw.wall_s));
+        self.fleet.drain()
     }
 
     /// The fleet-level registry: engine counters plus everything rolled
     /// up from drained sessions.
     pub fn registry(&self) -> &Registry {
-        &self.registry
+        self.fleet.registry()
     }
 
     /// Handle onto the fleet-level registry.
     pub fn telemetry(&self) -> Telemetry {
-        self.registry.telemetry()
+        self.fleet.telemetry()
     }
 
     /// Snapshot of the fleet-level registry.
     pub fn snapshot(&self) -> TelemetrySnapshot {
-        self.registry.snapshot()
+        self.fleet.snapshot()
     }
 
     /// Drains outstanding sessions, stops the workers, and returns the
     /// final report.
     pub fn shutdown(mut self) -> FleetReport {
-        let report = self.drain();
-        self.close();
-        report
-    }
-
-    fn close(&mut self) {
-        self.jobs = None;
-        for worker in std::mem::take(&mut self.workers) {
-            let _ = worker.join();
-        }
+        self.flush();
+        self.fleet.shutdown()
     }
 }
 
-impl Drop for BatchEngine {
-    fn drop(&mut self) {
-        self.close();
-    }
-}
-
-fn worker_loop(jobs: &Mutex<Receiver<Dispatch>>, results: &Sender<RawResult>) {
-    loop {
-        let dispatch = {
-            let Ok(queue) = jobs.lock() else { return };
-            match queue.recv() {
-                Ok(d) => d,
-                Err(_) => return,
-            }
-        };
-        for raw in run_dispatch(dispatch) {
-            if results.send(raw).is_err() {
-                return;
-            }
-        }
-    }
-}
-
-/// Executes one batch: banked first, scalar fallback on any error.
-fn run_dispatch(dispatch: Dispatch) -> Vec<RawResult> {
-    if let Some(raws) = try_banked(&dispatch.sessions) {
+/// Executes one claimed group: banked first, scalar fallback on any
+/// error. Per-session mode counters land on the fleet registry here,
+/// worker-side; outcome counters and the session span are recorded by
+/// [`FleetEngine`] when it collects the results.
+fn run_group(
+    group: Vec<(u64, SessionSpec)>,
+    scratch: &mut BatchScratch,
+    telemetry: &Telemetry,
+) -> Vec<RawResult> {
+    if let Some(raws) = try_banked(&group, scratch) {
+        telemetry
+            .counter(names::FLEET_BATCHES_BANKED)
+            .add(raws.len() as u64);
         return raws;
     }
+    telemetry
+        .counter(names::FLEET_BATCHES_SCALAR)
+        .add(group.len() as u64);
     // Scalar fallback: the exact fleet-engine session path, one spec at
     // a time, each under its own registry and catch_unwind, so the lane
     // that poisoned the bank fails alone.
-    dispatch
-        .sessions
+    group
         .into_iter()
         .map(|(id, spec)| {
             let registry = Registry::new();
@@ -297,7 +359,6 @@ fn run_dispatch(dispatch: Dispatch) -> Vec<RawResult> {
                 id,
                 label,
                 wall_s: started.elapsed().as_secs_f64(),
-                banked: false,
                 outcome,
                 snapshot: registry.snapshot(),
             }
@@ -309,7 +370,10 @@ fn run_dispatch(dispatch: Dispatch) -> Vec<RawResult> {
 /// fallback" — heterogeneous durations, any construction/run error, or
 /// a panic inside the bank. The registries built here are discarded on
 /// fallback so a half-run banked attempt never double-counts telemetry.
-fn try_banked(sessions: &[(u64, SessionSpec)]) -> Option<Vec<RawResult>> {
+fn try_banked(
+    sessions: &[(u64, SessionSpec)],
+    scratch: &mut BatchScratch,
+) -> Option<Vec<RawResult>> {
     let k = sessions.len();
     let duration_s = sessions[0].1.duration_s;
     if sessions.iter().any(|(_, s)| s.duration_s != duration_s) {
@@ -328,7 +392,7 @@ fn try_banked(sessions: &[(u64, SessionSpec)]) -> Option<Vec<RawResult>> {
             }
             monitors.push(monitor);
         }
-        run_batch(&mut monitors, duration_s).map_err(|e| e.to_string())
+        run_batch_with_scratch(&mut monitors, duration_s, scratch).map_err(|e| e.to_string())
     }));
     let completed = match run {
         Ok(Ok(completed)) => completed,
@@ -348,20 +412,9 @@ fn try_banked(sessions: &[(u64, SessionSpec)]) -> Option<Vec<RawResult>> {
             id: *id,
             label: spec.label.clone(),
             wall_s: wall_each,
-            banked: true,
             outcome,
             snapshot: registry.snapshot(),
         });
     }
     Some(raws)
-}
-
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "opaque panic payload".to_string()
-    }
 }

@@ -93,6 +93,12 @@ pub mod names {
     pub const FLEET_BATCHES_BANKED: &str = "fleet.batches_banked";
     /// Session batches that fell back to scalar execution (counter).
     pub const FLEET_BATCHES_SCALAR: &str = "fleet.batches_scalar";
+    /// Lane groups a batch worker stole from another worker's queue
+    /// (counter).
+    pub const FLEET_LANE_STEALS: &str = "fleet.lane_steals";
+    /// Sessions claimed per batch-worker wakeup, i.e. lane occupancy of
+    /// each banked conversion (histogram, sessions).
+    pub const FLEET_BATCH_OCCUPANCY: &str = "fleet.batch_occupancy";
     /// Frames serialized by a link encoder (counter).
     pub const LINK_FRAMES_TX: &str = "link.frames_tx";
     /// Bytes serialized by a link encoder (counter).
