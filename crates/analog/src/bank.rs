@@ -292,10 +292,21 @@ impl Isa {
     fn detect() -> Isa {
         #[cfg(all(feature = "wide-lanes", target_arch = "x86_64"))]
         {
-            if std::arch::is_x86_feature_detected!("avx512f") {
+            use crate::kernel::ForcedKernel;
+            let avx2 = std::arch::is_x86_feature_detected!("avx2");
+            let avx512 = std::arch::is_x86_feature_detected!("avx512f");
+            // `TONOS_FORCE_KERNEL` pins the choice; forcing an ISA the
+            // CPU lacks falls back to the normal probe (never unsound).
+            match crate::kernel::forced_kernel() {
+                Some(ForcedKernel::Scalar) => return Isa::Portable,
+                Some(ForcedKernel::Avx2) if avx2 => return Isa::Avx2,
+                Some(ForcedKernel::Avx512) if avx512 => return Isa::Avx512,
+                _ => {}
+            }
+            if avx512 {
                 return Isa::Avx512;
             }
-            if std::arch::is_x86_feature_detected!("avx2") {
+            if avx2 {
                 return Isa::Avx2;
             }
         }

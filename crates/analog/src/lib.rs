@@ -33,7 +33,10 @@
 //!   kernels the bank executes on (`wide-lanes` feature selects the
 //!   explicit wide-ops body)
 //! * [`mux`] — the 2:1 row/column multiplexers with settling transients
-//! * [`noise`] — seeded Gaussian noise sources and kT/C helpers
+//! * [`noise`] — seeded Gaussian noise sources and kT/C helpers; the
+//!   lockstep tile fill dispatches to an explicit-SIMD `noise_wide`
+//!   kernel (4/8 xoshiro streams per register, in-register ziggurat
+//!   accept) under `wide-lanes` on x86-64
 //! * [`power`] — supply/clock-scaled power model anchored at the measured
 //!   11.5 mW @ 5 V, 128 kHz
 //! * [`nonideal`] — aggregated non-ideality configuration
@@ -53,6 +56,8 @@
 //! # }
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod bank;
 pub mod characterize;
 pub mod dac;
@@ -67,5 +72,9 @@ pub mod quantizer;
 pub mod tile;
 
 mod error;
+#[cfg(all(feature = "wide-lanes", target_arch = "x86_64"))]
+mod kernel;
+#[cfg(all(feature = "wide-lanes", target_arch = "x86_64"))]
+mod noise_wide;
 
 pub use error::AnalogError;

@@ -33,7 +33,7 @@ pub fn ktc_noise_rms(capacitance: f64, temperature: f64) -> f64 {
 
 /// Number of ziggurat layers (a power of two so the layer index is a
 /// mask of the entropy word).
-const ZIGGURAT_LAYERS: usize = 128;
+pub(crate) const ZIGGURAT_LAYERS: usize = 128;
 /// Right edge of the base layer for the 128-layer standard-normal
 /// ziggurat (Marsaglia & Tsang).
 const ZIGGURAT_R: f64 = 3.442_619_855_899;
@@ -113,12 +113,91 @@ impl Xoshiro256 {
     }
 }
 
+/// The `x` boundary table alone — the only table the speculative
+/// accept needs (the wide noise kernels gather from it per register).
+pub(crate) fn ziggurat_xs() -> &'static [f64; ZIGGURAT_LAYERS + 1] {
+    &ziggurat_tables().0
+}
+
 /// Applies the ziggurat sign bit (bit 7 of the entropy word) to a
 /// non-negative sample by OR-ing it into the IEEE sign position —
 /// bit-identical to multiplying by ±1.0, with no branch.
 #[inline]
 fn apply_sign(bits: u64, x: f64) -> f64 {
     f64::from_bits(x.to_bits() | ((bits & ZIGGURAT_LAYERS as u64) << 56))
+}
+
+/// Speculative ziggurat accept for one entropy word — the layer
+/// lookup, single multiply, and branchless sign of
+/// [`NoiseSource::standard`]'s hot path. Returns the signed candidate
+/// and whether it is accepted without a density evaluation.
+///
+/// This is the one place the accept test lives: the lockstep scalar
+/// rows call it in both the speculative pass and the rejection-replay
+/// pass, and it is the scalar statement of what the wide kernels
+/// (`noise_wide`) evaluate in-register.
+#[inline(always)]
+pub(crate) fn speculate(bits: u64, xs: &[f64; ZIGGURAT_LAYERS + 1]) -> (f64, bool) {
+    let i = (bits & (ZIGGURAT_LAYERS as u64 - 1)) as usize;
+    let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    let x = u * xs[i];
+    (apply_sign(bits, x), x < xs[i + 1])
+}
+
+/// Replays one rejected speculative draw through the exact scalar
+/// rejection path (layer edge or Marsaglia tail) on a stream rebuilt
+/// from its slot's state words, leaving the advanced words back in the
+/// slot. Shared by the lockstep scalar rows and the wide kernels'
+/// lane-mask replay — either caller consumes exactly the words
+/// [`NoiseSource::standard`] would.
+pub(crate) fn replay_slot(
+    s0: &mut u64,
+    s1: &mut u64,
+    s2: &mut u64,
+    s3: &mut u64,
+    bits: u64,
+) -> f64 {
+    let mut src = NoiseSource {
+        rng: Xoshiro256 {
+            s: [*s0, *s1, *s2, *s3],
+        },
+    };
+    let z = src.finish_standard(ziggurat_tables(), bits);
+    [*s0, *s1, *s2, *s3] = src.rng.s;
+    z
+}
+
+/// The per-draw scale applied on top of a standard-normal sample — the
+/// two shapes the lane bank's noise tiles need, written so the scalar
+/// and wide paths evaluate the identical expression per lane.
+#[derive(Clone, Copy)]
+pub(crate) enum Epilogue<'a> {
+    /// `z * sigmas[j]` — the pre-multiplied noise tiles.
+    Scaled {
+        /// Per-lane standard deviations.
+        sigmas: &'a [f64],
+    },
+    /// `biases[j] + z * sigmas[j] + 0.0` — the noisy constant-input
+    /// tile (the trailing `+ 0.0` mirrors the scalar path's vanished
+    /// jitter term exactly).
+    Biased {
+        /// Per-lane constant inputs.
+        biases: &'a [f64],
+        /// Per-lane standard deviations.
+        sigmas: &'a [f64],
+    },
+}
+
+impl Epilogue<'_> {
+    /// Applies the scale for lane `j` — the scalar statement of the
+    /// wide kernels' vector epilogue.
+    #[inline(always)]
+    pub(crate) fn apply(self, j: usize, z: f64) -> f64 {
+        match self {
+            Epilogue::Scaled { sigmas } => z * sigmas[j],
+            Epilogue::Biased { biases, sigmas } => biases[j] + z * sigmas[j] + 0.0,
+        }
+    }
 }
 
 /// A deterministic Gaussian noise stream.
@@ -282,8 +361,14 @@ impl NoiseSource {
 /// how they are batched. Holding K streams' state words in
 /// structure-of-arrays form and stepping all K per clock turns that
 /// latency into throughput: the K chains interleave in the pipeline and
-/// the pure-integer generator loop autovectorizes. This is the noise
-/// engine behind the lane bank's clock-major tiles.
+/// the pure-integer generator loop autovectorizes. Under `--features
+/// wide-lanes` on x86-64 the fill goes further: an explicit-SIMD kernel
+/// (`noise_wide`, picked at runtime like the tile kernels — see
+/// [`kernel_name`]) steps 4 (AVX2) or 8 (AVX-512F) streams per vector
+/// register and performs the speculative ziggurat accept branchlessly
+/// in-register, with rejections collected as a lane mask and replayed
+/// through the exact scalar path. This is the noise engine behind the
+/// lane bank's clock-major tiles.
 ///
 /// Each stream's draw *sequence* stays bit-identical to scalar
 /// [`NoiseSource::standard`] calls: the lockstep step consumes exactly
@@ -334,28 +419,104 @@ impl LockstepFill {
     /// Fills a clock-major tile with scaled draws:
     /// `out[n*k + j] = stream_j.standard() * sigmas[j]` for each clock
     /// `n` — the lane bank's pre-multiplied noise tiles.
+    ///
+    /// Dispatches to the explicit-SIMD wide kernel when the build
+    /// (`--features wide-lanes`) and the host CPU support one (see
+    /// [`kernel_name`]); the portable lockstep rows otherwise. Either
+    /// path is bit-identical.
     pub fn fill_scaled(&mut self, sigmas: &[f64], clocks: usize, out: &mut [f64]) {
-        self.fill_with(clocks, out, |j, z| z * sigmas[j]);
+        self.fill_dispatch(Epilogue::Scaled { sigmas }, clocks, out);
     }
 
     /// Fills a clock-major tile with biased scaled draws:
     /// `out[n*k + j] = biases[j] + stream_j.standard() * sigmas[j] + 0.0`
     /// — the lane bank's noisy constant-input tile (the trailing `+ 0.0`
     /// mirrors the scalar path's vanished jitter term exactly).
+    /// Dispatched like [`LockstepFill::fill_scaled`].
     pub fn fill_biased(&mut self, biases: &[f64], sigmas: &[f64], clocks: usize, out: &mut [f64]) {
-        self.fill_with(clocks, out, |j, z| biases[j] + z * sigmas[j] + 0.0);
+        self.fill_dispatch(Epilogue::Biased { biases, sigmas }, clocks, out);
     }
 
-    /// The lockstep core: one generator step for all K streams, then the
-    /// per-stream accept test; rejected draws (rare) replay through the
-    /// exact scalar path on a stream rebuilt from their slot's words.
-    fn fill_with(&mut self, clocks: usize, out: &mut [f64], f: impl Fn(usize, f64) -> f64) {
+    /// [`LockstepFill::fill_scaled`] pinned to the portable lockstep
+    /// rows — the always-compiled oracle the wide kernel is
+    /// property-tested (and benchmarked) against.
+    pub fn fill_scaled_portable(&mut self, sigmas: &[f64], clocks: usize, out: &mut [f64]) {
+        let ep = Epilogue::Scaled { sigmas };
+        self.fill_lanes(0, clocks, out, move |j, z| ep.apply(j, z));
+    }
+
+    /// [`LockstepFill::fill_biased`] pinned to the portable lockstep
+    /// rows.
+    pub fn fill_biased_portable(
+        &mut self,
+        biases: &[f64],
+        sigmas: &[f64],
+        clocks: usize,
+        out: &mut [f64],
+    ) {
+        let ep = Epilogue::Biased { biases, sigmas };
+        self.fill_lanes(0, clocks, out, move |j, z| ep.apply(j, z));
+    }
+
+    /// Kernel dispatch: the wide kernel handles the leading full vector
+    /// groups (0 lanes when unavailable), the portable rows take
+    /// whatever remains — the partial-tail lanes of a K that is not a
+    /// multiple of the vector width.
+    fn fill_dispatch(&mut self, ep: Epilogue<'_>, clocks: usize, out: &mut [f64]) {
         let k = self.bits.len();
         if k == 0 || clocks == 0 {
             return;
         }
-        let tables = ziggurat_tables();
-        let (xs, _) = tables;
+        let lane0 = self.fill_wide(ep, clocks, out);
+        if lane0 < k {
+            self.fill_lanes(lane0, clocks, out, move |j, z| ep.apply(j, z));
+        }
+    }
+
+    /// Runs the explicit-SIMD kernel over the leading full vector
+    /// groups, returning the number of lanes it handled.
+    #[cfg(all(feature = "wide-lanes", target_arch = "x86_64"))]
+    fn fill_wide(&mut self, ep: Epilogue<'_>, clocks: usize, out: &mut [f64]) -> usize {
+        let Some(isa) = crate::noise_wide::active() else {
+            return 0;
+        };
+        let k = self.bits.len();
+        crate::noise_wide::fill(
+            isa,
+            &mut self.s0[..k],
+            &mut self.s1[..k],
+            &mut self.s2[..k],
+            &mut self.s3[..k],
+            ep,
+            clocks,
+            k,
+            &mut out[..clocks * k],
+        )
+    }
+
+    /// Without `wide-lanes` (or off x86-64) there is no wide kernel:
+    /// every lane goes through the portable rows.
+    #[cfg(not(all(feature = "wide-lanes", target_arch = "x86_64")))]
+    fn fill_wide(&mut self, _ep: Epilogue<'_>, _clocks: usize, _out: &mut [f64]) -> usize {
+        0
+    }
+
+    /// The portable lockstep core for lanes `lane0..K`: one generator
+    /// step per stream per clock, then the shared [`speculate`] accept
+    /// test; rejected draws (rare) replay through the exact scalar path
+    /// via [`replay_slot`].
+    fn fill_lanes(
+        &mut self,
+        lane0: usize,
+        clocks: usize,
+        out: &mut [f64],
+        f: impl Fn(usize, f64) -> f64,
+    ) {
+        let k = self.bits.len();
+        if lane0 >= k || clocks == 0 {
+            return;
+        }
+        let xs = ziggurat_xs();
         let s0 = &mut self.s0[..k];
         let s1 = &mut self.s1[..k];
         let s2 = &mut self.s2[..k];
@@ -364,7 +525,7 @@ impl LockstepFill {
         for row in out[..clocks * k].chunks_exact_mut(k) {
             // One xoshiro256++ step per stream, all streams in lockstep
             // (pure integer, unit stride: the autovectorized half).
-            for j in 0..k {
+            for j in lane0..k {
                 let r = s0[j]
                     .wrapping_add(s3[j])
                     .rotate_left(23)
@@ -378,46 +539,49 @@ impl LockstepFill {
                 s3[j] = s3[j].rotate_left(45);
                 bits[j] = r;
             }
-            // Speculative accept for every stream: layer lookup, one
-            // multiply, branchless sign — exactly `standard()`'s hot
-            // path.
+            // Speculative accept for every stream — `standard()`'s hot
+            // path, stated once in `speculate`.
             let mut any_reject = false;
-            for j in 0..k {
-                let b = bits[j];
-                let i = (b & (ZIGGURAT_LAYERS as u64 - 1)) as usize;
-                let u = (b >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-                let x = u * xs[i];
-                any_reject |= x >= xs[i + 1];
-                row[j] = f(j, apply_sign(b, x));
+            for j in lane0..k {
+                let (z, accepted) = speculate(bits[j], xs);
+                any_reject |= !accepted;
+                row[j] = f(j, z);
             }
             if any_reject {
-                // Re-test each slot and replay the misses through the
-                // scalar rejection path (layer edge or tail) on their
-                // own stream; the accepted slots are untouched.
-                for j in 0..k {
+                // Re-test each slot (same shared helper — no second
+                // statement of the accept condition) and replay the
+                // misses on their own stream; accepted slots are
+                // untouched.
+                for j in lane0..k {
                     let b = bits[j];
-                    let i = (b & (ZIGGURAT_LAYERS as u64 - 1)) as usize;
-                    let u = (b >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-                    let x = u * xs[i];
-                    if x < xs[i + 1] {
+                    if speculate(b, xs).1 {
                         continue;
                     }
-                    let mut src = NoiseSource {
-                        rng: Xoshiro256 {
-                            s: [s0[j], s1[j], s2[j], s3[j]],
-                        },
-                    };
-                    let z = src.finish_standard(tables, b);
-                    let [a, bb, c, d] = src.rng.s;
-                    s0[j] = a;
-                    s1[j] = bb;
-                    s2[j] = c;
-                    s3[j] = d;
+                    let z = replay_slot(&mut s0[j], &mut s1[j], &mut s2[j], &mut s3[j], b);
                     row[j] = f(j, z);
                 }
             }
         }
     }
+}
+
+/// The lockstep-fill kernel this build+host actually runs — benchmarks
+/// record it next to their ns/draw numbers. `"scalar-lockstep"`
+/// without `wide-lanes` (or when no wide ISA is available, or when
+/// `TONOS_FORCE_KERNEL=scalar-tile` pins the portable bodies);
+/// `"wide-avx2"` / `"wide-avx512f"` by runtime CPU detection with it.
+pub fn kernel_name() -> &'static str {
+    #[cfg(all(feature = "wide-lanes", target_arch = "x86_64"))]
+    {
+        use crate::noise_wide::WideIsa;
+        if let Some(isa) = crate::noise_wide::active() {
+            return match isa {
+                WideIsa::Avx2 => "wide-avx2",
+                WideIsa::Avx512 => "wide-avx512f",
+            };
+        }
+    }
+    "scalar-lockstep"
 }
 
 #[cfg(test)]

@@ -9,7 +9,9 @@
 //! 2. Per-stage costs in ns: one modulator clock (block stepper), one
 //!    banked clock-lane through the tiled K=16 kernel, one CIC input
 //!    bit (word kernel), one FIR input sample, and one settled readout
-//!    frame.
+//!    frame — plus the `noise` block: ns/draw for serial `standard()`,
+//!    the portable lockstep rows, and the dispatched (wide) fill, with
+//!    the noise kernel name and in-run same-rep speedup gates.
 //! 3. Single-thread monitoring-session throughput (sessions/s), the
 //!    single-core lane-bank K sweep, and the W × K pool sweep
 //!    (`BatchEngine` on the fleet worker pool: W workers, K lanes
@@ -32,6 +34,7 @@ use std::time::Instant;
 
 use tonos_analog::bank::{kernel_name, SigmaDelta2Bank};
 use tonos_analog::modulator::{DeltaSigmaModulator, SigmaDelta2};
+use tonos_analog::noise::{kernel_name as noise_kernel_name, LockstepFill, NoiseSource};
 use tonos_analog::nonideal::NonIdealities;
 use tonos_core::batch::run_batch;
 use tonos_core::config::SystemConfig;
@@ -132,6 +135,86 @@ fn bank_ns_per_clock_lane(reps: usize, k: usize) -> f64 {
         assert_eq!(bits[0].len(), CLOCKS);
     });
     ns
+}
+
+/// Noise-plane measurement: ns/draw for the serial per-stream
+/// `standard()` loop, the portable lockstep rows, and the dispatched
+/// fill (the explicit-SIMD wide kernel when the build and CPU provide
+/// one — same body as portable otherwise). The three legs are
+/// interleaved rep by rep, so the returned speedups are best *same-rep*
+/// ratios (host drift cancels): `(serial_ns, lockstep_ns, wide_ns,
+/// lockstep_vs_serial, wide_vs_lockstep)`.
+fn noise_ns_per_draw(reps: usize) -> (f64, f64, f64, f64, f64) {
+    const K: usize = 16;
+    // Cache-resident tile (2048 x 16 x 8 B = 256 KiB), several passes
+    // per timed leg so one leg is long enough to time.
+    const TILE_CLOCKS: usize = 2048;
+    const PASSES: usize = 8;
+    let draws = K * TILE_CLOCKS * PASSES;
+    let sigmas: Vec<f64> = (0..K).map(|j| 1e-3 + j as f64 * 1e-4).collect();
+    let sources: Vec<NoiseSource> = (0..K)
+        .map(|j| NoiseSource::from_seed(0x5EED + j as u64))
+        .collect();
+    let mut tile = vec![0.0_f64; K * TILE_CLOCKS];
+    let mut serial_best = f64::INFINITY;
+    let mut lockstep_best = f64::INFINITY;
+    let mut wide_best = f64::INFINITY;
+    let mut lockstep_vs_serial = 0.0_f64;
+    let mut wide_vs_lockstep = 0.0_f64;
+    for _ in 0..reps.max(2) {
+        // Serial leg: per-draw scalar `standard()` calls, stream by
+        // stream — the latency-bound baseline the lockstep fill beats.
+        let mut srcs = sources.clone();
+        let t = Instant::now();
+        for _ in 0..PASSES {
+            for n in 0..TILE_CLOCKS {
+                for (j, src) in srcs.iter_mut().enumerate() {
+                    tile[n * K + j] = src.standard() * sigmas[j];
+                }
+            }
+        }
+        let serial_ns = t.elapsed().as_secs_f64() * 1e9 / draws as f64;
+        std::hint::black_box(&tile);
+
+        // Portable lockstep rows, pinned (the always-compiled oracle).
+        let mut fill = LockstepFill::new();
+        fill.begin(K);
+        for src in &sources {
+            fill.load(src);
+        }
+        let t = Instant::now();
+        for _ in 0..PASSES {
+            fill.fill_scaled_portable(&sigmas, TILE_CLOCKS, &mut tile);
+        }
+        let lockstep_ns = t.elapsed().as_secs_f64() * 1e9 / draws as f64;
+        std::hint::black_box(&tile);
+
+        // Dispatched fill — the wide kernel when one is active.
+        let mut fill = LockstepFill::new();
+        fill.begin(K);
+        for src in &sources {
+            fill.load(src);
+        }
+        let t = Instant::now();
+        for _ in 0..PASSES {
+            fill.fill_scaled(&sigmas, TILE_CLOCKS, &mut tile);
+        }
+        let wide_ns = t.elapsed().as_secs_f64() * 1e9 / draws as f64;
+        std::hint::black_box(&tile);
+
+        serial_best = serial_best.min(serial_ns);
+        lockstep_best = lockstep_best.min(lockstep_ns);
+        wide_best = wide_best.min(wide_ns);
+        lockstep_vs_serial = lockstep_vs_serial.max(serial_ns / lockstep_ns);
+        wide_vs_lockstep = wide_vs_lockstep.max(lockstep_ns / wide_ns);
+    }
+    (
+        serial_best,
+        lockstep_best,
+        wide_best,
+        lockstep_vs_serial,
+        wide_vs_lockstep,
+    )
 }
 
 fn cic_ns_per_bit(reps: usize) -> f64 {
@@ -284,6 +367,20 @@ fn main() {
          ({tiled_k16_clock_speedup:.2}x), cic {cic_ns:.2} ns/bit, fir {fir_ns:.1} ns/sample, \
          frame {fr_ns:.0} ns"
     );
+    let noise_kernel = noise_kernel_name();
+    let noise_wide = noise_kernel.starts_with("wide");
+    let (
+        noise_serial_ns,
+        noise_lockstep_ns,
+        noise_wide_ns,
+        noise_lockstep_speedup,
+        noise_wide_speedup,
+    ) = noise_ns_per_draw(reps);
+    eprintln!(
+        "  noise ({noise_kernel}): serial {noise_serial_ns:.2} ns/draw, lockstep \
+         {noise_lockstep_ns:.2} ns/draw ({noise_lockstep_speedup:.2}x), wide \
+         {noise_wide_ns:.2} ns/draw ({noise_wide_speedup:.2}x lockstep)"
+    );
 
     // Session-level sweep, interleaved: each rep measures the scalar
     // baseline, every banked K, and every W x K pool cell back to back,
@@ -368,6 +465,13 @@ fn main() {
     let relax = if quick { 0.6 } else { 1.0 };
     let gate_packed = 1.0 * relax;
     let gate_tiled_clock = relax * if wide { 1.25 } else { 0.9 };
+    // Noise-plane gates, both in-run same-rep ratios: the wide kernel
+    // must beat the portable lockstep rows by 1.5x when a wide ISA is
+    // active (must-not-lose floor otherwise, where both legs run the
+    // same body), and going lockstep must never lose to the serial
+    // per-draw loop.
+    let gate_noise_wide = relax * if noise_wide { 1.5 } else { 0.9 };
+    let gate_noise_lockstep = 1.0 * relax;
     let gate_k16 = 1.6 * relax;
     let gate_k8_scalar = 1.2 * relax;
     let gate_pool = relax
@@ -398,6 +502,15 @@ fn main() {
     println!("    \"cic_word_kernel_ns_per_bit\": {cic_ns:.3},");
     println!("    \"fir_ns_per_sample\": {fir_ns:.2},");
     println!("    \"settled_frame_ns\": {fr_ns:.0}");
+    println!("  }},");
+    println!("  \"noise\": {{");
+    println!("    \"host_hardware_threads\": {cores},");
+    println!("    \"kernel\": \"{noise_kernel}\",");
+    println!("    \"serial_standard_ns_per_draw\": {noise_serial_ns:.3},");
+    println!("    \"lockstep_portable_ns_per_draw\": {noise_lockstep_ns:.3},");
+    println!("    \"wide_fill_ns_per_draw\": {noise_wide_ns:.3},");
+    println!("    \"lockstep_speedup_vs_serial\": {noise_lockstep_speedup:.3},");
+    println!("    \"wide_speedup_vs_lockstep\": {noise_wide_speedup:.3}");
     println!("  }},");
     println!("  \"session_duration_s\": {duration_s},");
     println!("  \"sessions_per_measurement\": {sessions},");
@@ -451,11 +564,13 @@ fn main() {
     println!("    \"host_hardware_threads\": {cores},");
     println!("    \"gate_packed_speedup_min\": {gate_packed:.3},");
     println!("    \"gate_tiled_k16_clock_speedup_min\": {gate_tiled_clock:.3},");
+    println!("    \"gate_noise_wide_vs_lockstep_min\": {gate_noise_wide:.3},");
+    println!("    \"gate_noise_lockstep_vs_serial_min\": {gate_noise_lockstep:.3},");
     println!("    \"gate_k16_single_core_speedup_min\": {gate_k16:.3},");
     println!("    \"gate_k8_vs_in_run_scalar_min\": {gate_k8_scalar:.3},");
     println!("    \"gate_best_pool_speedup_min\": {gate_pool:.3},");
     println!(
-        "    \"note\": \"all gates are in-run ratios measured back to back (host-speed drift cancels; the seed anchor is data only); core-scaled: the 4x pool target assumes an 8-core host (2.5x on any multi-core, sanity floor on one core); the 1.6x single-core K=16 session gate holds on any host; the clock-level gate tracks the wide-lanes kernel (tiling-must-not-lose floor for the portable build); --quick relaxes all gates to 60% for noisy CI runners\""
+        "    \"note\": \"all gates are in-run ratios measured back to back (host-speed drift cancels; the seed anchor is data only); core-scaled: the 4x pool target assumes an 8-core host (2.5x on any multi-core, sanity floor on one core); the 1.6x single-core K=16 session gate holds on any host; the clock-level gate tracks the wide-lanes kernel (tiling-must-not-lose floor for the portable build); the noise gates demand wide >= 1.5x the portable lockstep rows when a wide ISA is active and lockstep >= 1.0x the serial per-draw loop; --quick relaxes all gates to 60% for noisy CI runners\""
     );
     println!("  }},");
     println!(
@@ -473,6 +588,16 @@ fn main() {
             name: "tiled K=16 clock-level speedup vs scalar modulator",
             measured: tiled_k16_clock_speedup,
             min: gate_tiled_clock,
+        },
+        GateCheck {
+            name: "wide noise fill vs portable lockstep ns/draw",
+            measured: noise_wide_speedup,
+            min: gate_noise_wide,
+        },
+        GateCheck {
+            name: "lockstep noise fill vs serial standard() ns/draw",
+            measured: noise_lockstep_speedup,
+            min: gate_noise_lockstep,
         },
         GateCheck {
             name: "single-core K=16 session speedup vs in-run scalar",

@@ -24,7 +24,10 @@
 //! * **Per-worker noise-tile prefill.** Each fleet worker owns one
 //!   [`BatchScratch`]: the lane bank's noise tiles are grown by the
 //!   first batch a worker runs and reused for every later batch, so
-//!   the steady state allocates nothing per group.
+//!   the steady state allocates nothing per group. The prefill routes
+//!   through `LockstepFill`, so under `--features wide-lanes` every
+//!   shard inherits the explicit-SIMD noise kernel (4/8 generator
+//!   streams per vector register) with no change up here.
 //! * **Same isolation.** Every session in a batch still gets its own
 //!   telemetry [`Registry`]; lanes share an instruction stream, never a
 //!   registry.
