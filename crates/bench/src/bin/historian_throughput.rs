@@ -1,0 +1,263 @@
+//! Storage-plane cost measurement — the numbers behind
+//! `BENCH_historian.json`.
+//!
+//! Three questions, one JSON document:
+//!
+//! 1. **Append throughput**: sustained MB/s through
+//!    [`Historian::append`] with sealing and journaling on, at the
+//!    paper's record shape (1 kHz tier-0 stream, 1024-sample records).
+//! 2. **Ranged-read latency**: p50/p99 of [`read_range`] against a
+//!    multi-segment recording, plus proof that the returned point
+//!    count stays within the caller's budget no matter how long the
+//!    recording is — the bounded-resampled-read gate.
+//! 3. **Recovery time**: wall-clock to reopen the store after a torn
+//!    tail, with and without the index journal (the journal-less
+//!    reopen is the full segment re-scan, the worst case).
+//!
+//! Run with: `cargo run --release -p tonos-bench --bin historian_throughput`
+//! (`--quick` shrinks the workload for CI smoke runs.)
+//!
+//! [`read_range`]: tonos_historian::HistorianReader::read_range
+
+use std::time::Instant;
+
+use tonos_historian::{Historian, StoreConfig};
+use tonos_mems::units::MillimetersHg;
+use tonos_telemetry::Telemetry;
+
+/// Samples per appended record: one second of the paper's 1 kHz
+/// decimated output, rounded to the tier grid.
+const SAMPLES_PER_RECORD: u64 = 1024;
+
+/// Tier-0 sample rate the records claim (paper default output rate).
+const RATE_HZ: f64 = 1000.0;
+
+/// Bytes a record's samples occupy on the wire (raw + calibrated
+/// lanes at 8 B each — envelope overhead excluded on purpose so the
+/// MB/s number is payload, not framing).
+const PAYLOAD_BYTES_PER_RECORD: u64 = SAMPLES_PER_RECORD * 16;
+
+/// The ranged-read point budget the gate checks against.
+const MAX_POINTS: usize = 512;
+
+/// Deterministic sample truth so gate reads can sanity-check values.
+fn truth(clock: u64) -> (f64, f64) {
+    let raw = (clock % 4096) as f64 * 0.25;
+    (raw, 80.0 + raw * 0.01)
+}
+
+/// Appends `records` records to `h` for `(device, session)` and
+/// returns the wall-clock seconds spent inside `append`.
+fn fill(h: &Historian, device: u64, session: u64, records: u64) -> f64 {
+    let mut raw = vec![0.0f64; SAMPLES_PER_RECORD as usize];
+    let mut cal = vec![MillimetersHg(0.0); SAMPLES_PER_RECORD as usize];
+    let t = Instant::now();
+    for k in 0..records {
+        let start = k * SAMPLES_PER_RECORD;
+        for i in 0..SAMPLES_PER_RECORD {
+            let (r, m) = truth(start + i);
+            raw[i as usize] = r;
+            cal[i as usize] = MillimetersHg(m);
+        }
+        h.append(device, session, start, RATE_HZ, &raw, &cal)
+            .expect("bench append");
+    }
+    t.elapsed().as_secs_f64()
+}
+
+/// Sorted latencies -> (p50, p99) in milliseconds.
+fn percentiles_ms(latencies: &mut [f64]) -> (f64, f64) {
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pick = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize] * 1e3;
+    (pick(0.50), pick(0.99))
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Records per phase: enough to cross several 8 MiB segment seals
+    // in the full run; quick mode still rolls at least one segment by
+    // shrinking the segment size instead of the workload shape.
+    let (records, reads) = if quick { (256, 400) } else { (2_048, 2_000) };
+    let config = StoreConfig {
+        segment_bytes: if quick { 1 << 21 } else { 1 << 23 },
+        ..StoreConfig::default()
+    };
+    eprintln!(
+        "measuring on {cores} hardware thread(s){}...",
+        if quick { " (quick)" } else { "" }
+    );
+
+    let dir = tonos_historian::scratch_dir("bench-historian");
+    let t = Telemetry::disabled();
+    let (historian, _) = Historian::open(&dir, config, &t).expect("open store");
+
+    // 1. Append throughput, journaled and sealing as it goes.
+    let append_secs = fill(&historian, 1, 1, records);
+    let payload_mb = (records * PAYLOAD_BYTES_PER_RECORD) as f64 / 1e6;
+    let append_mb_s = payload_mb / append_secs;
+    let segments = {
+        let snap = historian.snapshot();
+        snap.entries().last().map_or(1, |e| e.segment + 1)
+    };
+    eprintln!(
+        "  append: {append_mb_s:.1} MB/s ({records} records, {payload_mb:.1} MB payload, {segments} segments)"
+    );
+
+    // Build the downsampled tiers once so ranged reads have coarse
+    // levels to land on, the way a deployment's compaction loop would.
+    let compact_t = Instant::now();
+    let report = historian.compact().expect("compact");
+    let compact_secs = compact_t.elapsed().as_secs_f64();
+    eprintln!(
+        "  compact: {} tier records over {} source samples in {compact_secs:.3} s",
+        report.tier_records, report.source_samples
+    );
+
+    // 2. Ranged-read latency over the full recording, mixed spans.
+    let total = records * SAMPLES_PER_RECORD;
+    let reader = historian.reader();
+    let mut latencies = Vec::with_capacity(reads);
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut worst_points = 0usize;
+    for _ in 0..reads {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let from = x % total;
+        let span = 1 + (x >> 32) % total.max(2);
+        let to = (from + span).min(total);
+        let t0 = Instant::now();
+        let wave = reader
+            .read_range(1, 1, from, to, MAX_POINTS)
+            .expect("ranged read");
+        latencies.push(t0.elapsed().as_secs_f64());
+        worst_points = worst_points.max(wave.points.len());
+    }
+    let (p50_ms, p99_ms) = percentiles_ms(&mut latencies);
+    eprintln!("  read_range: p50 {p50_ms:.3} ms, p99 {p99_ms:.3} ms, worst {worst_points} points");
+
+    // The bounded-read gate's strongest form: a full-recording read at
+    // the same budget. The recording is `records` seconds long; the
+    // response must not scale with it.
+    let full = reader
+        .read_range(1, 1, 0, total, MAX_POINTS)
+        .expect("full-span read");
+    let full_points = full.points.len();
+    for p in &full.points {
+        assert!(p.mmhg.is_finite(), "resampled read produced junk");
+    }
+    drop(reader);
+
+    // 3. Recovery time: tear the youngest segment, reopen twice —
+    // once with the journal (fast replay) and once without (full
+    // segment scan, the floor a cold rebuild pays).
+    let before = historian.snapshot().entries().len() as u64;
+    drop(historian);
+    let mut segs: Vec<_> = std::fs::read_dir(&dir)
+        .expect("list store dir")
+        .filter_map(|e| {
+            let p = e.expect("dir entry").path();
+            p.extension().is_some_and(|x| x == "tseg").then_some(p)
+        })
+        .collect();
+    segs.sort();
+    let last = segs.last().expect("store has segments");
+    let len = std::fs::metadata(last).expect("segment metadata").len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(last)
+        .expect("open segment")
+        .set_len(len - 137.min(len / 2))
+        .expect("tear tail");
+
+    let t0 = Instant::now();
+    let (h2, rep_journal) = Historian::open(&dir, config, &t).expect("journaled reopen");
+    let recover_journal_ms = t0.elapsed().as_secs_f64() * 1e3;
+    drop(h2);
+    std::fs::remove_file(dir.join("index.jnl")).expect("drop journal");
+    let t0 = Instant::now();
+    let (h3, rep_scan) = Historian::open(&dir, config, &t).expect("scanned reopen");
+    let recover_scan_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "  recovery: {recover_journal_ms:.2} ms journaled / {recover_scan_ms:.2} ms full scan \
+         ({} of {before} records survive the torn tail)",
+        rep_journal.records
+    );
+    drop(h3);
+    std::fs::remove_dir_all(&dir).ok();
+
+    println!("{{");
+    println!("  \"bench\": \"historian_throughput\",");
+    println!("  \"quick\": {quick},");
+    println!("  \"host_hardware_threads\": {cores},");
+    println!("  \"append\": {{");
+    println!("    \"records\": {records},");
+    println!("    \"samples_per_record\": {SAMPLES_PER_RECORD},");
+    println!("    \"payload_mb\": {payload_mb:.2},");
+    println!("    \"segments\": {segments},");
+    println!("    \"mb_per_s\": {append_mb_s:.2}");
+    println!("  }},");
+    println!("  \"compaction\": {{");
+    println!("    \"tier_records\": {},", report.tier_records);
+    println!("    \"source_samples\": {},", report.source_samples);
+    println!("    \"seconds\": {compact_secs:.4}");
+    println!("  }},");
+    println!("  \"ranged_read\": {{");
+    println!("    \"reads\": {reads},");
+    println!("    \"max_points\": {MAX_POINTS},");
+    println!("    \"p50_ms\": {p50_ms:.4},");
+    println!("    \"p99_ms\": {p99_ms:.4},");
+    println!("    \"worst_points\": {worst_points},");
+    println!("    \"full_span_points\": {full_points}");
+    println!("  }},");
+    println!("  \"recovery\": {{");
+    println!("    \"records_before\": {before},");
+    println!("    \"records_recovered\": {},", rep_journal.records);
+    println!("    \"journaled_ms\": {recover_journal_ms:.3},");
+    println!("    \"full_scan_ms\": {recover_scan_ms:.3}");
+    println!("  }},");
+    println!(
+        "  \"gate\": \"every ranged read within the {MAX_POINTS}-point budget regardless of span; \
+         journal-less recovery agrees with journaled recovery; torn tail loses at most one record\""
+    );
+    println!("}}");
+
+    let mut failed = false;
+    // The bounded-resampled-read gate: no read — including the
+    // full-recording span — may exceed the caller's point budget.
+    if worst_points > MAX_POINTS || full_points > MAX_POINTS {
+        eprintln!(
+            "FAIL: ranged read exceeded its budget \
+             (worst {worst_points}, full-span {full_points}, budget {MAX_POINTS})"
+        );
+        failed = true;
+    }
+    if full_points == 0 {
+        eprintln!("FAIL: full-span resampled read returned no points");
+        failed = true;
+    }
+    // Recovery correctness: both paths agree, and the torn tail cost
+    // at most one record (the cut was 137 bytes into the last one).
+    if rep_journal.records != rep_scan.records {
+        eprintln!(
+            "FAIL: journaled recovery found {} records but the full scan found {}",
+            rep_journal.records, rep_scan.records
+        );
+        failed = true;
+    }
+    if rep_journal.records + 1 < before {
+        eprintln!(
+            "FAIL: torn tail lost {} records; at most 1 may be torn",
+            before - rep_journal.records
+        );
+        failed = true;
+    }
+    if append_mb_s <= 0.0 || !append_mb_s.is_finite() {
+        eprintln!("FAIL: append throughput did not measure ({append_mb_s})");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -99,6 +99,65 @@ fn record_corrupt(msg: impl Into<String>) -> SystemError {
     SystemError::Io(std::io::ErrorKind::InvalidData, msg.into())
 }
 
+/// The decoded `KIND_SESSION_META` header of a binary session record.
+///
+/// Produced by [`validate_record_meta`] — the single checked gate that
+/// both [`read_session_record`] and external record containers (the
+/// historian's segment reader) pass a candidate meta frame through
+/// before trusting any of its fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecordMeta {
+    /// Output sample rate, Hz.
+    pub sample_rate: f64,
+    /// Truth sample index at which acquisition began.
+    pub acquisition_start: u64,
+    /// Declared sample count (already bounded against the record size).
+    pub samples: u64,
+}
+
+/// Validates a candidate session-record meta frame: kind, payload
+/// layout, and the declared sample count against `record_bytes` (the
+/// total encoded record size the count will be trusted to describe).
+///
+/// This is the single source of truth for record-header validation —
+/// `read_session_record` and the historian's segment reader both call
+/// it, so a crafted or corrupt meta frame is rejected identically
+/// everywhere instead of each container growing its own subtly
+/// different bounds checks.
+///
+/// # Errors
+///
+/// Returns [`SystemError::Io`] with [`std::io::ErrorKind::InvalidData`]
+/// when the frame is not a `KIND_SESSION_META` frame, its payload is
+/// not the 24-byte meta layout, or the declared sample count could not
+/// possibly fit in `record_bytes` (every sample costs 16 payload
+/// bytes, so a record of `n` bytes holds at most `n / 16` samples —
+/// rejecting here is what keeps a forged count from sizing a huge
+/// allocation).
+pub fn validate_record_meta(
+    meta: &tonos_dsp::frame::Frame,
+    record_bytes: usize,
+) -> Result<RecordMeta, SystemError> {
+    use tonos_dsp::frame::KIND_SESSION_META;
+    if meta.kind != KIND_SESSION_META || meta.payload_bytes().len() != 24 {
+        return Err(record_corrupt("session record does not start with meta"));
+    }
+    let m = meta.payload_bytes();
+    let sample_rate = f64::from_le_bytes(m[0..8].try_into().expect("8 bytes"));
+    let acquisition_start = u64::from_le_bytes(m[8..16].try_into().expect("8 bytes"));
+    let samples = u64::from_le_bytes(m[16..24].try_into().expect("8 bytes"));
+    if samples > (record_bytes / 16) as u64 {
+        return Err(record_corrupt(format!(
+            "meta declares {samples} samples but the record is only {record_bytes} bytes"
+        )));
+    }
+    Ok(RecordMeta {
+        sample_rate,
+        acquisition_start,
+        samples,
+    })
+}
+
 /// Writes a session's sample stream as a binary, CRC-protected record:
 /// one [`KIND_SESSION_META`](tonos_dsp::frame::KIND_SESSION_META) frame
 /// (sample rate, acquisition start, sample count) followed by
@@ -116,28 +175,65 @@ fn record_corrupt(msg: impl Into<String>) -> SystemError {
 /// Returns [`SystemError::Io`] on write failure.
 pub fn write_session_record<W: Write>(
     session: &MonitoringSession,
+    out: W,
+) -> Result<(), SystemError> {
+    write_record_parts(
+        session.sample_rate,
+        session.acquisition_start as u64,
+        &session.raw,
+        &session.calibrated,
+        out,
+    )
+}
+
+/// Writes a binary session record from its constituent parts — the
+/// same format as [`write_session_record`], for producers that have a
+/// sample stream but no [`MonitoringSession`] around it (the
+/// historian's link recorder journaling live ingest, replay tools
+/// re-chunking stored streams).
+///
+/// `raw` and `calibrated` must be the same length.
+///
+/// # Errors
+///
+/// Returns [`SystemError::Io`] on write failure and with
+/// [`std::io::ErrorKind::InvalidInput`] on mismatched slice lengths.
+pub fn write_record_parts<W: Write>(
+    sample_rate: f64,
+    acquisition_start: u64,
+    raw: &[f64],
+    calibrated: &[MillimetersHg],
     mut out: W,
 ) -> Result<(), SystemError> {
     use tonos_dsp::frame::{Frame, KIND_SESSION_DATA, KIND_SESSION_META};
+    if raw.len() != calibrated.len() {
+        return Err(SystemError::Io(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "record parts disagree: {} raw vs {} calibrated samples",
+                raw.len(),
+                calibrated.len()
+            ),
+        ));
+    }
     let mut meta = Vec::with_capacity(24);
-    meta.extend_from_slice(&session.sample_rate.to_le_bytes());
-    meta.extend_from_slice(&(session.acquisition_start as u64).to_le_bytes());
-    meta.extend_from_slice(&(session.raw.len() as u64).to_le_bytes());
+    meta.extend_from_slice(&sample_rate.to_le_bytes());
+    meta.extend_from_slice(&acquisition_start.to_le_bytes());
+    meta.extend_from_slice(&(raw.len() as u64).to_le_bytes());
     let meta = Frame::bytes(KIND_SESSION_META, 0, 0, 0, meta)
         .expect("24-byte meta payload is within the frame limit");
     out.write_all(&meta.encode())?;
     let mut seq = 1u32;
     let mut buf = Vec::new();
-    for (start, chunk) in session
-        .raw
+    for (start, chunk) in raw
         .chunks(RECORD_CHUNK_SAMPLES)
         .enumerate()
         .map(|(i, c)| (i * RECORD_CHUNK_SAMPLES, c))
     {
         let mut payload = Vec::with_capacity(chunk.len() * 16);
-        for (i, &raw) in chunk.iter().enumerate() {
-            payload.extend_from_slice(&raw.to_le_bytes());
-            payload.extend_from_slice(&session.calibrated[start + i].value().to_le_bytes());
+        for (i, &r) in chunk.iter().enumerate() {
+            payload.extend_from_slice(&r.to_le_bytes());
+            payload.extend_from_slice(&calibrated[start + i].value().to_le_bytes());
         }
         let frame = Frame::bytes(KIND_SESSION_DATA, 0, seq, start as u64, payload)
             .expect("chunk payload is within the frame limit");
@@ -160,7 +256,7 @@ pub fn write_session_record<W: Write>(
 /// frame fails its CRC, frames are missing, or the layout is not a
 /// session record.
 pub fn read_session_record<R: Read>(mut input: R) -> Result<SessionRecord, SystemError> {
-    use tonos_dsp::frame::{Frame, ParseOutcome, KIND_SESSION_DATA, KIND_SESSION_META};
+    use tonos_dsp::frame::{Frame, ParseOutcome, KIND_SESSION_DATA};
     let mut bytes = Vec::new();
     input.read_to_end(&mut bytes)?;
     let mut pos = 0;
@@ -184,25 +280,15 @@ pub fn read_session_record<R: Read>(mut input: R) -> Result<SessionRecord, Syste
     let Some((meta, data)) = frames.split_first() else {
         return Err(record_corrupt("empty session record"));
     };
-    if meta.kind != KIND_SESSION_META || meta.payload_bytes().len() != 24 {
-        return Err(record_corrupt("session record does not start with meta"));
-    }
-    let m = meta.payload_bytes();
-    let sample_rate = f64::from_le_bytes(m[0..8].try_into().expect("8 bytes"));
-    let acquisition_start = u64::from_le_bytes(m[8..16].try_into().expect("8 bytes")) as usize;
-    let samples = u64::from_le_bytes(m[16..24].try_into().expect("8 bytes"));
-    // The declared count sizes two allocations below, so sanity-check it
-    // against the input before trusting it: every sample costs 16
-    // payload bytes, so the record can't possibly hold more than
-    // len/16 of them. A corrupt or crafted meta frame declaring more is
-    // rejected here instead of panicking on a huge `with_capacity`.
-    if samples > (bytes.len() / 16) as u64 {
-        return Err(record_corrupt(format!(
-            "meta declares {samples} samples but the record is only {} bytes",
-            bytes.len()
-        )));
-    }
-    let samples = samples as usize;
+    // The declared count sizes two allocations below, so it goes
+    // through the shared checked gate before being trusted: a corrupt
+    // or crafted meta frame declaring more samples than the record
+    // could hold is rejected instead of panicking on a huge
+    // `with_capacity`.
+    let header = validate_record_meta(meta, bytes.len())?;
+    let sample_rate = header.sample_rate;
+    let acquisition_start = header.acquisition_start as usize;
+    let samples = header.samples as usize;
     let mut raw = Vec::with_capacity(samples);
     let mut calibrated = Vec::with_capacity(samples);
     for frame in data {

@@ -1,0 +1,624 @@
+//! The measurement hub: session lifecycle state machine plus the
+//! ingest tap that journals accepted link traffic into the store.
+//!
+//! A *measurement session* is the clinical unit of work a frontend
+//! drives: `prepare` allocates an id, `start` arms it for one device,
+//! samples stream in through the [`IngestTap`] while the UI polls
+//! `status` and `readings`, and `stop` (explicit, or automatic on link
+//! close) settles it as [`SessionState::Complete`] — or
+//! [`SessionState::Failed`], from which `retry` re-arms it.
+//!
+//! The hub buffers per-session sample runs and flushes them to the
+//! [`Historian`] as contiguous records: a buffer flush happens at
+//! [`HubConfig::flush_samples`], on a device-clock discontinuity (each
+//! store record stays gap-free, so concealed-gap provenance survives as
+//! record boundaries plus NaN raw lanes), and at stop. Raw-lane NaN is
+//! the concealment marker: a sample the link concealed or invalidated
+//! stores its calibrated estimate in the `mmhg` lane and NaN in `raw`,
+//! so a later reader can separate measured from interpolated truth.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use tonos_link::{HostSample, IngestTap, SampleFlag, TapSession};
+use tonos_mems::units::MillimetersHg;
+use tonos_telemetry::{names, Counter, Severity, Telemetry};
+
+use crate::store::Historian;
+
+/// Hub tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct HubConfig {
+    /// Buffered samples per session before a flush to the store.
+    pub flush_samples: usize,
+    /// Live readings kept per session for the `readings` query.
+    pub readings_keep: usize,
+}
+
+impl Default for HubConfig {
+    fn default() -> Self {
+        HubConfig {
+            flush_samples: 1024,
+            readings_keep: 32,
+        }
+    }
+}
+
+/// Where a measurement session is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Allocated, not yet armed; ingest ignores it.
+    Prepared,
+    /// Armed for its device; tap samples route into it.
+    Measuring,
+    /// Stopped with data on disk.
+    Complete,
+    /// Stopped without data, or a storage error; `retry` re-arms.
+    Failed,
+}
+
+impl SessionState {
+    /// Lowercase wire name (the HTTP API's `state` field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SessionState::Prepared => "prepared",
+            SessionState::Measuring => "measuring",
+            SessionState::Complete => "complete",
+            SessionState::Failed => "failed",
+        }
+    }
+}
+
+/// One live reading (the most recent calibrated samples).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reading {
+    /// Device clock of the sample.
+    pub clock: u64,
+    /// Calibrated pressure, mmHg.
+    pub mmhg: f64,
+    /// Whether the sample was measured (`true`) or concealed.
+    pub clean: bool,
+}
+
+/// A point-in-time status snapshot of one session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStatus {
+    /// Session id.
+    pub id: u64,
+    /// Device the session measures (or will measure).
+    pub device: u64,
+    /// Lifecycle state.
+    pub state: SessionState,
+    /// Tier-0 sample rate, Hz (0 until the first tap chunk).
+    pub sample_rate_hz: f64,
+    /// Device clock of the first ingested sample.
+    pub first_clock: Option<u64>,
+    /// Device clock of the last ingested sample.
+    pub last_clock: Option<u64>,
+    /// Samples ingested.
+    pub samples: u64,
+    /// Samples the link delivered clean.
+    pub clean: u64,
+    /// Samples the link concealed or invalidated.
+    pub concealed: u64,
+    /// Records flushed to the store so far.
+    pub flushed_records: u64,
+    /// Failure detail when `state` is [`SessionState::Failed`].
+    pub error: Option<String>,
+}
+
+struct MeasurementSession {
+    id: u64,
+    device: u64,
+    state: SessionState,
+    error: Option<String>,
+    sample_rate_hz: f64,
+    raw_buf: Vec<f64>,
+    cal_buf: Vec<MillimetersHg>,
+    /// Device clock of `raw_buf[0]`.
+    buf_clock: u64,
+    /// Expected device clock of the next contiguous sample.
+    next_clock: u64,
+    first_clock: Option<u64>,
+    last_clock: Option<u64>,
+    samples: u64,
+    clean: u64,
+    concealed: u64,
+    flushed_records: u64,
+    readings: VecDeque<Reading>,
+}
+
+impl MeasurementSession {
+    fn new(id: u64, device: u64) -> Self {
+        MeasurementSession {
+            id,
+            device,
+            state: SessionState::Prepared,
+            error: None,
+            sample_rate_hz: 0.0,
+            raw_buf: Vec::new(),
+            cal_buf: Vec::new(),
+            buf_clock: 0,
+            next_clock: 0,
+            first_clock: None,
+            last_clock: None,
+            samples: 0,
+            clean: 0,
+            concealed: 0,
+            flushed_records: 0,
+            readings: VecDeque::new(),
+        }
+    }
+
+    fn status(&self) -> SessionStatus {
+        SessionStatus {
+            id: self.id,
+            device: self.device,
+            state: self.state,
+            sample_rate_hz: self.sample_rate_hz,
+            first_clock: self.first_clock,
+            last_clock: self.last_clock,
+            samples: self.samples,
+            clean: self.clean,
+            concealed: self.concealed,
+            flushed_records: self.flushed_records,
+            error: self.error.clone(),
+        }
+    }
+
+    /// Flushes the buffered contiguous run into the store.
+    fn flush(&mut self, historian: &Historian) -> Result<(), String> {
+        if self.raw_buf.is_empty() {
+            return Ok(());
+        }
+        historian
+            .append(
+                self.device,
+                self.id,
+                self.buf_clock,
+                self.sample_rate_hz,
+                &self.raw_buf,
+                &self.cal_buf,
+            )
+            .map_err(|e| e.to_string())?;
+        self.flushed_records += 1;
+        self.raw_buf.clear();
+        self.cal_buf.clear();
+        Ok(())
+    }
+}
+
+struct HubState {
+    sessions: HashMap<u64, MeasurementSession>,
+    /// Device → the one session currently measuring it.
+    by_device: HashMap<u64, u64>,
+    next_id: u64,
+}
+
+struct HubInner {
+    historian: Historian,
+    config: HubConfig,
+    state: Mutex<HubState>,
+    telemetry: Telemetry,
+    prepared: Counter,
+    started: Counter,
+    completed: Counter,
+    failed: Counter,
+    retries: Counter,
+    tap_samples: Counter,
+    tap_unrouted: Counter,
+}
+
+/// The measurement-session hub. Cheap to clone; safe to share between
+/// the ingest tap, the HTTP API, and operator code.
+#[derive(Clone)]
+pub struct MeasurementHub {
+    inner: Arc<HubInner>,
+}
+
+impl std::fmt::Debug for MeasurementHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MeasurementHub").finish_non_exhaustive()
+    }
+}
+
+impl MeasurementHub {
+    /// Builds a hub writing into `historian`, with `historian.session_*`
+    /// and `historian.tap_*` instruments on `telemetry`.
+    pub fn new(historian: Historian, config: HubConfig, telemetry: &Telemetry) -> Self {
+        MeasurementHub {
+            inner: Arc::new(HubInner {
+                historian,
+                config,
+                state: Mutex::new(HubState {
+                    sessions: HashMap::new(),
+                    by_device: HashMap::new(),
+                    next_id: 1,
+                }),
+                prepared: telemetry.counter(names::HISTORIAN_SESSIONS_PREPARED),
+                started: telemetry.counter(names::HISTORIAN_SESSIONS_STARTED),
+                completed: telemetry.counter(names::HISTORIAN_SESSIONS_COMPLETED),
+                failed: telemetry.counter(names::HISTORIAN_SESSIONS_FAILED),
+                retries: telemetry.counter(names::HISTORIAN_SESSION_RETRIES),
+                tap_samples: telemetry.counter(names::HISTORIAN_TAP_SAMPLES),
+                tap_unrouted: telemetry.counter(names::HISTORIAN_TAP_UNROUTED),
+                telemetry: telemetry.clone(),
+            }),
+        }
+    }
+
+    /// The store this hub writes into.
+    pub fn historian(&self) -> &Historian {
+        &self.inner.historian
+    }
+
+    /// Allocates a session for `device` in the `Prepared` state and
+    /// returns its id.
+    pub fn prepare(&self, device: u64) -> u64 {
+        let mut s = self.lock();
+        let id = s.next_id;
+        s.next_id += 1;
+        s.sessions.insert(id, MeasurementSession::new(id, device));
+        self.inner.prepared.inc();
+        id
+    }
+
+    /// Arms a prepared session: tap samples from its device now route
+    /// into it.
+    ///
+    /// # Errors
+    ///
+    /// Unknown id, a session not in `Prepared`, or a device that
+    /// already has a measuring session.
+    pub fn start(&self, id: u64) -> Result<(), String> {
+        let mut s = self.lock();
+        let device = {
+            let sess = s.sessions.get(&id).ok_or_else(|| unknown(id))?;
+            if sess.state != SessionState::Prepared {
+                return Err(format!(
+                    "session {id} is {}, not prepared",
+                    sess.state.as_str()
+                ));
+            }
+            sess.device
+        };
+        if let Some(&other) = s.by_device.get(&device) {
+            return Err(format!(
+                "device {device} is already measuring (session {other})"
+            ));
+        }
+        s.by_device.insert(device, id);
+        let sess = s.sessions.get_mut(&id).expect("checked above");
+        sess.state = SessionState::Measuring;
+        self.inner.started.inc();
+        self.inner
+            .telemetry
+            .event(Severity::Info, "historian.session", || {
+                format!("session {id} measuring device {device}")
+            });
+        Ok(())
+    }
+
+    /// Stops a measuring session: flushes its buffer and settles it as
+    /// `Complete` (any samples ingested) or `Failed` (none).
+    ///
+    /// # Errors
+    ///
+    /// Unknown id or a session not currently measuring.
+    pub fn stop(&self, id: u64) -> Result<SessionStatus, String> {
+        let mut s = self.lock();
+        let sess = s.sessions.get_mut(&id).ok_or_else(|| unknown(id))?;
+        if sess.state != SessionState::Measuring {
+            return Err(format!(
+                "session {id} is {}, not measuring",
+                sess.state.as_str()
+            ));
+        }
+        let flush = sess.flush(&self.inner.historian);
+        if let Err(e) = flush {
+            sess.state = SessionState::Failed;
+            sess.error = Some(format!("final flush failed: {e}"));
+            self.inner.failed.inc();
+        } else if sess.samples == 0 {
+            sess.state = SessionState::Failed;
+            sess.error = Some("no samples ingested".to_string());
+            self.inner.failed.inc();
+        } else {
+            sess.state = SessionState::Complete;
+            self.inner.completed.inc();
+        }
+        let status = sess.status();
+        let device = sess.device;
+        s.by_device.remove(&device);
+        Ok(status)
+    }
+
+    /// Re-arms a failed session back to `Prepared`, clearing its
+    /// per-run counters (already-flushed records stay in the store; a
+    /// device clock only moves forward, so the retried run appends
+    /// after them).
+    ///
+    /// # Errors
+    ///
+    /// Unknown id or a session not in `Failed`.
+    pub fn retry(&self, id: u64) -> Result<(), String> {
+        let mut s = self.lock();
+        let sess = s.sessions.get_mut(&id).ok_or_else(|| unknown(id))?;
+        if sess.state != SessionState::Failed {
+            return Err(format!(
+                "session {id} is {}, not failed",
+                sess.state.as_str()
+            ));
+        }
+        sess.state = SessionState::Prepared;
+        sess.error = None;
+        sess.raw_buf.clear();
+        sess.cal_buf.clear();
+        sess.samples = 0;
+        sess.clean = 0;
+        sess.concealed = 0;
+        sess.first_clock = None;
+        sess.last_clock = None;
+        sess.readings.clear();
+        self.inner.retries.inc();
+        Ok(())
+    }
+
+    /// The status of one session.
+    pub fn status(&self, id: u64) -> Option<SessionStatus> {
+        self.lock()
+            .sessions
+            .get(&id)
+            .map(MeasurementSession::status)
+    }
+
+    /// The most recent calibrated readings of one session
+    /// (clock-ascending, at most [`HubConfig::readings_keep`]).
+    pub fn readings(&self, id: u64) -> Option<Vec<Reading>> {
+        self.lock()
+            .sessions
+            .get(&id)
+            .map(|s| s.readings.iter().copied().collect())
+    }
+
+    /// Every session's status, id-ascending.
+    pub fn list(&self) -> Vec<SessionStatus> {
+        let s = self.lock();
+        let mut out: Vec<SessionStatus> = s
+            .sessions
+            .values()
+            .map(MeasurementSession::status)
+            .collect();
+        out.sort_by_key(|st| st.id);
+        out
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HubState> {
+        self.inner.state.lock().expect("measurement hub lock")
+    }
+
+    fn fail_locked(sess: &mut MeasurementSession, failed: &Counter, msg: String) {
+        sess.state = SessionState::Failed;
+        sess.error = Some(msg);
+        sess.raw_buf.clear();
+        sess.cal_buf.clear();
+        failed.inc();
+    }
+}
+
+impl IngestTap for MeasurementHub {
+    fn on_samples(&self, session: &TapSession, samples: &[HostSample]) {
+        let Some(device) = session.device_id else {
+            self.inner.tap_unrouted.add(samples.len() as u64);
+            return;
+        };
+        let mut s = self.lock();
+        let Some(&id) = s.by_device.get(&device) else {
+            self.inner.tap_unrouted.add(samples.len() as u64);
+            return;
+        };
+        let keep = self.inner.config.readings_keep;
+        let flush_at = self.inner.config.flush_samples;
+        let mut failed_device = None;
+        {
+            let sess = s.sessions.get_mut(&id).expect("by_device maps live ids");
+            if sess.sample_rate_hz == 0.0 {
+                sess.sample_rate_hz = session.output_rate_hz;
+            }
+            self.inner.tap_samples.add(samples.len() as u64);
+            for sample in samples {
+                let clock = sample.index;
+                if sess.raw_buf.is_empty() {
+                    sess.buf_clock = clock;
+                } else if clock != sess.next_clock {
+                    // Discontinuity: settle the contiguous run so every
+                    // stored record is gap-free.
+                    if let Err(e) = sess.flush(&self.inner.historian) {
+                        MeasurementHub::fail_locked(sess, &self.inner.failed, e);
+                        failed_device = Some(sess.device);
+                        break;
+                    }
+                    sess.buf_clock = clock;
+                }
+                let clean = sample.flag == SampleFlag::Clean;
+                sess.raw_buf
+                    .push(if clean { sample.value_mmhg } else { f64::NAN });
+                sess.cal_buf.push(MillimetersHg(sample.value_mmhg));
+                sess.next_clock = clock + 1;
+                sess.first_clock.get_or_insert(clock);
+                sess.last_clock = Some(clock);
+                sess.samples += 1;
+                if clean {
+                    sess.clean += 1;
+                } else {
+                    sess.concealed += 1;
+                }
+                sess.readings.push_back(Reading {
+                    clock,
+                    mmhg: sample.value_mmhg,
+                    clean,
+                });
+                while sess.readings.len() > keep {
+                    sess.readings.pop_front();
+                }
+                if sess.raw_buf.len() >= flush_at {
+                    if let Err(e) = sess.flush(&self.inner.historian) {
+                        MeasurementHub::fail_locked(sess, &self.inner.failed, e);
+                        failed_device = Some(sess.device);
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(device) = failed_device {
+            s.by_device.remove(&device);
+        }
+    }
+
+    fn on_closed(&self, session: &TapSession) {
+        // The device's link dropped: settle its measuring session so a
+        // frontend polling status sees a terminal state, not a stall.
+        let id = session
+            .device_id
+            .and_then(|d| self.lock().by_device.get(&d).copied());
+        if let Some(id) = id {
+            let _ = self.stop(id);
+            self.inner
+                .telemetry
+                .event(Severity::Warning, "historian.session", || {
+                    format!("session {id}: link closed, auto-stopped")
+                });
+        }
+    }
+}
+
+fn unknown(id: u64) -> String {
+    format!("unknown session {id}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch_dir;
+    use crate::store::StoreConfig;
+
+    fn hub(tag: &str) -> (MeasurementHub, std::path::PathBuf) {
+        let dir = scratch_dir(tag);
+        let t = Telemetry::disabled();
+        let (h, _) = Historian::open(&dir, StoreConfig::default(), &t).unwrap();
+        (
+            MeasurementHub::new(
+                h,
+                HubConfig {
+                    flush_samples: 64,
+                    readings_keep: 8,
+                },
+                &t,
+            ),
+            dir,
+        )
+    }
+
+    fn tap(device: u64) -> TapSession {
+        TapSession {
+            conn_id: 1,
+            peer: "test".to_string(),
+            device_id: Some(device),
+            output_rate_hz: 1000.0,
+        }
+    }
+
+    fn clean_samples(start: u64, n: usize) -> Vec<HostSample> {
+        (0..n)
+            .map(|i| HostSample {
+                index: start + i as u64,
+                value_mmhg: 100.0 + i as f64,
+                flag: SampleFlag::Clean,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lifecycle_prepare_start_ingest_stop() {
+        let (hub, dir) = hub("hub-lifecycle");
+        let id = hub.prepare(42);
+        assert_eq!(hub.status(id).unwrap().state, SessionState::Prepared);
+        // Samples before start are unrouted.
+        hub.on_samples(&tap(42), &clean_samples(0, 10));
+        assert_eq!(hub.status(id).unwrap().samples, 0);
+        hub.start(id).unwrap();
+        // Second session on the same device is rejected.
+        let id2 = hub.prepare(42);
+        assert!(hub.start(id2).is_err());
+        hub.on_samples(&tap(42), &clean_samples(0, 100));
+        let st = hub.status(id).unwrap();
+        assert_eq!(st.samples, 100);
+        assert_eq!(st.clean, 100);
+        assert!(
+            st.flushed_records >= 1,
+            "flush_samples=64 must have flushed"
+        );
+        let st = hub.stop(id).unwrap();
+        assert_eq!(st.state, SessionState::Complete);
+        // All 100 samples landed in the store.
+        let snap = hub.historian().snapshot();
+        assert_eq!(snap.session_span(42, id), Some((0, 100)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn discontinuity_splits_records_and_marks_concealed() {
+        let (hub, dir) = hub("hub-gap");
+        let id = hub.prepare(7);
+        hub.start(id).unwrap();
+        let mut samples = clean_samples(0, 10);
+        samples.push(HostSample {
+            index: 15, // jump: 10..15 missing
+            value_mmhg: 90.0,
+            flag: SampleFlag::Concealed,
+        });
+        hub.on_samples(&tap(7), &samples);
+        hub.stop(id).unwrap();
+        let snap = hub.historian().snapshot();
+        let entries = snap.range(7, id, 0, 0, u64::MAX);
+        assert_eq!(entries.len(), 2, "gap must split the record");
+        assert_eq!(entries[0].clock_start, 0);
+        assert_eq!(entries[0].clock_end, 10);
+        assert_eq!(entries[1].clock_start, 15);
+        let wave = hub
+            .historian()
+            .reader()
+            .read_tier(7, id, 0, 15, 16)
+            .unwrap();
+        assert!(wave.points[0].raw.is_nan(), "concealed raw lane is NaN");
+        assert_eq!(wave.points[0].mmhg, 90.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_stop_fails_and_retry_rearms() {
+        let (hub, dir) = hub("hub-retry");
+        let id = hub.prepare(9);
+        hub.start(id).unwrap();
+        let st = hub.stop(id).unwrap();
+        assert_eq!(st.state, SessionState::Failed);
+        assert!(st.error.is_some());
+        hub.retry(id).unwrap();
+        assert_eq!(hub.status(id).unwrap().state, SessionState::Prepared);
+        hub.start(id).unwrap();
+        hub.on_samples(&tap(9), &clean_samples(100, 5));
+        assert_eq!(hub.stop(id).unwrap().state, SessionState::Complete);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn link_close_auto_stops() {
+        let (hub, dir) = hub("hub-close");
+        let id = hub.prepare(3);
+        hub.start(id).unwrap();
+        hub.on_samples(&tap(3), &clean_samples(0, 5));
+        hub.on_closed(&tap(3));
+        assert_eq!(hub.status(id).unwrap().state, SessionState::Complete);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

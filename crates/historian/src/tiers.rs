@@ -1,0 +1,154 @@
+//! The downsampling pyramid: deterministic, restart-stable block
+//! decimation between storage tiers.
+//!
+//! Tier 0 is the stream as ingested (1 kS/s at paper defaults); tier
+//! `t+1` holds every 16th sample of tier `t` after a 64-tap anti-alias
+//! FIR. Two tiers above the base give 1:16 and 1:256 — a day of
+//! tier-2 output is ~337 k samples, which is why a ranged read over a
+//! month-long recording stays bounded.
+//!
+//! ## Why block decimation is stateless
+//!
+//! Compaction runs opportunistically (a fleet background task), may be
+//! interrupted by a crash, and may re-run over the same source region
+//! after recovery. The tier build therefore cannot carry hidden filter
+//! state between runs: [`downsample_block`] constructs a **fresh**
+//! decimator per block and re-primes it from a fixed-length warmup
+//! window of the preceding source samples ([`WARMUP`], a multiple of
+//! the ratio so the output phase is unchanged). Same block in, same
+//! bytes out, no matter when — or how many times — compaction runs.
+
+use std::sync::OnceLock;
+
+use tonos_dsp::fir::{design_lowpass, FirDecimator};
+use tonos_dsp::window::Window;
+
+/// Source samples folded into one output sample at each tier step.
+pub const TIER_RATIO: usize = 16;
+
+/// Highest downsampled tier kept (tier 1 = 1:16, tier 2 = 1:256).
+pub const MAX_TIER: u8 = 2;
+
+/// Source samples fed (and discarded) ahead of each block to prime
+/// the anti-alias filter — a multiple of [`TIER_RATIO`] so the
+/// decimation phase of the block itself is unaffected.
+pub const WARMUP: usize = 64;
+
+/// Tier-0 clocks spanned by one sample of tier `tier`.
+pub fn tier_stride(tier: u8) -> u64 {
+    (TIER_RATIO as u64).pow(u32::from(tier))
+}
+
+/// Sample rate of tier `tier` given the tier-0 rate.
+pub fn tier_sample_rate(base_rate_hz: f64, tier: u8) -> f64 {
+    base_rate_hz / tier_stride(tier) as f64
+}
+
+/// The shared anti-alias taps: 64-tap windowed-sinc lowpass with the
+/// cutoff at 80 % of the post-decimation Nyquist (0.8 · 0.5 / 16 of
+/// the input rate), Hamming window. Designed once per process.
+fn tier_taps() -> &'static [f64] {
+    static TAPS: OnceLock<Vec<f64>> = OnceLock::new();
+    TAPS.get_or_init(|| {
+        design_lowpass(64, 0.8 * 0.5 / TIER_RATIO as f64, Window::Hamming)
+            .expect("tier filter design parameters are valid")
+    })
+}
+
+/// Replaces non-finite samples (the concealment provenance marker in
+/// stored raw lanes) by the last finite value seen, so the FIR never
+/// propagates a NaN across a whole block.
+fn sanitize(held: &mut f64, x: f64) -> f64 {
+    if x.is_finite() {
+        *held = x;
+    }
+    *held
+}
+
+/// Decimates one `(raw, calibrated)` block by [`TIER_RATIO`].
+///
+/// `warmup` is the source tail immediately preceding `block` (empty at
+/// a run start, otherwise [`WARMUP`] samples); its length must be a
+/// multiple of [`TIER_RATIO`]. Returns exactly
+/// `block.len() / TIER_RATIO` output pairs (the trailing
+/// non-multiple remainder of `block` produces no output and should not
+/// be passed — compaction blocks are ratio-aligned).
+pub fn downsample_block(warmup: &[(f64, f64)], block: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    debug_assert!(warmup.len().is_multiple_of(TIER_RATIO));
+    let taps = tier_taps().to_vec();
+    let mut raw_fir = FirDecimator::new(taps.clone(), TIER_RATIO).expect("valid tier decimator");
+    let mut cal_fir = FirDecimator::new(taps, TIER_RATIO).expect("valid tier decimator");
+    let (mut held_raw, mut held_cal) = (0.0, 0.0);
+    for &(r, c) in warmup {
+        let _ = raw_fir.push(sanitize(&mut held_raw, r));
+        let _ = cal_fir.push(sanitize(&mut held_cal, c));
+    }
+    let mut out = Vec::with_capacity(block.len() / TIER_RATIO);
+    for &(r, c) in block {
+        let y_raw = raw_fir.push(sanitize(&mut held_raw, r));
+        let y_cal = cal_fir.push(sanitize(&mut held_cal, c));
+        if let (Some(yr), Some(yc)) = (y_raw, y_cal) {
+            out.push((yr, yc));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize, offset: f64) -> Vec<(f64, f64)> {
+        (0..n)
+            .map(|i| (offset + i as f64, 80.0 + (offset + i as f64) * 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn block_output_length_is_ratio_exact() {
+        let out = downsample_block(&[], &ramp(256, 0.0));
+        assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    fn rebuilding_the_same_block_is_bit_identical() {
+        let warm = ramp(WARMUP, 1000.0);
+        let block = ramp(512, 1064.0);
+        let a = downsample_block(&warm, &block);
+        let b = downsample_block(&warm, &block);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.0.to_bits(), y.0.to_bits());
+            assert_eq!(x.1.to_bits(), y.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn warmup_removes_the_cold_start_transient() {
+        // DC input: a primed block settles to the DC value; a cold one
+        // starts from zero-filled delay lines.
+        let dc: Vec<(f64, f64)> = vec![(1.0, 1.0); 256];
+        let warm_out = downsample_block(&vec![(1.0, 1.0); WARMUP], &dc);
+        assert!((warm_out[2].0 - 1.0).abs() < 1e-6, "{}", warm_out[2].0);
+        let cold_out = downsample_block(&[], &dc);
+        assert!((cold_out[0].0 - 1.0).abs() > 1e-3, "{}", cold_out[0].0);
+    }
+
+    #[test]
+    fn nan_provenance_markers_never_poison_the_output() {
+        let mut block = ramp(256, 0.0);
+        for slot in block.iter_mut().skip(40).take(30) {
+            slot.0 = f64::NAN;
+        }
+        let out = downsample_block(&[], &block);
+        assert!(out.iter().all(|(r, c)| r.is_finite() && c.is_finite()));
+    }
+
+    #[test]
+    fn strides_and_rates() {
+        assert_eq!(tier_stride(0), 1);
+        assert_eq!(tier_stride(1), 16);
+        assert_eq!(tier_stride(2), 256);
+        assert_eq!(tier_sample_rate(1000.0, 2), 1000.0 / 256.0);
+    }
+}

@@ -72,4 +72,4 @@ pub use encode::FrameEncoder;
 pub use fault::{FaultConfig, FaultyTransport};
 pub use pipeline::{GapPolicy, HostPipeline, HostSample, LinkCalibration, LinkHealth, SampleFlag};
 pub use query::{LinkAggregate, LinkDirectory, LinkEntry, LinkStatus};
-pub use server::{LinkServer, LinkServerConfig};
+pub use server::{IngestTap, LinkServer, LinkServerConfig, TapSession};

@@ -303,6 +303,9 @@ pub struct HostPipeline {
     /// Whether data frames are dropped until a verified handshake.
     auth_required: bool,
     authenticated: bool,
+    /// Device id from the most recent accepted hello (`None` until a
+    /// handshake lands), so ingest consumers can route by device.
+    device_id: Option<u64>,
     naks_tx: u64,
     handshakes_ok: u64,
     handshakes_rejected: u64,
@@ -367,6 +370,7 @@ impl HostPipeline {
             auth_key: None,
             auth_required: false,
             authenticated: true,
+            device_id: None,
             naks_tx: 0,
             handshakes_ok: 0,
             handshakes_rejected: 0,
@@ -497,6 +501,12 @@ impl HostPipeline {
         self.output_rate_hz
     }
 
+    /// Device id announced by the most recent accepted hello, if any —
+    /// what an ingest tap uses to route this stream's samples.
+    pub fn device_id(&self) -> Option<u64> {
+        self.device_id
+    }
+
     /// Feeds transport bytes in; flagged calibrated samples are
     /// appended to `out`.
     pub fn push_bytes(&mut self, bytes: &[u8], out: &mut Vec<HostSample>) {
@@ -579,8 +589,9 @@ impl HostPipeline {
             None => Err("malformed hello payload".to_string()),
         };
         match verdict {
-            Ok(_) => {
+            Ok(hello) => {
                 self.authenticated = true;
+                self.device_id = Some(hello.device_id);
                 self.handshakes_ok += 1;
                 self.handshakes_ok_counter.inc();
                 HelloAck { accepted: true }

@@ -46,6 +46,11 @@ impl LinkEntry {
         self.state.lock().expect("link entry lock poisoned").health = health;
     }
 
+    /// The peer address this entry was registered under.
+    pub fn peer(&self) -> &str {
+        &self.peer
+    }
+
     /// Marks the connection closed (the entry remains queryable).
     pub fn disconnect(&self) {
         self.state

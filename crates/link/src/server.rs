@@ -48,8 +48,40 @@ use tonos_fleet::{ActorEvent, ActorHandle, ChunkFull, FleetConfig, FleetEngine, 
 use tonos_telemetry::{names, Histogram, Registry, Severity, Telemetry, TelemetrySnapshot};
 
 use crate::auth::LinkKey;
-use crate::pipeline::{GapPolicy, HostPipeline, LinkCalibration};
+use crate::pipeline::{GapPolicy, HostPipeline, HostSample, LinkCalibration};
 use crate::query::{LinkDirectory, LinkEntry, LinkStatus};
+
+/// Identity of one ingesting connection as seen by an [`IngestTap`].
+#[derive(Debug, Clone)]
+pub struct TapSession {
+    /// Fleet session id of the connection's chunk actor.
+    pub conn_id: u64,
+    /// Peer address string.
+    pub peer: String,
+    /// Device id from the connection's accepted hello handshake
+    /// (`None` until one lands) — the routing key for consumers that
+    /// track devices rather than sockets.
+    pub device_id: Option<u64>,
+    /// Output sample rate of the connection's pipeline, Hz.
+    pub output_rate_hz: f64,
+}
+
+/// A consumer of every accepted connection's decoded output stream —
+/// how the historian journals live ingest without the server knowing
+/// anything about storage.
+///
+/// Calls arrive on fleet worker threads, one connection at a time per
+/// connection (the chunk-actor ordering guarantee), but concurrently
+/// across connections: implementations must be `Sync` and should do
+/// bounded work per call (buffer and hand off, not block).
+pub trait IngestTap: Send + Sync {
+    /// Called after each ingested chunk with the samples it produced
+    /// (may be empty when a chunk carried only control traffic).
+    fn on_samples(&self, session: &TapSession, samples: &[HostSample]);
+
+    /// Called exactly once when the connection's actor closes.
+    fn on_closed(&self, session: &TapSession);
+}
 
 /// Socket read size and actor chunk granularity.
 const READ_CHUNK: usize = 8 * 1024;
@@ -140,6 +172,22 @@ impl LinkServer {
     ///
     /// Propagates bind/configuration I/O failures.
     pub fn bind(addr: &str, config: LinkServerConfig) -> std::io::Result<Self> {
+        LinkServer::bind_with_tap(addr, config, None)
+    }
+
+    /// [`LinkServer::bind`] with an [`IngestTap`] attached: every
+    /// connection's decoded samples are offered to `tap` after each
+    /// chunk, and the tap is told when each connection closes. The tap
+    /// rides outside [`LinkServerConfig`] (which stays `Copy`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration I/O failures.
+    pub fn bind_with_tap(
+        addr: &str,
+        config: LinkServerConfig,
+        tap: Option<Arc<dyn IngestTap>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
@@ -160,8 +208,9 @@ impl LinkServer {
         let stop_io = Arc::clone(&stop);
         let conn_io = Arc::clone(&connections);
         let dir_io = Arc::clone(&directory);
-        let io_thread =
-            thread::spawn(move || io_loop(&listener, engine, &dir_io, &config, &stop_io, &conn_io));
+        let io_thread = thread::spawn(move || {
+            io_loop(&listener, engine, &dir_io, &config, tap, &stop_io, &conn_io)
+        });
         Ok(LinkServer {
             addr: local,
             stop,
@@ -253,6 +302,7 @@ fn io_loop(
     mut engine: FleetEngine,
     directory: &Arc<LinkDirectory>,
     config: &LinkServerConfig,
+    tap: Option<Arc<dyn IngestTap>>,
     stop: &Arc<AtomicBool>,
     connections: &AtomicUsize,
 ) -> (FleetReport, TelemetrySnapshot) {
@@ -273,8 +323,15 @@ fn io_loop(
                     progressed = true;
                     connections.fetch_add(1, Ordering::SeqCst);
                     fleet_tel.counter(names::LINK_CONNECTIONS).inc();
-                    match open_connection(&mut engine, directory, config, &fleet_tel, stream, peer)
-                    {
+                    match open_connection(
+                        &mut engine,
+                        directory,
+                        config,
+                        tap.clone(),
+                        &fleet_tel,
+                        stream,
+                        peer,
+                    ) {
                         Ok(conn) => conns.push(conn),
                         Err(e) => {
                             fleet_tel.event(Severity::Warning, "link.server", || {
@@ -408,6 +465,7 @@ fn open_connection(
     engine: &mut FleetEngine,
     directory: &Arc<LinkDirectory>,
     config: &LinkServerConfig,
+    tap: Option<Arc<dyn IngestTap>>,
     fleet_tel: &Telemetry,
     stream: TcpStream,
     peer: SocketAddr,
@@ -418,7 +476,7 @@ fn open_connection(
     // and never block a worker.
     let write_half = stream.try_clone()?;
     let entry = directory.register(peer.to_string(), fleet_tel.now());
-    let handler = ingest_actor(*config, Arc::clone(&entry), write_half);
+    let handler = ingest_actor(*config, Arc::clone(&entry), tap, write_half);
     let actor = engine.open_actor(format!("link:{peer}"), config.queue_chunks.max(1), handler);
     Ok(Conn {
         stream,
@@ -436,6 +494,7 @@ fn open_connection(
 fn ingest_actor(
     config: LinkServerConfig,
     entry: Arc<LinkEntry>,
+    tap: Option<Arc<dyn IngestTap>>,
     mut write_half: TcpStream,
 ) -> impl FnMut(
     ActorEvent<'_>,
@@ -469,6 +528,19 @@ fn ingest_actor(
                 // counters move; `LinkHealth` is `Copy`, one short lock
                 // per chunk.
                 entry.publish(pipe.health());
+                if let Some(tap) = &tap {
+                    if !samples.is_empty() {
+                        tap.on_samples(
+                            &TapSession {
+                                conn_id: ctx.id,
+                                peer: entry.peer().to_string(),
+                                device_id: pipe.device_id(),
+                                output_rate_hz: pipe.output_rate_hz(),
+                            },
+                            &samples,
+                        );
+                    }
+                }
                 // Bidirectional wire: ship queued acks and NAKs back to
                 // the device. Best-effort — a WouldBlock or broken pipe
                 // drops the control bytes, and the next chunk's NAK
@@ -484,6 +556,14 @@ fn ingest_actor(
                 // failure — the directory entry must not stay "live"
                 // after the session ends.
                 entry.disconnect();
+                if let Some(tap) = &tap {
+                    tap.on_closed(&TapSession {
+                        conn_id: ctx.id,
+                        peer: entry.peer().to_string(),
+                        device_id: pipe.as_ref().and_then(HostPipeline::device_id),
+                        output_rate_hz: config.decimator.output_rate(),
+                    });
+                }
                 if let Some(why) = failed.take() {
                     return Some(Err(why));
                 }

@@ -1,0 +1,123 @@
+//! The historian's telemetry surfaced through the scope plane: every
+//! `historian.*` instrument must show up in the `/metrics` exposition
+//! and be capturable by the flight recorder — the storage layer is
+//! observable through the same endpoints as the rest of the system.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use tonos_historian::{Historian, HubConfig, MeasurementHub, StoreConfig};
+use tonos_mems::units::MillimetersHg;
+use tonos_scope::{FlightRecorder, RecorderConfig, ScopeServer, ScopeSources};
+use tonos_telemetry::{names, Registry};
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to scope server");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+        .split_once("\r\n\r\n")
+        .expect("response has headers")
+        .1
+        .to_string()
+}
+
+#[test]
+fn historian_counters_reach_metrics_and_the_flight_recorder() {
+    let dir = tonos_historian::scratch_dir("scope-metrics");
+    let registry = Registry::new();
+    let telemetry = registry.telemetry();
+
+    // Drive the store through a real session so every instrument
+    // family moves: appends, seals, reads, tier records, recovery.
+    let config = StoreConfig {
+        segment_bytes: 32 * 1024,
+        tier_block: 256,
+        ..StoreConfig::default()
+    };
+    let (historian, _) = Historian::open(&dir, config, &telemetry).unwrap();
+    let hub = MeasurementHub::new(historian.clone(), HubConfig::default(), &telemetry);
+    let id = hub.prepare(1);
+    hub.start(id).unwrap();
+    for k in 0..20u64 {
+        let raw: Vec<f64> = (0..512).map(|i| (k * 512 + i) as f64).collect();
+        let cal: Vec<MillimetersHg> = raw.iter().map(|&r| MillimetersHg(r * 0.1)).collect();
+        historian
+            .append(1, id, k * 512, 1000.0, &raw, &cal)
+            .unwrap();
+    }
+    historian.compact().unwrap();
+    let reader = historian.reader();
+    reader.read_range(1, id, 0, 20 * 512, 64).unwrap();
+
+    let recorder = std::sync::Arc::new(std::sync::Mutex::new(FlightRecorder::new(
+        registry.clone(),
+        RecorderConfig {
+            interval: Duration::from_millis(1),
+            retention: Duration::from_secs(5),
+        },
+    )));
+    recorder.lock().unwrap().tick();
+
+    let server = ScopeServer::bind(
+        "127.0.0.1:0",
+        ScopeSources::registry(registry).with_recorder(std::sync::Arc::clone(&recorder)),
+    )
+    .unwrap();
+    let body = http_get(server.local_addr(), "/metrics");
+
+    // Counters (`_total`), gauges (bare), and the fsync histogram all
+    // present and nonzero where the workload moved them.
+    for metric in [
+        "tonos_historian_records_appended_total",
+        "tonos_historian_bytes_appended_total",
+        "tonos_historian_reads_total",
+        "tonos_historian_bytes_read_total",
+        "tonos_historian_segments_sealed_total",
+        "tonos_historian_compactions_total",
+        "tonos_historian_tier_records_total",
+        "tonos_historian_sessions_prepared_total",
+        "tonos_historian_sessions_started_total",
+    ] {
+        let line = body
+            .lines()
+            .find(|l| l.starts_with(metric) && !l.starts_with('#'))
+            .unwrap_or_else(|| panic!("{metric} missing from /metrics:\n{body}"));
+        let value: f64 = line.split_whitespace().last().unwrap().parse().unwrap();
+        assert!(value > 0.0, "{metric} never moved: {line}");
+    }
+    for gauge in ["tonos_historian_segments", "tonos_historian_bytes"] {
+        assert!(
+            body.lines()
+                .any(|l| l.starts_with(gauge) && !l.contains("_total")),
+            "{gauge} missing from /metrics"
+        );
+    }
+    assert!(
+        body.contains("tonos_historian_fsync_s_bucket"),
+        "fsync histogram missing"
+    );
+
+    // The flight recorder captured the same series by name.
+    let rec = recorder.lock().unwrap();
+    let series = rec.series_names();
+    for name in [
+        names::HISTORIAN_APPENDS,
+        names::HISTORIAN_SEALS,
+        names::HISTORIAN_COMPACTIONS,
+        names::HISTORIAN_SESSIONS_PREPARED,
+    ] {
+        assert!(
+            series.iter().any(|s| s == name),
+            "{name} missing from recorder series: {series:?}"
+        );
+    }
+    let appended = rec.counter_series(names::HISTORIAN_APPENDS);
+    assert!(!appended.is_empty());
+    assert!(appended.last().unwrap().1 >= 20);
+    drop(rec);
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

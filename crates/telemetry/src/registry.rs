@@ -171,6 +171,53 @@ pub mod names {
     /// Data frames dropped because the pipeline requires an
     /// authenticated session and none was established (counter).
     pub const LINK_UNAUTH_FRAMES: &str = "link.unauth_frames";
+
+    /// Segment files currently in a historian store (gauge).
+    pub const HISTORIAN_SEGMENTS: &str = "historian.segments";
+    /// Total bytes at rest across a historian's segments (gauge).
+    pub const HISTORIAN_BYTES: &str = "historian.bytes";
+    /// Waveform records appended to a historian store (counter).
+    pub const HISTORIAN_APPENDS: &str = "historian.records_appended";
+    /// Payload bytes appended to a historian store (counter).
+    pub const HISTORIAN_APPEND_BYTES: &str = "historian.bytes_appended";
+    /// Ranged read queries answered by historian readers (counter).
+    pub const HISTORIAN_READS: &str = "historian.reads";
+    /// Record payload bytes fetched to answer ranged reads (counter).
+    pub const HISTORIAN_READ_BYTES: &str = "historian.bytes_read";
+    /// Reader handles currently open on a historian store (gauge).
+    pub const HISTORIAN_READERS: &str = "historian.readers";
+    /// Segments sealed (footer written, file immutable) (counter).
+    pub const HISTORIAN_SEALS: &str = "historian.segments_sealed";
+    /// Torn tails truncated during crash recovery at open (counter).
+    pub const HISTORIAN_RECOVERY_TRUNCATIONS: &str = "historian.recovery_truncations";
+    /// Unreadable mid-store bytes skipped during recovery (counter).
+    pub const HISTORIAN_RECOVERY_SKIPPED_BYTES: &str = "historian.recovery_skipped_bytes";
+    /// Compaction passes completed (counter).
+    pub const HISTORIAN_COMPACTIONS: &str = "historian.compactions";
+    /// Downsampled tier records built by compaction (counter).
+    pub const HISTORIAN_TIER_RECORDS: &str = "historian.tier_records";
+    /// fsync latency of historian record/seal flushes, seconds
+    /// (histogram).
+    pub const HISTORIAN_FSYNC_S: &str = "historian.fsync_s";
+    /// Measurement sessions created via `prepare` (counter).
+    pub const HISTORIAN_SESSIONS_PREPARED: &str = "historian.sessions_prepared";
+    /// Measurement sessions moved to `measuring` via `start` (counter).
+    pub const HISTORIAN_SESSIONS_STARTED: &str = "historian.sessions_started";
+    /// Measurement sessions that completed with recorded samples
+    /// (counter).
+    pub const HISTORIAN_SESSIONS_COMPLETED: &str = "historian.sessions_completed";
+    /// Measurement sessions that ended without usable data (counter).
+    pub const HISTORIAN_SESSIONS_FAILED: &str = "historian.sessions_failed";
+    /// Retry requests accepted by the measurement API (counter).
+    pub const HISTORIAN_SESSION_RETRIES: &str = "historian.session_retries";
+    /// Link samples routed into measurement sessions by the ingest tap
+    /// (counter).
+    pub const HISTORIAN_TAP_SAMPLES: &str = "historian.tap_samples";
+    /// Link samples seen by the ingest tap with no measuring session to
+    /// own them (counter).
+    pub const HISTORIAN_TAP_UNROUTED: &str = "historian.tap_unrouted_samples";
+    /// HTTP requests served by the measurement-session API (counter).
+    pub const HISTORIAN_API_REQUESTS: &str = "historian.api_requests";
 }
 
 /// Default number of journal events retained.

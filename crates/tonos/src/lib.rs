@@ -24,6 +24,9 @@
 //! * [`scope`] — the live telemetry plane: a flight recorder over any
 //!   registry plus an HTTP endpoint serving Prometheus `/metrics`,
 //!   `/health`, `/links`, and `/flight` (see `examples/ops_dashboard.rs`)
+//! * [`historian`] — the storage plane: an append-only segmented
+//!   session store with crash recovery, tiered downsampling, and the
+//!   measurement-session HTTP API (see `examples/historian_replay.rs`)
 //!
 //! See `examples/quickstart.rs` for the five-minute tour and
 //! `ARCHITECTURE.md` for the end-to-end dataflow.
@@ -32,6 +35,7 @@ pub use tonos_analog as analog;
 pub use tonos_core as system;
 pub use tonos_dsp as dsp;
 pub use tonos_fleet as fleet;
+pub use tonos_historian as historian;
 pub use tonos_link as link;
 pub use tonos_mems as mems;
 pub use tonos_physio as physio;
