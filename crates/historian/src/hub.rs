@@ -33,6 +33,12 @@ pub struct HubConfig {
     pub flush_samples: usize,
     /// Live readings kept per session for the `readings` query.
     pub readings_keep: usize,
+    /// Terminal (`Complete`/`Failed`) sessions retained for `status`,
+    /// `readings`, and `list` queries; the oldest past this cap are
+    /// evicted so a long-running hub's memory stays bounded. Evicted
+    /// sessions' flushed records remain in the store — only the
+    /// in-memory lifecycle state (and `retry`-ability) is dropped.
+    pub terminal_keep: usize,
 }
 
 impl Default for HubConfig {
@@ -40,6 +46,7 @@ impl Default for HubConfig {
         HubConfig {
             flush_samples: 1024,
             readings_keep: 32,
+            terminal_keep: 256,
         }
     }
 }
@@ -330,6 +337,7 @@ impl MeasurementHub {
         let status = sess.status();
         let device = sess.device;
         s.by_device.remove(&device);
+        self.evict_terminal_locked(&mut s);
         Ok(status)
     }
 
@@ -397,6 +405,27 @@ impl MeasurementHub {
         self.inner.state.lock().expect("measurement hub lock")
     }
 
+    /// Drops the oldest terminal sessions past
+    /// [`HubConfig::terminal_keep`]. Measuring and prepared sessions
+    /// are never evicted, so the map's size is bounded by the live
+    /// session count plus the cap.
+    fn evict_terminal_locked(&self, s: &mut HubState) {
+        let keep = self.inner.config.terminal_keep;
+        let mut terminal: Vec<u64> = s
+            .sessions
+            .values()
+            .filter(|m| matches!(m.state, SessionState::Complete | SessionState::Failed))
+            .map(|m| m.id)
+            .collect();
+        if terminal.len() <= keep {
+            return;
+        }
+        terminal.sort_unstable();
+        for id in &terminal[..terminal.len() - keep] {
+            s.sessions.remove(id);
+        }
+    }
+
     fn fail_locked(sess: &mut MeasurementSession, failed: &Counter, msg: String) {
         sess.state = SessionState::Failed;
         sess.error = Some(msg);
@@ -419,6 +448,12 @@ impl IngestTap for MeasurementHub {
         };
         let keep = self.inner.config.readings_keep;
         let flush_at = self.inner.config.flush_samples;
+        // Flushes run under the hub lock on purpose: per-key appends
+        // must reach the store in ingest order (the store rejects
+        // non-monotonic clocks), and under the default OnSeal fsync
+        // policy a flush is a buffered write, not a disk round-trip.
+        // Operators pairing EveryRecord with many concurrent sessions
+        // should size flush_samples to amortize the sync.
         let mut failed_device = None;
         {
             let sess = s.sessions.get_mut(&id).expect("by_device maps live ids");
@@ -472,6 +507,7 @@ impl IngestTap for MeasurementHub {
         }
         if let Some(device) = failed_device {
             s.by_device.remove(&device);
+            self.evict_terminal_locked(&mut s);
         }
     }
 
@@ -512,6 +548,7 @@ mod tests {
                 HubConfig {
                     flush_samples: 64,
                     readings_keep: 8,
+                    ..HubConfig::default()
                 },
                 &t,
             ),
@@ -608,6 +645,41 @@ mod tests {
         hub.start(id).unwrap();
         hub.on_samples(&tap(9), &clean_samples(100, 5));
         assert_eq!(hub.stop(id).unwrap().state, SessionState::Complete);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn terminal_sessions_are_evicted_past_the_cap() {
+        let dir = scratch_dir("hub-evict");
+        let t = Telemetry::disabled();
+        let (h, _) = Historian::open(&dir, StoreConfig::default(), &t).unwrap();
+        let hub = MeasurementHub::new(
+            h,
+            HubConfig {
+                terminal_keep: 3,
+                ..HubConfig::default()
+            },
+            &t,
+        );
+        let mut ids = Vec::new();
+        for k in 0..6u64 {
+            let id = hub.prepare(5);
+            hub.start(id).unwrap();
+            hub.on_samples(&tap(5), &clean_samples(k * 100, 10));
+            hub.stop(id).unwrap();
+            ids.push(id);
+        }
+        // A live session is never evicted, whatever its age.
+        let live = hub.prepare(5);
+        let listed = hub.list();
+        assert_eq!(listed.len(), 4, "3 terminal + 1 prepared");
+        assert!(listed.iter().any(|s| s.id == live));
+        // Oldest completions are gone, newest survive.
+        assert!(hub.status(ids[0]).is_none());
+        assert!(hub.status(ids[5]).is_some());
+        // Evicted records are still on disk.
+        let snap = hub.historian().snapshot();
+        assert_eq!(snap.session_span(5, ids[0]), Some((0, 10)));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -493,7 +493,11 @@ fn parse_footer(segment: u64, bytes: &[u8]) -> Option<Vec<IndexEntry>> {
     }
     let footer_len =
         u32::from_le_bytes(bytes[bytes.len() - 8..bytes.len() - 4].try_into().ok()?) as usize;
-    if footer_len > bytes.len() {
+    // The smallest well-formed footer (zero entries) is magic + count +
+    // CRC + length + trailer = 20 bytes; a corrupt length outside
+    // [20, file] must fall through to the torn-footer path, not slice
+    // out of bounds or underflow below.
+    if !(20..=bytes.len()).contains(&footer_len) {
         return None;
     }
     let f = &bytes[bytes.len() - footer_len..];
@@ -535,6 +539,9 @@ struct ScannedSegment {
     /// Valid prefix length (header + whole records).
     valid_len: u64,
     file_len: u64,
+    /// The scan ended at a valid footer: the segment is sealed and
+    /// must never be appended to again.
+    sealed: bool,
 }
 
 /// Scans one segment file record-by-record; every returned entry has a
@@ -548,6 +555,7 @@ fn scan_segment(id: u64, bytes: &[u8]) -> ScannedSegment {
             entries: Vec::new(),
             valid_len: 0,
             file_len,
+            sealed: false,
         };
     }
     let mut entries = Vec::new();
@@ -561,6 +569,7 @@ fn scan_segment(id: u64, bytes: &[u8]) -> ScannedSegment {
                     entries,
                     valid_len: file_len,
                     file_len,
+                    sealed: true,
                 };
             }
             break; // torn footer: drop it, keep the records
@@ -577,6 +586,7 @@ fn scan_segment(id: u64, bytes: &[u8]) -> ScannedSegment {
         entries,
         valid_len: pos as u64,
         file_len,
+        sealed: false,
     }
 }
 
@@ -636,14 +646,19 @@ impl Historian {
         let mut sealed_bytes = 0u64;
         let trunc_counter = telemetry.counter(names::HISTORIAN_RECOVERY_TRUNCATIONS);
         let skip_counter = telemetry.counter(names::HISTORIAN_RECOVERY_SKIPPED_BYTES);
+        let mut last_sealed = false;
         for (&id, path) in &seg_files {
             let is_last = Some(&id) == seg_files.keys().last();
             let file_len = fs::metadata(path)?.len();
-            if sealed.contains(&id) && !is_last {
+            if sealed.contains(&id) {
                 // Journal-sealed: trust its entries without re-reading
-                // payload bytes.
+                // payload bytes (the footer was fsynced before the
+                // journal's seal entry was written).
                 entries.extend(journal_records.iter().filter(|e| e.segment == id));
                 sealed_bytes += file_len;
+                if is_last {
+                    last_sealed = true;
+                }
                 continue;
             }
             let bytes = fs::read(path)?;
@@ -661,17 +676,27 @@ impl Historian {
                 f.set_len(scanned.valid_len.max(SEG_HEADER_LEN.min(scanned.valid_len)))?;
                 f.sync_data()?;
             }
-            if !is_last {
+            if !is_last || scanned.sealed {
                 sealed_bytes += scanned.valid_len;
+            }
+            if is_last {
+                last_sealed = scanned.sealed;
             }
             entries.extend(scanned.entries);
         }
         entries.sort_by_key(IndexEntry::key);
         report.records = entries.len() as u64;
 
-        // Active segment: the highest id, re-opened for append — or a
-        // fresh segment 0.
-        let active_id = seg_files.keys().last().copied().unwrap_or(0);
+        // Active segment: the highest id, re-opened for append — unless
+        // that segment is already sealed (a crash landed between the
+        // seal and creating its successor), in which case roll to a
+        // fresh id so new records never land after a footer, where the
+        // next recovery's scan would discard them.
+        let active_id = match seg_files.keys().last().copied() {
+            None => 0,
+            Some(last) if last_sealed => last + 1,
+            Some(last) => last,
+        };
         let active_path = seg_path(&dir, active_id);
         let mut seg_file = OpenOptions::new()
             .create(true)
@@ -720,7 +745,7 @@ impl Historian {
         fs::rename(&tmp, journal_path(&dir))?;
         let journal = OpenOptions::new().append(true).open(journal_path(&dir))?;
 
-        let segments = seg_files.len().max(1) as u64;
+        let segments = (seg_files.len() as u64 + u64::from(last_sealed)).max(1);
         report.segments = segments;
         let shared = Shared {
             config,
@@ -833,6 +858,19 @@ impl Historian {
         let mut payload = Vec::with_capacity(raw.len() * 16 + 64);
         write_record_parts(sample_rate_hz, clock_start, raw, calibrated, &mut payload)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        // Enforce the reader-side envelope cap before anything touches
+        // disk: an over-cap payload would be rejected by every future
+        // parse_envelope, turning it (and everything after it in the
+        // segment) into a torn tail on the next recovery.
+        if payload.len() > MAX_PAYLOAD as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "record payload is {} bytes, over the {MAX_PAYLOAD}-byte cap; split the append",
+                    payload.len()
+                ),
+            ));
+        }
         let clock_end = clock_start + raw.len() as u64 * tier_stride(tier);
         let mut entry = IndexEntry {
             segment: 0,
@@ -1225,7 +1263,10 @@ impl HistorianReader {
             };
             let (r, lanes) = self.read_record(e, f)?;
             rate = r;
-            let lo = (from.max(e.clock_start) - e.clock_start) / stride;
+            // div_ceil on both bounds keeps the result inside the
+            // half-open [from, to): flooring `lo` would let the first
+            // point of an unaligned coarse-tier read precede `from`.
+            let lo = (from.max(e.clock_start) - e.clock_start).div_ceil(stride);
             let hi = (to.min(e.clock_end) - e.clock_start).div_ceil(stride);
             for (i, &(raw, mmhg)) in lanes[lo as usize..hi as usize].iter().enumerate() {
                 points.push(WavePoint {
@@ -1460,6 +1501,142 @@ mod tests {
         let wave = reader.read_range(7, 1, 0, 8192, 64).unwrap();
         assert!(wave.tier >= 1, "tier {}", wave.tier);
         assert!(wave.points.len() <= 64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_footer_length_is_rejected_without_panicking() {
+        let entries = vec![IndexEntry {
+            segment: 2,
+            offset: 28,
+            device: 1,
+            session: 1,
+            tier: 0,
+            clock_start: 0,
+            clock_end: 500,
+            payload_len: 48,
+        }];
+        let mut file = vec![0xAAu8; 100];
+        file.extend_from_slice(&encode_footer(&entries));
+        let len = file.len();
+        assert!(parse_footer(2, &file).is_some());
+        // A flipped length field must fall through to the torn-footer
+        // path — for every undersized and oversized value.
+        for bad in [0u32, 3, 5, 7, 12, 19, len as u32 + 1, u32::MAX] {
+            let mut f = file.clone();
+            f[len - 8..len - 4].copy_from_slice(&bad.to_le_bytes());
+            assert!(parse_footer(2, &f).is_none(), "footer_len {bad}");
+        }
+    }
+
+    #[test]
+    fn reopening_a_sealed_last_segment_rolls_to_a_fresh_one() {
+        // Simulate the crash window inside seal_locked: the footer and
+        // the journal's seal entry are on disk, but the successor
+        // segment was never created. Reopening must not append past
+        // the footer (the next recovery would discard everything after
+        // it) — it must roll to a fresh segment id.
+        let dir = scratch_dir("store-seal-crash");
+        let t = Telemetry::disabled();
+        let (h, _) = Historian::open(&dir, StoreConfig::default(), &t).unwrap();
+        let (raw, cal) = lanes(300, 0.0);
+        for k in 0..3 {
+            h.append(1, 1, k * 300, 1000.0, &raw, &cal).unwrap();
+        }
+        h.seal_active().unwrap();
+        drop(h);
+        let segs = list_segments(&dir).unwrap();
+        assert_eq!(segs.keys().copied().collect::<Vec<_>>(), vec![0, 1]);
+        fs::remove_file(&segs[&1]).unwrap();
+        let sealed_len = fs::metadata(&segs[&0]).unwrap().len();
+
+        // Journal-sealed path: the seal entry alone marks segment 0.
+        let (h2, rep) = Historian::open(&dir, StoreConfig::default(), &t).unwrap();
+        assert_eq!(rep.records, 3);
+        assert_eq!(rep.truncated_segments, 0);
+        h2.append(1, 1, 900, 1000.0, &raw, &cal).unwrap();
+        drop(h2);
+        let segs = list_segments(&dir).unwrap();
+        assert_eq!(segs.keys().copied().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(
+            fs::metadata(&segs[&0]).unwrap().len(),
+            sealed_len,
+            "sealed segment must not grow"
+        );
+        let (h3, rep) = Historian::open(&dir, StoreConfig::default(), &t).unwrap();
+        assert_eq!(rep.records, 4);
+        assert_eq!(rep.truncated_segments, 0);
+        let wave = h3.reader().read_tier(1, 1, 0, 0, 1200).unwrap();
+        assert_eq!(wave.points.len(), 1200);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn footer_scan_alone_detects_a_sealed_last_segment() {
+        // Same crash window as above, but with the journal lost too:
+        // recovery must detect the seal from the footer scan.
+        let dir = scratch_dir("store-seal-scan");
+        let t = Telemetry::disabled();
+        let (h, _) = Historian::open(&dir, StoreConfig::default(), &t).unwrap();
+        let (raw, cal) = lanes(300, 0.0);
+        for k in 0..3 {
+            h.append(1, 1, k * 300, 1000.0, &raw, &cal).unwrap();
+        }
+        h.seal_active().unwrap();
+        drop(h);
+        let segs = list_segments(&dir).unwrap();
+        fs::remove_file(&segs[&1]).unwrap();
+        fs::remove_file(journal_path(&dir)).unwrap();
+        let (h2, rep) = Historian::open(&dir, StoreConfig::default(), &t).unwrap();
+        assert_eq!(rep.records, 3);
+        assert_eq!(rep.truncated_segments, 0);
+        h2.append(1, 1, 900, 1000.0, &raw, &cal).unwrap();
+        drop(h2);
+        let (h3, rep) = Historian::open(&dir, StoreConfig::default(), &t).unwrap();
+        assert_eq!(rep.records, 4);
+        assert_eq!(rep.truncated_segments, 0);
+        let wave = h3.reader().read_tier(1, 1, 0, 0, 1200).unwrap();
+        assert_eq!(wave.points.len(), 1200);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_append_is_rejected_before_touching_disk() {
+        let dir = scratch_dir("store-cap");
+        let t = Telemetry::disabled();
+        let (h, _) = Historian::open(&dir, StoreConfig::default(), &t).unwrap();
+        // Enough samples that the encoded payload exceeds MAX_PAYLOAD.
+        let n = MAX_PAYLOAD as usize / 16 + 1024;
+        let raw = vec![0.0f64; n];
+        let cal = vec![MillimetersHg(0.0); n];
+        let err = h.append(1, 1, 0, 1000.0, &raw, &cal).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(h.snapshot().is_empty());
+        assert_eq!(
+            fs::metadata(seg_path(&dir, 0)).unwrap().len(),
+            SEG_HEADER_LEN,
+            "nothing may reach the segment file"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tier_reads_honor_the_half_open_range_on_unaligned_bounds() {
+        let dir = scratch_dir("store-tier-bounds");
+        let t = Telemetry::disabled();
+        let (h, _) = Historian::open(&dir, StoreConfig::default(), &t).unwrap();
+        let (raw, cal) = lanes(64, 0.0);
+        // Tier-1 record: clocks 0, 16, …, 1008.
+        h.append_tier(1, 1, 1, 0, 62.5, &raw, &cal).unwrap();
+        let r = h.reader();
+        let wave = r.read_tier(1, 1, 1, 5, 100).unwrap();
+        assert!(wave.points.iter().all(|p| p.clock >= 5 && p.clock < 100));
+        assert_eq!(wave.points.first().map(|p| p.clock), Some(16));
+        assert_eq!(wave.points.len(), 6);
+        // Aligned bounds are unchanged.
+        let wave = r.read_tier(1, 1, 1, 0, 160).unwrap();
+        assert_eq!(wave.points.len(), 10);
+        assert_eq!(wave.points[0].clock, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 
